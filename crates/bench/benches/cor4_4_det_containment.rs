@@ -1,0 +1,50 @@
+//! E9 (Corollary 4.4): containment for `DetShEx₀⁻` is decided in polynomial
+//! time — scaling on random contained and non-contained pairs, compared
+//! against the brute-force baseline on tiny instances.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shapex_bench::contained_det_pair;
+use shapex_core::baseline::enumerate_counter_example;
+use shapex_core::det::det_containment;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cor4_4_det_containment");
+    for &types in &[4usize, 8, 16, 32, 64] {
+        let (h, k) = contained_det_pair(types, 40 + types as u64);
+        group.bench_with_input(
+            BenchmarkId::new("contained_pair", types),
+            &(h.clone(), k.clone()),
+            |b, (h, k)| b.iter(|| det_containment(h, k).unwrap().is_contained()),
+        );
+        // The reverse direction is usually not contained and exercises the
+        // characterizing-graph construction.
+        group.bench_with_input(
+            BenchmarkId::new("reverse_direction", types),
+            &(k, h),
+            |b, (k, h)| b.iter(|| det_containment(k, h).unwrap()),
+        );
+    }
+
+    // Baseline: brute-force enumeration on a tiny non-contained pair.
+    let (h, k) = contained_det_pair(3, 11);
+    group.bench_function("baseline_enumeration_tiny", |b| {
+        b.iter(|| enumerate_counter_example(&k, &h, 2, 3, 20_000))
+    });
+    group.bench_function("det_containment_tiny", |b| {
+        b.iter(|| det_containment(&k, &h).unwrap())
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

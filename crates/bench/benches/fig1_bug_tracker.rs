@@ -1,0 +1,45 @@
+//! E1 (Figure 1): the bug-tracker schema and instance — validation,
+//! embedding, and containment of the refactored schema.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use shapex_core::det::det_containment;
+use shapex_core::embedding::embeds;
+use shapex_core::shex0::{shex0_containment, Shex0Options};
+use shapex_gadgets::figures;
+use shapex_shex::typing::{maximal_typing, validates};
+
+fn bench(c: &mut Criterion) {
+    let schema = figures::bug_tracker_schema();
+    let split = figures::bug_tracker_split_schema();
+    let graph = figures::bug_tracker_graph();
+    let shape = schema.to_shape_graph().expect("RBE0");
+
+    let mut group = c.benchmark_group("fig1_bug_tracker");
+    group.bench_function("validate_instance", |b| {
+        b.iter(|| validates(&graph, &schema))
+    });
+    group.bench_function("maximal_typing", |b| b.iter(|| maximal_typing(&graph, &schema)));
+    group.bench_function("embed_instance_in_shape_graph", |b| {
+        b.iter(|| embeds(&graph, &shape).is_some())
+    });
+    group.bench_function("self_containment_detshex0minus", |b| {
+        b.iter(|| det_containment(&schema, &schema).unwrap().is_contained())
+    });
+    group.bench_function("split_subset_of_original", |b| {
+        b.iter(|| shex0_containment(&split, &schema, &Shex0Options::quick()).is_contained())
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

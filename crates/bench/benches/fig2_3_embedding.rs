@@ -1,0 +1,33 @@
+//! E2 (Figures 2 and 3): the graph G₀, the schema S₀, and the embedding of
+//! G₀ into the shape graph H₀.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use shapex_core::embedding::{embeds, max_simulation};
+use shapex_gadgets::figures;
+use shapex_shex::typing::validates;
+
+fn bench(c: &mut Criterion) {
+    let g0 = figures::g0_graph();
+    let s0 = figures::s0_schema();
+    let h0 = figures::h0_shape_graph();
+
+    let mut group = c.benchmark_group("fig2_3_embedding");
+    group.bench_function("validate_g0_against_s0", |b| b.iter(|| validates(&g0, &s0)));
+    group.bench_function("max_simulation_g0_h0", |b| b.iter(|| max_simulation(&g0, &h0)));
+    group.bench_function("embed_g0_in_h0", |b| b.iter(|| embeds(&g0, &h0).is_some()));
+    group.bench_function("embed_h0_in_g0_fails", |b| b.iter(|| embeds(&h0, &g0).is_none()));
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E4 (Figure 5 / Lemma 4.2): building the characterizing graph of a
+//! `DetShEx₀⁻` schema and checking that it stays polynomial in the schema
+//! size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shapex_bench::contained_det_pair;
+use shapex_core::det::characterizing_graph;
+use shapex_core::embedding::embeds;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_characterizing");
+    for &types in &[4usize, 8, 16, 32] {
+        let (h, _) = contained_det_pair(types, 500 + types as u64);
+        let shape = h.to_shape_graph().unwrap();
+        group.bench_with_input(BenchmarkId::new("build", types), &h, |b, schema| {
+            b.iter(|| characterizing_graph(schema).unwrap().node_count())
+        });
+        let g = characterizing_graph(&h).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("verify_membership", types),
+            &(g, shape),
+            |b, (g, shape)| b.iter(|| embeds(g, shape).is_some()),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

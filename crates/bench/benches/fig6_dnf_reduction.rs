@@ -1,0 +1,44 @@
+//! E5 (Figure 6 / Theorem 4.5): containment for `DetShEx₀` is coNP-hard —
+//! DNF-tautology instances turned into containment questions, with runtime
+//! growing quickly in the number of variables.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shapex_bench::rng;
+use shapex_core::shex0::{shex0_containment, Shex0Options};
+use shapex_gadgets::generate::random_dnf;
+use shapex_gadgets::reductions::{dnf_tautology_gadget, DnfFormula};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_dnf_reduction");
+
+    // The exact Figure 6 formula.
+    let fig6 = DnfFormula { num_vars: 3, terms: vec![vec![1, -2], vec![2, -3]] };
+    let (h, k) = dnf_tautology_gadget(&fig6);
+    group.bench_function("figure6_formula_not_tautology", |b| {
+        b.iter(|| shex0_containment(&h, &k, &Shex0Options::quick()).is_not_contained())
+    });
+
+    // Random DNF formulas of growing size.
+    for &vars in &[2usize, 3, 4] {
+        let mut r = rng(600 + vars as u64);
+        let formula = random_dnf(&mut r, vars, vars, 2);
+        let (h, k) = dnf_tautology_gadget(&formula);
+        group.bench_with_input(BenchmarkId::new("random_dnf", vars), &(h, k), |b, (h, k)| {
+            b.iter(|| shex0_containment(h, k, &Shex0Options::quick()))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E10 (Lemma 5.1): the family whose minimal counter-example is exponential.
+//! The bench reports the cost of validating the canonical witness (whose size
+//! doubles with `n`) against both schemas; the witness sizes themselves are
+//! recorded in EXPERIMENTS.md.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shapex_core::shex0::{shex0_containment, Shex0Options};
+use shapex_gadgets::reductions::{exponential_family, exponential_family_witness};
+use shapex_shex::typing::validates;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lem5_1_counterexample");
+    for n in 1..=4usize {
+        let (h, k) = exponential_family(n);
+        let witness = exponential_family_witness(n);
+        group.bench_with_input(
+            BenchmarkId::new("validate_witness_against_h", n),
+            &(witness.clone(), h.clone()),
+            |b, (w, h)| b.iter(|| validates(w, h)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("refute_witness_against_k", n),
+            &(witness, k),
+            |b, (w, k)| b.iter(|| !validates(w, k)),
+        );
+    }
+    // The full containment procedure on the smallest instance (its embedding
+    // check fails and the unfolding search must run).
+    let (h, k) = exponential_family(1);
+    group.bench_function("shex0_containment_n1", |b| {
+        b.iter(|| shex0_containment(&h, &k, &Shex0Options::quick()))
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

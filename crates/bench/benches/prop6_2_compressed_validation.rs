@@ -1,0 +1,40 @@
+//! E12 (Proposition 6.2): validating compressed graphs (binary-encoded edge
+//! multiplicities) stays cheap as the multiplicities grow — the cost depends
+//! on the magnitude only through the Presburger bounds, not through the
+//! unpacked size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shapex_bench::{compressed_hub, compressed_hub_disjunctive};
+use shapex_shex::typing::validates;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop6_2_compressed_validation");
+    for &spokes in &[10u64, 1_000, 100_000, 10_000_000] {
+        let (graph, schema) = compressed_hub(spokes);
+        group.bench_with_input(
+            BenchmarkId::new("interval_schema", spokes),
+            &(graph, schema),
+            |b, (graph, schema)| b.iter(|| validates(graph, schema)),
+        );
+        let (graph, schema) = compressed_hub_disjunctive(spokes);
+        group.bench_with_input(
+            BenchmarkId::new("disjunctive_schema", spokes),
+            &(graph, schema),
+            |b, (graph, schema)| b.iter(|| validates(graph, schema)),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

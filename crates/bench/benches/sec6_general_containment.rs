@@ -1,0 +1,52 @@
+//! E13 (Section 6): containment for full ShEx (definitions with disjunction
+//! and wide intervals) through the budgeted general procedure.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use shapex_core::general::{general_containment, GeneralOptions};
+use shapex_shex::parse_schema;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec6_general_containment");
+
+    // Disjunction widening: contained, decided by the type-simulation check.
+    let narrow = parse_schema("Root -> p::A\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
+    let wide = parse_schema("Root -> p::A | p::B\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
+    group.bench_function("disjunction_widening_contained", |b| {
+        b.iter(|| general_containment(&narrow, &wide, &GeneralOptions::quick()).is_contained())
+    });
+    group.bench_function("disjunction_narrowing_not_contained", |b| {
+        b.iter(|| general_containment(&wide, &narrow, &GeneralOptions::quick()).is_not_contained())
+    });
+
+    // Counting with intervals vs. explicit disjunction.
+    let exact = parse_schema("T -> q::L[2;2]\nL -> EMPTY\n").unwrap();
+    let either = parse_schema("T -> q::L | (q::L, q::L)\nL -> EMPTY\n").unwrap();
+    group.bench_function("interval_vs_disjunction_contained", |b| {
+        b.iter(|| general_containment(&exact, &either, &GeneralOptions::quick()).is_contained())
+    });
+    group.bench_function("interval_vs_disjunction_reverse", |b| {
+        b.iter(|| general_containment(&either, &exact, &GeneralOptions::quick()).is_not_contained())
+    });
+
+    // Grouped repetition (non-RBE0 on both sides): the sufficient check is
+    // not applicable and the procedure must fall back to the bounded search.
+    let pairs = parse_schema("T -> (p::L, q::L)?\nL -> EMPTY\n").unwrap();
+    let trio = parse_schema("T -> p::L?, q::L?, r::L\nL -> EMPTY\n").unwrap();
+    group.bench_function("grouped_repetition_not_contained", |b| {
+        b.iter(|| general_containment(&pairs, &trio, &GeneralOptions::quick()).is_not_contained())
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E7 (Theorem 3.4): embeddings between shape graphs are decided in
+//! polynomial time — runtime scaling on random contained pairs of growing
+//! size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shapex_bench::{contained_det_pair, contained_shex0_pair};
+use shapex_core::embedding::{embeds, max_simulation};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3_4_embedding_scaling");
+    for &types in &[8usize, 16, 32, 64] {
+        let (h, k) = contained_det_pair(types, 700 + types as u64);
+        let hg = h.to_shape_graph().unwrap();
+        let kg = k.to_shape_graph().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("embeds_det_pair", types),
+            &(hg.clone(), kg.clone()),
+            |b, (hg, kg)| b.iter(|| embeds(hg, kg).is_some()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("max_simulation_det_pair", types),
+            &(hg, kg),
+            |b, (hg, kg)| b.iter(|| max_simulation(hg, kg).len()),
+        );
+        let (h2, k2) = contained_shex0_pair(types, 900 + types as u64);
+        let hg2 = h2.to_shape_graph().unwrap();
+        let kg2 = k2.to_shape_graph().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("embeds_shex0_pair", types),
+            &(hg2, kg2),
+            |b, (hg, kg)| b.iter(|| embeds(hg, kg).is_some()),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E8 (Theorem 3.5): embedding with arbitrary intervals is NP-complete —
+//! runtime on SAT-derived instances, satisfiable and unsatisfiable.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shapex_bench::rng;
+use shapex_core::embedding::embeds;
+use shapex_gadgets::generate::random_cnf;
+use shapex_gadgets::reductions::{sat_embedding_gadget, CnfFormula};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3_5_sat_gadget");
+
+    // A pigeonhole-flavoured unsatisfiable instance and its satisfiable twin.
+    let unsat = CnfFormula {
+        num_vars: 2,
+        clauses: vec![vec![1, 2], vec![1, -2], vec![-1, 2], vec![-1, -2]],
+    };
+    let sat = CnfFormula { num_vars: 2, clauses: vec![vec![1, 2], vec![-1, -2]] };
+    for (name, formula) in [("satisfiable_2v", &sat), ("unsatisfiable_2v", &unsat)] {
+        let (h, k) = sat_embedding_gadget(formula);
+        group.bench_with_input(BenchmarkId::new("fixed", name), &(h, k), |b, (h, k)| {
+            b.iter(|| embeds(h, k).is_some())
+        });
+    }
+
+    // Random 2-CNF instances of growing size (kept small: the witness check
+    // is a backtracking search and the gadget grows quadratically).
+    for &vars in &[2usize, 3, 4] {
+        let mut r = rng(800 + vars as u64);
+        let formula = random_cnf(&mut r, vars, vars + 1, 2);
+        let (h, k) = sat_embedding_gadget(&formula);
+        group.bench_with_input(BenchmarkId::new("random_cnf", vars), &(h, k), |b, (h, k)| {
+            b.iter(|| embeds(h, k).is_some())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

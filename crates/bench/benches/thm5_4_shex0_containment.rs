@@ -1,0 +1,45 @@
+//! E11 (Theorem 5.4): the budgeted ShEx₀ containment procedure on random
+//! shape-graph pairs — contained pairs (decided by embedding), restricted
+//! reverse pairs (decided by counter-example search), and the DetShEx₀⁻
+//! shortcut.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use shapex_bench::{contained_det_pair, contained_shex0_pair};
+use shapex_core::shex0::{shex0_containment, Shex0Options};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm5_4_shex0_containment");
+    for &types in &[4usize, 8, 16] {
+        let (h, k) = contained_shex0_pair(types, 300 + types as u64);
+        group.bench_with_input(
+            BenchmarkId::new("contained_via_embedding", types),
+            &(h.clone(), k.clone()),
+            |b, (h, k)| b.iter(|| shex0_containment(h, k, &Shex0Options::quick()).is_contained()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reverse_direction_search", types),
+            &(k, h),
+            |b, (k, h)| b.iter(|| shex0_containment(k, h, &Shex0Options::quick())),
+        );
+        let (hd, kd) = contained_det_pair(types, 301 + types as u64);
+        group.bench_with_input(
+            BenchmarkId::new("det_minus_shortcut", types),
+            &(kd, hd),
+            |b, (kd, hd)| b.iter(|| shex0_containment(kd, hd, &Shex0Options::quick())),
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! { name = benches; config = config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! E6 (Figure 7): the complexity summary table of the paper, regenerated as a
+//! scaling experiment.
+//!
+//! The paper's table reads:
+//!
+//! ```text
+//!              DetShEx0-        ShEx0                 ShEx
+//!  complexity  P                EXP-hard / coNEXP     coNEXP-hard / co2NEXP^NP
+//! ```
+//!
+//! This binary measures the implemented decision procedures on growing
+//! workloads of each class and prints the observed behaviour next to the
+//! paper's classification. Run with
+//! `cargo run --release -p shapex-bench --bin fig7_summary`.
+
+use std::time::{Duration, Instant};
+
+use shapex_bench::{contained_det_pair, contained_shex0_pair, rng};
+use shapex_core::det::det_containment;
+use shapex_core::general::{general_containment, GeneralOptions};
+use shapex_core::shex0::{shex0_containment, Shex0Options};
+use shapex_gadgets::generate::random_dnf;
+use shapex_gadgets::reductions::{dnf_tautology_gadget, exponential_family};
+use shapex_shex::parse_schema;
+use shapex_shex::Schema;
+
+fn time<F: FnMut() -> R, R>(mut f: F) -> (R, Duration) {
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed())
+}
+
+fn schema_sizes(h: &Schema, k: &Schema) -> usize {
+    h.size() + k.size()
+}
+
+fn main() {
+    println!("Figure 7 — containment complexity per schema class (paper vs. measured)\n");
+    println!(
+        "{:<14} {:<26} {:<30}",
+        "class", "paper", "this implementation"
+    );
+    println!(
+        "{:<14} {:<26} {:<30}",
+        "DetShEx0-", "in P (Cor. 4.4)", "embedding check, polynomial"
+    );
+    println!(
+        "{:<14} {:<26} {:<30}",
+        "ShEx0", "EXP-hard, in coNEXP", "embedding + budgeted search"
+    );
+    println!(
+        "{:<14} {:<26} {:<30}",
+        "ShEx", "coNEXP-hard, in co2NEXP^NP", "sufficient check + budgeted search"
+    );
+
+    // --- DetShEx0-: polynomial scaling -------------------------------------
+    println!("\n[DetShEx0-] containment on random contained pairs (Cor. 4.4)");
+    println!("{:>8} {:>12} {:>14} {:>12}", "types", "|H|+|K|", "answer", "time");
+    for &types in &[4usize, 8, 16, 32, 64] {
+        let (h, k) = contained_det_pair(types, 70 + types as u64);
+        let (result, elapsed) = time(|| det_containment(&h, &k).unwrap());
+        println!(
+            "{:>8} {:>12} {:>14} {:>12.2?}",
+            types,
+            schema_sizes(&h, &k),
+            if result.is_contained() { "contained" } else { "other" },
+            elapsed
+        );
+    }
+
+    // --- ShEx0: the DNF gadget grows quickly --------------------------------
+    println!("\n[ShEx0 / DetShEx0] DNF-tautology gadget (Thm. 4.5), answer via budgeted search");
+    println!("{:>8} {:>12} {:>14} {:>12}", "vars", "|H|+|K|", "answer", "time");
+    for &vars in &[2usize, 3, 4, 5] {
+        let mut r = rng(7_000 + vars as u64);
+        let formula = random_dnf(&mut r, vars, vars, 2);
+        let (h, k) = dnf_tautology_gadget(&formula);
+        let (result, elapsed) = time(|| shex0_containment(&h, &k, &Shex0Options::default()));
+        let answer = if result.is_contained() {
+            "contained"
+        } else if result.is_not_contained() {
+            "not contained"
+        } else {
+            "unknown"
+        };
+        println!(
+            "{:>8} {:>12} {:>14} {:>12.2?}",
+            vars,
+            schema_sizes(&h, &k),
+            answer,
+            elapsed
+        );
+    }
+
+    println!("\n[ShEx0] random contained pairs (embedding fast path)");
+    println!("{:>8} {:>12} {:>14} {:>12}", "types", "|H|+|K|", "answer", "time");
+    for &types in &[4usize, 8, 16, 32] {
+        let (h, k) = contained_shex0_pair(types, 90 + types as u64);
+        let (result, elapsed) = time(|| shex0_containment(&h, &k, &Shex0Options::quick()));
+        println!(
+            "{:>8} {:>12} {:>14} {:>12.2?}",
+            types,
+            schema_sizes(&h, &k),
+            if result.is_contained() { "contained" } else { "other" },
+            elapsed
+        );
+    }
+
+    println!("\n[ShEx0] Lemma 5.1 family: counter-example size is exponential in n");
+    println!("{:>8} {:>12} {:>18}", "n", "|H|+|K|", "witness nodes");
+    for n in 1..=4usize {
+        let (h, k) = exponential_family(n);
+        let witness = shapex_gadgets::reductions::exponential_family_witness(n);
+        println!(
+            "{:>8} {:>12} {:>18}",
+            n,
+            schema_sizes(&h, &k),
+            witness.node_count()
+        );
+    }
+
+    // --- Full ShEx -----------------------------------------------------------
+    println!("\n[ShEx] disjunctive schemas through the general procedure");
+    let narrow = parse_schema("Root -> p::A\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
+    let wide = parse_schema("Root -> p::A | p::B\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
+    let cases = [
+        ("narrow ⊆ wide", &narrow, &wide),
+        ("wide ⊆ narrow", &wide, &narrow),
+    ];
+    println!("{:>16} {:>14} {:>12}", "case", "answer", "time");
+    for (name, h, k) in cases {
+        let (result, elapsed) = time(|| general_containment(h, k, &GeneralOptions::quick()));
+        let answer = if result.is_contained() {
+            "contained"
+        } else if result.is_not_contained() {
+            "not contained"
+        } else {
+            "unknown"
+        };
+        println!("{:>16} {:>14} {:>12.2?}", name, answer, elapsed);
+    }
+
+    println!(
+        "\nReading: the DetShEx0- column scales smoothly (polynomial), while the\n\
+         gadget-driven ShEx0 and ShEx workloads blow up quickly or require the\n\
+         budgeted procedures to give up — matching the paper's separation."
+    );
+}

@@ -1,0 +1,132 @@
+//! Brute-force baseline: exhaustive enumeration of small counter-examples.
+//!
+//! Containment `L(H) ⊆ L(K)` fails iff some simple graph validates against
+//! `H` but not against `K`. This module enumerates *all* simple graphs up to
+//! a node bound over the combined label alphabet and tests each one. The
+//! search space is `2^(n²·|Σ|)`, so this is only usable for tiny bounds; it
+//! serves as a test oracle for the smarter procedures and as the baseline in
+//! the benchmark harness (every speed-up of the paper's techniques is
+//! measured against it).
+
+use shapex_graph::{Graph, Label};
+use shapex_shex::typing::validates;
+use shapex_shex::Schema;
+
+/// Enumerate simple graphs with up to `max_nodes` nodes (and at most
+/// `max_edges` edges) over the union of the two schemas' alphabets, returning
+/// the first graph found in `L(H) \ L(K)`.
+///
+/// `budget` caps the number of graphs examined; `None` is returned when the
+/// budget or the enumeration is exhausted without finding a counter-example,
+/// which therefore does **not** prove containment beyond the explored size.
+pub fn enumerate_counter_example(
+    h: &Schema,
+    k: &Schema,
+    max_nodes: usize,
+    max_edges: usize,
+    budget: usize,
+) -> Option<Graph> {
+    let mut labels: Vec<Label> = h.labels();
+    for l in k.labels() {
+        if !labels.contains(&l) {
+            labels.push(l);
+        }
+    }
+    if labels.is_empty() {
+        // Schemas without any label: only edge-less graphs exist.
+        let mut g = Graph::new();
+        g.add_node();
+        return if validates(&g, h) && !validates(&g, k) {
+            Some(g)
+        } else {
+            None
+        };
+    }
+
+    let mut examined = 0usize;
+    for n in 1..=max_nodes {
+        // All possible (source, label, target) triples over n nodes.
+        let positions: Vec<(u32, usize, u32)> = (0..n as u32)
+            .flat_map(|s| {
+                let labels = &labels;
+                (0..labels.len()).flat_map(move |l| (0..n as u32).map(move |t| (s, l, t)))
+            })
+            .collect();
+        let p = positions.len();
+        if p >= usize::BITS as usize {
+            return None; // the bitmask enumeration below cannot cover this
+        }
+        for mask in 0u64..(1u64 << p) {
+            if (mask.count_ones() as usize) > max_edges {
+                continue;
+            }
+            examined += 1;
+            if examined > budget {
+                return None;
+            }
+            let mut g = Graph::new();
+            for i in 0..n {
+                g.add_named_node(format!("v{i}"));
+            }
+            for (bit, (s, l, t)) in positions.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    g.add_edge(
+                        shapex_graph::NodeId(*s),
+                        labels[*l].clone(),
+                        shapex_graph::NodeId(*t),
+                    );
+                }
+            }
+            if validates(&g, h) && !validates(&g, k) {
+                return Some(g);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapex_shex::parse_schema;
+
+    #[test]
+    fn finds_the_obvious_counter_example() {
+        // h allows an optional q next to the mandatory p; k forbids q. A node
+        // with both edges is valid for h only.
+        let h = parse_schema("A -> p::L, q::L?\nL -> EMPTY\n").unwrap();
+        let k = parse_schema("A -> p::L\nL -> EMPTY\n").unwrap();
+        let witness = enumerate_counter_example(&h, &k, 3, 3, 500_000).expect("found");
+        assert!(validates(&witness, &h));
+        assert!(!validates(&witness, &k));
+        // The converse containment holds, so nothing is found.
+        assert!(enumerate_counter_example(&k, &h, 2, 3, 50_000).is_none());
+    }
+
+    #[test]
+    fn agrees_with_upper_bound_interval_example() {
+        let h = parse_schema("T -> p::L, p::L\nL -> EMPTY\n").unwrap();
+        let k = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
+        // Two p-edges are required by h and forbidden by k.
+        let witness = enumerate_counter_example(&h, &k, 3, 4, 200_000).expect("found");
+        assert!(validates(&witness, &h));
+        assert!(!validates(&witness, &k));
+    }
+
+    #[test]
+    fn label_free_schemas() {
+        let h = parse_schema("T -> EMPTY\n").unwrap();
+        let k = parse_schema("T -> EMPTY\n").unwrap();
+        assert!(enumerate_counter_example(&h, &k, 2, 2, 1_000).is_none());
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let h = parse_schema("T -> p::L*\nL -> EMPTY\n").unwrap();
+        let k = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
+        // A tiny budget cannot reach the two-edge counter-example.
+        assert!(enumerate_counter_example(&h, &k, 3, 4, 3).is_none());
+        // A generous budget finds it.
+        assert!(enumerate_counter_example(&h, &k, 3, 4, 500_000).is_some());
+    }
+}

@@ -1,0 +1,313 @@
+//! Simulations and embeddings between graphs (Section 3 of the paper).
+//!
+//! A binary relation `R ⊆ N_G × N_H` is a *simulation* of `G` in `H` when for
+//! every `(n, m) ∈ R` there is a witness `λ : out_G(n) → out_H(m)` preserving
+//! labels, relating targets by `R`, and satisfying the interval-sum condition
+//! `⊕ {occur_G(e) | λ(e) = f} ⊆ occur_H(f)` for every `f ∈ out_H(m)`. An
+//! *embedding* is a simulation whose domain covers all of `N_G`; we write
+//! `G ≼ H`.
+//!
+//! Simulations are closed under union, so there is a unique maximal
+//! simulation, computed here by fix-point refinement ([`max_simulation`]).
+//! The witness check is the interval-flow problem of `shapex_rbe::flow`:
+//! polynomial when both neighbourhoods use basic intervals (Theorem 3.4) and
+//! NP-complete for arbitrary intervals (Theorem 3.5), where a backtracking
+//! search is used instead.
+
+use std::collections::BTreeSet;
+
+use shapex_graph::{Graph, NodeId};
+use shapex_rbe::flow::{basic_assignment, general_assignment};
+use shapex_rbe::Interval;
+
+/// A simulation relation between the nodes of two graphs, stored as, for each
+/// node of `G`, the set of nodes of `H` that simulate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Simulation {
+    simulators: Vec<BTreeSet<NodeId>>,
+}
+
+impl Simulation {
+    /// The nodes of `H` that simulate `n`.
+    pub fn simulators_of(&self, n: NodeId) -> &BTreeSet<NodeId> {
+        &self.simulators[n.index()]
+    }
+
+    /// Whether the pair `(n, m)` belongs to the simulation.
+    pub fn contains(&self, n: NodeId, m: NodeId) -> bool {
+        self.simulators[n.index()].contains(&m)
+    }
+
+    /// Whether every node of `G` is simulated by at least one node of `H`,
+    /// i.e. the simulation is an embedding.
+    pub fn is_embedding(&self) -> bool {
+        self.simulators.iter().all(|s| !s.is_empty())
+    }
+
+    /// The nodes of `G` that no node of `H` simulates.
+    pub fn unsimulated_nodes(&self) -> Vec<NodeId> {
+        self.simulators
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_empty())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Total number of pairs in the relation.
+    pub fn len(&self) -> usize {
+        self.simulators.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An embedding of `G` in `H`: a maximal simulation whose domain is all of
+/// `N_G` (Definition 3.1).
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    simulation: Simulation,
+}
+
+impl Embedding {
+    /// The underlying (maximal) simulation.
+    pub fn simulation(&self) -> &Simulation {
+        &self.simulation
+    }
+
+    /// The nodes of `H` simulating `n` (never empty).
+    pub fn images_of(&self, n: NodeId) -> &BTreeSet<NodeId> {
+        self.simulation.simulators_of(n)
+    }
+}
+
+/// Compute the maximal simulation of `G` in `H` by fix-point refinement.
+///
+/// Starting from the full relation `N_G × N_H`, pairs without a witness are
+/// removed until no change occurs. Witness existence is decided by the
+/// polynomial interval-flow routing when both neighbourhoods carry basic
+/// intervals, and by backtracking search otherwise.
+pub fn max_simulation(g: &Graph, h: &Graph) -> Simulation {
+    let all_h: BTreeSet<NodeId> = h.nodes().collect();
+    let mut simulators: Vec<BTreeSet<NodeId>> = vec![all_h; g.node_count()];
+
+    loop {
+        let mut changed = false;
+        for n in g.nodes() {
+            let candidates: Vec<NodeId> = simulators[n.index()].iter().copied().collect();
+            for m in candidates {
+                if !has_witness(g, n, h, m, &simulators) {
+                    simulators[n.index()].remove(&m);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Simulation { simulators };
+        }
+    }
+}
+
+/// Whether there is a witness of simulation of `n` (in `G`) by `m` (in `H`)
+/// with respect to the candidate relation `simulators`.
+fn has_witness(
+    g: &Graph,
+    n: NodeId,
+    h: &Graph,
+    m: NodeId,
+    simulators: &[BTreeSet<NodeId>],
+) -> bool {
+    let g_edges = g.out(n);
+    let h_edges = h.out(m);
+    let sources: Vec<Interval> = g_edges.iter().map(|&e| g.occur(e)).collect();
+    let sinks: Vec<Interval> = h_edges.iter().map(|&f| h.occur(f)).collect();
+    let compatible = |v: usize, u: usize| {
+        let e = g_edges[v];
+        let f = h_edges[u];
+        g.label(e) == h.label(f)
+            && simulators[g.target(e).index()].contains(&h.target(f))
+    };
+    let all_basic = sources.iter().chain(sinks.iter()).all(|i| i.is_basic());
+    if all_basic {
+        basic_assignment(&sources, &sinks, compatible).is_some()
+    } else {
+        general_assignment(&sources, &sinks, compatible).is_some()
+    }
+}
+
+/// Check whether `G` can be embedded in `H` (`G ≼ H`), returning the witness
+/// embedding when it exists.
+pub fn embeds(g: &Graph, h: &Graph) -> Option<Embedding> {
+    let simulation = max_simulation(g, h);
+    if simulation.is_embedding() {
+        Some(Embedding { simulation })
+    } else {
+        None
+    }
+}
+
+/// The language membership test of Section 3: a simple graph `G` belongs to
+/// the language of a shape graph `H` iff `G ≼ H`.
+pub fn graph_in_shape_language(g: &Graph, h: &Graph) -> bool {
+    embeds(g, h).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapex_graph::parse_graph;
+
+    /// The shape graph H0 corresponding to the schema S0 of Figure 2.
+    fn h0() -> Graph {
+        parse_graph(
+            "t0 -a-> t1\n\
+             t1 -b-> t2\n\
+             t1 -c-> t3\n\
+             t2 -b[?]-> t2\n\
+             t2 -c-> t3\n",
+        )
+        .unwrap()
+    }
+
+    /// The simple graph G0 of Figure 2.
+    fn g0() -> Graph {
+        parse_graph("n0 -a-> n1\nn1 -b-> n1\nn1 -c-> n2\n").unwrap()
+    }
+
+    #[test]
+    fn figure_3_embedding() {
+        let g = g0();
+        let h = h0();
+        let embedding = embeds(&g, &h).expect("G0 embeds in H0");
+        let n0 = g.find_node("n0").unwrap();
+        let n1 = g.find_node("n1").unwrap();
+        let n2 = g.find_node("n2").unwrap();
+        let t0 = h.find_node("t0").unwrap();
+        let t1 = h.find_node("t1").unwrap();
+        let t2 = h.find_node("t2").unwrap();
+        let t3 = h.find_node("t3").unwrap();
+        assert!(embedding.images_of(n0).contains(&t0));
+        assert!(embedding.images_of(n1).contains(&t1));
+        assert!(embedding.images_of(n1).contains(&t2));
+        assert!(embedding.images_of(n2).contains(&t3));
+        assert!(!embedding.images_of(n0).contains(&t3));
+        // The reverse embedding does not hold: t0's mandatory a-edge targets a
+        // node that needs both b and c edges, which n2 (no out-edges) lacks.
+        assert!(embeds(&h, &g).is_none());
+    }
+
+    #[test]
+    fn missing_mandatory_edge_blocks_simulation() {
+        // H requires both a `descr` and a `reportedBy` edge.
+        let h = parse_graph("Bug -descr-> Lit\nBug -reportedBy-> User\n").unwrap();
+        let g_ok = parse_graph("b -descr-> l\nb -reportedBy-> u\n").unwrap();
+        let g_missing = parse_graph("b -descr-> l\n").unwrap();
+        assert!(embeds(&g_ok, &h).is_some());
+        let sim = max_simulation(&g_missing, &h);
+        let b = g_missing.find_node("b").unwrap();
+        assert!(sim.simulators_of(b).is_empty());
+        assert_eq!(sim.unsimulated_nodes(), vec![b]);
+        assert!(embeds(&g_missing, &h).is_none());
+    }
+
+    #[test]
+    fn upper_bounds_block_simulation() {
+        // H allows at most one `p` edge (interval 1); G has two.
+        let h = parse_graph("T -p-> U\n").unwrap();
+        let g = parse_graph("x -p-> y1\nx -p-> y2\n").unwrap();
+        assert!(embeds(&g, &h).is_none());
+        // With a `*` interval both edges are fine.
+        let h_star = parse_graph("T -p[*]-> U\n").unwrap();
+        assert!(embeds(&g, &h_star).is_some());
+        // With `?` a single edge is fine but two are not.
+        let h_opt = parse_graph("T -p[?]-> U\n").unwrap();
+        let g_one = parse_graph("x -p-> y\n").unwrap();
+        assert!(embeds(&g_one, &h_opt).is_some());
+        assert!(embeds(&g, &h_opt).is_none());
+    }
+
+    #[test]
+    fn figure_4_embedding_holds_one_direction_only() {
+        // G: a node with a* and b* edges. H: the "unfolded" variant where b*
+        // is enumerated as ε | b | b⁺ across three nodes. L(G) = L(H), but
+        // only H ≼ G holds; G ⋠ H (Figure 4 of the paper).
+        let g = parse_graph("g -a[*]-> gleaf\ng -b[*]-> gleaf\n").unwrap();
+        let h = parse_graph(
+            "h0 -a[*]-> hleaf\n\
+             h1 -a[*]-> hleaf\nh1 -b-> hleaf\n\
+             h2 -a[*]-> hleaf\nh2 -b-> hleaf\nh2 -b[*]-> hleaf\n",
+        )
+        .unwrap();
+        assert!(embeds(&h, &g).is_some(), "every H node is simulated by g");
+        assert!(embeds(&g, &h).is_none(), "g is not simulated by any single H node");
+    }
+
+    #[test]
+    fn simulation_between_shape_graphs_with_general_intervals() {
+        // Arbitrary intervals fall back to the backtracking witness search.
+        let g = parse_graph("x -p[[2;2]]-> y\n").unwrap();
+        let h_ok = parse_graph("T -p[[2;3]]-> U\n").unwrap();
+        let h_bad = parse_graph("T -p[[3;4]]-> U\n").unwrap();
+        assert!(embeds(&g, &h_ok).is_some());
+        assert!(embeds(&g, &h_bad).is_none());
+    }
+
+    #[test]
+    fn embedding_is_reflexive_and_composes() {
+        let h = h0();
+        assert!(embeds(&h, &h).is_some(), "every graph embeds in itself");
+        let g = g0();
+        // G0 ≼ H0 and H0 ≼ H0 ⊎ extra node: composition of embeddings.
+        let mut h_extended = h0();
+        let extra = h_extended.add_named_node("extra");
+        let t0 = h_extended.find_node("t0").unwrap();
+        h_extended.add_edge_with(extra, "z", Interval::STAR, t0);
+        assert!(embeds(&h, &h_extended).is_some());
+        assert!(embeds(&g, &h_extended).is_some());
+    }
+
+    #[test]
+    fn empty_graph_embeds_everywhere() {
+        let empty = Graph::new();
+        let h = h0();
+        assert!(embeds(&empty, &h).is_some());
+        let sim = max_simulation(&empty, &h);
+        assert!(sim.is_empty());
+        assert!(sim.is_embedding(), "vacuously an embedding");
+    }
+
+    #[test]
+    fn bug_tracker_instance_embeds_in_its_shape_graph() {
+        let shape = parse_graph(
+            "Bug -descr-> Literal\n\
+             Bug -reportedBy-> User\n\
+             Bug -reproducedBy[?]-> Employee\n\
+             Bug -related[*]-> Bug\n\
+             User -name-> Literal\n\
+             User -email[?]-> Literal\n\
+             Employee -name-> Literal\n\
+             Employee -email-> Literal\n",
+        )
+        .unwrap();
+        let instance = parse_graph(
+            "bug1 -descr-> l1\nbug1 -reportedBy-> user1\nbug1 -related-> bug2\n\
+             bug2 -descr-> l2\nbug2 -reportedBy-> user2\nbug2 -reproducedBy-> emp1\n\
+             bug2 -related-> bug1\n\
+             user1 -name-> l3\nuser2 -name-> l4\nuser2 -email-> l5\n\
+             emp1 -name-> l6\nemp1 -email-> l7\n",
+        )
+        .unwrap();
+        let embedding = embeds(&instance, &shape).expect("the Figure 1 instance is valid");
+        let emp1 = instance.find_node("emp1").unwrap();
+        let employee = shape.find_node("Employee").unwrap();
+        let user = shape.find_node("User").unwrap();
+        assert!(embedding.images_of(emp1).contains(&employee));
+        assert!(embedding.images_of(emp1).contains(&user));
+        // Remove a mandatory edge and the embedding disappears.
+        let broken = parse_graph("bug1 -descr-> l1\n").unwrap();
+        assert!(embeds(&broken, &shape).is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Containment of shape expression schemas — the primary contribution of
+//! *Containment of Shape Expression Schemas for RDF* (Staworko & Wieczorek,
+//! PODS 2019).
+//!
+//! The crate provides, following the paper's structure:
+//!
+//! * [`embedding`] (§3) — maximal simulations and embeddings between graphs,
+//!   with the polynomial witness check for basic intervals (Theorem 3.4) and a
+//!   backtracking witness check for arbitrary intervals (Theorem 3.5). An
+//!   embedding `H ≼ K` is a sound (sufficient) condition for `L(H) ⊆ L(K)`.
+//! * [`det`] (§4) — the tractable fragment `DetShEx₀⁻`: containment coincides
+//!   with embedding (Corollary 4.3), so it is decidable in polynomial time
+//!   (Corollary 4.4); plus the characterizing-graph construction of Lemma 4.2.
+//! * [`shex0`] (§5) — containment for `ShEx₀` (shape graphs): embedding as the
+//!   sufficient check, certified counter-example search for the other
+//!   direction, complete on `DetShEx₀⁻` and on instances that admit small
+//!   counter-examples. The problem itself is EXP-complete, so the general
+//!   procedure is necessarily bounded and reports [`Containment::Unknown`]
+//!   when its budget is exhausted.
+//! * [`general`] (§6) — containment for full ShEx (arbitrary shape
+//!   expressions), via unfolding-based counter-example search with Presburger
+//!   validation; sound in both directions, bounded (the problem is
+//!   coNEXP-hard).
+//! * [`baseline`] — a brute-force enumeration of small counter-examples used
+//!   as a test oracle and benchmark baseline.
+//!
+//! Every `NotContained` answer carries a counter-example graph that has been
+//! re-verified with the validation semantics of `shapex-shex`, so
+//! non-containment answers are certified. `Contained` answers are exact for
+//! `DetShEx₀⁻` and conservative (never wrong, but possibly replaced by
+//! `Unknown`) elsewhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use shapex_graph::Graph;
+
+pub mod baseline;
+pub mod det;
+pub mod embedding;
+pub mod general;
+pub mod shex0;
+pub mod unfold;
+
+/// The answer of a containment check `L(H) ⊆ L(K)`.
+#[derive(Debug, Clone)]
+pub enum Containment {
+    /// Containment holds.
+    Contained,
+    /// Containment does not hold; the graph is a certified counter-example
+    /// (it satisfies `H` and violates `K`).
+    NotContained(Graph),
+    /// The procedure's budget was exhausted before reaching a sound answer.
+    Unknown,
+}
+
+impl Containment {
+    /// Whether the answer is `Contained`.
+    pub fn is_contained(&self) -> bool {
+        matches!(self, Containment::Contained)
+    }
+
+    /// Whether the answer is `NotContained`.
+    pub fn is_not_contained(&self) -> bool {
+        matches!(self, Containment::NotContained(_))
+    }
+
+    /// The counter-example, if the answer is `NotContained`.
+    pub fn counter_example(&self) -> Option<&Graph> {
+        match self {
+            Containment::NotContained(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Containment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Containment::Contained => write!(f, "contained"),
+            Containment::NotContained(g) => {
+                write!(f, "not contained (counter-example with {} nodes)", g.node_count())
+            }
+            Containment::Unknown => write!(f, "unknown (budget exhausted)"),
+        }
+    }
+}

@@ -1,0 +1,562 @@
+//! Systematic and randomized unfolding of schemas into member graphs.
+//!
+//! The counter-example searches of [`crate::shex0`] and [`crate::general`]
+//! need candidate graphs drawn from `L(H)`. An *unfolding* instantiates a type
+//! as a tree: a bag of outgoing edges accepted by the type definition, with a
+//! recursively unfolded subtree per edge. Repetition under unbounded intervals
+//! is sampled with small counts (`*` as 0, 1 or 2; `+` as 1 or 2), which is
+//! exactly the granularity the containment arguments of the paper rely on
+//! (distinguishing 0, 1, and "more than one").
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use shapex_graph::Graph;
+use shapex_rbe::{Bag, Interval, Rbe};
+use shapex_shex::typing::validates;
+use shapex_shex::{Atom, Schema, TypeId};
+
+/// Budget knobs for unfolding-based searches.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Maximum depth of enumerated unfoldings.
+    pub max_depth: usize,
+    /// Maximum number of candidate bags kept per expression node.
+    pub max_bags: usize,
+    /// Maximum number of trees kept per `(type, depth)` pair.
+    pub max_trees: usize,
+    /// Maximum number of nodes in a single candidate graph.
+    pub max_graph_nodes: usize,
+    /// Maximum number of candidate graphs examined in total.
+    pub max_candidates: usize,
+    /// Number of additional randomized unfoldings to try.
+    pub random_samples: usize,
+    /// Seed for the randomized phase (deterministic by default).
+    pub seed: u64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            max_depth: 4,
+            max_bags: 24,
+            max_trees: 48,
+            max_graph_nodes: 600,
+            max_candidates: 4_000,
+            random_samples: 400,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl SearchOptions {
+    /// A smaller budget for quick checks in tests and benchmarks.
+    pub fn quick() -> SearchOptions {
+        SearchOptions {
+            max_depth: 3,
+            max_bags: 12,
+            max_trees: 16,
+            max_graph_nodes: 200,
+            max_candidates: 600,
+            random_samples: 100,
+            ..SearchOptions::default()
+        }
+    }
+}
+
+/// An unfolded instance of a type: a node plus unfolded children.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// The type this node instantiates.
+    pub type_id: TypeId,
+    /// Outgoing edges: predicate label text and the unfolded child.
+    pub children: Vec<(String, Tree)>,
+}
+
+impl Tree {
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|(_, c)| c.size()).sum::<usize>()
+    }
+
+    /// Convert the tree into a simple graph rooted at a node of this type.
+    pub fn to_graph(&self, schema: &Schema) -> Graph {
+        let mut graph = Graph::new();
+        let mut counter = 0usize;
+        self.add_to(&mut graph, schema, &mut counter);
+        graph
+    }
+
+    fn add_to(
+        &self,
+        graph: &mut Graph,
+        schema: &Schema,
+        counter: &mut usize,
+    ) -> shapex_graph::NodeId {
+        let id = graph.add_named_node(format!(
+            "{}_{}",
+            schema.type_name(self.type_id),
+            *counter
+        ));
+        *counter += 1;
+        for (label, child) in &self.children {
+            let child_id = child.add_to(graph, schema, counter);
+            graph.add_edge(id, label.as_str(), child_id);
+        }
+        id
+    }
+}
+
+/// Enumerate up to `options.max_bags` bags accepted by the expression, using
+/// small repetition counts for unbounded intervals.
+pub fn candidate_bags(expr: &Rbe<Atom>, options: &SearchOptions) -> Vec<Bag<Atom>> {
+    let mut out = enumerate_bags(expr, options.max_bags);
+    out.truncate(options.max_bags);
+    out
+}
+
+fn enumerate_bags(expr: &Rbe<Atom>, limit: usize) -> Vec<Bag<Atom>> {
+    match expr {
+        Rbe::Epsilon => vec![Bag::new()],
+        Rbe::Symbol(atom) => vec![Bag::from_symbols([atom.clone()])],
+        Rbe::Disj(parts) => {
+            let mut out: Vec<Bag<Atom>> = Vec::new();
+            for p in parts {
+                for bag in enumerate_bags(p, limit) {
+                    if !out.contains(&bag) {
+                        out.push(bag);
+                    }
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+            out
+        }
+        Rbe::Concat(parts) => {
+            let mut out: Vec<Bag<Atom>> = vec![Bag::new()];
+            for p in parts {
+                let options = enumerate_bags(p, limit);
+                let mut next = Vec::new();
+                for prefix in &out {
+                    for bag in &options {
+                        next.push(prefix.union(bag));
+                        if next.len() >= limit {
+                            break;
+                        }
+                    }
+                    if next.len() >= limit {
+                        break;
+                    }
+                }
+                out = next;
+            }
+            out
+        }
+        Rbe::Repeat(inner, interval) => {
+            let counts = repetition_counts(*interval);
+            let inner_bags = enumerate_bags(inner, limit);
+            let mut out: Vec<Bag<Atom>> = Vec::new();
+            for n in counts {
+                // n-fold unions of inner bags (diagonal + a few mixes).
+                let mut partial: Vec<Bag<Atom>> = vec![Bag::new()];
+                for _ in 0..n {
+                    let mut next = Vec::new();
+                    for prefix in &partial {
+                        for bag in &inner_bags {
+                            next.push(prefix.union(bag));
+                            if next.len() >= limit {
+                                break;
+                            }
+                        }
+                        if next.len() >= limit {
+                            break;
+                        }
+                    }
+                    partial = next;
+                }
+                for bag in partial {
+                    if !out.contains(&bag) {
+                        out.push(bag);
+                    }
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Exhaustively enumerate the language of a shape expression as a set of
+/// bags, or `None` when the language has more than `limit` bags or is
+/// infinite (some repetition interval is unbounded or very wide).
+///
+/// Unlike [`candidate_bags`], which samples, a `Some` answer here is a
+/// complete listing of `L(expr)`; the sufficient containment check of
+/// `crate::general` relies on that completeness.
+pub fn all_bags(expr: &Rbe<Atom>, limit: usize) -> Option<Vec<Bag<Atom>>> {
+    match expr {
+        Rbe::Epsilon => Some(vec![Bag::new()]),
+        Rbe::Symbol(atom) => Some(vec![Bag::from_symbols([atom.clone()])]),
+        Rbe::Disj(parts) => {
+            let mut out: Vec<Bag<Atom>> = Vec::new();
+            for p in parts {
+                for bag in all_bags(p, limit)? {
+                    if !out.contains(&bag) {
+                        out.push(bag);
+                    }
+                    if out.len() > limit {
+                        return None;
+                    }
+                }
+            }
+            Some(out)
+        }
+        Rbe::Concat(parts) => {
+            let mut out: Vec<Bag<Atom>> = vec![Bag::new()];
+            for p in parts {
+                let choices = all_bags(p, limit)?;
+                let mut next = Vec::new();
+                for prefix in &out {
+                    for bag in &choices {
+                        let combined = prefix.union(bag);
+                        if !next.contains(&combined) {
+                            next.push(combined);
+                        }
+                        if next.len() > limit {
+                            return None;
+                        }
+                    }
+                }
+                out = next;
+            }
+            Some(out)
+        }
+        Rbe::Repeat(inner, interval) => {
+            let hi = interval.hi()?;
+            let lo = interval.lo();
+            if hi - lo > 8 || hi > 16 {
+                return None;
+            }
+            let inner_bags = all_bags(inner, limit)?;
+            let mut out: Vec<Bag<Atom>> = Vec::new();
+            for n in lo..=hi {
+                let mut partial: Vec<Bag<Atom>> = vec![Bag::new()];
+                for _ in 0..n {
+                    let mut next = Vec::new();
+                    for prefix in &partial {
+                        for bag in &inner_bags {
+                            let combined = prefix.union(bag);
+                            if !next.contains(&combined) {
+                                next.push(combined);
+                            }
+                            if next.len() > limit {
+                                return None;
+                            }
+                        }
+                    }
+                    partial = next;
+                }
+                for bag in partial {
+                    if !out.contains(&bag) {
+                        out.push(bag);
+                    }
+                    if out.len() > limit {
+                        return None;
+                    }
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// The repetition counts explored under an interval: enough to distinguish
+/// "absent", "exactly one" and "more than one".
+fn repetition_counts(interval: Interval) -> Vec<u64> {
+    let lo = interval.lo();
+    match interval.hi() {
+        None => {
+            if lo == 0 {
+                vec![0, 1, 2]
+            } else {
+                vec![lo, lo + 1]
+            }
+        }
+        Some(hi) => {
+            let mut counts = vec![lo];
+            if hi > lo {
+                counts.push(lo + 1);
+            }
+            if hi > lo + 1 && hi <= lo + 4 {
+                counts.push(hi);
+            }
+            counts
+        }
+    }
+}
+
+/// Enumerate unfoldings of `root` up to the configured depth. Only trees whose
+/// leaves are "closed" (every type at the frontier admits the empty bag) are
+/// produced, so every returned tree's graph belongs to `L(schema)`.
+pub fn enumerate_members(schema: &Schema, root: TypeId, options: &SearchOptions) -> Vec<Graph> {
+    let mut graphs = Vec::new();
+    let trees = enumerate_trees(schema, root, options.max_depth, options);
+    for tree in trees {
+        if tree.size() > options.max_graph_nodes {
+            continue;
+        }
+        let graph = tree.to_graph(schema);
+        if validates(&graph, schema) {
+            graphs.push(graph);
+        }
+        if graphs.len() >= options.max_candidates {
+            break;
+        }
+    }
+    graphs
+}
+
+fn enumerate_trees(
+    schema: &Schema,
+    t: TypeId,
+    depth: usize,
+    options: &SearchOptions,
+) -> Vec<Tree> {
+    let def = schema.def(t);
+    let mut out = Vec::new();
+    for bag in candidate_bags(def, options) {
+        if depth == 0 && !bag.is_empty() {
+            continue;
+        }
+        // For every atom occurrence, enumerate child trees; combine by taking
+        // the cartesian product capped at max_trees.
+        let mut combos: Vec<Vec<(String, Tree)>> = vec![Vec::new()];
+        let mut dead = false;
+        for (atom, count) in bag.iter() {
+            let child_trees = enumerate_trees(schema, atom.target, depth.saturating_sub(1), options);
+            if child_trees.is_empty() {
+                dead = true;
+                break;
+            }
+            for _ in 0..count {
+                let mut next = Vec::new();
+                for prefix in &combos {
+                    for child in child_trees.iter().take(4) {
+                        let mut extended = prefix.clone();
+                        extended.push((atom.label.to_string(), child.clone()));
+                        next.push(extended);
+                        if next.len() >= options.max_trees {
+                            break;
+                        }
+                    }
+                    if next.len() >= options.max_trees {
+                        break;
+                    }
+                }
+                combos = next;
+            }
+        }
+        if dead {
+            continue;
+        }
+        for children in combos {
+            out.push(Tree { type_id: t, children });
+            if out.len() >= options.max_trees {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Draw a random unfolding of `root` (depth- and size-bounded); returns `None`
+/// when the sampler runs into the node budget before closing all mandatory
+/// edges.
+pub fn sample_member(
+    schema: &Schema,
+    root: TypeId,
+    rng: &mut StdRng,
+    options: &SearchOptions,
+) -> Option<Graph> {
+    let tree = sample_tree(schema, root, options.max_depth + 2, rng, options, &mut 0)?;
+    let graph = tree.to_graph(schema);
+    if graph.node_count() <= options.max_graph_nodes && validates(&graph, schema) {
+        Some(graph)
+    } else {
+        None
+    }
+}
+
+fn sample_tree(
+    schema: &Schema,
+    t: TypeId,
+    depth: usize,
+    rng: &mut StdRng,
+    options: &SearchOptions,
+    nodes: &mut usize,
+) -> Option<Tree> {
+    *nodes += 1;
+    if *nodes > options.max_graph_nodes {
+        return None;
+    }
+    let bags = candidate_bags(schema.def(t), options);
+    if bags.is_empty() {
+        return None;
+    }
+    // At shallow remaining depth, prefer small bags to terminate.
+    let bag = if depth == 0 {
+        bags.iter().min_by_key(|b| b.total())?.clone()
+    } else {
+        bags[rng.gen_range(0..bags.len())].clone()
+    };
+    let mut children = Vec::new();
+    for (atom, count) in bag.iter() {
+        for _ in 0..count {
+            let child = sample_tree(
+                schema,
+                atom.target,
+                depth.saturating_sub(1),
+                rng,
+                options,
+                nodes,
+            )?;
+            children.push((atom.label.to_string(), child));
+        }
+    }
+    Some(Tree { type_id: t, children })
+}
+
+/// Search for a counter-example to `L(h) ⊆ L(k)`: a graph that validates
+/// against `h` but not against `k`. Systematic unfoldings are tried first,
+/// then randomized ones. Any returned graph is certified by re-validation.
+pub fn search_counter_example(
+    h: &Schema,
+    k: &Schema,
+    options: &SearchOptions,
+) -> Option<Graph> {
+    let mut examined = 0usize;
+    // Systematic phase.
+    for root in h.types() {
+        for depth in 1..=options.max_depth {
+            let scoped = SearchOptions { max_depth: depth, ..options.clone() };
+            for graph in enumerate_members(h, root, &scoped) {
+                examined += 1;
+                if examined > options.max_candidates {
+                    break;
+                }
+                if !validates(&graph, k) {
+                    return Some(graph);
+                }
+            }
+        }
+    }
+    // Randomized phase.
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let roots: Vec<TypeId> = h.types().collect();
+    if roots.is_empty() {
+        return None;
+    }
+    for _ in 0..options.random_samples {
+        let root = roots[rng.gen_range(0..roots.len())];
+        if let Some(graph) = sample_member(h, root, &mut rng, options) {
+            if !validates(&graph, k) {
+                return Some(graph);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapex_shex::parse_schema;
+
+    #[test]
+    fn candidate_bags_cover_interval_choices() {
+        let schema = parse_schema("T -> a::L?, b::L*, c::L\nL -> EMPTY\n").unwrap();
+        let t = schema.find_type("T").unwrap();
+        let bags = candidate_bags(schema.def(t), &SearchOptions::default());
+        // a ∈ {0,1}, b ∈ {0,1,2}, c = 1 — up to 6 combinations (capped).
+        assert!(bags.len() >= 4);
+        let l = schema.find_type("L").unwrap();
+        let a = Atom::new("a", l);
+        let b = Atom::new("b", l);
+        let c = Atom::new("c", l);
+        assert!(bags.iter().all(|bag| bag.count(&c) == 1));
+        assert!(bags.iter().any(|bag| bag.count(&a) == 0));
+        assert!(bags.iter().any(|bag| bag.count(&a) == 1));
+        assert!(bags.iter().any(|bag| bag.count(&b) == 2));
+    }
+
+    #[test]
+    fn candidate_bags_handle_disjunction() {
+        let schema = parse_schema("T -> p::L | q::L\nL -> EMPTY\n").unwrap();
+        let t = schema.find_type("T").unwrap();
+        let bags = candidate_bags(schema.def(t), &SearchOptions::default());
+        assert_eq!(bags.len(), 2);
+        assert!(bags.iter().all(|b| b.total() == 1));
+    }
+
+    #[test]
+    fn enumerated_members_validate() {
+        let schema = parse_schema(
+            "Root -> children::Item*\nItem -> tag::Leaf?\nLeaf -> EMPTY\n",
+        )
+        .unwrap();
+        let root = schema.find_type("Root").unwrap();
+        let graphs = enumerate_members(&schema, root, &SearchOptions::quick());
+        assert!(!graphs.is_empty());
+        for g in &graphs {
+            assert!(validates(g, &schema));
+        }
+        // Both the with-tag and without-tag items appear somewhere.
+        assert!(graphs.iter().any(|g| g.edge_count() >= 2));
+        assert!(graphs.iter().any(|g| g.node_count() == 1), "the empty Root");
+    }
+
+    #[test]
+    fn mandatory_cycles_cannot_be_unfolded() {
+        // T requires a p-edge to another T: no finite tree can close it.
+        let schema = parse_schema("T -> p::T\n").unwrap();
+        let t = schema.find_type("T").unwrap();
+        let graphs = enumerate_members(&schema, t, &SearchOptions::quick());
+        assert!(graphs.is_empty());
+    }
+
+    #[test]
+    fn sampling_produces_valid_members() {
+        let schema = parse_schema(
+            "Bug  -> descr::Literal, reportedBy::User, related::Bug*\n\
+             User -> name::Literal, email::Literal?\n\
+             Literal -> EMPTY\n",
+        )
+        .unwrap();
+        let bug = schema.find_type("Bug").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut produced = 0;
+        for _ in 0..20 {
+            if let Some(g) = sample_member(&schema, bug, &mut rng, &SearchOptions::quick()) {
+                assert!(validates(&g, &schema));
+                produced += 1;
+            }
+        }
+        assert!(produced > 0, "sampler should succeed at least once");
+    }
+
+    #[test]
+    fn search_finds_counter_example_for_obvious_non_containment() {
+        // h allows an optional q-edge that k forbids: a node carrying both p
+        // and q validates h only.
+        let h = parse_schema("A -> p::L, q::L?\nL -> EMPTY\n").unwrap();
+        let k = parse_schema("A -> p::L\nL -> EMPTY\n").unwrap();
+        let witness = search_counter_example(&h, &k, &SearchOptions::quick()).unwrap();
+        assert!(validates(&witness, &h));
+        assert!(!validates(&witness, &k));
+        // The converse containment holds, so no counter-example is found.
+        assert!(search_counter_example(&k, &h, &SearchOptions::quick()).is_none());
+    }
+}

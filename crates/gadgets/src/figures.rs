@@ -1,0 +1,127 @@
+//! The worked examples of the paper as ready-made schemas and graphs.
+
+use shapex_graph::{parse_graph, Graph};
+use shapex_shex::{parse_schema, Schema};
+
+/// The bug-tracker schema of Figure 1.
+pub fn bug_tracker_schema() -> Schema {
+    parse_schema(
+        "Bug  -> descr::Literal, reportedBy::User, reproducedBy::Employee?, related::Bug*\n\
+         User -> name::Literal, email::Literal?\n\
+         Employee -> name::Literal, email::Literal\n",
+    )
+    .expect("the Figure 1 schema parses")
+}
+
+/// The refactored schema from the introduction: `User` split into `User1`
+/// (without email) and `User2` (with email), `Bug` split accordingly. The
+/// language is the same as [`bug_tracker_schema`] but the schema is no longer
+/// deterministic.
+pub fn bug_tracker_split_schema() -> Schema {
+    parse_schema(
+        "Bug1 -> descr::Literal, reportedBy::User1, reproducedBy::Employee?, related::Bug1*, related::Bug2*\n\
+         Bug2 -> descr::Literal, reportedBy::User2, reproducedBy::Employee?, related::Bug1*, related::Bug2*\n\
+         User1 -> name::Literal\n\
+         User2 -> name::Literal, email::Literal\n\
+         Employee -> name::Literal, email::Literal\n",
+    )
+    .expect("the split schema parses")
+}
+
+/// The bug-report RDF graph of Figure 1 (literal values modelled as leaf
+/// nodes).
+pub fn bug_tracker_graph() -> Graph {
+    parse_graph(
+        "bug1 -descr-> lit_boom\n\
+         bug1 -reportedBy-> user1\n\
+         bug1 -related-> bug2\n\
+         bug2 -descr-> lit_kaboom\n\
+         bug2 -reportedBy-> user2\n\
+         bug2 -reproducedBy-> emp1\n\
+         bug2 -related-> bug1\n\
+         bug2 -related-> bug3\n\
+         bug3 -descr-> lit_kabang\n\
+         bug3 -reportedBy-> user2\n\
+         bug3 -related-> bug4\n\
+         bug4 -descr-> lit_bang\n\
+         bug4 -reportedBy-> user1\n\
+         user1 -name-> lit_john\n\
+         user2 -name-> lit_mary\n\
+         user2 -email-> lit_mh\n\
+         emp1 -name-> lit_steve\n\
+         emp1 -email-> lit_stv\n",
+    )
+    .expect("the Figure 1 graph parses")
+}
+
+/// The schema `S₀` of Figure 2.
+pub fn s0_schema() -> Schema {
+    parse_schema("t0 -> a::t1\nt1 -> b::t2, c::t3\nt2 -> b::t2?, c::t3\nt3 -> EMPTY\n")
+        .expect("the Figure 2 schema parses")
+}
+
+/// The simple graph `G₀` of Figure 2 (the `b`-edge loops on `n1`).
+pub fn g0_graph() -> Graph {
+    parse_graph("n0 -a-> n1\nn1 -b-> n1\nn1 -c-> n2\n").expect("the Figure 2 graph parses")
+}
+
+/// The shape graph `H₀` of Figure 3 (the shape graph of [`s0_schema`]).
+pub fn h0_shape_graph() -> Graph {
+    s0_schema().to_shape_graph().expect("S0 is RBE0")
+}
+
+/// Figure 4, left: the shape graph `G` with `a*` and `b*` edges.
+pub fn fig4_g_schema() -> Schema {
+    parse_schema("G -> a::Leaf*, b::Leaf*\nLeaf -> EMPTY\n").expect("Figure 4 G parses")
+}
+
+/// Figure 4, right: the shape graph `H` that enumerates `b*` as
+/// "no b | one b | one b and more", so that `L(G) = L(H)` but `G ⋠ H`.
+pub fn fig4_h_schema() -> Schema {
+    parse_schema(
+        "H0 -> a::Leaf*\n\
+         H1 -> a::Leaf*, b::Leaf\n\
+         H2 -> a::Leaf*, b::Leaf, b::Leaf*\n\
+         Leaf -> EMPTY\n",
+    )
+    .expect("Figure 4 H parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapex_core::embedding::embeds;
+    use shapex_shex::typing::validates;
+    use shapex_shex::SchemaClass;
+
+    #[test]
+    fn figure_1_instance_validates_against_both_schemas() {
+        let graph = bug_tracker_graph();
+        assert_eq!(graph.node_count(), 16);
+        assert!(validates(&graph, &bug_tracker_schema()));
+        assert!(validates(&graph, &bug_tracker_split_schema()));
+    }
+
+    #[test]
+    fn figure_1_schema_classes() {
+        assert_eq!(bug_tracker_schema().classify(), SchemaClass::DetShEx0Minus);
+        assert_eq!(bug_tracker_split_schema().classify(), SchemaClass::ShEx0);
+    }
+
+    #[test]
+    fn figure_2_and_3_artifacts() {
+        let g0 = g0_graph();
+        let h0 = h0_shape_graph();
+        assert!(validates(&g0, &s0_schema()));
+        assert!(embeds(&g0, &h0).is_some(), "Figure 3's embedding");
+        assert_eq!(h0.node_count(), 4);
+    }
+
+    #[test]
+    fn figure_4_embedding_is_one_directional() {
+        let g = fig4_g_schema().to_shape_graph().unwrap();
+        let h = fig4_h_schema().to_shape_graph().unwrap();
+        assert!(embeds(&h, &g).is_some());
+        assert!(embeds(&g, &h).is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! Random workload generators: formulas, schemas, and contained schema pairs.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use shapex_rbe::{Interval, Rbe};
+use shapex_shex::{Atom, Schema, TypeId};
+
+use crate::reductions::{CnfFormula, DnfFormula};
+
+/// A random CNF formula with the given number of variables and clauses, each
+/// clause drawing `width` distinct literals uniformly.
+pub fn random_cnf(rng: &mut StdRng, num_vars: usize, num_clauses: usize, width: usize) -> CnfFormula {
+    let mut clauses = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let mut clause = Vec::with_capacity(width);
+        let mut vars: Vec<usize> = (1..=num_vars).collect();
+        vars.shuffle(rng);
+        for &v in vars.iter().take(width.min(num_vars)) {
+            let sign = if rng.gen_bool(0.5) { 1 } else { -1 };
+            clause.push(sign * v as i32);
+        }
+        clauses.push(clause);
+    }
+    CnfFormula { num_vars, clauses }
+}
+
+/// A random DNF formula with the given number of variables and terms.
+pub fn random_dnf(rng: &mut StdRng, num_vars: usize, num_terms: usize, width: usize) -> DnfFormula {
+    let cnf = random_cnf(rng, num_vars, num_terms, width);
+    DnfFormula { num_vars, terms: cnf.clauses }
+}
+
+/// Parameters for random schema generation.
+#[derive(Debug, Clone)]
+pub struct SchemaGen {
+    /// Number of types.
+    pub types: usize,
+    /// Number of distinct predicate labels.
+    pub labels: usize,
+    /// Maximum number of atoms per type definition.
+    pub max_atoms: usize,
+}
+
+impl Default for SchemaGen {
+    fn default() -> Self {
+        SchemaGen { types: 6, labels: 4, max_atoms: 3 }
+    }
+}
+
+impl SchemaGen {
+    /// Generator for `types` types over `labels` labels.
+    pub fn new(types: usize, labels: usize) -> SchemaGen {
+        SchemaGen { types, labels, ..SchemaGen::default() }
+    }
+
+    /// A random `ShEx₀` schema: every definition is an RBE₀ over basic
+    /// intervals. When `deterministic` is set, each label appears at most once
+    /// per definition (yielding `DetShEx₀`).
+    pub fn shex0<R: Rng>(&self, rng: &mut R, deterministic: bool) -> Schema {
+        let mut schema = Schema::new();
+        let types: Vec<TypeId> = (0..self.types).map(|i| schema.add_type(format!("T{i}"))).collect();
+        for &t in &types {
+            let n_atoms = rng.gen_range(0..=self.max_atoms);
+            let mut used = std::collections::BTreeSet::new();
+            let mut parts = Vec::new();
+            for _ in 0..n_atoms {
+                let label = format!("p{}", rng.gen_range(0..self.labels));
+                if deterministic && !used.insert(label.clone()) {
+                    continue;
+                }
+                let target = types[rng.gen_range(0..types.len())];
+                let interval = match rng.gen_range(0..4) {
+                    0 => Interval::ONE,
+                    1 => Interval::OPT,
+                    2 => Interval::PLUS,
+                    _ => Interval::STAR,
+                };
+                let atom = Rbe::symbol(Atom::new(label.as_str(), target));
+                parts.push(if interval == Interval::ONE {
+                    atom
+                } else {
+                    Rbe::repeat(atom, interval)
+                });
+            }
+            schema.define(t, Rbe::concat(parts));
+        }
+        schema
+    }
+
+    /// A random `DetShEx₀⁻` schema: deterministic, no `+`, and `?` only on
+    /// types that are referenced through `*`-closed references. The
+    /// construction enforces this by only using `?` on atoms whose *source*
+    /// type is itself referenced exclusively through `*` edges from the
+    /// designated root type.
+    pub fn det_shex0_minus<R: Rng>(&self, rng: &mut R) -> Schema {
+        let mut schema = Schema::new();
+        let types: Vec<TypeId> = (0..self.types).map(|i| schema.add_type(format!("T{i}"))).collect();
+        // T0 is the root: it references every other type through `*` edges,
+        // making every reference from non-root types *-closed.
+        let root_atoms: Vec<Rbe<Atom>> = types
+            .iter()
+            .skip(1)
+            .enumerate()
+            .map(|(i, &t)| Rbe::repeat(Rbe::symbol(Atom::new(format!("r{i}").as_str(), t)), Interval::STAR))
+            .collect();
+        schema.define(types[0], Rbe::concat(root_atoms));
+        for (ti, &t) in types.iter().enumerate().skip(1) {
+            let n_atoms = rng.gen_range(0..=self.max_atoms);
+            let mut used = std::collections::BTreeSet::new();
+            let mut parts = Vec::new();
+            for _ in 0..n_atoms {
+                let label = format!("p{}", rng.gen_range(0..self.labels));
+                if !used.insert(label.clone()) {
+                    continue;
+                }
+                // Point only "forward" (to strictly later types) to keep the
+                // mandatory part acyclic, so the language is non-trivial.
+                if ti + 1 >= types.len() {
+                    break;
+                }
+                let target = types[rng.gen_range(ti + 1..types.len())];
+                let interval = match rng.gen_range(0..3) {
+                    0 => Interval::ONE,
+                    1 => Interval::OPT,
+                    _ => Interval::STAR,
+                };
+                let atom = Rbe::symbol(Atom::new(label.as_str(), target));
+                parts.push(if interval == Interval::ONE {
+                    atom
+                } else {
+                    Rbe::repeat(atom, interval)
+                });
+            }
+            schema.define(t, Rbe::concat(parts));
+        }
+        schema
+    }
+}
+
+/// Produce a schema `H` with `L(H) ⊆ L(K)` by construction: each definition of
+/// `K` is *restricted* (some `*` intervals become `?` or `1`-with-drop, some
+/// `?` atoms are dropped), so the shape graph of `H` embeds in that of `K`.
+pub fn restrict_schema<R: Rng>(rng: &mut R, k: &Schema) -> Schema {
+    let mut h = Schema::new();
+    for t in k.types() {
+        h.add_type(k.type_name(t).to_owned());
+    }
+    for t in k.types() {
+        let def = k.def(t);
+        let restricted = restrict_expr(rng, def);
+        let ht = h.find_type(k.type_name(t)).expect("added above");
+        h.define(ht, restricted);
+    }
+    h
+}
+
+fn restrict_expr<R: Rng>(rng: &mut R, expr: &Rbe<Atom>) -> Rbe<Atom> {
+    match expr {
+        Rbe::Epsilon => Rbe::Epsilon,
+        Rbe::Symbol(a) => Rbe::Symbol(a.clone()),
+        Rbe::Disj(parts) => {
+            // Keep a single disjunct: a sub-language.
+            let pick = rng.gen_range(0..parts.len());
+            restrict_expr(rng, &parts[pick])
+        }
+        Rbe::Concat(parts) => {
+            Rbe::concat(parts.iter().map(|p| restrict_expr(rng, p)).collect())
+        }
+        Rbe::Repeat(inner, interval) => {
+            let restricted = restrict_expr(rng, inner);
+            let narrowed = match interval.basic() {
+                Some(shapex_rbe::interval::Basic::Star) => match rng.gen_range(0..3) {
+                    0 => Interval::STAR,
+                    1 => Interval::OPT,
+                    _ => Interval::exactly(0),
+                },
+                Some(shapex_rbe::interval::Basic::Plus) => {
+                    if rng.gen_bool(0.5) {
+                        Interval::PLUS
+                    } else {
+                        Interval::ONE
+                    }
+                }
+                Some(shapex_rbe::interval::Basic::Opt) => {
+                    if rng.gen_bool(0.5) {
+                        Interval::OPT
+                    } else {
+                        Interval::exactly(0)
+                    }
+                }
+                _ => *interval,
+            };
+            if narrowed == Interval::exactly(0) {
+                Rbe::Epsilon
+            } else {
+                Rbe::repeat(restricted, narrowed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapex_core::embedding::embeds;
+    use shapex_core::shex0::{shex0_containment, Shex0Options};
+    use shapex_shex::SchemaClass;
+
+    #[test]
+    fn random_formulas_have_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cnf = random_cnf(&mut rng, 5, 8, 3);
+        assert_eq!(cnf.clauses.len(), 8);
+        assert!(cnf.clauses.iter().all(|c| c.len() == 3));
+        assert!(cnf
+            .clauses
+            .iter()
+            .flatten()
+            .all(|l| l.unsigned_abs() as usize <= 5 && *l != 0));
+        let dnf = random_dnf(&mut rng, 4, 3, 2);
+        assert_eq!(dnf.terms.len(), 3);
+    }
+
+    #[test]
+    fn random_det_minus_schemas_are_in_the_class() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for seed in 0..10 {
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let schema = SchemaGen::new(5, 3).det_shex0_minus(&mut rng2);
+            assert_eq!(
+                schema.classify(),
+                SchemaClass::DetShEx0Minus,
+                "violations: {:?}",
+                schema.det_shex0_minus_violations()
+            );
+            let _ = &mut rng;
+        }
+    }
+
+    #[test]
+    fn random_shex0_schemas_are_rbe0() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let schema = SchemaGen::new(6, 4).shex0(&mut rng, false);
+        assert!(schema.is_rbe0());
+        let det = SchemaGen::new(6, 4).shex0(&mut rng, true);
+        assert!(det.is_deterministic());
+    }
+
+    #[test]
+    fn restricted_schemas_embed_in_the_original() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for seed in 0..10u64 {
+            let mut rng2 = StdRng::seed_from_u64(seed);
+            let k = SchemaGen::new(5, 3).shex0(&mut rng2, true);
+            let h = restrict_schema(&mut rng, &k);
+            let hg = h.to_shape_graph().unwrap();
+            let kg = k.to_shape_graph().unwrap();
+            assert!(
+                embeds(&hg, &kg).is_some(),
+                "restriction must embed (seed {seed})\nH:\n{h}\nK:\n{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_det_minus_pairs_are_contained() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let k = SchemaGen::new(5, 3).det_shex0_minus(&mut rng);
+        let h = restrict_schema(&mut rng, &k);
+        // The pair is contained; shex0_containment must agree via embedding.
+        assert!(shex0_containment(&h, &k, &Shex0Options::quick()).is_contained());
+    }
+}

@@ -1,0 +1,720 @@
+//! The lower-bound reductions of the paper, packaged as workload generators.
+//!
+//! * [`sat_embedding_gadget`] — Theorem 3.5: a CNF formula `ϕ` becomes a pair
+//!   of graphs with arbitrary intervals such that `H ≼ K` iff `ϕ` is
+//!   satisfiable (NP-hardness of embedding with arbitrary intervals).
+//! * [`dnf_tautology_gadget`] — Theorem 4.5 / Figure 6: a DNF formula `ϕ`
+//!   becomes a pair of deterministic `DetShEx₀` schemas such that
+//!   `L(H) ⊆ L(K)` iff `ϕ` is a tautology (coNP-hardness of containment for
+//!   `DetShEx₀`).
+//! * [`exponential_family`] — Lemma 5.1: a family of `ShEx₀` schema pairs
+//!   `(H_n, K_n)` with `H_n ⊄ K_n` whose smallest counter-example is a full
+//!   binary tree of depth `n` with all leaves labelled by distinct subsets of
+//!   `{a₁, …, a_n}` — exponentially large in `n`.
+
+use std::fmt;
+
+use shapex_graph::Graph;
+use shapex_rbe::{Interval, Rbe};
+use shapex_shex::{Atom, Schema};
+
+// ---------------------------------------------------------------------------
+// Propositional formulas
+// ---------------------------------------------------------------------------
+
+/// A CNF formula: clauses are disjunctions of literals; literal `+i` is the
+/// variable `xᵢ` (1-based) and `-i` its negation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnfFormula {
+    /// Number of variables (named `x1 … xn`).
+    pub num_vars: usize,
+    /// Clauses as lists of literals.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+/// A DNF formula: terms are conjunctions of literals, encoded like
+/// [`CnfFormula`] literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnfFormula {
+    /// Number of variables (named `x1 … xn`).
+    pub num_vars: usize,
+    /// Terms as lists of literals.
+    pub terms: Vec<Vec<i32>>,
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let clauses: Vec<String> = self
+            .clauses
+            .iter()
+            .map(|c| {
+                let lits: Vec<String> = c.iter().map(|l| literal_name(*l)).collect();
+                format!("({})", lits.join(" ∨ "))
+            })
+            .collect();
+        write!(f, "{}", clauses.join(" ∧ "))
+    }
+}
+
+impl fmt::Display for DnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let terms: Vec<String> = self
+            .terms
+            .iter()
+            .map(|t| {
+                let lits: Vec<String> = t.iter().map(|l| literal_name(*l)).collect();
+                format!("({})", lits.join(" ∧ "))
+            })
+            .collect();
+        write!(f, "{}", terms.join(" ∨ "))
+    }
+}
+
+fn literal_name(l: i32) -> String {
+    if l > 0 {
+        format!("x{l}")
+    } else {
+        format!("¬x{}", -l)
+    }
+}
+
+/// Brute-force satisfiability of a CNF formula (test oracle; exponential).
+pub fn cnf_satisfiable(formula: &CnfFormula) -> bool {
+    assert!(formula.num_vars <= 24, "oracle limited to 24 variables");
+    for assignment in 0u64..(1u64 << formula.num_vars) {
+        if cnf_holds(formula, assignment) {
+            return true;
+        }
+    }
+    formula.clauses.is_empty()
+}
+
+/// Brute-force tautology of a DNF formula (test oracle; exponential).
+pub fn dnf_is_tautology(formula: &DnfFormula) -> bool {
+    assert!(formula.num_vars <= 24, "oracle limited to 24 variables");
+    for assignment in 0u64..(1u64 << formula.num_vars) {
+        let satisfied = formula.terms.iter().any(|term| {
+            term.iter().all(|&lit| literal_true(lit, assignment))
+        });
+        if !satisfied {
+            return false;
+        }
+    }
+    true
+}
+
+fn cnf_holds(formula: &CnfFormula, assignment: u64) -> bool {
+    formula.clauses.iter().all(|clause| {
+        clause.iter().any(|&lit| literal_true(lit, assignment))
+    })
+}
+
+fn literal_true(lit: i32, assignment: u64) -> bool {
+    let var = lit.unsigned_abs() as usize;
+    let value = assignment & (1 << (var - 1)) != 0;
+    if lit > 0 {
+        value
+    } else {
+        !value
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.5: SAT into embedding with arbitrary intervals
+// ---------------------------------------------------------------------------
+
+/// Normalize a CNF formula so that every variable occurs the same number of
+/// times and has at least one positive and one negative occurrence, as
+/// assumed w.l.o.g. by the proof of Theorem 3.5. Tautological clauses
+/// `(x ∨ ¬x)` and duplicated literals (both satisfiability-preserving) are
+/// used as padding.
+pub fn normalize_cnf(formula: &CnfFormula) -> CnfFormula {
+    let mut clauses = formula.clauses.clone();
+    // Ensure both polarities of every variable occur.
+    for v in 1..=formula.num_vars as i32 {
+        let pos = clauses.iter().flatten().any(|&l| l == v);
+        let neg = clauses.iter().flatten().any(|&l| l == -v);
+        if !pos || !neg {
+            clauses.push(vec![v, -v]);
+        }
+    }
+    // Equalize occurrence counts by duplicating literals inside clauses.
+    let count = |clauses: &Vec<Vec<i32>>, v: i32| {
+        clauses
+            .iter()
+            .flatten()
+            .filter(|&&l| l.abs() == v)
+            .count()
+    };
+    let k = (1..=formula.num_vars as i32)
+        .map(|v| count(&clauses, v))
+        .max()
+        .unwrap_or(0);
+    for v in 1..=formula.num_vars as i32 {
+        let mut deficit = k - count(&clauses, v);
+        while deficit > 0 {
+            // Duplicate an existing literal of v in the clause that holds it.
+            let (ci, lit) = clauses
+                .iter()
+                .enumerate()
+                .find_map(|(ci, c)| c.iter().find(|&&l| l.abs() == v).map(|&l| (ci, l)))
+                .expect("both polarities exist after padding");
+            clauses[ci].push(lit);
+            deficit -= 1;
+        }
+    }
+    CnfFormula { num_vars: formula.num_vars, clauses }
+}
+
+/// The Theorem 3.5 gadget: two graphs with arbitrary occurrence intervals
+/// such that the first embeds in the second iff the CNF formula is
+/// satisfiable.
+///
+/// Deviation from the paper: the proof sketch labels the literal nodes with
+/// per-occurrence names `xᵢ,ⱼ`. Following that labelling literally, a node
+/// `xᵢ,ⱼ` whose `j`-th occurrence is negative has no compatible clause node,
+/// which breaks the intended witness. We use per-polarity labels
+/// (`pos_xi` / `neg_xi`) instead, which keeps the forcing argument intact:
+/// the `[k;k]` sink of `Xᵢ` is filled either by the `wᵢ` node alone (variable
+/// true) or by all `k` positive-literal nodes (variable false), and the `+`
+/// edges to clause nodes then require every clause to absorb at least one
+/// literal node consistent with the valuation. The equivalence is checked
+/// against a brute-force SAT oracle in the tests.
+pub fn sat_embedding_gadget(formula: &CnfFormula) -> (Graph, Graph) {
+    let formula = normalize_cnf(formula);
+    let n = formula.num_vars;
+    // Occurrences per variable after normalization (identical for all).
+    let k = formula
+        .clauses
+        .iter()
+        .flatten()
+        .filter(|l| l.abs() == 1)
+        .count() as u64;
+
+    // --- Graph H ---
+    let mut h = Graph::new();
+    let r1 = h.node("r1");
+    let o_h = h.node("o");
+    for i in 1..=n {
+        let w = h.node(&format!("w{i}"));
+        h.add_edge_with(r1, "a", Interval::exactly(k), w);
+        h.add_edge(w, format!("v{i}").as_str(), o_h);
+        for j in 1..=k as usize {
+            let pos = h.node(&format!("pos{i}_{j}"));
+            h.add_edge(r1, "a", pos);
+            h.add_edge(pos, format!("pos_x{i}").as_str(), o_h);
+            let neg = h.node(&format!("neg{i}_{j}"));
+            h.add_edge(r1, "a", neg);
+            h.add_edge(neg, format!("neg_x{i}").as_str(), o_h);
+        }
+    }
+
+    // --- Graph K ---
+    let mut kg = Graph::new();
+    let r2 = kg.node("r2");
+    let o_k = kg.node("o");
+    for i in 1..=n {
+        let xi = kg.node(&format!("X{i}"));
+        kg.add_edge_with(r2, "a", Interval::exactly(k), xi);
+        kg.add_edge_with(xi, format!("v{i}").as_str(), Interval::OPT, o_k);
+        kg.add_edge_with(xi, format!("pos_x{i}").as_str(), Interval::OPT, o_k);
+        let nxi = kg.node(&format!("NX{i}"));
+        kg.add_edge_with(r2, "a", Interval::exactly(k), nxi);
+        kg.add_edge_with(nxi, format!("v{i}").as_str(), Interval::OPT, o_k);
+        kg.add_edge_with(nxi, format!("neg_x{i}").as_str(), Interval::OPT, o_k);
+    }
+    // One node per clause, reached from r2 by a `+` edge; its outgoing edges
+    // are labelled by the polarised literals of the clause.
+    for (ci, clause) in formula.clauses.iter().enumerate() {
+        let p = kg.node(&format!("clause{ci}"));
+        kg.add_edge_with(r2, "a", Interval::PLUS, p);
+        let mut seen = std::collections::BTreeSet::new();
+        for &lit in clause {
+            let var = lit.unsigned_abs() as usize;
+            let label = if lit > 0 {
+                format!("pos_x{var}")
+            } else {
+                format!("neg_x{var}")
+            };
+            if seen.insert(label.clone()) {
+                kg.add_edge_with(p, label.as_str(), Interval::OPT, o_k);
+            }
+        }
+    }
+    (h, kg)
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.5 / Figure 6: DNF tautology into DetShEx0 containment
+// ---------------------------------------------------------------------------
+
+/// The Theorem 4.5 gadget: two deterministic `DetShEx₀` schemas such that
+/// `L(H) ⊆ L(K)` iff the DNF formula is a tautology.
+///
+/// `H` describes valuations: a root with one `xᵢ` edge per variable leading
+/// to a value node that may carry `t` and/or `f` marks. `K` accepts the
+/// degenerate valuations (a value node with no mark or both marks) through
+/// the types `r0ᵢ`/`r2ᵢ`, and the valuations satisfying some term of the
+/// formula through one type per term.
+pub fn dnf_tautology_gadget(formula: &DnfFormula) -> (Schema, Schema) {
+    let n = formula.num_vars;
+
+    // --- Schema H ---
+    let mut h = Schema::new();
+    let r = h.add_type("r");
+    let v = h.add_type("v");
+    let o = h.add_type("o");
+    let mut root_atoms = Vec::new();
+    for i in 1..=n {
+        root_atoms.push((format!("x{i}"), v, Interval::ONE));
+    }
+    define_from_owned(&mut h, r, &root_atoms);
+    h.define_rbe0(v, &[("t", o, Interval::OPT), ("f", o, Interval::OPT)]);
+    h.define(o, Rbe::Epsilon);
+
+    // --- Schema K ---
+    let mut k = Schema::new();
+    let o_k = k.add_type("o");
+    let vany = k.add_type("vany");
+    let v0 = k.add_type("v0");
+    let v2 = k.add_type("v2");
+    let vt = k.add_type("vt");
+    let vf = k.add_type("vf");
+    k.define(o_k, Rbe::Epsilon);
+    k.define_rbe0(vany, &[("t", o_k, Interval::OPT), ("f", o_k, Interval::OPT)]);
+    k.define(v0, Rbe::Epsilon);
+    k.define_rbe0(v2, &[("t", o_k, Interval::ONE), ("f", o_k, Interval::ONE)]);
+    k.define_rbe0(vt, &[("t", o_k, Interval::ONE)]);
+    k.define_rbe0(vf, &[("f", o_k, Interval::ONE)]);
+    // Degenerate roots: position i carries no mark (r0) or both marks (r2).
+    for i in 1..=n {
+        for (suffix, special) in [("0", v0), ("2", v2)] {
+            let t = k.add_type(format!("r{suffix}_{i}"));
+            let atoms: Vec<(String, shapex_shex::TypeId, Interval)> = (1..=n)
+                .map(|j| {
+                    let target = if j == i { special } else { vany };
+                    (format!("x{j}"), target, Interval::ONE)
+                })
+                .collect();
+            define_from_owned(&mut k, t, &atoms);
+        }
+    }
+    // One root type per DNF term.
+    for (ti, term) in formula.terms.iter().enumerate() {
+        let t = k.add_type(format!("rd_{ti}"));
+        let atoms: Vec<(String, shapex_shex::TypeId, Interval)> = (1..=n)
+            .map(|j| {
+                let target = if term.contains(&(j as i32)) {
+                    vt
+                } else if term.contains(&-(j as i32)) {
+                    vf
+                } else {
+                    vany
+                };
+                (format!("x{j}"), target, Interval::ONE)
+            })
+            .collect();
+        define_from_owned(&mut k, t, &atoms);
+    }
+    (h, k)
+}
+
+fn define_from_owned(
+    schema: &mut Schema,
+    t: shapex_shex::TypeId,
+    atoms: &[(String, shapex_shex::TypeId, Interval)],
+) {
+    let expr = Rbe::concat(
+        atoms
+            .iter()
+            .map(|(label, target, interval)| {
+                let atom = Rbe::symbol(Atom::new(label.as_str(), *target));
+                if *interval == Interval::ONE {
+                    atom
+                } else {
+                    Rbe::repeat(atom, *interval)
+                }
+            })
+            .collect(),
+    );
+    schema.define(t, expr);
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 5.1: exponentially large minimal counter-examples
+// ---------------------------------------------------------------------------
+
+/// The Lemma 5.1 family: a pair of `ShEx₀` schemas `(H, K)` with `H ⊄ K`
+/// whose smallest counter-example is a full binary tree of depth `n` with
+/// pairwise distinct leaf labellings. The paper's typo in the `s`-rules
+/// (`R::t⁽ʲ⁾` where children live at level `j+1`) is corrected here.
+pub fn exponential_family(n: usize) -> (Schema, Schema) {
+    assert!(n >= 1, "the family is defined for n >= 1");
+    let h = exponential_h(n);
+    let k = exponential_k(n);
+    (h, k)
+}
+
+fn level_type(schema: &mut Schema, j: usize) -> shapex_shex::TypeId {
+    schema.type_named(&format!("t{j}"))
+}
+
+fn exponential_h(n: usize) -> Schema {
+    let mut h = Schema::new();
+    let to = h.add_type("to");
+    h.define(to, Rbe::Epsilon);
+    for j in (1..=n).rev() {
+        let _ = level_type(&mut h, j);
+    }
+    let leaf = level_type(&mut h, n + 1);
+    // Leaves: every symbol a1..an optional.
+    let leaf_atoms: Vec<(String, shapex_shex::TypeId, Interval)> = (1..=n)
+        .map(|i| (format!("a{i}"), to, Interval::OPT))
+        .collect();
+    define_from_owned(&mut h, leaf, &leaf_atoms);
+    // Internal levels: one L child and one R child of the next level.
+    for j in 1..=n {
+        let t = level_type(&mut h, j);
+        let child = level_type(&mut h, j + 1);
+        define_from_owned(
+            &mut h,
+            t,
+            &[
+                ("L".to_owned(), child, Interval::ONE),
+                ("R".to_owned(), child, Interval::ONE),
+            ],
+        );
+    }
+    h
+}
+
+fn exponential_k(n: usize) -> Schema {
+    let mut k = Schema::new();
+    let to = k.add_type("to");
+    k.define(to, Rbe::Epsilon);
+    // Levels 2..n+1 as in H (the rule for t1 is deliberately missing).
+    let leaf = level_type(&mut k, n + 1);
+    let leaf_atoms: Vec<(String, shapex_shex::TypeId, Interval)> = (1..=n)
+        .map(|i| (format!("a{i}"), to, Interval::OPT))
+        .collect();
+    define_from_owned(&mut k, leaf, &leaf_atoms);
+    for j in 2..=n {
+        let t = level_type(&mut k, j);
+        let child = level_type(&mut k, j + 1);
+        define_from_owned(
+            &mut k,
+            t,
+            &[
+                ("L".to_owned(), child, Interval::ONE),
+                ("R".to_owned(), child, Interval::ONE),
+            ],
+        );
+    }
+
+    // s^(j)_{i,M,d}: level-j nodes whose subtree shows that symbol aᵢ is used
+    // (M = 1) or missing (M = 0); d records which child the evidence is in.
+    // Leaf level first.
+    for i in 1..=n {
+        for m in 0..=1u8 {
+            for d in ["L", "R"] {
+                let t = k.type_named(&format!("s{}_{i}_{m}_{d}", n + 1));
+                let mut atoms: Vec<(String, shapex_shex::TypeId, Interval)> = Vec::new();
+                for sym in 1..=n {
+                    if sym == i {
+                        if m == 1 {
+                            atoms.push((format!("a{sym}"), to, Interval::ONE));
+                        }
+                        // m == 0: the symbol is absent (interval [0;0] = omit).
+                    } else {
+                        atoms.push((format!("a{sym}"), to, Interval::OPT));
+                    }
+                }
+                define_from_owned(&mut k, t, &atoms);
+            }
+        }
+    }
+    // Propagation levels j = i+1 .. n.
+    for i in 1..=n {
+        for j in (i + 1..=n).rev() {
+            for m in 0..=1u8 {
+                let child_l = k.type_named(&format!("s{}_{i}_{m}_L", j + 1));
+                let child_r = k.type_named(&format!("s{}_{i}_{m}_R", j + 1));
+                let t_next = level_type(&mut k, j + 1);
+                let t_l = k.type_named(&format!("s{j}_{i}_{m}_L"));
+                define_from_owned(
+                    &mut k,
+                    t_l,
+                    &[
+                        ("L".to_owned(), child_l, Interval::OPT),
+                        ("L".to_owned(), child_r, Interval::OPT),
+                        ("R".to_owned(), t_next, Interval::ONE),
+                    ],
+                );
+                let t_r = k.type_named(&format!("s{j}_{i}_{m}_R"));
+                define_from_owned(
+                    &mut k,
+                    t_r,
+                    &[
+                        ("L".to_owned(), t_next, Interval::ONE),
+                        ("R".to_owned(), child_l, Interval::OPT),
+                        ("R".to_owned(), child_r, Interval::OPT),
+                    ],
+                );
+            }
+        }
+    }
+    // p^(j)_{i,d}: a node at level j below which the tree is *invalid* — at
+    // level i the left subtree misses aᵢ in some leaf, or the right subtree
+    // uses aᵢ in some leaf.
+    for i in 1..=n {
+        // Level i: the violation is visible directly.
+        let s_l0 = k.type_named(&format!("s{}_{i}_0_L", i + 1));
+        let s_r0 = k.type_named(&format!("s{}_{i}_0_R", i + 1));
+        let s_l1 = k.type_named(&format!("s{}_{i}_1_L", i + 1));
+        let s_r1 = k.type_named(&format!("s{}_{i}_1_R", i + 1));
+        let t_next = level_type(&mut k, i + 1);
+        let p_l = k.type_named(&format!("p{i}_{i}_L"));
+        define_from_owned(
+            &mut k,
+            p_l,
+            &[
+                ("L".to_owned(), s_l0, Interval::OPT),
+                ("L".to_owned(), s_r0, Interval::OPT),
+                ("R".to_owned(), t_next, Interval::ONE),
+            ],
+        );
+        let p_r = k.type_named(&format!("p{i}_{i}_R"));
+        define_from_owned(
+            &mut k,
+            p_r,
+            &[
+                ("L".to_owned(), t_next, Interval::ONE),
+                ("R".to_owned(), s_l1, Interval::OPT),
+                ("R".to_owned(), s_r1, Interval::OPT),
+            ],
+        );
+        // Levels j < i: propagate the violation upward.
+        for j in (1..i).rev() {
+            let child_l = k.type_named(&format!("p{}_{i}_L", j + 1));
+            let child_r = k.type_named(&format!("p{}_{i}_R", j + 1));
+            let t_next = level_type(&mut k, j + 1);
+            let p_l = k.type_named(&format!("p{j}_{i}_L"));
+            define_from_owned(
+                &mut k,
+                p_l,
+                &[
+                    ("L".to_owned(), child_l, Interval::OPT),
+                    ("L".to_owned(), child_r, Interval::OPT),
+                    ("R".to_owned(), t_next, Interval::ONE),
+                ],
+            );
+            let p_r = k.type_named(&format!("p{j}_{i}_R"));
+            define_from_owned(
+                &mut k,
+                p_r,
+                &[
+                    ("L".to_owned(), t_next, Interval::ONE),
+                    ("R".to_owned(), child_l, Interval::OPT),
+                    ("R".to_owned(), child_r, Interval::OPT),
+                ],
+            );
+        }
+    }
+    k
+}
+
+/// The intended minimal counter-example of the Lemma 5.1 family: the full
+/// binary tree of depth `n` whose leaf reached by the branch word
+/// `d₁ … d_n ∈ {L, R}ⁿ` carries exactly the symbols `{aᵢ | dᵢ = L}` — all
+/// leaf labellings are pairwise distinct. Its size is `Θ(2ⁿ·n)`.
+pub fn exponential_family_witness(n: usize) -> Graph {
+    let mut g = Graph::new();
+    let mut counter = 0usize;
+    build_witness(&mut g, n, 1, &mut Vec::new(), &mut counter);
+    g
+}
+
+fn build_witness(
+    g: &mut Graph,
+    n: usize,
+    level: usize,
+    path: &mut Vec<bool>, // true = went Left at that level
+    counter: &mut usize,
+) -> shapex_graph::NodeId {
+    *counter += 1;
+    let node = g.add_named_node(format!("v{}", *counter));
+    if level == n + 1 {
+        for (i, went_left) in path.iter().enumerate() {
+            if *went_left {
+                *counter += 1;
+                let leaf = g.add_named_node(format!("v{}", *counter));
+                g.add_edge(node, format!("a{}", i + 1).as_str(), leaf);
+            }
+        }
+        return node;
+    }
+    path.push(true);
+    let left = build_witness(g, n, level + 1, path, counter);
+    path.pop();
+    path.push(false);
+    let right = build_witness(g, n, level + 1, path, counter);
+    path.pop();
+    g.add_edge(node, "L", left);
+    g.add_edge(node, "R", right);
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapex_core::embedding::embeds;
+    use shapex_shex::typing::validates;
+    use shapex_shex::SchemaClass;
+
+    #[test]
+    fn cnf_oracle_basics() {
+        let sat = CnfFormula { num_vars: 2, clauses: vec![vec![1, 2], vec![-1, 2]] };
+        let unsat = CnfFormula {
+            num_vars: 1,
+            clauses: vec![vec![1], vec![-1]],
+        };
+        assert!(cnf_satisfiable(&sat));
+        assert!(!cnf_satisfiable(&unsat));
+        assert!(sat.to_string().contains("¬x1"));
+    }
+
+    #[test]
+    fn normalization_preserves_satisfiability_and_balances_counts() {
+        let formula = CnfFormula { num_vars: 3, clauses: vec![vec![1, 2, 3], vec![-1, 2]] };
+        let normalized = normalize_cnf(&formula);
+        assert_eq!(cnf_satisfiable(&formula), cnf_satisfiable(&normalized));
+        let count = |v: i32| {
+            normalized
+                .clauses
+                .iter()
+                .flatten()
+                .filter(|&&l| l.abs() == v)
+                .count()
+        };
+        assert_eq!(count(1), count(2));
+        assert_eq!(count(2), count(3));
+        for v in 1..=3 {
+            assert!(normalized.clauses.iter().flatten().any(|&l| l == v));
+            assert!(normalized.clauses.iter().flatten().any(|&l| l == -v));
+        }
+    }
+
+    #[test]
+    fn sat_gadget_agrees_with_the_oracle() {
+        let instances = vec![
+            CnfFormula { num_vars: 2, clauses: vec![vec![1, 2], vec![-1, -2]] },
+            CnfFormula { num_vars: 1, clauses: vec![vec![1], vec![-1]] },
+            CnfFormula { num_vars: 2, clauses: vec![vec![1], vec![-1, 2], vec![-2, 1]] },
+            CnfFormula {
+                num_vars: 3,
+                clauses: vec![vec![1, 2], vec![-1, 3], vec![-2, -3], vec![1, 3]],
+            },
+        ];
+        for formula in instances {
+            let (h, k) = sat_embedding_gadget(&formula);
+            assert_eq!(
+                embeds(&h, &k).is_some(),
+                cnf_satisfiable(&formula),
+                "gadget disagrees with the oracle on {formula}"
+            );
+        }
+    }
+
+    #[test]
+    fn dnf_gadget_schemas_are_deterministic() {
+        let formula = DnfFormula {
+            num_vars: 3,
+            terms: vec![vec![1, -2], vec![2, -3]],
+        };
+        let (h, k) = dnf_tautology_gadget(&formula);
+        assert!(h.is_deterministic());
+        assert!(k.is_deterministic());
+        assert_eq!(h.classify(), SchemaClass::DetShEx0);
+        assert_eq!(k.classify(), SchemaClass::DetShEx0);
+    }
+
+    #[test]
+    fn dnf_gadget_counter_example_iff_not_tautology() {
+        // The Figure 6 formula (x1 ∧ ¬x2) ∨ (x2 ∧ ¬x3) is not a tautology:
+        // the all-false valuation falsifies it.
+        let fig6 = DnfFormula { num_vars: 3, terms: vec![vec![1, -2], vec![2, -3]] };
+        assert!(!dnf_is_tautology(&fig6));
+        let (h, k) = dnf_tautology_gadget(&fig6);
+        // Build the falsifying valuation as a graph and check it separates
+        // the schemas.
+        let mut g = Graph::new();
+        let root = g.node("root");
+        for i in 1..=3 {
+            let v = g.node(&format!("val{i}"));
+            g.add_edge(root, format!("x{i}").as_str(), v);
+            let leaf = g.node(&format!("leaf{i}"));
+            // x1 false, x2 true, x3 true falsifies both terms.
+            let mark = if i == 1 { "f" } else { "t" };
+            g.add_edge(v, mark, leaf);
+        }
+        assert!(validates(&g, &h));
+        assert!(!validates(&g, &k));
+
+        // A tautology: x1 ∨ ¬x1.
+        let taut = DnfFormula { num_vars: 1, terms: vec![vec![1], vec![-1]] };
+        assert!(dnf_is_tautology(&taut));
+        let (ht, kt) = dnf_tautology_gadget(&taut);
+        // Every H-valid valuation graph is K-valid; check the two valuations.
+        for mark in ["t", "f"] {
+            let mut g = Graph::new();
+            let root = g.node("root");
+            let v = g.node("val");
+            g.add_edge(root, "x1", v);
+            let leaf = g.node("leaf");
+            g.add_edge(v, mark, leaf);
+            assert!(validates(&g, &ht));
+            assert!(validates(&g, &kt), "tautology gadget must accept {mark}");
+        }
+    }
+
+    #[test]
+    fn exponential_family_witness_separates_the_schemas() {
+        for n in 1..=2 {
+            let (h, k) = exponential_family(n);
+            assert!(h.is_rbe0() && k.is_rbe0());
+            let witness = exponential_family_witness(n);
+            assert!(validates(&witness, &h), "witness ∈ L(H) for n = {n}");
+            assert!(!validates(&witness, &k), "witness ∉ L(K) for n = {n}");
+        }
+    }
+
+    #[test]
+    fn exponential_family_witness_size_doubles() {
+        let s1 = exponential_family_witness(1).node_count();
+        let s2 = exponential_family_witness(2).node_count();
+        let s3 = exponential_family_witness(3).node_count();
+        assert!(s2 > s1 && s3 > s2);
+        // Leaves double with n: 2, 4, 8 internal leaves plus label targets.
+        assert!(s3 - s2 > s2 - s1, "super-linear growth");
+    }
+
+    #[test]
+    fn exponential_family_small_graphs_are_covered_by_k() {
+        // A degenerate "tree" where both children are the same node violates
+        // the all-distinct-leaves requirement, so it satisfies K as well
+        // (it is not a counter-example).
+        let (h, k) = exponential_family(1);
+        let mut g = Graph::new();
+        let root = g.node("root");
+        let child = g.node("child");
+        let leaf = g.node("leaf");
+        g.add_edge(root, "L", child);
+        g.add_edge(root, "R", child);
+        g.add_edge(child, "a1", leaf);
+        assert!(validates(&g, &h));
+        assert!(
+            validates(&g, &k),
+            "a shared-child tree must not be a counter-example"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Random graph generators used by tests and benchmarks.
+
+use rand::prelude::*;
+
+use shapex_rbe::interval::Basic;
+
+use crate::model::{Graph, NodeId};
+
+/// Parameters for random graph generation.
+#[derive(Debug, Clone)]
+pub struct GraphGen {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Predicate labels to draw from.
+    pub labels: Vec<String>,
+    /// Expected number of outgoing edges per node.
+    pub out_degree: f64,
+    /// Whether at most one outgoing edge per label is allowed per node
+    /// (the determinism condition of shape graphs in `DetShEx₀`).
+    pub deterministic: bool,
+}
+
+impl Default for GraphGen {
+    fn default() -> Self {
+        GraphGen {
+            nodes: 10,
+            labels: vec!["a".into(), "b".into(), "c".into()],
+            out_degree: 2.0,
+            deterministic: false,
+        }
+    }
+}
+
+impl GraphGen {
+    /// A generator over `nodes` nodes and `labels` distinct predicate names.
+    pub fn new(nodes: usize, labels: usize) -> GraphGen {
+        GraphGen {
+            nodes,
+            labels: (0..labels).map(|i| format!("p{i}")).collect(),
+            ..GraphGen::default()
+        }
+    }
+
+    /// Set the expected out-degree.
+    pub fn out_degree(mut self, degree: f64) -> GraphGen {
+        self.out_degree = degree;
+        self
+    }
+
+    /// Require determinism (at most one outgoing edge per label per node).
+    pub fn deterministic(mut self, value: bool) -> GraphGen {
+        self.deterministic = value;
+        self
+    }
+
+    /// Generate a random *simple* graph: every edge has interval `1` and no
+    /// duplicate `(source, label, target)` triples.
+    pub fn simple<R: Rng>(&self, rng: &mut R) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..self.nodes).map(|i| g.add_named_node(format!("v{i}"))).collect();
+        if ids.is_empty() {
+            return g;
+        }
+        let edges = (self.nodes as f64 * self.out_degree).round() as usize;
+        let mut seen = std::collections::BTreeSet::new();
+        let mut used_labels = std::collections::BTreeSet::new();
+        let mut attempts = 0;
+        let mut added = 0;
+        while added < edges && attempts < edges * 10 {
+            attempts += 1;
+            let s = ids[rng.gen_range(0..ids.len())];
+            let t = ids[rng.gen_range(0..ids.len())];
+            let label = &self.labels[rng.gen_range(0..self.labels.len())];
+            if self.deterministic && !used_labels.insert((s, label.clone())) {
+                continue;
+            }
+            if seen.insert((s, label.clone(), t)) {
+                g.add_edge(s, label.as_str(), t);
+                added += 1;
+            }
+        }
+        g
+    }
+
+    /// Generate a random *shape graph*: edges carry random basic intervals.
+    pub fn shape<R: Rng>(&self, rng: &mut R) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..self.nodes).map(|i| g.add_named_node(format!("t{i}"))).collect();
+        if ids.is_empty() {
+            return g;
+        }
+        for &s in &ids {
+            let degree = poisson_like(rng, self.out_degree);
+            let mut used_labels = std::collections::BTreeSet::new();
+            for _ in 0..degree {
+                let label = &self.labels[rng.gen_range(0..self.labels.len())];
+                if self.deterministic && !used_labels.insert(label.clone()) {
+                    continue;
+                }
+                let t = ids[rng.gen_range(0..ids.len())];
+                let basic = Basic::ALL[rng.gen_range(0..Basic::ALL.len())];
+                g.add_edge_with(s, label.as_str(), basic.interval(), t);
+            }
+        }
+        g
+    }
+
+    /// Generate a rooted random tree (a simple graph) of the given depth and
+    /// branching factor; useful for workloads resembling the paper's
+    /// counter-example constructions.
+    pub fn tree<R: Rng>(&self, rng: &mut R, depth: usize, branching: usize) -> Graph {
+        let mut g = Graph::new();
+        let root = g.add_named_node("root");
+        let mut frontier = vec![root];
+        let mut counter = 0usize;
+        for _level in 0..depth {
+            let mut next = Vec::new();
+            for &parent in &frontier {
+                for _ in 0..branching {
+                    counter += 1;
+                    let child = g.add_named_node(format!("v{counter}"));
+                    let label = &self.labels[rng.gen_range(0..self.labels.len())];
+                    g.add_edge(parent, label.as_str(), child);
+                    next.push(child);
+                }
+            }
+            frontier = next;
+        }
+        g
+    }
+}
+
+/// A crude integer approximation of a Poisson draw with the given mean:
+/// uniform in `[0, 2·mean]`, which is all the benchmarks need.
+fn poisson_like<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    rng.gen_range(0..=(2.0 * mean).round() as usize)
+}
+
+/// Generate a random *specialisation* of a shape graph `h`: a simple graph
+/// that embeds into `h` by construction, obtained by unfolding `h` from every
+/// node while respecting the edge intervals (`?` edges are kept with
+/// probability one half, `*` edges are instantiated 0–2 times, `+` edges 1–2
+/// times).
+///
+/// The result is useful for benchmarks that need positive embedding instances
+/// of controllable size.
+pub fn sample_from_shape<R: Rng>(rng: &mut R, h: &Graph, max_nodes: usize) -> Graph {
+    let mut g = Graph::new();
+    if h.node_count() == 0 {
+        return g;
+    }
+    // Start with one instance node per shape node, then unfold breadth-first.
+    let mut queue: Vec<(NodeId, NodeId)> = Vec::new(); // (instance, shape node)
+    let mut counter = 0usize;
+    let roots: Vec<NodeId> = h.nodes().collect();
+    let root_shape = roots[rng.gen_range(0..roots.len())];
+    let root = g.add_named_node(format!("i0_{}", h.node_name(root_shape)));
+    queue.push((root, root_shape));
+    while let Some((instance, shape)) = queue.pop() {
+        for &e in h.out(shape) {
+            let copies = match h.occur(e).basic() {
+                Some(Basic::One) => 1,
+                Some(Basic::Opt) => rng.gen_range(0..=1),
+                Some(Basic::Plus) => rng.gen_range(1..=2),
+                Some(Basic::Star) => rng.gen_range(0..=2),
+                None => u64::from(h.occur(e).lo().max(1).min(2)) as usize,
+            };
+            for _ in 0..copies {
+                if g.node_count() >= max_nodes {
+                    return g;
+                }
+                counter += 1;
+                let target_shape = h.target(e);
+                let child =
+                    g.add_named_node(format!("i{counter}_{}", h.node_name(target_shape)));
+                g.add_edge(instance, h.label(e).clone(), child);
+                queue.push((child, target_shape));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simple_generator_produces_simple_graphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for nodes in [1, 5, 20] {
+            let g = GraphGen::new(nodes, 3).out_degree(2.0).simple(&mut rng);
+            assert!(g.is_simple());
+            assert_eq!(g.node_count(), nodes);
+        }
+    }
+
+    #[test]
+    fn shape_generator_produces_shape_graphs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = GraphGen::new(12, 4).out_degree(3.0).shape(&mut rng);
+        assert!(g.is_shape_graph());
+        assert_eq!(g.node_count(), 12);
+    }
+
+    #[test]
+    fn deterministic_shape_graphs_have_unique_labels_per_node() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = GraphGen::new(15, 3)
+            .out_degree(4.0)
+            .deterministic(true)
+            .shape(&mut rng);
+        for n in g.nodes() {
+            let mut labels = std::collections::BTreeSet::new();
+            for &e in g.out(n) {
+                assert!(labels.insert(g.label(e).clone()), "duplicate label at {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_generator_sizes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = GraphGen::new(0, 2).tree(&mut rng, 3, 2);
+        // 1 + 2 + 4 + 8 nodes.
+        assert_eq!(g.node_count(), 15);
+        assert_eq!(g.edge_count(), 14);
+        assert!(g.is_simple());
+        assert!(g.topological_order().is_some());
+    }
+
+    #[test]
+    fn sampling_respects_max_nodes_and_simplicity() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let shape = GraphGen::new(6, 3).out_degree(2.0).shape(&mut rng);
+        let sample = sample_from_shape(&mut rng, &shape, 64);
+        assert!(sample.node_count() <= 64);
+        assert!(sample.is_simple());
+    }
+}

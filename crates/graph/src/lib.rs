@@ -1,0 +1,26 @@
+//! The general graph model of *Containment of Shape Expression Schemas for
+//! RDF* (Staworko & Wieczorek, PODS 2019), Definition 2.1.
+//!
+//! A [`Graph`] is a multigraph whose edges carry a predicate [`Label`] and an
+//! occurrence [`Interval`](shapex_rbe::Interval). Three subclasses matter:
+//!
+//! * **simple graphs** (`G₀`) — every edge uses the interval `1` and no two
+//!   edges share source, target, and label; these model RDF graphs;
+//! * **shape graphs** (`ShEx₀`) — every edge uses a *basic* interval
+//!   (`1`, `?`, `+`, `*`); these are the graphical form of `ShEx(RBE0)`
+//!   schemas;
+//! * **compressed graphs** — every edge uses a singleton interval `[k;k]`,
+//!   a succinct encoding of simple graphs used in Section 6 of the paper.
+//!
+//! The crate also provides a line-oriented text format ([`text`]) and random
+//! generators ([`generate`]) used by the examples, tests, and benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generate;
+pub mod model;
+pub mod text;
+
+pub use model::{EdgeId, Graph, GraphKind, Label, LabelTable, NodeId, UnpackError};
+pub use text::{parse_graph, write_graph};

@@ -1,0 +1,670 @@
+//! The graph data structure and its subclasses.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+use shapex_rbe::{Bag, Interval};
+
+/// An edge label (predicate name from the fixed alphabet `Σ`).
+///
+/// Labels are reference-counted strings: cloning is cheap and equality is by
+/// content, so labels created independently by a graph and a schema still
+/// compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    /// Create a label from a string.
+    pub fn new(name: impl AsRef<str>) -> Label {
+        Label(Arc::from(name.as_ref()))
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label::new(s)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An optional interner that deduplicates the backing storage of labels.
+///
+/// Not required for correctness — labels compare by content — but convenient
+/// when building large graphs with a small predicate alphabet.
+#[derive(Debug, Default, Clone)]
+pub struct LabelTable {
+    known: BTreeMap<String, Label>,
+}
+
+impl LabelTable {
+    /// An empty table.
+    pub fn new() -> LabelTable {
+        LabelTable::default()
+    }
+
+    /// Intern a label, reusing the existing allocation if present.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(existing) = self.known.get(name) {
+            return existing.clone();
+        }
+        let label = Label::new(name);
+        self.known.insert(name.to_owned(), label.clone());
+        label
+    }
+
+    /// The number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Whether no label has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+}
+
+/// A node identifier, valid for the graph that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The position of the node in the graph's node arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// An edge identifier, valid for the graph that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The position of the edge in the graph's edge arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    name: String,
+}
+
+#[derive(Debug, Clone)]
+struct EdgeData {
+    source: NodeId,
+    target: NodeId,
+    label: Label,
+    occur: Interval,
+}
+
+/// Classification of a graph into the paper's subclasses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// All intervals are `1` and no duplicate `(source, label, target)` edges.
+    Simple,
+    /// All intervals are basic (`1`, `?`, `+`, `*`) but the graph is not simple.
+    Shape,
+    /// All intervals are singletons `[k;k]` with no duplicate
+    /// `(source, label, target)` edges, but the graph is not simple.
+    Compressed,
+    /// None of the above: arbitrary intervals.
+    General,
+}
+
+/// Error returned by [`Graph::unpack`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnpackError {
+    /// The graph is not a compressed graph.
+    NotCompressed,
+    /// The graph has a directed cycle; the unpacking of a cyclic compressed
+    /// graph is not supported by this implementation.
+    Cyclic,
+    /// The unpacking would exceed the given node limit (it can be exponential
+    /// in the size of the compressed graph, Proposition 6.1).
+    TooLarge {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnpackError::NotCompressed => write!(f, "graph is not a compressed graph"),
+            UnpackError::Cyclic => write!(f, "cannot unpack a cyclic compressed graph"),
+            UnpackError::TooLarge { limit } => {
+                write!(f, "unpacking exceeds the node limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+/// A directed multigraph with labelled edges carrying occurrence intervals
+/// (Definition 2.1 of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<NodeData>,
+    edges: Vec<EdgeData>,
+    out: Vec<Vec<EdgeId>>,
+    by_name: BTreeMap<String, NodeId>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Graph {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterate over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterate over all edge identifiers.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Add a node with a fresh automatically generated name.
+    pub fn add_node(&mut self) -> NodeId {
+        let name = format!("n{}", self.nodes.len());
+        self.add_named_node(name)
+    }
+
+    /// Add a node with an explicit name.
+    ///
+    /// # Panics
+    /// Panics if a node with the same name already exists.
+    pub fn add_named_node(&mut self, name: impl Into<String>) -> NodeId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "node `{name}` already exists"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(NodeData { name });
+        self.out.push(Vec::new());
+        id
+    }
+
+    /// Look up a node by name, creating it if missing.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        match self.by_name.get(name) {
+            Some(id) => *id,
+            None => self.add_named_node(name),
+        }
+    }
+
+    /// Look up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The display name of a node.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.index()].name
+    }
+
+    /// Add an edge with an explicit occurrence interval.
+    pub fn add_edge_with(
+        &mut self,
+        source: NodeId,
+        label: impl Into<Label>,
+        occur: Interval,
+        target: NodeId,
+    ) -> EdgeId {
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData {
+            source,
+            target,
+            label: label.into(),
+            occur,
+        });
+        self.out[source.index()].push(id);
+        id
+    }
+
+    /// Add a plain edge with interval `1` (the only kind allowed in simple
+    /// graphs).
+    pub fn add_edge(
+        &mut self,
+        source: NodeId,
+        label: impl Into<Label>,
+        target: NodeId,
+    ) -> EdgeId {
+        self.add_edge_with(source, label, Interval::ONE, target)
+    }
+
+    /// Convenience: add an interval edge between nodes addressed by name
+    /// (creating the nodes if necessary).
+    pub fn edge_by_name(
+        &mut self,
+        source: &str,
+        label: impl Into<Label>,
+        occur: Interval,
+        target: &str,
+    ) -> EdgeId {
+        let s = self.node(source);
+        let t = self.node(target);
+        self.add_edge_with(s, label, occur, t)
+    }
+
+    /// The origin node of an edge.
+    pub fn source(&self, edge: EdgeId) -> NodeId {
+        self.edges[edge.index()].source
+    }
+
+    /// The end point node of an edge.
+    pub fn target(&self, edge: EdgeId) -> NodeId {
+        self.edges[edge.index()].target
+    }
+
+    /// The predicate label of an edge.
+    pub fn label(&self, edge: EdgeId) -> &Label {
+        &self.edges[edge.index()].label
+    }
+
+    /// The occurrence interval of an edge.
+    pub fn occur(&self, edge: EdgeId) -> Interval {
+        self.edges[edge.index()].occur
+    }
+
+    /// The outgoing edges of a node (`out_G(n)` in the paper).
+    pub fn out(&self, node: NodeId) -> &[EdgeId] {
+        &self.out[node.index()]
+    }
+
+    /// The out-degree of a node.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out[node.index()].len()
+    }
+
+    /// The outbound neighbourhood of a node as a bag over `(label, target)`
+    /// pairs, counting each edge with the multiplicity given by its singleton
+    /// interval (or `1` for non-singleton intervals).
+    pub fn out_bag(&self, node: NodeId) -> Bag<(Label, NodeId)> {
+        let mut bag = Bag::new();
+        for &e in self.out(node) {
+            let mult = self.occur(e).singleton().unwrap_or(1);
+            bag.add((self.label(e).clone(), self.target(e)), mult);
+        }
+        bag
+    }
+
+    /// The distinct labels used by the graph, in sorted order.
+    pub fn labels(&self) -> Vec<Label> {
+        let set: BTreeSet<Label> = self.edges.iter().map(|e| e.label.clone()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Whether the graph is a *simple graph* (class `G₀`): every edge has
+    /// interval `1` and no two edges share source, label, and target.
+    pub fn is_simple(&self) -> bool {
+        if !self.edges.iter().all(|e| e.occur == Interval::ONE) {
+            return false;
+        }
+        self.no_parallel_duplicates()
+    }
+
+    /// Whether the graph is a *shape graph* (class `ShEx₀`): every edge uses a
+    /// basic interval.
+    pub fn is_shape_graph(&self) -> bool {
+        self.edges.iter().all(|e| e.occur.is_basic())
+    }
+
+    /// Whether the graph is a *compressed graph*: every edge uses a singleton
+    /// interval `[k;k]` and no two edges share source, label, and target.
+    pub fn is_compressed(&self) -> bool {
+        self.edges.iter().all(|e| e.occur.singleton().is_some()) && self.no_parallel_duplicates()
+    }
+
+    fn no_parallel_duplicates(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        for e in &self.edges {
+            if !seen.insert((e.source, e.label.clone(), e.target)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Classify the graph.
+    pub fn kind(&self) -> GraphKind {
+        if self.is_simple() {
+            GraphKind::Simple
+        } else if self.is_shape_graph() {
+            GraphKind::Shape
+        } else if self.is_compressed() {
+            GraphKind::Compressed
+        } else {
+            GraphKind::General
+        }
+    }
+
+    /// Nodes in a topological order, or `None` if the graph has a directed
+    /// cycle.
+    pub fn topological_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.node_count();
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            indegree[e.target.index()] += 1;
+        }
+        let mut queue: Vec<NodeId> = self
+            .nodes()
+            .filter(|v| indegree[v.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &e in self.out(v) {
+                let t = self.target(e);
+                indegree[t.index()] -= 1;
+                if indegree[t.index()] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Unpack a compressed graph into a simple graph (Proposition 6.1).
+    ///
+    /// Every node is copied enough times that each copy receives at most one
+    /// incoming edge while keeping the same outbound neighbourhood. The result
+    /// can be exponentially larger than the input, so a `node_limit` caps the
+    /// expansion. Only acyclic compressed graphs are supported.
+    pub fn unpack(&self, node_limit: usize) -> Result<Graph, UnpackError> {
+        if !self.is_compressed() {
+            return Err(UnpackError::NotCompressed);
+        }
+        let order = self.topological_order().ok_or(UnpackError::Cyclic)?;
+
+        // Copies needed per node: one per incoming (unpacked) edge, at least 1.
+        let mut copies: Vec<u64> = vec![0; self.node_count()];
+        for &v in &order {
+            let own = copies[v.index()].max(1);
+            copies[v.index()] = own;
+            for &e in self.out(v) {
+                let mult = self.occur(e).singleton().expect("compressed graph");
+                let t = self.target(e);
+                copies[t.index()] += own * mult;
+            }
+        }
+        let total: u64 = self.nodes().map(|v| copies[v.index()].max(1)).sum();
+        if total as usize > node_limit {
+            return Err(UnpackError::TooLarge { limit: node_limit });
+        }
+
+        let mut out = Graph::new();
+        // Allocate all copies.
+        let mut copy_ids: Vec<Vec<NodeId>> = Vec::with_capacity(self.node_count());
+        for v in self.nodes() {
+            let mut ids = Vec::new();
+            for i in 0..copies[v.index()].max(1) {
+                ids.push(out.add_named_node(format!("{}#{}", self.node_name(v), i)));
+            }
+            copy_ids.push(ids);
+        }
+        // Wire the outbound neighbourhood of every copy, consuming target
+        // copies so that each receives at most one incoming edge.
+        let mut next_free: Vec<usize> = vec![0; self.node_count()];
+        for &v in order.iter() {
+            for copy_index in 0..copies[v.index()].max(1) {
+                let source_copy = copy_ids[v.index()][copy_index as usize];
+                for &e in self.out(v) {
+                    let mult = self.occur(e).singleton().expect("compressed graph");
+                    let t = self.target(e);
+                    for _ in 0..mult {
+                        let slot = next_free[t.index()];
+                        next_free[t.index()] += 1;
+                        let target_copy = copy_ids[t.index()][slot];
+                        out.add_edge(source_copy, self.label(e).clone(), target_copy);
+                    }
+                }
+            }
+        }
+        debug_assert!(out.is_simple());
+        Ok(out)
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph with {} nodes, {} edges:", self.node_count(), self.edge_count())?;
+        for e in self.edges() {
+            let occur = self.occur(e);
+            if occur == Interval::ONE {
+                writeln!(
+                    f,
+                    "  {} -{}-> {}",
+                    self.node_name(self.source(e)),
+                    self.label(e),
+                    self.node_name(self.target(e))
+                )?;
+            } else {
+                writeln!(
+                    f,
+                    "  {} -{}[{}]-> {}",
+                    self.node_name(self.source(e)),
+                    self.label(e),
+                    occur,
+                    self.node_name(self.target(e))
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        let c = g.node("c");
+        g.add_edge(a, "p", b);
+        g.add_edge(b, "q", c);
+        g.add_edge(c, "r", a);
+        g
+    }
+
+    #[test]
+    fn node_and_edge_accessors() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        assert_eq!(g.node("a"), a, "node() reuses existing names");
+        let e = g.add_edge_with(a, "p", Interval::STAR, b);
+        assert_eq!(g.source(e), a);
+        assert_eq!(g.target(e), b);
+        assert_eq!(g.label(e).as_str(), "p");
+        assert_eq!(g.occur(e), Interval::STAR);
+        assert_eq!(g.out(a), &[e]);
+        assert_eq!(g.out_degree(b), 0);
+        assert_eq!(g.node_name(a), "a");
+        assert_eq!(g.find_node("b"), Some(b));
+        assert_eq!(g.find_node("zzz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_names_panic() {
+        let mut g = Graph::new();
+        g.add_named_node("x");
+        g.add_named_node("x");
+    }
+
+    #[test]
+    fn kind_classification() {
+        let mut simple = triangle();
+        assert_eq!(simple.kind(), GraphKind::Simple);
+        assert!(simple.is_simple() && simple.is_shape_graph() && simple.is_compressed());
+
+        // Adding a `*` edge turns it into a (non-simple) shape graph.
+        let a = simple.node("a");
+        let b = simple.node("b");
+        simple.add_edge_with(a, "s", Interval::STAR, b);
+        assert_eq!(simple.kind(), GraphKind::Shape);
+
+        // A graph with a singleton interval [3;3] is compressed.
+        let mut compressed = Graph::new();
+        let x = compressed.node("x");
+        let y = compressed.node("y");
+        compressed.add_edge_with(x, "p", Interval::exactly(3), y);
+        assert_eq!(compressed.kind(), GraphKind::Compressed);
+
+        // Arbitrary intervals are the general case.
+        let mut general = Graph::new();
+        let x = general.node("x");
+        let y = general.node("y");
+        general.add_edge_with(x, "p", Interval::bounded(2, 5), y);
+        assert_eq!(general.kind(), GraphKind::General);
+
+        // Duplicate (source, label, target) edges are not simple.
+        let mut dup = Graph::new();
+        let x = dup.node("x");
+        let y = dup.node("y");
+        dup.add_edge(x, "p", y);
+        dup.add_edge(x, "p", y);
+        assert!(!dup.is_simple());
+        assert_eq!(dup.kind(), GraphKind::Shape);
+    }
+
+    #[test]
+    fn out_bag_counts_multiplicities() {
+        let mut g = Graph::new();
+        let x = g.node("x");
+        let y = g.node("y");
+        let z = g.node("z");
+        g.add_edge_with(x, "p", Interval::exactly(3), y);
+        g.add_edge(x, "p", z);
+        let bag = g.out_bag(x);
+        assert_eq!(bag.count(&(Label::new("p"), y)), 3);
+        assert_eq!(bag.count(&(Label::new("p"), z)), 1);
+        assert_eq!(bag.total(), 4);
+    }
+
+    #[test]
+    fn topological_order_detects_cycles() {
+        let g = triangle();
+        assert!(g.topological_order().is_none());
+        let mut dag = Graph::new();
+        let a = dag.node("a");
+        let b = dag.node("b");
+        let c = dag.node("c");
+        dag.add_edge(a, "p", b);
+        dag.add_edge(a, "p", c);
+        dag.add_edge(b, "q", c);
+        let order = dag.topological_order().unwrap();
+        assert_eq!(order.len(), 3);
+        let pos =
+            |n: NodeId| order.iter().position(|x| *x == n).unwrap();
+        assert!(pos(a) < pos(b) && pos(b) < pos(c));
+    }
+
+    #[test]
+    fn unpacking_a_chain_of_multiplicities() {
+        // root -a[2]-> mid -b[3]-> leaf: the unpacking has 1 + 2 + 6 nodes.
+        let mut g = Graph::new();
+        let root = g.node("root");
+        let mid = g.node("mid");
+        let leaf = g.node("leaf");
+        g.add_edge_with(root, "a", Interval::exactly(2), mid);
+        g.add_edge_with(mid, "b", Interval::exactly(3), leaf);
+        let unpacked = g.unpack(100).unwrap();
+        assert!(unpacked.is_simple());
+        assert_eq!(unpacked.node_count(), 1 + 2 + 6);
+        assert_eq!(unpacked.edge_count(), 2 + 6);
+        // Every unpacked node has at most one incoming edge.
+        let mut incoming = vec![0usize; unpacked.node_count()];
+        for e in unpacked.edges() {
+            incoming[unpacked.target(e).index()] += 1;
+        }
+        assert!(incoming.iter().all(|&c| c <= 1));
+    }
+
+    #[test]
+    fn unpacking_errors() {
+        let cyclic = triangle();
+        // A simple cyclic graph is compressed (all intervals are [1;1]) but
+        // cyclic unpacking is rejected.
+        assert_eq!(cyclic.unpack(10).unwrap_err(), UnpackError::Cyclic);
+
+        let mut general = Graph::new();
+        let x = general.node("x");
+        let y = general.node("y");
+        general.add_edge_with(x, "p", Interval::STAR, y);
+        assert_eq!(general.unpack(10).unwrap_err(), UnpackError::NotCompressed);
+
+        let mut big = Graph::new();
+        let a = big.node("a");
+        let b = big.node("b");
+        big.add_edge_with(a, "p", Interval::exactly(1000), b);
+        assert_eq!(big.unpack(10).unwrap_err(), UnpackError::TooLarge { limit: 10 });
+    }
+
+    #[test]
+    fn label_table_interns() {
+        let mut table = LabelTable::new();
+        let a1 = table.intern("a");
+        let a2 = table.intern("a");
+        let b = table.intern("b");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(table.len(), 2);
+        // Labels created outside the table still compare equal by content.
+        assert_eq!(a1, Label::new("a"));
+    }
+
+    #[test]
+    fn display_contains_edges() {
+        let g = triangle();
+        let text = g.to_string();
+        assert!(text.contains("a -p-> b"));
+        assert!(text.contains("3 nodes"));
+    }
+}

@@ -1,0 +1,202 @@
+//! A line-oriented text format for graphs.
+//!
+//! Each non-empty, non-comment line describes one edge:
+//!
+//! ```text
+//! # bug tracker fragment
+//! bug1 -descr-> lit1
+//! bug1 -related[*]-> bug2
+//! emp1 -email[?]-> lit2
+//! hub  -spoke[3]-> rim
+//! ```
+//!
+//! The occurrence interval defaults to `1` and otherwise uses the same syntax
+//! as [`Interval::parse`]: `?`, `+`, `*`, `k`, `[n;m]`, `[n;*]`. Node names
+//! may contain any characters except whitespace and `-`.
+
+use shapex_rbe::Interval;
+
+use crate::model::Graph;
+
+/// Parse a graph from the text format. Nodes are created in order of first
+/// mention; isolated nodes can be declared on a line of their own containing
+/// just the node name.
+pub fn parse_graph(text: &str) -> Result<Graph, String> {
+    let mut graph = Graph::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !line.contains("->") {
+            // A bare node declaration.
+            if line.split_whitespace().count() != 1 {
+                return Err(format!("line {}: expected `src -label-> dst`", lineno + 1));
+            }
+            graph.node(line);
+            continue;
+        }
+        let (lhs, rhs) = line
+            .split_once("->")
+            .ok_or_else(|| format!("line {}: missing `->`", lineno + 1))?;
+        let rhs = rhs.trim();
+        if rhs.is_empty() {
+            return Err(format!("line {}: missing target node", lineno + 1));
+        }
+        // lhs is `source -label` or `source -label[interval]`.
+        let lhs = lhs.trim();
+        let dash = lhs
+            .find(" -")
+            .ok_or_else(|| format!("line {}: expected `src -label-> dst`", lineno + 1))?;
+        let source = lhs[..dash].trim();
+        let mut label_part = lhs[dash + 2..].trim();
+        if let Some(stripped) = label_part.strip_suffix('-') {
+            label_part = stripped.trim();
+        }
+        if source.is_empty() || label_part.is_empty() {
+            return Err(format!("line {}: empty source or label", lineno + 1));
+        }
+        let (label, interval) = match label_part.split_once('[') {
+            Some((name, rest)) => {
+                let interval_text = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {}: unterminated interval", lineno + 1))?;
+                let interval = Interval::parse(interval_text)
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                (name.trim(), interval)
+            }
+            None => {
+                // The whole label may itself be `?`, `+`, `*` — treat those as
+                // label text, not intervals; intervals require brackets except
+                // when attached directly like `label*`.
+                match label_part
+                    .char_indices()
+                    .last()
+                    .filter(|(_, c)| matches!(c, '?' | '*' | '+'))
+                {
+                    Some((idx, c)) if idx > 0 => {
+                        let interval = Interval::parse(&c.to_string()).expect("basic interval");
+                        (label_part[..idx].trim(), interval)
+                    }
+                    _ => (label_part, Interval::ONE),
+                }
+            }
+        };
+        graph.edge_by_name(source, label, interval, rhs);
+    }
+    Ok(graph)
+}
+
+/// Serialize a graph in the text format accepted by [`parse_graph`].
+pub fn write_graph(graph: &Graph) -> String {
+    let mut out = String::new();
+    let mut mentioned = vec![false; graph.node_count()];
+    for e in graph.edges() {
+        mentioned[graph.source(e).index()] = true;
+        mentioned[graph.target(e).index()] = true;
+        let occur = graph.occur(e);
+        if occur == Interval::ONE {
+            out.push_str(&format!(
+                "{} -{}-> {}\n",
+                graph.node_name(graph.source(e)),
+                graph.label(e),
+                graph.node_name(graph.target(e))
+            ));
+        } else {
+            out.push_str(&format!(
+                "{} -{}[{}]-> {}\n",
+                graph.node_name(graph.source(e)),
+                graph.label(e),
+                occur,
+                graph.node_name(graph.target(e))
+            ));
+        }
+    }
+    for n in graph.nodes() {
+        if !mentioned[n.index()] {
+            out.push_str(&format!("{}\n", graph.node_name(n)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GraphKind;
+
+    #[test]
+    fn parse_simple_edges() {
+        let g = parse_graph(
+            "# a comment\n\
+             bug1 -descr-> lit1\n\
+             bug1 -reportedBy-> user1\n\
+             \n\
+             user1 -name-> lit2\n",
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.kind(), GraphKind::Simple);
+        let bug = g.find_node("bug1").unwrap();
+        assert_eq!(g.out_degree(bug), 2);
+    }
+
+    #[test]
+    fn parse_intervals() {
+        let g = parse_graph(
+            "t0 -a[*]-> t1\n\
+             t1 -b[?]-> t2\n\
+             t1 -c[3]-> t3\n\
+             t2 -d[[2;5]]-> t3\n\
+             t0 -e*-> t2\n",
+        )
+        .unwrap();
+        assert_eq!(g.edge_count(), 5);
+        let t0 = g.find_node("t0").unwrap();
+        let star = g.out(t0)[0];
+        assert_eq!(g.occur(star), Interval::STAR);
+        assert_eq!(g.label(star).as_str(), "a");
+        let shorthand = g.out(t0)[1];
+        assert_eq!(g.occur(shorthand), Interval::STAR);
+        assert_eq!(g.label(shorthand).as_str(), "e");
+        let t1 = g.find_node("t1").unwrap();
+        assert_eq!(g.occur(g.out(t1)[0]), Interval::OPT);
+        assert_eq!(g.occur(g.out(t1)[1]), Interval::exactly(3));
+        let t2 = g.find_node("t2").unwrap();
+        assert_eq!(g.occur(g.out(t2)[0]), Interval::bounded(2, 5));
+    }
+
+    #[test]
+    fn parse_isolated_nodes() {
+        let g = parse_graph("lonely\nother -p-> lonely\nempty_island\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert!(g.find_node("empty_island").is_some());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_graph("a b c").is_err());
+        assert!(parse_graph("a -p->").is_err());
+        assert!(parse_graph("a -p[3-> b").is_err());
+        assert!(parse_graph("a -p[nope]-> b").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "t0 -a[*]-> t1\nt1 -b-> t2\nt1 -c[?]-> t0\nisolated\n";
+        let g = parse_graph(text).unwrap();
+        let written = write_graph(&g);
+        let reparsed = parse_graph(&written).unwrap();
+        assert_eq!(reparsed.node_count(), g.node_count());
+        assert_eq!(reparsed.edge_count(), g.edge_count());
+        for (e1, e2) in g.edges().zip(reparsed.edges()) {
+            assert_eq!(g.label(e1), reparsed.label(e2));
+            assert_eq!(g.occur(e1), reparsed.occur(e2));
+            assert_eq!(
+                g.node_name(g.source(e1)),
+                reparsed.node_name(reparsed.source(e2))
+            );
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based and scenario tests for the graph model: text round-trips,
+//! classification, and unpacking of compressed graphs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shapex_graph::generate::{sample_from_shape, GraphGen};
+use shapex_graph::{parse_graph, write_graph, Graph, GraphKind};
+use shapex_rbe::Interval;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_simple_graphs_roundtrip_through_text(seed in 0u64..10_000, nodes in 1usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = GraphGen::new(nodes, 3).out_degree(1.5).simple(&mut rng);
+        let text = write_graph(&g);
+        let back = parse_graph(&text).unwrap();
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        prop_assert!(back.is_simple());
+        // Every edge survives with its label and endpoints.
+        for e in g.edges() {
+            let src = g.node_name(g.source(e));
+            let dst = g.node_name(g.target(e));
+            let found = back.edges().any(|f| {
+                back.node_name(back.source(f)) == src
+                    && back.node_name(back.target(f)) == dst
+                    && back.label(f) == g.label(e)
+            });
+            prop_assert!(found, "missing edge {src} -{}-> {dst}", g.label(e));
+        }
+    }
+
+    #[test]
+    fn shape_graph_samples_embed_structurally(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = GraphGen::new(5, 3).out_degree(2.0).shape(&mut rng);
+        prop_assert!(shape.is_shape_graph());
+        let sample = sample_from_shape(&mut rng, &shape, 40);
+        prop_assert!(sample.is_simple());
+        prop_assert!(sample.node_count() <= 40);
+    }
+
+    #[test]
+    fn unpacking_preserves_edge_totals(multiplicities in proptest::collection::vec(1u64..5, 1..4)) {
+        // A chain hub -p[k1]-> n1 -p[k2]-> n2 ... unpacks into a tree whose
+        // edge count equals the sum over prefixes of products.
+        let mut g = Graph::new();
+        let mut prev = g.node("n0");
+        for (i, &k) in multiplicities.iter().enumerate() {
+            let next = g.node(&format!("n{}", i + 1));
+            g.add_edge_with(prev, "p", Interval::exactly(k), next);
+            prev = next;
+        }
+        prop_assert!(g.is_compressed(), "a chain of [k;k] edges is a compressed graph");
+        let unpacked = g.unpack(100_000).unwrap();
+        prop_assert!(unpacked.is_simple());
+        let mut expected_edges = 0u64;
+        let mut copies = 1u64;
+        for &k in &multiplicities {
+            expected_edges += copies * k;
+            copies *= k;
+        }
+        prop_assert_eq!(unpacked.edge_count() as u64, expected_edges);
+        // Each non-root node receives exactly one incoming edge.
+        prop_assert_eq!(unpacked.edge_count(), unpacked.node_count() - 1);
+    }
+}
+
+#[test]
+fn kind_is_stable_under_isolated_nodes() {
+    let mut g = parse_graph("a -p-> b\n").unwrap();
+    assert_eq!(g.kind(), GraphKind::Simple);
+    g.add_named_node("isolated");
+    assert_eq!(g.kind(), GraphKind::Simple);
+}
+
+#[test]
+fn labels_are_sorted_and_deduplicated() {
+    let g = parse_graph("a -z-> b\na -m-> b\nb -z-> a\n").unwrap();
+    let labels = g.labels();
+    assert_eq!(labels.len(), 2);
+    assert_eq!(labels[0].as_str(), "m");
+    assert_eq!(labels[1].as_str(), "z");
+}
+
+#[test]
+fn out_bags_reflect_parallel_labels() {
+    let g = parse_graph("hub -p-> a\nhub -p-> b\nhub -q-> a\n").unwrap();
+    let hub = g.find_node("hub").unwrap();
+    let bag = g.out_bag(hub);
+    assert_eq!(bag.total(), 3);
+    assert_eq!(bag.distinct(), 3, "distinct (label, target) pairs");
+}

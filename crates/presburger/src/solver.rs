@@ -1,0 +1,487 @@
+//! A bounded satisfiability solver for existential Presburger formulas over
+//! the naturals.
+//!
+//! The solver interprets every variable over a finite domain `0..=bound`
+//! (per-variable bounds from the [`VarPool`], otherwise a default bound from
+//! [`Bounds`]). Within those domains it is sound and complete: `Sat` comes
+//! with a verified model, `Unsat` means no model exists with the given
+//! bounds. This mirrors how the paper uses Presburger arithmetic: every
+//! application (membership, compressed-graph validation, the Section 6
+//! containment formulas) comes with an explicit small-model bound
+//! (Proposition 6.3 / Weispfenning 1990), so bounded solving loses no
+//! generality provided the caller passes a large-enough bound.
+
+use crate::formula::{Constraint, Formula, LinearExpr, VarPool};
+
+/// Variable bounds used by the solver when the [`VarPool`] does not declare a
+/// per-variable bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Inclusive upper bound applied to variables without a declared bound.
+    pub default_bound: u64,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds { default_bound: 64 }
+    }
+}
+
+impl Bounds {
+    /// Bounds with the given default.
+    pub fn uniform(default_bound: u64) -> Bounds {
+        Bounds { default_bound }
+    }
+}
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A model: values for variables `0..n`, verified against the formula.
+    Sat(Vec<u64>),
+    /// No model exists within the variable bounds.
+    Unsat,
+    /// The search budget was exhausted before an answer was found.
+    Unknown,
+}
+
+impl SolveResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// Whether the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveResult::Unsat)
+    }
+
+    /// Extract the model, if any.
+    pub fn model(&self) -> Option<&[u64]> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// The bounded solver. Construct once and reuse across queries.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    bounds: Bounds,
+    node_budget: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver { bounds: Bounds::default(), node_budget: 2_000_000 }
+    }
+}
+
+/// Negation normal form with negation pushed into the atoms.
+#[derive(Debug, Clone)]
+enum Nnf {
+    Atom(Constraint),
+    And(Vec<Nnf>),
+    Or(Vec<Nnf>),
+    True,
+    False,
+}
+
+/// Inclusive variable domains.
+type Domains = Vec<(u64, u64)>;
+
+impl Solver {
+    /// A solver with the given default bounds.
+    pub fn new(bounds: Bounds) -> Solver {
+        Solver { bounds, node_budget: 2_000_000 }
+    }
+
+    /// Override the search budget (number of search nodes).
+    pub fn with_node_budget(mut self, budget: u64) -> Solver {
+        self.node_budget = budget;
+        self
+    }
+
+    /// Decide satisfiability of `formula` with variables bounded by the pool's
+    /// declared bounds (falling back to the solver default).
+    pub fn solve(&self, formula: &Formula, pool: &VarPool) -> SolveResult {
+        let nvars = formula
+            .variables()
+            .iter()
+            .map(|v| v.0 as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(pool.len());
+        let mut domains: Domains = Vec::with_capacity(nvars);
+        for i in 0..nvars {
+            let hi = pool
+                .declared_bounds()
+                .get(i)
+                .copied()
+                .flatten()
+                .unwrap_or(self.bounds.default_bound);
+            domains.push((0, hi));
+        }
+        let nnf = to_nnf(formula, false);
+        let mut budget = self.node_budget;
+        match self.search(&[&nnf], Vec::new(), domains, &mut budget) {
+            Some(Some(model)) => {
+                debug_assert!(formula.eval(&model), "solver produced an invalid model");
+                SolveResult::Sat(model)
+            }
+            Some(None) => SolveResult::Unsat,
+            None => SolveResult::Unknown,
+        }
+    }
+
+    /// Convenience wrapper returning `true` only on `Sat`.
+    pub fn is_sat(&self, formula: &Formula, pool: &VarPool) -> bool {
+        self.solve(formula, pool).is_sat()
+    }
+
+    /// The search returns `None` when the budget is exhausted, otherwise
+    /// `Some(model_or_none)`.
+    fn search(
+        &self,
+        pending: &[&Nnf],
+        mut atoms: Vec<Constraint>,
+        domains: Domains,
+        budget: &mut u64,
+    ) -> Option<Option<Vec<u64>>> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+
+        // Split pending conjuncts into atoms and disjunctions.
+        let mut disjunctions: Vec<&Nnf> = Vec::new();
+        let mut stack: Vec<&Nnf> = pending.to_vec();
+        while let Some(f) = stack.pop() {
+            match f {
+                Nnf::True => {}
+                Nnf::False => return Some(None),
+                Nnf::Atom(c) => atoms.push(c.clone()),
+                Nnf::And(parts) => stack.extend(parts.iter()),
+                Nnf::Or(_) => disjunctions.push(f),
+            }
+        }
+
+        // Propagate bounds from the atomic constraints gathered so far.
+        let domains = match propagate(&atoms, domains) {
+            Some(d) => d,
+            None => return Some(None),
+        };
+
+        if let Some(or) = disjunctions.pop() {
+            let Nnf::Or(choices) = or else { unreachable!("only Or is deferred") };
+            for choice in choices {
+                let mut next: Vec<&Nnf> = Vec::with_capacity(disjunctions.len() + 1);
+                next.push(choice);
+                next.extend(disjunctions.iter().copied());
+                match self.search(&next, atoms.clone(), domains.clone(), budget) {
+                    Some(Some(model)) => return Some(Some(model)),
+                    Some(None) => continue,
+                    None => return None,
+                }
+            }
+            return Some(None);
+        }
+
+        // Only atomic constraints remain: branch and bound over the domains.
+        self.enumerate(&atoms, domains, budget)
+    }
+
+    fn enumerate(
+        &self,
+        atoms: &[Constraint],
+        domains: Domains,
+        budget: &mut u64,
+    ) -> Option<Option<Vec<u64>>> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+
+        let domains = match propagate(atoms, domains) {
+            Some(d) => d,
+            None => return Some(None),
+        };
+
+        // Pick an unfixed variable that actually occurs in some constraint.
+        let mut pick: Option<(usize, u64)> = None;
+        for c in atoms {
+            let expr = constraint_expr(c);
+            for (v, _) in expr.terms() {
+                let idx = v.0 as usize;
+                let (lo, hi) = domains[idx];
+                if lo < hi {
+                    let width = hi - lo;
+                    if pick.map_or(true, |(_, w)| width < w) {
+                        pick = Some((idx, width));
+                    }
+                }
+            }
+        }
+
+        match pick {
+            None => {
+                // All constrained variables are fixed; read off a model.
+                let model: Vec<u64> = domains.iter().map(|(lo, _)| *lo).collect();
+                if atoms.iter().all(|c| c.holds(&model)) {
+                    Some(Some(model))
+                } else {
+                    Some(None)
+                }
+            }
+            Some((idx, _)) => {
+                let (lo, hi) = domains[idx];
+                let mid = lo + (hi - lo) / 2;
+                for (new_lo, new_hi) in [(lo, mid), (mid + 1, hi)] {
+                    let mut d = domains.clone();
+                    d[idx] = (new_lo, new_hi);
+                    match self.enumerate(atoms, d, budget) {
+                        Some(Some(model)) => return Some(Some(model)),
+                        Some(None) => continue,
+                        None => return None,
+                    }
+                }
+                Some(None)
+            }
+        }
+    }
+}
+
+fn constraint_expr(c: &Constraint) -> &LinearExpr {
+    match c {
+        Constraint::Ge0(e) | Constraint::Eq0(e) => e,
+    }
+}
+
+/// Convert to negation normal form, pushing negation into the atoms:
+/// `¬(e ≥ 0) ⇔ -e - 1 ≥ 0` and `¬(e = 0) ⇔ (e - 1 ≥ 0) ∨ (-e - 1 ≥ 0)`.
+fn to_nnf(f: &Formula, negated: bool) -> Nnf {
+    match (f, negated) {
+        (Formula::True, false) | (Formula::False, true) => Nnf::True,
+        (Formula::True, true) | (Formula::False, false) => Nnf::False,
+        (Formula::Not(inner), _) => to_nnf(inner, !negated),
+        (Formula::And(parts), false) | (Formula::Or(parts), true) => {
+            Nnf::And(parts.iter().map(|p| to_nnf(p, negated)).collect())
+        }
+        (Formula::And(parts), true) | (Formula::Or(parts), false) => {
+            Nnf::Or(parts.iter().map(|p| to_nnf(p, negated)).collect())
+        }
+        (Formula::Atom(c), false) => Nnf::Atom(c.clone()),
+        (Formula::Atom(Constraint::Ge0(e)), true) => {
+            // ¬(e ≥ 0) over the integers: e ≤ -1.
+            Nnf::Atom(Constraint::Ge0(e.clone().neg().add(&LinearExpr::constant(-1))))
+        }
+        (Formula::Atom(Constraint::Eq0(e)), true) => Nnf::Or(vec![
+            Nnf::Atom(Constraint::Ge0(e.clone().add(&LinearExpr::constant(-1)))),
+            Nnf::Atom(Constraint::Ge0(e.clone().neg().add(&LinearExpr::constant(-1)))),
+        ]),
+    }
+}
+
+/// Interval (bounds-consistency) propagation for a conjunction of constraints.
+/// Returns tightened domains, or `None` if some constraint cannot be met.
+fn propagate(atoms: &[Constraint], mut domains: Domains) -> Option<Domains> {
+    // An equality contributes both e ≥ 0 and -e ≥ 0.
+    let mut exprs: Vec<LinearExpr> = Vec::with_capacity(atoms.len() * 2);
+    for c in atoms {
+        match c {
+            Constraint::Ge0(e) => exprs.push(e.clone()),
+            Constraint::Eq0(e) => {
+                exprs.push(e.clone());
+                exprs.push(e.clone().neg());
+            }
+        }
+    }
+
+    let passes = 4 * (domains.len() + 1);
+    for _ in 0..passes {
+        let mut changed = false;
+        for e in &exprs {
+            // Maximum achievable value of the expression over the domains.
+            let mut max_total: i128 = e.constant_part() as i128;
+            for (v, c) in e.terms() {
+                let (lo, hi) = domains[v.0 as usize];
+                max_total += if c > 0 {
+                    c as i128 * hi as i128
+                } else {
+                    c as i128 * lo as i128
+                };
+            }
+            if max_total < 0 {
+                return None;
+            }
+            // Tighten each variable given the others at their extremes.
+            for (v, c) in e.terms() {
+                let idx = v.0 as usize;
+                let (lo, hi) = domains[idx];
+                let contribution = if c > 0 {
+                    c as i128 * hi as i128
+                } else {
+                    c as i128 * lo as i128
+                };
+                let rest = max_total - contribution;
+                // Need c·x ≥ -rest.
+                if c > 0 {
+                    let needed = -rest; // c·x ≥ needed
+                    if needed > 0 {
+                        let new_lo = ((needed + c as i128 - 1) / c as i128) as i128;
+                        if new_lo > hi as i128 {
+                            return None;
+                        }
+                        if new_lo > lo as i128 {
+                            domains[idx].0 = new_lo as u64;
+                            changed = true;
+                        }
+                    }
+                } else {
+                    // c < 0: x ≤ rest / (-c).
+                    let cap = rest / (-c) as i128;
+                    if cap < lo as i128 {
+                        return None;
+                    }
+                    if cap < hi as i128 {
+                        domains[idx].1 = cap as u64;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Some(domains)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{Formula, LinearExpr, VarPool};
+
+    fn solver() -> Solver {
+        Solver::new(Bounds::uniform(32))
+    }
+
+    #[test]
+    fn simple_equation() {
+        // x + y = 5 ∧ x ≥ 3 ∧ y ≥ 1
+        let mut pool = VarPool::new();
+        let x = pool.fresh_named("x");
+        let y = pool.fresh_named("y");
+        let f = Formula::and(vec![
+            Formula::eq(LinearExpr::var(x).add(&LinearExpr::var(y)), LinearExpr::constant(5)),
+            Formula::ge(x, 3),
+            Formula::ge(y, 1),
+        ]);
+        let result = solver().solve(&f, &pool);
+        let model = result.model().expect("should be satisfiable");
+        assert_eq!(model[x.0 as usize] + model[y.0 as usize], 5);
+        assert!(model[x.0 as usize] >= 3);
+    }
+
+    #[test]
+    fn unsatisfiable_system() {
+        // x ≥ 3 ∧ x ≤ 1
+        let mut pool = VarPool::new();
+        let x = pool.fresh_named("x");
+        let f = Formula::and(vec![Formula::ge(x, 3), Formula::le(x, 1)]);
+        assert_eq!(solver().solve(&f, &pool), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn disjunction_branching() {
+        // (x = 2 ∨ x = 7) ∧ x ≥ 5
+        let mut pool = VarPool::new();
+        let x = pool.fresh_named("x");
+        let f = Formula::and(vec![
+            Formula::or(vec![Formula::eq(x, 2), Formula::eq(x, 7)]),
+            Formula::ge(x, 5),
+        ]);
+        let model = solver().solve(&f, &pool);
+        assert_eq!(model.model().unwrap()[0], 7);
+    }
+
+    #[test]
+    fn negation_of_equality() {
+        // ¬(x = 0) ∧ x ≤ 1  ⇒ x = 1
+        let mut pool = VarPool::new();
+        let x = pool.fresh_named("x");
+        let f = Formula::and(vec![
+            Formula::not(Formula::eq(x, 0)),
+            Formula::le(x, 1),
+        ]);
+        let model = solver().solve(&f, &pool);
+        assert_eq!(model.model().unwrap()[0], 1);
+    }
+
+    #[test]
+    fn respects_declared_bounds() {
+        // x ≥ 10 with a declared bound of 5 is unsatisfiable.
+        let mut pool = VarPool::new();
+        let x = pool.fresh_bounded("x", 5);
+        let f = Formula::ge(x, 10);
+        assert_eq!(solver().solve(&f, &pool), SolveResult::Unsat);
+        // Raising the bound makes it satisfiable.
+        pool.set_bound(x, 12);
+        assert!(solver().solve(&f, &pool).is_sat());
+    }
+
+    #[test]
+    fn three_variable_combination() {
+        // 2x + 3y - z = 7 ∧ z ≥ 2 ∧ y ≥ 1
+        let mut pool = VarPool::new();
+        let x = pool.fresh_named("x");
+        let y = pool.fresh_named("y");
+        let z = pool.fresh_named("z");
+        let lhs = LinearExpr::term(x, 2)
+            .add(&LinearExpr::term(y, 3))
+            .add(&LinearExpr::term(z, -1));
+        let f = Formula::and(vec![
+            Formula::eq(lhs, LinearExpr::constant(7)),
+            Formula::ge(z, 2),
+            Formula::ge(y, 1),
+        ]);
+        let result = solver().solve(&f, &pool);
+        let m = result.model().expect("satisfiable");
+        assert_eq!(
+            2 * m[x.0 as usize] as i64 + 3 * m[y.0 as usize] as i64 - m[z.0 as usize] as i64,
+            7
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let mut pool = VarPool::new();
+        let vars: Vec<_> = (0..12).map(|i| pool.fresh_named(format!("x{i}"))).collect();
+        // A loose system with a large search space and a tiny budget.
+        let sum = vars
+            .iter()
+            .fold(LinearExpr::constant(0), |acc, v| acc.add(&LinearExpr::var(*v)));
+        let f = Formula::eq(sum, LinearExpr::constant(200));
+        let tight = Solver::new(Bounds::uniform(1_000)).with_node_budget(3);
+        assert_eq!(tight.solve(&f, &pool), SolveResult::Unknown);
+        // With the default budget the system is easily satisfiable.
+        assert!(Solver::new(Bounds::uniform(1_000)).solve(&f, &pool).is_sat());
+    }
+
+    #[test]
+    fn models_are_verified_against_the_formula() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh_named("x");
+        let y = pool.fresh_named("y");
+        let f = Formula::and(vec![
+            Formula::or(vec![Formula::eq(x, 3), Formula::ge(y, 9)]),
+            Formula::le(LinearExpr::var(x).add(&LinearExpr::var(y)), LinearExpr::constant(10)),
+            Formula::not(Formula::eq(y, 0)),
+        ]);
+        match solver().solve(&f, &pool) {
+            SolveResult::Sat(model) => assert!(f.eval(&model)),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+}

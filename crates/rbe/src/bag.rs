@@ -1,0 +1,211 @@
+//! Finite bags (multisets) over an ordered symbol type.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A bag over symbols of type `S`: a finite map from symbols to positive
+/// occurrence counts (symbols with count zero are not stored).
+///
+/// The paper writes bags as `{| a, a, b |}`; [`Bag::from_symbols`] and the
+/// `FromIterator` impl accept exactly that kind of listing.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct Bag<S: Ord> {
+    counts: BTreeMap<S, u64>,
+}
+
+impl<S: Ord> Bag<S> {
+    /// The empty bag `ε`.
+    pub fn new() -> Bag<S> {
+        Bag { counts: BTreeMap::new() }
+    }
+
+    /// Whether the bag is the empty bag.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The number of distinct symbols with a positive count.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The total number of occurrences across all symbols.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// The number of occurrences of `symbol` (zero if absent).
+    pub fn count(&self, symbol: &S) -> u64 {
+        self.counts.get(symbol).copied().unwrap_or(0)
+    }
+
+    /// Add `n` occurrences of `symbol`.
+    pub fn add(&mut self, symbol: S, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(symbol).or_insert(0) += n;
+    }
+
+    /// Add a single occurrence of `symbol`.
+    pub fn push(&mut self, symbol: S) {
+        self.add(symbol, 1);
+    }
+
+    /// Iterate over `(symbol, count)` pairs with positive counts, in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (&S, u64)> {
+        self.counts.iter().map(|(s, &c)| (s, c))
+    }
+
+    /// Iterate over the distinct symbols.
+    pub fn symbols(&self) -> impl Iterator<Item = &S> {
+        self.counts.keys()
+    }
+
+    /// Bag union `⊎`: counts are added point-wise.
+    pub fn union(&self, other: &Bag<S>) -> Bag<S>
+    where
+        S: Clone,
+    {
+        let mut out = self.clone();
+        for (s, c) in other.iter() {
+            out.add(s.clone(), c);
+        }
+        out
+    }
+
+    /// The sub-bag of symbols satisfying `keep`.
+    pub fn restrict<F: Fn(&S) -> bool>(&self, keep: F) -> Bag<S>
+    where
+        S: Clone,
+    {
+        Bag {
+            counts: self
+                .counts
+                .iter()
+                .filter(|(s, _)| keep(s))
+                .map(|(s, c)| (s.clone(), *c))
+                .collect(),
+        }
+    }
+
+    /// Apply a function to every symbol, merging counts of symbols that map to
+    /// the same image.
+    pub fn map<T: Ord, F: Fn(&S) -> T>(&self, f: F) -> Bag<T> {
+        let mut out = Bag::new();
+        for (s, c) in self.iter() {
+            out.add(f(s), c);
+        }
+        out
+    }
+
+    /// Build a bag from explicit `(symbol, count)` pairs.
+    pub fn from_counts<I: IntoIterator<Item = (S, u64)>>(pairs: I) -> Bag<S> {
+        let mut out = Bag::new();
+        for (s, c) in pairs {
+            out.add(s, c);
+        }
+        out
+    }
+
+    /// Build a bag from a listing of symbols (with repetitions), the paper's
+    /// `{| a, a, c |}` notation.
+    pub fn from_symbols<I: IntoIterator<Item = S>>(symbols: I) -> Bag<S> {
+        let mut out = Bag::new();
+        for s in symbols {
+            out.push(s);
+        }
+        out
+    }
+
+    /// Whether `self(a) <= other(a)` for every symbol `a` (sub-bag relation).
+    pub fn is_subbag(&self, other: &Bag<S>) -> bool {
+        self.iter().all(|(s, c)| other.count(s) >= c)
+    }
+}
+
+impl<S: Ord> FromIterator<S> for Bag<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Bag::from_symbols(iter)
+    }
+}
+
+impl<S: Ord + fmt::Display> fmt::Display for Bag<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{|")?;
+        let mut first = true;
+        for (s, c) in self.iter() {
+            for _ in 0..c {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{s}")?;
+                first = false;
+            }
+        }
+        write!(f, "|}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_counts() {
+        let w: Bag<&str> = Bag::from_symbols(["a", "a", "a", "c", "c"]);
+        assert_eq!(w.count(&"a"), 3);
+        assert_eq!(w.count(&"b"), 0);
+        assert_eq!(w.count(&"c"), 2);
+        assert_eq!(w.total(), 5);
+        assert_eq!(w.distinct(), 2);
+        assert!(!w.is_empty());
+        assert!(Bag::<&str>::new().is_empty());
+    }
+
+    #[test]
+    fn zero_counts_are_not_stored() {
+        let mut w: Bag<&str> = Bag::new();
+        w.add("a", 0);
+        assert!(w.is_empty());
+        assert_eq!(w, Bag::new());
+    }
+
+    #[test]
+    fn union_adds_counts() {
+        let w1 = Bag::from_symbols(["a", "b"]);
+        let w2 = Bag::from_symbols(["a", "c"]);
+        let u = w1.union(&w2);
+        assert_eq!(u.count(&"a"), 2);
+        assert_eq!(u.count(&"b"), 1);
+        assert_eq!(u.count(&"c"), 1);
+        assert_eq!(u.total(), 4);
+    }
+
+    #[test]
+    fn restrict_and_map() {
+        let w = Bag::from_counts([("a", 2), ("b", 1), ("c", 4)]);
+        let r = w.restrict(|s| *s != "b");
+        assert_eq!(r.count(&"b"), 0);
+        assert_eq!(r.total(), 6);
+        // Map "a" and "b" to the same image; counts merge.
+        let m = w.map(|s| if *s == "c" { "other" } else { "ab" });
+        assert_eq!(m.count(&"ab"), 3);
+        assert_eq!(m.count(&"other"), 4);
+    }
+
+    #[test]
+    fn subbag_relation() {
+        let small = Bag::from_counts([("a", 1), ("b", 2)]);
+        let big = Bag::from_counts([("a", 1), ("b", 3), ("c", 1)]);
+        assert!(small.is_subbag(&big));
+        assert!(!big.is_subbag(&small));
+        assert!(Bag::<&str>::new().is_subbag(&small));
+    }
+
+    #[test]
+    fn display_lists_occurrences() {
+        let w = Bag::from_symbols(["b", "a", "a"]);
+        assert_eq!(w.to_string(), "{|a, a, b|}");
+    }
+}

@@ -1,0 +1,595 @@
+//! Interval-constrained assignment ("flow routing") problems.
+//!
+//! Both the witness check of an embedding (Definition 3.1, condition 3) and
+//! the satisfaction of an RBE₀ type definition by a node's outbound
+//! neighbourhood reduce to the same question: given *sources* and *sinks*
+//! carrying occurrence intervals and a compatibility relation, is there a
+//! total assignment `λ` of sources to compatible sinks such that for every
+//! sink `u` the interval sum `⊕ { interval(v) | λ(v) = u }` is included in
+//! `interval(u)`?
+//!
+//! * [`basic_assignment`] solves the problem in polynomial time when all
+//!   intervals are *basic* (`1`, `?`, `+`, `*`), the tractable case of
+//!   Theorem 3.4. The paper gives a direct augmenting-path algorithm
+//!   (push-forth / pull-back graphs); this implementation reduces the problem
+//!   to an integral feasible-circulation instance with lower bounds, which is
+//!   solved by a small max-flow routine — the same polynomial complexity
+//!   class with an easier correctness argument.
+//! * [`general_assignment`] solves the problem for arbitrary intervals by
+//!   backtracking search; the problem is NP-complete in that generality
+//!   (Theorem 3.5).
+
+use crate::interval::Interval;
+
+/// A sufficient statistic of the interval sum routed into a sink.
+#[derive(Debug, Clone, Copy, Default)]
+struct SinkLoad {
+    lo_sum: u64,
+    finite_hi_sum: u64,
+    unbounded_sources: u32,
+}
+
+impl SinkLoad {
+    fn add(&mut self, interval: Interval) {
+        self.lo_sum += interval.lo();
+        match interval.hi() {
+            Some(h) => self.finite_hi_sum += h,
+            None => self.unbounded_sources += 1,
+        }
+    }
+
+    fn remove(&mut self, interval: Interval) {
+        self.lo_sum -= interval.lo();
+        match interval.hi() {
+            Some(h) => self.finite_hi_sum -= h,
+            None => self.unbounded_sources -= 1,
+        }
+    }
+
+    /// Whether the load can still fit under the sink's upper bound (more
+    /// sources may be added later, which only increases the sums).
+    fn fits_upper(&self, sink: Interval) -> bool {
+        match sink.hi() {
+            None => true,
+            Some(cap) => self.unbounded_sources == 0 && self.finite_hi_sum <= cap,
+        }
+    }
+
+    /// Whether the final load satisfies both bounds of the sink's interval.
+    fn fits(&self, sink: Interval) -> bool {
+        self.fits_upper(sink) && self.lo_sum >= sink.lo()
+    }
+}
+
+/// Solve the assignment problem for **basic** intervals in polynomial time.
+///
+/// `compatible(v, u)` tells whether source `v` may be routed to sink `u`.
+/// Returns the assignment (`result[v] = u`) or `None` when no valid routing
+/// exists.
+///
+/// # Panics
+/// Panics if any interval is not basic (`1`, `?`, `+`, `*`); use
+/// [`general_assignment`] for arbitrary intervals.
+pub fn basic_assignment(
+    sources: &[Interval],
+    sinks: &[Interval],
+    compatible: impl Fn(usize, usize) -> bool,
+) -> Option<Vec<usize>> {
+    for i in sources.iter().chain(sinks.iter()) {
+        assert!(
+            i.is_basic(),
+            "basic_assignment requires basic intervals, got {i}"
+        );
+    }
+    // Trivial case: no sources. Every sink must accept the empty sum [0;0].
+    if sources.is_empty() {
+        return if sinks.iter().all(|u| u.lo() == 0) {
+            Some(Vec::new())
+        } else {
+            None
+        };
+    }
+    if sinks.is_empty() {
+        return None; // a source cannot be routed anywhere
+    }
+
+    // Build a circulation-with-lower-bounds network:
+    //   s → v                 [1;1]   every source is routed exactly once
+    //   v → u_strong          [0;1]   if compatible, lo(v) = 1, hi-compatible
+    //   v → u_weak            [0;1]   if compatible, lo(v) = 0, hi-compatible
+    //   u_strong → u          [lo(u); n]
+    //   u_weak   → u          [0; n]
+    //   u → t                 [0; hi(u) = 1 ? 1 : n]
+    //   t → s                 [0; n]  (closes the circulation)
+    // where hi-compatible forbids routing an unbounded source into a sink with
+    // finite upper bound.
+    let n_sources = sources.len();
+    let n_sinks = sinks.len();
+    let big = n_sources as i64; // capacity standing in for ∞
+    let node_s = 0;
+    let node_t = 1;
+    let source_node = |v: usize| 2 + v;
+    let strong_node = |u: usize| 2 + n_sources + u;
+    let weak_node = |u: usize| 2 + n_sources + n_sinks + u;
+    let sink_node = |u: usize| 2 + n_sources + 2 * n_sinks + u;
+    let total_nodes = 2 + n_sources + 3 * n_sinks;
+
+    let mut net = LowerBoundFlow::new(total_nodes);
+    let mut source_edge_ids: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_sources];
+    for v in 0..n_sources {
+        net.add_edge(node_s, source_node(v), 1, 1);
+    }
+    for u in 0..n_sinks {
+        net.add_edge(strong_node(u), sink_node(u), sinks[u].lo() as i64, big);
+        net.add_edge(weak_node(u), sink_node(u), 0, big);
+        let cap = match sinks[u].hi() {
+            Some(h) => h as i64,
+            None => big,
+        };
+        net.add_edge(sink_node(u), node_t, 0, cap);
+    }
+    for v in 0..n_sources {
+        for u in 0..n_sinks {
+            if !compatible(v, u) {
+                continue;
+            }
+            // An unbounded source cannot feed a finitely bounded sink.
+            if sources[v].hi().is_none() && sinks[u].hi().is_some() {
+                continue;
+            }
+            let mid = if sources[v].lo() >= 1 {
+                strong_node(u)
+            } else {
+                weak_node(u)
+            };
+            let edge = net.add_edge(source_node(v), mid, 0, 1);
+            source_edge_ids[v].push((u, edge));
+        }
+    }
+    net.add_edge(node_t, node_s, 0, big);
+
+    let flow = net.feasible()?;
+    let mut assignment = vec![usize::MAX; n_sources];
+    for v in 0..n_sources {
+        for &(u, edge) in &source_edge_ids[v] {
+            if flow[edge] > 0 {
+                assignment[v] = u;
+            }
+        }
+        if assignment[v] == usize::MAX {
+            // Should not happen for a feasible circulation; treat as failure.
+            return None;
+        }
+    }
+    debug_assert!(verify_assignment(sources, sinks, &assignment));
+    Some(assignment)
+}
+
+/// Solve the assignment problem for arbitrary intervals by backtracking.
+///
+/// Sound and complete, but exponential in the worst case (the problem is
+/// NP-complete, Theorem 3.5). Two prunings keep it practical on the workloads
+/// in this workspace: upper bounds are checked incrementally, and a sink whose
+/// lower bound can no longer be reached by the still-unassigned compatible
+/// sources cuts the branch immediately.
+pub fn general_assignment(
+    sources: &[Interval],
+    sinks: &[Interval],
+    compatible: impl Fn(usize, usize) -> bool,
+) -> Option<Vec<usize>> {
+    if sources.is_empty() {
+        return if sinks.iter().all(|u| u.lo() == 0) {
+            Some(Vec::new())
+        } else {
+            None
+        };
+    }
+    if sinks.is_empty() {
+        return None;
+    }
+    // Precompute the compatibility lists.
+    let compat: Vec<Vec<usize>> = (0..sources.len())
+        .map(|v| (0..sinks.len()).filter(|&u| compatible(v, u)).collect())
+        .collect();
+    // Potential lower-bound mass still available to each sink from unassigned
+    // sources; once `loads[u].lo_sum + potential_lo[u] < sinks[u].lo()` the
+    // branch is dead.
+    let mut potential_lo: Vec<u64> = vec![0; sinks.len()];
+    for (v, sinks_of_v) in compat.iter().enumerate() {
+        for &u in sinks_of_v {
+            potential_lo[u] += sources[v].lo();
+        }
+    }
+    if potential_lo
+        .iter()
+        .zip(sinks.iter())
+        .any(|(&potential, sink)| potential < sink.lo())
+    {
+        return None;
+    }
+
+    let mut loads: Vec<SinkLoad> = vec![SinkLoad::default(); sinks.len()];
+    let mut assignment = vec![usize::MAX; sources.len()];
+    // Order sources by how few sinks they are compatible with (fail fast).
+    let mut order: Vec<usize> = (0..sources.len()).collect();
+    order.sort_by_key(|&v| compat[v].len());
+
+    struct Search<'a> {
+        sources: &'a [Interval],
+        sinks: &'a [Interval],
+        compat: &'a [Vec<usize>],
+        order: &'a [usize],
+        loads: Vec<SinkLoad>,
+        potential_lo: Vec<u64>,
+        assignment: Vec<usize>,
+    }
+
+    impl Search<'_> {
+        fn run(&mut self, pos: usize) -> bool {
+            if pos == self.order.len() {
+                return self
+                    .loads
+                    .iter()
+                    .zip(self.sinks.iter())
+                    .all(|(load, sink)| load.fits(*sink));
+            }
+            let v = self.order[pos];
+            let lo_v = self.sources[v].lo();
+            // The source is no longer "available": remove its potential from
+            // every compatible sink, then add it back to the chosen one.
+            for &u in &self.compat[v] {
+                self.potential_lo[u] -= lo_v;
+            }
+            for idx in 0..self.compat[v].len() {
+                let u = self.compat[v][idx];
+                self.loads[u].add(self.sources[v]);
+                let feasible = self.loads[u].fits_upper(self.sinks[u])
+                    && self.lower_bounds_reachable();
+                if feasible {
+                    self.assignment[v] = u;
+                    if self.run(pos + 1) {
+                        return true;
+                    }
+                    self.assignment[v] = usize::MAX;
+                }
+                self.loads[u].remove(self.sources[v]);
+            }
+            for &u in &self.compat[v] {
+                self.potential_lo[u] += lo_v;
+            }
+            false
+        }
+
+        fn lower_bounds_reachable(&self) -> bool {
+            self.loads
+                .iter()
+                .zip(self.potential_lo.iter())
+                .zip(self.sinks.iter())
+                .all(|((load, &potential), sink)| load.lo_sum + potential >= sink.lo())
+        }
+    }
+
+    let mut search = Search {
+        sources,
+        sinks,
+        compat: &compat,
+        order: &order,
+        loads: std::mem::take(&mut loads),
+        potential_lo: std::mem::take(&mut potential_lo),
+        assignment: std::mem::take(&mut assignment),
+    };
+    if search.run(0) {
+        debug_assert!(verify_assignment(sources, sinks, &search.assignment));
+        Some(search.assignment)
+    } else {
+        None
+    }
+}
+
+/// Verify that an assignment satisfies the interval-sum condition; exposed for
+/// tests and used as a debug assertion by both solvers.
+pub fn verify_assignment(
+    sources: &[Interval],
+    sinks: &[Interval],
+    assignment: &[usize],
+) -> bool {
+    if assignment.len() != sources.len() {
+        return false;
+    }
+    let mut loads = vec![SinkLoad::default(); sinks.len()];
+    for (v, &u) in assignment.iter().enumerate() {
+        if u >= sinks.len() {
+            return false;
+        }
+        loads[u].add(sources[v]);
+    }
+    loads
+        .iter()
+        .zip(sinks.iter())
+        .all(|(load, sink)| load.fits(*sink))
+}
+
+/// A tiny max-flow network supporting lower bounds via the standard
+/// excess-node reduction; capacities are small integers.
+struct LowerBoundFlow {
+    graph: Vec<Vec<usize>>, // adjacency: indices into `edges`
+    edges: Vec<FlowEdge>,
+    excess: Vec<i64>,
+    lower: Vec<i64>,
+}
+
+#[derive(Debug, Clone)]
+struct FlowEdge {
+    to: usize,
+    cap: i64,
+    flow: i64,
+}
+
+impl LowerBoundFlow {
+    fn new(nodes: usize) -> LowerBoundFlow {
+        LowerBoundFlow {
+            graph: vec![Vec::new(); nodes],
+            edges: Vec::new(),
+            excess: vec![0; nodes],
+            lower: Vec::new(),
+        }
+    }
+
+    /// Add an edge with a lower bound and an upper capacity; returns the index
+    /// used to read the final flow back.
+    fn add_edge(&mut self, from: usize, to: usize, lower: i64, upper: i64) -> usize {
+        debug_assert!(lower <= upper);
+        let id = self.edges.len();
+        // Store the reduced capacity (upper - lower); account the lower bound
+        // as an excess transfer.
+        self.graph[from].push(self.edges.len());
+        self.edges.push(FlowEdge { to, cap: upper - lower, flow: 0 });
+        self.graph[to].push(self.edges.len());
+        self.edges.push(FlowEdge { to: from, cap: 0, flow: 0 });
+        self.excess[to] += lower;
+        self.excess[from] -= lower;
+        self.lower.push(lower);
+        self.lower.push(0);
+        id
+    }
+
+    /// Check feasibility; on success return, for every public edge id, the
+    /// total flow including its lower bound.
+    fn feasible(mut self) -> Option<Vec<i64>> {
+        let n = self.graph.len();
+        let super_s = n;
+        let super_t = n + 1;
+        self.graph.push(Vec::new());
+        self.graph.push(Vec::new());
+        self.excess.push(0);
+        self.excess.push(0);
+        let mut required = 0;
+        for node in 0..n {
+            let excess = self.excess[node];
+            if excess > 0 {
+                required += excess;
+                self.push_plain_edge(super_s, node, excess);
+            } else if excess < 0 {
+                self.push_plain_edge(node, super_t, -excess);
+            }
+        }
+        let achieved = self.max_flow(super_s, super_t);
+        if achieved < required {
+            return None;
+        }
+        let flows = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| e.flow + self.lower.get(i).copied().unwrap_or(0))
+            .collect();
+        Some(flows)
+    }
+
+    fn push_plain_edge(&mut self, from: usize, to: usize, cap: i64) {
+        self.graph[from].push(self.edges.len());
+        self.edges.push(FlowEdge { to, cap, flow: 0 });
+        self.graph[to].push(self.edges.len());
+        self.edges.push(FlowEdge { to: from, cap: 0, flow: 0 });
+        self.lower.push(0);
+        self.lower.push(0);
+    }
+
+    /// Edmonds–Karp max-flow; the networks here have a handful of nodes.
+    fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        let mut total = 0;
+        loop {
+            // BFS for an augmenting path.
+            let mut parent_edge: Vec<Option<usize>> = vec![None; self.graph.len()];
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            let mut reached = vec![false; self.graph.len()];
+            reached[s] = true;
+            while let Some(x) = queue.pop_front() {
+                if x == t {
+                    break;
+                }
+                for &eid in &self.graph[x] {
+                    let e = &self.edges[eid];
+                    if !reached[e.to] && e.cap - e.flow > 0 {
+                        reached[e.to] = true;
+                        parent_edge[e.to] = Some(eid);
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if !reached[t] {
+                break;
+            }
+            // Find the bottleneck.
+            let mut bottleneck = i64::MAX;
+            let mut node = t;
+            while node != s {
+                let eid = parent_edge[node].expect("path exists");
+                let e = &self.edges[eid];
+                bottleneck = bottleneck.min(e.cap - e.flow);
+                node = self.edges[eid ^ 1].to;
+            }
+            // Augment.
+            let mut node = t;
+            while node != s {
+                let eid = parent_edge[node].expect("path exists");
+                self.edges[eid].flow += bottleneck;
+                self.edges[eid ^ 1].flow -= bottleneck;
+                node = self.edges[eid ^ 1].to;
+            }
+            total += bottleneck;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ONE: Interval = Interval::ONE;
+    const OPT: Interval = Interval::OPT;
+    const PLUS: Interval = Interval::PLUS;
+    const STAR: Interval = Interval::STAR;
+
+    fn check_both(
+        sources: &[Interval],
+        sinks: &[Interval],
+        compat: &[(usize, usize)],
+        expect: bool,
+    ) {
+        let compatible = |v: usize, u: usize| compat.contains(&(v, u));
+        let basic = basic_assignment(sources, sinks, compatible);
+        let general = general_assignment(sources, sinks, compatible);
+        assert_eq!(basic.is_some(), expect, "basic solver disagrees");
+        assert_eq!(general.is_some(), expect, "general solver disagrees");
+        if let Some(a) = &basic {
+            assert!(verify_assignment(sources, sinks, a));
+        }
+        if let Some(a) = &general {
+            assert!(verify_assignment(sources, sinks, a));
+        }
+    }
+
+    #[test]
+    fn single_source_single_sink() {
+        check_both(&[ONE], &[ONE], &[(0, 0)], true);
+        check_both(&[ONE], &[STAR], &[(0, 0)], true);
+        check_both(&[ONE], &[OPT], &[(0, 0)], true);
+        check_both(&[STAR], &[ONE], &[(0, 0)], false);
+        check_both(&[STAR], &[STAR], &[(0, 0)], true);
+        check_both(&[OPT], &[ONE], &[(0, 0)], false, );
+        check_both(&[OPT], &[PLUS], &[(0, 0)], false);
+        check_both(&[PLUS], &[PLUS], &[(0, 0)], true);
+        // Incompatible pair.
+        check_both(&[ONE], &[ONE], &[], false);
+    }
+
+    #[test]
+    fn mandatory_sink_requires_a_source() {
+        // A sink with interval 1 and no compatible source fails even though
+        // every source is routed elsewhere.
+        check_both(&[ONE], &[ONE, ONE], &[(0, 0)], false);
+        // With an OPT second sink it succeeds.
+        check_both(&[ONE], &[ONE, OPT], &[(0, 0)], true);
+        // Empty source set: only "optional" sinks are satisfied.
+        check_both(&[], &[OPT, STAR], &[], true);
+        check_both(&[], &[ONE], &[], false);
+        check_both(&[], &[PLUS], &[], false);
+    }
+
+    #[test]
+    fn capacity_one_sinks_take_at_most_one_source() {
+        // Two mandatory sources, a single capacity-1 sink.
+        check_both(&[ONE, ONE], &[ONE], &[(0, 0), (1, 0)], false);
+        // A star sink absorbs both.
+        check_both(&[ONE, ONE], &[STAR], &[(0, 0), (1, 0)], true);
+        // Split across two sinks.
+        check_both(&[ONE, ONE], &[ONE, ONE], &[(0, 0), (0, 1), (1, 0), (1, 1)], true);
+        // Both sources only compatible with the same capacity-1 sink.
+        check_both(&[ONE, ONE], &[ONE, ONE], &[(0, 0), (1, 0)], false);
+    }
+
+    #[test]
+    fn optional_sources_do_not_satisfy_mandatory_sinks() {
+        // An OPT source alone cannot satisfy a PLUS or ONE sink (lower bound).
+        check_both(&[OPT], &[STAR], &[(0, 0)], true);
+        check_both(&[OPT, ONE], &[PLUS], &[(0, 0), (1, 0)], true);
+        check_both(&[OPT, OPT], &[PLUS], &[(0, 0), (1, 0)], false);
+    }
+
+    #[test]
+    fn unbounded_sources_need_unbounded_sinks() {
+        check_both(&[STAR], &[OPT], &[(0, 0)], false);
+        check_both(&[STAR], &[STAR], &[(0, 0)], true);
+        check_both(&[PLUS], &[ONE], &[(0, 0)], false);
+        check_both(&[PLUS], &[PLUS], &[(0, 0)], true);
+        check_both(&[PLUS, ONE], &[PLUS, OPT], &[(0, 0), (1, 1)], true);
+    }
+
+    #[test]
+    fn assignment_respects_compatibility() {
+        let sources = [ONE, ONE, ONE];
+        let sinks = [STAR, ONE];
+        let compat = [(0, 0), (1, 0), (2, 1)];
+        let compatible = |v: usize, u: usize| compat.contains(&(v, u));
+        let a = basic_assignment(&sources, &sinks, compatible).unwrap();
+        assert_eq!(a[2], 1);
+        assert_eq!(a[0], 0);
+        assert_eq!(a[1], 0);
+    }
+
+    #[test]
+    fn general_assignment_handles_arbitrary_intervals() {
+        // Source [2;2] must go to a sink that tolerates exactly two.
+        let sources = [Interval::exactly(2), Interval::exactly(1)];
+        let sinks = [Interval::bounded(2, 3), Interval::bounded(1, 1)];
+        let compatible = |_v: usize, _u: usize| true;
+        let a = general_assignment(&sources, &sinks, compatible).unwrap();
+        assert!(verify_assignment(&sources, &sinks, &a));
+        // Sum of lower bounds exceeding every sink's capacity is infeasible.
+        let bad = general_assignment(
+            &[Interval::exactly(3)],
+            &[Interval::bounded(1, 2)],
+            |_, _| true,
+        );
+        assert!(bad.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires basic intervals")]
+    fn basic_assignment_rejects_arbitrary_intervals() {
+        let _ = basic_assignment(&[Interval::exactly(2)], &[STAR], |_, _| true);
+    }
+
+    #[test]
+    fn randomized_cross_check() {
+        // Exhaustively compare the two solvers on all small instances over
+        // basic intervals with a fixed compatibility pattern.
+        let basics = [ONE, OPT, PLUS, STAR];
+        for &s1 in &basics {
+            for &s2 in &basics {
+                for &u1 in &basics {
+                    for &u2 in &basics {
+                        for mask in 0..16u32 {
+                            let compat: Vec<(usize, usize)> = (0..4)
+                                .filter(|i| mask & (1 << i) != 0)
+                                .map(|i| (i / 2, i % 2))
+                                .collect();
+                            let compatible = |v: usize, u: usize| compat.contains(&(v, u));
+                            let sources = [s1, s2];
+                            let sinks = [u1, u2];
+                            let b = basic_assignment(&sources, &sinks, compatible).is_some();
+                            let g = general_assignment(&sources, &sinks, compatible).is_some();
+                            assert_eq!(
+                                b, g,
+                                "solvers disagree on sources {s1},{s2} sinks {u1},{u2} mask {mask:b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! Occurrence intervals `[n;m]` and finite unions thereof.
+//!
+//! Intervals follow Section 2 of the paper: a pair `[n;m]` with `n ≤ m ≤ ∞`
+//! denotes the set `{i | n ≤ i ≤ m}`. The four *basic* intervals are written
+//! `1 = [1;1]`, `? = [0;1]`, `+ = [1;∞]` and `* = [0;∞]`; `0 = [0;0]` is used
+//! as an auxiliary constant.
+
+use std::fmt;
+
+/// An occurrence interval `[min; max]` over the natural numbers, where the
+/// upper bound may be unbounded (`∞`).
+///
+/// Invariant: if the upper bound is finite then `min <= max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    min: u64,
+    /// `None` represents `∞`.
+    max: Option<u64>,
+}
+
+/// The four basic intervals of popular schema languages (`M` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Basic {
+    /// `1 = [1;1]`.
+    One,
+    /// `? = [0;1]`.
+    Opt,
+    /// `+ = [1;∞]`.
+    Plus,
+    /// `* = [0;∞]`.
+    Star,
+}
+
+impl Basic {
+    /// The interval denoted by this basic symbol.
+    pub fn interval(self) -> Interval {
+        match self {
+            Basic::One => Interval::ONE,
+            Basic::Opt => Interval::OPT,
+            Basic::Plus => Interval::PLUS,
+            Basic::Star => Interval::STAR,
+        }
+    }
+
+    /// All four basic intervals, useful for exhaustive generators.
+    pub const ALL: [Basic; 4] = [Basic::One, Basic::Opt, Basic::Plus, Basic::Star];
+}
+
+impl fmt::Display for Basic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Basic::One => write!(f, "1"),
+            Basic::Opt => write!(f, "?"),
+            Basic::Plus => write!(f, "+"),
+            Basic::Star => write!(f, "*"),
+        }
+    }
+}
+
+impl Interval {
+    /// `[0;0]`, the neutral element of `⊕`.
+    pub const ZERO: Interval = Interval { min: 0, max: Some(0) };
+    /// `1 = [1;1]`.
+    pub const ONE: Interval = Interval { min: 1, max: Some(1) };
+    /// `? = [0;1]`.
+    pub const OPT: Interval = Interval { min: 0, max: Some(1) };
+    /// `+ = [1;∞]`.
+    pub const PLUS: Interval = Interval { min: 1, max: None };
+    /// `* = [0;∞]`.
+    pub const STAR: Interval = Interval { min: 0, max: None };
+
+    /// A bounded interval `[min; max]`.
+    ///
+    /// # Panics
+    /// Panics if `min > max`.
+    pub fn bounded(min: u64, max: u64) -> Interval {
+        assert!(min <= max, "invalid interval [{min};{max}]");
+        Interval { min, max: Some(max) }
+    }
+
+    /// The unbounded interval `[min; ∞]`.
+    pub fn at_least(min: u64) -> Interval {
+        Interval { min, max: None }
+    }
+
+    /// The singleton interval `[n; n]`.
+    pub fn exactly(n: u64) -> Interval {
+        Interval { min: n, max: Some(n) }
+    }
+
+    /// An interval from an optional upper bound (`None` meaning `∞`).
+    ///
+    /// # Panics
+    /// Panics if a finite `max` is smaller than `min`.
+    pub fn new(min: u64, max: Option<u64>) -> Interval {
+        match max {
+            Some(m) => Interval::bounded(min, m),
+            None => Interval::at_least(min),
+        }
+    }
+
+    /// The lower bound `min(I)` of the paper.
+    pub fn lo(&self) -> u64 {
+        self.min
+    }
+
+    /// The upper bound `max(I)` of the paper, `None` meaning `∞`.
+    pub fn hi(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Whether the interval is bounded above.
+    pub fn is_finite(&self) -> bool {
+        self.max.is_some()
+    }
+
+    /// Whether `n ∈ [min; max]`.
+    pub fn contains(&self, n: u64) -> bool {
+        n >= self.min && self.max.map_or(true, |m| n <= m)
+    }
+
+    /// Interval inclusion: `self ⊆ other` iff `other.min ≤ self.min` and
+    /// `self.max ≤ other.max`.
+    pub fn is_subset(&self, other: &Interval) -> bool {
+        other.min <= self.min
+            && match (self.max, other.max) {
+                (_, None) => true,
+                (None, Some(_)) => false,
+                (Some(a), Some(b)) => a <= b,
+            }
+    }
+
+    /// Point-wise addition `⊕`: `[n1;m1] ⊕ [n2;m2] = [n1+n2; m1+m2]`.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            min: self.min + other.min,
+            max: match (self.max, other.max) {
+                (Some(a), Some(b)) => Some(a + b),
+                _ => None,
+            },
+        }
+    }
+
+    /// The `n`-fold point-wise sum `I ⊕ … ⊕ I` (`n` times); `[0;0]` for `n = 0`.
+    pub fn scale(&self, n: u64) -> Interval {
+        if n == 0 {
+            Interval::ZERO
+        } else {
+            Interval {
+                min: self.min * n,
+                max: self.max.map(|m| m * n),
+            }
+        }
+    }
+
+    /// Intersection of two intervals, `None` if disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let min = self.min.max(other.min);
+        let max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        match max {
+            Some(m) if m < min => None,
+            _ => Some(Interval { min, max }),
+        }
+    }
+
+    /// Whether the intervals overlap.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Classify the interval as one of the four basic intervals, if it is one.
+    pub fn basic(&self) -> Option<Basic> {
+        match (self.min, self.max) {
+            (1, Some(1)) => Some(Basic::One),
+            (0, Some(1)) => Some(Basic::Opt),
+            (1, None) => Some(Basic::Plus),
+            (0, None) => Some(Basic::Star),
+            _ => None,
+        }
+    }
+
+    /// Whether the interval is one of `1`, `?`, `+`, `*`.
+    pub fn is_basic(&self) -> bool {
+        self.basic().is_some()
+    }
+
+    /// Whether the interval is a singleton `[k;k]` (used by compressed graphs).
+    pub fn singleton(&self) -> Option<u64> {
+        match self.max {
+            Some(m) if m == self.min => Some(self.min),
+            _ => None,
+        }
+    }
+
+    /// Parse the textual forms used by the schema syntax: `1`, `?`, `+`, `*`,
+    /// `[n;m]`, `[n;*]`, or a plain number `k` meaning `[k;k]`.
+    pub fn parse(text: &str) -> Result<Interval, String> {
+        let t = text.trim();
+        match t {
+            "1" => return Ok(Interval::ONE),
+            "?" => return Ok(Interval::OPT),
+            "+" => return Ok(Interval::PLUS),
+            "*" => return Ok(Interval::STAR),
+            _ => {}
+        }
+        if let Ok(k) = t.parse::<u64>() {
+            return Ok(Interval::exactly(k));
+        }
+        let inner = t
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| format!("cannot parse interval `{t}`"))?;
+        let (lo, hi) = inner
+            .split_once(';')
+            .or_else(|| inner.split_once(','))
+            .ok_or_else(|| format!("interval `{t}` must look like [n;m]"))?;
+        let min: u64 = lo
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad lower bound in `{t}`"))?;
+        let hi = hi.trim();
+        if hi == "*" || hi == "inf" || hi == "∞" {
+            return Ok(Interval::at_least(min));
+        }
+        let max: u64 = hi.parse().map_err(|_| format!("bad upper bound in `{t}`"))?;
+        if min > max {
+            return Err(format!("empty interval `{t}`"));
+        }
+        Ok(Interval::bounded(min, max))
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(b) = self.basic() {
+            return write!(f, "{b}");
+        }
+        match self.max {
+            Some(m) if m == self.min => write!(f, "[{};{}]", self.min, m),
+            Some(m) => write!(f, "[{};{}]", self.min, m),
+            None => write!(f, "[{};*]", self.min),
+        }
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::ONE
+    }
+}
+
+impl From<Basic> for Interval {
+    fn from(b: Basic) -> Self {
+        b.interval()
+    }
+}
+
+/// A finite union of intervals, kept sorted and with overlapping or adjacent
+/// members merged.
+///
+/// Interval sets arise in the polynomial membership test for single-occurrence
+/// expressions, where the set of admissible iteration counts of a
+/// sub-expression may fail to be convex (e.g. `{0} ∪ [3;∞]`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntervalSet {
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn empty() -> IntervalSet {
+        IntervalSet { intervals: Vec::new() }
+    }
+
+    /// The set containing every natural number.
+    pub fn all() -> IntervalSet {
+        IntervalSet::from(Interval::STAR)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The member intervals, sorted and disjoint.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Whether `n` belongs to the set.
+    pub fn contains(&self, n: u64) -> bool {
+        self.intervals.iter().any(|i| i.contains(n))
+    }
+
+    /// Insert an interval, merging where possible.
+    pub fn insert(&mut self, interval: Interval) {
+        self.intervals.push(interval);
+        self.normalize();
+    }
+
+    /// The smallest member of the set, if any.
+    pub fn minimum(&self) -> Option<u64> {
+        self.intervals.first().map(|i| i.lo())
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut intervals = self.intervals.clone();
+        intervals.extend(other.intervals.iter().copied());
+        let mut out = IntervalSet { intervals };
+        out.normalize();
+        out
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        for a in &self.intervals {
+            for b in &other.intervals {
+                if let Some(c) = a.intersect(b) {
+                    out.push(c);
+                }
+            }
+        }
+        let mut set = IntervalSet { intervals: out };
+        set.normalize();
+        set
+    }
+
+    /// Point-wise sum of sets: `{a + b | a ∈ self, b ∈ other}`.
+    ///
+    /// The result of adding two intervals is again an interval, so the result
+    /// is the union of the pairwise sums.
+    pub fn add(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        for a in &self.intervals {
+            for b in &other.intervals {
+                out.push(a.add(b));
+            }
+        }
+        let mut set = IntervalSet { intervals: out };
+        set.normalize();
+        set
+    }
+
+    fn normalize(&mut self) {
+        self.intervals.sort();
+        let mut merged: Vec<Interval> = Vec::with_capacity(self.intervals.len());
+        for iv in self.intervals.drain(..) {
+            match merged.last_mut() {
+                Some(last) => {
+                    // Merge when overlapping or adjacent (last.max + 1 >= iv.min).
+                    let touches = match last.hi() {
+                        None => true,
+                        Some(m) => m.saturating_add(1) >= iv.lo(),
+                    };
+                    if touches {
+                        let new_max = match (last.hi(), iv.hi()) {
+                            (Some(a), Some(b)) => Some(a.max(b)),
+                            _ => None,
+                        };
+                        *last = Interval::new(last.lo(), new_max);
+                    } else {
+                        merged.push(iv);
+                    }
+                }
+                None => merged.push(iv),
+            }
+        }
+        self.intervals = merged;
+    }
+}
+
+impl From<Interval> for IntervalSet {
+    fn from(interval: Interval) -> Self {
+        IntervalSet { intervals: vec![interval] }
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.intervals.is_empty() {
+            return write!(f, "∅");
+        }
+        let parts: Vec<String> = self.intervals.iter().map(|i| i.to_string()).collect();
+        write!(f, "{}", parts.join(" ∪ "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_intervals_roundtrip() {
+        for b in Basic::ALL {
+            let i = b.interval();
+            assert_eq!(i.basic(), Some(b));
+            assert!(i.is_basic());
+            assert_eq!(Interval::parse(&i.to_string()).unwrap(), i);
+        }
+        assert!(!Interval::ZERO.is_basic());
+        assert!(!Interval::bounded(2, 3).is_basic());
+    }
+
+    #[test]
+    fn contains_and_subset() {
+        assert!(Interval::STAR.contains(0));
+        assert!(Interval::STAR.contains(1_000_000));
+        assert!(Interval::PLUS.contains(1));
+        assert!(!Interval::PLUS.contains(0));
+        assert!(Interval::OPT.contains(0));
+        assert!(!Interval::OPT.contains(2));
+
+        assert!(Interval::ONE.is_subset(&Interval::PLUS));
+        assert!(Interval::ONE.is_subset(&Interval::OPT));
+        assert!(Interval::ONE.is_subset(&Interval::STAR));
+        assert!(Interval::OPT.is_subset(&Interval::STAR));
+        assert!(Interval::PLUS.is_subset(&Interval::STAR));
+        assert!(!Interval::STAR.is_subset(&Interval::PLUS));
+        assert!(!Interval::OPT.is_subset(&Interval::ONE));
+        assert!(Interval::bounded(2, 3).is_subset(&Interval::bounded(1, 4)));
+        assert!(!Interval::bounded(2, 5).is_subset(&Interval::bounded(1, 4)));
+    }
+
+    #[test]
+    fn addition_is_pointwise() {
+        let a = Interval::bounded(1, 2);
+        let b = Interval::bounded(3, 4);
+        assert_eq!(a.add(&b), Interval::bounded(4, 6));
+        assert_eq!(a.add(&Interval::ZERO), a);
+        assert_eq!(Interval::PLUS.add(&Interval::ONE), Interval::at_least(2));
+        assert_eq!(Interval::STAR.add(&Interval::STAR), Interval::STAR);
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(Interval::PLUS.scale(0), Interval::ZERO);
+        assert_eq!(Interval::ONE.scale(3), Interval::exactly(3));
+        assert_eq!(Interval::bounded(1, 2).scale(2), Interval::bounded(2, 4));
+        assert_eq!(Interval::STAR.scale(5), Interval::STAR);
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(
+            Interval::bounded(1, 5).intersect(&Interval::bounded(3, 9)),
+            Some(Interval::bounded(3, 5))
+        );
+        assert_eq!(Interval::bounded(1, 2).intersect(&Interval::bounded(4, 5)), None);
+        assert_eq!(
+            Interval::PLUS.intersect(&Interval::OPT),
+            Some(Interval::ONE)
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Interval::parse("[3;1]").is_err());
+        assert!(Interval::parse("banana").is_err());
+        assert_eq!(Interval::parse("[2;*]").unwrap(), Interval::at_least(2));
+        assert_eq!(Interval::parse("[2;7]").unwrap(), Interval::bounded(2, 7));
+        assert_eq!(Interval::parse("4").unwrap(), Interval::exactly(4));
+    }
+
+    #[test]
+    fn interval_set_merging() {
+        let mut s = IntervalSet::empty();
+        assert!(s.is_empty());
+        s.insert(Interval::bounded(5, 7));
+        s.insert(Interval::bounded(0, 1));
+        s.insert(Interval::bounded(2, 3));
+        // [0;1] and [2;3] are adjacent and merge; [5;7] stays separate.
+        assert_eq!(s.intervals().len(), 2);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.contains(6));
+        assert_eq!(s.minimum(), Some(0));
+    }
+
+    #[test]
+    fn interval_set_ops() {
+        let a = IntervalSet::from(Interval::bounded(0, 2));
+        let b = IntervalSet::from(Interval::bounded(5, 6));
+        let u = a.union(&b);
+        assert!(u.contains(1) && u.contains(5) && !u.contains(3));
+        let sum = a.add(&b);
+        assert!(sum.contains(5) && sum.contains(8) && !sum.contains(4) && !sum.contains(9));
+        let inter = u.intersect(&IntervalSet::from(Interval::bounded(2, 5)));
+        assert!(inter.contains(2) && inter.contains(5) && !inter.contains(3));
+    }
+}

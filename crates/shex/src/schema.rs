@@ -1,0 +1,631 @@
+//! Shape expression schemas and their subclasses.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use shapex_graph::{Graph, Label};
+use shapex_rbe::{Interval, Rbe, Rbe0};
+
+/// A type name identifier, valid for the [`Schema`] that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// The position of the type in the schema's type table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A symbol of the composite alphabet `Σ × Γ`: an edge label together with the
+/// required type of the edge's target, written `label::type` in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The predicate label.
+    pub label: Label,
+    /// The required type of the target node.
+    pub target: TypeId,
+}
+
+impl Atom {
+    /// Construct an atom `label :: target`.
+    pub fn new(label: impl Into<Label>, target: TypeId) -> Atom {
+        Atom { label: label.into(), target }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.label, self.target)
+    }
+}
+
+/// A shape expression: a regular bag expression over `Σ × Γ`.
+pub type ShapeExpr = Rbe<Atom>;
+
+#[derive(Debug, Clone)]
+struct TypeDef {
+    name: String,
+    expr: ShapeExpr,
+}
+
+/// Classification of a schema into the fragments studied in the paper,
+/// ordered from most to least restrictive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchemaClass {
+    /// Deterministic, RBE₀ definitions, no `+`, and every `?`-using type is
+    /// referenced only through `*`-closed references (Definition 4.1). The
+    /// fragment with tractable containment (Corollary 4.4).
+    DetShEx0Minus,
+    /// Deterministic with RBE₀ definitions (`DetShEx₀`).
+    DetShEx0,
+    /// RBE₀ definitions (`ShEx₀`, equivalently shape graphs).
+    ShEx0,
+    /// Arbitrary shape expressions.
+    ShEx,
+}
+
+impl fmt::Display for SchemaClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaClass::DetShEx0Minus => write!(f, "DetShEx0-"),
+            SchemaClass::DetShEx0 => write!(f, "DetShEx0"),
+            SchemaClass::ShEx0 => write!(f, "ShEx0"),
+            SchemaClass::ShEx => write!(f, "ShEx"),
+        }
+    }
+}
+
+/// A shape expression schema `S = (Γ_S, δ_S)`: a finite set of named types,
+/// each mapped to a shape expression over `Σ × Γ_S`.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    types: Vec<TypeDef>,
+    by_name: BTreeMap<String, TypeId>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Number of types.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Iterate over all type identifiers.
+    pub fn types(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.types.len() as u32).map(TypeId)
+    }
+
+    /// Add a new type with definition `ε` (overwrite it later with
+    /// [`Schema::define`]).
+    ///
+    /// # Panics
+    /// Panics if the name is already used.
+    pub fn add_type(&mut self, name: impl Into<String>) -> TypeId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "type `{name}` already exists"
+        );
+        let id = TypeId(self.types.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.types.push(TypeDef { name, expr: Rbe::Epsilon });
+        id
+    }
+
+    /// Look up a type by name, creating it (with definition `ε`) if missing.
+    pub fn type_named(&mut self, name: &str) -> TypeId {
+        match self.by_name.get(name) {
+            Some(id) => *id,
+            None => self.add_type(name),
+        }
+    }
+
+    /// Look up an existing type by name.
+    pub fn find_type(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The display name of a type.
+    pub fn type_name(&self, t: TypeId) -> &str {
+        &self.types[t.index()].name
+    }
+
+    /// Set the definition of a type.
+    pub fn define(&mut self, t: TypeId, expr: ShapeExpr) {
+        self.types[t.index()].expr = expr;
+    }
+
+    /// The definition `δ_S(t)` of a type.
+    pub fn def(&self, t: TypeId) -> &ShapeExpr {
+        &self.types[t.index()].expr
+    }
+
+    /// Convenience: add a type with an RBE₀ definition given as
+    /// `(label, type, interval)` triples.
+    pub fn define_rbe0(&mut self, t: TypeId, atoms: &[(&str, TypeId, Interval)]) {
+        let expr = Rbe::concat(
+            atoms
+                .iter()
+                .map(|(label, target, interval)| {
+                    let atom = Rbe::symbol(Atom::new(*label, *target));
+                    if *interval == Interval::ONE {
+                        atom
+                    } else {
+                        Rbe::repeat(atom, *interval)
+                    }
+                })
+                .collect(),
+        );
+        self.define(t, expr);
+    }
+
+    /// The distinct edge labels used by the schema (its alphabet `Σ`).
+    pub fn labels(&self) -> Vec<Label> {
+        let mut set = BTreeSet::new();
+        for def in &self.types {
+            for atom in def.expr.alphabet() {
+                set.insert(atom.label.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// The total size of the schema (sum of the sizes of all definitions),
+    /// the measure used in the complexity experiments.
+    pub fn size(&self) -> usize {
+        self.types.iter().map(|d| d.expr.size()).sum::<usize>() + self.type_count()
+    }
+
+    /// Whether every definition is an RBE₀ with basic intervals, i.e. the
+    /// schema belongs to `ShEx(RBE0)` (equivalently `ShEx₀`, Prop. 3.2).
+    pub fn is_rbe0(&self) -> bool {
+        self.types.iter().all(|d| d.expr.is_rbe0())
+    }
+
+    /// Whether every definition is single-occurrence (SORBE).
+    pub fn is_single_occurrence(&self) -> bool {
+        self.types.iter().all(|d| d.expr.is_single_occurrence())
+    }
+
+    /// Whether the schema is *deterministic*: no definition uses the same edge
+    /// label in more than one atom (Definition 4.1 / `DetShEx`).
+    pub fn is_deterministic(&self) -> bool {
+        self.types.iter().all(|d| {
+            let atoms = d.expr.alphabet();
+            let mut labels = BTreeSet::new();
+            let mut occurrences = 0usize;
+            for atom in &atoms {
+                labels.insert(atom.label.clone());
+                occurrences += 1;
+            }
+            // Determinism additionally fails if the same atom occurs twice
+            // syntactically (e.g. `a::t || a::t`), which `alphabet()` hides.
+            labels.len() == occurrences && d.expr.symbol_occurrences() == atoms.len()
+        })
+    }
+
+    /// Whether some definition uses the `+` interval on an atom.
+    pub fn uses_plus(&self) -> bool {
+        fn expr_uses_plus(e: &ShapeExpr) -> bool {
+            match e {
+                Rbe::Epsilon | Rbe::Symbol(_) => false,
+                Rbe::Disj(parts) | Rbe::Concat(parts) => parts.iter().any(expr_uses_plus),
+                Rbe::Repeat(inner, i) => *i == Interval::PLUS || expr_uses_plus(inner),
+            }
+        }
+        self.types.iter().any(|d| expr_uses_plus(&d.expr))
+    }
+
+    /// The references to each type: `(source type, label, interval)` triples
+    /// of atoms whose target is the given type.
+    pub fn references(&self, target: TypeId) -> Vec<(TypeId, Label, Interval)> {
+        let mut out = Vec::new();
+        for s in self.types() {
+            if let Some(rbe0) = self.def(s).to_rbe0() {
+                for (atom, interval) in rbe0.atoms() {
+                    if atom.target == target {
+                        out.push((s, atom.label.clone(), *interval));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The reasons (if any) why the schema is not in `DetShEx₀⁻`
+    /// (Definition 4.1). An empty vector means the schema is in the class.
+    ///
+    /// The conditions are: RBE₀ definitions, determinism, no `+`, and every
+    /// type whose definition uses `?` is referenced at least once with all
+    /// references `*`-closed. A reference is `*`-closed when its interval is
+    /// `*` or all references to its source type are themselves `*`-closed; we
+    /// compute this as a least fixed point, so reference chains that never
+    /// pass through a `*` edge (including chains from unreferenced root
+    /// types) are *not* considered closed.
+    pub fn det_shex0_minus_violations(&self) -> Vec<String> {
+        let mut reasons = Vec::new();
+        if !self.is_rbe0() {
+            reasons.push("some definition is not RBE0".to_owned());
+            return reasons;
+        }
+        if !self.is_deterministic() {
+            reasons.push("schema is not deterministic".to_owned());
+        }
+        if self.uses_plus() {
+            reasons.push("schema uses the + interval".to_owned());
+        }
+
+        // Least fixed point of the *-closed property on references.
+        // references[t] = list of (source, interval) for edges into t.
+        let refs: Vec<Vec<(TypeId, Interval)>> = self
+            .types()
+            .map(|t| {
+                self.references(t)
+                    .into_iter()
+                    .map(|(s, _, i)| (s, i))
+                    .collect()
+            })
+            .collect();
+        // closed[t index][ref index]
+        let mut closed: Vec<Vec<bool>> = refs
+            .iter()
+            .map(|rs| rs.iter().map(|(_, i)| *i == Interval::STAR).collect())
+            .collect();
+        let all_refs_closed = |closed: &Vec<Vec<bool>>, t: TypeId| -> bool {
+            !closed[t.index()].is_empty() && closed[t.index()].iter().all(|&b| b)
+        };
+        loop {
+            let mut changed = false;
+            for t in self.types() {
+                for (k, (source, _)) in refs[t.index()].iter().enumerate() {
+                    if !closed[t.index()][k] && all_refs_closed(&closed, *source) {
+                        closed[t.index()][k] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        for t in self.types() {
+            let uses_opt = self
+                .def(t)
+                .to_rbe0()
+                .map(|r| r.atoms().iter().any(|(_, i)| *i == Interval::OPT))
+                .unwrap_or(false);
+            if !uses_opt {
+                continue;
+            }
+            if refs[t.index()].is_empty() {
+                reasons.push(format!(
+                    "type {} uses ? but is never referenced",
+                    self.type_name(t)
+                ));
+            } else if !closed[t.index()].iter().all(|&b| b) {
+                reasons.push(format!(
+                    "type {} uses ? but has a reference that is not *-closed",
+                    self.type_name(t)
+                ));
+            }
+        }
+        reasons
+    }
+
+    /// Whether the schema belongs to `DetShEx₀⁻` (Definition 4.1).
+    pub fn is_det_shex0_minus(&self) -> bool {
+        self.det_shex0_minus_violations().is_empty()
+    }
+
+    /// Classify the schema into the most restrictive fragment it belongs to.
+    pub fn classify(&self) -> SchemaClass {
+        if !self.is_rbe0() {
+            SchemaClass::ShEx
+        } else if !self.is_deterministic() {
+            SchemaClass::ShEx0
+        } else if self.is_det_shex0_minus() {
+            SchemaClass::DetShEx0Minus
+        } else {
+            SchemaClass::DetShEx0
+        }
+    }
+
+    /// Convert a `ShEx(RBE0)` schema to its shape graph (Proposition 3.2):
+    /// one node per type (named after it), one interval edge per atom.
+    ///
+    /// Returns `None` if some definition is not expressible as an RBE₀ (a
+    /// disjunction or a repetition of a composite expression).
+    pub fn to_shape_graph(&self) -> Option<Graph> {
+        let mut graph = Graph::new();
+        for t in self.types() {
+            graph.add_named_node(self.type_name(t).to_owned());
+        }
+        for t in self.types() {
+            let rbe0: Rbe0<Atom> = self.def(t).to_rbe0()?;
+            for (atom, interval) in rbe0.atoms() {
+                let source = graph.find_node(self.type_name(t)).expect("node added above");
+                let target = graph
+                    .find_node(self.type_name(atom.target))
+                    .expect("node added above");
+                graph.add_edge_with(source, atom.label.clone(), *interval, target);
+            }
+        }
+        Some(graph)
+    }
+
+    /// Convert a shape graph back into a `ShEx(RBE0)` schema: one type per
+    /// node, one atom per edge (the other direction of Proposition 3.2).
+    pub fn from_shape_graph(graph: &Graph) -> Schema {
+        let mut schema = Schema::new();
+        for n in graph.nodes() {
+            schema.add_type(graph.node_name(n).to_owned());
+        }
+        for n in graph.nodes() {
+            let t = schema
+                .find_type(graph.node_name(n))
+                .expect("type added above");
+            let parts: Vec<ShapeExpr> = graph
+                .out(n)
+                .iter()
+                .map(|&e| {
+                    let target = schema
+                        .find_type(graph.node_name(graph.target(e)))
+                        .expect("type added above");
+                    let atom = Rbe::symbol(Atom::new(graph.label(e).clone(), target));
+                    if graph.occur(e) == Interval::ONE {
+                        atom
+                    } else {
+                        Rbe::repeat(atom, graph.occur(e))
+                    }
+                })
+                .collect();
+            schema.define(t, Rbe::concat(parts));
+        }
+        schema
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in self.types() {
+            let def = self.def(t);
+            let rendered = render_expr(self, def);
+            writeln!(f, "{} -> {}", self.type_name(t), rendered)?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a shape expression with type names instead of numeric identifiers.
+pub(crate) fn render_expr(schema: &Schema, expr: &ShapeExpr) -> String {
+    fn go(schema: &Schema, expr: &ShapeExpr, top: bool) -> String {
+        match expr {
+            Rbe::Epsilon => "EMPTY".to_owned(),
+            Rbe::Symbol(atom) => {
+                format!("{}::{}", atom.label, schema.type_name(atom.target))
+            }
+            Rbe::Disj(parts) => {
+                let body: Vec<String> =
+                    parts.iter().map(|p| go(schema, p, false)).collect();
+                let joined = body.join(" | ");
+                if top {
+                    joined
+                } else {
+                    format!("({joined})")
+                }
+            }
+            Rbe::Concat(parts) => {
+                let body: Vec<String> =
+                    parts.iter().map(|p| go(schema, p, false)).collect();
+                let joined = body.join(", ");
+                if top {
+                    joined
+                } else {
+                    format!("({joined})")
+                }
+            }
+            Rbe::Repeat(inner, interval) => {
+                let body = go(schema, inner, false);
+                format!("{body}{interval}")
+            }
+        }
+    }
+    go(schema, expr, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The bug-tracker schema of Figure 1.
+    fn bug_tracker() -> Schema {
+        let mut s = Schema::new();
+        let bug = s.add_type("Bug");
+        let user = s.add_type("User");
+        let employee = s.add_type("Employee");
+        let literal = s.add_type("Literal");
+        s.define_rbe0(
+            bug,
+            &[
+                ("descr", literal, Interval::ONE),
+                ("reportedBy", user, Interval::ONE),
+                ("reproducedBy", employee, Interval::OPT),
+                ("related", bug, Interval::STAR),
+            ],
+        );
+        s.define_rbe0(
+            user,
+            &[("name", literal, Interval::ONE), ("email", literal, Interval::OPT)],
+        );
+        s.define_rbe0(
+            employee,
+            &[("name", literal, Interval::ONE), ("email", literal, Interval::ONE)],
+        );
+        s.define(literal, Rbe::Epsilon);
+        s
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let mut s = Schema::new();
+        let a = s.add_type("A");
+        assert_eq!(s.type_named("A"), a);
+        let b = s.type_named("B");
+        assert_eq!(s.type_count(), 2);
+        assert_eq!(s.find_type("B"), Some(b));
+        assert_eq!(s.find_type("C"), None);
+        assert_eq!(s.type_name(a), "A");
+        assert_eq!(*s.def(b), Rbe::Epsilon);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_type_panics() {
+        let mut s = Schema::new();
+        s.add_type("A");
+        s.add_type("A");
+    }
+
+    #[test]
+    fn bug_tracker_is_det_shex0_minus() {
+        let s = bug_tracker();
+        assert!(s.is_rbe0());
+        assert!(s.is_deterministic());
+        assert!(!s.uses_plus());
+        assert_eq!(s.det_shex0_minus_violations(), Vec::<String>::new());
+        assert_eq!(s.classify(), SchemaClass::DetShEx0Minus);
+        assert_eq!(s.labels().len(), 6);
+        assert!(s.size() > 10);
+    }
+
+    #[test]
+    fn plus_or_unreferenced_opt_breaks_det_minus() {
+        // `+` pushes a schema out of DetShEx0-.
+        let mut s = Schema::new();
+        let a = s.add_type("A");
+        let b = s.add_type("B");
+        s.define_rbe0(a, &[("p", b, Interval::PLUS)]);
+        assert!(s.is_deterministic() && s.is_rbe0());
+        assert!(!s.is_det_shex0_minus());
+        assert_eq!(s.classify(), SchemaClass::DetShEx0);
+
+        // A `?`-using type referenced only through a 1-edge is not *-closed.
+        let mut s2 = Schema::new();
+        let root = s2.add_type("Root");
+        let opt = s2.add_type("Opt");
+        let leaf = s2.add_type("Leaf");
+        s2.define_rbe0(root, &[("child", opt, Interval::ONE)]);
+        s2.define_rbe0(opt, &[("maybe", leaf, Interval::OPT)]);
+        assert!(!s2.is_det_shex0_minus());
+        assert_eq!(s2.classify(), SchemaClass::DetShEx0);
+
+        // The same type referenced through `*` is fine.
+        let mut s3 = Schema::new();
+        let root = s3.add_type("Root");
+        let opt = s3.add_type("Opt");
+        let leaf = s3.add_type("Leaf");
+        s3.define_rbe0(root, &[("child", opt, Interval::STAR)]);
+        s3.define_rbe0(opt, &[("maybe", leaf, Interval::OPT)]);
+        assert!(s3.is_det_shex0_minus());
+        assert_eq!(s3.classify(), SchemaClass::DetShEx0Minus);
+    }
+
+    #[test]
+    fn indirect_star_closure() {
+        // Root -*-> Mid -1-> Opt: the reference Mid->Opt is closed because all
+        // references to Mid are *-closed.
+        let mut s = Schema::new();
+        let root = s.add_type("Root");
+        let mid = s.add_type("Mid");
+        let opt = s.add_type("Opt");
+        let leaf = s.add_type("Leaf");
+        s.define_rbe0(root, &[("children", mid, Interval::STAR)]);
+        s.define_rbe0(mid, &[("via", opt, Interval::ONE)]);
+        s.define_rbe0(opt, &[("maybe", leaf, Interval::OPT)]);
+        assert!(s.is_det_shex0_minus(), "{:?}", s.det_shex0_minus_violations());
+    }
+
+    #[test]
+    fn non_deterministic_and_general_schemas() {
+        // Same label twice in one definition: not deterministic.
+        let mut s = Schema::new();
+        let a = s.add_type("A");
+        let b = s.add_type("B");
+        let c = s.add_type("C");
+        s.define_rbe0(a, &[("p", b, Interval::STAR), ("p", c, Interval::STAR)]);
+        assert!(s.is_rbe0());
+        assert!(!s.is_deterministic());
+        assert_eq!(s.classify(), SchemaClass::ShEx0);
+
+        // Disjunction: full ShEx.
+        let mut s2 = Schema::new();
+        let a = s2.add_type("A");
+        let b = s2.add_type("B");
+        s2.define(
+            a,
+            Rbe::disj(vec![
+                Rbe::symbol(Atom::new("p", b)),
+                Rbe::symbol(Atom::new("q", b)),
+            ]),
+        );
+        assert!(!s2.is_rbe0());
+        assert_eq!(s2.classify(), SchemaClass::ShEx);
+    }
+
+    #[test]
+    fn shape_graph_roundtrip() {
+        let s = bug_tracker();
+        let g = s.to_shape_graph().expect("RBE0 schema");
+        assert!(g.is_shape_graph());
+        assert_eq!(g.node_count(), s.type_count());
+        assert_eq!(g.edge_count(), 8);
+        let back = Schema::from_shape_graph(&g);
+        assert_eq!(back.type_count(), s.type_count());
+        assert_eq!(back.classify(), SchemaClass::DetShEx0Minus);
+        // The definitions describe the same atoms.
+        for t in s.types() {
+            let orig = s.def(t).to_rbe0().unwrap();
+            let b = back.find_type(s.type_name(t)).unwrap();
+            let round = back.def(b).to_rbe0().unwrap();
+            assert_eq!(orig.atoms().len(), round.atoms().len());
+        }
+        // A schema with a disjunction has no shape graph.
+        let mut s2 = Schema::new();
+        let a = s2.add_type("A");
+        s2.define(
+            a,
+            Rbe::disj(vec![
+                Rbe::symbol(Atom::new("p", a)),
+                Rbe::symbol(Atom::new("q", a)),
+            ]),
+        );
+        assert!(s2.to_shape_graph().is_none());
+    }
+
+    #[test]
+    fn references_and_display() {
+        let s = bug_tracker();
+        let bug = s.find_type("Bug").unwrap();
+        let literal = s.find_type("Literal").unwrap();
+        let refs = s.references(bug);
+        assert_eq!(refs.len(), 1, "Bug is referenced only by related::Bug*");
+        assert_eq!(refs[0].2, Interval::STAR);
+        assert!(s.references(literal).len() >= 5);
+        let text = s.to_string();
+        assert!(text.contains("Bug -> descr::Literal"));
+        assert!(text.contains("related::Bug*"));
+        assert!(text.contains("Literal -> EMPTY"));
+    }
+}

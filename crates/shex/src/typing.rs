@@ -1,0 +1,417 @@
+//! Semantics of shape expression schemas: typings, node satisfaction, and
+//! validation of simple and compressed graphs.
+//!
+//! A *typing* of a graph `G` w.r.t. a schema `S` assigns to every node a set
+//! of types. A typing is valid when every node satisfies the definition of
+//! every type assigned to it, i.e. the language of the node's *signature*
+//! intersects the language of the type definition. Typings form a
+//! semi-lattice under union, so there is a unique maximal valid typing
+//! ([`maximal_typing`]); `G` satisfies `S` when every node receives at least
+//! one type ([`validates`]).
+//!
+//! Node satisfaction is decided along two paths matching the paper's
+//! complexity results:
+//!
+//! * RBE₀ definitions reduce to an interval-flow assignment
+//!   ([`shapex_rbe::flow`]), polynomial for simple graphs;
+//! * arbitrary definitions go through the Presburger translation
+//!   (`ψ_E`), which also covers compressed graphs whose edge multiplicities
+//!   are binary-encoded (Proposition 6.2, NP).
+
+use std::collections::BTreeSet;
+
+use shapex_graph::{Graph, Label, NodeId};
+use shapex_presburger::formula::{Formula, LinearExpr, VarPool};
+use shapex_presburger::solver::{Bounds, SolveResult, Solver};
+use shapex_presburger::translate::{max_interval_constant, ParikhVec, PsiBuilder};
+use shapex_rbe::flow::{basic_assignment, general_assignment};
+use shapex_rbe::{Interval, Rbe};
+
+use crate::schema::{Atom, Schema, TypeId};
+
+/// A typing: for every node of the graph, the set of types it satisfies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Typing {
+    sets: Vec<BTreeSet<TypeId>>,
+}
+
+impl Typing {
+    fn full(nodes: usize, schema: &Schema) -> Typing {
+        let all: BTreeSet<TypeId> = schema.types().collect();
+        Typing { sets: vec![all; nodes] }
+    }
+
+    /// The set of types assigned to a node.
+    pub fn types_of(&self, node: NodeId) -> &BTreeSet<TypeId> {
+        &self.sets[node.index()]
+    }
+
+    /// Whether a node has the given type.
+    pub fn has_type(&self, node: NodeId, t: TypeId) -> bool {
+        self.sets[node.index()].contains(&t)
+    }
+
+    /// Whether every node has at least one type (i.e. the graph satisfies the
+    /// schema, `dom(Typing) = N_G`).
+    pub fn is_total(&self) -> bool {
+        self.sets.iter().all(|s| !s.is_empty())
+    }
+
+    /// The nodes with no type at all (the witnesses of a validation failure).
+    pub fn untyped_nodes(&self) -> Vec<NodeId> {
+        self.sets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_empty())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Total number of `(node, type)` pairs in the typing.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the typing is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One outgoing edge of the node under scrutiny, summarised for satisfaction
+/// checking: its label, the candidate types of its target, and its
+/// multiplicity (1 for simple graphs, `k` for a compressed `[k;k]` edge).
+#[derive(Debug, Clone)]
+pub struct EdgeSummary {
+    /// The predicate label of the edge.
+    pub label: Label,
+    /// The types currently assigned to the target node.
+    pub target_types: BTreeSet<TypeId>,
+    /// The number of parallel copies this edge stands for.
+    pub multiplicity: u64,
+}
+
+/// Compute the maximal valid typing of a simple or compressed graph with
+/// respect to a schema (greatest fixpoint of the refinement operator).
+///
+/// # Panics
+/// Panics if the graph uses occurrence intervals other than singletons
+/// (validation is defined on simple and compressed graphs only).
+pub fn maximal_typing(graph: &Graph, schema: &Schema) -> Typing {
+    for e in graph.edges() {
+        assert!(
+            graph.occur(e).singleton().is_some(),
+            "validation requires a simple or compressed graph; edge has interval {}",
+            graph.occur(e)
+        );
+    }
+    let mut typing = Typing::full(graph.node_count(), schema);
+    loop {
+        let mut changed = false;
+        for node in graph.nodes() {
+            let current: Vec<TypeId> = typing.sets[node.index()].iter().copied().collect();
+            for t in current {
+                if !node_satisfies(graph, node, t, &typing, schema) {
+                    typing.sets[node.index()].remove(&t);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return typing;
+        }
+    }
+}
+
+/// Whether the graph satisfies the schema: every node of the maximal typing
+/// carries at least one type.
+pub fn validates(graph: &Graph, schema: &Schema) -> bool {
+    maximal_typing(graph, schema).is_total()
+}
+
+/// Whether `node` satisfies the definition of `t` given the candidate types
+/// of its successors recorded in `typing`.
+pub fn node_satisfies(
+    graph: &Graph,
+    node: NodeId,
+    t: TypeId,
+    typing: &Typing,
+    schema: &Schema,
+) -> bool {
+    let edges: Vec<EdgeSummary> = graph
+        .out(node)
+        .iter()
+        .map(|&e| EdgeSummary {
+            label: graph.label(e).clone(),
+            target_types: typing.types_of(graph.target(e)).clone(),
+            multiplicity: graph.occur(e).singleton().unwrap_or(1),
+        })
+        .collect();
+    neighbourhood_satisfies(&edges, schema.def(t))
+}
+
+/// Decide whether an outbound neighbourhood can be assigned types so that the
+/// resulting bag over `Σ × Γ` belongs to the language of `def`
+/// (`L(sign) ∩ L(def) ≠ ∅`).
+///
+/// This is the workhorse shared by validation and by the containment
+/// procedures of `shapex-core` (where the "candidate types" come from node
+/// kinds rather than a typing).
+pub fn neighbourhood_satisfies(edges: &[EdgeSummary], def: &Rbe<Atom>) -> bool {
+    // An edge whose target has no candidate type can never be matched: the
+    // signature's inner disjunction is empty, so the whole language is empty.
+    if edges.iter().any(|e| e.target_types.is_empty()) {
+        return false;
+    }
+    if let Some(rbe0) = def.to_rbe0() {
+        // Fast path: assignment of edge copies to RBE0 atoms via interval
+        // flow. Expand multiplicities into unit sources while they stay small.
+        let total: u64 = edges.iter().map(|e| e.multiplicity).sum();
+        if total <= 4096 {
+            let mut sources = Vec::with_capacity(total as usize);
+            let mut source_edges: Vec<usize> = Vec::with_capacity(total as usize);
+            for (i, e) in edges.iter().enumerate() {
+                for _ in 0..e.multiplicity {
+                    sources.push(Interval::ONE);
+                    source_edges.push(i);
+                }
+            }
+            let sinks: Vec<Interval> = rbe0.atoms().iter().map(|(_, i)| *i).collect();
+            let atoms = rbe0.atoms();
+            let compatible = |v: usize, u: usize| {
+                let edge = &edges[source_edges[v]];
+                let (atom, _) = &atoms[u];
+                atom.label == edge.label && edge.target_types.contains(&atom.target)
+            };
+            return if sinks.iter().all(|i| i.is_basic()) {
+                basic_assignment(&sources, &sinks, compatible).is_some()
+            } else {
+                general_assignment(&sources, &sinks, compatible).is_some()
+            };
+        }
+    }
+    // General path: Presburger encoding of the partition of edge copies into
+    // types, fed to ψ_def (the formulas φ_t of Section 6 with x̄ fixed).
+    satisfies_via_presburger(edges, def)
+}
+
+fn satisfies_via_presburger(edges: &[EdgeSummary], def: &Rbe<Atom>) -> bool {
+    let mut pool = VarPool::new();
+    let total: u64 = edges.iter().map(|e| e.multiplicity).sum();
+    let bound = total + max_interval_constant(def) + 1;
+
+    // Partition variables y_{e,t}: how many copies of edge e are used with
+    // target type t.
+    let mut conjuncts = Vec::new();
+    let mut contributions: ParikhVec<Atom> = ParikhVec::new();
+    for (i, edge) in edges.iter().enumerate() {
+        let mut sum = LinearExpr::constant(0);
+        for t in &edge.target_types {
+            let y = pool.fresh_bounded(format!("y{}_{}", i, t.0), edge.multiplicity);
+            sum = sum.add(&LinearExpr::var(y));
+            let atom = Atom { label: edge.label.clone(), target: *t };
+            let entry = contributions
+                .entry(atom)
+                .or_insert_with(|| LinearExpr::constant(0));
+            *entry = entry.clone().add(&LinearExpr::var(y));
+        }
+        conjuncts.push(Formula::eq(sum, LinearExpr::constant(edge.multiplicity as i64)));
+    }
+    // Atoms of the definition that no edge can produce still need entries so
+    // that ψ forces them to zero — they already are zero constants.
+    for atom in def.alphabet() {
+        contributions
+            .entry(atom)
+            .or_insert_with(|| LinearExpr::constant(0));
+    }
+    let psi = PsiBuilder::new(&mut pool, bound).psi(def, &contributions, &LinearExpr::constant(1));
+    conjuncts.push(psi);
+    let formula = Formula::and(conjuncts);
+    match Solver::new(Bounds::uniform(bound)).solve(&formula, &pool) {
+        SolveResult::Sat(_) => true,
+        SolveResult::Unsat => false,
+        SolveResult::Unknown => panic!("Presburger budget exhausted during validation"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_schema;
+    use shapex_graph::parse_graph;
+    use shapex_rbe::Rbe;
+
+    const FIG1_SCHEMA: &str = "\
+Bug  -> descr::Literal, reportedBy::User, reproducedBy::Employee?, related::Bug*
+User -> name::Literal, email::Literal?
+Employee -> name::Literal, email::Literal
+";
+
+    const FIG1_GRAPH: &str = "\
+bug1 -descr-> l1
+bug1 -reportedBy-> user1
+bug1 -related-> bug2
+bug2 -descr-> l2
+bug2 -reportedBy-> user2
+bug2 -reproducedBy-> emp1
+bug2 -related-> bug1
+bug2 -related-> bug3
+bug3 -descr-> l3
+bug3 -reportedBy-> user2
+bug3 -related-> bug4
+bug4 -descr-> l4
+bug4 -reportedBy-> user1
+user1 -name-> l5
+user2 -name-> l6
+user2 -email-> l7
+emp1 -name-> l8
+emp1 -email-> l9
+";
+
+    #[test]
+    fn figure_1_graph_validates() {
+        let schema = parse_schema(FIG1_SCHEMA).unwrap();
+        let graph = parse_graph(FIG1_GRAPH).unwrap();
+        let typing = maximal_typing(&graph, &schema);
+        assert!(typing.is_total());
+        assert!(validates(&graph, &schema));
+        let bug1 = graph.find_node("bug1").unwrap();
+        let user1 = graph.find_node("user1").unwrap();
+        let emp1 = graph.find_node("emp1").unwrap();
+        let user2 = graph.find_node("user2").unwrap();
+        let bug = schema.find_type("Bug").unwrap();
+        let user = schema.find_type("User").unwrap();
+        let employee = schema.find_type("Employee").unwrap();
+        assert!(typing.has_type(bug1, bug));
+        assert!(!typing.has_type(bug1, user));
+        assert!(typing.has_type(user1, user));
+        assert!(!typing.has_type(user1, employee), "user1 has no email");
+        assert!(typing.has_type(emp1, employee));
+        assert!(typing.has_type(emp1, user), "an employee also fits User");
+        assert!(typing.has_type(user2, user));
+        assert!(typing.has_type(user2, employee), "user2 has an email");
+    }
+
+    #[test]
+    fn missing_mandatory_edge_fails_validation() {
+        let schema = parse_schema(FIG1_SCHEMA).unwrap();
+        // A bug without a reporter.
+        let graph = parse_graph("bug1 -descr-> l1\n").unwrap();
+        let typing = maximal_typing(&graph, &schema);
+        assert!(!typing.is_total());
+        let bug1 = graph.find_node("bug1").unwrap();
+        assert_eq!(typing.untyped_nodes(), vec![bug1]);
+        assert!(!validates(&graph, &schema));
+    }
+
+    #[test]
+    fn extra_edge_fails_validation() {
+        let schema = parse_schema(FIG1_SCHEMA).unwrap();
+        // Two descriptions violate descr::Literal with interval 1.
+        let graph = parse_graph(
+            "bug1 -descr-> l1\nbug1 -descr-> l2\nbug1 -reportedBy-> u\nu -name-> l3\n",
+        )
+        .unwrap();
+        assert!(!validates(&graph, &schema));
+    }
+
+    #[test]
+    fn figure_2_example_typing() {
+        let schema = parse_schema(
+            "t0 -> a::t1\nt1 -> b::t2, c::t3\nt2 -> b::t2?, c::t3\nt3 -> EMPTY\n",
+        )
+        .unwrap();
+        // G0 of Figure 2: the b-edge loops on n1 (its signature in the paper
+        // is (b::t1 | b::t2) || c::t3), and the maximal typing gives n1 the
+        // types {t1, t2}.
+        let graph = parse_graph("n0 -a-> n1\nn1 -b-> n1\nn1 -c-> n2\n").unwrap();
+        let typing = maximal_typing(&graph, &schema);
+        let n0 = graph.find_node("n0").unwrap();
+        let n1 = graph.find_node("n1").unwrap();
+        let n2 = graph.find_node("n2").unwrap();
+        let t0 = schema.find_type("t0").unwrap();
+        let t1 = schema.find_type("t1").unwrap();
+        let t2 = schema.find_type("t2").unwrap();
+        let t3 = schema.find_type("t3").unwrap();
+        assert!(typing.has_type(n0, t0));
+        assert!(typing.has_type(n1, t1));
+        assert!(typing.has_type(n1, t2));
+        assert!(typing.has_type(n2, t3));
+        assert!(typing.is_total());
+    }
+
+    #[test]
+    fn disjunctive_schema_uses_presburger_path() {
+        // A -> (p::B | q::B), B -> EMPTY : a node with exactly one of p, q.
+        let schema = parse_schema("A -> p::B | q::B\nB -> EMPTY\n").unwrap();
+        let a_type = schema.find_type("A").unwrap();
+        let with_p = parse_graph("x -p-> y\n").unwrap();
+        let with_both = parse_graph("x -p-> y\nx -q-> z\n").unwrap();
+        let tp = maximal_typing(&with_p, &schema);
+        assert!(tp.has_type(with_p.find_node("x").unwrap(), a_type));
+        let tb = maximal_typing(&with_both, &schema);
+        assert!(!tb.has_type(with_both.find_node("x").unwrap(), a_type));
+        // The leaf still validates as B, so with_p validates overall.
+        assert!(validates(&with_p, &schema));
+        assert!(!validates(&with_both, &schema));
+    }
+
+    #[test]
+    fn compressed_graph_validation() {
+        // H requires exactly three spokes; a compressed [3;3] edge satisfies
+        // it, [2;2] does not (Proposition 6.2 semantics).
+        let schema = parse_schema("Hub -> spoke::Rim[3;3]\nRim -> EMPTY\n").unwrap();
+        let ok = parse_graph("hub -spoke[3]-> rim\n").unwrap();
+        let bad = parse_graph("hub -spoke[2]-> rim\n").unwrap();
+        assert!(validates(&ok, &schema));
+        assert!(!validates(&bad, &schema));
+    }
+
+    #[test]
+    fn compressed_copies_may_take_different_types() {
+        // Parent needs one left::A and one right::... no — use a single label:
+        // Parent -> child::A, child::B where A requires an `a` edge and B
+        // requires a `b` edge; a compressed node cannot be both A and B, so a
+        // [2;2] edge to a single child cannot satisfy Parent. But two separate
+        // children (one A, one B) can.
+        let schema = parse_schema(
+            "Parent -> child::A, child::B\nA -> mark_a::L\nB -> mark_b::L\nL -> EMPTY\n",
+        )
+        .unwrap();
+        let split = parse_graph(
+            "p -child-> x\np -child-> y\nx -mark_a-> l1\ny -mark_b-> l2\n",
+        )
+        .unwrap();
+        assert!(validates(&split, &schema));
+        let merged = parse_graph("p -child[2]-> x\nx -mark_a-> l1\n").unwrap();
+        assert!(!validates(&merged, &schema));
+    }
+
+    #[test]
+    fn neighbourhood_satisfies_directly() {
+        let mut schema = Schema::new();
+        let a = schema.add_type("A");
+        let b = schema.add_type("B");
+        schema.define_rbe0(a, &[("p", b, Interval::PLUS)]);
+        let def = schema.def(a).clone();
+        let edge = |mult: u64, types: &[TypeId]| EdgeSummary {
+            label: Label::new("p"),
+            target_types: types.iter().copied().collect(),
+            multiplicity: mult,
+        };
+        assert!(neighbourhood_satisfies(&[edge(1, &[b])], &def));
+        assert!(neighbourhood_satisfies(&[edge(5, &[b])], &def));
+        assert!(!neighbourhood_satisfies(&[], &def), "p+ needs at least one edge");
+        assert!(
+            !neighbourhood_satisfies(&[edge(1, &[a])], &def),
+            "target type mismatch"
+        );
+        assert!(
+            !neighbourhood_satisfies(&[edge(1, &[])], &def),
+            "untypable target"
+        );
+        // An epsilon definition rejects any outgoing edge.
+        assert!(!neighbourhood_satisfies(&[edge(1, &[b])], &Rbe::Epsilon));
+        assert!(neighbourhood_satisfies(&[], &Rbe::Epsilon));
+    }
+}

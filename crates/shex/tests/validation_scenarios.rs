@@ -1,0 +1,195 @@
+//! Scenario tests for validation: schema classes, maximal typings, and the
+//! interaction of the RBE₀ fast path with the Presburger path.
+
+use shapex_graph::{parse_graph, Graph};
+use shapex_rbe::Interval;
+use shapex_shex::typing::{maximal_typing, node_satisfies, validates, Typing};
+use shapex_shex::{parse_schema, Schema, SchemaClass};
+
+fn typing_of(graph_text: &str, schema_text: &str) -> (Graph, Schema, Typing) {
+    let graph = parse_graph(graph_text).expect("graph parses");
+    let schema = parse_schema(schema_text).expect("schema parses");
+    let typing = maximal_typing(&graph, &schema);
+    (graph, schema, typing)
+}
+
+#[test]
+fn social_feed_schema_classifies_and_validates() {
+    let schema_text = "\
+Post -> author::Person, body::Literal, tag::Tag*, inReplyTo::Post?
+Person -> name::Literal, homepage::Literal?
+Tag -> label::Literal
+Literal -> EMPTY
+";
+    let schema = parse_schema(schema_text).unwrap();
+    // `inReplyTo::Post?` is *-closed only if every reference to Post is; Post
+    // is referenced by inReplyTo? itself, which is not a * reference, so the
+    // schema is deterministic but falls outside DetShEx0-.
+    assert_eq!(schema.classify(), SchemaClass::DetShEx0);
+    assert!(schema.is_deterministic());
+    assert!(schema.is_rbe0());
+
+    let good = "\
+post1 -author-> alice
+post1 -body-> l1
+post1 -tag-> t1
+t1 -label-> l2
+alice -name-> l3
+";
+    let bad = "\
+post1 -author-> alice
+post1 -body-> l1
+post1 -body-> l1b
+alice -name-> l3
+";
+    assert!(validates(&parse_graph(good).unwrap(), &schema));
+    assert!(
+        !validates(&parse_graph(bad).unwrap(), &schema),
+        "two bodies violate body::Literal with interval 1"
+    );
+}
+
+#[test]
+fn maximal_typing_is_the_greatest_valid_typing() {
+    // Mutually recursive types: a ping node points to a pong node and back.
+    let (graph, schema, typing) = typing_of(
+        "a -ping-> b\nb -pong-> a\n",
+        "Ping -> ping::Pong\nPong -> pong::Ping\n",
+    );
+    let a = graph.find_node("a").unwrap();
+    let b = graph.find_node("b").unwrap();
+    let ping = schema.find_type("Ping").unwrap();
+    let pong = schema.find_type("Pong").unwrap();
+    assert!(typing.has_type(a, ping));
+    assert!(typing.has_type(b, pong));
+    assert!(!typing.has_type(a, pong));
+    assert!(!typing.has_type(b, ping));
+    assert!(typing.is_total());
+    assert_eq!(typing.len(), 2);
+}
+
+#[test]
+fn cyclic_requirements_can_be_unsatisfiable() {
+    // Every node needs an outgoing `next` edge; a finite chain must end, so
+    // the last node has no type, but a cycle satisfies the schema.
+    let schema = parse_schema("Loop -> next::Loop\n").unwrap();
+    let chain = parse_graph("a -next-> b\nb -next-> c\n").unwrap();
+    assert!(!validates(&chain, &schema));
+    let cycle = parse_graph("a -next-> b\nb -next-> c\nc -next-> a\n").unwrap();
+    assert!(validates(&cycle, &schema));
+}
+
+#[test]
+fn plus_and_star_intervals_in_validation() {
+    let schema = parse_schema("Hub -> spoke::Rim+, note::Rim*\nRim -> EMPTY\n").unwrap();
+    assert!(!validates(&parse_graph("h -note-> r\n").unwrap(), &schema), "missing spoke+");
+    assert!(validates(&parse_graph("h -spoke-> r\n").unwrap(), &schema));
+    assert!(validates(
+        &parse_graph("h -spoke-> r1\nh -spoke-> r2\nh -note-> r3\n").unwrap(),
+        &schema
+    ));
+}
+
+#[test]
+fn same_label_different_types_needs_both() {
+    // The signature's inner disjunction lets each edge pick a different type.
+    let schema = parse_schema(
+        "Mix -> child::Even, child::Odd\nEven -> mark::L?\nOdd -> tick::L\nL -> EMPTY\n",
+    )
+    .unwrap();
+    let good = parse_graph("m -child-> e\nm -child-> o\no -tick-> l\n").unwrap();
+    assert!(validates(&good, &schema));
+    // Both children typable only as Even: the Odd atom starves.
+    let bad = parse_graph("m -child-> e1\nm -child-> e2\n").unwrap();
+    let typing = maximal_typing(&bad, &schema);
+    let m = bad.find_node("m").unwrap();
+    assert!(typing.types_of(m).is_empty());
+}
+
+#[test]
+fn node_satisfies_is_consistent_with_maximal_typing() {
+    let (graph, schema, typing) = typing_of(
+        "bug -descr-> l\nbug -reportedBy-> u\nu -name-> l2\n",
+        "Bug -> descr::Literal, reportedBy::User, related::Bug*\n\
+         User -> name::Literal, email::Literal?\n\
+         Literal -> EMPTY\n",
+    );
+    for node in graph.nodes() {
+        for t in schema.types() {
+            assert_eq!(
+                typing.has_type(node, t),
+                node_satisfies(&graph, node, t, &typing, &schema),
+                "mismatch at node {} type {}",
+                graph.node_name(node),
+                schema.type_name(t)
+            );
+        }
+    }
+}
+
+#[test]
+fn disjunctive_definitions_choose_exactly_one_branch() {
+    let schema = parse_schema(
+        "Payment -> card::Details | iban::Details\nDetails -> EMPTY\n",
+    )
+    .unwrap();
+    assert_eq!(schema.classify(), SchemaClass::ShEx);
+    assert!(validates(&parse_graph("p -card-> d\n").unwrap(), &schema));
+    assert!(validates(&parse_graph("p -iban-> d\n").unwrap(), &schema));
+    assert!(!validates(
+        &parse_graph("p -card-> d1\np -iban-> d2\n").unwrap(),
+        &schema
+    ));
+    assert!(
+        !validates(&parse_graph("p -card-> d1\np -card-> d2\n").unwrap(), &schema),
+        "each branch allows exactly one edge"
+    );
+}
+
+#[test]
+fn wide_intervals_and_compressed_graphs() {
+    let schema = parse_schema("Box -> item::Thing[2;4]\nThing -> EMPTY\n").unwrap();
+    // Simple graphs with 1..5 items.
+    for (count, expected) in [(1, false), (2, true), (4, true), (5, false)] {
+        let mut text = String::new();
+        for i in 0..count {
+            text.push_str(&format!("box -item-> thing{i}\n"));
+        }
+        let graph = parse_graph(&text).unwrap();
+        assert_eq!(validates(&graph, &schema), expected, "count {count}");
+    }
+    // The compressed encoding of the same neighbourhoods.
+    for (count, expected) in [(1u64, false), (3, true), (6, false)] {
+        let graph = parse_graph(&format!("box -item[{count}]-> thing\n")).unwrap();
+        assert_eq!(validates(&graph, &schema), expected, "compressed count {count}");
+    }
+}
+
+#[test]
+fn schema_level_accessors() {
+    let schema = parse_schema(
+        "A -> p::B, q::C*\nB -> r::C?\nC -> EMPTY\n",
+    )
+    .unwrap();
+    assert_eq!(schema.type_count(), 3);
+    assert_eq!(schema.labels().len(), 3);
+    let b = schema.find_type("B").unwrap();
+    let refs = schema.references(b);
+    assert_eq!(refs.len(), 1);
+    assert_eq!(refs[0].2, Interval::ONE);
+    let c = schema.find_type("C").unwrap();
+    assert_eq!(schema.references(c).len(), 2);
+    assert!(schema.size() > 6);
+}
+
+#[test]
+fn empty_graph_and_empty_schema_edge_cases() {
+    let schema = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
+    let empty = Graph::new();
+    assert!(validates(&empty, &schema), "no nodes, nothing to violate");
+    // A schema with no types cannot type any node.
+    let empty_schema = Schema::new();
+    let one_node = parse_graph("only\n").unwrap();
+    assert!(!validates(&one_node, &empty_schema));
+    assert!(validates(&empty, &empty_schema));
+}

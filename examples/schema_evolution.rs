@@ -1,0 +1,66 @@
+//! Schema evolution: deciding whether a schema change is backward compatible.
+//!
+//! A new version of a schema is *backward compatible* when every instance of
+//! the old schema is still valid, i.e. `L(old) ⊆ L(new)`. For the tractable
+//! fragment `DetShEx₀⁻` this is decided in polynomial time (Corollary 4.4),
+//! and when compatibility fails the checker produces a concrete witness
+//! instance that breaks, which is exactly what a migration tool needs.
+//!
+//! Run with `cargo run --example schema_evolution`.
+
+use shapex::containment::det::det_containment;
+use shapex::containment::Containment;
+use shapex::graph::write_graph;
+use shapex::shex::parse_schema;
+
+fn main() {
+    let v1 = parse_schema(
+        "Bug  -> descr::Literal, reportedBy::User, reproducedBy::Employee?, related::Bug*\n\
+         User -> name::Literal, email::Literal?\n\
+         Employee -> name::Literal, email::Literal\n",
+    )
+    .expect("v1 parses");
+
+    // Version 2a: relax Employee (email becomes optional) — compatible.
+    let v2_relaxed = parse_schema(
+        "Bug  -> descr::Literal, reportedBy::User, reproducedBy::Employee?, related::Bug*\n\
+         User -> name::Literal, email::Literal?\n\
+         Employee -> name::Literal, email::Literal?\n",
+    )
+    .expect("v2a parses");
+
+    // Version 2b: make the user's email mandatory — incompatible.
+    let v2_strict = parse_schema(
+        "Bug  -> descr::Literal, reportedBy::User, reproducedBy::Employee?, related::Bug*\n\
+         User -> name::Literal, email::Literal\n\
+         Employee -> name::Literal, email::Literal\n",
+    )
+    .expect("v2b parses");
+
+    for (name, candidate) in [("v2-relaxed", &v2_relaxed), ("v2-strict", &v2_strict)] {
+        println!("=== upgrade v1 -> {name} ===");
+        match det_containment(&v1, candidate) {
+            Ok(Containment::Contained) => {
+                println!("backward compatible: every v1 instance satisfies {name}\n");
+            }
+            Ok(Containment::NotContained(witness)) => {
+                println!("NOT backward compatible; witness instance:");
+                print!("{}", write_graph(&witness));
+                println!();
+            }
+            Ok(Containment::Unknown) => println!("undecided within budget\n"),
+            Err(err) => println!("outside DetShEx0-: {err}\n"),
+        }
+        // The reverse direction tells us whether the new schema also accepts
+        // only old-style instances (a narrowing) or genuinely widens.
+        match det_containment(candidate, &v1) {
+            Ok(Containment::Contained) => {
+                println!("...and {name} ⊆ v1: every {name} instance is also a v1 instance\n")
+            }
+            Ok(Containment::NotContained(_)) => {
+                println!("...and {name} ⊄ v1: the upgrade admits genuinely new instances\n")
+            }
+            _ => println!(),
+        }
+    }
+}
