@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("validate_instance", |b| {
         b.iter(|| validates(&graph, &schema))
     });
-    group.bench_function("maximal_typing", |b| b.iter(|| maximal_typing(&graph, &schema)));
+    group.bench_function("maximal_typing", |b| {
+        b.iter(|| maximal_typing(&graph, &schema))
+    });
     group.bench_function("embed_instance_in_shape_graph", |b| {
         b.iter(|| embeds(&graph, &shape).is_some())
     });

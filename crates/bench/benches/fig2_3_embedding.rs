@@ -16,9 +16,13 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig2_3_embedding");
     group.bench_function("validate_g0_against_s0", |b| b.iter(|| validates(&g0, &s0)));
-    group.bench_function("max_simulation_g0_h0", |b| b.iter(|| max_simulation(&g0, &h0)));
+    group.bench_function("max_simulation_g0_h0", |b| {
+        b.iter(|| max_simulation(&g0, &h0))
+    });
     group.bench_function("embed_g0_in_h0", |b| b.iter(|| embeds(&g0, &h0).is_some()));
-    group.bench_function("embed_h0_in_g0_fails", |b| b.iter(|| embeds(&h0, &g0).is_none()));
+    group.bench_function("embed_h0_in_g0_fails", |b| {
+        b.iter(|| embeds(&h0, &g0).is_none())
+    });
     group.finish();
 }
 

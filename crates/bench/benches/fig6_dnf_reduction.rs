@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_dnf_reduction");
 
     // The exact Figure 6 formula.
-    let fig6 = DnfFormula { num_vars: 3, terms: vec![vec![1, -2], vec![2, -3]] };
+    let fig6 = DnfFormula {
+        num_vars: 3,
+        terms: vec![vec![1, -2], vec![2, -3]],
+    };
     let (h, k) = dnf_tautology_gadget(&fig6);
     group.bench_function("figure6_formula_not_tautology", |b| {
         b.iter(|| shex0_containment(&h, &k, &Shex0Options::quick()).is_not_contained())
@@ -26,9 +29,11 @@ fn bench(c: &mut Criterion) {
         let mut r = rng(600 + vars as u64);
         let formula = random_dnf(&mut r, vars, vars, 2);
         let (h, k) = dnf_tautology_gadget(&formula);
-        group.bench_with_input(BenchmarkId::new("random_dnf", vars), &(h, k), |b, (h, k)| {
-            b.iter(|| shex0_containment(h, k, &Shex0Options::quick()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("random_dnf", vars),
+            &(h, k),
+            |b, (h, k)| b.iter(|| shex0_containment(h, k, &Shex0Options::quick())),
+        );
     }
     group.finish();
 }

@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
         num_vars: 2,
         clauses: vec![vec![1, 2], vec![1, -2], vec![-1, 2], vec![-1, -2]],
     };
-    let sat = CnfFormula { num_vars: 2, clauses: vec![vec![1, 2], vec![-1, -2]] };
+    let sat = CnfFormula {
+        num_vars: 2,
+        clauses: vec![vec![1, 2], vec![-1, -2]],
+    };
     for (name, formula) in [("satisfiable_2v", &sat), ("unsatisfiable_2v", &unsat)] {
         let (h, k) = sat_embedding_gadget(formula);
         group.bench_with_input(BenchmarkId::new("fixed", name), &(h, k), |b, (h, k)| {
@@ -32,9 +35,11 @@ fn bench(c: &mut Criterion) {
         let mut r = rng(800 + vars as u64);
         let formula = random_cnf(&mut r, vars, vars + 1, 2);
         let (h, k) = sat_embedding_gadget(&formula);
-        group.bench_with_input(BenchmarkId::new("random_cnf", vars), &(h, k), |b, (h, k)| {
-            b.iter(|| embeds(h, k).is_some())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("random_cnf", vars),
+            &(h, k),
+            |b, (h, k)| b.iter(|| embeds(h, k).is_some()),
+        );
     }
     group.finish();
 }

@@ -55,7 +55,10 @@ fn main() {
 
     // --- DetShEx0-: polynomial scaling -------------------------------------
     println!("\n[DetShEx0-] containment on random contained pairs (Cor. 4.4)");
-    println!("{:>8} {:>12} {:>14} {:>12}", "types", "|H|+|K|", "answer", "time");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "types", "|H|+|K|", "answer", "time"
+    );
     for &types in &[4usize, 8, 16, 32, 64] {
         let (h, k) = contained_det_pair(types, 70 + types as u64);
         let (result, elapsed) = time(|| det_containment(&h, &k).unwrap());
@@ -63,14 +66,21 @@ fn main() {
             "{:>8} {:>12} {:>14} {:>12.2?}",
             types,
             schema_sizes(&h, &k),
-            if result.is_contained() { "contained" } else { "other" },
+            if result.is_contained() {
+                "contained"
+            } else {
+                "other"
+            },
             elapsed
         );
     }
 
     // --- ShEx0: the DNF gadget grows quickly --------------------------------
     println!("\n[ShEx0 / DetShEx0] DNF-tautology gadget (Thm. 4.5), answer via budgeted search");
-    println!("{:>8} {:>12} {:>14} {:>12}", "vars", "|H|+|K|", "answer", "time");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "vars", "|H|+|K|", "answer", "time"
+    );
     for &vars in &[2usize, 3, 4, 5] {
         let mut r = rng(7_000 + vars as u64);
         let formula = random_dnf(&mut r, vars, vars, 2);
@@ -93,7 +103,10 @@ fn main() {
     }
 
     println!("\n[ShEx0] random contained pairs (embedding fast path)");
-    println!("{:>8} {:>12} {:>14} {:>12}", "types", "|H|+|K|", "answer", "time");
+    println!(
+        "{:>8} {:>12} {:>14} {:>12}",
+        "types", "|H|+|K|", "answer", "time"
+    );
     for &types in &[4usize, 8, 16, 32] {
         let (h, k) = contained_shex0_pair(types, 90 + types as u64);
         let (result, elapsed) = time(|| shex0_containment(&h, &k, &Shex0Options::quick()));
@@ -101,7 +114,11 @@ fn main() {
             "{:>8} {:>12} {:>14} {:>12.2?}",
             types,
             schema_sizes(&h, &k),
-            if result.is_contained() { "contained" } else { "other" },
+            if result.is_contained() {
+                "contained"
+            } else {
+                "other"
+            },
             elapsed
         );
     }

@@ -57,10 +57,8 @@ pub fn compressed_hub(spokes: u64) -> (Graph, Schema) {
     let hub = g.node("hub");
     let rim = g.node("rim");
     g.add_edge_with(hub, "spoke", Interval::exactly(spokes), rim);
-    let schema = parse_schema(&format!(
-        "Hub -> spoke::Rim[1;{spokes}]\nRim -> EMPTY\n"
-    ))
-    .expect("hub schema parses");
+    let schema = parse_schema(&format!("Hub -> spoke::Rim[1;{spokes}]\nRim -> EMPTY\n"))
+        .expect("hub schema parses");
     (g, schema)
 }
 
@@ -69,10 +67,8 @@ pub fn compressed_hub(spokes: u64) -> (Graph, Schema) {
 /// validation of Proposition 6.2.
 pub fn compressed_hub_disjunctive(spokes: u64) -> (Graph, Schema) {
     let (g, _) = compressed_hub(spokes);
-    let schema = parse_schema(
-        "Hub -> (spoke::Rim, spoke::Rim)*\nRim -> EMPTY\n",
-    )
-    .expect("disjunctive hub schema parses");
+    let schema = parse_schema("Hub -> (spoke::Rim, spoke::Rim)*\nRim -> EMPTY\n")
+        .expect("disjunctive hub schema parses");
     (g, schema)
 }
 

@@ -33,7 +33,11 @@ pub struct NotDetShex0Minus {
 
 impl fmt::Display for NotDetShex0Minus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "schema is not in DetShEx0-: {}", self.violations.join("; "))
+        write!(
+            f,
+            "schema is not in DetShEx0-: {}",
+            self.violations.join("; ")
+        )
     }
 }
 
@@ -117,12 +121,9 @@ pub fn characterizing_graph(h: &Schema) -> Result<Graph, NotDetShex0Minus> {
                     continue;
                 }
                 let rbe0 = h.def(t).to_rbe0().expect("DetShEx0- is RBE0");
-                let reaches = rbe0
-                    .atoms()
-                    .iter()
-                    .any(|(atom, interval)| {
-                        *interval != Interval::STAR && set.contains(&atom.target)
-                    });
+                let reaches = rbe0.atoms().iter().any(|(atom, interval)| {
+                    *interval != Interval::STAR && set.contains(&atom.target)
+                });
                 if reaches {
                     set.insert(t);
                     changed = true;
@@ -149,12 +150,24 @@ pub fn characterizing_graph(h: &Schema) -> Result<Graph, NotDetShex0Minus> {
     let mut keys_per_type: BTreeMap<TypeId, Vec<Key>> = BTreeMap::new();
     for t in h.types() {
         let mut keys = vec![
-            Key { t, copy: 0, variant: None },
-            Key { t, copy: 1, variant: None },
+            Key {
+                t,
+                copy: 0,
+                variant: None,
+            },
+            Key {
+                t,
+                copy: 1,
+                variant: None,
+            },
         ];
         for (q, set) in needs_variant.iter().enumerate() {
             if set.contains(&t) {
-                keys.push(Key { t, copy: 0, variant: Some(q) });
+                keys.push(Key {
+                    t,
+                    copy: 0,
+                    variant: Some(q),
+                });
             }
         }
         for key in &keys {
@@ -213,7 +226,11 @@ pub fn characterizing_graph(h: &Schema) -> Result<Graph, NotDetShex0Minus> {
         // the variant; all other edges point to the first full copy.
         if let Some(q) = parent.variant {
             if needs_variant[q].contains(&target) {
-                return Key { t: target, copy: 0, variant: Some(q) };
+                return Key {
+                    t: target,
+                    copy: 0,
+                    variant: Some(q),
+                };
             }
         }
         keys_per_type[&target][0]
@@ -279,9 +296,15 @@ Employee -> name::Literal, email::Literal
         assert!(result.is_not_contained());
         let witness = result.counter_example().unwrap().clone();
         let strict_graph = strict.to_shape_graph().unwrap();
-        assert!(embeds(&witness, &strict_graph).is_some(), "witness ∈ L(strict)");
+        assert!(
+            embeds(&witness, &strict_graph).is_some(),
+            "witness ∈ L(strict)"
+        );
         let narrowed_graph = narrowed.to_shape_graph().unwrap();
-        assert!(embeds(&witness, &narrowed_graph).is_none(), "witness ∉ L(narrowed)");
+        assert!(
+            embeds(&witness, &narrowed_graph).is_none(),
+            "witness ∉ L(narrowed)"
+        );
     }
 
     #[test]
@@ -350,22 +373,20 @@ Employee -> name::Literal, email::Literal
         // H: Root -children*-> Item, Item -tag?-> Leaf.
         // K1: like H but tag is mandatory; K2: like H but tag is forbidden.
         // Neither contains H, and H is contained in the version with tag?.
-        let h = parse_schema(
-            "Root -> children::Item*\nItem -> tag::Leaf?\nLeaf -> EMPTY\n",
-        )
-        .unwrap();
-        let k_mandatory = parse_schema(
-            "Root -> children::Item*\nItem -> tag::Leaf\nLeaf -> EMPTY\n",
-        )
-        .unwrap();
+        let h =
+            parse_schema("Root -> children::Item*\nItem -> tag::Leaf?\nLeaf -> EMPTY\n").unwrap();
+        let k_mandatory =
+            parse_schema("Root -> children::Item*\nItem -> tag::Leaf\nLeaf -> EMPTY\n").unwrap();
         let k_forbidden =
             parse_schema("Root -> children::Item*\nItem -> EMPTY\nLeaf -> EMPTY\n").unwrap();
-        let k_star = parse_schema(
-            "Root -> children::Item*\nItem -> tag::Leaf*\nLeaf -> EMPTY\n",
-        )
-        .unwrap();
-        assert!(det_containment(&h, &k_mandatory).unwrap().is_not_contained());
-        assert!(det_containment(&h, &k_forbidden).unwrap().is_not_contained());
+        let k_star =
+            parse_schema("Root -> children::Item*\nItem -> tag::Leaf*\nLeaf -> EMPTY\n").unwrap();
+        assert!(det_containment(&h, &k_mandatory)
+            .unwrap()
+            .is_not_contained());
+        assert!(det_containment(&h, &k_forbidden)
+            .unwrap()
+            .is_not_contained());
         assert!(det_containment(&h, &k_star).unwrap().is_contained());
         assert!(det_containment(&k_mandatory, &h).unwrap().is_contained());
         assert!(det_containment(&k_forbidden, &h).unwrap().is_contained());

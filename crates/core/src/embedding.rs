@@ -127,8 +127,7 @@ fn has_witness(
     let compatible = |v: usize, u: usize| {
         let e = g_edges[v];
         let f = h_edges[u];
-        g.label(e) == h.label(f)
-            && simulators[g.target(e).index()].contains(&h.target(f))
+        g.label(e) == h.label(f) && simulators[g.target(e).index()].contains(&h.target(f))
     };
     let all_basic = sources.iter().chain(sinks.iter()).all(|i| i.is_basic());
     if all_basic {
@@ -242,7 +241,10 @@ mod tests {
         )
         .unwrap();
         assert!(embeds(&h, &g).is_some(), "every H node is simulated by g");
-        assert!(embeds(&g, &h).is_none(), "g is not simulated by any single H node");
+        assert!(
+            embeds(&g, &h).is_none(),
+            "g is not simulated by any single H node"
+        );
     }
 
     #[test]

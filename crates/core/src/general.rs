@@ -131,10 +131,7 @@ mod tests {
     fn disjunction_widening_is_contained() {
         // H fixes the p-target to A; K allows A or B.
         let h = parse_schema("Root -> p::A\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
-        let k = parse_schema(
-            "Root -> p::A | p::B\nA -> a::L?\nB -> b::L\nL -> EMPTY\n",
-        )
-        .unwrap();
+        let k = parse_schema("Root -> p::A | p::B\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
         assert!(general_containment(&h, &k, &quick()).is_contained());
         // The converse fails: a Root whose child is a B-node is valid for K
         // but not for H.

@@ -81,7 +81,11 @@ impl fmt::Display for Containment {
         match self {
             Containment::Contained => write!(f, "contained"),
             Containment::NotContained(g) => {
-                write!(f, "not contained (counter-example with {} nodes)", g.node_count())
+                write!(
+                    f,
+                    "not contained (counter-example with {} nodes)",
+                    g.node_count()
+                )
             }
             Containment::Unknown => write!(f, "unknown (budget exhausted)"),
         }

@@ -100,14 +100,8 @@ mod tests {
 
     #[test]
     fn non_containment_with_certificate() {
-        let h = parse_schema(
-            "Bug -> descr::Literal, related::Bug*\nLiteral -> EMPTY\n",
-        )
-        .unwrap();
-        let k = parse_schema(
-            "Bug -> descr::Literal, related::Bug?\nLiteral -> EMPTY\n",
-        )
-        .unwrap();
+        let h = parse_schema("Bug -> descr::Literal, related::Bug*\nLiteral -> EMPTY\n").unwrap();
+        let k = parse_schema("Bug -> descr::Literal, related::Bug?\nLiteral -> EMPTY\n").unwrap();
         // h allows arbitrarily many related bugs, k at most one.
         let result = shex0_containment(&h, &k, &quick());
         let witness = result.counter_example().expect("not contained");
@@ -122,14 +116,10 @@ mod tests {
         // H uses the same label twice (not deterministic): a node needs one
         // `p` to an A-node and one `p` to a B-node; K requires both targets to
         // be A-nodes.
-        let h = parse_schema(
-            "Root -> p::A, p::B\nA -> mark_a::L?\nB -> mark_b::L\nL -> EMPTY\n",
-        )
-        .unwrap();
-        let k = parse_schema(
-            "Root -> p::A, p::A\nA -> mark_a::L?\nB -> mark_b::L\nL -> EMPTY\n",
-        )
-        .unwrap();
+        let h = parse_schema("Root -> p::A, p::B\nA -> mark_a::L?\nB -> mark_b::L\nL -> EMPTY\n")
+            .unwrap();
+        let k = parse_schema("Root -> p::A, p::A\nA -> mark_a::L?\nB -> mark_b::L\nL -> EMPTY\n")
+            .unwrap();
         let result = shex0_containment(&h, &k, &quick());
         let witness = result.counter_example().expect("not contained");
         assert!(validates(witness, &h) && !validates(witness, &k));

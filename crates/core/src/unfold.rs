@@ -93,11 +93,7 @@ impl Tree {
         schema: &Schema,
         counter: &mut usize,
     ) -> shapex_graph::NodeId {
-        let id = graph.add_named_node(format!(
-            "{}_{}",
-            schema.type_name(self.type_id),
-            *counter
-        ));
+        let id = graph.add_named_node(format!("{}_{}", schema.type_name(self.type_id), *counter));
         *counter += 1;
         for (label, child) in &self.children {
             let child_id = child.add_to(graph, schema, counter);
@@ -319,12 +315,7 @@ pub fn enumerate_members(schema: &Schema, root: TypeId, options: &SearchOptions)
     graphs
 }
 
-fn enumerate_trees(
-    schema: &Schema,
-    t: TypeId,
-    depth: usize,
-    options: &SearchOptions,
-) -> Vec<Tree> {
+fn enumerate_trees(schema: &Schema, t: TypeId, depth: usize, options: &SearchOptions) -> Vec<Tree> {
     let def = schema.def(t);
     let mut out = Vec::new();
     for bag in candidate_bags(def, options) {
@@ -336,7 +327,8 @@ fn enumerate_trees(
         let mut combos: Vec<Vec<(String, Tree)>> = vec![Vec::new()];
         let mut dead = false;
         for (atom, count) in bag.iter() {
-            let child_trees = enumerate_trees(schema, atom.target, depth.saturating_sub(1), options);
+            let child_trees =
+                enumerate_trees(schema, atom.target, depth.saturating_sub(1), options);
             if child_trees.is_empty() {
                 dead = true;
                 break;
@@ -363,7 +355,10 @@ fn enumerate_trees(
             continue;
         }
         for children in combos {
-            out.push(Tree { type_id: t, children });
+            out.push(Tree {
+                type_id: t,
+                children,
+            });
             if out.len() >= options.max_trees {
                 return out;
             }
@@ -426,22 +421,24 @@ fn sample_tree(
             children.push((atom.label.to_string(), child));
         }
     }
-    Some(Tree { type_id: t, children })
+    Some(Tree {
+        type_id: t,
+        children,
+    })
 }
 
 /// Search for a counter-example to `L(h) ⊆ L(k)`: a graph that validates
 /// against `h` but not against `k`. Systematic unfoldings are tried first,
 /// then randomized ones. Any returned graph is certified by re-validation.
-pub fn search_counter_example(
-    h: &Schema,
-    k: &Schema,
-    options: &SearchOptions,
-) -> Option<Graph> {
+pub fn search_counter_example(h: &Schema, k: &Schema, options: &SearchOptions) -> Option<Graph> {
     let mut examined = 0usize;
     // Systematic phase.
     for root in h.types() {
         for depth in 1..=options.max_depth {
-            let scoped = SearchOptions { max_depth: depth, ..options.clone() };
+            let scoped = SearchOptions {
+                max_depth: depth,
+                ..options.clone()
+            };
             for graph in enumerate_members(h, root, &scoped) {
                 examined += 1;
                 if examined > options.max_candidates {
@@ -503,10 +500,8 @@ mod tests {
 
     #[test]
     fn enumerated_members_validate() {
-        let schema = parse_schema(
-            "Root -> children::Item*\nItem -> tag::Leaf?\nLeaf -> EMPTY\n",
-        )
-        .unwrap();
+        let schema =
+            parse_schema("Root -> children::Item*\nItem -> tag::Leaf?\nLeaf -> EMPTY\n").unwrap();
         let root = schema.find_type("Root").unwrap();
         let graphs = enumerate_members(&schema, root, &SearchOptions::quick());
         assert!(!graphs.is_empty());

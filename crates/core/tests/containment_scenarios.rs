@@ -48,7 +48,9 @@ fn adding_a_mandatory_field_is_not_backward_compatible() {
          Literal -> EMPTY\n",
     );
     let result = shex0_containment(&v1, &v2, &Shex0Options::quick());
-    let witness = result.counter_example().expect("old books lack a publisher");
+    let witness = result
+        .counter_example()
+        .expect("old books lack a publisher");
     assert!(validates(witness, &v1) && !validates(witness, &v2));
     // The new schema is contained in the old one after dropping the unknown
     // label... it is not, because v1 forbids the publisher edge entirely.
@@ -145,17 +147,33 @@ fn characterizing_graph_distinguishes_interval_strength() {
     let h = schema("Root -> kids::Node*\nNode -> flag::Leaf?\nLeaf -> EMPTY\n");
     let g = characterizing_graph(&h).unwrap();
     for (k_text, contained) in [
-        ("Root -> kids::Node*\nNode -> flag::Leaf?\nLeaf -> EMPTY\n", true),
-        ("Root -> kids::Node*\nNode -> flag::Leaf*\nLeaf -> EMPTY\n", true),
-        ("Root -> kids::Node*\nNode -> flag::Leaf\nLeaf -> EMPTY\n", false),
+        (
+            "Root -> kids::Node*\nNode -> flag::Leaf?\nLeaf -> EMPTY\n",
+            true,
+        ),
+        (
+            "Root -> kids::Node*\nNode -> flag::Leaf*\nLeaf -> EMPTY\n",
+            true,
+        ),
+        (
+            "Root -> kids::Node*\nNode -> flag::Leaf\nLeaf -> EMPTY\n",
+            false,
+        ),
         ("Root -> kids::Node*\nNode -> EMPTY\nLeaf -> EMPTY\n", false),
-        ("Root -> kids::Node*, extra::Leaf\nNode -> flag::Leaf?\nLeaf -> EMPTY\n", false),
+        (
+            "Root -> kids::Node*, extra::Leaf\nNode -> flag::Leaf?\nLeaf -> EMPTY\n",
+            false,
+        ),
     ] {
         let k = schema(k_text);
         let result = det_containment(&h, &k).unwrap();
         assert_eq!(result.is_contained(), contained, "K:\n{k}");
         // The characterizing graph alone already decides the answer.
-        assert_eq!(validates(&g, &k), contained, "characterizing graph vs K:\n{k}");
+        assert_eq!(
+            validates(&g, &k),
+            contained,
+            "characterizing graph vs K:\n{k}"
+        );
     }
 }
 
@@ -163,7 +181,11 @@ fn characterizing_graph_distinguishes_interval_strength() {
 fn unfolding_enumeration_respects_budgets() {
     let s = schema("Root -> kids::Node*\nNode -> flag::Leaf?\nLeaf -> EMPTY\n");
     let root = s.find_type("Root").unwrap();
-    let tight = SearchOptions { max_graph_nodes: 3, max_trees: 4, ..SearchOptions::quick() };
+    let tight = SearchOptions {
+        max_graph_nodes: 3,
+        max_trees: 4,
+        ..SearchOptions::quick()
+    };
     let graphs = enumerate_members(&s, root, &tight);
     assert!(!graphs.is_empty());
     assert!(graphs.iter().all(|g| g.node_count() <= 3));

@@ -10,7 +10,12 @@ use crate::reductions::{CnfFormula, DnfFormula};
 
 /// A random CNF formula with the given number of variables and clauses, each
 /// clause drawing `width` distinct literals uniformly.
-pub fn random_cnf(rng: &mut StdRng, num_vars: usize, num_clauses: usize, width: usize) -> CnfFormula {
+pub fn random_cnf(
+    rng: &mut StdRng,
+    num_vars: usize,
+    num_clauses: usize,
+    width: usize,
+) -> CnfFormula {
     let mut clauses = Vec::with_capacity(num_clauses);
     for _ in 0..num_clauses {
         let mut clause = Vec::with_capacity(width);
@@ -28,7 +33,10 @@ pub fn random_cnf(rng: &mut StdRng, num_vars: usize, num_clauses: usize, width: 
 /// A random DNF formula with the given number of variables and terms.
 pub fn random_dnf(rng: &mut StdRng, num_vars: usize, num_terms: usize, width: usize) -> DnfFormula {
     let cnf = random_cnf(rng, num_vars, num_terms, width);
-    DnfFormula { num_vars, terms: cnf.clauses }
+    DnfFormula {
+        num_vars,
+        terms: cnf.clauses,
+    }
 }
 
 /// Parameters for random schema generation.
@@ -44,14 +52,22 @@ pub struct SchemaGen {
 
 impl Default for SchemaGen {
     fn default() -> Self {
-        SchemaGen { types: 6, labels: 4, max_atoms: 3 }
+        SchemaGen {
+            types: 6,
+            labels: 4,
+            max_atoms: 3,
+        }
     }
 }
 
 impl SchemaGen {
     /// Generator for `types` types over `labels` labels.
     pub fn new(types: usize, labels: usize) -> SchemaGen {
-        SchemaGen { types, labels, ..SchemaGen::default() }
+        SchemaGen {
+            types,
+            labels,
+            ..SchemaGen::default()
+        }
     }
 
     /// A random `ShEx₀` schema: every definition is an RBE₀ over basic
@@ -59,7 +75,9 @@ impl SchemaGen {
     /// per definition (yielding `DetShEx₀`).
     pub fn shex0<R: Rng>(&self, rng: &mut R, deterministic: bool) -> Schema {
         let mut schema = Schema::new();
-        let types: Vec<TypeId> = (0..self.types).map(|i| schema.add_type(format!("T{i}"))).collect();
+        let types: Vec<TypeId> = (0..self.types)
+            .map(|i| schema.add_type(format!("T{i}")))
+            .collect();
         for &t in &types {
             let n_atoms = rng.gen_range(0..=self.max_atoms);
             let mut used = std::collections::BTreeSet::new();
@@ -95,14 +113,21 @@ impl SchemaGen {
     /// designated root type.
     pub fn det_shex0_minus<R: Rng>(&self, rng: &mut R) -> Schema {
         let mut schema = Schema::new();
-        let types: Vec<TypeId> = (0..self.types).map(|i| schema.add_type(format!("T{i}"))).collect();
+        let types: Vec<TypeId> = (0..self.types)
+            .map(|i| schema.add_type(format!("T{i}")))
+            .collect();
         // T0 is the root: it references every other type through `*` edges,
         // making every reference from non-root types *-closed.
         let root_atoms: Vec<Rbe<Atom>> = types
             .iter()
             .skip(1)
             .enumerate()
-            .map(|(i, &t)| Rbe::repeat(Rbe::symbol(Atom::new(format!("r{i}").as_str(), t)), Interval::STAR))
+            .map(|(i, &t)| {
+                Rbe::repeat(
+                    Rbe::symbol(Atom::new(format!("r{i}").as_str(), t)),
+                    Interval::STAR,
+                )
+            })
             .collect();
         schema.define(types[0], Rbe::concat(root_atoms));
         for (ti, &t) in types.iter().enumerate().skip(1) {
@@ -164,9 +189,7 @@ fn restrict_expr<R: Rng>(rng: &mut R, expr: &Rbe<Atom>) -> Rbe<Atom> {
             let pick = rng.gen_range(0..parts.len());
             restrict_expr(rng, &parts[pick])
         }
-        Rbe::Concat(parts) => {
-            Rbe::concat(parts.iter().map(|p| restrict_expr(rng, p)).collect())
-        }
+        Rbe::Concat(parts) => Rbe::concat(parts.iter().map(|p| restrict_expr(rng, p)).collect()),
         Rbe::Repeat(inner, interval) => {
             let restricted = restrict_expr(rng, inner);
             let narrowed = match interval.basic() {

@@ -93,9 +93,10 @@ pub fn cnf_satisfiable(formula: &CnfFormula) -> bool {
 pub fn dnf_is_tautology(formula: &DnfFormula) -> bool {
     assert!(formula.num_vars <= 24, "oracle limited to 24 variables");
     for assignment in 0u64..(1u64 << formula.num_vars) {
-        let satisfied = formula.terms.iter().any(|term| {
-            term.iter().all(|&lit| literal_true(lit, assignment))
-        });
+        let satisfied = formula
+            .terms
+            .iter()
+            .any(|term| term.iter().all(|&lit| literal_true(lit, assignment)));
         if !satisfied {
             return false;
         }
@@ -104,9 +105,10 @@ pub fn dnf_is_tautology(formula: &DnfFormula) -> bool {
 }
 
 fn cnf_holds(formula: &CnfFormula, assignment: u64) -> bool {
-    formula.clauses.iter().all(|clause| {
-        clause.iter().any(|&lit| literal_true(lit, assignment))
-    })
+    formula
+        .clauses
+        .iter()
+        .all(|clause| clause.iter().any(|&lit| literal_true(lit, assignment)))
 }
 
 fn literal_true(lit: i32, assignment: u64) -> bool {
@@ -140,11 +142,7 @@ pub fn normalize_cnf(formula: &CnfFormula) -> CnfFormula {
     }
     // Equalize occurrence counts by duplicating literals inside clauses.
     let count = |clauses: &Vec<Vec<i32>>, v: i32| {
-        clauses
-            .iter()
-            .flatten()
-            .filter(|&&l| l.abs() == v)
-            .count()
+        clauses.iter().flatten().filter(|&&l| l.abs() == v).count()
     };
     let k = (1..=formula.num_vars as i32)
         .map(|v| count(&clauses, v))
@@ -163,7 +161,10 @@ pub fn normalize_cnf(formula: &CnfFormula) -> CnfFormula {
             deficit -= 1;
         }
     }
-    CnfFormula { num_vars: formula.num_vars, clauses }
+    CnfFormula {
+        num_vars: formula.num_vars,
+        clauses,
+    }
 }
 
 /// The Theorem 3.5 gadget: two graphs with arbitrary occurrence intervals
@@ -281,7 +282,10 @@ pub fn dnf_tautology_gadget(formula: &DnfFormula) -> (Schema, Schema) {
     let vt = k.add_type("vt");
     let vf = k.add_type("vf");
     k.define(o_k, Rbe::Epsilon);
-    k.define_rbe0(vany, &[("t", o_k, Interval::OPT), ("f", o_k, Interval::OPT)]);
+    k.define_rbe0(
+        vany,
+        &[("t", o_k, Interval::OPT), ("f", o_k, Interval::OPT)],
+    );
     k.define(v0, Rbe::Epsilon);
     k.define_rbe0(v2, &[("t", o_k, Interval::ONE), ("f", o_k, Interval::ONE)]);
     k.define_rbe0(vt, &[("t", o_k, Interval::ONE)]);
@@ -573,7 +577,10 @@ mod tests {
 
     #[test]
     fn cnf_oracle_basics() {
-        let sat = CnfFormula { num_vars: 2, clauses: vec![vec![1, 2], vec![-1, 2]] };
+        let sat = CnfFormula {
+            num_vars: 2,
+            clauses: vec![vec![1, 2], vec![-1, 2]],
+        };
         let unsat = CnfFormula {
             num_vars: 1,
             clauses: vec![vec![1], vec![-1]],
@@ -585,7 +592,10 @@ mod tests {
 
     #[test]
     fn normalization_preserves_satisfiability_and_balances_counts() {
-        let formula = CnfFormula { num_vars: 3, clauses: vec![vec![1, 2, 3], vec![-1, 2]] };
+        let formula = CnfFormula {
+            num_vars: 3,
+            clauses: vec![vec![1, 2, 3], vec![-1, 2]],
+        };
         let normalized = normalize_cnf(&formula);
         assert_eq!(cnf_satisfiable(&formula), cnf_satisfiable(&normalized));
         let count = |v: i32| {
@@ -607,9 +617,18 @@ mod tests {
     #[test]
     fn sat_gadget_agrees_with_the_oracle() {
         let instances = vec![
-            CnfFormula { num_vars: 2, clauses: vec![vec![1, 2], vec![-1, -2]] },
-            CnfFormula { num_vars: 1, clauses: vec![vec![1], vec![-1]] },
-            CnfFormula { num_vars: 2, clauses: vec![vec![1], vec![-1, 2], vec![-2, 1]] },
+            CnfFormula {
+                num_vars: 2,
+                clauses: vec![vec![1, 2], vec![-1, -2]],
+            },
+            CnfFormula {
+                num_vars: 1,
+                clauses: vec![vec![1], vec![-1]],
+            },
+            CnfFormula {
+                num_vars: 2,
+                clauses: vec![vec![1], vec![-1, 2], vec![-2, 1]],
+            },
             CnfFormula {
                 num_vars: 3,
                 clauses: vec![vec![1, 2], vec![-1, 3], vec![-2, -3], vec![1, 3]],
@@ -642,7 +661,10 @@ mod tests {
     fn dnf_gadget_counter_example_iff_not_tautology() {
         // The Figure 6 formula (x1 ∧ ¬x2) ∨ (x2 ∧ ¬x3) is not a tautology:
         // the all-false valuation falsifies it.
-        let fig6 = DnfFormula { num_vars: 3, terms: vec![vec![1, -2], vec![2, -3]] };
+        let fig6 = DnfFormula {
+            num_vars: 3,
+            terms: vec![vec![1, -2], vec![2, -3]],
+        };
         assert!(!dnf_is_tautology(&fig6));
         let (h, k) = dnf_tautology_gadget(&fig6);
         // Build the falsifying valuation as a graph and check it separates
@@ -661,7 +683,10 @@ mod tests {
         assert!(!validates(&g, &k));
 
         // A tautology: x1 ∨ ¬x1.
-        let taut = DnfFormula { num_vars: 1, terms: vec![vec![1], vec![-1]] };
+        let taut = DnfFormula {
+            num_vars: 1,
+            terms: vec![vec![1], vec![-1]],
+        };
         assert!(dnf_is_tautology(&taut));
         let (ht, kt) = dnf_tautology_gadget(&taut);
         // Every H-valid valuation graph is K-valid; check the two valuations.

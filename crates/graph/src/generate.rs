@@ -57,7 +57,9 @@ impl GraphGen {
     /// duplicate `(source, label, target)` triples.
     pub fn simple<R: Rng>(&self, rng: &mut R) -> Graph {
         let mut g = Graph::new();
-        let ids: Vec<NodeId> = (0..self.nodes).map(|i| g.add_named_node(format!("v{i}"))).collect();
+        let ids: Vec<NodeId> = (0..self.nodes)
+            .map(|i| g.add_named_node(format!("v{i}")))
+            .collect();
         if ids.is_empty() {
             return g;
         }
@@ -85,7 +87,9 @@ impl GraphGen {
     /// Generate a random *shape graph*: edges carry random basic intervals.
     pub fn shape<R: Rng>(&self, rng: &mut R) -> Graph {
         let mut g = Graph::new();
-        let ids: Vec<NodeId> = (0..self.nodes).map(|i| g.add_named_node(format!("t{i}"))).collect();
+        let ids: Vec<NodeId> = (0..self.nodes)
+            .map(|i| g.add_named_node(format!("t{i}")))
+            .collect();
         if ids.is_empty() {
             return g;
         }
@@ -166,7 +170,7 @@ pub fn sample_from_shape<R: Rng>(rng: &mut R, h: &Graph, max_nodes: usize) -> Gr
                 Some(Basic::Opt) => rng.gen_range(0..=1),
                 Some(Basic::Plus) => rng.gen_range(1..=2),
                 Some(Basic::Star) => rng.gen_range(0..=2),
-                None => u64::from(h.occur(e).lo().max(1).min(2)) as usize,
+                None => h.occur(e).lo().clamp(1, 2) as usize,
             };
             for _ in 0..copies {
                 if g.node_count() >= max_nodes {
@@ -174,8 +178,7 @@ pub fn sample_from_shape<R: Rng>(rng: &mut R, h: &Graph, max_nodes: usize) -> Gr
                 }
                 counter += 1;
                 let target_shape = h.target(e);
-                let child =
-                    g.add_named_node(format!("i{counter}_{}", h.node_name(target_shape)));
+                let child = g.add_named_node(format!("i{counter}_{}", h.node_name(target_shape)));
                 g.add_edge(instance, h.label(e).clone(), child);
                 queue.push((child, target_shape));
             }

@@ -263,12 +263,7 @@ impl Graph {
 
     /// Add a plain edge with interval `1` (the only kind allowed in simple
     /// graphs).
-    pub fn add_edge(
-        &mut self,
-        source: NodeId,
-        label: impl Into<Label>,
-        target: NodeId,
-    ) -> EdgeId {
+    pub fn add_edge(&mut self, source: NodeId, label: impl Into<Label>, target: NodeId) -> EdgeId {
         self.add_edge_with(source, label, Interval::ONE, target)
     }
 
@@ -386,10 +381,7 @@ impl Graph {
         for e in &self.edges {
             indegree[e.target.index()] += 1;
         }
-        let mut queue: Vec<NodeId> = self
-            .nodes()
-            .filter(|v| indegree[v.index()] == 0)
-            .collect();
+        let mut queue: Vec<NodeId> = self.nodes().filter(|v| indegree[v.index()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = queue.pop() {
             order.push(v);
@@ -471,7 +463,12 @@ impl Graph {
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "graph with {} nodes, {} edges:", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "graph with {} nodes, {} edges:",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for e in self.edges() {
             let occur = self.occur(e);
             if occur == Interval::ONE {
@@ -601,8 +598,7 @@ mod tests {
         dag.add_edge(b, "q", c);
         let order = dag.topological_order().unwrap();
         assert_eq!(order.len(), 3);
-        let pos =
-            |n: NodeId| order.iter().position(|x| *x == n).unwrap();
+        let pos = |n: NodeId| order.iter().position(|x| *x == n).unwrap();
         assert!(pos(a) < pos(b) && pos(b) < pos(c));
     }
 
@@ -644,7 +640,10 @@ mod tests {
         let a = big.node("a");
         let b = big.node("b");
         big.add_edge_with(a, "p", Interval::exactly(1000), b);
-        assert_eq!(big.unpack(10).unwrap_err(), UnpackError::TooLarge { limit: 10 });
+        assert_eq!(
+            big.unpack(10).unwrap_err(),
+            UnpackError::TooLarge { limit: 10 }
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ pub struct LinearExpr {
 impl LinearExpr {
     /// The constant expression `k`.
     pub fn constant(k: i64) -> LinearExpr {
-        LinearExpr { coeffs: BTreeMap::new(), constant: k }
+        LinearExpr {
+            coeffs: BTreeMap::new(),
+            constant: k,
+        }
     }
 
     /// The expression consisting of a single variable.
@@ -102,7 +105,10 @@ impl LinearExpr {
         if c != 0 {
             coeffs.insert(v, c);
         }
-        LinearExpr { coeffs, constant: 0 }
+        LinearExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// The constant part `k`.
@@ -126,6 +132,9 @@ impl LinearExpr {
     }
 
     /// Add another expression.
+    // Deliberately not `impl Add`: takes `&LinearExpr` by reference, which
+    // the operator trait's signature cannot express without extra clones.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, other: &LinearExpr) -> LinearExpr {
         for (v, c) in other.terms() {
             self.add_term(v, c);
@@ -135,6 +144,7 @@ impl LinearExpr {
     }
 
     /// Subtract another expression.
+    #[allow(clippy::should_implement_trait)] // see `add`
     pub fn sub(mut self, other: &LinearExpr) -> LinearExpr {
         for (v, c) in other.terms() {
             self.add_term(v, -c);
@@ -181,6 +191,7 @@ impl LinearExpr {
     }
 
     /// Negate the expression.
+    #[allow(clippy::should_implement_trait)] // named for symmetry with `add`/`sub`
     pub fn neg(self) -> LinearExpr {
         self.scale(-1)
     }
@@ -342,6 +353,9 @@ impl Formula {
     }
 
     /// Negation.
+    // An associated constructor like `and`/`or` (used as `Formula::not`),
+    // not an `impl Not` operator on an existing value.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(inner: Formula) -> Formula {
         match inner {
             Formula::True => Formula::False,
@@ -429,7 +443,9 @@ mod tests {
         let mut pool = VarPool::new();
         let x = pool.fresh_named("x");
         let y = pool.fresh_named("y");
-        let e = LinearExpr::term(x, 2).add(&LinearExpr::var(y)).add(&LinearExpr::constant(3));
+        let e = LinearExpr::term(x, 2)
+            .add(&LinearExpr::var(y))
+            .add(&LinearExpr::constant(3));
         assert_eq!(e.eval(&[1, 4]), 2 + 4 + 3);
         assert_eq!(e.coeff(x), 2);
         assert_eq!(e.coeff(y), 1);
@@ -466,7 +482,10 @@ mod tests {
             Formula::or(vec![Formula::False, Formula::True]),
             Formula::True
         );
-        assert_eq!(Formula::not(Formula::not(Formula::eq(x, 1))), Formula::eq(x, 1));
+        assert_eq!(
+            Formula::not(Formula::not(Formula::eq(x, 1))),
+            Formula::eq(x, 1)
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub struct Solver {
 
 impl Default for Solver {
     fn default() -> Self {
-        Solver { bounds: Bounds::default(), node_budget: 2_000_000 }
+        Solver {
+            bounds: Bounds::default(),
+            node_budget: 2_000_000,
+        }
     }
 }
 
@@ -94,7 +97,10 @@ type Domains = Vec<(u64, u64)>;
 impl Solver {
     /// A solver with the given default bounds.
     pub fn new(bounds: Bounds) -> Solver {
-        Solver { bounds, node_budget: 2_000_000 }
+        Solver {
+            bounds,
+            node_budget: 2_000_000,
+        }
     }
 
     /// Override the search budget (number of search nodes).
@@ -174,7 +180,9 @@ impl Solver {
         };
 
         if let Some(or) = disjunctions.pop() {
-            let Nnf::Or(choices) = or else { unreachable!("only Or is deferred") };
+            let Nnf::Or(choices) = or else {
+                unreachable!("only Or is deferred")
+            };
             for choice in choices {
                 let mut next: Vec<&Nnf> = Vec::with_capacity(disjunctions.len() + 1);
                 next.push(choice);
@@ -274,11 +282,15 @@ fn to_nnf(f: &Formula, negated: bool) -> Nnf {
         (Formula::Atom(c), false) => Nnf::Atom(c.clone()),
         (Formula::Atom(Constraint::Ge0(e)), true) => {
             // ¬(e ≥ 0) over the integers: e ≤ -1.
-            Nnf::Atom(Constraint::Ge0(e.clone().neg().add(&LinearExpr::constant(-1))))
+            Nnf::Atom(Constraint::Ge0(
+                e.clone().neg().add(&LinearExpr::constant(-1)),
+            ))
         }
         (Formula::Atom(Constraint::Eq0(e)), true) => Nnf::Or(vec![
             Nnf::Atom(Constraint::Ge0(e.clone().add(&LinearExpr::constant(-1)))),
-            Nnf::Atom(Constraint::Ge0(e.clone().neg().add(&LinearExpr::constant(-1)))),
+            Nnf::Atom(Constraint::Ge0(
+                e.clone().neg().add(&LinearExpr::constant(-1)),
+            )),
         ]),
     }
 }
@@ -329,7 +341,7 @@ fn propagate(atoms: &[Constraint], mut domains: Domains) -> Option<Domains> {
                 if c > 0 {
                     let needed = -rest; // c·x ≥ needed
                     if needed > 0 {
-                        let new_lo = ((needed + c as i128 - 1) / c as i128) as i128;
+                        let new_lo = (needed + c as i128 - 1) / c as i128;
                         if new_lo > hi as i128 {
                             return None;
                         }
@@ -374,7 +386,10 @@ mod tests {
         let x = pool.fresh_named("x");
         let y = pool.fresh_named("y");
         let f = Formula::and(vec![
-            Formula::eq(LinearExpr::var(x).add(&LinearExpr::var(y)), LinearExpr::constant(5)),
+            Formula::eq(
+                LinearExpr::var(x).add(&LinearExpr::var(y)),
+                LinearExpr::constant(5),
+            ),
             Formula::ge(x, 3),
             Formula::ge(y, 1),
         ]);
@@ -411,10 +426,7 @@ mod tests {
         // ¬(x = 0) ∧ x ≤ 1  ⇒ x = 1
         let mut pool = VarPool::new();
         let x = pool.fresh_named("x");
-        let f = Formula::and(vec![
-            Formula::not(Formula::eq(x, 0)),
-            Formula::le(x, 1),
-        ]);
+        let f = Formula::and(vec![Formula::not(Formula::eq(x, 0)), Formula::le(x, 1)]);
         let model = solver().solve(&f, &pool);
         assert_eq!(model.model().unwrap()[0], 1);
     }
@@ -459,14 +471,16 @@ mod tests {
         let mut pool = VarPool::new();
         let vars: Vec<_> = (0..12).map(|i| pool.fresh_named(format!("x{i}"))).collect();
         // A loose system with a large search space and a tiny budget.
-        let sum = vars
-            .iter()
-            .fold(LinearExpr::constant(0), |acc, v| acc.add(&LinearExpr::var(*v)));
+        let sum = vars.iter().fold(LinearExpr::constant(0), |acc, v| {
+            acc.add(&LinearExpr::var(*v))
+        });
         let f = Formula::eq(sum, LinearExpr::constant(200));
         let tight = Solver::new(Bounds::uniform(1_000)).with_node_budget(3);
         assert_eq!(tight.solve(&f, &pool), SolveResult::Unknown);
         // With the default budget the system is easily satisfiable.
-        assert!(Solver::new(Bounds::uniform(1_000)).solve(&f, &pool).is_sat());
+        assert!(Solver::new(Bounds::uniform(1_000))
+            .solve(&f, &pool)
+            .is_sat());
     }
 
     #[test]
@@ -476,7 +490,10 @@ mod tests {
         let y = pool.fresh_named("y");
         let f = Formula::and(vec![
             Formula::or(vec![Formula::eq(x, 3), Formula::ge(y, 9)]),
-            Formula::le(LinearExpr::var(x).add(&LinearExpr::var(y)), LinearExpr::constant(10)),
+            Formula::le(
+                LinearExpr::var(x).add(&LinearExpr::var(y)),
+                LinearExpr::constant(10),
+            ),
             Formula::not(Formula::eq(y, 0)),
         ]);
         match solver().solve(&f, &pool) {

@@ -76,10 +76,10 @@ impl<'p> PsiBuilder<'p> {
                     .iter()
                     .enumerate()
                     .map(|(i, _)| {
-                        LinearExpr::var(self.pool.fresh_bounded(
-                            format!("n_disj{i}"),
-                            self.split_bound,
-                        ))
+                        LinearExpr::var(
+                            self.pool
+                                .fresh_bounded(format!("n_disj{i}"), self.split_bound),
+                        )
                     })
                     .collect();
                 let sum = counts
@@ -102,10 +102,7 @@ impl<'p> PsiBuilder<'p> {
                     Formula::eq(n.clone(), LinearExpr::constant(0)),
                     all_zero(xs),
                 ]);
-                let m = LinearExpr::var(
-                    self.pool
-                        .fresh_bounded("m_repeat", self.split_bound),
-                );
+                let m = LinearExpr::var(self.pool.fresh_bounded("m_repeat", self.split_bound));
                 let mut positive = vec![Formula::ge(n.clone(), LinearExpr::constant(1))];
                 // k·n ≤ m ≤ ℓ·n (no upper constraint when ℓ = ∞).
                 positive.push(Formula::ge(
@@ -138,7 +135,7 @@ impl<'p> PsiBuilder<'p> {
         let mut sub_vectors: Vec<ParikhVec<S>> = Vec::with_capacity(parts.len());
         for (i, _) in parts.iter().enumerate() {
             let mut sub = ParikhVec::new();
-            for (symbol, _) in xs {
+            for symbol in xs.keys() {
                 let v = self
                     .pool
                     .fresh_bounded(format!("split{i}"), self.split_bound);
@@ -215,8 +212,7 @@ pub fn rbe_member<S: Ord + Clone>(bag: &Bag<S>, expr: &Rbe<S>) -> bool {
         .map(|s| (s.clone(), LinearExpr::constant(bag.count(s) as i64)))
         .collect();
     let mut pool = VarPool::new();
-    let formula =
-        PsiBuilder::new(&mut pool, bound).psi(expr, &xs, &LinearExpr::constant(1));
+    let formula = PsiBuilder::new(&mut pool, bound).psi(expr, &xs, &LinearExpr::constant(1));
     let solver = Solver::new(Bounds::uniform(bound));
     match solver.solve(&formula, &pool) {
         SolveResult::Sat(_) => true,
@@ -239,7 +235,7 @@ pub fn intersection_nonempty<S: Ord + Clone>(e1: &Rbe<S>, e2: &Rbe<S>, bound: u6
     let xs: ParikhVec<S> = alphabet
         .iter()
         .map(|s| {
-            let v = pool.fresh_bounded(format!("x"), bound);
+            let v = pool.fresh_bounded("x".to_string(), bound);
             (s.clone(), LinearExpr::var(v))
         })
         .collect();
@@ -377,8 +373,9 @@ mod tests {
         let mut pool = VarPool::new();
         let xa = pool.fresh_bounded("xa", 4);
         let xb = pool.fresh_bounded("xb", 4);
-        let xs: ParikhVec<&str> =
-            [("a", LinearExpr::var(xa)), ("b", LinearExpr::var(xb))].into_iter().collect();
+        let xs: ParikhVec<&str> = [("a", LinearExpr::var(xa)), ("b", LinearExpr::var(xb))]
+            .into_iter()
+            .collect();
         let f = PsiBuilder::new(&mut pool, 8).psi(&e, &xs, &LinearExpr::constant(1));
         let result = Solver::new(Bounds::uniform(8)).solve(&f, &pool);
         let model = result.model().expect("satisfiable");

@@ -16,7 +16,9 @@ pub struct Bag<S: Ord> {
 impl<S: Ord> Bag<S> {
     /// The empty bag `ε`.
     pub fn new() -> Bag<S> {
-        Bag { counts: BTreeMap::new() }
+        Bag {
+            counts: BTreeMap::new(),
+        }
     }
 
     /// Whether the bag is the empty bag.

@@ -98,9 +98,7 @@ impl<S> Rbe<S> {
     pub fn size(&self) -> usize {
         match self {
             Rbe::Epsilon | Rbe::Symbol(_) => 1,
-            Rbe::Disj(parts) | Rbe::Concat(parts) => {
-                1 + parts.iter().map(Rbe::size).sum::<usize>()
-            }
+            Rbe::Disj(parts) | Rbe::Concat(parts) => 1 + parts.iter().map(Rbe::size).sum::<usize>(),
             Rbe::Repeat(inner, _) => 1 + inner.size(),
         }
     }
@@ -402,7 +400,10 @@ mod tests {
             Rbe::star(Rbe::symbol("b")),
         ]);
         assert!(repeated.is_rbe0());
-        assert_eq!(repeated.to_rbe0().unwrap().allowed(&"a"), Interval::at_least(2));
+        assert_eq!(
+            repeated.to_rbe0().unwrap().allowed(&"a"),
+            Interval::at_least(2)
+        );
 
         // Disjunction is not RBE0.
         let disj = Rbe::disj(vec![Rbe::symbol("a"), Rbe::symbol("b")]);

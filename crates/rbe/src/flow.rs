@@ -119,22 +119,22 @@ pub fn basic_assignment(
     for v in 0..n_sources {
         net.add_edge(node_s, source_node(v), 1, 1);
     }
-    for u in 0..n_sinks {
-        net.add_edge(strong_node(u), sink_node(u), sinks[u].lo() as i64, big);
+    for (u, sink) in sinks.iter().enumerate() {
+        net.add_edge(strong_node(u), sink_node(u), sink.lo() as i64, big);
         net.add_edge(weak_node(u), sink_node(u), 0, big);
-        let cap = match sinks[u].hi() {
+        let cap = match sink.hi() {
             Some(h) => h as i64,
             None => big,
         };
         net.add_edge(sink_node(u), node_t, 0, cap);
     }
     for v in 0..n_sources {
-        for u in 0..n_sinks {
+        for (u, sink) in sinks.iter().enumerate() {
             if !compatible(v, u) {
                 continue;
             }
             // An unbounded source cannot feed a finitely bounded sink.
-            if sources[v].hi().is_none() && sinks[u].hi().is_some() {
+            if sources[v].hi().is_none() && sink.hi().is_some() {
                 continue;
             }
             let mid = if sources[v].lo() >= 1 {
@@ -243,8 +243,8 @@ pub fn general_assignment(
             for idx in 0..self.compat[v].len() {
                 let u = self.compat[v][idx];
                 self.loads[u].add(self.sources[v]);
-                let feasible = self.loads[u].fits_upper(self.sinks[u])
-                    && self.lower_bounds_reachable();
+                let feasible =
+                    self.loads[u].fits_upper(self.sinks[u]) && self.lower_bounds_reachable();
                 if feasible {
                     self.assignment[v] = u;
                     if self.run(pos + 1) {
@@ -288,11 +288,7 @@ pub fn general_assignment(
 
 /// Verify that an assignment satisfies the interval-sum condition; exposed for
 /// tests and used as a debug assertion by both solvers.
-pub fn verify_assignment(
-    sources: &[Interval],
-    sinks: &[Interval],
-    assignment: &[usize],
-) -> bool {
+pub fn verify_assignment(sources: &[Interval], sinks: &[Interval], assignment: &[usize]) -> bool {
     if assignment.len() != sources.len() {
         return false;
     }
@@ -343,9 +339,17 @@ impl LowerBoundFlow {
         // Store the reduced capacity (upper - lower); account the lower bound
         // as an excess transfer.
         self.graph[from].push(self.edges.len());
-        self.edges.push(FlowEdge { to, cap: upper - lower, flow: 0 });
+        self.edges.push(FlowEdge {
+            to,
+            cap: upper - lower,
+            flow: 0,
+        });
         self.graph[to].push(self.edges.len());
-        self.edges.push(FlowEdge { to: from, cap: 0, flow: 0 });
+        self.edges.push(FlowEdge {
+            to: from,
+            cap: 0,
+            flow: 0,
+        });
         self.excess[to] += lower;
         self.excess[from] -= lower;
         self.lower.push(lower);
@@ -390,7 +394,11 @@ impl LowerBoundFlow {
         self.graph[from].push(self.edges.len());
         self.edges.push(FlowEdge { to, cap, flow: 0 });
         self.graph[to].push(self.edges.len());
-        self.edges.push(FlowEdge { to: from, cap: 0, flow: 0 });
+        self.edges.push(FlowEdge {
+            to: from,
+            cap: 0,
+            flow: 0,
+        });
         self.lower.push(0);
         self.lower.push(0);
     }
@@ -479,7 +487,7 @@ mod tests {
         check_both(&[ONE], &[OPT], &[(0, 0)], true);
         check_both(&[STAR], &[ONE], &[(0, 0)], false);
         check_both(&[STAR], &[STAR], &[(0, 0)], true);
-        check_both(&[OPT], &[ONE], &[(0, 0)], false, );
+        check_both(&[OPT], &[ONE], &[(0, 0)], false);
         check_both(&[OPT], &[PLUS], &[(0, 0)], false);
         check_both(&[PLUS], &[PLUS], &[(0, 0)], true);
         // Incompatible pair.
@@ -506,7 +514,12 @@ mod tests {
         // A star sink absorbs both.
         check_both(&[ONE, ONE], &[STAR], &[(0, 0), (1, 0)], true);
         // Split across two sinks.
-        check_both(&[ONE, ONE], &[ONE, ONE], &[(0, 0), (0, 1), (1, 0), (1, 1)], true);
+        check_both(
+            &[ONE, ONE],
+            &[ONE, ONE],
+            &[(0, 0), (0, 1), (1, 0), (1, 1)],
+            true,
+        );
         // Both sources only compatible with the same capacity-1 sink.
         check_both(&[ONE, ONE], &[ONE, ONE], &[(0, 0), (1, 0)], false);
     }

@@ -59,11 +59,20 @@ impl fmt::Display for Basic {
 
 impl Interval {
     /// `[0;0]`, the neutral element of `⊕`.
-    pub const ZERO: Interval = Interval { min: 0, max: Some(0) };
+    pub const ZERO: Interval = Interval {
+        min: 0,
+        max: Some(0),
+    };
     /// `1 = [1;1]`.
-    pub const ONE: Interval = Interval { min: 1, max: Some(1) };
+    pub const ONE: Interval = Interval {
+        min: 1,
+        max: Some(1),
+    };
     /// `? = [0;1]`.
-    pub const OPT: Interval = Interval { min: 0, max: Some(1) };
+    pub const OPT: Interval = Interval {
+        min: 0,
+        max: Some(1),
+    };
     /// `+ = [1;∞]`.
     pub const PLUS: Interval = Interval { min: 1, max: None };
     /// `* = [0;∞]`.
@@ -75,7 +84,10 @@ impl Interval {
     /// Panics if `min > max`.
     pub fn bounded(min: u64, max: u64) -> Interval {
         assert!(min <= max, "invalid interval [{min};{max}]");
-        Interval { min, max: Some(max) }
+        Interval {
+            min,
+            max: Some(max),
+        }
     }
 
     /// The unbounded interval `[min; ∞]`.
@@ -85,7 +97,10 @@ impl Interval {
 
     /// The singleton interval `[n; n]`.
     pub fn exactly(n: u64) -> Interval {
-        Interval { min: n, max: Some(n) }
+        Interval {
+            min: n,
+            max: Some(n),
+        }
     }
 
     /// An interval from an optional upper bound (`None` meaning `∞`).
@@ -227,7 +242,9 @@ impl Interval {
         if hi == "*" || hi == "inf" || hi == "∞" {
             return Ok(Interval::at_least(min));
         }
-        let max: u64 = hi.parse().map_err(|_| format!("bad upper bound in `{t}`"))?;
+        let max: u64 = hi
+            .parse()
+            .map_err(|_| format!("bad upper bound in `{t}`"))?;
         if min > max {
             return Err(format!("empty interval `{t}`"));
         }
@@ -274,7 +291,9 @@ pub struct IntervalSet {
 impl IntervalSet {
     /// The empty set.
     pub fn empty() -> IntervalSet {
-        IntervalSet { intervals: Vec::new() }
+        IntervalSet {
+            intervals: Vec::new(),
+        }
     }
 
     /// The set containing every natural number.
@@ -378,7 +397,9 @@ impl IntervalSet {
 
 impl From<Interval> for IntervalSet {
     fn from(interval: Interval) -> Self {
-        IntervalSet { intervals: vec![interval] }
+        IntervalSet {
+            intervals: vec![interval],
+        }
     }
 }
 
@@ -452,7 +473,10 @@ mod tests {
             Interval::bounded(1, 5).intersect(&Interval::bounded(3, 9)),
             Some(Interval::bounded(3, 5))
         );
-        assert_eq!(Interval::bounded(1, 2).intersect(&Interval::bounded(4, 5)), None);
+        assert_eq!(
+            Interval::bounded(1, 2).intersect(&Interval::bounded(4, 5)),
+            None
+        );
         assert_eq!(
             Interval::PLUS.intersect(&Interval::OPT),
             Some(Interval::ONE)

@@ -398,7 +398,10 @@ mod tests {
     #[test]
     fn sorbe_rejects_multi_occurrence() {
         let e = Rbe::concat(vec![Rbe::symbol("a"), Rbe::symbol("a")]);
-        assert_eq!(sorbe_member(&bag(&["a", "a"]), &e), Err(NotSingleOccurrence));
+        assert_eq!(
+            sorbe_member(&bag(&["a", "a"]), &e),
+            Err(NotSingleOccurrence)
+        );
     }
 
     #[test]

@@ -41,12 +41,19 @@ pub fn parse_schema(text: &str) -> Result<Schema, String> {
         if schema.find_type(name).is_none() {
             schema.add_type(name);
         } else if rules.iter().any(|(n, _)| n == name) {
-            return Err(format!("line {}: duplicate rule for type `{name}`", lineno + 1));
+            return Err(format!(
+                "line {}: duplicate rule for type `{name}`",
+                lineno + 1
+            ));
         }
         rules.push((name.to_owned(), tokens));
     }
     for (name, tokens) in rules {
-        let mut parser = Parser { tokens, pos: 0, schema: &mut schema };
+        let mut parser = Parser {
+            tokens,
+            pos: 0,
+            schema: &mut schema,
+        };
         let expr = parser.parse_expr()?;
         if parser.pos != parser.tokens.len() {
             return Err(format!(
@@ -149,8 +156,8 @@ fn tokenize(body: &str) -> Result<Vec<Token>, String> {
                     .ok_or_else(|| format!("unterminated `{c}`"))?;
                 let inner: String = chars[i + 1..i + end].iter().collect();
                 let normalized = inner.replace(',', ";");
-                let interval = Interval::parse(&format!("[{normalized}]"))
-                    .map_err(|e| e.to_string())?;
+                let interval =
+                    Interval::parse(&format!("[{normalized}]")).map_err(|e| e.to_string())?;
                 tokens.push(Token::Interval(interval));
                 i += end + 1;
             }
@@ -328,14 +335,23 @@ t3 -> EMPTY
     #[test]
     fn parse_errors() {
         assert!(parse_schema("A p::B").is_err(), "missing arrow");
-        assert!(parse_schema("A -> p:B\nB -> EMPTY").is_err(), "single colon");
-        assert!(parse_schema("A -> (p::B\nB -> EMPTY").is_err(), "unclosed paren");
+        assert!(
+            parse_schema("A -> p:B\nB -> EMPTY").is_err(),
+            "single colon"
+        );
+        assert!(
+            parse_schema("A -> (p::B\nB -> EMPTY").is_err(),
+            "unclosed paren"
+        );
         assert!(parse_schema("A -> p::B ???x").is_err(), "trailing junk");
         assert!(
             parse_schema("A -> p::B\nA -> q::B\nB -> EMPTY").is_err(),
             "duplicate rule"
         );
-        assert!(parse_schema("A -> p::B[3;").is_err(), "unterminated interval");
+        assert!(
+            parse_schema("A -> p::B[3;").is_err(),
+            "unterminated interval"
+        );
     }
 
     #[test]

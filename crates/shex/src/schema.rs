@@ -36,7 +36,10 @@ pub struct Atom {
 impl Atom {
     /// Construct an atom `label :: target`.
     pub fn new(label: impl Into<Label>, target: TypeId) -> Atom {
-        Atom { label: label.into(), target }
+        Atom {
+            label: label.into(),
+            target,
+        }
     }
 }
 
@@ -119,7 +122,10 @@ impl Schema {
         );
         let id = TypeId(self.types.len() as u32);
         self.by_name.insert(name.clone(), id);
-        self.types.push(TypeDef { name, expr: Rbe::Epsilon });
+        self.types.push(TypeDef {
+            name,
+            expr: Rbe::Epsilon,
+        });
         id
     }
 
@@ -355,7 +361,9 @@ impl Schema {
         for t in self.types() {
             let rbe0: Rbe0<Atom> = self.def(t).to_rbe0()?;
             for (atom, interval) in rbe0.atoms() {
-                let source = graph.find_node(self.type_name(t)).expect("node added above");
+                let source = graph
+                    .find_node(self.type_name(t))
+                    .expect("node added above");
                 let target = graph
                     .find_node(self.type_name(atom.target))
                     .expect("node added above");
@@ -417,8 +425,7 @@ pub(crate) fn render_expr(schema: &Schema, expr: &ShapeExpr) -> String {
                 format!("{}::{}", atom.label, schema.type_name(atom.target))
             }
             Rbe::Disj(parts) => {
-                let body: Vec<String> =
-                    parts.iter().map(|p| go(schema, p, false)).collect();
+                let body: Vec<String> = parts.iter().map(|p| go(schema, p, false)).collect();
                 let joined = body.join(" | ");
                 if top {
                     joined
@@ -427,8 +434,7 @@ pub(crate) fn render_expr(schema: &Schema, expr: &ShapeExpr) -> String {
                 }
             }
             Rbe::Concat(parts) => {
-                let body: Vec<String> =
-                    parts.iter().map(|p| go(schema, p, false)).collect();
+                let body: Vec<String> = parts.iter().map(|p| go(schema, p, false)).collect();
                 let joined = body.join(", ");
                 if top {
                     joined
@@ -467,11 +473,17 @@ mod tests {
         );
         s.define_rbe0(
             user,
-            &[("name", literal, Interval::ONE), ("email", literal, Interval::OPT)],
+            &[
+                ("name", literal, Interval::ONE),
+                ("email", literal, Interval::OPT),
+            ],
         );
         s.define_rbe0(
             employee,
-            &[("name", literal, Interval::ONE), ("email", literal, Interval::ONE)],
+            &[
+                ("name", literal, Interval::ONE),
+                ("email", literal, Interval::ONE),
+            ],
         );
         s.define(literal, Rbe::Epsilon);
         s
@@ -554,7 +566,11 @@ mod tests {
         s.define_rbe0(root, &[("children", mid, Interval::STAR)]);
         s.define_rbe0(mid, &[("via", opt, Interval::ONE)]);
         s.define_rbe0(opt, &[("maybe", leaf, Interval::OPT)]);
-        assert!(s.is_det_shex0_minus(), "{:?}", s.det_shex0_minus_violations());
+        assert!(
+            s.is_det_shex0_minus(),
+            "{:?}",
+            s.det_shex0_minus_violations()
+        );
     }
 
     #[test]

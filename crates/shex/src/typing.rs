@@ -38,7 +38,9 @@ pub struct Typing {
 impl Typing {
     fn full(nodes: usize, schema: &Schema) -> Typing {
         let all: BTreeSet<TypeId> = schema.types().collect();
-        Typing { sets: vec![all; nodes] }
+        Typing {
+            sets: vec![all; nodes],
+        }
     }
 
     /// The set of types assigned to a node.
@@ -209,13 +211,19 @@ fn satisfies_via_presburger(edges: &[EdgeSummary], def: &Rbe<Atom>) -> bool {
         for t in &edge.target_types {
             let y = pool.fresh_bounded(format!("y{}_{}", i, t.0), edge.multiplicity);
             sum = sum.add(&LinearExpr::var(y));
-            let atom = Atom { label: edge.label.clone(), target: *t };
+            let atom = Atom {
+                label: edge.label.clone(),
+                target: *t,
+            };
             let entry = contributions
                 .entry(atom)
                 .or_insert_with(|| LinearExpr::constant(0));
             *entry = entry.clone().add(&LinearExpr::var(y));
         }
-        conjuncts.push(Formula::eq(sum, LinearExpr::constant(edge.multiplicity as i64)));
+        conjuncts.push(Formula::eq(
+            sum,
+            LinearExpr::constant(edge.multiplicity as i64),
+        ));
     }
     // Atoms of the definition that no edge can produce still need entries so
     // that ψ forces them to zero — they already are zero constants.
@@ -308,19 +316,17 @@ emp1 -email-> l9
     fn extra_edge_fails_validation() {
         let schema = parse_schema(FIG1_SCHEMA).unwrap();
         // Two descriptions violate descr::Literal with interval 1.
-        let graph = parse_graph(
-            "bug1 -descr-> l1\nbug1 -descr-> l2\nbug1 -reportedBy-> u\nu -name-> l3\n",
-        )
-        .unwrap();
+        let graph =
+            parse_graph("bug1 -descr-> l1\nbug1 -descr-> l2\nbug1 -reportedBy-> u\nu -name-> l3\n")
+                .unwrap();
         assert!(!validates(&graph, &schema));
     }
 
     #[test]
     fn figure_2_example_typing() {
-        let schema = parse_schema(
-            "t0 -> a::t1\nt1 -> b::t2, c::t3\nt2 -> b::t2?, c::t3\nt3 -> EMPTY\n",
-        )
-        .unwrap();
+        let schema =
+            parse_schema("t0 -> a::t1\nt1 -> b::t2, c::t3\nt2 -> b::t2?, c::t3\nt3 -> EMPTY\n")
+                .unwrap();
         // G0 of Figure 2: the b-edge loops on n1 (its signature in the paper
         // is (b::t1 | b::t2) || c::t3), and the maximal typing gives n1 the
         // types {t1, t2}.
@@ -378,10 +384,8 @@ emp1 -email-> l9
             "Parent -> child::A, child::B\nA -> mark_a::L\nB -> mark_b::L\nL -> EMPTY\n",
         )
         .unwrap();
-        let split = parse_graph(
-            "p -child-> x\np -child-> y\nx -mark_a-> l1\ny -mark_b-> l2\n",
-        )
-        .unwrap();
+        let split =
+            parse_graph("p -child-> x\np -child-> y\nx -mark_a-> l1\ny -mark_b-> l2\n").unwrap();
         assert!(validates(&split, &schema));
         let merged = parse_graph("p -child[2]-> x\nx -mark_a-> l1\n").unwrap();
         assert!(!validates(&merged, &schema));
@@ -401,7 +405,10 @@ emp1 -email-> l9
         };
         assert!(neighbourhood_satisfies(&[edge(1, &[b])], &def));
         assert!(neighbourhood_satisfies(&[edge(5, &[b])], &def));
-        assert!(!neighbourhood_satisfies(&[], &def), "p+ needs at least one edge");
+        assert!(
+            !neighbourhood_satisfies(&[], &def),
+            "p+ needs at least one edge"
+        );
         assert!(
             !neighbourhood_satisfies(&[edge(1, &[a])], &def),
             "target type mismatch"

@@ -82,7 +82,10 @@ fn cyclic_requirements_can_be_unsatisfiable() {
 #[test]
 fn plus_and_star_intervals_in_validation() {
     let schema = parse_schema("Hub -> spoke::Rim+, note::Rim*\nRim -> EMPTY\n").unwrap();
-    assert!(!validates(&parse_graph("h -note-> r\n").unwrap(), &schema), "missing spoke+");
+    assert!(
+        !validates(&parse_graph("h -note-> r\n").unwrap(), &schema),
+        "missing spoke+"
+    );
     assert!(validates(&parse_graph("h -spoke-> r\n").unwrap(), &schema));
     assert!(validates(
         &parse_graph("h -spoke-> r1\nh -spoke-> r2\nh -note-> r3\n").unwrap(),
@@ -129,10 +132,8 @@ fn node_satisfies_is_consistent_with_maximal_typing() {
 
 #[test]
 fn disjunctive_definitions_choose_exactly_one_branch() {
-    let schema = parse_schema(
-        "Payment -> card::Details | iban::Details\nDetails -> EMPTY\n",
-    )
-    .unwrap();
+    let schema =
+        parse_schema("Payment -> card::Details | iban::Details\nDetails -> EMPTY\n").unwrap();
     assert_eq!(schema.classify(), SchemaClass::ShEx);
     assert!(validates(&parse_graph("p -card-> d\n").unwrap(), &schema));
     assert!(validates(&parse_graph("p -iban-> d\n").unwrap(), &schema));
@@ -141,7 +142,10 @@ fn disjunctive_definitions_choose_exactly_one_branch() {
         &schema
     ));
     assert!(
-        !validates(&parse_graph("p -card-> d1\np -card-> d2\n").unwrap(), &schema),
+        !validates(
+            &parse_graph("p -card-> d1\np -card-> d2\n").unwrap(),
+            &schema
+        ),
         "each branch allows exactly one edge"
     );
 }
@@ -161,16 +165,17 @@ fn wide_intervals_and_compressed_graphs() {
     // The compressed encoding of the same neighbourhoods.
     for (count, expected) in [(1u64, false), (3, true), (6, false)] {
         let graph = parse_graph(&format!("box -item[{count}]-> thing\n")).unwrap();
-        assert_eq!(validates(&graph, &schema), expected, "compressed count {count}");
+        assert_eq!(
+            validates(&graph, &schema),
+            expected,
+            "compressed count {count}"
+        );
     }
 }
 
 #[test]
 fn schema_level_accessors() {
-    let schema = parse_schema(
-        "A -> p::B, q::C*\nB -> r::C?\nC -> EMPTY\n",
-    )
-    .unwrap();
+    let schema = parse_schema("A -> p::B, q::C*\nB -> r::C?\nC -> EMPTY\n").unwrap();
     assert_eq!(schema.type_count(), 3);
     assert_eq!(schema.labels().len(), 3);
     let b = schema.find_type("B").unwrap();

@@ -26,7 +26,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2019);
 
     println!("=== Theorem 3.5: SAT as embedding with arbitrary intervals ===");
-    println!("{:<8} {:>8} {:>8} {:>12} {:>10}", "vars", "clauses", "sat?", "embeds?", "time");
+    println!(
+        "{:<8} {:>8} {:>8} {:>12} {:>10}",
+        "vars", "clauses", "sat?", "embeds?", "time"
+    );
     for vars in 2..=4 {
         let formula = random_cnf(&mut rng, vars, vars + 1, 2);
         let sat = cnf_satisfiable(&formula);
@@ -46,7 +49,10 @@ fn main() {
     }
 
     println!("\n=== Theorem 4.5 / Figure 6: DNF tautology as DetShEx0 containment ===");
-    println!("{:<8} {:>8} {:>12} {:>14} {:>10}", "vars", "terms", "tautology?", "contained?", "time");
+    println!(
+        "{:<8} {:>8} {:>12} {:>14} {:>10}",
+        "vars", "terms", "tautology?", "contained?", "time"
+    );
     // The Figure 6 formula plus random instances.
     let fig6 = shapex::gadgets::reductions::DnfFormula {
         num_vars: 3,
@@ -85,7 +91,10 @@ fn main() {
     }
 
     println!("\n=== Lemma 5.1: exponentially large minimal counter-examples ===");
-    println!("{:<4} {:>14} {:>14} {:>16}", "n", "|H| + |K|", "witness nodes", "witness valid?");
+    println!(
+        "{:<4} {:>14} {:>14} {:>16}",
+        "n", "|H| + |K|", "witness nodes", "witness valid?"
+    );
     for n in 1..=4 {
         let (h, k) = exponential_family(n);
         let witness = exponential_family_witness(n);

@@ -33,7 +33,11 @@ fn main() {
     }
     println!(
         "graph {} the schema\n",
-        if typing.is_total() { "satisfies" } else { "violates" }
+        if typing.is_total() {
+            "satisfies"
+        } else {
+            "violates"
+        }
     );
 
     // 3. Embeddings: the instance embeds into the schema's shape graph.
@@ -46,7 +50,10 @@ fn main() {
                 .iter()
                 .map(|m| shape.node_name(*m))
                 .collect();
-            println!("emp1 is simulated by the shape graph nodes: {}", images.join(", "));
+            println!(
+                "emp1 is simulated by the shape graph nodes: {}",
+                images.join(", ")
+            );
         }
         None => println!("no embedding (unexpected for a valid instance)"),
     }

@@ -72,7 +72,11 @@ fn main() -> ExitCode {
             .iter()
             .map(|t| schema.type_name(*t))
             .collect();
-        let rendered = if types.is_empty() { "<none>".to_owned() } else { types.join(", ") };
+        let rendered = if types.is_empty() {
+            "<none>".to_owned()
+        } else {
+            types.join(", ")
+        };
         println!("  {:12} : {}", graph.node_name(node), rendered);
     }
 

@@ -85,7 +85,10 @@ fn det_containment_matches_shex0_containment_on_det_minus_pairs() {
             general.is_contained(),
             "procedures disagree (seed {seed})\nH:\n{h}\nK:\n{k}"
         );
-        assert!(det.is_contained(), "restrictions are contained by construction");
+        assert!(
+            det.is_contained(),
+            "restrictions are contained by construction"
+        );
     }
 }
 
@@ -98,15 +101,25 @@ fn non_containment_answers_are_always_certified() {
         let a = SchemaGen::new(4, 3).det_shex0_minus(&mut schema_rng);
         let b = SchemaGen::new(4, 3).det_shex0_minus(&mut rng);
         for (h, k) in [(&a, &b), (&b, &a)] {
-            if let Containment::NotContained(witness) = shex0_containment(h, k, &Shex0Options::quick())
+            if let Containment::NotContained(witness) =
+                shex0_containment(h, k, &Shex0Options::quick())
             {
-                assert!(validates(&witness, h), "witness must satisfy H (seed {seed})");
-                assert!(!validates(&witness, k), "witness must violate K (seed {seed})");
+                assert!(
+                    validates(&witness, h),
+                    "witness must satisfy H (seed {seed})"
+                );
+                assert!(
+                    !validates(&witness, k),
+                    "witness must violate K (seed {seed})"
+                );
                 checked += 1;
             }
         }
     }
-    assert!(checked > 0, "expected at least one non-containment among random pairs");
+    assert!(
+        checked > 0,
+        "expected at least one non-containment among random pairs"
+    );
 }
 
 #[test]
@@ -136,14 +149,22 @@ fn dnf_gadget_end_to_end() {
     // Figure 6's formula is not a tautology, so containment fails and the
     // schemas separate on a concrete valuation; a tautology yields
     // containment (the procedure must not claim otherwise).
-    let fig6 = DnfFormula { num_vars: 3, terms: vec![vec![1, -2], vec![2, -3]] };
+    let fig6 = DnfFormula {
+        num_vars: 3,
+        terms: vec![vec![1, -2], vec![2, -3]],
+    };
     assert!(!dnf_is_tautology(&fig6));
     let (h, k) = dnf_tautology_gadget(&fig6);
     let result = shex0_containment(&h, &k, &Shex0Options::default());
-    let witness = result.counter_example().expect("not a tautology => not contained");
+    let witness = result
+        .counter_example()
+        .expect("not a tautology => not contained");
     assert!(validates(witness, &h) && !validates(witness, &k));
 
-    let taut = DnfFormula { num_vars: 2, terms: vec![vec![1], vec![-1, 2], vec![-1, -2]] };
+    let taut = DnfFormula {
+        num_vars: 2,
+        terms: vec![vec![1], vec![-1, 2], vec![-1, -2]],
+    };
     assert!(dnf_is_tautology(&taut));
     let (ht, kt) = dnf_tautology_gadget(&taut);
     let result = shex0_containment(&ht, &kt, &Shex0Options::quick());
@@ -161,7 +182,10 @@ fn exponential_family_counter_examples_grow() {
         sizes.push(witness.node_count());
     }
     assert!(sizes[1] > sizes[0] && sizes[2] > sizes[1]);
-    assert!(sizes[2] - sizes[1] > sizes[1] - sizes[0], "super-linear growth");
+    assert!(
+        sizes[2] - sizes[1] > sizes[1] - sizes[0],
+        "super-linear growth"
+    );
 }
 
 #[test]
@@ -177,10 +201,9 @@ fn simulation_is_monotone_under_edge_removal() {
 
     // Drop the optional `reproducedBy` edge: every previously simulated node
     // stays simulated.
-    let reduced = parse_graph(
-        "bug1 -descr-> lit_boom\nbug1 -reportedBy-> user1\nuser1 -name-> lit_john\n",
-    )
-    .unwrap();
+    let reduced =
+        parse_graph("bug1 -descr-> lit_boom\nbug1 -reportedBy-> user1\nuser1 -name-> lit_john\n")
+            .unwrap();
     let reduced_sim = max_simulation(&reduced, &shape);
     for node in reduced.nodes() {
         let name = reduced.node_name(node);

@@ -1,0 +1,103 @@
+//! Smoke test for the facade: everything here goes through
+//! `shapex::prelude` alone, so the re-export surface itself is under test.
+//! If a prelude item is renamed or dropped, this file stops compiling.
+
+use shapex::prelude::*;
+
+/// Parse a schema, convert it to its shape graph, build an instance graph by
+/// hand, and run both containment procedures — the full zero-to-answer path
+/// a downstream user takes.
+#[test]
+fn prelude_end_to_end() {
+    // 1. Parse two ShEx₀ schemas (H is a restriction of K).
+    let h: Schema = parse_schema(
+        "Bug -> descr::Literal, reportedBy::User\n\
+         User -> name::Literal, email::Literal\n\
+         Literal -> EMPTY\n",
+    )
+    .expect("H parses");
+    let k: Schema = parse_schema(
+        "Bug -> descr::Literal, reportedBy::User, related::Bug*\n\
+         User -> name::Literal, email::Literal?\n\
+         Literal -> EMPTY\n",
+    )
+    .expect("K parses");
+    assert_eq!(h.classify(), SchemaClass::DetShEx0Minus);
+
+    // 2. Build a small instance graph with the graph API.
+    let mut g: Graph = Graph::new();
+    let bug = g.node("bug1");
+    let user = g.node("alice");
+    let descr = g.node("d");
+    let name = g.node("n");
+    let email = g.node("e");
+    g.add_edge(bug, "descr", descr);
+    g.add_edge(bug, "reportedBy", user);
+    g.add_edge(user, "name", name);
+    g.add_edge(user, "email", email);
+    assert_eq!(g.kind(), GraphKind::Simple);
+
+    // 3. The sufficient embedding check: the instance embeds into H's shape
+    //    graph (every node finds a type whose neighbourhood admits it).
+    let h_shape = h.to_shape_graph().expect("RBE0 schema has a shape graph");
+    assert!(embeds(&g, &h_shape).is_some(), "instance embeds into H");
+    assert!(
+        !max_simulation(&g, &h_shape).is_empty(),
+        "simulation is non-trivial"
+    );
+
+    // 4. ShEx₀ containment: H ⊆ K holds (K only loosens H), K ⊆ H fails
+    //    (K admits a User without email).
+    let fwd = shex0_containment(&h, &k, &Shex0Options::quick());
+    assert!(fwd.is_contained(), "H ⊆ K, got {fwd:?}");
+    let rev = shex0_containment(&k, &h, &Shex0Options::quick());
+    assert!(rev.is_not_contained(), "K ⊄ H, got {rev:?}");
+    if let Containment::NotContained(witness) = &rev {
+        assert!(witness.node_count() > 0, "counter-example is non-empty");
+    }
+
+    // 5. General containment on full ShEx (disjunction makes it non-RBE0).
+    let narrow = parse_schema("Root -> p::A\nA -> a::L?\nL -> EMPTY\n").expect("narrow parses");
+    let wide = parse_schema("Root -> p::A | p::B\nA -> a::L?\nB -> b::L\nL -> EMPTY\n")
+        .expect("wide parses");
+    assert!(general_containment(&narrow, &wide, &GeneralOptions::quick()).is_contained());
+    assert!(general_containment(&wide, &narrow, &GeneralOptions::quick()).is_not_contained());
+}
+
+/// The remaining prelude items (gadget figures, labels, RBE building blocks,
+/// baseline search, det containment) are usable as re-exported.
+#[test]
+fn prelude_surface_is_complete() {
+    // Figures from the paper, via the gadgets re-export.
+    let s0 = figures::s0_schema();
+    let g0 = figures::g0_graph();
+    assert!(g0.node_count() > 0 && s0.size() > 0);
+
+    // RBE building blocks.
+    let expr: Rbe<&str> = Rbe::repeat(Rbe::symbol("a"), Interval::PLUS);
+    let rbe0: Rbe0<&str> = expr.to_rbe0().expect("a+ is RBE0");
+    let bag: Bag<&str> = Bag::from_counts([("a", 2)]);
+    assert_eq!(rbe0.atoms().len(), 1);
+    assert!(bag.total() == 2);
+
+    // Det containment + baseline counter-example search agree on a
+    // self-containment instance.
+    let det = figures::bug_tracker_schema();
+    if det.is_det_shex0_minus() {
+        assert!(det_containment(&det, &det)
+            .expect("in class")
+            .is_contained());
+    }
+    assert!(enumerate_counter_example(&det, &det, 2, 3, 500).is_none());
+
+    // Label interning is stable.
+    let mut table = LabelTable::new();
+    let l: Label = table.intern("p");
+    assert_eq!(table.intern("p"), l);
+    assert_eq!(table.len(), 1);
+
+    // Characterizing graph construction (Lemma 4.2).
+    let cg = characterizing_graph(&det).expect("DetShEx0- schema");
+    assert!(cg.node_count() > 0);
+    let _: Option<NodeId> = cg.nodes().next();
+}

@@ -35,9 +35,8 @@ fn arb_basic() -> impl Strategy<Value = Interval> {
 }
 
 fn arb_bag() -> impl Strategy<Value = Bag<&'static str>> {
-    proptest::collection::vec((0usize..SYMBOLS.len(), 0u64..4), 0..4).prop_map(|pairs| {
-        Bag::from_counts(pairs.into_iter().map(|(i, c)| (SYMBOLS[i], c)))
-    })
+    proptest::collection::vec((0usize..SYMBOLS.len(), 0u64..4), 0..4)
+        .prop_map(|pairs| Bag::from_counts(pairs.into_iter().map(|(i, c)| (SYMBOLS[i], c))))
 }
 
 fn arb_rbe(depth: u32) -> impl Strategy<Value = Rbe<&'static str>> {

@@ -1,0 +1,205 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate implements the subset of the proptest 1.x API used by the
+//! three property-test suites: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`, the
+//! [`prop_oneof!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`] macros, [`strategy::Just`], integer-range and tuple
+//! strategies, and [`collection::vec`].
+//!
+//! **What is intentionally missing:** shrinking and persisted failure seeds.
+//! Each test function draws its cases from a deterministic RNG seeded from
+//! the test's name, so failures are reproducible run to run, but a failing
+//! case is reported as-is rather than minimized. Swap this path dependency
+//! for the real crate once the build environment has registry access.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for collections, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::{Strategy, ValueOf};
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The size argument accepted by [`vec`]: a length or a length range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec: empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s whose elements come from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for `Vec`s with lengths drawn from `size`,
+    /// mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<ValueOf<S>>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// The test macro, mirroring `proptest::proptest!`.
+///
+/// Accepts an optional `#![proptest_config(expr)]` header followed by
+/// `#[test] fn name(pat in strategy, ...) { body }` items. Each function
+/// becomes an ordinary `#[test]` that draws `config.cases` inputs from its
+/// strategies and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(
+                            let $pat =
+                                $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                        )*
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    ::std::panic!("proptest: case {}/{} failed: {}", case + 1, config.cases, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice between strategies, mirroring `proptest::prop_oneof!`.
+/// All arms must produce the same value type; each case picks one arm
+/// uniformly at random.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, mirroring
+/// `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body, mirroring
+/// `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body, mirroring
+/// `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition,
+/// mirroring `proptest::prop_assume!`. Skipped cases count as passes (the
+/// real crate retries them; without shrinking the distinction is harmless).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,134 @@
+//! Test-case execution support: configuration, errors, and the per-test RNG.
+//! A generation-only mirror of `proptest::test_runner`.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::fmt;
+
+/// Per-test configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many random cases each test function runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate's default; cheap strategies dominate here.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case failed, mirroring
+/// `proptest::test_runner::TestCaseError` (the `Reject` variant is not
+/// needed: `prop_assume!` skips directly).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The deterministic RNG behind strategy generation.
+///
+/// Each test function gets a stream seeded from its own name, so runs are
+/// reproducible without a persistence file (the real crate records failing
+/// seeds instead; without shrinking a fixed stream is the simpler contract).
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A stream that is a pure function of `name`.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a, folded into the seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// A uniform `usize` in `[lo, hi)` (`lo` when the range is empty).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (self.inner.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+macro_rules! draw_uint {
+    ($($fn_name:ident => $t:ty),*) => {$(
+        impl TestRng {
+            /// A uniform value in `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+            pub fn $fn_name(&mut self, lo: $t, hi: $t, inclusive: bool) -> $t {
+                let span = if inclusive {
+                    assert!(lo <= hi, "strategy: empty range");
+                    (hi as u128) - (lo as u128) + 1
+                } else {
+                    assert!(lo < hi, "strategy: empty range");
+                    (hi as u128) - (lo as u128)
+                };
+                lo.wrapping_add((self.inner.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! draw_int {
+    ($($fn_name:ident => $t:ty),*) => {$(
+        impl TestRng {
+            /// A uniform value in `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+            pub fn $fn_name(&mut self, lo: $t, hi: $t, inclusive: bool) -> $t {
+                let span = if inclusive {
+                    assert!(lo <= hi, "strategy: empty range");
+                    ((hi as i128) - (lo as i128) + 1) as u128
+                } else {
+                    assert!(lo < hi, "strategy: empty range");
+                    ((hi as i128) - (lo as i128)) as u128
+                };
+                ((lo as i128) + (self.inner.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+draw_uint!(
+    draw_u8 => u8,
+    draw_u16 => u16,
+    draw_u32 => u32,
+    draw_u64 => u64,
+    draw_usize => usize
+);
+
+draw_int!(
+    draw_i8 => i8,
+    draw_i16 => i16,
+    draw_i32 => i32,
+    draw_i64 => i64,
+    draw_isize => isize
+);

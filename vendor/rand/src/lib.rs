@@ -1,0 +1,259 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate implements the *exact* subset of the rand 0.8 API that the
+//! workspace uses: [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`seq::SliceRandom::shuffle`], [`SeedableRng::seed_from_u64`], and
+//! [`rngs::StdRng`]. The generator is xoshiro256++, which is more than
+//! adequate for workload generation and property tests (nothing here is
+//! cryptographic). Swap this path dependency for the real crate once the
+//! build environment has registry access; no source changes should be needed.
+
+#![forbid(unsafe_code)]
+
+/// Low-level source of randomness: a stream of `u64`/`u32` words.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (panics if `p ∉ [0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 random mantissa bits give a uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of reproducible generators from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform range sampling, mirroring `rand::distributions::uniform`.
+pub mod distributions {
+    /// Range-shaped arguments accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that can produce a uniform sample of `T`.
+        pub trait SampleRange<T> {
+            /// Draws one uniform sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        macro_rules! impl_sample_range_uint {
+            ($($t:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end - self.start) as u128;
+                        self.start + (rng.next_u64() as u128 % span) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi - lo) as u128 + 1;
+                        lo + (rng.next_u64() as u128 % span) as $t
+                    }
+                }
+            )*};
+        }
+
+        macro_rules! impl_sample_range_int {
+            ($($t:ty => $u:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                    }
+                }
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as i128 - lo as i128) as u128 + 1;
+                        (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_range_uint!(u8, u16, u32, u64, usize);
+        impl_sample_range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+    }
+}
+
+/// Sequence-related sampling, mirroring `rand::seq`.
+pub mod seq {
+    use crate::Rng;
+
+    /// Extension methods on slices: shuffling and random choice.
+    pub trait SliceRandom {
+        /// The element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                Some(&self[i])
+            }
+        }
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    /// The workspace's standard PRNG: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Statistically solid and fast; NOT a cryptographic generator (the real
+    /// `rand::rngs::StdRng` is — nothing in this workspace relies on that).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as recommended by the
+            // xoshiro authors, so nearby seeds give unrelated streams.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}
