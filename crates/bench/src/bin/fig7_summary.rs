@@ -12,6 +12,13 @@
 //! workloads of each class and prints the observed behaviour next to the
 //! paper's classification. Run with
 //! `cargo run --release -p shapex-bench --bin fig7_summary`.
+//!
+//! Every measurement is repeated a few times and its mean/min/max (the same
+//! statistics the vendored criterion shim reports) are written as
+//! machine-readable JSON to `BENCH_fig7.json` (override the path with the
+//! `BENCH_FIG7_JSON` environment variable) — CI uploads that file as a
+//! per-commit artifact, the start of the benchmark trajectory the ROADMAP
+//! asks for.
 
 use std::time::{Duration, Instant};
 
@@ -24,10 +31,68 @@ use shapex_gadgets::reductions::{dnf_tautology_gadget, exponential_family};
 use shapex_shex::parse_schema;
 use shapex_shex::Schema;
 
-fn time<F: FnMut() -> R, R>(mut f: F) -> (R, Duration) {
-    let start = Instant::now();
-    let result = f();
-    (result, start.elapsed())
+/// One named measurement: per-run statistics in nanoseconds.
+struct BenchRecord {
+    id: String,
+    runs: usize,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+/// Collects every timed workload of the summary for the JSON artifact.
+#[derive(Default)]
+struct Recorder {
+    records: Vec<BenchRecord>,
+}
+
+impl Recorder {
+    /// Run `f` `runs` times, record mean/min/max under `id`, and return the
+    /// last result together with the mean duration (shown in the tables).
+    fn measure<F: FnMut() -> R, R>(&mut self, id: &str, runs: usize, mut f: F) -> (R, Duration) {
+        let mut result = None;
+        let mut mean = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for _ in 0..runs {
+            let start = Instant::now();
+            result = Some(f());
+            let ns = start.elapsed().as_nanos() as f64;
+            mean += ns / runs as f64;
+            min = min.min(ns);
+            max = max.max(ns);
+        }
+        self.records.push(BenchRecord {
+            id: id.to_owned(),
+            runs,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+        });
+        (
+            result.expect("runs >= 1"),
+            Duration::from_nanos(mean as u64),
+        )
+    }
+
+    /// Serialise all records as JSON (no external dependencies: the ids are
+    /// plain ASCII, so escaping quotes and backslashes suffices).
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"fig7-summary/v1\",\n  \"benches\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let id = r.id.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!(
+                "    {{\"id\": \"{id}\", \"runs\": {}, \"mean_ns\": {:.0}, \"min_ns\": {:.0}, \"max_ns\": {:.0}}}{}\n",
+                r.runs,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                if i + 1 == self.records.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
 }
 
 fn schema_sizes(h: &Schema, k: &Schema) -> usize {
@@ -35,6 +100,7 @@ fn schema_sizes(h: &Schema, k: &Schema) -> usize {
 }
 
 fn main() {
+    let mut recorder = Recorder::default();
     println!("Figure 7 — containment complexity per schema class (paper vs. measured)\n");
     println!(
         "{:<14} {:<26} {:<30}",
@@ -61,7 +127,10 @@ fn main() {
     );
     for &types in &[4usize, 8, 16, 32, 64] {
         let (h, k) = contained_det_pair(types, 70 + types as u64);
-        let (result, elapsed) = time(|| det_containment(&h, &k).unwrap());
+        let (result, elapsed) =
+            recorder.measure(&format!("det_containment/types={types}"), 3, || {
+                det_containment(&h, &k).unwrap()
+            });
         println!(
             "{:>8} {:>12} {:>14} {:>12.2?}",
             types,
@@ -85,7 +154,10 @@ fn main() {
         let mut r = rng(7_000 + vars as u64);
         let formula = random_dnf(&mut r, vars, vars, 2);
         let (h, k) = dnf_tautology_gadget(&formula);
-        let (result, elapsed) = time(|| shex0_containment(&h, &k, &Shex0Options::default()));
+        let (result, elapsed) =
+            recorder.measure(&format!("shex0_dnf_gadget/vars={vars}"), 3, || {
+                shex0_containment(&h, &k, &Shex0Options::default())
+            });
         let answer = if result.is_contained() {
             "contained"
         } else if result.is_not_contained() {
@@ -109,7 +181,10 @@ fn main() {
     );
     for &types in &[4usize, 8, 16, 32] {
         let (h, k) = contained_shex0_pair(types, 90 + types as u64);
-        let (result, elapsed) = time(|| shex0_containment(&h, &k, &Shex0Options::quick()));
+        let (result, elapsed) =
+            recorder.measure(&format!("shex0_contained_pair/types={types}"), 3, || {
+                shex0_containment(&h, &k, &Shex0Options::quick())
+            });
         println!(
             "{:>8} {:>12} {:>14} {:>12.2?}",
             types,
@@ -141,12 +216,14 @@ fn main() {
     let narrow = parse_schema("Root -> p::A\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
     let wide = parse_schema("Root -> p::A | p::B\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
     let cases = [
-        ("narrow ⊆ wide", &narrow, &wide),
-        ("wide ⊆ narrow", &wide, &narrow),
+        ("narrow ⊆ wide", "narrow_in_wide", &narrow, &wide),
+        ("wide ⊆ narrow", "wide_in_narrow", &wide, &narrow),
     ];
     println!("{:>16} {:>14} {:>12}", "case", "answer", "time");
-    for (name, h, k) in cases {
-        let (result, elapsed) = time(|| general_containment(h, k, &GeneralOptions::quick()));
+    for (name, id, h, k) in cases {
+        let (result, elapsed) = recorder.measure(&format!("general_containment/{id}"), 3, || {
+            general_containment(h, k, &GeneralOptions::quick())
+        });
         let answer = if result.is_contained() {
             "contained"
         } else if result.is_not_contained() {
@@ -162,4 +239,11 @@ fn main() {
          gadget-driven ShEx0 and ShEx workloads blow up quickly or require the\n\
          budgeted procedures to give up — matching the paper's separation."
     );
+
+    let json_path =
+        std::env::var("BENCH_FIG7_JSON").unwrap_or_else(|_| "BENCH_fig7.json".to_owned());
+    match std::fs::write(&json_path, recorder.to_json()) {
+        Ok(()) => println!("\nwrote machine-readable summary to {json_path}"),
+        Err(e) => eprintln!("\nfailed to write {json_path}: {e}"),
+    }
 }

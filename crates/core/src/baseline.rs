@@ -1,16 +1,84 @@
-//! Brute-force baseline: exhaustive enumeration of small counter-examples.
+//! Brute-force baselines kept as test oracles and benchmark reference
+//! points.
 //!
-//! Containment `L(H) ⊆ L(K)` fails iff some simple graph validates against
-//! `H` but not against `K`. This module enumerates *all* simple graphs up to
-//! a node bound over the combined label alphabet and tests each one. The
-//! search space is `2^(n²·|Σ|)`, so this is only usable for tiny bounds; it
-//! serves as a test oracle for the smarter procedures and as the baseline in
-//! the benchmark harness (every speed-up of the paper's techniques is
-//! measured against it).
+//! * [`enumerate_counter_example`] — containment `L(H) ⊆ L(K)` fails iff
+//!   some simple graph validates against `H` but not against `K`; this
+//!   enumerates *all* simple graphs up to a node bound over the combined
+//!   label alphabet and tests each one. The search space is `2^(n²·|Σ|)`,
+//!   so this is only usable for tiny bounds.
+//! * [`max_simulation_baseline`] — the original full-rescan fix-point
+//!   computation of the maximal simulation, retained verbatim as the oracle
+//!   the worklist + bitset engine of [`crate::simulation`] is checked
+//!   against (and the baseline the `sim_engine_scaling` bench measures its
+//!   speed-up over).
 
-use shapex_graph::{Graph, Label};
+use std::collections::BTreeSet;
+
+use shapex_graph::{Graph, Label, NodeId};
+use shapex_rbe::flow::{basic_assignment, general_assignment};
+use shapex_rbe::Interval;
 use shapex_shex::typing::validates;
 use shapex_shex::Schema;
+
+use crate::simulation::Simulation;
+
+/// Compute the maximal simulation of `G` in `H` by naive fix-point
+/// refinement: starting from the full relation `N_G × N_H`, every pair is
+/// re-examined on every iteration and pairs without a witness are removed
+/// until a whole sweep changes nothing.
+///
+/// This is `O(iterations · |N_G| · |N_H|)` witness checks with
+/// `Arc<str>`-equality label comparison and per-call interval allocation —
+/// exactly the implementation the worklist engine replaced. It is retained
+/// as the equivalence oracle for the property suite and as the benchmark
+/// baseline; production callers should use
+/// [`crate::embedding::max_simulation`].
+pub fn max_simulation_baseline(g: &Graph, h: &Graph) -> Simulation {
+    let all_h: BTreeSet<NodeId> = h.nodes().collect();
+    let mut simulators: Vec<BTreeSet<NodeId>> = vec![all_h; g.node_count()];
+
+    loop {
+        let mut changed = false;
+        for n in g.nodes() {
+            let candidates: Vec<NodeId> = simulators[n.index()].iter().copied().collect();
+            for m in candidates {
+                if !has_witness(g, n, h, m, &simulators) {
+                    simulators[n.index()].remove(&m);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return Simulation::from_simulators(simulators);
+        }
+    }
+}
+
+/// Whether there is a witness of simulation of `n` (in `G`) by `m` (in `H`)
+/// with respect to the candidate relation `simulators`.
+fn has_witness(
+    g: &Graph,
+    n: NodeId,
+    h: &Graph,
+    m: NodeId,
+    simulators: &[BTreeSet<NodeId>],
+) -> bool {
+    let g_edges = g.out(n);
+    let h_edges = h.out(m);
+    let sources: Vec<Interval> = g_edges.iter().map(|&e| g.occur(e)).collect();
+    let sinks: Vec<Interval> = h_edges.iter().map(|&f| h.occur(f)).collect();
+    let compatible = |v: usize, u: usize| {
+        let e = g_edges[v];
+        let f = h_edges[u];
+        g.label(e) == h.label(f) && simulators[g.target(e).index()].contains(&h.target(f))
+    };
+    let all_basic = sources.iter().chain(sinks.iter()).all(|i| i.is_basic());
+    if all_basic {
+        basic_assignment(&sources, &sinks, compatible).is_some()
+    } else {
+        general_assignment(&sources, &sinks, compatible).is_some()
+    }
+}
 
 /// Enumerate simple graphs with up to `max_nodes` nodes (and at most
 /// `max_edges` edges) over the union of the two schemas' alphabets, returning

@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use shapex_graph::{Graph, NodeId};
+use shapex_graph::{Graph, Label, NodeId};
 use shapex_rbe::Interval;
 use shapex_shex::{Schema, TypeId};
 
@@ -72,7 +72,7 @@ pub fn det_containment(h: &Schema, k: &Schema) -> Result<Containment, NotDetShex
             embeds(&witness, &hg).is_some(),
             "characterizing graph must belong to L(H)"
         );
-        Ok(Containment::NotContained(witness))
+        Ok(Containment::not_contained(witness))
     }
 }
 
@@ -97,13 +97,20 @@ pub fn embedding_containment(h: &Graph, k: &Graph) -> bool {
 pub fn characterizing_graph(h: &Schema) -> Result<Graph, NotDetShex0Minus> {
     require_det_minus(h)?;
 
-    // All ?-edges of the schema: (owner type, label, target type).
-    let mut opt_edges: Vec<(TypeId, String, TypeId)> = Vec::new();
+    // All ?-edges of the schema: (owner type, label, target type), plus an
+    // index from the triple back to its position so the wiring loop below
+    // can resolve "which ?-edge is this atom" with one map lookup instead of
+    // rebuilding a `String` and scanning the list for every edge of every
+    // node (which made the construction quadratic in the schema size).
+    let mut opt_edges: Vec<(TypeId, Label, TypeId)> = Vec::new();
+    let mut opt_index: BTreeMap<(TypeId, Label, TypeId), usize> = BTreeMap::new();
     for t in h.types() {
         let rbe0 = h.def(t).to_rbe0().expect("DetShEx0- is RBE0");
         for (atom, interval) in rbe0.atoms() {
             if *interval == Interval::OPT {
-                opt_edges.push((t, atom.label.to_string(), atom.target));
+                let key = (t, atom.label.clone(), atom.target);
+                opt_index.insert(key.clone(), opt_edges.len());
+                opt_edges.push((t, atom.label.clone(), atom.target));
             }
         }
     }
@@ -198,9 +205,7 @@ pub fn characterizing_graph(h: &Schema) -> Result<Graph, NotDetShex0Minus> {
                     // Omit the edge exactly in the variant node of this
                     // ?-edge; keep it (pointing to the matching child) in
                     // every other node.
-                    let q_here = opt_edges.iter().position(|(owner, l, s)| {
-                        *owner == key.t && *l == atom.label.to_string() && *s == target
-                    });
+                    let q_here = opt_index.get(&(key.t, atom.label.clone(), target)).copied();
                     if key.variant.is_some() && key.variant == q_here {
                         continue;
                     }
@@ -319,8 +324,22 @@ Employee -> name::Literal, email::Literal
             let shape = schema.to_shape_graph().unwrap();
             assert!(embeds(&g, &shape).is_some(), "G ≼ H");
             assert!(validates(&g, &schema), "G ⊨ H via the validation semantics");
-            // Polynomial size: at most (2 + #?-edges) nodes per type.
-            let opt_edges = 2usize;
+            // Polynomial size: at most (2 + #?-edges) nodes per type, with
+            // the ?-edge count taken from the schema itself rather than a
+            // magic constant, so the bound is asserted per-schema.
+            let opt_edges = schema
+                .types()
+                .map(|t| {
+                    schema
+                        .def(t)
+                        .to_rbe0()
+                        .expect("DetShEx0- is RBE0")
+                        .atoms()
+                        .iter()
+                        .filter(|(_, i)| *i == Interval::OPT)
+                        .count()
+                })
+                .sum::<usize>();
             assert!(g.node_count() <= schema.type_count() * (2 + opt_edges));
         }
     }

@@ -8,7 +8,8 @@
 //! `G ≼ H`.
 //!
 //! Simulations are closed under union, so there is a unique maximal
-//! simulation, computed here by fix-point refinement ([`max_simulation`]).
+//! simulation, computed by [`max_simulation`] — a thin wrapper over the
+//! worklist + bitset engine in [`crate::simulation`].
 //! The witness check is the interval-flow problem of `shapex_rbe::flow`:
 //! polynomial when both neighbourhoods use basic intervals (Theorem 3.4) and
 //! NP-complete for arbitrary intervals (Theorem 3.5), where a backtracking
@@ -17,53 +18,9 @@
 use std::collections::BTreeSet;
 
 use shapex_graph::{Graph, NodeId};
-use shapex_rbe::flow::{basic_assignment, general_assignment};
-use shapex_rbe::Interval;
 
-/// A simulation relation between the nodes of two graphs, stored as, for each
-/// node of `G`, the set of nodes of `H` that simulate it.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Simulation {
-    simulators: Vec<BTreeSet<NodeId>>,
-}
-
-impl Simulation {
-    /// The nodes of `H` that simulate `n`.
-    pub fn simulators_of(&self, n: NodeId) -> &BTreeSet<NodeId> {
-        &self.simulators[n.index()]
-    }
-
-    /// Whether the pair `(n, m)` belongs to the simulation.
-    pub fn contains(&self, n: NodeId, m: NodeId) -> bool {
-        self.simulators[n.index()].contains(&m)
-    }
-
-    /// Whether every node of `G` is simulated by at least one node of `H`,
-    /// i.e. the simulation is an embedding.
-    pub fn is_embedding(&self) -> bool {
-        self.simulators.iter().all(|s| !s.is_empty())
-    }
-
-    /// The nodes of `G` that no node of `H` simulates.
-    pub fn unsimulated_nodes(&self) -> Vec<NodeId> {
-        self.simulators
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_empty())
-            .map(|(i, _)| NodeId(i as u32))
-            .collect()
-    }
-
-    /// Total number of pairs in the relation.
-    pub fn len(&self) -> usize {
-        self.simulators.iter().map(|s| s.len()).sum()
-    }
-
-    /// Whether the relation is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
+pub use crate::simulation::Simulation;
+use crate::simulation::{max_simulation_with, SimulationOptions};
 
 /// An embedding of `G` in `H`: a maximal simulation whose domain is all of
 /// `N_G` (Definition 3.1).
@@ -84,57 +41,16 @@ impl Embedding {
     }
 }
 
-/// Compute the maximal simulation of `G` in `H` by fix-point refinement.
+/// Compute the maximal simulation of `G` in `H`.
 ///
 /// Starting from the full relation `N_G × N_H`, pairs without a witness are
-/// removed until no change occurs. Witness existence is decided by the
-/// polynomial interval-flow routing when both neighbourhoods carry basic
-/// intervals, and by backtracking search otherwise.
+/// removed until no change occurs; since simulations are closed under union
+/// the result is the unique maximal simulation. This is a thin wrapper over
+/// the worklist + bitset engine of [`crate::simulation`] with default
+/// options; the original full-rescan fix-point survives as the test oracle
+/// [`crate::baseline::max_simulation_baseline`].
 pub fn max_simulation(g: &Graph, h: &Graph) -> Simulation {
-    let all_h: BTreeSet<NodeId> = h.nodes().collect();
-    let mut simulators: Vec<BTreeSet<NodeId>> = vec![all_h; g.node_count()];
-
-    loop {
-        let mut changed = false;
-        for n in g.nodes() {
-            let candidates: Vec<NodeId> = simulators[n.index()].iter().copied().collect();
-            for m in candidates {
-                if !has_witness(g, n, h, m, &simulators) {
-                    simulators[n.index()].remove(&m);
-                    changed = true;
-                }
-            }
-        }
-        if !changed {
-            return Simulation { simulators };
-        }
-    }
-}
-
-/// Whether there is a witness of simulation of `n` (in `G`) by `m` (in `H`)
-/// with respect to the candidate relation `simulators`.
-fn has_witness(
-    g: &Graph,
-    n: NodeId,
-    h: &Graph,
-    m: NodeId,
-    simulators: &[BTreeSet<NodeId>],
-) -> bool {
-    let g_edges = g.out(n);
-    let h_edges = h.out(m);
-    let sources: Vec<Interval> = g_edges.iter().map(|&e| g.occur(e)).collect();
-    let sinks: Vec<Interval> = h_edges.iter().map(|&f| h.occur(f)).collect();
-    let compatible = |v: usize, u: usize| {
-        let e = g_edges[v];
-        let f = h_edges[u];
-        g.label(e) == h.label(f) && simulators[g.target(e).index()].contains(&h.target(f))
-    };
-    let all_basic = sources.iter().chain(sinks.iter()).all(|i| i.is_basic());
-    if all_basic {
-        basic_assignment(&sources, &sinks, compatible).is_some()
-    } else {
-        general_assignment(&sources, &sinks, compatible).is_some()
-    }
+    max_simulation_with(g, h, &SimulationOptions::default())
 }
 
 /// Check whether `G` can be embedded in `H` (`G ≼ H`), returning the witness
@@ -158,6 +74,7 @@ pub fn graph_in_shape_language(g: &Graph, h: &Graph) -> bool {
 mod tests {
     use super::*;
     use shapex_graph::parse_graph;
+    use shapex_rbe::Interval;
 
     /// The shape graph H0 corresponding to the schema S0 of Figure 2.
     fn h0() -> Graph {

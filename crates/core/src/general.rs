@@ -45,7 +45,7 @@ pub fn general_containment(h: &Schema, k: &Schema, options: &GeneralOptions) -> 
         return Containment::Contained;
     }
     if let Some(witness) = search_counter_example(h, k, options) {
-        return Containment::NotContained(witness);
+        return Containment::not_contained(witness);
     }
     Containment::Unknown
 }

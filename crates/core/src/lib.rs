@@ -21,8 +21,13 @@
 //!   expressions), via unfolding-based counter-example search with Presburger
 //!   validation; sound in both directions, bounded (the problem is
 //!   coNEXP-hard).
-//! * [`baseline`] — a brute-force enumeration of small counter-examples used
-//!   as a test oracle and benchmark baseline.
+//! * [`simulation`] — the worklist + bitset simulation engine behind
+//!   [`embedding`]: dense bitset relation, joint interned-label space, and
+//!   predecessor-directed refinement, with an optional `std::thread` worker
+//!   pool for the initial candidate-pruning pass.
+//! * [`baseline`] — brute-force references: enumeration of small
+//!   counter-examples and the original full-rescan simulation fix-point,
+//!   used as test oracles and benchmark baselines.
 //!
 //! Every `NotContained` answer carries a counter-example graph that has been
 //! re-verified with the validation semantics of `shapex-shex`, so
@@ -42,21 +47,32 @@ pub mod det;
 pub mod embedding;
 pub mod general;
 pub mod shex0;
+pub mod simulation;
 pub mod unfold;
 
 /// The answer of a containment check `L(H) ⊆ L(K)`.
+///
+/// The counter-example is boxed: a `Graph` now carries its interner and
+/// adjacency indices inline, and `Containment` values travel up through the
+/// whole decision-procedure call stack, so the indirection keeps the enum a
+/// couple of words.
 #[derive(Debug, Clone)]
 pub enum Containment {
     /// Containment holds.
     Contained,
     /// Containment does not hold; the graph is a certified counter-example
     /// (it satisfies `H` and violates `K`).
-    NotContained(Graph),
+    NotContained(Box<Graph>),
     /// The procedure's budget was exhausted before reaching a sound answer.
     Unknown,
 }
 
 impl Containment {
+    /// A `NotContained` answer carrying the given counter-example.
+    pub fn not_contained(witness: Graph) -> Containment {
+        Containment::NotContained(Box::new(witness))
+    }
+
     /// Whether the answer is `Contained`.
     pub fn is_contained(&self) -> bool {
         matches!(self, Containment::Contained)

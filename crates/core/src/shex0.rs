@@ -46,13 +46,13 @@ pub fn shex0_containment(h: &Schema, k: &Schema, options: &Shex0Options) -> Cont
     // characterizing graph is a certified counter-example.
     if h.is_det_shex0_minus() && k.is_det_shex0_minus() {
         let witness = characterizing_graph(h).expect("checked DetShEx0-");
-        return Containment::NotContained(witness);
+        return Containment::not_contained(witness);
     }
 
     // Bounded counter-example search; any hit is certified by construction
     // (`search_counter_example` re-validates against both schemas).
     if let Some(witness) = search_counter_example(h, k, options) {
-        return Containment::NotContained(witness);
+        return Containment::not_contained(witness);
     }
     Containment::Unknown
 }

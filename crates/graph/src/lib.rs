@@ -22,5 +22,5 @@ pub mod generate;
 pub mod model;
 pub mod text;
 
-pub use model::{EdgeId, Graph, GraphKind, Label, LabelTable, NodeId, UnpackError};
+pub use model::{EdgeId, Graph, GraphKind, Label, LabelId, LabelTable, NodeId, UnpackError};
 pub use text::{parse_graph, write_graph};

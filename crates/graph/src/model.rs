@@ -1,8 +1,10 @@
 //! The graph data structure and its subclasses.
 
+use std::borrow::Borrow;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 use shapex_rbe::{Bag, Interval};
 
@@ -24,6 +26,13 @@ impl Label {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Whether two labels share one backing allocation (i.e. were interned
+    /// together). Content equality is plain `==`; this only observes
+    /// sharing, e.g. in tests of the interning paths.
+    pub fn ptr_eq(&self, other: &Label) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
 }
 
 impl From<&str> for Label {
@@ -41,6 +50,34 @@ impl From<String> for Label {
 impl fmt::Display for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.0)
+    }
+}
+
+impl Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A dense identifier for an interned label, valid for the graph that
+/// created it.
+///
+/// Every [`Graph`] interns the labels of its edges on construction, so label
+/// comparisons inside hot loops (simulation, validation) are integer compares
+/// instead of string equality. Ids are assigned in order of first use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// The position of the label in the graph's label table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
     }
 }
 
@@ -67,6 +104,17 @@ impl LabelTable {
         let label = Label::new(name);
         self.known.insert(name.to_owned(), label.clone());
         label
+    }
+
+    /// Register an already-allocated label, reusing the table's existing
+    /// allocation when one is present and adopting `label`'s otherwise
+    /// (unlike [`LabelTable::intern`], which would allocate afresh).
+    pub fn adopt(&mut self, label: &Label) -> Label {
+        if let Some(existing) = self.known.get(label.as_str()) {
+            return existing.clone();
+        }
+        self.known.insert(label.as_str().to_owned(), label.clone());
+        label.clone()
     }
 
     /// The number of distinct labels interned.
@@ -118,7 +166,80 @@ struct EdgeData {
     source: NodeId,
     target: NodeId,
     label: Label,
+    label_id: LabelId,
     occur: Interval,
+}
+
+/// Out- and in-edges of every node grouped by interned label id, rebuilt
+/// lazily after mutations. The layout is a flat CSR: `edges` holds edge ids
+/// sorted by `(node, label id)`, `groups` holds one `(label, start, end)`
+/// range per non-empty `(node, label)` pair, and `node_groups` holds one
+/// `(start, end)` range into `groups` per node.
+#[derive(Debug, Clone, Default)]
+struct GroupedEdges {
+    edges: Vec<EdgeId>,
+    groups: Vec<(LabelId, u32, u32)>,
+    node_groups: Vec<(u32, u32)>,
+}
+
+impl GroupedEdges {
+    fn build(
+        node_count: usize,
+        adjacency: &[Vec<EdgeId>],
+        label_of: impl Fn(EdgeId) -> LabelId,
+    ) -> GroupedEdges {
+        let mut edges: Vec<EdgeId> = Vec::with_capacity(adjacency.iter().map(Vec::len).sum());
+        let mut groups: Vec<(LabelId, u32, u32)> = Vec::new();
+        let mut node_groups: Vec<(u32, u32)> = Vec::with_capacity(node_count);
+        let mut scratch: Vec<EdgeId> = Vec::new();
+        for node_edges in adjacency.iter() {
+            scratch.clear();
+            scratch.extend_from_slice(node_edges);
+            scratch.sort_by_key(|&e| (label_of(e), e));
+            let group_start = groups.len() as u32;
+            let mut i = 0;
+            while i < scratch.len() {
+                let label = label_of(scratch[i]);
+                let start = edges.len() as u32;
+                while i < scratch.len() && label_of(scratch[i]) == label {
+                    edges.push(scratch[i]);
+                    i += 1;
+                }
+                groups.push((label, start, edges.len() as u32));
+            }
+            node_groups.push((group_start, groups.len() as u32));
+        }
+        GroupedEdges {
+            edges,
+            groups,
+            node_groups,
+        }
+    }
+
+    fn by_label(&self, node: NodeId, label: LabelId) -> &[EdgeId] {
+        let (gs, ge) = self.node_groups[node.index()];
+        let groups = &self.groups[gs as usize..ge as usize];
+        match groups.binary_search_by_key(&label, |&(l, _, _)| l) {
+            Ok(i) => {
+                let (_, s, e) = groups[i];
+                &self.edges[s as usize..e as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    fn node_groups(&self, node: NodeId) -> impl Iterator<Item = (LabelId, &[EdgeId])> + '_ {
+        let (gs, ge) = self.node_groups[node.index()];
+        self.groups[gs as usize..ge as usize]
+            .iter()
+            .map(move |&(label, s, e)| (label, &self.edges[s as usize..e as usize]))
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct GroupedAdjacency {
+    out: GroupedEdges,
+    ins: GroupedEdges,
 }
 
 /// Classification of a graph into the paper's subclasses.
@@ -167,12 +288,21 @@ impl std::error::Error for UnpackError {}
 
 /// A directed multigraph with labelled edges carrying occurrence intervals
 /// (Definition 2.1 of the paper).
+///
+/// Labels are interned on construction: every edge carries a dense
+/// [`LabelId`] next to its [`Label`], and the graph maintains reverse
+/// adjacency plus lazily built per-label groupings of both edge directions,
+/// the layout the simulation engine in `shapex-core` consumes.
 #[derive(Debug, Clone, Default)]
 pub struct Graph {
     nodes: Vec<NodeData>,
     edges: Vec<EdgeData>,
     out: Vec<Vec<EdgeId>>,
+    ins: Vec<Vec<EdgeId>>,
     by_name: BTreeMap<String, NodeId>,
+    label_ids: BTreeMap<Label, LabelId>,
+    label_names: Vec<Label>,
+    grouped: OnceLock<GroupedAdjacency>,
 }
 
 impl Graph {
@@ -221,6 +351,8 @@ impl Graph {
         self.by_name.insert(name.clone(), id);
         self.nodes.push(NodeData { name });
         self.out.push(Vec::new());
+        self.ins.push(Vec::new());
+        self.grouped.take();
         id
     }
 
@@ -242,7 +374,10 @@ impl Graph {
         &self.nodes[node.index()].name
     }
 
-    /// Add an edge with an explicit occurrence interval.
+    /// Add an edge with an explicit occurrence interval. The label is
+    /// interned: the stored [`Label`] shares its allocation with every other
+    /// edge carrying the same predicate, and the edge receives a dense
+    /// [`LabelId`].
     pub fn add_edge_with(
         &mut self,
         source: NodeId,
@@ -250,15 +385,29 @@ impl Graph {
         occur: Interval,
         target: NodeId,
     ) -> EdgeId {
+        let (label, label_id) = self.intern_label(label.into());
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(EdgeData {
             source,
             target,
-            label: label.into(),
+            label,
+            label_id,
             occur,
         });
         self.out[source.index()].push(id);
+        self.ins[target.index()].push(id);
+        self.grouped.take();
         id
+    }
+
+    fn intern_label(&mut self, label: Label) -> (Label, LabelId) {
+        if let Some((existing, &id)) = self.label_ids.get_key_value(&label) {
+            return (existing.clone(), id);
+        }
+        let id = LabelId(self.label_names.len() as u32);
+        self.label_ids.insert(label.clone(), id);
+        self.label_names.push(label.clone());
+        (label, id)
     }
 
     /// Add a plain edge with interval `1` (the only kind allowed in simple
@@ -296,6 +445,31 @@ impl Graph {
         &self.edges[edge.index()].label
     }
 
+    /// The interned label id of an edge.
+    pub fn label_id(&self, edge: EdgeId) -> LabelId {
+        self.edges[edge.index()].label_id
+    }
+
+    /// The label behind an interned id.
+    pub fn label_of(&self, id: LabelId) -> &Label {
+        &self.label_names[id.index()]
+    }
+
+    /// Look up the interned id of a label by name.
+    pub fn find_label(&self, name: &str) -> Option<LabelId> {
+        self.label_ids.get(name).copied()
+    }
+
+    /// Number of distinct labels used by the graph's edges.
+    pub fn label_count(&self) -> usize {
+        self.label_names.len()
+    }
+
+    /// Iterate over all interned label ids, in order of first use.
+    pub fn label_ids(&self) -> impl Iterator<Item = LabelId> + '_ {
+        (0..self.label_names.len() as u32).map(LabelId)
+    }
+
     /// The occurrence interval of an edge.
     pub fn occur(&self, edge: EdgeId) -> Interval {
         self.edges[edge.index()].occur
@@ -309,6 +483,45 @@ impl Graph {
     /// The out-degree of a node.
     pub fn out_degree(&self, node: NodeId) -> usize {
         self.out[node.index()].len()
+    }
+
+    /// The incoming edges of a node (reverse adjacency).
+    pub fn ins(&self, node: NodeId) -> &[EdgeId] {
+        &self.ins[node.index()]
+    }
+
+    /// The in-degree of a node.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.ins[node.index()].len()
+    }
+
+    fn grouped(&self) -> &GroupedAdjacency {
+        self.grouped.get_or_init(|| GroupedAdjacency {
+            out: GroupedEdges::build(self.nodes.len(), &self.out, |e| self.label_id(e)),
+            ins: GroupedEdges::build(self.nodes.len(), &self.ins, |e| self.label_id(e)),
+        })
+    }
+
+    /// The outgoing edges of a node carrying a given label, contiguous in the
+    /// grouped adjacency cache.
+    pub fn out_by_label(&self, node: NodeId, label: LabelId) -> &[EdgeId] {
+        self.grouped().out.by_label(node, label)
+    }
+
+    /// The outgoing edges of a node grouped by label id (ascending).
+    pub fn out_groups(&self, node: NodeId) -> impl Iterator<Item = (LabelId, &[EdgeId])> + '_ {
+        self.grouped().out.node_groups(node)
+    }
+
+    /// The incoming edges of a node carrying a given label, contiguous in the
+    /// grouped adjacency cache.
+    pub fn in_by_label(&self, node: NodeId, label: LabelId) -> &[EdgeId] {
+        self.grouped().ins.by_label(node, label)
+    }
+
+    /// The incoming edges of a node grouped by label id (ascending).
+    pub fn in_groups(&self, node: NodeId) -> impl Iterator<Item = (LabelId, &[EdgeId])> + '_ {
+        self.grouped().ins.node_groups(node)
     }
 
     /// The outbound neighbourhood of a node as a bag over `(label, target)`
@@ -325,8 +538,7 @@ impl Graph {
 
     /// The distinct labels used by the graph, in sorted order.
     pub fn labels(&self) -> Vec<Label> {
-        let set: BTreeSet<Label> = self.edges.iter().map(|e| e.label.clone()).collect();
-        set.into_iter().collect()
+        self.label_ids.keys().cloned().collect()
     }
 
     /// Whether the graph is a *simple graph* (class `G₀`): every edge has
@@ -353,7 +565,7 @@ impl Graph {
     fn no_parallel_duplicates(&self) -> bool {
         let mut seen = BTreeSet::new();
         for e in &self.edges {
-            if !seen.insert((e.source, e.label.clone(), e.target)) {
+            if !seen.insert((e.source, e.label_id, e.target)) {
                 return false;
             }
         }
@@ -657,6 +869,54 @@ mod tests {
         assert_eq!(table.len(), 2);
         // Labels created outside the table still compare equal by content.
         assert_eq!(a1, Label::new("a"));
+    }
+
+    #[test]
+    fn labels_are_interned_with_dense_ids() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        let e1 = g.add_edge(a, "p", b);
+        let e2 = g.add_edge(b, "q", a);
+        let e3 = g.add_edge(b, "p", b);
+        assert_eq!(g.label_count(), 2);
+        assert_eq!(g.label_id(e1), g.label_id(e3));
+        assert_ne!(g.label_id(e1), g.label_id(e2));
+        assert_eq!(g.find_label("p"), Some(g.label_id(e1)));
+        assert_eq!(g.find_label("zzz"), None);
+        assert_eq!(g.label_of(g.label_id(e2)).as_str(), "q");
+        // The stored labels share one allocation per distinct predicate.
+        assert!(Arc::ptr_eq(&g.label(e1).0, &g.label(e3).0));
+        assert_eq!(g.label_ids().count(), 2);
+    }
+
+    #[test]
+    fn reverse_and_grouped_adjacency() {
+        let mut g = Graph::new();
+        let hub = g.node("hub");
+        let x = g.node("x");
+        let y = g.node("y");
+        let e1 = g.add_edge(hub, "p", x);
+        let e2 = g.add_edge(hub, "q", y);
+        let e3 = g.add_edge(hub, "p", y);
+        let e4 = g.add_edge(x, "p", y);
+        assert_eq!(g.ins(y), &[e2, e3, e4]);
+        assert_eq!(g.in_degree(x), 1);
+        assert_eq!(g.in_degree(hub), 0);
+        let p = g.find_label("p").unwrap();
+        let q = g.find_label("q").unwrap();
+        assert_eq!(g.out_by_label(hub, p), &[e1, e3]);
+        assert_eq!(g.out_by_label(hub, q), &[e2]);
+        assert_eq!(g.in_by_label(y, p), &[e3, e4]);
+        assert_eq!(g.in_by_label(y, q), &[e2]);
+        assert!(g.out_by_label(y, p).is_empty());
+        let groups: Vec<(LabelId, usize)> =
+            g.out_groups(hub).map(|(l, es)| (l, es.len())).collect();
+        assert_eq!(groups, vec![(p, 2), (q, 1)]);
+        // The cache is invalidated by mutation.
+        let e5 = g.add_edge(y, "p", x);
+        assert_eq!(g.in_by_label(x, p), &[e1, e5]);
+        assert_eq!(g.in_groups(x).count(), 1);
     }
 
     #[test]

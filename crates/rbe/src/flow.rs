@@ -18,6 +18,12 @@
 //! * [`general_assignment`] solves the problem for arbitrary intervals by
 //!   backtracking search; the problem is NP-complete in that generality
 //!   (Theorem 3.5).
+//!
+//! Hot callers (the simulation engine of `shapex-core` re-checks witnesses
+//! for thousands of node pairs) should use a [`FlowScratch`]: it owns every
+//! buffer both solvers need, so repeated calls perform no allocation once the
+//! buffers have grown to the workload's high-water mark. The two free
+//! functions above are thin wrappers that build a fresh scratch per call.
 
 use crate::interval::Interval;
 
@@ -61,11 +67,321 @@ impl SinkLoad {
     }
 }
 
+/// Reusable buffers for the interval-assignment solvers.
+///
+/// Fill [`FlowScratch::sources`] and [`FlowScratch::sinks`] (after
+/// [`FlowScratch::clear`]), then call [`FlowScratch::solve`]; on success the
+/// routing is available through [`FlowScratch::assignment`]. Every internal
+/// buffer — the circulation network of the basic solver, the compatibility
+/// lists and load tables of the backtracking solver — is retained between
+/// calls, so a long-lived scratch makes repeated witness checks
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct FlowScratch {
+    /// Source intervals; filled by the caller between `clear` and `solve`.
+    pub sources: Vec<Interval>,
+    /// Sink intervals; filled by the caller between `clear` and `solve`.
+    pub sinks: Vec<Interval>,
+    assignment: Vec<usize>,
+    // Backtracking-solver buffers.
+    compat: Vec<Vec<usize>>,
+    potential_lo: Vec<u64>,
+    loads: Vec<SinkLoad>,
+    order: Vec<usize>,
+    // Basic-solver buffers.
+    net: LowerBoundFlow,
+    source_edge_ids: Vec<Vec<(usize, usize)>>,
+}
+
+impl FlowScratch {
+    /// A scratch with empty buffers.
+    pub fn new() -> FlowScratch {
+        FlowScratch::default()
+    }
+
+    /// Empty `sources` and `sinks` for the next instance (capacity is kept).
+    pub fn clear(&mut self) {
+        self.sources.clear();
+        self.sinks.clear();
+        // Drop the previous routing so `assignment()` can never hand out a
+        // prior instance's entries re-truncated to the new source count.
+        self.assignment.clear();
+    }
+
+    /// The assignment found by the last successful [`FlowScratch::solve`]:
+    /// `assignment()[v]` is the sink source `v` is routed to. Empty before a
+    /// successful solve of the current instance.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment[..self.sources.len().min(self.assignment.len())]
+    }
+
+    /// Decide whether a valid routing of `sources` into `sinks` exists,
+    /// dispatching to the polynomial solver when every interval is basic and
+    /// to the backtracking solver otherwise.
+    pub fn solve(&mut self, compatible: impl Fn(usize, usize) -> bool) -> bool {
+        let all_basic = self
+            .sources
+            .iter()
+            .chain(self.sinks.iter())
+            .all(|i| i.is_basic());
+        if all_basic {
+            self.solve_basic(compatible)
+        } else {
+            self.solve_general(compatible)
+        }
+    }
+
+    /// The polynomial feasible-circulation solver (Theorem 3.4).
+    ///
+    /// # Panics
+    /// Panics if any interval is not basic (`1`, `?`, `+`, `*`); use
+    /// [`FlowScratch::solve`] or [`FlowScratch::solve_general`] for arbitrary
+    /// intervals.
+    pub fn solve_basic(&mut self, compatible: impl Fn(usize, usize) -> bool) -> bool {
+        for i in self.sources.iter().chain(self.sinks.iter()) {
+            assert!(
+                i.is_basic(),
+                "basic_assignment requires basic intervals, got {i}"
+            );
+        }
+        self.assignment.clear();
+        // Trivial case: no sources. Every sink must accept the empty sum
+        // [0;0].
+        if self.sources.is_empty() {
+            return self.sinks.iter().all(|u| u.lo() == 0);
+        }
+        if self.sinks.is_empty() {
+            return false; // a source cannot be routed anywhere
+        }
+
+        // Build a circulation-with-lower-bounds network:
+        //   s → v                 [1;1]   every source is routed exactly once
+        //   v → u_strong          [0;1]   if compatible, lo(v) = 1, hi-compat.
+        //   v → u_weak            [0;1]   if compatible, lo(v) = 0, hi-compat.
+        //   u_strong → u          [lo(u); n]
+        //   u_weak   → u          [0; n]
+        //   u → t                 [0; hi(u) = 1 ? 1 : n]
+        //   t → s                 [0; n]  (closes the circulation)
+        // where hi-compatible forbids routing an unbounded source into a sink
+        // with finite upper bound.
+        let n_sources = self.sources.len();
+        let n_sinks = self.sinks.len();
+        let big = n_sources as i64; // capacity standing in for ∞
+        let node_s = 0;
+        let node_t = 1;
+        let source_node = |v: usize| 2 + v;
+        let strong_node = |u: usize| 2 + n_sources + u;
+        let weak_node = |u: usize| 2 + n_sources + n_sinks + u;
+        let sink_node = |u: usize| 2 + n_sources + 2 * n_sinks + u;
+        let total_nodes = 2 + n_sources + 3 * n_sinks;
+
+        self.net.reset(total_nodes);
+        if self.source_edge_ids.len() < n_sources {
+            self.source_edge_ids.resize_with(n_sources, Vec::new);
+        }
+        for edges in self.source_edge_ids.iter_mut().take(n_sources) {
+            edges.clear();
+        }
+        for v in 0..n_sources {
+            self.net.add_edge(node_s, source_node(v), 1, 1);
+        }
+        for (u, sink) in self.sinks.iter().enumerate() {
+            self.net
+                .add_edge(strong_node(u), sink_node(u), sink.lo() as i64, big);
+            self.net.add_edge(weak_node(u), sink_node(u), 0, big);
+            let cap = match sink.hi() {
+                Some(h) => h as i64,
+                None => big,
+            };
+            self.net.add_edge(sink_node(u), node_t, 0, cap);
+        }
+        for v in 0..n_sources {
+            for (u, sink) in self.sinks.iter().enumerate() {
+                if !compatible(v, u) {
+                    continue;
+                }
+                // An unbounded source cannot feed a finitely bounded sink.
+                if self.sources[v].hi().is_none() && sink.hi().is_some() {
+                    continue;
+                }
+                let mid = if self.sources[v].lo() >= 1 {
+                    strong_node(u)
+                } else {
+                    weak_node(u)
+                };
+                let edge = self.net.add_edge(source_node(v), mid, 0, 1);
+                self.source_edge_ids[v].push((u, edge));
+            }
+        }
+        self.net.add_edge(node_t, node_s, 0, big);
+
+        if !self.net.feasible() {
+            return false;
+        }
+        self.assignment.resize(n_sources, usize::MAX);
+        for v in 0..n_sources {
+            for &(u, edge) in &self.source_edge_ids[v] {
+                if self.net.flow_with_lower(edge) > 0 {
+                    self.assignment[v] = u;
+                }
+            }
+            if self.assignment[v] == usize::MAX {
+                // Should not happen for a feasible circulation; treat as
+                // failure.
+                self.assignment.clear();
+                return false;
+            }
+        }
+        debug_assert!(verify_assignment(
+            &self.sources,
+            &self.sinks,
+            &self.assignment
+        ));
+        true
+    }
+
+    /// The backtracking solver for arbitrary intervals (Theorem 3.5).
+    ///
+    /// Sound and complete, but exponential in the worst case (the problem is
+    /// NP-complete). Two prunings keep it practical on the workloads in this
+    /// workspace: upper bounds are checked incrementally, and a sink whose
+    /// lower bound can no longer be reached by the still-unassigned
+    /// compatible sources cuts the branch immediately.
+    pub fn solve_general(&mut self, compatible: impl Fn(usize, usize) -> bool) -> bool {
+        let n_sources = self.sources.len();
+        let n_sinks = self.sinks.len();
+        self.assignment.clear();
+        if n_sources == 0 {
+            return self.sinks.iter().all(|u| u.lo() == 0);
+        }
+        if n_sinks == 0 {
+            return false;
+        }
+        // Precompute the compatibility lists.
+        if self.compat.len() < n_sources {
+            self.compat.resize_with(n_sources, Vec::new);
+        }
+        for (v, sinks_of_v) in self.compat.iter_mut().take(n_sources).enumerate() {
+            sinks_of_v.clear();
+            sinks_of_v.extend((0..n_sinks).filter(|&u| compatible(v, u)));
+        }
+        // Potential lower-bound mass still available to each sink from
+        // unassigned sources; once
+        // `loads[u].lo_sum + potential_lo[u] < sinks[u].lo()` a branch is
+        // dead.
+        self.potential_lo.clear();
+        self.potential_lo.resize(n_sinks, 0);
+        for (v, sinks_of_v) in self.compat.iter().take(n_sources).enumerate() {
+            for &u in sinks_of_v {
+                self.potential_lo[u] += self.sources[v].lo();
+            }
+        }
+        if self
+            .potential_lo
+            .iter()
+            .zip(self.sinks.iter())
+            .any(|(&potential, sink)| potential < sink.lo())
+        {
+            return false;
+        }
+
+        self.loads.clear();
+        self.loads.resize(n_sinks, SinkLoad::default());
+        self.assignment.resize(n_sources, usize::MAX);
+        // Order sources by how few sinks they are compatible with (fail
+        // fast).
+        self.order.clear();
+        self.order.extend(0..n_sources);
+        let compat = &self.compat;
+        self.order.sort_by_key(|&v| compat[v].len());
+
+        let found = general_search(
+            &self.sources,
+            &self.sinks,
+            &self.compat,
+            &self.order,
+            &mut self.loads,
+            &mut self.potential_lo,
+            &mut self.assignment,
+            0,
+        );
+        if found {
+            debug_assert!(verify_assignment(
+                &self.sources,
+                &self.sinks,
+                &self.assignment
+            ));
+        } else {
+            self.assignment.clear();
+        }
+        found
+    }
+}
+
+/// The recursive backtracking step of [`FlowScratch::solve_general`].
+#[allow(clippy::too_many_arguments)]
+fn general_search(
+    sources: &[Interval],
+    sinks: &[Interval],
+    compat: &[Vec<usize>],
+    order: &[usize],
+    loads: &mut [SinkLoad],
+    potential_lo: &mut [u64],
+    assignment: &mut [usize],
+    pos: usize,
+) -> bool {
+    if pos == order.len() {
+        return loads
+            .iter()
+            .zip(sinks.iter())
+            .all(|(load, sink)| load.fits(*sink));
+    }
+    let v = order[pos];
+    let lo_v = sources[v].lo();
+    // The source is no longer "available": remove its potential from every
+    // compatible sink, then add it back to the chosen one.
+    for &u in &compat[v] {
+        potential_lo[u] -= lo_v;
+    }
+    for idx in 0..compat[v].len() {
+        let u = compat[v][idx];
+        loads[u].add(sources[v]);
+        let feasible = loads[u].fits_upper(sinks[u])
+            && loads
+                .iter()
+                .zip(potential_lo.iter())
+                .zip(sinks.iter())
+                .all(|((load, &potential), sink)| load.lo_sum + potential >= sink.lo());
+        if feasible {
+            assignment[v] = u;
+            if general_search(
+                sources,
+                sinks,
+                compat,
+                order,
+                loads,
+                potential_lo,
+                assignment,
+                pos + 1,
+            ) {
+                return true;
+            }
+            assignment[v] = usize::MAX;
+        }
+        loads[u].remove(sources[v]);
+    }
+    for &u in &compat[v] {
+        potential_lo[u] += lo_v;
+    }
+    false
+}
+
 /// Solve the assignment problem for **basic** intervals in polynomial time.
 ///
 /// `compatible(v, u)` tells whether source `v` may be routed to sink `u`.
 /// Returns the assignment (`result[v] = u`) or `None` when no valid routing
-/// exists.
+/// exists. Allocates a fresh [`FlowScratch`] per call; hot loops should hold
+/// a scratch and call [`FlowScratch::solve_basic`] directly.
 ///
 /// # Panics
 /// Panics if any interval is not basic (`1`, `?`, `+`, `*`); use
@@ -75,212 +391,32 @@ pub fn basic_assignment(
     sinks: &[Interval],
     compatible: impl Fn(usize, usize) -> bool,
 ) -> Option<Vec<usize>> {
-    for i in sources.iter().chain(sinks.iter()) {
-        assert!(
-            i.is_basic(),
-            "basic_assignment requires basic intervals, got {i}"
-        );
+    let mut scratch = FlowScratch::new();
+    scratch.sources.extend_from_slice(sources);
+    scratch.sinks.extend_from_slice(sinks);
+    if scratch.solve_basic(compatible) {
+        Some(scratch.assignment().to_vec())
+    } else {
+        None
     }
-    // Trivial case: no sources. Every sink must accept the empty sum [0;0].
-    if sources.is_empty() {
-        return if sinks.iter().all(|u| u.lo() == 0) {
-            Some(Vec::new())
-        } else {
-            None
-        };
-    }
-    if sinks.is_empty() {
-        return None; // a source cannot be routed anywhere
-    }
-
-    // Build a circulation-with-lower-bounds network:
-    //   s → v                 [1;1]   every source is routed exactly once
-    //   v → u_strong          [0;1]   if compatible, lo(v) = 1, hi-compatible
-    //   v → u_weak            [0;1]   if compatible, lo(v) = 0, hi-compatible
-    //   u_strong → u          [lo(u); n]
-    //   u_weak   → u          [0; n]
-    //   u → t                 [0; hi(u) = 1 ? 1 : n]
-    //   t → s                 [0; n]  (closes the circulation)
-    // where hi-compatible forbids routing an unbounded source into a sink with
-    // finite upper bound.
-    let n_sources = sources.len();
-    let n_sinks = sinks.len();
-    let big = n_sources as i64; // capacity standing in for ∞
-    let node_s = 0;
-    let node_t = 1;
-    let source_node = |v: usize| 2 + v;
-    let strong_node = |u: usize| 2 + n_sources + u;
-    let weak_node = |u: usize| 2 + n_sources + n_sinks + u;
-    let sink_node = |u: usize| 2 + n_sources + 2 * n_sinks + u;
-    let total_nodes = 2 + n_sources + 3 * n_sinks;
-
-    let mut net = LowerBoundFlow::new(total_nodes);
-    let mut source_edge_ids: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_sources];
-    for v in 0..n_sources {
-        net.add_edge(node_s, source_node(v), 1, 1);
-    }
-    for (u, sink) in sinks.iter().enumerate() {
-        net.add_edge(strong_node(u), sink_node(u), sink.lo() as i64, big);
-        net.add_edge(weak_node(u), sink_node(u), 0, big);
-        let cap = match sink.hi() {
-            Some(h) => h as i64,
-            None => big,
-        };
-        net.add_edge(sink_node(u), node_t, 0, cap);
-    }
-    for v in 0..n_sources {
-        for (u, sink) in sinks.iter().enumerate() {
-            if !compatible(v, u) {
-                continue;
-            }
-            // An unbounded source cannot feed a finitely bounded sink.
-            if sources[v].hi().is_none() && sink.hi().is_some() {
-                continue;
-            }
-            let mid = if sources[v].lo() >= 1 {
-                strong_node(u)
-            } else {
-                weak_node(u)
-            };
-            let edge = net.add_edge(source_node(v), mid, 0, 1);
-            source_edge_ids[v].push((u, edge));
-        }
-    }
-    net.add_edge(node_t, node_s, 0, big);
-
-    let flow = net.feasible()?;
-    let mut assignment = vec![usize::MAX; n_sources];
-    for v in 0..n_sources {
-        for &(u, edge) in &source_edge_ids[v] {
-            if flow[edge] > 0 {
-                assignment[v] = u;
-            }
-        }
-        if assignment[v] == usize::MAX {
-            // Should not happen for a feasible circulation; treat as failure.
-            return None;
-        }
-    }
-    debug_assert!(verify_assignment(sources, sinks, &assignment));
-    Some(assignment)
 }
 
 /// Solve the assignment problem for arbitrary intervals by backtracking.
 ///
 /// Sound and complete, but exponential in the worst case (the problem is
-/// NP-complete, Theorem 3.5). Two prunings keep it practical on the workloads
-/// in this workspace: upper bounds are checked incrementally, and a sink whose
-/// lower bound can no longer be reached by the still-unassigned compatible
-/// sources cuts the branch immediately.
+/// NP-complete, Theorem 3.5). Allocates a fresh [`FlowScratch`] per call; hot
+/// loops should hold a scratch and call [`FlowScratch::solve_general`] (or
+/// the dispatching [`FlowScratch::solve`]) directly.
 pub fn general_assignment(
     sources: &[Interval],
     sinks: &[Interval],
     compatible: impl Fn(usize, usize) -> bool,
 ) -> Option<Vec<usize>> {
-    if sources.is_empty() {
-        return if sinks.iter().all(|u| u.lo() == 0) {
-            Some(Vec::new())
-        } else {
-            None
-        };
-    }
-    if sinks.is_empty() {
-        return None;
-    }
-    // Precompute the compatibility lists.
-    let compat: Vec<Vec<usize>> = (0..sources.len())
-        .map(|v| (0..sinks.len()).filter(|&u| compatible(v, u)).collect())
-        .collect();
-    // Potential lower-bound mass still available to each sink from unassigned
-    // sources; once `loads[u].lo_sum + potential_lo[u] < sinks[u].lo()` the
-    // branch is dead.
-    let mut potential_lo: Vec<u64> = vec![0; sinks.len()];
-    for (v, sinks_of_v) in compat.iter().enumerate() {
-        for &u in sinks_of_v {
-            potential_lo[u] += sources[v].lo();
-        }
-    }
-    if potential_lo
-        .iter()
-        .zip(sinks.iter())
-        .any(|(&potential, sink)| potential < sink.lo())
-    {
-        return None;
-    }
-
-    let mut loads: Vec<SinkLoad> = vec![SinkLoad::default(); sinks.len()];
-    let mut assignment = vec![usize::MAX; sources.len()];
-    // Order sources by how few sinks they are compatible with (fail fast).
-    let mut order: Vec<usize> = (0..sources.len()).collect();
-    order.sort_by_key(|&v| compat[v].len());
-
-    struct Search<'a> {
-        sources: &'a [Interval],
-        sinks: &'a [Interval],
-        compat: &'a [Vec<usize>],
-        order: &'a [usize],
-        loads: Vec<SinkLoad>,
-        potential_lo: Vec<u64>,
-        assignment: Vec<usize>,
-    }
-
-    impl Search<'_> {
-        fn run(&mut self, pos: usize) -> bool {
-            if pos == self.order.len() {
-                return self
-                    .loads
-                    .iter()
-                    .zip(self.sinks.iter())
-                    .all(|(load, sink)| load.fits(*sink));
-            }
-            let v = self.order[pos];
-            let lo_v = self.sources[v].lo();
-            // The source is no longer "available": remove its potential from
-            // every compatible sink, then add it back to the chosen one.
-            for &u in &self.compat[v] {
-                self.potential_lo[u] -= lo_v;
-            }
-            for idx in 0..self.compat[v].len() {
-                let u = self.compat[v][idx];
-                self.loads[u].add(self.sources[v]);
-                let feasible =
-                    self.loads[u].fits_upper(self.sinks[u]) && self.lower_bounds_reachable();
-                if feasible {
-                    self.assignment[v] = u;
-                    if self.run(pos + 1) {
-                        return true;
-                    }
-                    self.assignment[v] = usize::MAX;
-                }
-                self.loads[u].remove(self.sources[v]);
-            }
-            for &u in &self.compat[v] {
-                self.potential_lo[u] += lo_v;
-            }
-            false
-        }
-
-        fn lower_bounds_reachable(&self) -> bool {
-            self.loads
-                .iter()
-                .zip(self.potential_lo.iter())
-                .zip(self.sinks.iter())
-                .all(|((load, &potential), sink)| load.lo_sum + potential >= sink.lo())
-        }
-    }
-
-    let mut search = Search {
-        sources,
-        sinks,
-        compat: &compat,
-        order: &order,
-        loads: std::mem::take(&mut loads),
-        potential_lo: std::mem::take(&mut potential_lo),
-        assignment: std::mem::take(&mut assignment),
-    };
-    if search.run(0) {
-        debug_assert!(verify_assignment(sources, sinks, &search.assignment));
-        Some(search.assignment)
+    let mut scratch = FlowScratch::new();
+    scratch.sources.extend_from_slice(sources);
+    scratch.sinks.extend_from_slice(sinks);
+    if scratch.solve_general(compatible) {
+        Some(scratch.assignment().to_vec())
     } else {
         None
     }
@@ -306,12 +442,22 @@ pub fn verify_assignment(sources: &[Interval], sinks: &[Interval], assignment: &
 }
 
 /// A tiny max-flow network supporting lower bounds via the standard
-/// excess-node reduction; capacities are small integers.
+/// excess-node reduction; capacities are small integers. All buffers are
+/// retained across [`LowerBoundFlow::reset`] calls so a long-lived instance
+/// (inside a [`FlowScratch`]) does not allocate per solve.
+#[derive(Debug, Default)]
 struct LowerBoundFlow {
     graph: Vec<Vec<usize>>, // adjacency: indices into `edges`
     edges: Vec<FlowEdge>,
     excess: Vec<i64>,
     lower: Vec<i64>,
+    /// Public nodes of the current instance (the reduction appends two
+    /// super-source/sink nodes after them).
+    nodes: usize,
+    // max-flow working buffers
+    parent_edge: Vec<Option<usize>>,
+    reached: Vec<bool>,
+    queue: std::collections::VecDeque<usize>,
 }
 
 #[derive(Debug, Clone)]
@@ -322,13 +468,20 @@ struct FlowEdge {
 }
 
 impl LowerBoundFlow {
-    fn new(nodes: usize) -> LowerBoundFlow {
-        LowerBoundFlow {
-            graph: vec![Vec::new(); nodes],
-            edges: Vec::new(),
-            excess: vec![0; nodes],
-            lower: Vec::new(),
+    /// Prepare for a fresh instance with `nodes` public nodes, keeping
+    /// buffer capacity.
+    fn reset(&mut self, nodes: usize) {
+        self.nodes = nodes;
+        if self.graph.len() < nodes + 2 {
+            self.graph.resize_with(nodes + 2, Vec::new);
         }
+        for adjacency in self.graph.iter_mut().take(nodes + 2) {
+            adjacency.clear();
+        }
+        self.edges.clear();
+        self.excess.clear();
+        self.excess.resize(nodes + 2, 0);
+        self.lower.clear();
     }
 
     /// Add an edge with a lower bound and an upper capacity; returns the index
@@ -357,18 +510,18 @@ impl LowerBoundFlow {
         id
     }
 
-    /// Check feasibility; on success return, for every public edge id, the
-    /// total flow including its lower bound.
-    fn feasible(mut self) -> Option<Vec<i64>> {
-        let n = self.graph.len();
-        let super_s = n;
-        let super_t = n + 1;
-        self.graph.push(Vec::new());
-        self.graph.push(Vec::new());
-        self.excess.push(0);
-        self.excess.push(0);
+    /// The total flow through a public edge, including its lower bound. Only
+    /// meaningful after a successful [`LowerBoundFlow::feasible`].
+    fn flow_with_lower(&self, edge: usize) -> i64 {
+        self.edges[edge].flow + self.lower.get(edge).copied().unwrap_or(0)
+    }
+
+    /// Check feasibility of the circulation with lower bounds.
+    fn feasible(&mut self) -> bool {
+        let super_s = self.nodes;
+        let super_t = self.nodes + 1;
         let mut required = 0;
-        for node in 0..n {
+        for node in 0..self.nodes {
             let excess = self.excess[node];
             if excess > 0 {
                 required += excess;
@@ -377,17 +530,7 @@ impl LowerBoundFlow {
                 self.push_plain_edge(node, super_t, -excess);
             }
         }
-        let achieved = self.max_flow(super_s, super_t);
-        if achieved < required {
-            return None;
-        }
-        let flows = self
-            .edges
-            .iter()
-            .enumerate()
-            .map(|(i, e)| e.flow + self.lower.get(i).copied().unwrap_or(0))
-            .collect();
-        Some(flows)
+        self.max_flow(super_s, super_t) >= required
     }
 
     fn push_plain_edge(&mut self, from: usize, to: usize, cap: i64) {
@@ -405,35 +548,38 @@ impl LowerBoundFlow {
 
     /// Edmonds–Karp max-flow; the networks here have a handful of nodes.
     fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        let active = self.nodes + 2;
         let mut total = 0;
         loop {
             // BFS for an augmenting path.
-            let mut parent_edge: Vec<Option<usize>> = vec![None; self.graph.len()];
-            let mut queue = std::collections::VecDeque::new();
-            queue.push_back(s);
-            let mut reached = vec![false; self.graph.len()];
-            reached[s] = true;
-            while let Some(x) = queue.pop_front() {
+            self.parent_edge.clear();
+            self.parent_edge.resize(active, None);
+            self.reached.clear();
+            self.reached.resize(active, false);
+            self.queue.clear();
+            self.queue.push_back(s);
+            self.reached[s] = true;
+            while let Some(x) = self.queue.pop_front() {
                 if x == t {
                     break;
                 }
                 for &eid in &self.graph[x] {
                     let e = &self.edges[eid];
-                    if !reached[e.to] && e.cap - e.flow > 0 {
-                        reached[e.to] = true;
-                        parent_edge[e.to] = Some(eid);
-                        queue.push_back(e.to);
+                    if !self.reached[e.to] && e.cap - e.flow > 0 {
+                        self.reached[e.to] = true;
+                        self.parent_edge[e.to] = Some(eid);
+                        self.queue.push_back(e.to);
                     }
                 }
             }
-            if !reached[t] {
+            if !self.reached[t] {
                 break;
             }
             // Find the bottleneck.
             let mut bottleneck = i64::MAX;
             let mut node = t;
             while node != s {
-                let eid = parent_edge[node].expect("path exists");
+                let eid = self.parent_edge[node].expect("path exists");
                 let e = &self.edges[eid];
                 bottleneck = bottleneck.min(e.cap - e.flow);
                 node = self.edges[eid ^ 1].to;
@@ -441,7 +587,7 @@ impl LowerBoundFlow {
             // Augment.
             let mut node = t;
             while node != s {
-                let eid = parent_edge[node].expect("path exists");
+                let eid = self.parent_edge[node].expect("path exists");
                 self.edges[eid].flow += bottleneck;
                 self.edges[eid ^ 1].flow -= bottleneck;
                 node = self.edges[eid ^ 1].to;
@@ -577,10 +723,44 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_across_instances() {
+        let mut scratch = FlowScratch::new();
+        // A basic instance...
+        scratch.sources.extend_from_slice(&[ONE, ONE]);
+        scratch.sinks.push(STAR);
+        assert!(scratch.solve(|_, _| true));
+        assert_eq!(scratch.assignment(), &[0, 0]);
+        // ...then a failing basic instance with fewer sources...
+        scratch.clear();
+        assert!(scratch.assignment().is_empty(), "clear drops the routing");
+        scratch.sources.push(STAR);
+        scratch.sinks.push(ONE);
+        assert!(!scratch.solve(|_, _| true));
+        assert!(
+            scratch.assignment().is_empty(),
+            "no stale routing after a failed solve"
+        );
+        // ...then a general instance reusing the same buffers.
+        scratch.clear();
+        scratch.sources.push(Interval::exactly(2));
+        scratch.sinks.push(Interval::bounded(2, 3));
+        assert!(scratch.solve(|_, _| true));
+        assert_eq!(scratch.assignment(), &[0]);
+        // A dispatch to the general solver happens for non-basic intervals
+        // even when a stale basic network is cached.
+        scratch.clear();
+        scratch.sources.push(Interval::exactly(3));
+        scratch.sinks.push(Interval::bounded(1, 2));
+        assert!(!scratch.solve(|_, _| true));
+    }
+
+    #[test]
     fn randomized_cross_check() {
         // Exhaustively compare the two solvers on all small instances over
-        // basic intervals with a fixed compatibility pattern.
+        // basic intervals with a fixed compatibility pattern, sharing one
+        // scratch across every instance to exercise buffer reuse.
         let basics = [ONE, OPT, PLUS, STAR];
+        let mut scratch = FlowScratch::new();
         for &s1 in &basics {
             for &s2 in &basics {
                 for &u1 in &basics {
@@ -598,6 +778,14 @@ mod tests {
                             assert_eq!(
                                 b, g,
                                 "solvers disagree on sources {s1},{s2} sinks {u1},{u2} mask {mask:b}"
+                            );
+                            scratch.clear();
+                            scratch.sources.extend_from_slice(&sources);
+                            scratch.sinks.extend_from_slice(&sinks);
+                            assert_eq!(
+                                scratch.solve_general(compatible),
+                                g,
+                                "scratch disagrees on sources {s1},{s2} sinks {u1},{u2} mask {mask:b}"
                             );
                         }
                     }

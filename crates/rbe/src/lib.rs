@@ -33,4 +33,5 @@ pub mod membership;
 
 pub use bag::Bag;
 pub use expr::{Rbe, Rbe0};
+pub use flow::FlowScratch;
 pub use interval::{Interval, IntervalSet};

@@ -254,7 +254,10 @@ impl<'s> Parser<'s> {
                 Some(Token::DoubleColon) => match self.bump() {
                     Some(Token::Ident(type_name)) => {
                         let t = self.schema.type_named(&type_name);
-                        Ok(Rbe::symbol(Atom::new(label.as_str(), t)))
+                        // Intern through the schema's label table: one
+                        // allocation per distinct predicate in the schema.
+                        let label = self.schema.intern_label(&label);
+                        Ok(Rbe::symbol(Atom::new(label, t)))
                     }
                     _ => Err(format!("expected a type name after `{label}::`")),
                 },

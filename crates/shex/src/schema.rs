@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use shapex_graph::{Graph, Label};
+use shapex_graph::{Graph, Label, LabelTable, NodeId};
 use shapex_rbe::{Interval, Rbe, Rbe0};
 
 /// A type name identifier, valid for the [`Schema`] that created it.
@@ -87,10 +87,17 @@ impl fmt::Display for SchemaClass {
 
 /// A shape expression schema `S = (Γ_S, δ_S)`: a finite set of named types,
 /// each mapped to a shape expression over `Σ × Γ_S`.
+///
+/// The schema carries a [`LabelTable`] so every atom built through
+/// [`Schema::intern_label`], [`Schema::define_rbe0`], the parser, or
+/// [`Schema::from_shape_graph`] shares one allocation per distinct predicate
+/// — the labels [`Schema::to_shape_graph`] emits are then interned
+/// end-to-end, from the rule text down to the simulation engine.
 #[derive(Debug, Clone, Default)]
 pub struct Schema {
     types: Vec<TypeDef>,
     by_name: BTreeMap<String, TypeId>,
+    labels: LabelTable,
 }
 
 impl Schema {
@@ -157,23 +164,25 @@ impl Schema {
         &self.types[t.index()].expr
     }
 
+    /// Intern a predicate label in the schema's label table, so all atoms of
+    /// the schema share one allocation per distinct predicate.
+    pub fn intern_label(&mut self, name: &str) -> Label {
+        self.labels.intern(name)
+    }
+
     /// Convenience: add a type with an RBE₀ definition given as
     /// `(label, type, interval)` triples.
     pub fn define_rbe0(&mut self, t: TypeId, atoms: &[(&str, TypeId, Interval)]) {
-        let expr = Rbe::concat(
-            atoms
-                .iter()
-                .map(|(label, target, interval)| {
-                    let atom = Rbe::symbol(Atom::new(*label, *target));
-                    if *interval == Interval::ONE {
-                        atom
-                    } else {
-                        Rbe::repeat(atom, *interval)
-                    }
-                })
-                .collect(),
-        );
-        self.define(t, expr);
+        let mut parts = Vec::with_capacity(atoms.len());
+        for (label, target, interval) in atoms {
+            let atom = Rbe::symbol(Atom::new(self.labels.intern(label), *target));
+            parts.push(if *interval == Interval::ONE {
+                atom
+            } else {
+                Rbe::repeat(atom, *interval)
+            });
+        }
+        self.define(t, Rbe::concat(parts));
     }
 
     /// The distinct edge labels used by the schema (its alphabet `Σ`).
@@ -355,19 +364,22 @@ impl Schema {
     /// disjunction or a repetition of a composite expression).
     pub fn to_shape_graph(&self) -> Option<Graph> {
         let mut graph = Graph::new();
-        for t in self.types() {
-            graph.add_named_node(self.type_name(t).to_owned());
-        }
+        let nodes: Vec<NodeId> = self
+            .types()
+            .map(|t| graph.add_named_node(self.type_name(t).to_owned()))
+            .collect();
         for t in self.types() {
             let rbe0: Rbe0<Atom> = self.def(t).to_rbe0()?;
             for (atom, interval) in rbe0.atoms() {
-                let source = graph
-                    .find_node(self.type_name(t))
-                    .expect("node added above");
-                let target = graph
-                    .find_node(self.type_name(atom.target))
-                    .expect("node added above");
-                graph.add_edge_with(source, atom.label.clone(), *interval, target);
+                // Atom labels are interned per-schema; the graph re-interns
+                // them on construction, keeping one allocation per predicate
+                // end-to-end.
+                graph.add_edge_with(
+                    nodes[t.index()],
+                    atom.label.clone(),
+                    *interval,
+                    nodes[atom.target.index()],
+                );
             }
         }
         Some(graph)
@@ -375,6 +387,8 @@ impl Schema {
 
     /// Convert a shape graph back into a `ShEx(RBE0)` schema: one type per
     /// node, one atom per edge (the other direction of Proposition 3.2).
+    /// The graph's interned labels are adopted into the schema's label
+    /// table, so the round-trip allocates nothing per edge.
     pub fn from_shape_graph(graph: &Graph) -> Schema {
         let mut schema = Schema::new();
         for n in graph.nodes() {
@@ -384,21 +398,19 @@ impl Schema {
             let t = schema
                 .find_type(graph.node_name(n))
                 .expect("type added above");
-            let parts: Vec<ShapeExpr> = graph
-                .out(n)
-                .iter()
-                .map(|&e| {
-                    let target = schema
-                        .find_type(graph.node_name(graph.target(e)))
-                        .expect("type added above");
-                    let atom = Rbe::symbol(Atom::new(graph.label(e).clone(), target));
-                    if graph.occur(e) == Interval::ONE {
-                        atom
-                    } else {
-                        Rbe::repeat(atom, graph.occur(e))
-                    }
-                })
-                .collect();
+            let mut parts: Vec<ShapeExpr> = Vec::with_capacity(graph.out_degree(n));
+            for &e in graph.out(n) {
+                let target = schema
+                    .find_type(graph.node_name(graph.target(e)))
+                    .expect("type added above");
+                let label = schema.labels.adopt(graph.label(e));
+                let atom = Rbe::symbol(Atom::new(label, target));
+                parts.push(if graph.occur(e) == Interval::ONE {
+                    atom
+                } else {
+                    Rbe::repeat(atom, graph.occur(e))
+                });
+            }
             schema.define(t, Rbe::concat(parts));
         }
         schema
@@ -628,6 +640,34 @@ mod tests {
             ]),
         );
         assert!(s2.to_shape_graph().is_none());
+    }
+
+    #[test]
+    fn labels_are_interned_across_the_schema() {
+        let s = bug_tracker();
+        // `name` appears in both User and Employee: one allocation.
+        let user = s.find_type("User").unwrap();
+        let employee = s.find_type("Employee").unwrap();
+        let label_of = |t: TypeId, i: usize| s.def(t).to_rbe0().unwrap().atoms()[i].0.label.clone();
+        let user_name = label_of(user, 0);
+        let employee_name = label_of(employee, 0);
+        assert_eq!(user_name, employee_name);
+        assert!(user_name.ptr_eq(&employee_name), "interned together");
+        // The shape graph re-interns, still one allocation per predicate.
+        let g = s.to_shape_graph().unwrap();
+        let name_edges: Vec<_> = g
+            .edges()
+            .filter(|&e| g.label(e).as_str() == "name")
+            .collect();
+        assert_eq!(name_edges.len(), 2);
+        assert!(g.label(name_edges[0]).ptr_eq(g.label(name_edges[1])));
+        // And the round-trip back adopts the graph's allocations.
+        let back = Schema::from_shape_graph(&g);
+        let u2 = back.find_type("User").unwrap();
+        let e2 = back.find_type("Employee").unwrap();
+        let n1 = back.def(u2).to_rbe0().unwrap().atoms()[0].0.label.clone();
+        let n2 = back.def(e2).to_rbe0().unwrap().atoms()[0].0.label.clone();
+        assert!(n1.ptr_eq(&n2));
     }
 
     #[test]

@@ -31,10 +31,11 @@ pub mod prelude {
         embedding::{embeds, max_simulation, Embedding},
         general::{general_containment, GeneralOptions},
         shex0::{shex0_containment, Shex0Options},
+        simulation::{max_simulation_with, Simulation, SimulationOptions},
         Containment,
     };
     pub use shapex_gadgets::figures;
-    pub use shapex_graph::{Graph, GraphKind, Label, LabelTable, NodeId};
+    pub use shapex_graph::{Graph, GraphKind, Label, LabelId, LabelTable, NodeId};
     pub use shapex_rbe::{Bag, Interval, Rbe, Rbe0};
     pub use shapex_shex::{parse_schema, Schema, SchemaClass, TypeId};
 }
