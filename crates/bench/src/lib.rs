@@ -49,6 +49,41 @@ pub fn contained_shex0_pair(types: usize, seed: u64) -> (Schema, Schema) {
     (h, k)
 }
 
+/// An evolving family of `n` bug-tracker schema revisions for the batch
+/// (N×N matrix) containment workload of the `batch_matrix` bench and the
+/// `fig7_summary` binary.
+///
+/// The variants toggle the user's email (`?` / mandatory / absent) and the
+/// multiplicity of `related` (`*` / `?`), and every fourth revision splits
+/// `related` into two same-label atoms (non-deterministic). That mix spreads
+/// the pairs across all the procedure's paths: embedding fast-path,
+/// `DetShEx₀⁻` characterizing shortcut, and — for the non-embedding
+/// `DetShEx₀`/`ShEx₀` pairs — the budgeted counter-example search whose
+/// unfolding pools the `ContainmentEngine` amortizes across partners.
+pub fn evolution_family(n: usize) -> Vec<Schema> {
+    (0..n)
+        .map(|i| {
+            let email = match i % 3 {
+                0 => ", email::Literal?",
+                1 => ", email::Literal",
+                _ => "",
+            };
+            let related = if i % 2 == 0 {
+                "related::Bug*"
+            } else {
+                "related::Bug?"
+            };
+            let split = if i % 4 == 3 { ", related::Bug*" } else { "" };
+            let text = format!(
+                "Bug -> descr::Literal, reportedBy::User, {related}{split}\n\
+                 User -> name::Literal{email}\n\
+                 Literal -> EMPTY\n"
+            );
+            parse_schema(&text).expect("family member parses")
+        })
+        .collect()
+}
+
 /// A compressed "hub and spokes" graph: one hub node with a single compressed
 /// edge of multiplicity `spokes` to a rim node, plus the schema that accepts
 /// hubs with between 1 and `spokes` spokes.
@@ -92,6 +127,23 @@ mod tests {
             let kg2 = k2.to_shape_graph().unwrap();
             assert!(embeds(&hg2, &kg2).is_some());
         }
+    }
+
+    #[test]
+    fn evolution_family_spans_the_fragments() {
+        use shapex_shex::SchemaClass;
+        let family = evolution_family(8);
+        let classes: std::collections::BTreeSet<SchemaClass> =
+            family.iter().map(|s| s.classify()).collect();
+        assert!(
+            classes.contains(&SchemaClass::DetShEx0Minus),
+            "need embedding/characterizing fast-path pairs"
+        );
+        assert!(
+            classes.contains(&SchemaClass::ShEx0),
+            "need non-deterministic search-path pairs"
+        );
+        assert!(classes.len() >= 3, "got {classes:?}");
     }
 
     #[test]

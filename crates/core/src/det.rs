@@ -59,21 +59,13 @@ fn require_det_minus(schema: &Schema) -> Result<(), NotDetShex0Minus> {
 /// When containment fails, the certified counter-example is the
 /// characterizing graph of `H` (it belongs to `L(H)` by construction and
 /// cannot embed in `K`, otherwise `H ≼ K` would hold by Lemma 4.2).
+///
+/// This is the one-shot entry point: it runs through a throwaway
+/// [`crate::engine::ContainmentEngine`]; callers issuing many queries over
+/// the same schemas should hold an engine so the shape graphs,
+/// characterizing graphs, and embedding verdicts are computed once.
 pub fn det_containment(h: &Schema, k: &Schema) -> Result<Containment, NotDetShex0Minus> {
-    require_det_minus(h)?;
-    require_det_minus(k)?;
-    let hg = h.to_shape_graph().expect("DetShEx0- schemas are RBE0");
-    let kg = k.to_shape_graph().expect("DetShEx0- schemas are RBE0");
-    if embeds(&hg, &kg).is_some() {
-        Ok(Containment::Contained)
-    } else {
-        let witness = characterizing_graph(h)?;
-        debug_assert!(
-            embeds(&witness, &hg).is_some(),
-            "characterizing graph must belong to L(H)"
-        );
-        Ok(Containment::not_contained(witness))
-    }
+    crate::engine::ContainmentEngine::new().det(h, k)
 }
 
 /// The embedding-based *sufficient* containment check for arbitrary shape

@@ -1,0 +1,935 @@
+//! `ContainmentEngine` — a memoising, parallel query session over the
+//! containment procedures.
+//!
+//! The decision procedures of this crate ([`crate::det`], [`crate::shex0`],
+//! [`crate::general`]) are exposed as stateless one-shot functions; called in
+//! a loop — the batch schema-evolution workload, pairwise matrices over a
+//! schema corpus, repeated queries from a service — every call re-derives
+//! shape graphs, re-classifies schemas, re-enumerates candidate unfoldings,
+//! and re-validates thousands of candidate graphs from scratch. The engine
+//! is the session layer that keeps all of that:
+//!
+//! * **Schema registry.** [`ContainmentEngine::register`] interns a schema by
+//!   a structural fingerprint and computes its [`SchemaClass`] and shape
+//!   graph once; the registered copy's atom labels are re-interned through
+//!   the engine's [`shapex_graph::LabelTable`], so every registered schema
+//!   (and every candidate graph unfolded from one) shares one allocation per
+//!   distinct predicate label.
+//! * **Per-schema caches.** The characterizing graph (Lemma 4.2), the
+//!   exhaustive per-type bag enumeration of the general sufficient check,
+//!   and the enumerated/sampled unfolding pools — keyed by `(type, depth)`
+//!   under the engine's fixed search budget — are each built once and reused
+//!   across every partner schema.
+//! * **Verdict memos.** `validates(candidate, S)` verdicts are memoised per
+//!   registered schema under a structural fingerprint of the candidate
+//!   graph, and shape-graph embedding verdicts per ordered schema pair. The
+//!   depth-cumulative systematic search re-encounters the same candidates at
+//!   every depth, so even a single one-shot query through a throwaway engine
+//!   validates each distinct candidate once.
+//! * **Parallel candidate search.** With [`EngineOptions::threads`] > 1 the
+//!   memoised validate-against-`K` step fans each uncached pool slice across
+//!   a `std::thread` worker pool (the same dependency-free scoped-thread
+//!   pattern as the simulation engine's initial pass). Verdicts are
+//!   deterministic, so the answers do not depend on the thread count.
+//!
+//! The one-shot functions still exist and behave identically — they
+//! construct a throwaway engine — and the candidate order of the search is
+//! exactly that of [`crate::baseline::search_counter_example_baseline`], the
+//! retained memo-free reference, so witnesses are reproducible.
+//!
+//! ```
+//! use shapex_core::engine::ContainmentEngine;
+//! use shapex_shex::parse_schema;
+//!
+//! let v1 = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
+//! let v2 = parse_schema("T -> p::L*\nL -> EMPTY\n").unwrap();
+//! let mut engine = ContainmentEngine::new();
+//! let matrix = engine.check_matrix(&[v1, v2]);
+//! assert!(matrix[0][1].is_contained(), "? widens to *");
+//! assert!(matrix[1][0].is_not_contained(), "* does not narrow to ?");
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use shapex_graph::{Graph, LabelTable};
+use shapex_rbe::Bag;
+use shapex_shex::typing::validates;
+use shapex_shex::{Atom, Schema, SchemaClass, TypeId};
+
+use crate::det::{characterizing_graph, NotDetShex0Minus};
+use crate::embedding::embeds;
+use crate::general::{exhaustive_bags, type_simulation_with_bags};
+use crate::unfold::{enumerate_members_with, sample_member_with, SearchOptions};
+use crate::Containment;
+
+/// Tuning knobs for a [`ContainmentEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Budget of the counter-example search (depth, pool sizes, sample
+    /// count, seed). Fixed for the lifetime of the engine so that cached
+    /// unfolding pools remain valid for every query.
+    pub search: SearchOptions,
+    /// Worker threads for the candidate-validation fan-out. `1` keeps the
+    /// whole search on the calling thread; answers do not depend on this.
+    pub threads: usize,
+    /// Minimum number of uncached candidates in a pool slice before worker
+    /// threads are actually spawned; below it the spawn overhead dominates.
+    pub parallel_threshold: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            search: SearchOptions::default(),
+            threads: 1,
+            parallel_threshold: 16,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Single-threaded engine with the default search budget.
+    pub fn sequential() -> EngineOptions {
+        EngineOptions::default()
+    }
+
+    /// Use all available cores for candidate validation.
+    pub fn parallel() -> EngineOptions {
+        EngineOptions {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ..EngineOptions::default()
+        }
+    }
+
+    /// Use a fixed number of worker threads for candidate validation.
+    pub fn with_threads(threads: usize) -> EngineOptions {
+        EngineOptions {
+            threads: threads.max(1),
+            ..EngineOptions::default()
+        }
+    }
+
+    /// The smaller [`SearchOptions::quick`] budget, single-threaded.
+    pub fn quick() -> EngineOptions {
+        EngineOptions {
+            search: SearchOptions::quick(),
+            ..EngineOptions::default()
+        }
+    }
+
+    /// Replace the search budget, keeping the threading configuration.
+    pub fn with_search(self, search: SearchOptions) -> EngineOptions {
+        EngineOptions { search, ..self }
+    }
+}
+
+/// A handle to a schema registered with a [`ContainmentEngine`].
+///
+/// Handles are only meaningful for the engine that issued them; passing a
+/// handle to a different engine panics (out of range) or silently refers to
+/// whatever schema that engine registered under the same slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SchemaId(u32);
+
+impl SchemaId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Cache-effectiveness counters of a [`ContainmentEngine`], for diagnostics
+/// and tests. All counters are cumulative over the engine's lifetime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Distinct schemas registered.
+    pub schemas: usize,
+    /// Candidate-validation verdicts answered from the memo.
+    pub validate_hits: u64,
+    /// Candidate-validation verdicts actually computed.
+    pub validate_misses: u64,
+    /// Shape-graph embedding verdicts answered from the memo.
+    pub embed_hits: u64,
+    /// Unfolding pools (enumerated or sampled) answered from the cache.
+    pub pool_hits: u64,
+    /// Unfolding pools built.
+    pub pools_built: u64,
+}
+
+/// A registered schema plus everything derived from it once.
+#[derive(Debug)]
+struct SchemaEntry {
+    schema: Schema,
+    class: SchemaClass,
+    /// Present iff the schema is RBE₀ (Proposition 3.2).
+    shape_graph: Option<Graph>,
+    /// The characterizing graph of Lemma 4.2, built on first demand
+    /// (`DetShEx₀⁻` schemas only).
+    characterizing: Option<Graph>,
+}
+
+/// An immutable, shareable pool of candidate member graphs.
+type Pool = Arc<Vec<Graph>>;
+
+/// Per-schema memo of `validates(candidate, schema)` verdicts, keyed by the
+/// structural fingerprint of the candidate.
+type ValidateMemo = BTreeMap<String, bool>;
+
+/// The cached exhaustive bag enumeration of one schema (`None` = some
+/// definition's language is infinite or too large, so the sufficient check
+/// is never attempted for it).
+type CachedBags = Option<Arc<Vec<Vec<Bag<Atom>>>>>;
+
+/// What the bounded search learned about a pair.
+struct SearchOutcome {
+    witness: Option<Graph>,
+    /// Candidate graphs actually validated against the right-hand schema.
+    candidates: usize,
+    depth: usize,
+}
+
+impl SearchOutcome {
+    fn into_containment(self) -> Containment {
+        match self.witness {
+            Some(witness) => Containment::not_contained(witness),
+            None if self.candidates == 0 => Containment::not_supported(),
+            None => Containment::budget_exhausted(self.candidates, self.depth),
+        }
+    }
+}
+
+/// A reusable containment query session; see the [module docs](self) for
+/// what is cached and when to hold one.
+#[derive(Debug, Default)]
+pub struct ContainmentEngine {
+    options: EngineOptions,
+    labels: LabelTable,
+    schemas: Vec<SchemaEntry>,
+    by_fingerprint: BTreeMap<String, SchemaId>,
+    /// Indexed like `schemas`.
+    validate_memo: Vec<ValidateMemo>,
+    /// `(schema, root type, depth) → pool` of systematic unfoldings.
+    enumerated: BTreeMap<(u32, TypeId, usize), Pool>,
+    /// `schema → pool` of the ordered randomized-phase samples.
+    sampled: BTreeMap<u32, Pool>,
+    /// `schema → exhaustive per-type bag enumeration` (`None` = infinite).
+    bags: BTreeMap<u32, CachedBags>,
+    /// `(h, k) → whether the shape graph of h embeds in the one of k`.
+    embeds_memo: BTreeMap<(u32, u32), bool>,
+    /// `(h, k) → whether the general sufficient condition holds`.
+    sufficient_memo: BTreeMap<(u32, u32), bool>,
+    stats: EngineStats,
+}
+
+impl ContainmentEngine {
+    /// An engine with the default options (default search budget,
+    /// single-threaded).
+    pub fn new() -> ContainmentEngine {
+        ContainmentEngine::default()
+    }
+
+    /// An engine with the given options.
+    pub fn with_options(options: EngineOptions) -> ContainmentEngine {
+        ContainmentEngine {
+            options,
+            ..ContainmentEngine::default()
+        }
+    }
+
+    /// An engine with the given search budget (single-threaded) — the
+    /// configuration the one-shot wrappers use.
+    pub fn with_search(search: SearchOptions) -> ContainmentEngine {
+        ContainmentEngine::with_options(EngineOptions::default().with_search(search))
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// A snapshot of the cache-effectiveness counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            schemas: self.schemas.len(),
+            ..self.stats
+        }
+    }
+
+    /// The shared predicate-label table (one allocation per distinct label
+    /// across every registered schema).
+    pub fn label_table(&self) -> &LabelTable {
+        &self.labels
+    }
+
+    /// Register a schema with the session, returning its handle.
+    ///
+    /// Schemas are interned by a structural fingerprint (type names plus the
+    /// full expression trees, so distinct expressions that merely render
+    /// alike stay distinct): registering an identical schema again (even a
+    /// different instance) returns the same handle and shares every cache.
+    /// Registration clones the schema — the caller keeps ownership — adopts
+    /// the clone's atom labels into the session's shared table, and computes
+    /// the classification and shape graph, once.
+    pub fn register(&mut self, schema: &Schema) -> SchemaId {
+        let fingerprint = schema_fingerprint(schema);
+        if let Some(&id) = self.by_fingerprint.get(&fingerprint) {
+            return id;
+        }
+        let mut owned = schema.clone();
+        owned.adopt_labels(&mut self.labels);
+        let class = owned.classify_cached();
+        let shape_graph = owned.shape_graph_cached().cloned();
+        let id = SchemaId(self.schemas.len() as u32);
+        self.schemas.push(SchemaEntry {
+            schema: owned,
+            class,
+            shape_graph,
+            characterizing: None,
+        });
+        self.validate_memo.push(ValidateMemo::new());
+        self.by_fingerprint.insert(fingerprint, id);
+        id
+    }
+
+    /// The engine's copy of a registered schema.
+    pub fn schema(&self, id: SchemaId) -> &Schema {
+        &self.schemas[id.index()].schema
+    }
+
+    /// Decide `L(H) ⊆ L(K)` with the strongest applicable procedure — the
+    /// session equivalent of [`crate::general::general_containment`].
+    pub fn check(&mut self, h: &Schema, k: &Schema) -> Containment {
+        let h = self.register(h);
+        let k = self.register(k);
+        self.check_ids(h, k)
+    }
+
+    /// [`ContainmentEngine::check`] for already-registered schemas.
+    pub fn check_ids(&mut self, h: SchemaId, k: SchemaId) -> Containment {
+        self.general_ids(h, k)
+    }
+
+    /// Batch pairwise containment: `matrix[i][j]` answers
+    /// `L(schemas[i]) ⊆ L(schemas[j])` for every ordered pair, including the
+    /// diagonal.
+    ///
+    /// This is the schema-evolution workload the session layer exists for:
+    /// each schema's shape graph, classification, unfolding pools, and
+    /// validation verdicts are built once and reused across all `N - 1`
+    /// partners, instead of once per pair as `N²` one-shot calls would. The
+    /// answers are identical to the `N²` individual [`ContainmentEngine::check`]
+    /// calls (and to the one-shot functions).
+    pub fn check_matrix(&mut self, schemas: &[Schema]) -> Vec<Vec<Containment>> {
+        let ids: Vec<SchemaId> = schemas.iter().map(|s| self.register(s)).collect();
+        ids.iter()
+            .map(|&h| ids.iter().map(|&k| self.check_ids(h, k)).collect())
+            .collect()
+    }
+
+    /// The session equivalent of [`crate::shex0::shex0_containment`].
+    pub fn shex0(&mut self, h: &Schema, k: &Schema) -> Containment {
+        let h = self.register(h);
+        let k = self.register(k);
+        self.shex0_ids(h, k)
+    }
+
+    /// The session equivalent of [`crate::general::general_containment`].
+    pub fn general(&mut self, h: &Schema, k: &Schema) -> Containment {
+        let h = self.register(h);
+        let k = self.register(k);
+        self.general_ids(h, k)
+    }
+
+    /// The session equivalent of [`crate::det::det_containment`]: polynomial
+    /// containment for `DetShEx₀⁻` (Corollary 4.4).
+    pub fn det(&mut self, h: &Schema, k: &Schema) -> Result<Containment, NotDetShex0Minus> {
+        let h = self.register(h);
+        let k = self.register(k);
+        self.det_ids(h, k)
+    }
+
+    /// [`ContainmentEngine::det`] for already-registered schemas.
+    pub fn det_ids(&mut self, h: SchemaId, k: SchemaId) -> Result<Containment, NotDetShex0Minus> {
+        self.require_det_minus(h)?;
+        self.require_det_minus(k)?;
+        if self.embeds_cached(h, k) {
+            Ok(Containment::Contained)
+        } else {
+            let witness = self.characterizing(h)?;
+            debug_assert!(
+                embeds(
+                    &witness,
+                    self.schemas[h.index()]
+                        .shape_graph
+                        .as_ref()
+                        .expect("DetShEx0- schemas are RBE0")
+                )
+                .is_some(),
+                "characterizing graph must belong to L(H)"
+            );
+            Ok(Containment::not_contained(witness))
+        }
+    }
+
+    /// Search for a certified counter-example to `L(H) ⊆ L(K)` — the
+    /// session equivalent of [`crate::unfold::search_counter_example`], with
+    /// pooled unfoldings, memoised validation, and the optional parallel
+    /// fan-out.
+    pub fn counter_example(&mut self, h: &Schema, k: &Schema) -> Option<Graph> {
+        let h = self.register(h);
+        let k = self.register(k);
+        self.search_ids(h, k).witness
+    }
+
+    fn require_det_minus(&self, id: SchemaId) -> Result<(), NotDetShex0Minus> {
+        let entry = &self.schemas[id.index()];
+        if entry.class == SchemaClass::DetShEx0Minus {
+            Ok(())
+        } else {
+            Err(NotDetShex0Minus {
+                violations: entry.schema.det_shex0_minus_violations(),
+            })
+        }
+    }
+
+    /// The `ShEx₀` procedure over registered schemas (Section 5 pipeline:
+    /// embedding, characterizing-graph shortcut, bounded search).
+    fn shex0_ids(&mut self, h: SchemaId, k: SchemaId) -> Containment {
+        let (hc, kc) = (self.schemas[h.index()].class, self.schemas[k.index()].class);
+        if hc == SchemaClass::ShEx || kc == SchemaClass::ShEx {
+            return self.general_ids(h, k);
+        }
+        if self.embeds_cached(h, k) {
+            return Containment::Contained;
+        }
+        if hc == SchemaClass::DetShEx0Minus && kc == SchemaClass::DetShEx0Minus {
+            let witness = self.characterizing(h).expect("checked DetShEx0-");
+            return Containment::not_contained(witness);
+        }
+        self.search_ids(h, k).into_containment()
+    }
+
+    /// The general procedure over registered schemas (Section 6 pipeline:
+    /// delegation to ShEx₀, type-simulation sufficient check, bounded
+    /// search).
+    fn general_ids(&mut self, h: SchemaId, k: SchemaId) -> Containment {
+        let both_rbe0 = self.schemas[h.index()].class != SchemaClass::ShEx
+            && self.schemas[k.index()].class != SchemaClass::ShEx;
+        if both_rbe0 {
+            return self.shex0_ids(h, k);
+        }
+        if self.sufficient_cached(h, k) {
+            return Containment::Contained;
+        }
+        self.search_ids(h, k).into_containment()
+    }
+
+    /// Whether the shape graph of `h` embeds in the shape graph of `k`
+    /// (memoised). Both schemas must be RBE₀.
+    fn embeds_cached(&mut self, h: SchemaId, k: SchemaId) -> bool {
+        if let Some(&v) = self.embeds_memo.get(&(h.0, k.0)) {
+            self.stats.embed_hits += 1;
+            return v;
+        }
+        let hg = self.schemas[h.index()]
+            .shape_graph
+            .as_ref()
+            .expect("RBE0 schema has a shape graph");
+        let kg = self.schemas[k.index()]
+            .shape_graph
+            .as_ref()
+            .expect("RBE0 schema has a shape graph");
+        let v = embeds(hg, kg).is_some();
+        self.embeds_memo.insert((h.0, k.0), v);
+        v
+    }
+
+    /// The characterizing graph of a registered `DetShEx₀⁻` schema, built
+    /// once.
+    fn characterizing(&mut self, h: SchemaId) -> Result<Graph, NotDetShex0Minus> {
+        if self.schemas[h.index()].characterizing.is_none() {
+            let g = characterizing_graph(&self.schemas[h.index()].schema)?;
+            self.schemas[h.index()].characterizing = Some(g);
+        }
+        Ok(self.schemas[h.index()]
+            .characterizing
+            .clone()
+            .expect("filled above"))
+    }
+
+    /// Whether the general sufficient condition holds for `(h, k)`
+    /// (memoised), with the exhaustive bag enumeration of `h` cached across
+    /// partners.
+    fn sufficient_cached(&mut self, h: SchemaId, k: SchemaId) -> bool {
+        if let Some(&v) = self.sufficient_memo.get(&(h.0, k.0)) {
+            return v;
+        }
+        let v = match self.exhaustive_bags_cached(h) {
+            None => false,
+            Some(bags) => type_simulation_with_bags(
+                &self.schemas[h.index()].schema,
+                &bags,
+                &self.schemas[k.index()].schema,
+            ),
+        };
+        self.sufficient_memo.insert((h.0, k.0), v);
+        v
+    }
+
+    fn exhaustive_bags_cached(&mut self, h: SchemaId) -> CachedBags {
+        if let Some(v) = self.bags.get(&h.0) {
+            return v.clone();
+        }
+        let v = exhaustive_bags(&self.schemas[h.index()].schema).map(Arc::new);
+        self.bags.insert(h.0, v.clone());
+        v
+    }
+
+    /// The bounded counter-example search over registered schemas.
+    ///
+    /// Candidate order — and therefore the returned witness — is exactly
+    /// that of [`crate::baseline::search_counter_example_baseline`]:
+    /// systematic unfoldings per root and depth under the shared `examined`
+    /// budget, then the ordered randomized samples.
+    fn search_ids(&mut self, h: SchemaId, k: SchemaId) -> SearchOutcome {
+        let opts = self.options.search.clone();
+        let parallel = self.options.threads > 1;
+        let mut examined = 0usize;
+        let mut checked = 0usize;
+        let roots: Vec<TypeId> = self.schemas[h.index()].schema.types().collect();
+
+        // Systematic phase.
+        for &root in &roots {
+            for depth in 1..=opts.max_depth {
+                let pool = self.enumerated_pool(h, root, depth, &opts);
+                // The baseline increments `examined` per candidate and
+                // abandons the pool once the count exceeds the budget, so at
+                // most this many candidates of the pool get validated:
+                let limit = pool.len().min(opts.max_candidates.saturating_sub(examined));
+                let mut verdicts = parallel.then(|| vec![None; limit]);
+                for (i, graph) in pool.iter().enumerate() {
+                    examined += 1;
+                    if examined > opts.max_candidates {
+                        break;
+                    }
+                    let ok = match &mut verdicts {
+                        Some(v) => self.verdict_at(k, &pool, v, i),
+                        None => self.validate_one(k, graph),
+                    };
+                    checked += 1;
+                    if !ok {
+                        return SearchOutcome {
+                            witness: Some(graph.clone()),
+                            candidates: checked,
+                            depth: opts.max_depth,
+                        };
+                    }
+                }
+            }
+        }
+
+        // Randomized phase (skipped entirely when the schema has no types,
+        // like the baseline).
+        if !roots.is_empty() {
+            let pool = self.sampled_pool(h, &opts);
+            let mut verdicts = parallel.then(|| vec![None; pool.len()]);
+            for (i, graph) in pool.iter().enumerate() {
+                let ok = match &mut verdicts {
+                    Some(v) => self.verdict_at(k, &pool, v, i),
+                    None => self.validate_one(k, graph),
+                };
+                checked += 1;
+                if !ok {
+                    return SearchOutcome {
+                        witness: Some(graph.clone()),
+                        candidates: checked,
+                        depth: opts.max_depth,
+                    };
+                }
+            }
+        }
+        SearchOutcome {
+            witness: None,
+            candidates: checked,
+            depth: opts.max_depth,
+        }
+    }
+
+    /// The parallel-mode verdict for `pool[i]`: if it is not resolved yet,
+    /// fan out one *stripe* of following candidates
+    /// (`threads × parallel_threshold`, clipped to `verdicts.len()`, the
+    /// consumable prefix of the pool) across the workers. Striping bounds
+    /// the eagerness: a witness at index `i` costs at most one stripe of
+    /// extra validations instead of the whole pool.
+    fn verdict_at(
+        &mut self,
+        k: SchemaId,
+        pool: &[Graph],
+        verdicts: &mut [Option<bool>],
+        i: usize,
+    ) -> bool {
+        if let Some(v) = verdicts[i] {
+            return v;
+        }
+        let stripe = (self.options.threads * self.options.parallel_threshold.max(1)).max(1);
+        let end = (i + stripe).min(verdicts.len());
+        for (offset, v) in self
+            .validate_slice(k, &pool[i..end])
+            .into_iter()
+            .enumerate()
+        {
+            verdicts[i + offset] = Some(v);
+        }
+        verdicts[i].expect("stripe covers i")
+    }
+
+    /// The pool of valid members of `h` unfolded from `root` up to `depth` —
+    /// [`crate::unfold::enumerate_members`] with the member-validation step
+    /// routed through the memo, cached per `(schema, root, depth)`.
+    fn enumerated_pool(
+        &mut self,
+        h: SchemaId,
+        root: TypeId,
+        depth: usize,
+        opts: &SearchOptions,
+    ) -> Pool {
+        if let Some(pool) = self.enumerated.get(&(h.0, root, depth)) {
+            self.stats.pool_hits += 1;
+            return pool.clone();
+        }
+        self.stats.pools_built += 1;
+        let scoped = SearchOptions {
+            max_depth: depth,
+            ..opts.clone()
+        };
+        let entry = &self.schemas[h.index()];
+        let memo = &mut self.validate_memo[h.index()];
+        let stats = &mut self.stats;
+        let graphs = enumerate_members_with(&entry.schema, root, &scoped, &mut |g| {
+            validate_memoised(&entry.schema, memo, stats, g)
+        });
+        let pool: Pool = Arc::new(graphs);
+        self.enumerated.insert((h.0, root, depth), pool.clone());
+        pool
+    }
+
+    /// The ordered randomized-sample pool of `h` —
+    /// [`crate::unfold::sample_member`] over the baseline's exact RNG
+    /// sequence, with the member-validation step routed through the memo,
+    /// cached per schema.
+    fn sampled_pool(&mut self, h: SchemaId, opts: &SearchOptions) -> Pool {
+        if let Some(pool) = self.sampled.get(&h.0) {
+            self.stats.pool_hits += 1;
+            return pool.clone();
+        }
+        self.stats.pools_built += 1;
+        let entry = &self.schemas[h.index()];
+        let memo = &mut self.validate_memo[h.index()];
+        let stats = &mut self.stats;
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let roots: Vec<TypeId> = entry.schema.types().collect();
+        let mut graphs = Vec::new();
+        if !roots.is_empty() {
+            let mut is_member = |g: &Graph| validate_memoised(&entry.schema, memo, stats, g);
+            for _ in 0..opts.random_samples {
+                let root = roots[rng.gen_range(0..roots.len())];
+                if let Some(graph) =
+                    sample_member_with(&entry.schema, root, &mut rng, opts, &mut is_member)
+                {
+                    graphs.push(graph);
+                }
+            }
+        }
+        let pool: Pool = Arc::new(graphs);
+        self.sampled.insert(h.0, pool.clone());
+        pool
+    }
+
+    /// One memoised `validates(graph, k)` verdict.
+    fn validate_one(&mut self, k: SchemaId, graph: &Graph) -> bool {
+        let entry = &self.schemas[k.index()];
+        validate_memoised(
+            &entry.schema,
+            &mut self.validate_memo[k.index()],
+            &mut self.stats,
+            graph,
+        )
+    }
+
+    /// Memoised verdicts for one stripe of candidates, with the uncached
+    /// ones fanned across the engine's worker threads when there are enough
+    /// of them (below `parallel_threshold` the spawn overhead dominates and
+    /// the stripe is validated inline).
+    fn validate_slice(&mut self, k: SchemaId, pool: &[Graph]) -> Vec<bool> {
+        let entry = &self.schemas[k.index()];
+        let memo = &mut self.validate_memo[k.index()];
+        let mut keys: Vec<String> = pool.iter().map(candidate_key).collect();
+        let mut verdicts: Vec<Option<bool>> =
+            keys.iter().map(|key| memo.get(key).copied()).collect();
+        let missing: Vec<usize> = verdicts
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        self.stats.validate_hits += (pool.len() - missing.len()) as u64;
+        self.stats.validate_misses += missing.len() as u64;
+        if !missing.is_empty() {
+            let schema = &entry.schema;
+            let workers = self.options.threads.min(missing.len());
+            if workers > 1 && missing.len() >= self.options.parallel_threshold.max(1) {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = missing
+                        .chunks(missing.len().div_ceil(workers))
+                        .map(|part| {
+                            scope.spawn(move || {
+                                part.iter()
+                                    .map(|&i| (i, validates(&pool[i], schema)))
+                                    .collect::<Vec<(usize, bool)>>()
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        for (i, v) in handle.join().expect("validation worker panicked") {
+                            verdicts[i] = Some(v);
+                        }
+                    }
+                });
+            } else {
+                for &i in &missing {
+                    verdicts[i] = Some(validates(&pool[i], schema));
+                }
+            }
+            for &i in &missing {
+                memo.insert(
+                    std::mem::take(&mut keys[i]),
+                    verdicts[i].expect("filled above"),
+                );
+            }
+        }
+        verdicts
+            .into_iter()
+            .map(|v| v.expect("resolved above"))
+            .collect()
+    }
+}
+
+/// A structural fingerprint of a schema: every type's name plus the `Debug`
+/// rendering of its full expression tree. Unlike the `Display` rendering,
+/// this keeps degenerate wrappers distinct — `Disj([e])` or `Concat([])`
+/// print like plain `e` / `Disj([])` but denote different classes or
+/// languages — so two schemas are interned together only when their
+/// definitions are structurally identical.
+fn schema_fingerprint(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{}#", schema.type_count());
+    for t in schema.types() {
+        let _ = write!(out, "{}:{:?};", schema.type_name(t), schema.def(t));
+    }
+    out
+}
+
+/// A structural fingerprint of a candidate graph: node count plus every edge
+/// as `source-label>target`. Validation semantics are independent of node
+/// names, so structurally identical candidates (the same unfolding reached
+/// at different depths or from different samples) share one memo slot.
+fn candidate_key(graph: &Graph) -> String {
+    let mut key = String::with_capacity(8 + graph.edge_count() * 12);
+    let _ = write!(key, "{};", graph.node_count());
+    for e in graph.edges() {
+        let _ = write!(
+            key,
+            "{}-{}>{};",
+            graph.source(e).0,
+            graph.label(e),
+            graph.target(e).0
+        );
+    }
+    key
+}
+
+/// The memoised validation verdict, with split borrows so callers can hold
+/// the schema entry and its memo at once.
+fn validate_memoised(
+    schema: &Schema,
+    memo: &mut ValidateMemo,
+    stats: &mut EngineStats,
+    graph: &Graph,
+) -> bool {
+    let key = candidate_key(graph);
+    if let Some(&v) = memo.get(&key) {
+        stats.validate_hits += 1;
+        return v;
+    }
+    stats.validate_misses += 1;
+    let v = validates(graph, schema);
+    memo.insert(key, v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapex_shex::parse_schema;
+
+    fn quick_engine() -> ContainmentEngine {
+        ContainmentEngine::with_options(EngineOptions::quick())
+    }
+
+    #[test]
+    fn registration_interns_by_content() {
+        let a = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
+        let a_again = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
+        let b = parse_schema("T -> p::L\nL -> EMPTY\n").unwrap();
+        let mut engine = quick_engine();
+        let ia = engine.register(&a);
+        assert_eq!(engine.register(&a_again), ia);
+        assert_ne!(engine.register(&b), ia);
+        assert_eq!(engine.stats().schemas, 2);
+        assert_eq!(engine.schema(ia).type_count(), 2);
+    }
+
+    #[test]
+    fn registration_shares_label_allocations_across_schemas() {
+        // Two independently parsed schemas use the same predicates; after
+        // registration the engine's copies share one allocation per label.
+        let a = parse_schema("T -> name::L, email::L?\nL -> EMPTY\n").unwrap();
+        let b = parse_schema("S -> name::L, name::L\nL -> EMPTY\n").unwrap();
+        let mut engine = quick_engine();
+        let ia = engine.register(&a);
+        let ib = engine.register(&b);
+        let label_of = |s: &Schema, ty: &str| {
+            let t = s.find_type(ty).unwrap();
+            s.def(t).to_rbe0().unwrap().atoms()[0].0.label.clone()
+        };
+        let name_a = label_of(engine.schema(ia), "T");
+        let name_b = label_of(engine.schema(ib), "S");
+        assert_eq!(name_a.as_str(), "name");
+        assert!(
+            name_a.ptr_eq(&name_b),
+            "registered schemas must share the session's label allocations"
+        );
+    }
+
+    #[test]
+    fn structurally_distinct_schemas_are_not_interned_together() {
+        use shapex_rbe::Rbe;
+        use shapex_shex::Atom;
+        // `Disj([symbol])` renders like the bare symbol but is full ShEx
+        // (outside RBE0); the fingerprint must keep the two entries apart so
+        // `det` still rejects the wrapped one.
+        let mut plain = Schema::new();
+        let t = plain.add_type("T");
+        let l = plain.add_type("L");
+        plain.define(t, Rbe::symbol(Atom::new("p", l)));
+        let mut wrapped = Schema::new();
+        let t2 = wrapped.add_type("T");
+        let l2 = wrapped.add_type("L");
+        // Raw variant construction: the `Rbe::disj` smart constructor would
+        // collapse the unary case.
+        wrapped.define(t2, Rbe::Disj(vec![Rbe::symbol(Atom::new("p", l2))]));
+        assert_eq!(format!("{plain}"), format!("{wrapped}"), "same rendering");
+        let mut engine = quick_engine();
+        let ip = engine.register(&plain);
+        let iw = engine.register(&wrapped);
+        assert_ne!(ip, iw, "distinct structure must get distinct entries");
+        assert!(engine.det(&plain, &plain).is_ok());
+        assert!(engine.det(&wrapped, &wrapped).is_err(), "not RBE0");
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_caches() {
+        // A contained-but-unknown pair: the search exhausts its budget, so
+        // the second identical query must be answered from warm pools and
+        // memos without a single fresh validation.
+        let h = parse_schema("Root -> p::A, p::B\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
+        let k = parse_schema("Root -> p::A, p::A\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
+        let mut engine = quick_engine();
+        let first = engine.shex0(&h, &k);
+        let after_first = engine.stats();
+        assert!(after_first.validate_misses > 0);
+        let second = engine.shex0(&h, &k);
+        let after_second = engine.stats();
+        assert_eq!(
+            after_second.validate_misses, after_first.validate_misses,
+            "warm session must not validate anything again"
+        );
+        assert!(after_second.pool_hits > after_first.pool_hits);
+        assert_eq!(format!("{first}"), format!("{second}"));
+    }
+
+    #[test]
+    fn matrix_matches_individual_checks() {
+        let texts = [
+            "T -> p::L?\nL -> EMPTY\n",
+            "T -> p::L*\nL -> EMPTY\n",
+            "T -> p::L\nL -> EMPTY\n",
+        ];
+        let schemas: Vec<Schema> = texts.iter().map(|t| parse_schema(t).unwrap()).collect();
+        let mut engine = quick_engine();
+        let matrix = engine.check_matrix(&schemas);
+        for (i, row) in matrix.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                let mut fresh = quick_engine();
+                let one_shot = fresh.check(&schemas[i], &schemas[j]);
+                assert_eq!(
+                    format!("{cell}"),
+                    format!("{one_shot}"),
+                    "matrix[{i}][{j}] disagrees with the one-shot answer"
+                );
+            }
+        }
+        // Diagonal is always contained for these schemas.
+        for (i, row) in matrix.iter().enumerate() {
+            assert!(row[i].is_contained(), "matrix[{i}][{i}]");
+        }
+    }
+
+    #[test]
+    fn parallel_engine_answers_identically() {
+        let h = parse_schema("Root -> p::A, p::B\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
+        let k = parse_schema("Root -> p::A, p::A\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
+        let sequential = quick_engine().shex0(&h, &k);
+        let mut options = EngineOptions::quick();
+        options.threads = 4;
+        options.parallel_threshold = 1;
+        let parallel = ContainmentEngine::with_options(options).shex0(&h, &k);
+        assert_eq!(format!("{sequential}"), format!("{parallel}"));
+        assert!(parallel.is_not_contained());
+    }
+
+    #[test]
+    fn unknown_answers_carry_budget_reasons() {
+        use crate::UnknownReason;
+        // The Figure-1 original-vs-split pair: semantically contained, no
+        // embedding, split is not DetShEx0-, no counter-example exists — the
+        // budget runs dry.
+        let original = parse_schema(
+            "Bug  -> descr::Literal, reportedBy::User, related::Bug*\n\
+             User -> name::Literal, email::Literal?\n",
+        )
+        .unwrap();
+        let split = parse_schema(
+            "Bug1 -> descr::Literal, reportedBy::User1, related::Bug1*, related::Bug2*\n\
+             Bug2 -> descr::Literal, reportedBy::User2, related::Bug1*, related::Bug2*\n\
+             User1 -> name::Literal\n\
+             User2 -> name::Literal, email::Literal\n",
+        )
+        .unwrap();
+        let answer = quick_engine().shex0(&original, &split);
+        assert!(answer.is_unknown());
+        match answer.unknown_reason().unwrap() {
+            UnknownReason::BudgetExhausted { candidates, depth } => {
+                assert!(*candidates > 0);
+                assert_eq!(*depth, SearchOptions::quick().max_depth);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+}

@@ -22,8 +22,7 @@ use shapex_rbe::Bag;
 use shapex_shex::typing::{neighbourhood_satisfies, EdgeSummary};
 use shapex_shex::{Atom, Schema, TypeId};
 
-use crate::shex0::shex0_containment;
-use crate::unfold::{all_bags, search_counter_example, SearchOptions};
+use crate::unfold::{all_bags, SearchOptions};
 use crate::Containment;
 
 /// Number of neighbourhood bags per type definition beyond which the
@@ -36,18 +35,24 @@ pub type GeneralOptions = SearchOptions;
 
 /// Decide `L(H) ⊆ L(K)` for arbitrary ShEx schemas (best effort).
 ///
-/// Delegates to [`shex0_containment`] when both schemas are RBE₀.
+/// Delegates to the ShEx₀ procedure when both schemas are RBE₀. This is the
+/// one-shot entry point: it runs through a throwaway
+/// [`crate::engine::ContainmentEngine`]; callers issuing many queries over
+/// the same schemas should hold an engine (or use
+/// [`crate::engine::ContainmentEngine::check_matrix`]) so shape graphs,
+/// unfolding pools, and validation verdicts are shared across queries.
 pub fn general_containment(h: &Schema, k: &Schema, options: &GeneralOptions) -> Containment {
-    if h.is_rbe0() && k.is_rbe0() {
-        return shex0_containment(h, k, options);
-    }
-    if type_simulation_holds(h, k, options) {
-        return Containment::Contained;
-    }
-    if let Some(witness) = search_counter_example(h, k, options) {
-        return Containment::not_contained(witness);
-    }
-    Containment::Unknown
+    crate::engine::ContainmentEngine::with_search(options.clone()).general(h, k)
+}
+
+/// The exhaustive per-type bag enumeration backing the sufficient check:
+/// `Some(bags)` with one complete `L(δ_H(t))` listing per type, or `None`
+/// when some definition's language is infinite or larger than
+/// [`EXHAUSTIVE_BAG_LIMIT`] (the check is then not attempted).
+pub(crate) fn exhaustive_bags(h: &Schema) -> Option<Vec<Vec<Bag<Atom>>>> {
+    h.types()
+        .map(|t| all_bags(h.def(t), EXHAUSTIVE_BAG_LIMIT))
+        .collect()
 }
 
 /// A sufficient condition for containment generalizing embeddings to
@@ -58,19 +63,15 @@ pub fn general_containment(h: &Schema, k: &Schema, options: &GeneralOptions) -> 
 ///
 /// When this holds, any graph valid w.r.t. `H` can have its `H`-typing
 /// translated through `R` into a `K`-typing, so `L(H) ⊆ L(K)`. The condition
-/// is not necessary (like embeddings, Figure 4). Soundness requires the bag
-/// enumeration of each `δ_H(t)` to be *exhaustive*, so the check is only
-/// attempted when every definition's language is finite and small
-/// ([`all_bags`] succeeds within [`EXHAUSTIVE_BAG_LIMIT`]); otherwise we fall
-/// through to the search phase.
-fn type_simulation_holds(h: &Schema, k: &Schema, _options: &SearchOptions) -> bool {
-    let Some(bags_per_type): Option<Vec<Vec<Bag<Atom>>>> = h
-        .types()
-        .map(|t| all_bags(h.def(t), EXHAUSTIVE_BAG_LIMIT))
-        .collect()
-    else {
-        return false;
-    };
+/// is not necessary (like embeddings, Figure 4). Soundness requires
+/// `bags_per_type` to be the *exhaustive* enumeration produced by
+/// [`exhaustive_bags`] for `h` — the engine caches that enumeration per
+/// schema so a batch of `K`-partners shares one computation.
+pub(crate) fn type_simulation_with_bags(
+    h: &Schema,
+    bags_per_type: &[Vec<Bag<Atom>>],
+    k: &Schema,
+) -> bool {
     let mut relation: Vec<BTreeSet<TypeId>> = h
         .types()
         .map(|_| k.types().collect::<BTreeSet<TypeId>>())

@@ -45,10 +45,49 @@ use shapex_graph::Graph;
 pub mod baseline;
 pub mod det;
 pub mod embedding;
+pub mod engine;
 pub mod general;
 pub mod shex0;
 pub mod simulation;
 pub mod unfold;
+
+/// Why a procedure answered [`Containment::Unknown`].
+///
+/// The enum is `#[non_exhaustive]`: future engines may report further
+/// reasons (e.g. a wall-clock timeout), so downstream matches need a
+/// catch-all arm. Construct values through the
+/// [`Containment::budget_exhausted`] / [`Containment::not_supported`]
+/// helpers.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The counter-example search ran out of budget: it examined
+    /// `candidates` candidate graphs up to unfolding depth `depth` without
+    /// finding a witness, and the sufficient conditions did not apply.
+    BudgetExhausted {
+        /// Candidate member graphs validated against the right-hand schema.
+        candidates: usize,
+        /// The configured maximum unfolding depth of the search.
+        depth: usize,
+    },
+    /// The procedure could not explore the instance at all — the search
+    /// produced no candidate members within the budget (for example every
+    /// unfolding dies on a mandatory cycle), so no evidence in either
+    /// direction was gathered.
+    NotSupported,
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownReason::BudgetExhausted { candidates, depth } => write!(
+                f,
+                "budget exhausted after {candidates} candidates at depth {depth}"
+            ),
+            UnknownReason::NotSupported => write!(f, "no applicable procedure for this input"),
+        }
+    }
+}
 
 /// The answer of a containment check `L(H) ⊆ L(K)`.
 ///
@@ -63,14 +102,26 @@ pub enum Containment {
     /// Containment does not hold; the graph is a certified counter-example
     /// (it satisfies `H` and violates `K`).
     NotContained(Box<Graph>),
-    /// The procedure's budget was exhausted before reaching a sound answer.
-    Unknown,
+    /// The procedure gave up before reaching a sound answer; the reason says
+    /// whether the budget ran out mid-search or no search was possible.
+    Unknown(UnknownReason),
 }
 
 impl Containment {
     /// A `NotContained` answer carrying the given counter-example.
     pub fn not_contained(witness: Graph) -> Containment {
         Containment::NotContained(Box::new(witness))
+    }
+
+    /// An `Unknown` answer whose search exhausted its budget after examining
+    /// `candidates` candidate graphs up to depth `depth`.
+    pub fn budget_exhausted(candidates: usize, depth: usize) -> Containment {
+        Containment::Unknown(UnknownReason::BudgetExhausted { candidates, depth })
+    }
+
+    /// An `Unknown` answer for inputs the procedure could not explore at all.
+    pub fn not_supported() -> Containment {
+        Containment::Unknown(UnknownReason::NotSupported)
     }
 
     /// Whether the answer is `Contained`.
@@ -81,6 +132,19 @@ impl Containment {
     /// Whether the answer is `NotContained`.
     pub fn is_not_contained(&self) -> bool {
         matches!(self, Containment::NotContained(_))
+    }
+
+    /// Whether the answer is `Unknown` (for any reason).
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Containment::Unknown(_))
+    }
+
+    /// The reason, if the answer is `Unknown`.
+    pub fn unknown_reason(&self) -> Option<&UnknownReason> {
+        match self {
+            Containment::Unknown(reason) => Some(reason),
+            _ => None,
+        }
     }
 
     /// The counter-example, if the answer is `NotContained`.
@@ -103,7 +167,7 @@ impl fmt::Display for Containment {
                     g.node_count()
                 )
             }
-            Containment::Unknown => write!(f, "unknown (budget exhausted)"),
+            Containment::Unknown(reason) => write!(f, "unknown ({reason})"),
         }
     }
 }

@@ -17,10 +17,7 @@
 
 use shapex_shex::Schema;
 
-use crate::det::characterizing_graph;
-use crate::embedding::embeds;
-use crate::general::general_containment;
-use crate::unfold::{search_counter_example, SearchOptions};
+use crate::unfold::SearchOptions;
 use crate::Containment;
 
 /// Budget options for [`shex0_containment`].
@@ -29,32 +26,15 @@ pub type Shex0Options = SearchOptions;
 /// Decide `L(H) ⊆ L(K)` for `ShEx₀` schemas (best effort; see the module
 /// documentation for the exact completeness guarantees).
 ///
-/// Falls back to [`general_containment`] when either schema is not RBE₀.
+/// Falls back to the general procedure when either schema is not RBE₀.
+///
+/// This is the one-shot entry point: it runs through a throwaway
+/// [`crate::engine::ContainmentEngine`] (embedding between the cached shape
+/// graphs first, then the `DetShEx₀⁻` characterizing-graph shortcut, then
+/// the pooled counter-example search). Callers issuing many queries over the
+/// same schemas should hold an engine so those caches survive across calls.
 pub fn shex0_containment(h: &Schema, k: &Schema, options: &Shex0Options) -> Containment {
-    if !h.is_rbe0() || !k.is_rbe0() {
-        return general_containment(h, k, options);
-    }
-    let hg = h.to_shape_graph().expect("RBE0 schema has a shape graph");
-    let kg = k.to_shape_graph().expect("RBE0 schema has a shape graph");
-
-    // Sufficient condition: an embedding between the shape graphs.
-    if embeds(&hg, &kg).is_some() {
-        return Containment::Contained;
-    }
-
-    // For DetShEx0- the embedding is also necessary (Corollary 4.3): the
-    // characterizing graph is a certified counter-example.
-    if h.is_det_shex0_minus() && k.is_det_shex0_minus() {
-        let witness = characterizing_graph(h).expect("checked DetShEx0-");
-        return Containment::not_contained(witness);
-    }
-
-    // Bounded counter-example search; any hit is certified by construction
-    // (`search_counter_example` re-validates against both schemas).
-    if let Some(witness) = search_counter_example(h, k, options) {
-        return Containment::not_contained(witness);
-    }
-    Containment::Unknown
+    crate::engine::ContainmentEngine::with_search(options.clone()).shex0(h, k)
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use shapex_graph::Graph;
+use shapex_graph::{Graph, Label};
 use shapex_rbe::{Bag, Interval, Rbe};
 use shapex_shex::typing::validates;
 use shapex_shex::{Atom, Schema, TypeId};
@@ -69,8 +69,12 @@ impl SearchOptions {
 pub struct Tree {
     /// The type this node instantiates.
     pub type_id: TypeId,
-    /// Outgoing edges: predicate label text and the unfolded child.
-    pub children: Vec<(String, Tree)>,
+    /// Outgoing edges: interned predicate label and the unfolded child.
+    ///
+    /// The labels are clones of the schema's interned atom labels (one
+    /// `Arc<str>` per distinct predicate), so building trees and converting
+    /// them to graphs allocates no label text per edge.
+    pub children: Vec<(Label, Tree)>,
 }
 
 impl Tree {
@@ -97,7 +101,7 @@ impl Tree {
         *counter += 1;
         for (label, child) in &self.children {
             let child_id = child.add_to(graph, schema, counter);
-            graph.add_edge(id, label.as_str(), child_id);
+            graph.add_edge(id, label.clone(), child_id);
         }
         id
     }
@@ -298,6 +302,19 @@ fn repetition_counts(interval: Interval) -> Vec<u64> {
 /// leaves are "closed" (every type at the frontier admits the empty bag) are
 /// produced, so every returned tree's graph belongs to `L(schema)`.
 pub fn enumerate_members(schema: &Schema, root: TypeId, options: &SearchOptions) -> Vec<Graph> {
+    enumerate_members_with(schema, root, options, &mut |g| validates(g, schema))
+}
+
+/// [`enumerate_members`] with the member-validation step injected, so the
+/// engine can route it through its verdict memo while sharing this exact
+/// filter/cap logic (the engine's answer-equivalence with the baseline
+/// depends on there being only one copy of it).
+pub(crate) fn enumerate_members_with(
+    schema: &Schema,
+    root: TypeId,
+    options: &SearchOptions,
+    is_member: &mut dyn FnMut(&Graph) -> bool,
+) -> Vec<Graph> {
     let mut graphs = Vec::new();
     let trees = enumerate_trees(schema, root, options.max_depth, options);
     for tree in trees {
@@ -305,7 +322,7 @@ pub fn enumerate_members(schema: &Schema, root: TypeId, options: &SearchOptions)
             continue;
         }
         let graph = tree.to_graph(schema);
-        if validates(&graph, schema) {
+        if is_member(&graph) {
             graphs.push(graph);
         }
         if graphs.len() >= options.max_candidates {
@@ -324,7 +341,7 @@ fn enumerate_trees(schema: &Schema, t: TypeId, depth: usize, options: &SearchOpt
         }
         // For every atom occurrence, enumerate child trees; combine by taking
         // the cartesian product capped at max_trees.
-        let mut combos: Vec<Vec<(String, Tree)>> = vec![Vec::new()];
+        let mut combos: Vec<Vec<(Label, Tree)>> = vec![Vec::new()];
         let mut dead = false;
         for (atom, count) in bag.iter() {
             let child_trees =
@@ -338,7 +355,7 @@ fn enumerate_trees(schema: &Schema, t: TypeId, depth: usize, options: &SearchOpt
                 for prefix in &combos {
                     for child in child_trees.iter().take(4) {
                         let mut extended = prefix.clone();
-                        extended.push((atom.label.to_string(), child.clone()));
+                        extended.push((atom.label.clone(), child.clone()));
                         next.push(extended);
                         if next.len() >= options.max_trees {
                             break;
@@ -376,9 +393,22 @@ pub fn sample_member(
     rng: &mut StdRng,
     options: &SearchOptions,
 ) -> Option<Graph> {
+    sample_member_with(schema, root, rng, options, &mut |g| validates(g, schema))
+}
+
+/// [`sample_member`] with the member-validation step injected (see
+/// [`enumerate_members_with`]). The RNG consumption is identical regardless
+/// of the callback, so pooled and baseline searches draw the same samples.
+pub(crate) fn sample_member_with(
+    schema: &Schema,
+    root: TypeId,
+    rng: &mut StdRng,
+    options: &SearchOptions,
+    is_member: &mut dyn FnMut(&Graph) -> bool,
+) -> Option<Graph> {
     let tree = sample_tree(schema, root, options.max_depth + 2, rng, options, &mut 0)?;
     let graph = tree.to_graph(schema);
-    if graph.node_count() <= options.max_graph_nodes && validates(&graph, schema) {
+    if graph.node_count() <= options.max_graph_nodes && is_member(&graph) {
         Some(graph)
     } else {
         None
@@ -418,7 +448,7 @@ fn sample_tree(
                 options,
                 nodes,
             )?;
-            children.push((atom.label.to_string(), child));
+            children.push((atom.label.clone(), child));
         }
     }
     Some(Tree {
@@ -430,41 +460,16 @@ fn sample_tree(
 /// Search for a counter-example to `L(h) ⊆ L(k)`: a graph that validates
 /// against `h` but not against `k`. Systematic unfoldings are tried first,
 /// then randomized ones. Any returned graph is certified by re-validation.
+///
+/// This is the one-shot entry point: it runs through a throwaway
+/// [`crate::engine::ContainmentEngine`], so a single call already reuses
+/// unfolding pools and validation verdicts across the depth-cumulative
+/// enumeration. Callers issuing many queries over the same schemas should
+/// hold an engine instead. The candidate order (and therefore the returned
+/// witness) is that of [`crate::baseline::search_counter_example_baseline`],
+/// the retained memo-free reference.
 pub fn search_counter_example(h: &Schema, k: &Schema, options: &SearchOptions) -> Option<Graph> {
-    let mut examined = 0usize;
-    // Systematic phase.
-    for root in h.types() {
-        for depth in 1..=options.max_depth {
-            let scoped = SearchOptions {
-                max_depth: depth,
-                ..options.clone()
-            };
-            for graph in enumerate_members(h, root, &scoped) {
-                examined += 1;
-                if examined > options.max_candidates {
-                    break;
-                }
-                if !validates(&graph, k) {
-                    return Some(graph);
-                }
-            }
-        }
-    }
-    // Randomized phase.
-    let mut rng = StdRng::seed_from_u64(options.seed);
-    let roots: Vec<TypeId> = h.types().collect();
-    if roots.is_empty() {
-        return None;
-    }
-    for _ in 0..options.random_samples {
-        let root = roots[rng.gen_range(0..roots.len())];
-        if let Some(graph) = sample_member(h, root, &mut rng, options) {
-            if !validates(&graph, k) {
-                return Some(graph);
-            }
-        }
-    }
-    None
+    crate::engine::ContainmentEngine::with_search(options.clone()).counter_example(h, k)
 }
 
 #[cfg(test)]
@@ -511,6 +516,49 @@ mod tests {
         // Both the with-tag and without-tag items appear somewhere.
         assert!(graphs.iter().any(|g| g.edge_count() >= 2));
         assert!(graphs.iter().any(|g| g.node_count() == 1), "the empty Root");
+    }
+
+    #[test]
+    fn trees_carry_the_schema_interned_labels() {
+        let schema =
+            parse_schema("Root -> children::Item*\nItem -> tag::Leaf?\nLeaf -> EMPTY\n").unwrap();
+        let root = schema.find_type("Root").unwrap();
+        let item = schema.find_type("Item").unwrap();
+        let schema_label = schema.def(root).to_rbe0().unwrap().atoms()[0]
+            .0
+            .label
+            .clone();
+        let trees = enumerate_trees(&schema, root, 2, &SearchOptions::quick());
+        let mut edges_seen = 0;
+        for tree in &trees {
+            for (label, _) in &tree.children {
+                assert!(
+                    label.ptr_eq(&schema_label),
+                    "tree edges must share the schema's label allocation"
+                );
+                edges_seen += 1;
+            }
+            // And the graphs built from the trees adopt the allocation: no
+            // label text is copied per edge in `to_graph`.
+            let g = tree.to_graph(&schema);
+            for e in g.edges() {
+                if g.label(e).as_str() == "children" {
+                    assert!(g.label(e).ptr_eq(&schema_label));
+                }
+            }
+        }
+        assert!(edges_seen > 0, "some tree has a children edge");
+        // Sampled trees go through the same path.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            if let Some(tree) =
+                sample_tree(&schema, item, 2, &mut rng, &SearchOptions::quick(), &mut 0)
+            {
+                for (label, _) in &tree.children {
+                    assert_eq!(label.as_str(), "tag");
+                }
+            }
+        }
     }
 
     #[test]

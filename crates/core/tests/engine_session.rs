@@ -1,0 +1,268 @@
+//! Session-equivalence property suite: the memoising
+//! `ContainmentEngine` must answer exactly like the stateless paper
+//! pipeline on random schema pairs — same verdicts *and* same witnesses —
+//! whether the engine is cold, warm (second identical query), or running
+//! its parallel candidate fan-out; and `check_matrix` must equal the N²
+//! individual calls.
+//!
+//! The oracle is built from the retained memo-free pieces: `embeds` between
+//! shape graphs, the `DetShEx₀⁻` characterizing-graph shortcut, and
+//! `baseline::search_counter_example_baseline` (the original pooling-free
+//! search), assembled exactly like `shex0_containment` before the engine
+//! existed.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shapex_core::baseline::search_counter_example_baseline;
+use shapex_core::det::characterizing_graph;
+use shapex_core::embedding::embeds;
+use shapex_core::engine::{ContainmentEngine, EngineOptions};
+use shapex_core::general::general_containment;
+use shapex_core::shex0::shex0_containment;
+use shapex_core::unfold::SearchOptions;
+use shapex_core::{Containment, UnknownReason};
+use shapex_graph::generate::GraphGen;
+use shapex_graph::Graph;
+use shapex_shex::{parse_schema, Schema};
+
+/// A small budget keeping each random case fast; equivalence must hold for
+/// any budget, so tightness costs no coverage.
+fn tiny() -> SearchOptions {
+    SearchOptions {
+        max_depth: 2,
+        max_bags: 6,
+        max_trees: 8,
+        max_graph_nodes: 40,
+        max_candidates: 120,
+        random_samples: 30,
+        ..SearchOptions::default()
+    }
+}
+
+/// A structural rendering for witness comparison (node names are irrelevant
+/// to validation, but the engine must return the *identical* candidate, so
+/// names are included).
+fn graph_key(g: &Graph) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for n in g.nodes() {
+        let _ = writeln!(s, "{}", g.node_name(n));
+    }
+    for e in g.edges() {
+        let _ = writeln!(
+            s,
+            "{} -{}-> {}",
+            g.node_name(g.source(e)),
+            g.label(e),
+            g.node_name(g.target(e))
+        );
+    }
+    s
+}
+
+fn same_answer(a: &Containment, b: &Containment) -> bool {
+    match (a, b) {
+        (Containment::Contained, Containment::Contained) => true,
+        (Containment::NotContained(x), Containment::NotContained(y)) => {
+            graph_key(x) == graph_key(y)
+        }
+        (Containment::Unknown(x), Containment::Unknown(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// The ShEx₀ pipeline exactly as the paper (and the pre-engine code) runs
+/// it, over the memo-free baseline search.
+fn shex0_oracle(h: &Schema, k: &Schema, options: &SearchOptions) -> Containment {
+    assert!(h.is_rbe0() && k.is_rbe0(), "oracle is for ShEx0 pairs");
+    let hg = h.to_shape_graph().expect("RBE0 schema has a shape graph");
+    let kg = k.to_shape_graph().expect("RBE0 schema has a shape graph");
+    if embeds(&hg, &kg).is_some() {
+        return Containment::Contained;
+    }
+    if h.is_det_shex0_minus() && k.is_det_shex0_minus() {
+        let witness = characterizing_graph(h).expect("checked DetShEx0-");
+        return Containment::not_contained(witness);
+    }
+    match search_counter_example_baseline(h, k, options) {
+        Some(witness) => Containment::not_contained(witness),
+        None => Containment::budget_exhausted(0, 0), // reason checked separately
+    }
+}
+
+/// Assert every engine configuration agrees with the oracle on a pair.
+fn engines_agree(h: &Schema, k: &Schema) {
+    let opts = tiny();
+    let oracle = shex0_oracle(h, k, &opts);
+    let one_shot = shex0_containment(h, k, &opts);
+
+    // One-shot wrapper (throwaway engine) vs. the memo-free pipeline: the
+    // verdict and, for NotContained, the exact witness must match. Unknown
+    // reasons are engine-side information the oracle does not model, so they
+    // are compared by variant only.
+    match (&oracle, &one_shot) {
+        (Containment::Unknown(_), Containment::Unknown(_)) => {}
+        _ => assert!(
+            same_answer(&oracle, &one_shot),
+            "one-shot disagrees with the memo-free oracle:\n  oracle: {oracle}\n  engine: {one_shot}"
+        ),
+    }
+
+    // A shared session answering the query twice: the warm pass must reuse
+    // pools/memos and still answer identically.
+    let mut session = ContainmentEngine::with_search(opts.clone());
+    let cold = session.shex0(h, k);
+    let misses_after_cold = session.stats().validate_misses;
+    let warm = session.shex0(h, k);
+    assert!(same_answer(&cold, &warm), "warm session changed its answer");
+    assert_eq!(
+        session.stats().validate_misses,
+        misses_after_cold,
+        "warm session re-validated a candidate"
+    );
+    assert!(
+        same_answer(&one_shot, &cold),
+        "session disagrees with one-shot"
+    );
+
+    // The parallel fan-out must not change anything.
+    let parallel_opts = EngineOptions {
+        search: opts,
+        threads: 3,
+        parallel_threshold: 1,
+    };
+    let parallel = ContainmentEngine::with_options(parallel_opts).shex0(h, k);
+    assert!(
+        same_answer(&cold, &parallel),
+        "parallel candidate search changed the answer"
+    );
+}
+
+/// Random RBE₀ schemas via random shape graphs (Proposition 3.2): the
+/// round-trip gives schemas with the full basic-interval mix (`1 ? * +`),
+/// many outside `DetShEx₀⁻`, so all three pipeline stages get exercised.
+fn random_schema(rng: &mut StdRng, nodes: usize, labels: usize) -> Schema {
+    let shape = GraphGen::new(nodes, labels).out_degree(2.0).shape(rng);
+    Schema::from_shape_graph(&shape)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_matches_oracle_on_random_pairs(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random_schema(&mut rng, 5, 3);
+        let k = random_schema(&mut rng, 4, 3);
+        engines_agree(&h, &k);
+        engines_agree(&k, &h);
+        // Reflexive pairs resolve via embedding — the memoised fast path.
+        engines_agree(&h, &h);
+    }
+
+    #[test]
+    fn pooled_search_matches_baseline_search(seed in 0u64..100_000) {
+        // The raw search entry point: same witness (or same absence), not
+        // just the same verdict.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random_schema(&mut rng, 4, 2);
+        let k = random_schema(&mut rng, 4, 2);
+        let opts = tiny();
+        let baseline = search_counter_example_baseline(&h, &k, &opts);
+        let pooled = ContainmentEngine::with_search(opts.clone()).counter_example(&h, &k);
+        match (&baseline, &pooled) {
+            (None, None) => {}
+            (Some(b), Some(p)) => prop_assert_eq!(graph_key(b), graph_key(p)),
+            _ => prop_assert!(false, "baseline {:?} vs pooled {:?}", baseline.is_some(), pooled.is_some()),
+        }
+    }
+}
+
+#[test]
+fn check_matrix_equals_individual_calls() {
+    // A mixed family: DetShEx0-, plain ShEx0 (+ intervals), non-deterministic
+    // ShEx0, and full ShEx (disjunction) — every dispatch route of `check`.
+    let texts = [
+        "T -> p::L?\nL -> EMPTY\n",
+        "T -> p::L*\nL -> EMPTY\n",
+        "T -> p::L+\nL -> EMPTY\n",
+        "T -> p::L, p::L?\nL -> EMPTY\n",
+        "T -> p::L | (p::L, p::L)\nL -> EMPTY\n",
+    ];
+    let schemas: Vec<Schema> = texts.iter().map(|t| parse_schema(t).unwrap()).collect();
+    let opts = tiny();
+    let matrix = ContainmentEngine::with_search(opts.clone()).check_matrix(&schemas);
+    assert_eq!(matrix.len(), schemas.len());
+    for (i, row) in matrix.iter().enumerate() {
+        assert_eq!(row.len(), schemas.len());
+        for (j, cell) in row.iter().enumerate() {
+            // N² individual calls through fresh sessions...
+            let fresh =
+                ContainmentEngine::with_search(opts.clone()).check(&schemas[i], &schemas[j]);
+            assert!(
+                same_answer(cell, &fresh),
+                "matrix[{i}][{j}] = {cell} but a fresh session answers {fresh}"
+            );
+            // ...and through the public one-shot function.
+            let one_shot = general_containment(&schemas[i], &schemas[j], &opts);
+            assert!(
+                same_answer(cell, &one_shot),
+                "matrix[{i}][{j}] = {cell} but general_containment answers {one_shot}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unknown_reasons_distinguish_exhaustion_from_unexplorable_inputs() {
+    let opts = tiny();
+    // Contained non-deterministic pair without an embedding: every candidate
+    // validates against k, so the budget runs dry with a positive count.
+    let g = parse_schema("G -> a::Leaf*, b::Leaf*\nLeaf -> EMPTY\n").unwrap();
+    let h = parse_schema(
+        "H0 -> a::Leaf*\nH1 -> a::Leaf*, b::Leaf\nH2 -> a::Leaf*, b::Leaf, b::Leaf*\nLeaf -> EMPTY\n",
+    )
+    .unwrap();
+    let exhausted = shex0_containment(&g, &h, &opts);
+    match exhausted.unknown_reason() {
+        Some(UnknownReason::BudgetExhausted { candidates, depth }) => {
+            assert!(*candidates > 0);
+            assert_eq!(*depth, opts.max_depth);
+        }
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    // Mandatory cycles everywhere (and a duplicated label keeping the pair
+    // off the DetShEx0- shortcut): no type has a finite unfolding, so the
+    // search inspects zero candidates. (`L(h)` still contains cyclic graphs
+    // the unfolding search cannot reach, hence Unknown rather than
+    // Contained.)
+    let looped = parse_schema("T -> p::T, p::U\nU -> q::T\n").unwrap();
+    let incomparable = parse_schema("T -> z::T\n").unwrap();
+    let unexplorable = shex0_containment(&looped, &incomparable, &opts);
+    assert_eq!(
+        unexplorable.unknown_reason(),
+        Some(&UnknownReason::NotSupported),
+        "a searchless give-up must say NotSupported, got {unexplorable}"
+    );
+}
+
+#[test]
+fn session_reuses_pools_across_partners() {
+    // The batch-workload claim behind check_matrix: h's unfolding pools are
+    // built for the first partner and only *hit* for the second.
+    let h = parse_schema("Root -> p::A, p::B\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
+    let k1 = parse_schema("Root -> p::A, p::A\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
+    let k2 = parse_schema("Root -> p::B, p::B\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
+    let mut session = ContainmentEngine::with_search(tiny());
+    let _ = session.shex0(&h, &k1);
+    let built_after_first = session.stats().pools_built;
+    assert!(built_after_first > 0);
+    let _ = session.shex0(&h, &k2);
+    assert_eq!(
+        session.stats().pools_built,
+        built_after_first,
+        "the second partner must reuse h's pools"
+    );
+}

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::OnceLock;
 
 use shapex_graph::{Graph, Label, LabelTable, NodeId};
 use shapex_rbe::{Interval, Rbe, Rbe0};
@@ -58,6 +59,16 @@ struct TypeDef {
     expr: ShapeExpr,
 }
 
+/// Lazily computed, structure-derived facts about a schema. Every mutating
+/// method resets the whole struct, so a populated cell is always consistent
+/// with the current definitions. Cloning a schema carries warm caches along
+/// (they describe the same definitions).
+#[derive(Debug, Clone, Default)]
+struct SchemaCaches {
+    class: OnceLock<SchemaClass>,
+    shape_graph: OnceLock<Option<Graph>>,
+}
+
 /// Classification of a schema into the fragments studied in the paper,
 /// ordered from most to least restrictive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -98,6 +109,7 @@ pub struct Schema {
     types: Vec<TypeDef>,
     by_name: BTreeMap<String, TypeId>,
     labels: LabelTable,
+    caches: SchemaCaches,
 }
 
 impl Schema {
@@ -133,6 +145,7 @@ impl Schema {
             name,
             expr: Rbe::Epsilon,
         });
+        self.caches = SchemaCaches::default();
         id
     }
 
@@ -157,6 +170,7 @@ impl Schema {
     /// Set the definition of a type.
     pub fn define(&mut self, t: TypeId, expr: ShapeExpr) {
         self.types[t.index()].expr = expr;
+        self.caches = SchemaCaches::default();
     }
 
     /// The definition `δ_S(t)` of a type.
@@ -168,6 +182,41 @@ impl Schema {
     /// the schema share one allocation per distinct predicate.
     pub fn intern_label(&mut self, name: &str) -> Label {
         self.labels.intern(name)
+    }
+
+    /// Re-intern every atom label of the schema through `table`, adopting the
+    /// table's allocation for each distinct predicate (and registering
+    /// predicates the table has not seen).
+    ///
+    /// After the call, atoms of this schema share allocations with every
+    /// other schema adopted into the same table — the session-wide label
+    /// sharing `shapex_core::engine::ContainmentEngine` performs at
+    /// registration. The definitions are unchanged content-wise (labels
+    /// compare by content), so the derived-fact caches stay valid.
+    pub fn adopt_labels(&mut self, table: &mut LabelTable) {
+        fn walk(expr: &mut ShapeExpr, table: &mut LabelTable, own: &mut LabelTable) {
+            match expr {
+                Rbe::Epsilon => {}
+                Rbe::Symbol(atom) => {
+                    let canonical = table.adopt(&atom.label);
+                    own.adopt(&canonical);
+                    atom.label = canonical;
+                }
+                Rbe::Disj(parts) | Rbe::Concat(parts) => {
+                    for p in parts {
+                        walk(p, table, own);
+                    }
+                }
+                Rbe::Repeat(inner, _) => walk(inner, table, own),
+            }
+        }
+        // The schema's own table re-adopts the canonical allocations so
+        // later `intern_label` calls hand them out too.
+        let mut own = LabelTable::new();
+        for def in &mut self.types {
+            walk(&mut def.expr, table, &mut own);
+        }
+        self.labels = own;
     }
 
     /// Convenience: add a type with an RBE₀ definition given as
@@ -355,6 +404,26 @@ impl Schema {
         } else {
             SchemaClass::DetShEx0
         }
+    }
+
+    /// [`Schema::classify`] computed once and cached until the next mutation.
+    ///
+    /// Classification walks every definition (determinism, `+` usage, the
+    /// `*`-closure fixpoint of Definition 4.1), so query-session layers such
+    /// as `shapex_core::engine::ContainmentEngine` that dispatch on the class
+    /// for every pair should use this accessor instead of re-deriving it.
+    pub fn classify_cached(&self) -> SchemaClass {
+        *self.caches.class.get_or_init(|| self.classify())
+    }
+
+    /// [`Schema::to_shape_graph`] computed once and cached until the next
+    /// mutation. `None` is cached too: a schema that is not RBE₀ stays that
+    /// way until redefined.
+    pub fn shape_graph_cached(&self) -> Option<&Graph> {
+        self.caches
+            .shape_graph
+            .get_or_init(|| self.to_shape_graph())
+            .as_ref()
     }
 
     /// Convert a `ShEx(RBE0)` schema to its shape graph (Proposition 3.2):
@@ -668,6 +737,35 @@ mod tests {
         let n1 = back.def(u2).to_rbe0().unwrap().atoms()[0].0.label.clone();
         let n2 = back.def(e2).to_rbe0().unwrap().atoms()[0].0.label.clone();
         assert!(n1.ptr_eq(&n2));
+    }
+
+    #[test]
+    fn cached_accessors_track_mutations() {
+        let mut s = bug_tracker();
+        assert_eq!(s.classify_cached(), SchemaClass::DetShEx0Minus);
+        assert_eq!(s.classify_cached(), s.classify());
+        let g = s.shape_graph_cached().expect("RBE0 schema").clone();
+        assert_eq!(g.edge_count(), 8);
+        // A clone carries the warm cache but stays independently mutable.
+        let cloned = s.clone();
+        assert_eq!(cloned.classify_cached(), SchemaClass::DetShEx0Minus);
+        // Redefining a type invalidates both caches.
+        let bug = s.find_type("Bug").unwrap();
+        let user = s.find_type("User").unwrap();
+        s.define(
+            bug,
+            Rbe::disj(vec![
+                Rbe::symbol(Atom::new("descr", user)),
+                Rbe::symbol(Atom::new("summary", user)),
+            ]),
+        );
+        assert_eq!(s.classify_cached(), SchemaClass::ShEx);
+        assert!(s.shape_graph_cached().is_none());
+        // Adding a type also resets (the type table changed).
+        let mut s2 = bug_tracker();
+        assert_eq!(s2.shape_graph_cached().unwrap().node_count(), 4);
+        s2.add_type("Extra");
+        assert_eq!(s2.shape_graph_cached().unwrap().node_count(), 5);
     }
 
     #[test]

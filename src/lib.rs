@@ -29,10 +29,11 @@ pub mod prelude {
         baseline::enumerate_counter_example,
         det::{characterizing_graph, det_containment},
         embedding::{embeds, max_simulation, Embedding},
+        engine::{ContainmentEngine, EngineOptions, EngineStats, SchemaId},
         general::{general_containment, GeneralOptions},
         shex0::{shex0_containment, Shex0Options},
         simulation::{max_simulation_with, Simulation, SimulationOptions},
-        Containment,
+        Containment, UnknownReason,
     };
     pub use shapex_gadgets::figures;
     pub use shapex_graph::{Graph, GraphKind, Label, LabelId, LabelTable, NodeId};
