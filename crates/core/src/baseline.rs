@@ -96,7 +96,9 @@ fn has_witness(
 /// Retained verbatim as the answer oracle for the session-layer search of
 /// [`crate::engine::ContainmentEngine`]: the engine must examine the same
 /// candidates in the same order, so both return the same witness (or both
-/// return `None`). Production callers should use
+/// return `None`) — a property the `engine_session` *and* the
+/// `engine_concurrency` suites assert, the latter against serial, warm,
+/// and row-parallel shared-state sessions. Production callers should use
 /// [`crate::unfold::search_counter_example`] or hold an engine.
 pub fn search_counter_example_baseline(
     h: &Schema,

@@ -1,5 +1,5 @@
-//! `ContainmentEngine` — a memoising, parallel query session over the
-//! containment procedures.
+//! `ContainmentEngine` — a memoising, shared-state, parallel query session
+//! over the containment procedures.
 //!
 //! The decision procedures of this crate ([`crate::det`], [`crate::shex0`],
 //! [`crate::general`]) are exposed as stateless one-shot functions; called in
@@ -12,9 +12,9 @@
 //! * **Schema registry.** [`ContainmentEngine::register`] interns a schema by
 //!   a structural fingerprint and computes its [`SchemaClass`] and shape
 //!   graph once; the registered copy's atom labels are re-interned through
-//!   the engine's [`shapex_graph::LabelTable`], so every registered schema
-//!   (and every candidate graph unfolded from one) shares one allocation per
-//!   distinct predicate label.
+//!   the engine's [`shapex_graph::SharedLabelTable`], so every registered
+//!   schema (and every candidate graph unfolded from one) shares one
+//!   allocation per distinct predicate label.
 //! * **Per-schema caches.** The characterizing graph (Lemma 4.2), the
 //!   exhaustive per-type bag enumeration of the general sufficient check,
 //!   and the enumerated/sampled unfolding pools — keyed by `(type, depth)`
@@ -26,11 +26,32 @@
 //!   depth-cumulative systematic search re-encounters the same candidates at
 //!   every depth, so even a single one-shot query through a throwaway engine
 //!   validates each distinct candidate once.
+//!
+//! # Shared state and concurrency
+//!
+//! All of the above is logically read-mostly shared state — the procedures
+//! are pure functions over registered schemas — so every query method takes
+//! `&self`: the registry is an `RwLock`-guarded append-only vector of
+//! [`Arc`]ed entries, per-schema caches sit behind `OnceLock`s and
+//! `RwLock`ed maps inside each entry, pair memos live in sharded `RwLock`
+//! maps, the label table is a lock-free-read interner, and the
+//! [`EngineStats`] counters are atomics. A `ContainmentEngine` is therefore
+//! `Send + Sync` (compile-time asserted): wrap it in an `Arc` and query it
+//! from as many threads as you like — verdicts are deterministic, caches
+//! only ever fill in with deterministic values, and a race at worst computes
+//! a verdict twice before one copy wins the cache slot.
+//!
+//! Two parallel modes build on that:
+//!
 //! * **Parallel candidate search.** With [`EngineOptions::threads`] > 1 the
 //!   memoised validate-against-`K` step fans each uncached pool slice across
 //!   a `std::thread` worker pool (the same dependency-free scoped-thread
-//!   pattern as the simulation engine's initial pass). Verdicts are
-//!   deterministic, so the answers do not depend on the thread count.
+//!   pattern as the simulation engine's initial pass).
+//! * **Parallel matrix rows.** With [`EngineOptions::matrix_threads`] > 1,
+//!   [`ContainmentEngine::check_matrix`] fans its rows across a scoped
+//!   worker pool over the shared caches (row workers validate inline so the
+//!   two pools do not multiply). Verdicts are bit-identical to the serial
+//!   engine in either mode.
 //!
 //! The one-shot functions still exist and behave identically — they
 //! construct a throwaway engine — and the candidate order of the search is
@@ -43,20 +64,22 @@
 //!
 //! let v1 = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
 //! let v2 = parse_schema("T -> p::L*\nL -> EMPTY\n").unwrap();
-//! let mut engine = ContainmentEngine::new();
+//! let engine = ContainmentEngine::new();
 //! let matrix = engine.check_matrix(&[v1, v2]);
 //! assert!(matrix[0][1].is_contained(), "? widens to *");
 //! assert!(matrix[1][0].is_not_contained(), "* does not narrow to ?");
 //! ```
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use shapex_graph::{Graph, LabelTable};
+use shapex_graph::{Graph, SharedLabelTable};
 use shapex_rbe::Bag;
 use shapex_shex::typing::validates;
 use shapex_shex::{Atom, Schema, SchemaClass, TypeId};
@@ -66,6 +89,11 @@ use crate::embedding::embeds;
 use crate::general::{exhaustive_bags, type_simulation_with_bags};
 use crate::unfold::{enumerate_members_with, sample_member_with, SearchOptions};
 use crate::Containment;
+
+// The engine is shared across matrix-row workers, validation fan-outs, and
+// service clients by `&self` / `Arc`; this is the compile-time statement of
+// that contract (see the module docs).
+shapex_graph::assert_send_sync!(ContainmentEngine, EngineOptions, EngineStats, SchemaId);
 
 /// Tuning knobs for a [`ContainmentEngine`].
 #[derive(Debug, Clone)]
@@ -80,6 +108,12 @@ pub struct EngineOptions {
     /// Minimum number of uncached candidates in a pool slice before worker
     /// threads are actually spawned; below it the spawn overhead dominates.
     pub parallel_threshold: usize,
+    /// Worker threads for [`ContainmentEngine::check_matrix`] rows. `1`
+    /// computes the matrix on the calling thread; above it, rows are fanned
+    /// across a scoped pool sharing all caches (and the per-cell validation
+    /// fan-out is disabled so the two pools do not multiply). Answers do not
+    /// depend on this.
+    pub matrix_threads: usize,
 }
 
 impl Default for EngineOptions {
@@ -88,6 +122,7 @@ impl Default for EngineOptions {
             search: SearchOptions::default(),
             threads: 1,
             parallel_threshold: 16,
+            matrix_threads: 1,
         }
     }
 }
@@ -98,12 +133,17 @@ impl EngineOptions {
         EngineOptions::default()
     }
 
-    /// Use all available cores for candidate validation.
+    /// Use all available cores — for the candidate-validation fan-out of
+    /// single queries and for the matrix rows of
+    /// [`ContainmentEngine::check_matrix`] (which runs its cells with inline
+    /// validation, so the two pools never multiply).
     pub fn parallel() -> EngineOptions {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         EngineOptions {
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            threads: cores,
+            matrix_threads: cores,
             ..EngineOptions::default()
         }
     }
@@ -128,13 +168,23 @@ impl EngineOptions {
     pub fn with_search(self, search: SearchOptions) -> EngineOptions {
         EngineOptions { search, ..self }
     }
+
+    /// Replace the matrix-row worker count, keeping everything else.
+    pub fn with_matrix_threads(self, matrix_threads: usize) -> EngineOptions {
+        EngineOptions {
+            matrix_threads: matrix_threads.max(1),
+            ..self
+        }
+    }
 }
 
 /// A handle to a schema registered with a [`ContainmentEngine`].
 ///
 /// Handles are only meaningful for the engine that issued them; passing a
 /// handle to a different engine panics (out of range) or silently refers to
-/// whatever schema that engine registered under the same slot.
+/// whatever schema that engine registered under the same slot. Use
+/// [`ContainmentEngine::is_registered`] to range-check foreign handles at a
+/// service boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SchemaId(u32);
 
@@ -145,7 +195,10 @@ impl SchemaId {
 }
 
 /// Cache-effectiveness counters of a [`ContainmentEngine`], for diagnostics
-/// and tests. All counters are cumulative over the engine's lifetime.
+/// and tests: an immutable snapshot taken by [`ContainmentEngine::stats`]
+/// from the engine's internal atomics. All counters are cumulative over the
+/// engine's lifetime. The [`fmt::Display`] impl renders per-memo hit/miss
+/// ratios, the metrics line a service surfaces.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
     /// Distinct schemas registered.
@@ -156,22 +209,79 @@ pub struct EngineStats {
     pub validate_misses: u64,
     /// Shape-graph embedding verdicts answered from the memo.
     pub embed_hits: u64,
+    /// Shape-graph embedding verdicts actually computed.
+    pub embed_misses: u64,
     /// Unfolding pools (enumerated or sampled) answered from the cache.
     pub pool_hits: u64,
     /// Unfolding pools built.
     pub pools_built: u64,
 }
 
-/// A registered schema plus everything derived from it once.
-#[derive(Debug)]
-struct SchemaEntry {
-    schema: Schema,
-    class: SchemaClass,
-    /// Present iff the schema is RBE₀ (Proposition 3.2).
-    shape_graph: Option<Graph>,
-    /// The characterizing graph of Lemma 4.2, built on first demand
-    /// (`DetShEx₀⁻` schemas only).
-    characterizing: Option<Graph>,
+/// `hits / (hits + misses)` as a percentage, `0` when nothing was asked.
+fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / total as f64
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} schemas; validate memo {} hits / {} misses ({:.1}% hit); \
+             embed memo {} hits / {} misses ({:.1}% hit); \
+             pools {} hits / {} built ({:.1}% hit)",
+            self.schemas,
+            self.validate_hits,
+            self.validate_misses,
+            hit_rate(self.validate_hits, self.validate_misses),
+            self.embed_hits,
+            self.embed_misses,
+            hit_rate(self.embed_hits, self.embed_misses),
+            self.pool_hits,
+            self.pools_built,
+            hit_rate(self.pool_hits, self.pools_built),
+        )
+    }
+}
+
+/// The engine's live counters: atomics, so `&self` queries from any number
+/// of threads can tick them. [`ContainmentEngine::stats`] snapshots them
+/// into the public [`EngineStats`]. Relaxed ordering is enough — counters
+/// carry no synchronisation duty.
+#[derive(Debug, Default)]
+struct EngineCounters {
+    validate_hits: AtomicU64,
+    validate_misses: AtomicU64,
+    embed_hits: AtomicU64,
+    embed_misses: AtomicU64,
+    pool_hits: AtomicU64,
+    pools_built: AtomicU64,
+}
+
+impl EngineCounters {
+    fn tick(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, schemas: usize) -> EngineStats {
+        EngineStats {
+            schemas,
+            validate_hits: self.validate_hits.load(Ordering::Relaxed),
+            validate_misses: self.validate_misses.load(Ordering::Relaxed),
+            embed_hits: self.embed_hits.load(Ordering::Relaxed),
+            embed_misses: self.embed_misses.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pools_built: self.pools_built.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// An immutable, shareable pool of candidate member graphs.
@@ -185,6 +295,80 @@ type ValidateMemo = BTreeMap<String, bool>;
 /// definition's language is infinite or too large, so the sufficient check
 /// is never attempted for it).
 type CachedBags = Option<Arc<Vec<Vec<Bag<Atom>>>>>;
+
+/// A registered schema plus everything derived from it — the derivations
+/// computed at registration are plain fields (immutable thereafter), the
+/// on-demand ones live behind their own synchronisation so partner queries
+/// on different threads fill them without an exclusive engine borrow.
+#[derive(Debug)]
+struct SchemaEntry {
+    schema: Arc<Schema>,
+    class: SchemaClass,
+    /// Present iff the schema is RBE₀ (Proposition 3.2).
+    shape_graph: Option<Graph>,
+    /// The characterizing graph of Lemma 4.2, built on first demand
+    /// (`DetShEx₀⁻` schemas only).
+    characterizing: OnceLock<Graph>,
+    /// `validates(candidate, schema)` verdicts (read-mostly; see
+    /// [`validate_memoised`]).
+    validate_memo: RwLock<ValidateMemo>,
+    /// `(root type, depth) → pool` of systematic unfoldings.
+    enumerated: RwLock<BTreeMap<(TypeId, usize), Pool>>,
+    /// The ordered randomized-phase sample pool.
+    sampled: OnceLock<Pool>,
+    /// The exhaustive per-type bag enumeration (`None` = infinite).
+    bags: OnceLock<CachedBags>,
+}
+
+/// The append-only schema registry behind one lock: ids index `schemas`,
+/// and `by_fingerprint` interns structurally identical registrations onto
+/// one entry. Guarded writes only append, so a [`SchemaId`] handed out once
+/// stays valid for the engine's lifetime.
+#[derive(Debug, Default)]
+struct Registry {
+    schemas: Vec<Arc<SchemaEntry>>,
+    by_fingerprint: BTreeMap<String, SchemaId>,
+}
+
+/// Shard count of [`ShardedPairMap`]; a power of two, sized so matrix-row
+/// workers rarely contend on the same shard.
+const PAIR_SHARDS: usize = 16;
+
+/// A `(SchemaId, SchemaId) → bool` verdict memo sharded across
+/// independently locked maps, so concurrent queries for different pairs
+/// proceed without contending on one lock.
+#[derive(Debug)]
+struct ShardedPairMap {
+    shards: [RwLock<BTreeMap<(u32, u32), bool>>; PAIR_SHARDS],
+}
+
+impl ShardedPairMap {
+    fn new() -> ShardedPairMap {
+        ShardedPairMap {
+            shards: std::array::from_fn(|_| RwLock::new(BTreeMap::new())),
+        }
+    }
+
+    fn shard(&self, key: (u32, u32)) -> &RwLock<BTreeMap<(u32, u32), bool>> {
+        let spread = key.0.wrapping_mul(31).wrapping_add(key.1) as usize;
+        &self.shards[spread % PAIR_SHARDS]
+    }
+
+    fn get(&self, key: (u32, u32)) -> Option<bool> {
+        self.shard(key)
+            .read()
+            .expect("pair memo lock")
+            .get(&key)
+            .copied()
+    }
+
+    fn insert(&self, key: (u32, u32), value: bool) {
+        self.shard(key)
+            .write()
+            .expect("pair memo lock")
+            .insert(key, value);
+    }
+}
 
 /// What the bounded search learned about a pair.
 struct SearchOutcome {
@@ -204,27 +388,26 @@ impl SearchOutcome {
     }
 }
 
-/// A reusable containment query session; see the [module docs](self) for
-/// what is cached and when to hold one.
-#[derive(Debug, Default)]
+/// A reusable, shareable containment query session; see the
+/// [module docs](self) for what is cached and the concurrency contract.
+/// Every query method takes `&self`, so one engine (typically behind an
+/// [`Arc`]) serves any number of threads at once.
+#[derive(Debug)]
 pub struct ContainmentEngine {
     options: EngineOptions,
-    labels: LabelTable,
-    schemas: Vec<SchemaEntry>,
-    by_fingerprint: BTreeMap<String, SchemaId>,
-    /// Indexed like `schemas`.
-    validate_memo: Vec<ValidateMemo>,
-    /// `(schema, root type, depth) → pool` of systematic unfoldings.
-    enumerated: BTreeMap<(u32, TypeId, usize), Pool>,
-    /// `schema → pool` of the ordered randomized-phase samples.
-    sampled: BTreeMap<u32, Pool>,
-    /// `schema → exhaustive per-type bag enumeration` (`None` = infinite).
-    bags: BTreeMap<u32, CachedBags>,
+    labels: SharedLabelTable,
+    registry: RwLock<Registry>,
     /// `(h, k) → whether the shape graph of h embeds in the one of k`.
-    embeds_memo: BTreeMap<(u32, u32), bool>,
+    embeds_memo: ShardedPairMap,
     /// `(h, k) → whether the general sufficient condition holds`.
-    sufficient_memo: BTreeMap<(u32, u32), bool>,
-    stats: EngineStats,
+    sufficient_memo: ShardedPairMap,
+    counters: EngineCounters,
+}
+
+impl Default for ContainmentEngine {
+    fn default() -> Self {
+        ContainmentEngine::with_options(EngineOptions::default())
+    }
 }
 
 impl ContainmentEngine {
@@ -238,7 +421,11 @@ impl ContainmentEngine {
     pub fn with_options(options: EngineOptions) -> ContainmentEngine {
         ContainmentEngine {
             options,
-            ..ContainmentEngine::default()
+            labels: SharedLabelTable::new(),
+            registry: RwLock::new(Registry::default()),
+            embeds_memo: ShardedPairMap::new(),
+            sufficient_memo: ShardedPairMap::new(),
+            counters: EngineCounters::default(),
         }
     }
 
@@ -255,16 +442,25 @@ impl ContainmentEngine {
 
     /// A snapshot of the cache-effectiveness counters.
     pub fn stats(&self) -> EngineStats {
-        EngineStats {
-            schemas: self.schemas.len(),
-            ..self.stats
-        }
+        let schemas = self.registry.read().expect("registry lock").schemas.len();
+        self.counters.snapshot(schemas)
     }
 
     /// The shared predicate-label table (one allocation per distinct label
-    /// across every registered schema).
-    pub fn label_table(&self) -> &LabelTable {
+    /// across every registered schema; reads are lock-free).
+    pub fn label_table(&self) -> &SharedLabelTable {
         &self.labels
+    }
+
+    /// Number of schemas registered so far.
+    pub fn schema_count(&self) -> usize {
+        self.registry.read().expect("registry lock").schemas.len()
+    }
+
+    /// Whether `id` is a handle this engine has issued — the range check a
+    /// service boundary performs before trusting a client-supplied handle.
+    pub fn is_registered(&self, id: SchemaId) -> bool {
+        id.index() < self.schema_count()
     }
 
     /// Register a schema with the session, returning its handle.
@@ -272,47 +468,81 @@ impl ContainmentEngine {
     /// Schemas are interned by a structural fingerprint (type names plus the
     /// full expression trees, so distinct expressions that merely render
     /// alike stay distinct): registering an identical schema again (even a
-    /// different instance) returns the same handle and shares every cache.
-    /// Registration clones the schema — the caller keeps ownership — adopts
-    /// the clone's atom labels into the session's shared table, and computes
-    /// the classification and shape graph, once.
-    pub fn register(&mut self, schema: &Schema) -> SchemaId {
+    /// different instance, even from another thread) returns the same handle
+    /// and shares every cache. Registration clones the schema — the caller
+    /// keeps ownership — adopts the clone's atom labels into the session's
+    /// shared table, and computes the classification and shape graph, once.
+    /// The derivation runs outside the registry lock; concurrent racing
+    /// registrations of the same schema agree on the winner's entry.
+    pub fn register(&self, schema: &Schema) -> SchemaId {
         let fingerprint = schema_fingerprint(schema);
-        if let Some(&id) = self.by_fingerprint.get(&fingerprint) {
+        if let Some(&id) = self
+            .registry
+            .read()
+            .expect("registry lock")
+            .by_fingerprint
+            .get(&fingerprint)
+        {
             return id;
         }
+        // Derive everything outside the write lock; a racing thread may do
+        // the same work, but only the first insertion wins the slot.
         let mut owned = schema.clone();
-        owned.adopt_labels(&mut self.labels);
+        owned.adopt_labels_shared(&self.labels);
         let class = owned.classify_cached();
         let shape_graph = owned.shape_graph_cached().cloned();
-        let id = SchemaId(self.schemas.len() as u32);
-        self.schemas.push(SchemaEntry {
-            schema: owned,
+        let entry = Arc::new(SchemaEntry {
+            schema: Arc::new(owned),
             class,
             shape_graph,
-            characterizing: None,
+            characterizing: OnceLock::new(),
+            validate_memo: RwLock::new(ValidateMemo::new()),
+            enumerated: RwLock::new(BTreeMap::new()),
+            sampled: OnceLock::new(),
+            bags: OnceLock::new(),
         });
-        self.validate_memo.push(ValidateMemo::new());
-        self.by_fingerprint.insert(fingerprint, id);
+        let mut registry = self.registry.write().expect("registry lock");
+        if let Some(&id) = registry.by_fingerprint.get(&fingerprint) {
+            return id; // lost the race; adopt the winner's entry
+        }
+        let id = SchemaId(registry.schemas.len() as u32);
+        registry.schemas.push(entry);
+        registry.by_fingerprint.insert(fingerprint, id);
         id
     }
 
-    /// The engine's copy of a registered schema.
-    pub fn schema(&self, id: SchemaId) -> &Schema {
-        &self.schemas[id.index()].schema
+    /// The engine's copy of a registered schema (shared, cheap to clone).
+    pub fn schema(&self, id: SchemaId) -> Arc<Schema> {
+        self.entry(id).schema.clone()
+    }
+
+    /// The entry behind a handle; panics on a foreign (out-of-range) id.
+    fn entry(&self, id: SchemaId) -> Arc<SchemaEntry> {
+        self.registry.read().expect("registry lock").schemas[id.index()].clone()
+    }
+
+    /// The entries behind several handles under one registry lock
+    /// acquisition — the matrix path prefetches all rows/columns this way so
+    /// its cells touch the registry lock not at all.
+    fn entries(&self, ids: &[SchemaId]) -> Vec<Arc<SchemaEntry>> {
+        let registry = self.registry.read().expect("registry lock");
+        ids.iter()
+            .map(|id| registry.schemas[id.index()].clone())
+            .collect()
     }
 
     /// Decide `L(H) ⊆ L(K)` with the strongest applicable procedure — the
     /// session equivalent of [`crate::general::general_containment`].
-    pub fn check(&mut self, h: &Schema, k: &Schema) -> Containment {
+    pub fn check(&self, h: &Schema, k: &Schema) -> Containment {
         let h = self.register(h);
         let k = self.register(k);
         self.check_ids(h, k)
     }
 
     /// [`ContainmentEngine::check`] for already-registered schemas.
-    pub fn check_ids(&mut self, h: SchemaId, k: SchemaId) -> Containment {
-        self.general_ids(h, k)
+    pub fn check_ids(&self, h: SchemaId, k: SchemaId) -> Containment {
+        let entries = self.entries(&[h, k]);
+        self.general_entries(h, k, &entries[0], &entries[1], true)
     }
 
     /// Batch pairwise containment: `matrix[i][j]` answers
@@ -322,50 +552,98 @@ impl ContainmentEngine {
     /// This is the schema-evolution workload the session layer exists for:
     /// each schema's shape graph, classification, unfolding pools, and
     /// validation verdicts are built once and reused across all `N - 1`
-    /// partners, instead of once per pair as `N²` one-shot calls would. The
-    /// answers are identical to the `N²` individual [`ContainmentEngine::check`]
+    /// partners, instead of once per pair as `N²` one-shot calls would. With
+    /// [`EngineOptions::matrix_threads`] > 1 the rows are fanned across a
+    /// scoped worker pool over those shared caches. Either way the answers
+    /// are identical to the `N²` individual [`ContainmentEngine::check`]
     /// calls (and to the one-shot functions).
-    pub fn check_matrix(&mut self, schemas: &[Schema]) -> Vec<Vec<Containment>> {
+    pub fn check_matrix(&self, schemas: &[Schema]) -> Vec<Vec<Containment>> {
         let ids: Vec<SchemaId> = schemas.iter().map(|s| self.register(s)).collect();
-        ids.iter()
-            .map(|&h| ids.iter().map(|&k| self.check_ids(h, k)).collect())
-            .collect()
+        self.check_matrix_ids(&ids)
+    }
+
+    /// [`ContainmentEngine::check_matrix`] for already-registered schemas
+    /// (the service's batch entry point).
+    pub fn check_matrix_ids(&self, ids: &[SchemaId]) -> Vec<Vec<Containment>> {
+        // One registry lock acquisition for the whole matrix; the N² cells
+        // work off these prefetched entries.
+        let entries = self.entries(ids);
+        let cell = |i: usize, j: usize, fan_out: bool| {
+            self.general_entries(ids[i], ids[j], &entries[i], &entries[j], fan_out)
+        };
+        let workers = self.options.matrix_threads.max(1).min(ids.len().max(1));
+        if workers <= 1 {
+            return (0..ids.len())
+                .map(|i| (0..ids.len()).map(|j| cell(i, j, true)).collect())
+                .collect();
+        }
+        // Row-parallel: contiguous row chunks per worker, cells validated
+        // inline (fan_out = false) so the two thread pools do not multiply.
+        // All caches are shared through &self; verdicts are deterministic,
+        // so the matrix is identical to the serial one.
+        let row_indices: Vec<usize> = (0..ids.len()).collect();
+        let rows_per_worker = ids.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = row_indices
+                .chunks(rows_per_worker)
+                .map(|rows| {
+                    let cell = &cell;
+                    scope.spawn(move || {
+                        rows.iter()
+                            .map(|&i| {
+                                (0..ids.len())
+                                    .map(|j| cell(i, j, false))
+                                    .collect::<Vec<Containment>>()
+                            })
+                            .collect::<Vec<Vec<Containment>>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("matrix row worker panicked"))
+                .collect()
+        })
     }
 
     /// The session equivalent of [`crate::shex0::shex0_containment`].
-    pub fn shex0(&mut self, h: &Schema, k: &Schema) -> Containment {
+    pub fn shex0(&self, h: &Schema, k: &Schema) -> Containment {
         let h = self.register(h);
         let k = self.register(k);
-        self.shex0_ids(h, k)
+        let entries = self.entries(&[h, k]);
+        self.shex0_entries(h, k, &entries[0], &entries[1], true)
     }
 
     /// The session equivalent of [`crate::general::general_containment`].
-    pub fn general(&mut self, h: &Schema, k: &Schema) -> Containment {
+    pub fn general(&self, h: &Schema, k: &Schema) -> Containment {
         let h = self.register(h);
         let k = self.register(k);
-        self.general_ids(h, k)
+        let entries = self.entries(&[h, k]);
+        self.general_entries(h, k, &entries[0], &entries[1], true)
     }
 
     /// The session equivalent of [`crate::det::det_containment`]: polynomial
     /// containment for `DetShEx₀⁻` (Corollary 4.4).
-    pub fn det(&mut self, h: &Schema, k: &Schema) -> Result<Containment, NotDetShex0Minus> {
+    pub fn det(&self, h: &Schema, k: &Schema) -> Result<Containment, NotDetShex0Minus> {
         let h = self.register(h);
         let k = self.register(k);
         self.det_ids(h, k)
     }
 
     /// [`ContainmentEngine::det`] for already-registered schemas.
-    pub fn det_ids(&mut self, h: SchemaId, k: SchemaId) -> Result<Containment, NotDetShex0Minus> {
-        self.require_det_minus(h)?;
-        self.require_det_minus(k)?;
-        if self.embeds_cached(h, k) {
+    pub fn det_ids(&self, h: SchemaId, k: SchemaId) -> Result<Containment, NotDetShex0Minus> {
+        let entries = self.entries(&[h, k]);
+        let (h_entry, k_entry) = (&entries[0], &entries[1]);
+        require_det_minus(h_entry)?;
+        require_det_minus(k_entry)?;
+        if self.embeds_cached(h, k, h_entry, k_entry) {
             Ok(Containment::Contained)
         } else {
-            let witness = self.characterizing(h)?;
+            let witness = self.characterizing(h_entry)?;
             debug_assert!(
                 embeds(
                     &witness,
-                    self.schemas[h.index()]
+                    h_entry
                         .shape_graph
                         .as_ref()
                         .expect("DetShEx0- schemas are RBE0")
@@ -381,67 +659,85 @@ impl ContainmentEngine {
     /// session equivalent of [`crate::unfold::search_counter_example`], with
     /// pooled unfoldings, memoised validation, and the optional parallel
     /// fan-out.
-    pub fn counter_example(&mut self, h: &Schema, k: &Schema) -> Option<Graph> {
+    pub fn counter_example(&self, h: &Schema, k: &Schema) -> Option<Graph> {
         let h = self.register(h);
         let k = self.register(k);
-        self.search_ids(h, k).witness
-    }
-
-    fn require_det_minus(&self, id: SchemaId) -> Result<(), NotDetShex0Minus> {
-        let entry = &self.schemas[id.index()];
-        if entry.class == SchemaClass::DetShEx0Minus {
-            Ok(())
-        } else {
-            Err(NotDetShex0Minus {
-                violations: entry.schema.det_shex0_minus_violations(),
-            })
-        }
+        let entries = self.entries(&[h, k]);
+        self.search_ids(&entries[0], &entries[1], true).witness
     }
 
     /// The `ShEx₀` procedure over registered schemas (Section 5 pipeline:
-    /// embedding, characterizing-graph shortcut, bounded search).
-    fn shex0_ids(&mut self, h: SchemaId, k: SchemaId) -> Containment {
-        let (hc, kc) = (self.schemas[h.index()].class, self.schemas[k.index()].class);
-        if hc == SchemaClass::ShEx || kc == SchemaClass::ShEx {
-            return self.general_ids(h, k);
+    /// embedding, characterizing-graph shortcut, bounded search). The
+    /// caller supplies the already-fetched entries — the dispatch chain
+    /// touches the registry lock once per query, not once per hop —
+    /// and `fan_out` gates the per-cell validation worker pool (disabled
+    /// inside matrix row workers).
+    fn shex0_entries(
+        &self,
+        h: SchemaId,
+        k: SchemaId,
+        h_entry: &Arc<SchemaEntry>,
+        k_entry: &Arc<SchemaEntry>,
+        fan_out: bool,
+    ) -> Containment {
+        if h_entry.class == SchemaClass::ShEx || k_entry.class == SchemaClass::ShEx {
+            return self.general_entries(h, k, h_entry, k_entry, fan_out);
         }
-        if self.embeds_cached(h, k) {
+        if self.embeds_cached(h, k, h_entry, k_entry) {
             return Containment::Contained;
         }
-        if hc == SchemaClass::DetShEx0Minus && kc == SchemaClass::DetShEx0Minus {
-            let witness = self.characterizing(h).expect("checked DetShEx0-");
+        if h_entry.class == SchemaClass::DetShEx0Minus
+            && k_entry.class == SchemaClass::DetShEx0Minus
+        {
+            let witness = self.characterizing(h_entry).expect("checked DetShEx0-");
             return Containment::not_contained(witness);
         }
-        self.search_ids(h, k).into_containment()
+        self.search_ids(h_entry, k_entry, fan_out)
+            .into_containment()
     }
 
     /// The general procedure over registered schemas (Section 6 pipeline:
     /// delegation to ShEx₀, type-simulation sufficient check, bounded
-    /// search).
-    fn general_ids(&mut self, h: SchemaId, k: SchemaId) -> Containment {
-        let both_rbe0 = self.schemas[h.index()].class != SchemaClass::ShEx
-            && self.schemas[k.index()].class != SchemaClass::ShEx;
+    /// search), over caller-fetched entries like
+    /// [`ContainmentEngine::shex0_entries`].
+    fn general_entries(
+        &self,
+        h: SchemaId,
+        k: SchemaId,
+        h_entry: &Arc<SchemaEntry>,
+        k_entry: &Arc<SchemaEntry>,
+        fan_out: bool,
+    ) -> Containment {
+        let both_rbe0 = h_entry.class != SchemaClass::ShEx && k_entry.class != SchemaClass::ShEx;
         if both_rbe0 {
-            return self.shex0_ids(h, k);
+            return self.shex0_entries(h, k, h_entry, k_entry, fan_out);
         }
-        if self.sufficient_cached(h, k) {
+        if self.sufficient_cached(h, k, h_entry, k_entry) {
             return Containment::Contained;
         }
-        self.search_ids(h, k).into_containment()
+        self.search_ids(h_entry, k_entry, fan_out)
+            .into_containment()
     }
 
     /// Whether the shape graph of `h` embeds in the shape graph of `k`
     /// (memoised). Both schemas must be RBE₀.
-    fn embeds_cached(&mut self, h: SchemaId, k: SchemaId) -> bool {
-        if let Some(&v) = self.embeds_memo.get(&(h.0, k.0)) {
-            self.stats.embed_hits += 1;
+    fn embeds_cached(
+        &self,
+        h: SchemaId,
+        k: SchemaId,
+        h_entry: &SchemaEntry,
+        k_entry: &SchemaEntry,
+    ) -> bool {
+        if let Some(v) = self.embeds_memo.get((h.0, k.0)) {
+            EngineCounters::tick(&self.counters.embed_hits);
             return v;
         }
-        let hg = self.schemas[h.index()]
+        EngineCounters::tick(&self.counters.embed_misses);
+        let hg = h_entry
             .shape_graph
             .as_ref()
             .expect("RBE0 schema has a shape graph");
-        let kg = self.schemas[k.index()]
+        let kg = k_entry
             .shape_graph
             .as_ref()
             .expect("RBE0 schema has a shape graph");
@@ -451,44 +747,43 @@ impl ContainmentEngine {
     }
 
     /// The characterizing graph of a registered `DetShEx₀⁻` schema, built
-    /// once.
-    fn characterizing(&mut self, h: SchemaId) -> Result<Graph, NotDetShex0Minus> {
-        if self.schemas[h.index()].characterizing.is_none() {
-            let g = characterizing_graph(&self.schemas[h.index()].schema)?;
-            self.schemas[h.index()].characterizing = Some(g);
-        }
-        Ok(self.schemas[h.index()]
+    /// once (`OnceLock`: concurrent demanders block on one construction).
+    fn characterizing(&self, entry: &SchemaEntry) -> Result<Graph, NotDetShex0Minus> {
+        require_det_minus(entry)?;
+        Ok(entry
             .characterizing
-            .clone()
-            .expect("filled above"))
+            .get_or_init(|| {
+                characterizing_graph(&entry.schema).expect("class-checked DetShEx0- schema")
+            })
+            .clone())
     }
 
     /// Whether the general sufficient condition holds for `(h, k)`
     /// (memoised), with the exhaustive bag enumeration of `h` cached across
     /// partners.
-    fn sufficient_cached(&mut self, h: SchemaId, k: SchemaId) -> bool {
-        if let Some(&v) = self.sufficient_memo.get(&(h.0, k.0)) {
+    fn sufficient_cached(
+        &self,
+        h: SchemaId,
+        k: SchemaId,
+        h_entry: &SchemaEntry,
+        k_entry: &SchemaEntry,
+    ) -> bool {
+        if let Some(v) = self.sufficient_memo.get((h.0, k.0)) {
             return v;
         }
-        let v = match self.exhaustive_bags_cached(h) {
+        let v = match self.exhaustive_bags_cached(h_entry) {
             None => false,
-            Some(bags) => type_simulation_with_bags(
-                &self.schemas[h.index()].schema,
-                &bags,
-                &self.schemas[k.index()].schema,
-            ),
+            Some(bags) => type_simulation_with_bags(&h_entry.schema, &bags, &k_entry.schema),
         };
         self.sufficient_memo.insert((h.0, k.0), v);
         v
     }
 
-    fn exhaustive_bags_cached(&mut self, h: SchemaId) -> CachedBags {
-        if let Some(v) = self.bags.get(&h.0) {
-            return v.clone();
-        }
-        let v = exhaustive_bags(&self.schemas[h.index()].schema).map(Arc::new);
-        self.bags.insert(h.0, v.clone());
-        v
+    fn exhaustive_bags_cached(&self, entry: &SchemaEntry) -> CachedBags {
+        entry
+            .bags
+            .get_or_init(|| exhaustive_bags(&entry.schema).map(Arc::new))
+            .clone()
     }
 
     /// The bounded counter-example search over registered schemas.
@@ -497,12 +792,17 @@ impl ContainmentEngine {
     /// that of [`crate::baseline::search_counter_example_baseline`]:
     /// systematic unfoldings per root and depth under the shared `examined`
     /// budget, then the ordered randomized samples.
-    fn search_ids(&mut self, h: SchemaId, k: SchemaId) -> SearchOutcome {
+    fn search_ids(
+        &self,
+        h: &Arc<SchemaEntry>,
+        k: &Arc<SchemaEntry>,
+        fan_out: bool,
+    ) -> SearchOutcome {
         let opts = self.options.search.clone();
-        let parallel = self.options.threads > 1;
+        let parallel = fan_out && self.options.threads > 1;
         let mut examined = 0usize;
         let mut checked = 0usize;
-        let roots: Vec<TypeId> = self.schemas[h.index()].schema.types().collect();
+        let roots: Vec<TypeId> = h.schema.types().collect();
 
         // Systematic phase.
         for &root in &roots {
@@ -568,8 +868,8 @@ impl ContainmentEngine {
     /// the eagerness: a witness at index `i` costs at most one stripe of
     /// extra validations instead of the whole pool.
     fn verdict_at(
-        &mut self,
-        k: SchemaId,
+        &self,
+        k: &SchemaEntry,
         pool: &[Graph],
         verdicts: &mut [Option<bool>],
         i: usize,
@@ -591,97 +891,101 @@ impl ContainmentEngine {
 
     /// The pool of valid members of `h` unfolded from `root` up to `depth` —
     /// [`crate::unfold::enumerate_members`] with the member-validation step
-    /// routed through the memo, cached per `(schema, root, depth)`.
+    /// routed through the memo, cached per `(root, depth)` in the entry.
+    /// Concurrent builders of the same key race outside the lock; the first
+    /// insertion wins and everyone shares that pool.
     fn enumerated_pool(
-        &mut self,
-        h: SchemaId,
+        &self,
+        h: &Arc<SchemaEntry>,
         root: TypeId,
         depth: usize,
         opts: &SearchOptions,
     ) -> Pool {
-        if let Some(pool) = self.enumerated.get(&(h.0, root, depth)) {
-            self.stats.pool_hits += 1;
+        if let Some(pool) = h.enumerated.read().expect("pool lock").get(&(root, depth)) {
+            EngineCounters::tick(&self.counters.pool_hits);
             return pool.clone();
         }
-        self.stats.pools_built += 1;
+        EngineCounters::tick(&self.counters.pools_built);
         let scoped = SearchOptions {
             max_depth: depth,
             ..opts.clone()
         };
-        let entry = &self.schemas[h.index()];
-        let memo = &mut self.validate_memo[h.index()];
-        let stats = &mut self.stats;
-        let graphs = enumerate_members_with(&entry.schema, root, &scoped, &mut |g| {
-            validate_memoised(&entry.schema, memo, stats, g)
+        let graphs = enumerate_members_with(&h.schema, root, &scoped, &mut |g| {
+            validate_memoised(h, &self.counters, g)
         });
         let pool: Pool = Arc::new(graphs);
-        self.enumerated.insert((h.0, root, depth), pool.clone());
-        pool
+        h.enumerated
+            .write()
+            .expect("pool lock")
+            .entry((root, depth))
+            .or_insert(pool)
+            .clone()
     }
 
     /// The ordered randomized-sample pool of `h` —
     /// [`crate::unfold::sample_member`] over the baseline's exact RNG
     /// sequence, with the member-validation step routed through the memo,
-    /// cached per schema.
-    fn sampled_pool(&mut self, h: SchemaId, opts: &SearchOptions) -> Pool {
-        if let Some(pool) = self.sampled.get(&h.0) {
-            self.stats.pool_hits += 1;
-            return pool.clone();
-        }
-        self.stats.pools_built += 1;
-        let entry = &self.schemas[h.index()];
-        let memo = &mut self.validate_memo[h.index()];
-        let stats = &mut self.stats;
-        let mut rng = StdRng::seed_from_u64(opts.seed);
-        let roots: Vec<TypeId> = entry.schema.types().collect();
-        let mut graphs = Vec::new();
-        if !roots.is_empty() {
-            let mut is_member = |g: &Graph| validate_memoised(&entry.schema, memo, stats, g);
-            for _ in 0..opts.random_samples {
-                let root = roots[rng.gen_range(0..roots.len())];
-                if let Some(graph) =
-                    sample_member_with(&entry.schema, root, &mut rng, opts, &mut is_member)
-                {
-                    graphs.push(graph);
+    /// built once per schema (`OnceLock`).
+    fn sampled_pool(&self, h: &Arc<SchemaEntry>, opts: &SearchOptions) -> Pool {
+        // Exactly one of pool_hits / pools_built ticks per call: a thread
+        // losing the init race still counts its request as a hit.
+        let mut built_here = false;
+        let pool = h
+            .sampled
+            .get_or_init(|| {
+                built_here = true;
+                EngineCounters::tick(&self.counters.pools_built);
+                let mut rng = StdRng::seed_from_u64(opts.seed);
+                let roots: Vec<TypeId> = h.schema.types().collect();
+                let mut graphs = Vec::new();
+                if !roots.is_empty() {
+                    let mut is_member = |g: &Graph| validate_memoised(h, &self.counters, g);
+                    for _ in 0..opts.random_samples {
+                        let root = roots[rng.gen_range(0..roots.len())];
+                        if let Some(graph) =
+                            sample_member_with(&h.schema, root, &mut rng, opts, &mut is_member)
+                        {
+                            graphs.push(graph);
+                        }
+                    }
                 }
-            }
+                Arc::new(graphs)
+            })
+            .clone();
+        if !built_here {
+            EngineCounters::tick(&self.counters.pool_hits);
         }
-        let pool: Pool = Arc::new(graphs);
-        self.sampled.insert(h.0, pool.clone());
         pool
     }
 
     /// One memoised `validates(graph, k)` verdict.
-    fn validate_one(&mut self, k: SchemaId, graph: &Graph) -> bool {
-        let entry = &self.schemas[k.index()];
-        validate_memoised(
-            &entry.schema,
-            &mut self.validate_memo[k.index()],
-            &mut self.stats,
-            graph,
-        )
+    fn validate_one(&self, k: &SchemaEntry, graph: &Graph) -> bool {
+        validate_memoised(k, &self.counters, graph)
     }
 
     /// Memoised verdicts for one stripe of candidates, with the uncached
     /// ones fanned across the engine's worker threads when there are enough
     /// of them (below `parallel_threshold` the spawn overhead dominates and
     /// the stripe is validated inline).
-    fn validate_slice(&mut self, k: SchemaId, pool: &[Graph]) -> Vec<bool> {
-        let entry = &self.schemas[k.index()];
-        let memo = &mut self.validate_memo[k.index()];
+    fn validate_slice(&self, k: &SchemaEntry, pool: &[Graph]) -> Vec<bool> {
         let mut keys: Vec<String> = pool.iter().map(candidate_key).collect();
-        let mut verdicts: Vec<Option<bool>> =
-            keys.iter().map(|key| memo.get(key).copied()).collect();
+        let mut verdicts: Vec<Option<bool>> = {
+            let memo = k.validate_memo.read().expect("validate memo lock");
+            keys.iter().map(|key| memo.get(key).copied()).collect()
+        };
         let missing: Vec<usize> = verdicts
             .iter()
             .enumerate()
             .filter(|(_, v)| v.is_none())
             .map(|(i, _)| i)
             .collect();
-        self.stats.validate_hits += (pool.len() - missing.len()) as u64;
-        self.stats.validate_misses += missing.len() as u64;
+        EngineCounters::add(
+            &self.counters.validate_hits,
+            (pool.len() - missing.len()) as u64,
+        );
+        EngineCounters::add(&self.counters.validate_misses, missing.len() as u64);
         if !missing.is_empty() {
-            let schema = &entry.schema;
+            let schema = &k.schema;
             let workers = self.options.threads.min(missing.len());
             if workers > 1 && missing.len() >= self.options.parallel_threshold.max(1) {
                 std::thread::scope(|scope| {
@@ -706,6 +1010,7 @@ impl ContainmentEngine {
                     verdicts[i] = Some(validates(&pool[i], schema));
                 }
             }
+            let mut memo = k.validate_memo.write().expect("validate memo lock");
             for &i in &missing {
                 memo.insert(
                     std::mem::take(&mut keys[i]),
@@ -717,6 +1022,18 @@ impl ContainmentEngine {
             .into_iter()
             .map(|v| v.expect("resolved above"))
             .collect()
+    }
+}
+
+/// The `DetShEx₀⁻` gate shared by the det pipeline and the characterizing
+/// cache.
+fn require_det_minus(entry: &SchemaEntry) -> Result<(), NotDetShex0Minus> {
+    if entry.class == SchemaClass::DetShEx0Minus {
+        Ok(())
+    } else {
+        Err(NotDetShex0Minus {
+            violations: entry.schema.det_shex0_minus_violations(),
+        })
     }
 }
 
@@ -754,22 +1071,27 @@ fn candidate_key(graph: &Graph) -> String {
     key
 }
 
-/// The memoised validation verdict, with split borrows so callers can hold
-/// the schema entry and its memo at once.
-fn validate_memoised(
-    schema: &Schema,
-    memo: &mut ValidateMemo,
-    stats: &mut EngineStats,
-    graph: &Graph,
-) -> bool {
+/// The memoised validation verdict against `entry`'s schema: read-lock
+/// lookup, compute outside any lock, write-lock insert. Racing threads may
+/// compute the same (deterministic) verdict twice; both insertions agree.
+fn validate_memoised(entry: &SchemaEntry, counters: &EngineCounters, graph: &Graph) -> bool {
     let key = candidate_key(graph);
-    if let Some(&v) = memo.get(&key) {
-        stats.validate_hits += 1;
+    if let Some(&v) = entry
+        .validate_memo
+        .read()
+        .expect("validate memo lock")
+        .get(&key)
+    {
+        EngineCounters::tick(&counters.validate_hits);
         return v;
     }
-    stats.validate_misses += 1;
-    let v = validates(graph, schema);
-    memo.insert(key, v);
+    EngineCounters::tick(&counters.validate_misses);
+    let v = validates(graph, &entry.schema);
+    entry
+        .validate_memo
+        .write()
+        .expect("validate memo lock")
+        .insert(key, v);
     v
 }
 
@@ -787,12 +1109,14 @@ mod tests {
         let a = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
         let a_again = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
         let b = parse_schema("T -> p::L\nL -> EMPTY\n").unwrap();
-        let mut engine = quick_engine();
+        let engine = quick_engine();
         let ia = engine.register(&a);
         assert_eq!(engine.register(&a_again), ia);
         assert_ne!(engine.register(&b), ia);
         assert_eq!(engine.stats().schemas, 2);
         assert_eq!(engine.schema(ia).type_count(), 2);
+        assert!(engine.is_registered(ia));
+        assert_eq!(engine.schema_count(), 2);
     }
 
     #[test]
@@ -801,20 +1125,34 @@ mod tests {
         // registration the engine's copies share one allocation per label.
         let a = parse_schema("T -> name::L, email::L?\nL -> EMPTY\n").unwrap();
         let b = parse_schema("S -> name::L, name::L\nL -> EMPTY\n").unwrap();
-        let mut engine = quick_engine();
+        let engine = quick_engine();
         let ia = engine.register(&a);
         let ib = engine.register(&b);
         let label_of = |s: &Schema, ty: &str| {
             let t = s.find_type(ty).unwrap();
             s.def(t).to_rbe0().unwrap().atoms()[0].0.label.clone()
         };
-        let name_a = label_of(engine.schema(ia), "T");
-        let name_b = label_of(engine.schema(ib), "S");
+        let name_a = label_of(&engine.schema(ia), "T");
+        let name_b = label_of(&engine.schema(ib), "S");
         assert_eq!(name_a.as_str(), "name");
         assert!(
             name_a.ptr_eq(&name_b),
             "registered schemas must share the session's label allocations"
         );
+    }
+
+    #[test]
+    fn concurrent_registration_of_one_schema_agrees_on_the_handle() {
+        let schema = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
+        let engine = quick_engine();
+        let ids: Vec<SchemaId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| engine.register(&schema)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]), "one entry, one id");
+        assert_eq!(engine.schema_count(), 1);
     }
 
     #[test]
@@ -835,7 +1173,7 @@ mod tests {
         // collapse the unary case.
         wrapped.define(t2, Rbe::Disj(vec![Rbe::symbol(Atom::new("p", l2))]));
         assert_eq!(format!("{plain}"), format!("{wrapped}"), "same rendering");
-        let mut engine = quick_engine();
+        let engine = quick_engine();
         let ip = engine.register(&plain);
         let iw = engine.register(&wrapped);
         assert_ne!(ip, iw, "distinct structure must get distinct entries");
@@ -850,7 +1188,7 @@ mod tests {
         // memos without a single fresh validation.
         let h = parse_schema("Root -> p::A, p::B\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
         let k = parse_schema("Root -> p::A, p::A\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
-        let mut engine = quick_engine();
+        let engine = quick_engine();
         let first = engine.shex0(&h, &k);
         let after_first = engine.stats();
         assert!(after_first.validate_misses > 0);
@@ -865,6 +1203,23 @@ mod tests {
     }
 
     #[test]
+    fn stats_display_reports_ratios() {
+        let stats = EngineStats {
+            schemas: 2,
+            validate_hits: 3,
+            validate_misses: 1,
+            embed_hits: 0,
+            embed_misses: 2,
+            pool_hits: 0,
+            pools_built: 0,
+        };
+        let text = format!("{stats}");
+        assert!(text.contains("2 schemas"), "{text}");
+        assert!(text.contains("3 hits / 1 misses (75.0% hit)"), "{text}");
+        assert!(text.contains("0 hits / 2 misses (0.0% hit)"), "{text}");
+    }
+
+    #[test]
     fn matrix_matches_individual_checks() {
         let texts = [
             "T -> p::L?\nL -> EMPTY\n",
@@ -872,11 +1227,11 @@ mod tests {
             "T -> p::L\nL -> EMPTY\n",
         ];
         let schemas: Vec<Schema> = texts.iter().map(|t| parse_schema(t).unwrap()).collect();
-        let mut engine = quick_engine();
+        let engine = quick_engine();
         let matrix = engine.check_matrix(&schemas);
         for (i, row) in matrix.iter().enumerate() {
             for (j, cell) in row.iter().enumerate() {
-                let mut fresh = quick_engine();
+                let fresh = quick_engine();
                 let one_shot = fresh.check(&schemas[i], &schemas[j]);
                 assert_eq!(
                     format!("{cell}"),
@@ -888,6 +1243,31 @@ mod tests {
         // Diagonal is always contained for these schemas.
         for (i, row) in matrix.iter().enumerate() {
             assert!(row[i].is_contained(), "matrix[{i}][{i}]");
+        }
+    }
+
+    #[test]
+    fn row_parallel_matrix_matches_serial() {
+        let texts = [
+            "T -> p::L?\nL -> EMPTY\n",
+            "T -> p::L*\nL -> EMPTY\n",
+            "T -> p::L+\nL -> EMPTY\n",
+            "T -> p::L, p::L?\nL -> EMPTY\n",
+        ];
+        let schemas: Vec<Schema> = texts.iter().map(|t| parse_schema(t).unwrap()).collect();
+        let serial = quick_engine().check_matrix(&schemas);
+        for workers in [2usize, 8] {
+            let options = EngineOptions::quick().with_matrix_threads(workers);
+            let parallel = ContainmentEngine::with_options(options).check_matrix(&schemas);
+            for (i, (row_s, row_p)) in serial.iter().zip(&parallel).enumerate() {
+                for (j, (s, p)) in row_s.iter().zip(row_p).enumerate() {
+                    assert_eq!(
+                        format!("{s}"),
+                        format!("{p}"),
+                        "matrix[{i}][{j}] differs at {workers} workers"
+                    );
+                }
+            }
         }
     }
 

@@ -21,6 +21,11 @@
 //!   expressions), via unfolding-based counter-example search with Presburger
 //!   validation; sound in both directions, bounded (the problem is
 //!   coNEXP-hard).
+//! * [`engine`] — the shared-state query session over all of the above:
+//!   `ContainmentEngine` registers schemas once and memoises shape graphs,
+//!   unfolding pools, and validation/embedding verdicts behind `&self`
+//!   concurrent caches, so one engine (typically in an `Arc`) serves
+//!   batch matrices, parallel rows, and long-lived services.
 //! * [`simulation`] — the worklist + bitset simulation engine behind
 //!   [`embedding`]: dense bitset relation, joint interned-label space, and
 //!   predecessor-directed refinement, with an optional `std::thread` worker

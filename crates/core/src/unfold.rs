@@ -465,9 +465,11 @@ fn sample_tree(
 /// [`crate::engine::ContainmentEngine`], so a single call already reuses
 /// unfolding pools and validation verdicts across the depth-cumulative
 /// enumeration. Callers issuing many queries over the same schemas should
-/// hold an engine instead. The candidate order (and therefore the returned
-/// witness) is that of [`crate::baseline::search_counter_example_baseline`],
-/// the retained memo-free reference.
+/// hold an engine instead — its query methods take `&self` over concurrent
+/// caches, so one engine can even be shared across threads. The candidate
+/// order (and therefore the returned witness) is that of
+/// [`crate::baseline::search_counter_example_baseline`], the retained
+/// memo-free reference.
 pub fn search_counter_example(h: &Schema, k: &Schema, options: &SearchOptions) -> Option<Graph> {
     crate::engine::ContainmentEngine::with_search(options.clone()).counter_example(h, k)
 }

@@ -1,0 +1,79 @@
+//! Scaffolding shared by the `engine_session` and `engine_concurrency`
+//! suites: the tiny search budget, structural witness comparison, and the
+//! memo-free ShEx₀ oracle assembled from the retained baseline pieces.
+
+use shapex_core::baseline::search_counter_example_baseline;
+use shapex_core::det::characterizing_graph;
+use shapex_core::embedding::embeds;
+use shapex_core::unfold::SearchOptions;
+use shapex_core::Containment;
+use shapex_graph::Graph;
+use shapex_shex::Schema;
+
+/// A small budget keeping each random case fast; equivalence must hold for
+/// any budget, so tightness costs no coverage.
+pub fn tiny() -> SearchOptions {
+    SearchOptions {
+        max_depth: 2,
+        max_bags: 6,
+        max_trees: 8,
+        max_graph_nodes: 40,
+        max_candidates: 120,
+        random_samples: 30,
+        ..SearchOptions::default()
+    }
+}
+
+/// A structural rendering for witness comparison (node names are irrelevant
+/// to validation, but the engine must return the *identical* candidate, so
+/// names are included).
+pub fn graph_key(g: &Graph) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for n in g.nodes() {
+        let _ = writeln!(s, "{}", g.node_name(n));
+    }
+    for e in g.edges() {
+        let _ = writeln!(
+            s,
+            "{} -{}-> {}",
+            g.node_name(g.source(e)),
+            g.label(e),
+            g.node_name(g.target(e))
+        );
+    }
+    s
+}
+
+/// Verdict equality with exact-witness comparison for `NotContained`.
+pub fn same_answer(a: &Containment, b: &Containment) -> bool {
+    match (a, b) {
+        (Containment::Contained, Containment::Contained) => true,
+        (Containment::NotContained(x), Containment::NotContained(y)) => {
+            graph_key(x) == graph_key(y)
+        }
+        (Containment::Unknown(x), Containment::Unknown(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// The ShEx₀ pipeline exactly as the paper (and the pre-engine code) runs
+/// it, over the memo-free baseline search. Unknown answers carry a dummy
+/// reason — the oracle does not model engine-side budget accounting, so
+/// callers compare Unknowns by variant only.
+pub fn shex0_oracle(h: &Schema, k: &Schema, options: &SearchOptions) -> Containment {
+    assert!(h.is_rbe0() && k.is_rbe0(), "oracle is for ShEx0 pairs");
+    let hg = h.to_shape_graph().expect("RBE0 schema has a shape graph");
+    let kg = k.to_shape_graph().expect("RBE0 schema has a shape graph");
+    if embeds(&hg, &kg).is_some() {
+        return Containment::Contained;
+    }
+    if h.is_det_shex0_minus() && k.is_det_shex0_minus() {
+        let witness = characterizing_graph(h).expect("checked DetShEx0-");
+        return Containment::not_contained(witness);
+    }
+    match search_counter_example_baseline(h, k, options) {
+        Some(witness) => Containment::not_contained(witness),
+        None => Containment::budget_exhausted(0, 0),
+    }
+}

@@ -1,0 +1,201 @@
+//! Concurrency suite for the shared-state `ContainmentEngine`: the `&self`
+//! refactor must be observationally invisible. Row-parallel `check_matrix`
+//! at 1/2/8 workers must return verdicts identical to the serial engine and
+//! to the memo-free oracle assembled from
+//! `baseline::search_counter_example_baseline`; many threads hammering one
+//! `Arc<ContainmentEngine>` must each see exactly the answers a serial
+//! session computes; and racing registrations must agree on one handle.
+//!
+//! Run in release in CI (`cargo test -p shapex-core --release --test
+//! engine_concurrency`) so the hammer test exercises real interleavings
+//! rather than debug-build lockstep.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shapex_core::engine::{ContainmentEngine, EngineOptions, SchemaId};
+use shapex_core::Containment;
+use shapex_graph::generate::GraphGen;
+use shapex_shex::{parse_schema, Schema};
+
+mod common;
+use common::{same_answer, shex0_oracle, tiny};
+
+/// Random RBE₀ schemas via random shape graphs (Proposition 3.2): the
+/// round-trip gives the full basic-interval mix (`1 ? * +`), many outside
+/// `DetShEx₀⁻`, so every dispatch route of `check_matrix` gets exercised.
+fn random_family(seed: u64, count: usize) -> Vec<Schema> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let shape = GraphGen::new(4, 3).out_degree(2.0).shape(&mut rng);
+            Schema::from_shape_graph(&shape)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Row-parallel matrices at 1, 2, and 8 workers are cell-for-cell
+    /// identical to the serial engine's matrix, which itself matches the
+    /// baseline-backed oracle on every pair.
+    #[test]
+    fn parallel_matrix_matches_serial_and_oracle(seed in 0u64..100_000) {
+        let family = random_family(seed, 4);
+        let opts = tiny();
+        let serial = ContainmentEngine::with_search(opts.clone()).check_matrix(&family);
+
+        for workers in [1usize, 2, 8] {
+            let options = EngineOptions::default()
+                .with_search(opts.clone())
+                .with_matrix_threads(workers);
+            let parallel = ContainmentEngine::with_options(options).check_matrix(&family);
+            for (i, (row_s, row_p)) in serial.iter().zip(&parallel).enumerate() {
+                for (j, (s, p)) in row_s.iter().zip(row_p).enumerate() {
+                    prop_assert!(
+                        same_answer(s, p),
+                        "matrix[{}][{}] at {} workers: serial {} vs parallel {}",
+                        i, j, workers, s, p
+                    );
+                }
+            }
+        }
+
+        // Every cell also agrees with the memo-free oracle (Unknown compared
+        // by variant: the oracle does not model engine-side reasons).
+        for (i, row) in serial.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                let oracle = shex0_oracle(&family[i], &family[j], &opts);
+                match (cell, &oracle) {
+                    (Containment::Unknown(_), Containment::Unknown(_)) => {}
+                    _ => prop_assert!(
+                        same_answer(cell, &oracle),
+                        "matrix[{}][{}]: engine {} vs oracle {}",
+                        i, j, cell, oracle
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Many threads share one `Arc<ContainmentEngine>` and interleave queries,
+/// registrations, matrix slices, and stats reads; every answer must equal
+/// the serial reference, and the shared caches must stay coherent across
+/// rounds.
+#[test]
+fn hammer_shared_engine_from_many_threads() {
+    // A mixed family: DetShEx0-, plain ShEx0 (+ / duplicate labels), and
+    // full ShEx (disjunction) — every dispatch route under contention.
+    let texts = [
+        "T -> p::L?\nL -> EMPTY\n",
+        "T -> p::L*\nL -> EMPTY\n",
+        "T -> p::L+\nL -> EMPTY\n",
+        "T -> p::L, p::L?\nL -> EMPTY\n",
+        "T -> p::L | (p::L, p::L)\nL -> EMPTY\n",
+        "Root -> p::A, p::B\nA -> a::L?\nB -> b::L\nL -> EMPTY\n",
+    ];
+    let schemas: Vec<Schema> = texts.iter().map(|t| parse_schema(t).unwrap()).collect();
+    let opts = tiny();
+    let reference = ContainmentEngine::with_search(opts.clone()).check_matrix(&schemas);
+
+    // threads: 2 so the validation fan-out's scoped workers run *inside*
+    // concurrently querying threads too.
+    let engine_options = EngineOptions {
+        search: opts,
+        threads: 2,
+        parallel_threshold: 4,
+        ..EngineOptions::default()
+    };
+    let engine = Arc::new(ContainmentEngine::with_options(engine_options));
+    let ids: Vec<SchemaId> = schemas.iter().map(|s| engine.register(s)).collect();
+    let n = schemas.len();
+
+    std::thread::scope(|scope| {
+        for worker in 0..8usize {
+            let engine = &engine;
+            let schemas = &schemas;
+            let reference = &reference;
+            let ids = &ids;
+            scope.spawn(move || {
+                for round in 0..3usize {
+                    // Each worker sweeps all pairs from a different offset,
+                    // so different cells are in flight simultaneously.
+                    for step in 0..n * n {
+                        let cell = (step + worker * 7 + round * 13) % (n * n);
+                        let (i, j) = (cell / n, cell % n);
+                        let answer = engine.check_ids(ids[i], ids[j]);
+                        assert!(
+                            same_answer(&answer, &reference[i][j]),
+                            "worker {worker} round {round}: cell [{i}][{j}] answered {answer}, \
+                             expected {}",
+                            reference[i][j]
+                        );
+                    }
+                    // Re-registration mid-flight must return the pinned ids.
+                    for (s, &id) in schemas.iter().zip(ids) {
+                        assert_eq!(engine.register(s), id);
+                    }
+                    // Stats snapshots must never tear below what a single
+                    // completed query implies.
+                    let stats = engine.stats();
+                    assert_eq!(stats.schemas, n);
+                }
+            });
+        }
+    });
+
+    // After the storm: the warmed shared engine still computes the exact
+    // reference matrix, serially and row-parallel.
+    let warm = engine.check_matrix(&schemas);
+    for (row_w, row_r) in warm.iter().zip(&reference) {
+        for (w, r) in row_w.iter().zip(row_r) {
+            assert!(same_answer(w, r), "warm matrix diverged: {w} vs {r}");
+        }
+    }
+    let misses_before = engine.stats().validate_misses;
+    let parallel_rows = engine.check_matrix_ids(&ids);
+    assert_eq!(
+        engine.stats().validate_misses,
+        misses_before,
+        "a fully warmed engine must answer matrices from the memo"
+    );
+    for (row_p, row_r) in parallel_rows.iter().zip(&reference) {
+        for (p, r) in row_p.iter().zip(row_r) {
+            assert!(same_answer(p, r), "warm id-matrix diverged: {p} vs {r}");
+        }
+    }
+}
+
+/// One-shot calls through throwaway engines agree with a long-lived shared
+/// session queried from multiple threads at once — the service scenario.
+#[test]
+fn shared_session_matches_one_shot_calls_under_concurrency() {
+    let family = random_family(0xBEEF, 5);
+    let opts = tiny();
+    let engine = Arc::new(ContainmentEngine::with_search(opts.clone()));
+    std::thread::scope(|scope| {
+        for (i, h) in family.iter().enumerate() {
+            let engine = &engine;
+            let family = &family;
+            let opts = &opts;
+            scope.spawn(move || {
+                for (j, k) in family.iter().enumerate() {
+                    let shared = engine.check(h, k);
+                    let one_shot = ContainmentEngine::with_search(opts.clone()).check(h, k);
+                    match (&shared, &one_shot) {
+                        (Containment::Unknown(_), Containment::Unknown(_)) => {}
+                        _ => assert!(
+                            same_answer(&shared, &one_shot),
+                            "pair [{i}][{j}]: shared {shared} vs one-shot {one_shot}"
+                        ),
+                    }
+                }
+            });
+        }
+    });
+}

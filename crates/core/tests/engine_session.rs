@@ -16,81 +16,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use shapex_core::baseline::search_counter_example_baseline;
-use shapex_core::det::characterizing_graph;
-use shapex_core::embedding::embeds;
 use shapex_core::engine::{ContainmentEngine, EngineOptions};
 use shapex_core::general::general_containment;
 use shapex_core::shex0::shex0_containment;
-use shapex_core::unfold::SearchOptions;
-use shapex_core::{Containment, UnknownReason};
+use shapex_core::Containment;
+use shapex_core::UnknownReason;
 use shapex_graph::generate::GraphGen;
-use shapex_graph::Graph;
 use shapex_shex::{parse_schema, Schema};
 
-/// A small budget keeping each random case fast; equivalence must hold for
-/// any budget, so tightness costs no coverage.
-fn tiny() -> SearchOptions {
-    SearchOptions {
-        max_depth: 2,
-        max_bags: 6,
-        max_trees: 8,
-        max_graph_nodes: 40,
-        max_candidates: 120,
-        random_samples: 30,
-        ..SearchOptions::default()
-    }
-}
-
-/// A structural rendering for witness comparison (node names are irrelevant
-/// to validation, but the engine must return the *identical* candidate, so
-/// names are included).
-fn graph_key(g: &Graph) -> String {
-    use std::fmt::Write;
-    let mut s = String::new();
-    for n in g.nodes() {
-        let _ = writeln!(s, "{}", g.node_name(n));
-    }
-    for e in g.edges() {
-        let _ = writeln!(
-            s,
-            "{} -{}-> {}",
-            g.node_name(g.source(e)),
-            g.label(e),
-            g.node_name(g.target(e))
-        );
-    }
-    s
-}
-
-fn same_answer(a: &Containment, b: &Containment) -> bool {
-    match (a, b) {
-        (Containment::Contained, Containment::Contained) => true,
-        (Containment::NotContained(x), Containment::NotContained(y)) => {
-            graph_key(x) == graph_key(y)
-        }
-        (Containment::Unknown(x), Containment::Unknown(y)) => x == y,
-        _ => false,
-    }
-}
-
-/// The ShEx₀ pipeline exactly as the paper (and the pre-engine code) runs
-/// it, over the memo-free baseline search.
-fn shex0_oracle(h: &Schema, k: &Schema, options: &SearchOptions) -> Containment {
-    assert!(h.is_rbe0() && k.is_rbe0(), "oracle is for ShEx0 pairs");
-    let hg = h.to_shape_graph().expect("RBE0 schema has a shape graph");
-    let kg = k.to_shape_graph().expect("RBE0 schema has a shape graph");
-    if embeds(&hg, &kg).is_some() {
-        return Containment::Contained;
-    }
-    if h.is_det_shex0_minus() && k.is_det_shex0_minus() {
-        let witness = characterizing_graph(h).expect("checked DetShEx0-");
-        return Containment::not_contained(witness);
-    }
-    match search_counter_example_baseline(h, k, options) {
-        Some(witness) => Containment::not_contained(witness),
-        None => Containment::budget_exhausted(0, 0), // reason checked separately
-    }
-}
+mod common;
+use common::{graph_key, same_answer, shex0_oracle, tiny};
 
 /// Assert every engine configuration agrees with the oracle on a pair.
 fn engines_agree(h: &Schema, k: &Schema) {
@@ -112,7 +47,7 @@ fn engines_agree(h: &Schema, k: &Schema) {
 
     // A shared session answering the query twice: the warm pass must reuse
     // pools/memos and still answer identically.
-    let mut session = ContainmentEngine::with_search(opts.clone());
+    let session = ContainmentEngine::with_search(opts.clone());
     let cold = session.shex0(h, k);
     let misses_after_cold = session.stats().validate_misses;
     let warm = session.shex0(h, k);
@@ -132,6 +67,7 @@ fn engines_agree(h: &Schema, k: &Schema) {
         search: opts,
         threads: 3,
         parallel_threshold: 1,
+        ..EngineOptions::default()
     };
     let parallel = ContainmentEngine::with_options(parallel_opts).shex0(h, k);
     assert!(
@@ -255,7 +191,7 @@ fn session_reuses_pools_across_partners() {
     let h = parse_schema("Root -> p::A, p::B\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
     let k1 = parse_schema("Root -> p::A, p::A\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
     let k2 = parse_schema("Root -> p::B, p::B\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
-    let mut session = ContainmentEngine::with_search(tiny());
+    let session = ContainmentEngine::with_search(tiny());
     let _ = session.shex0(&h, &k1);
     let built_after_first = session.stats().pools_built;
     assert!(built_after_first > 0);

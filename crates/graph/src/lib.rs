@@ -22,5 +22,45 @@ pub mod generate;
 pub mod model;
 pub mod text;
 
-pub use model::{EdgeId, Graph, GraphKind, Label, LabelId, LabelTable, NodeId, UnpackError};
+pub use model::{
+    EdgeId, Graph, GraphKind, Label, LabelId, LabelTable, NodeId, SharedLabelTable, UnpackError,
+};
 pub use text::{parse_graph, write_graph};
+
+/// Compile-time assertion that every listed type is [`Send`]` + `[`Sync`].
+///
+/// Expands to an unused `const` function pointer whose body only type-checks
+/// when the bounds hold, so a violation is a compile error at the assertion
+/// site — a tiny dependency-free `static_assertions`-style helper for
+/// documenting (and enforcing) a crate's thread-safety contract next to the
+/// types it covers.
+///
+/// ```
+/// shapex_graph::assert_send_sync!(shapex_graph::Graph, shapex_graph::Label);
+/// ```
+#[macro_export]
+macro_rules! assert_send_sync {
+    ($($ty:ty),+ $(,)?) => {
+        const _: fn() = || {
+            fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+            $(assert_send_sync::<$ty>();)+
+        };
+    };
+}
+
+// The thread-safety contract of the graph layer: graphs, labels, and both
+// interners are shared by reference across `ContainmentEngine` worker
+// threads (matrix rows, validation fan-outs) and across service clients, so
+// they must all be `Send + Sync`. `Label` is a content-compared `Arc<str>`;
+// `Graph` only mutates through `&mut self` and its lazy adjacency cache is a
+// `OnceLock`; `SharedLabelTable` is the concurrent interner engineered for
+// exactly this sharing.
+assert_send_sync!(
+    Graph,
+    Label,
+    LabelId,
+    LabelTable,
+    SharedLabelTable,
+    NodeId,
+    EdgeId
+);

@@ -4,8 +4,14 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::OnceLock;
 
-use shapex_graph::{Graph, Label, LabelTable, NodeId};
+use shapex_graph::{Graph, Label, LabelTable, NodeId, SharedLabelTable};
 use shapex_rbe::{Interval, Rbe, Rbe0};
+
+// Thread-safety contract: registered schemas are shared read-only across
+// `ContainmentEngine` worker threads (all interior caches are `OnceLock`s,
+// all labels content-compared `Arc<str>`s), so `Schema` and its pieces must
+// stay `Send + Sync`.
+shapex_graph::assert_send_sync!(Schema, Atom, TypeId, SchemaClass, ShapeExpr);
 
 /// A type name identifier, valid for the [`Schema`] that created it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -194,27 +200,45 @@ impl Schema {
     /// registration. The definitions are unchanged content-wise (labels
     /// compare by content), so the derived-fact caches stay valid.
     pub fn adopt_labels(&mut self, table: &mut LabelTable) {
-        fn walk(expr: &mut ShapeExpr, table: &mut LabelTable, own: &mut LabelTable) {
+        self.adopt_labels_with(&mut |label| table.adopt(label));
+    }
+
+    /// [`Schema::adopt_labels`] against a concurrent [`SharedLabelTable`]:
+    /// the adopting side takes `&self` on the table, so a session can
+    /// re-intern schemas through one shared interner from many threads at
+    /// once (each schema is still mutated exclusively, via `&mut self`).
+    pub fn adopt_labels_shared(&mut self, table: &SharedLabelTable) {
+        self.adopt_labels_with(&mut |label| table.adopt(label));
+    }
+
+    /// The shared adoption walk, parameterised over the canonicalising
+    /// interner.
+    fn adopt_labels_with(&mut self, adopt: &mut dyn FnMut(&Label) -> Label) {
+        fn walk(
+            expr: &mut ShapeExpr,
+            adopt: &mut dyn FnMut(&Label) -> Label,
+            own: &mut LabelTable,
+        ) {
             match expr {
                 Rbe::Epsilon => {}
                 Rbe::Symbol(atom) => {
-                    let canonical = table.adopt(&atom.label);
+                    let canonical = adopt(&atom.label);
                     own.adopt(&canonical);
                     atom.label = canonical;
                 }
                 Rbe::Disj(parts) | Rbe::Concat(parts) => {
                     for p in parts {
-                        walk(p, table, own);
+                        walk(p, adopt, own);
                     }
                 }
-                Rbe::Repeat(inner, _) => walk(inner, table, own),
+                Rbe::Repeat(inner, _) => walk(inner, adopt, own),
             }
         }
         // The schema's own table re-adopts the canonical allocations so
         // later `intern_label` calls hand them out too.
         let mut own = LabelTable::new();
         for def in &mut self.types {
-            walk(&mut def.expr, table, &mut own);
+            walk(&mut def.expr, adopt, &mut own);
         }
         self.labels = own;
     }
@@ -737,6 +761,30 @@ mod tests {
         let n1 = back.def(u2).to_rbe0().unwrap().atoms()[0].0.label.clone();
         let n2 = back.def(e2).to_rbe0().unwrap().atoms()[0].0.label.clone();
         assert!(n1.ptr_eq(&n2));
+    }
+
+    #[test]
+    fn adopt_labels_shared_canonicalises_across_schemas() {
+        let table = SharedLabelTable::new();
+        let mut a = bug_tracker();
+        let mut b = bug_tracker();
+        a.adopt_labels_shared(&table);
+        b.adopt_labels_shared(&table);
+        let name_of = |s: &Schema, ty: &str| {
+            let t = s.find_type(ty).unwrap();
+            s.def(t).to_rbe0().unwrap().atoms()[0].0.label.clone()
+        };
+        let from_a = name_of(&a, "User");
+        let from_b = name_of(&b, "Employee");
+        assert_eq!(from_a.as_str(), "name");
+        assert!(
+            from_a.ptr_eq(&from_b),
+            "both schemas must share the table's allocation"
+        );
+        // The schema's own interner hands the canonical allocation out too.
+        assert!(a.intern_label("name").ptr_eq(&from_a));
+        // Content unchanged: derived facts stay valid.
+        assert_eq!(a.classify_cached(), SchemaClass::DetShEx0Minus);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! A long-lived containment service: one shared engine behind a request
+//! loop, several concurrent clients.
+//!
+//! The server thread runs [`ContainmentService::serve`] over an mpsc channel
+//! of `(request, reply-sender)` envelopes. Three client threads register the
+//! bug-tracker schema family (the upload endpoint — identical submissions
+//! intern onto one handle), then issue containment checks by handle; the
+//! main thread asks for the full matrix and prints the engine's stats line,
+//! the service's metrics surface. All of it shares one
+//! `Arc<ContainmentEngine>`, so every client benefits from every other
+//! client's warmed caches.
+//!
+//! Run with `cargo run --example containment_service`.
+
+use std::sync::mpsc;
+use std::thread;
+
+use shapex::containment::engine::EngineOptions;
+use shapex::service::{ContainmentService, ServiceEnvelope, ServiceRequest, ServiceResponse};
+use shapex::shex::parse_schema;
+
+/// The schema versions every client knows about (a real deployment would
+/// upload these from different sources; interning makes that free).
+const VERSIONS: [(&str, &str); 3] = [
+    (
+        "v1",
+        "Bug  -> descr::Literal, reportedBy::User, reproducedBy::Employee?, related::Bug*\n\
+         User -> name::Literal, email::Literal?\n\
+         Employee -> name::Literal, email::Literal\n",
+    ),
+    (
+        "v2-relaxed",
+        "Bug  -> descr::Literal, reportedBy::User, reproducedBy::Employee?, related::Bug*\n\
+         User -> name::Literal, email::Literal?\n\
+         Employee -> name::Literal, email::Literal?\n",
+    ),
+    (
+        "v2-strict",
+        "Bug  -> descr::Literal, reportedBy::User, reproducedBy::Employee?, related::Bug*\n\
+         User -> name::Literal, email::Literal\n\
+         Employee -> name::Literal, email::Literal\n",
+    ),
+];
+
+/// Send one request and wait for its response.
+fn call(tx: &mpsc::Sender<ServiceEnvelope>, request: ServiceRequest) -> ServiceResponse {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    tx.send((request, reply_tx)).expect("server alive");
+    reply_rx.recv().expect("server replies")
+}
+
+fn main() {
+    // Row-parallel matrices when cores are available; answers are identical
+    // either way.
+    let service = ContainmentService::with_options(EngineOptions::parallel());
+    let (tx, rx) = mpsc::channel::<ServiceEnvelope>();
+
+    thread::scope(|scope| {
+        // The server: a synchronous request loop over the shared engine.
+        let server = {
+            let service = service.clone();
+            scope.spawn(move || service.serve(rx))
+        };
+
+        // Three clients, each registering the whole family (the service
+        // interns duplicates) and checking its own upgrade path.
+        for client in 0..3usize {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let mut ids = Vec::new();
+                for (name, text) in VERSIONS {
+                    let schema = parse_schema(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+                    match call(&tx, ServiceRequest::Register(Box::new(schema))) {
+                        ServiceResponse::Registered(id) => ids.push(id),
+                        other => panic!("register: unexpected {other:?}"),
+                    }
+                }
+                // Client c asks: is upgrading v1 -> candidate c compatible?
+                let candidate = client % VERSIONS.len();
+                match call(
+                    &tx,
+                    ServiceRequest::Check {
+                        h: ids[0],
+                        k: ids[candidate],
+                    },
+                ) {
+                    ServiceResponse::Answer(answer) => println!(
+                        "client {client}: v1 ⊆ {:<10} — {answer}",
+                        VERSIONS[candidate].0
+                    ),
+                    other => panic!("check: unexpected {other:?}"),
+                }
+            });
+        }
+
+        // The main thread is a client too: register (free — interned),
+        // fetch the full matrix, then the metrics line.
+        let ids: Vec<_> = VERSIONS
+            .iter()
+            .map(|(_, text)| {
+                let schema = Box::new(parse_schema(text).unwrap());
+                match call(&tx, ServiceRequest::Register(schema)) {
+                    ServiceResponse::Registered(id) => id,
+                    other => panic!("register: unexpected {other:?}"),
+                }
+            })
+            .collect();
+        let matrix = match call(&tx, ServiceRequest::Matrix(ids)) {
+            ServiceResponse::Matrix(matrix) => matrix,
+            other => panic!("matrix: unexpected {other:?}"),
+        };
+        println!("\ncontainment matrix (row ⊆ column?):");
+        print!("{:>12}", "");
+        for (name, _) in VERSIONS {
+            print!(" {name:>12}");
+        }
+        println!();
+        for (i, row) in matrix.iter().enumerate() {
+            print!("{:>12}", VERSIONS[i].0);
+            for cell in row {
+                let mark = if cell.is_contained() {
+                    "yes"
+                } else if cell.is_not_contained() {
+                    "NO"
+                } else {
+                    "?"
+                };
+                print!(" {mark:>12}");
+            }
+            println!();
+        }
+
+        match call(&tx, ServiceRequest::Stats) {
+            ServiceResponse::Stats(stats) => println!("\nservice metrics: {stats}"),
+            other => panic!("stats: unexpected {other:?}"),
+        }
+
+        drop(tx); // hang up: the server loop drains and returns
+        server.join().expect("server thread");
+    });
+
+    // The service handle still works without the loop (pure dispatch).
+    let direct = service.handle(ServiceRequest::Stats);
+    if let ServiceResponse::Stats(stats) = direct {
+        assert_eq!(stats.schemas, 3, "all clients interned onto one family");
+    }
+}

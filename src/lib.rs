@@ -13,6 +13,9 @@
 //!   (the paper's primary contribution).
 //! * [`gadgets`] — the paper's figures, lower-bound reductions, and random
 //!   workload generators.
+//! * [`service`] — a long-lived containment service: schema registration,
+//!   a synchronous request/response loop, and engine stats as its metrics,
+//!   all over one shared `ContainmentEngine`.
 
 #![forbid(unsafe_code)]
 
@@ -23,8 +26,11 @@ pub use shapex_presburger as presburger;
 pub use shapex_rbe as rbe;
 pub use shapex_shex as shex;
 
+pub mod service;
+
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::service::{ContainmentService, ServiceRequest, ServiceResponse};
     pub use shapex_core::{
         baseline::enumerate_counter_example,
         det::{characterizing_graph, det_containment},
@@ -36,7 +42,9 @@ pub mod prelude {
         Containment, UnknownReason,
     };
     pub use shapex_gadgets::figures;
-    pub use shapex_graph::{Graph, GraphKind, Label, LabelId, LabelTable, NodeId};
+    pub use shapex_graph::{
+        Graph, GraphKind, Label, LabelId, LabelTable, NodeId, SharedLabelTable,
+    };
     pub use shapex_rbe::{Bag, Interval, Rbe, Rbe0};
     pub use shapex_shex::{parse_schema, Schema, SchemaClass, TypeId};
 }

@@ -1,0 +1,281 @@
+//! A long-lived containment service wrapping a shared
+//! [`ContainmentEngine`].
+//!
+//! The engine is the seam a service wraps: every query method takes `&self`
+//! over concurrent caches, so one engine behind an [`Arc`] serves any number
+//! of clients, amortizing shape graphs, unfolding pools, and validation
+//! verdicts across all of their queries. [`ContainmentService`] packages
+//! that seam as a request/response protocol:
+//!
+//! * **Registration is the upload endpoint.** Clients submit a
+//!   [`Schema`] once ([`ServiceRequest::Register`]) and hold the returned
+//!   [`SchemaId`] — structurally identical schemas (even from different
+//!   clients) intern onto one handle and share every cache.
+//! * **Queries go by handle.** [`ServiceRequest::Check`] answers one
+//!   ordered pair; [`ServiceRequest::Matrix`] answers the full N×N batch
+//!   (row-parallel when the engine's [`EngineOptions::matrix_threads`]
+//!   allows), without re-shipping schema texts.
+//! * **[`EngineStats`] is the metrics surface.** [`ServiceRequest::Stats`]
+//!   snapshots the cache hit/miss counters; its `Display` rendering is the
+//!   metrics line to log or scrape.
+//!
+//! The protocol is deliberately synchronous and transport-agnostic:
+//! [`ContainmentService::handle`] maps one request to one response, and
+//! [`ContainmentService::serve`] runs that mapping as a blocking loop over
+//! an [`mpsc`] channel of envelopes — the shape `examples/containment_service.rs`
+//! demonstrates with one server thread and several concurrent clients.
+//! Because the service is [`Clone`] (it clones the inner [`Arc`]), the same
+//! engine can also sit behind several server threads at once.
+
+use std::sync::{mpsc, Arc};
+
+use shapex_core::engine::{ContainmentEngine, EngineOptions, EngineStats, SchemaId};
+use shapex_core::Containment;
+use shapex_shex::Schema;
+
+// One service handle is shared across server and client threads.
+shapex_graph::assert_send_sync!(ContainmentService, ServiceRequest, ServiceResponse);
+
+/// A request to a [`ContainmentService`].
+///
+/// The enum is the service's wire format: everything a client can ask for,
+/// self-contained (schemas travel by value on registration, by [`SchemaId`]
+/// handle afterwards).
+#[derive(Debug, Clone)]
+pub enum ServiceRequest {
+    /// Register a schema, interning structurally identical submissions onto
+    /// one handle. Answered with [`ServiceResponse::Registered`]. Boxed:
+    /// a `Schema` is hundreds of bytes, and requests travel through queues
+    /// sized for the smallest variants.
+    Register(Box<Schema>),
+    /// Decide `L(h) ⊆ L(k)` for two registered handles. Answered with
+    /// [`ServiceResponse::Answer`] (or [`ServiceResponse::Error`] for a
+    /// handle this service never issued).
+    Check {
+        /// The candidate sub-schema.
+        h: SchemaId,
+        /// The candidate super-schema.
+        k: SchemaId,
+    },
+    /// The full pairwise containment matrix over registered handles.
+    /// Answered with [`ServiceResponse::Matrix`].
+    Matrix(Vec<SchemaId>),
+    /// Snapshot the engine's cache-effectiveness counters. Answered with
+    /// [`ServiceResponse::Stats`].
+    Stats,
+}
+
+/// A response from a [`ContainmentService`], one per [`ServiceRequest`].
+#[derive(Debug, Clone)]
+pub enum ServiceResponse {
+    /// The handle for a registered schema.
+    Registered(SchemaId),
+    /// The answer to a [`ServiceRequest::Check`].
+    Answer(Containment),
+    /// The answer to a [`ServiceRequest::Matrix`]: `matrix[i][j]` decides
+    /// `L(ids[i]) ⊆ L(ids[j])`.
+    Matrix(Vec<Vec<Containment>>),
+    /// The counters snapshot for a [`ServiceRequest::Stats`].
+    Stats(EngineStats),
+    /// The request was malformed (e.g. an unregistered [`SchemaId`]); the
+    /// service stays up and the message says what was wrong.
+    Error(String),
+}
+
+/// One queued request plus the channel its response goes back on — the
+/// envelope [`ContainmentService::serve`] consumes.
+pub type ServiceEnvelope = (ServiceRequest, mpsc::Sender<ServiceResponse>);
+
+/// A long-lived containment session behind a request/response protocol; see
+/// the [module docs](self). Cloning is cheap (an [`Arc`] bump) and clones
+/// share the engine, so one service can be driven from many threads.
+#[derive(Debug, Clone)]
+pub struct ContainmentService {
+    engine: Arc<ContainmentEngine>,
+}
+
+impl Default for ContainmentService {
+    fn default() -> Self {
+        ContainmentService::new()
+    }
+}
+
+impl ContainmentService {
+    /// A service over a fresh engine with default options.
+    pub fn new() -> ContainmentService {
+        ContainmentService::with_options(EngineOptions::default())
+    }
+
+    /// A service over a fresh engine with the given options (the search
+    /// budget is fixed for the service's lifetime, like any engine).
+    pub fn with_options(options: EngineOptions) -> ContainmentService {
+        ContainmentService::from_engine(Arc::new(ContainmentEngine::with_options(options)))
+    }
+
+    /// Wrap an existing shared engine — e.g. one that local code also
+    /// queries directly while the service exposes it to other threads.
+    pub fn from_engine(engine: Arc<ContainmentEngine>) -> ContainmentService {
+        ContainmentService { engine }
+    }
+
+    /// The shared engine behind the service.
+    pub fn engine(&self) -> &Arc<ContainmentEngine> {
+        &self.engine
+    }
+
+    /// Answer one request. Pure dispatch onto the engine: safe to call from
+    /// any number of threads at once, with or without
+    /// [`serve`](ContainmentService::serve) running elsewhere.
+    pub fn handle(&self, request: ServiceRequest) -> ServiceResponse {
+        match request {
+            ServiceRequest::Register(schema) => {
+                ServiceResponse::Registered(self.engine.register(&schema))
+            }
+            ServiceRequest::Check { h, k } => match self.checked(h).and(self.checked(k)) {
+                Ok(()) => ServiceResponse::Answer(self.engine.check_ids(h, k)),
+                Err(e) => e,
+            },
+            ServiceRequest::Matrix(ids) => {
+                if let Some(Err(e)) = ids.iter().map(|&id| self.checked(id)).find(Result::is_err) {
+                    return e;
+                }
+                ServiceResponse::Matrix(self.engine.check_matrix_ids(&ids))
+            }
+            ServiceRequest::Stats => ServiceResponse::Stats(self.engine.stats()),
+        }
+    }
+
+    /// The synchronous request loop: answer every envelope until all request
+    /// senders are dropped, then return. A client that hung up before its
+    /// response arrived is skipped silently. Run it on a dedicated thread
+    /// (or several — clones share the engine) and hand clients the sender
+    /// side of the channel.
+    pub fn serve(&self, requests: mpsc::Receiver<ServiceEnvelope>) {
+        for (request, reply) in requests {
+            let _ = reply.send(self.handle(request));
+        }
+    }
+
+    /// Range-check a client-supplied handle.
+    fn checked(&self, id: SchemaId) -> Result<(), ServiceResponse> {
+        if self.engine.is_registered(id) {
+            Ok(())
+        } else {
+            Err(ServiceResponse::Error(format!(
+                "unknown schema handle {id:?} (this service has {} registered)",
+                self.engine.schema_count()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapex_shex::parse_schema;
+
+    fn ids_of(service: &ContainmentService, texts: &[&str]) -> Vec<SchemaId> {
+        texts
+            .iter()
+            .map(|t| {
+                match service.handle(ServiceRequest::Register(Box::new(parse_schema(t).unwrap()))) {
+                    ServiceResponse::Registered(id) => id,
+                    other => panic!("expected Registered, got {other:?}"),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn request_response_round_trip() {
+        let service = ContainmentService::new();
+        let ids = ids_of(
+            &service,
+            &["T -> p::L?\nL -> EMPTY\n", "T -> p::L*\nL -> EMPTY\n"],
+        );
+        match service.handle(ServiceRequest::Check {
+            h: ids[0],
+            k: ids[1],
+        }) {
+            ServiceResponse::Answer(answer) => assert!(answer.is_contained(), "? widens to *"),
+            other => panic!("expected Answer, got {other:?}"),
+        }
+        match service.handle(ServiceRequest::Matrix(ids.clone())) {
+            ServiceResponse::Matrix(matrix) => {
+                assert_eq!(matrix.len(), 2);
+                assert!(matrix[1][0].is_not_contained(), "* does not narrow to ?");
+            }
+            other => panic!("expected Matrix, got {other:?}"),
+        }
+        match service.handle(ServiceRequest::Stats) {
+            ServiceResponse::Stats(stats) => assert_eq!(stats.schemas, 2),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_handles_get_an_error_not_a_panic() {
+        let service = ContainmentService::new();
+        let ids = ids_of(&service, &["T -> p::L?\nL -> EMPTY\n"]);
+        let other = ContainmentService::new();
+        let foreign = ids_of(&other, &["A -> q::B\nB -> EMPTY\n", "B -> EMPTY\n"])[1];
+        match service.handle(ServiceRequest::Check {
+            h: ids[0],
+            k: foreign,
+        }) {
+            ServiceResponse::Error(message) => {
+                assert!(message.contains("unknown schema handle"), "{message}")
+            }
+            other => panic!("expected Error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_loop_answers_concurrent_clients() {
+        let service = ContainmentService::new();
+        let (tx, rx) = mpsc::channel::<ServiceEnvelope>();
+        std::thread::scope(|scope| {
+            let server = {
+                let service = service.clone();
+                scope.spawn(move || service.serve(rx))
+            };
+            let texts = ["T -> p::L?\nL -> EMPTY\n", "T -> p::L\nL -> EMPTY\n"];
+            for _ in 0..3 {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let (reply_tx, reply_rx) = mpsc::channel();
+                    let mut ids = Vec::new();
+                    for t in texts {
+                        tx.send((
+                            ServiceRequest::Register(Box::new(parse_schema(t).unwrap())),
+                            reply_tx.clone(),
+                        ))
+                        .unwrap();
+                        match reply_rx.recv().unwrap() {
+                            ServiceResponse::Registered(id) => ids.push(id),
+                            other => panic!("expected Registered, got {other:?}"),
+                        }
+                    }
+                    tx.send((
+                        ServiceRequest::Check {
+                            h: ids[1],
+                            k: ids[0],
+                        },
+                        reply_tx.clone(),
+                    ))
+                    .unwrap();
+                    match reply_rx.recv().unwrap() {
+                        ServiceResponse::Answer(answer) => {
+                            assert!(answer.is_contained(), "1 is within ?")
+                        }
+                        other => panic!("expected Answer, got {other:?}"),
+                    }
+                });
+            }
+            drop(tx); // all clients eventually hang up; the server returns
+            server.join().unwrap();
+        });
+        // Identical registrations from all clients interned onto one pair.
+        assert_eq!(service.engine().schema_count(), 2);
+    }
+}
