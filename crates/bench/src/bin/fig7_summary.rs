@@ -101,6 +101,74 @@ fn schema_sizes(h: &Schema, k: &Schema) -> usize {
     h.size() + k.size()
 }
 
+/// Mean regression factor above which the gate fails the run.
+const REGRESSION_GATE: f64 = 2.5;
+
+/// Parse a previously written summary back into `(id, mean_ns)` pairs. The
+/// format is this binary's own line-per-record JSON, so a line-based scan is
+/// exact (no external JSON dependency in the workspace).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id_start) = line.find("\"id\": \"") else {
+            continue;
+        };
+        let rest = &line[id_start + 7..];
+        let Some(id_end) = rest.find('"') else {
+            continue;
+        };
+        let id = &rest[..id_end];
+        let Some(mean_at) = line.find("\"mean_ns\": ") else {
+            continue;
+        };
+        let mean_text: String = line[mean_at + 11..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(mean) = mean_text.parse::<f64>() {
+            out.push((id.to_owned(), mean));
+        }
+    }
+    out
+}
+
+/// Compare the fresh records against the committed baseline and fail on any
+/// mean regression beyond [`REGRESSION_GATE`] — the CI tripwire the ROADMAP
+/// asks for. A workload only counts as regressed when its *minimum* run is
+/// also beyond the threshold: a genuine slowdown slows every run, while a
+/// scheduler hiccup inflates the mean through one outlier (the committed
+/// microsecond-scale records show ~2.5x min/max spreads within a single
+/// 3-run sample, so a mean-only gate would flake on shared runners).
+/// `BENCH_FIG7_NO_GATE` skips the gate entirely (noisy or slow hosts).
+fn enforce_regression_gate(recorder: &Recorder, baseline: &[(String, f64)]) -> Result<(), String> {
+    let mut regressions = Vec::new();
+    for record in &recorder.records {
+        let Some((_, old_mean)) = baseline.iter().find(|(id, _)| *id == record.id) else {
+            continue; // new workload: nothing to compare against
+        };
+        let threshold = old_mean * REGRESSION_GATE;
+        if *old_mean > 0.0 && record.mean_ns > threshold && record.min_ns > threshold {
+            regressions.push(format!(
+                "  {}: {:.0}ns -> {:.0}ns mean / {:.0}ns min ({:.1}x)",
+                record.id,
+                old_mean,
+                record.mean_ns,
+                record.min_ns,
+                record.mean_ns / old_mean
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "regression beyond {REGRESSION_GATE}x against the committed baseline \
+             (both mean and best-of-run):\n{}",
+            regressions.join("\n")
+        ))
+    }
+}
+
 fn main() {
     let mut recorder = Recorder::default();
     println!("Figure 7 — containment complexity per schema class (paper vs. measured)\n");
@@ -314,8 +382,49 @@ fn main() {
 
     let json_path =
         std::env::var("BENCH_FIG7_JSON").unwrap_or_else(|_| "BENCH_fig7.json".to_owned());
+    // The committed summary (if any) is the regression baseline; read it
+    // before overwriting. Only a genuinely absent file skips the gate — a
+    // present-but-unreadable or unparseable baseline is a gate integrity
+    // failure, otherwise an IO hiccup or a format drift in `to_json` would
+    // disable the gate forever without anyone noticing.
+    let baseline = match std::fs::read_to_string(&json_path) {
+        Ok(text) => Some(parse_baseline(&text)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => {
+            eprintln!(
+                "\ncannot read the committed baseline {json_path}: {e} — \
+                 failing rather than silently disabling the regression gate"
+            );
+            std::process::exit(1);
+        }
+    };
     match std::fs::write(&json_path, recorder.to_json()) {
         Ok(()) => println!("\nwrote machine-readable summary to {json_path}"),
         Err(e) => eprintln!("\nfailed to write {json_path}: {e}"),
+    }
+    if std::env::var_os("BENCH_FIG7_NO_GATE").is_some() {
+        println!("regression gate skipped (BENCH_FIG7_NO_GATE is set)");
+        return;
+    }
+    match baseline {
+        None => println!("no committed baseline found; regression gate skipped"),
+        Some(records) if records.is_empty() => {
+            eprintln!(
+                "\n{json_path} existed but yielded no baseline records — \
+                 parse_baseline and Recorder::to_json have drifted apart; \
+                 failing rather than silently disabling the regression gate"
+            );
+            std::process::exit(1);
+        }
+        Some(records) => {
+            if let Err(report) = enforce_regression_gate(&recorder, &records) {
+                eprintln!("\n{report}");
+                eprintln!("(set BENCH_FIG7_NO_GATE=1 to bypass on a noisy host)");
+                std::process::exit(1);
+            }
+            println!(
+                "regression gate passed: no workload above {REGRESSION_GATE}x its committed mean"
+            );
+        }
     }
 }

@@ -70,24 +70,25 @@
 //! assert!(matrix[1][0].is_not_contained(), "* does not narrow to ?");
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use shapex_graph::{Graph, SharedLabelTable};
-use shapex_rbe::Bag;
-use shapex_shex::typing::validates;
+use shapex_graph::{Graph, Label, SharedLabelTable};
+use shapex_rbe::{Bag, Rbe};
+use shapex_shex::typing::{validates_with, ValidateScratch};
 use shapex_shex::{Atom, Schema, SchemaClass, TypeId};
 
 use crate::det::{characterizing_graph, NotDetShex0Minus};
 use crate::embedding::embeds;
 use crate::general::{exhaustive_bags, type_simulation_with_bags};
-use crate::unfold::{enumerate_members_with, sample_member_with, SearchOptions};
+use crate::unfold::{SearchOptions, Unfolder};
 use crate::Containment;
 
 // The engine is shared across matrix-row workers, validation fan-outs, and
@@ -284,12 +285,80 @@ impl EngineCounters {
     }
 }
 
-/// An immutable, shareable pool of candidate member graphs.
-type Pool = Arc<Vec<Graph>>;
+/// An immutable, shareable pool of candidate member graphs. The graphs
+/// themselves are `Arc`ed: the unfolder builds one graph per distinct
+/// candidate tree, and every pool (and every returned witness) shares those
+/// allocations instead of materialising its own copies.
+type Pool = Arc<Vec<Arc<Graph>>>;
 
-/// Per-schema memo of `validates(candidate, schema)` verdicts, keyed by the
-/// structural fingerprint of the candidate.
-type ValidateMemo = BTreeMap<String, bool>;
+/// Per-schema memo of `validates(candidate, schema)` verdicts, keyed by a
+/// 64-bit structural hash of the candidate with full structural comparison
+/// on every bucket hit — lookups allocate nothing (the historical
+/// implementation rendered a `String` key per lookup), and a hash collision
+/// can only cost a comparison, never a wrong verdict.
+#[derive(Debug, Default)]
+struct ValidateMemo {
+    buckets: HashMap<u64, Vec<(CandidateKey, bool)>>,
+}
+
+/// The exact structural identity of a memoised candidate: node count plus
+/// every edge as `(source, label, target)`. Node names are irrelevant to
+/// validation, so structurally identical candidates share one slot.
+#[derive(Debug)]
+struct CandidateKey {
+    nodes: u32,
+    edges: Vec<(u32, Label, u32)>,
+}
+
+impl CandidateKey {
+    fn of(graph: &Graph) -> CandidateKey {
+        CandidateKey {
+            nodes: graph.node_count() as u32,
+            edges: graph
+                .edges()
+                .map(|e| (graph.source(e).0, graph.label(e).clone(), graph.target(e).0))
+                .collect(),
+        }
+    }
+
+    fn matches(&self, graph: &Graph) -> bool {
+        self.nodes as usize == graph.node_count()
+            && self.edges.len() == graph.edge_count()
+            && graph.edges().zip(&self.edges).all(|(e, (s, label, t))| {
+                graph.source(e).0 == *s && graph.target(e).0 == *t && graph.label(e) == label
+            })
+    }
+}
+
+/// The structural hash behind [`ValidateMemo`] lookups.
+fn candidate_hash(graph: &Graph) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    graph.node_count().hash(&mut hasher);
+    for e in graph.edges() {
+        graph.source(e).0.hash(&mut hasher);
+        graph.label(e).hash(&mut hasher);
+        graph.target(e).0.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+impl ValidateMemo {
+    fn get(&self, hash: u64, graph: &Graph) -> Option<bool> {
+        self.buckets
+            .get(&hash)?
+            .iter()
+            .find(|(key, _)| key.matches(graph))
+            .map(|&(_, verdict)| verdict)
+    }
+
+    fn insert(&mut self, hash: u64, graph: &Graph, verdict: bool) {
+        let bucket = self.buckets.entry(hash).or_default();
+        if bucket.iter().any(|(key, _)| key.matches(graph)) {
+            return; // a racing thread computed the same verdict first
+        }
+        bucket.push((CandidateKey::of(graph), verdict));
+    }
+}
 
 /// The cached exhaustive bag enumeration of one schema (`None` = some
 /// definition's language is infinite or too large, so the sufficient check
@@ -312,6 +381,11 @@ struct SchemaEntry {
     /// `validates(candidate, schema)` verdicts (read-mostly; see
     /// [`validate_memoised`]).
     validate_memo: RwLock<ValidateMemo>,
+    /// The schema's arena-backed unfolding session: hash-consed trees,
+    /// memoised `(type, depth)` enumerations, one shared graph per distinct
+    /// candidate. Pool builders hold this lock for the duration of one pool
+    /// construction; every other engine path stays off it.
+    unfolder: Mutex<Unfolder>,
     /// `(root type, depth) → pool` of systematic unfoldings.
     enumerated: RwLock<BTreeMap<(TypeId, usize), Pool>>,
     /// The ordered randomized-phase sample pool.
@@ -322,12 +396,25 @@ struct SchemaEntry {
 
 /// The append-only schema registry behind one lock: ids index `schemas`,
 /// and `by_fingerprint` interns structurally identical registrations onto
-/// one entry. Guarded writes only append, so a [`SchemaId`] handed out once
-/// stays valid for the engine's lifetime.
+/// one entry (hash buckets, verified by full structural comparison — a
+/// collision can never conflate distinct schemas). Guarded writes only
+/// append, so a [`SchemaId`] handed out once stays valid for the engine's
+/// lifetime.
 #[derive(Debug, Default)]
 struct Registry {
     schemas: Vec<Arc<SchemaEntry>>,
-    by_fingerprint: BTreeMap<String, SchemaId>,
+    by_fingerprint: HashMap<u64, Vec<SchemaId>>,
+}
+
+impl Registry {
+    /// The interned id of a structurally identical schema, if any.
+    fn find(&self, hash: u64, schema: &Schema) -> Option<SchemaId> {
+        self.by_fingerprint
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&id| same_schema_structure(&self.schemas[id.index()].schema, schema))
+    }
 }
 
 /// Shard count of [`ShardedPairMap`]; a power of two, sized so matrix-row
@@ -475,13 +562,12 @@ impl ContainmentEngine {
     /// The derivation runs outside the registry lock; concurrent racing
     /// registrations of the same schema agree on the winner's entry.
     pub fn register(&self, schema: &Schema) -> SchemaId {
-        let fingerprint = schema_fingerprint(schema);
-        if let Some(&id) = self
+        let fingerprint = schema_hash(schema);
+        if let Some(id) = self
             .registry
             .read()
             .expect("registry lock")
-            .by_fingerprint
-            .get(&fingerprint)
+            .find(fingerprint, schema)
         {
             return id;
         }
@@ -496,18 +582,23 @@ impl ContainmentEngine {
             class,
             shape_graph,
             characterizing: OnceLock::new(),
-            validate_memo: RwLock::new(ValidateMemo::new()),
+            validate_memo: RwLock::new(ValidateMemo::default()),
+            unfolder: Mutex::new(Unfolder::new()),
             enumerated: RwLock::new(BTreeMap::new()),
             sampled: OnceLock::new(),
             bags: OnceLock::new(),
         });
         let mut registry = self.registry.write().expect("registry lock");
-        if let Some(&id) = registry.by_fingerprint.get(&fingerprint) {
+        if let Some(id) = registry.find(fingerprint, schema) {
             return id; // lost the race; adopt the winner's entry
         }
         let id = SchemaId(registry.schemas.len() as u32);
         registry.schemas.push(entry);
-        registry.by_fingerprint.insert(fingerprint, id);
+        registry
+            .by_fingerprint
+            .entry(fingerprint)
+            .or_default()
+            .push(id);
         id
     }
 
@@ -802,6 +893,7 @@ impl ContainmentEngine {
         let parallel = fan_out && self.options.threads > 1;
         let mut examined = 0usize;
         let mut checked = 0usize;
+        let mut scratch = ValidateScratch::new();
         let roots: Vec<TypeId> = h.schema.types().collect();
 
         // Systematic phase.
@@ -820,12 +912,12 @@ impl ContainmentEngine {
                     }
                     let ok = match &mut verdicts {
                         Some(v) => self.verdict_at(k, &pool, v, i),
-                        None => self.validate_one(k, graph),
+                        None => self.validate_one(k, graph, &mut scratch),
                     };
                     checked += 1;
                     if !ok {
                         return SearchOutcome {
-                            witness: Some(graph.clone()),
+                            witness: Some(Graph::clone(graph)),
                             candidates: checked,
                             depth: opts.max_depth,
                         };
@@ -842,12 +934,12 @@ impl ContainmentEngine {
             for (i, graph) in pool.iter().enumerate() {
                 let ok = match &mut verdicts {
                     Some(v) => self.verdict_at(k, &pool, v, i),
-                    None => self.validate_one(k, graph),
+                    None => self.validate_one(k, graph, &mut scratch),
                 };
                 checked += 1;
                 if !ok {
                     return SearchOutcome {
-                        witness: Some(graph.clone()),
+                        witness: Some(Graph::clone(graph)),
                         candidates: checked,
                         depth: opts.max_depth,
                     };
@@ -870,7 +962,7 @@ impl ContainmentEngine {
     fn verdict_at(
         &self,
         k: &SchemaEntry,
-        pool: &[Graph],
+        pool: &[Arc<Graph>],
         verdicts: &mut [Option<bool>],
         i: usize,
     ) -> bool {
@@ -890,10 +982,14 @@ impl ContainmentEngine {
     }
 
     /// The pool of valid members of `h` unfolded from `root` up to `depth` —
-    /// [`crate::unfold::enumerate_members`] with the member-validation step
-    /// routed through the memo, cached per `(root, depth)` in the entry.
-    /// Concurrent builders of the same key race outside the lock; the first
-    /// insertion wins and everyone shares that pool.
+    /// the entry's arena-backed [`Unfolder`] with the fallback
+    /// member-validation step routed through the memo, cached per
+    /// `(root, depth)` in the entry. The unfolder's `(type, depth)` tree
+    /// memos make the depth-cumulative pool family share every subtree and
+    /// every candidate graph; certified members (in practice: all of them)
+    /// skip validation entirely. Concurrent builders of the same key
+    /// serialise on the unfolder lock; the first insertion wins and everyone
+    /// shares that pool.
     fn enumerated_pool(
         &self,
         h: &Arc<SchemaEntry>,
@@ -910,9 +1006,13 @@ impl ContainmentEngine {
             max_depth: depth,
             ..opts.clone()
         };
-        let graphs = enumerate_members_with(&h.schema, root, &scoped, &mut |g| {
-            validate_memoised(h, &self.counters, g)
-        });
+        let graphs = {
+            let mut scratch = ValidateScratch::new();
+            let mut unfolder = h.unfolder.lock().expect("unfolder lock");
+            unfolder.members_with(&h.schema, root, &scoped, &mut |g| {
+                validate_memoised(h, &self.counters, g, &mut scratch)
+            })
+        };
         let pool: Pool = Arc::new(graphs);
         h.enumerated
             .write()
@@ -922,10 +1022,10 @@ impl ContainmentEngine {
             .clone()
     }
 
-    /// The ordered randomized-sample pool of `h` —
-    /// [`crate::unfold::sample_member`] over the baseline's exact RNG
-    /// sequence, with the member-validation step routed through the memo,
-    /// built once per schema (`OnceLock`).
+    /// The ordered randomized-sample pool of `h` — the entry's [`Unfolder`]
+    /// over the baseline's exact RNG sequence, with the fallback
+    /// member-validation step routed through the memo, built once per schema
+    /// (`OnceLock`).
     fn sampled_pool(&self, h: &Arc<SchemaEntry>, opts: &SearchOptions) -> Pool {
         // Exactly one of pool_hits / pools_built ticks per call: a thread
         // losing the init race still counts its request as a hit.
@@ -939,11 +1039,14 @@ impl ContainmentEngine {
                 let roots: Vec<TypeId> = h.schema.types().collect();
                 let mut graphs = Vec::new();
                 if !roots.is_empty() {
-                    let mut is_member = |g: &Graph| validate_memoised(h, &self.counters, g);
+                    let mut scratch = ValidateScratch::new();
+                    let mut unfolder = h.unfolder.lock().expect("unfolder lock");
+                    let mut is_member =
+                        |g: &Graph| validate_memoised(h, &self.counters, g, &mut scratch);
                     for _ in 0..opts.random_samples {
                         let root = roots[rng.gen_range(0..roots.len())];
                         if let Some(graph) =
-                            sample_member_with(&h.schema, root, &mut rng, opts, &mut is_member)
+                            unfolder.sample_with(&h.schema, root, &mut rng, opts, &mut is_member)
                         {
                             graphs.push(graph);
                         }
@@ -959,19 +1062,23 @@ impl ContainmentEngine {
     }
 
     /// One memoised `validates(graph, k)` verdict.
-    fn validate_one(&self, k: &SchemaEntry, graph: &Graph) -> bool {
-        validate_memoised(k, &self.counters, graph)
+    fn validate_one(&self, k: &SchemaEntry, graph: &Graph, scratch: &mut ValidateScratch) -> bool {
+        validate_memoised(k, &self.counters, graph, scratch)
     }
 
     /// Memoised verdicts for one stripe of candidates, with the uncached
     /// ones fanned across the engine's worker threads when there are enough
     /// of them (below `parallel_threshold` the spawn overhead dominates and
-    /// the stripe is validated inline).
-    fn validate_slice(&self, k: &SchemaEntry, pool: &[Graph]) -> Vec<bool> {
-        let mut keys: Vec<String> = pool.iter().map(candidate_key).collect();
+    /// the stripe is validated inline). Lookups go through the hashed memo
+    /// keys, so a fully warm stripe allocates nothing.
+    fn validate_slice(&self, k: &SchemaEntry, pool: &[Arc<Graph>]) -> Vec<bool> {
+        let hashes: Vec<u64> = pool.iter().map(|g| candidate_hash(g)).collect();
         let mut verdicts: Vec<Option<bool>> = {
             let memo = k.validate_memo.read().expect("validate memo lock");
-            keys.iter().map(|key| memo.get(key).copied()).collect()
+            pool.iter()
+                .zip(&hashes)
+                .map(|(graph, &hash)| memo.get(hash, graph))
+                .collect()
         };
         let missing: Vec<usize> = verdicts
             .iter()
@@ -993,8 +1100,9 @@ impl ContainmentEngine {
                         .chunks(missing.len().div_ceil(workers))
                         .map(|part| {
                             scope.spawn(move || {
+                                let mut scratch = ValidateScratch::new();
                                 part.iter()
-                                    .map(|&i| (i, validates(&pool[i], schema)))
+                                    .map(|&i| (i, validates_with(&pool[i], schema, &mut scratch)))
                                     .collect::<Vec<(usize, bool)>>()
                             })
                         })
@@ -1006,16 +1114,14 @@ impl ContainmentEngine {
                     }
                 });
             } else {
+                let mut scratch = ValidateScratch::new();
                 for &i in &missing {
-                    verdicts[i] = Some(validates(&pool[i], schema));
+                    verdicts[i] = Some(validates_with(&pool[i], schema, &mut scratch));
                 }
             }
             let mut memo = k.validate_memo.write().expect("validate memo lock");
             for &i in &missing {
-                memo.insert(
-                    std::mem::take(&mut keys[i]),
-                    verdicts[i].expect("filled above"),
-                );
+                memo.insert(hashes[i], &pool[i], verdicts[i].expect("filled above"));
             }
         }
         verdicts
@@ -1037,61 +1143,92 @@ fn require_det_minus(entry: &SchemaEntry) -> Result<(), NotDetShex0Minus> {
     }
 }
 
-/// A structural fingerprint of a schema: every type's name plus the `Debug`
-/// rendering of its full expression tree. Unlike the `Display` rendering,
-/// this keeps degenerate wrappers distinct — `Disj([e])` or `Concat([])`
-/// print like plain `e` / `Disj([])` but denote different classes or
-/// languages — so two schemas are interned together only when their
-/// definitions are structurally identical.
-fn schema_fingerprint(schema: &Schema) -> String {
-    let mut out = String::new();
-    let _ = write!(out, "{}#", schema.type_count());
+/// A structural hash of a schema: type count, every type's name, and its
+/// full expression tree walked constructor by constructor. Registration
+/// verifies bucket hits with [`same_schema_structure`], so the hash only
+/// routes lookups — unlike the historical `String` fingerprint (type names
+/// plus `Debug` renderings), computing it allocates nothing.
+fn schema_hash(schema: &Schema) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    schema.type_count().hash(&mut hasher);
     for t in schema.types() {
-        let _ = write!(out, "{}:{:?};", schema.type_name(t), schema.def(t));
+        schema.type_name(t).hash(&mut hasher);
+        hash_rbe(schema.def(t), &mut hasher);
     }
-    out
+    hasher.finish()
 }
 
-/// A structural fingerprint of a candidate graph: node count plus every edge
-/// as `source-label>target`. Validation semantics are independent of node
-/// names, so structurally identical candidates (the same unfolding reached
-/// at different depths or from different samples) share one memo slot.
-fn candidate_key(graph: &Graph) -> String {
-    let mut key = String::with_capacity(8 + graph.edge_count() * 12);
-    let _ = write!(key, "{};", graph.node_count());
-    for e in graph.edges() {
-        let _ = write!(
-            key,
-            "{}-{}>{};",
-            graph.source(e).0,
-            graph.label(e),
-            graph.target(e).0
-        );
+/// Constructor-tagged structural hash of an expression tree. Degenerate
+/// wrappers stay distinct — `Disj([e])` hashes differently from plain `e` —
+/// matching the exact-equality verification below.
+fn hash_rbe(expr: &Rbe<Atom>, hasher: &mut DefaultHasher) {
+    match expr {
+        Rbe::Epsilon => 0u8.hash(hasher),
+        Rbe::Symbol(atom) => {
+            1u8.hash(hasher);
+            atom.hash(hasher);
+        }
+        Rbe::Disj(parts) => {
+            2u8.hash(hasher);
+            parts.len().hash(hasher);
+            for p in parts {
+                hash_rbe(p, hasher);
+            }
+        }
+        Rbe::Concat(parts) => {
+            3u8.hash(hasher);
+            parts.len().hash(hasher);
+            for p in parts {
+                hash_rbe(p, hasher);
+            }
+        }
+        Rbe::Repeat(inner, interval) => {
+            4u8.hash(hasher);
+            interval.lo().hash(hasher);
+            interval.hi().hash(hasher);
+            hash_rbe(inner, hasher);
+        }
     }
-    key
+}
+
+/// Exact structural identity of two schemas: same type names in the same
+/// order, structurally identical definitions (`Rbe` equality keeps
+/// degenerate wrappers like `Disj([e])` distinct from `e`, so schemas that
+/// merely render alike stay distinct entries).
+fn same_schema_structure(a: &Schema, b: &Schema) -> bool {
+    a.type_count() == b.type_count()
+        && a.types()
+            .all(|t| a.type_name(t) == b.type_name(t) && a.def(t) == b.def(t))
 }
 
 /// The memoised validation verdict against `entry`'s schema: read-lock
 /// lookup, compute outside any lock, write-lock insert. Racing threads may
 /// compute the same (deterministic) verdict twice; both insertions agree.
-fn validate_memoised(entry: &SchemaEntry, counters: &EngineCounters, graph: &Graph) -> bool {
-    let key = candidate_key(graph);
-    if let Some(&v) = entry
+/// The caller supplies the [`ValidateScratch`] so a loop of verdicts reuses
+/// one set of flow buffers.
+fn validate_memoised(
+    entry: &SchemaEntry,
+    counters: &EngineCounters,
+    graph: &Graph,
+    scratch: &mut ValidateScratch,
+) -> bool {
+    let hash = candidate_hash(graph);
+    if let Some(v) = entry
         .validate_memo
         .read()
         .expect("validate memo lock")
-        .get(&key)
+        .get(hash, graph)
     {
         EngineCounters::tick(&counters.validate_hits);
         return v;
     }
     EngineCounters::tick(&counters.validate_misses);
-    let v = validates(graph, &entry.schema);
+    let v = validates_with(graph, &entry.schema, scratch);
     entry
         .validate_memo
         .write()
         .expect("validate memo lock")
-        .insert(key, v);
+        .insert(hash, graph, v);
     v
 }
 

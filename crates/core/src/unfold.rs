@@ -7,13 +7,42 @@
 //! is sampled with small counts (`*` as 0, 1 or 2; `+` as 1 or 2), which is
 //! exactly the granularity the containment arguments of the paper rely on
 //! (distinguishing 0, 1, and "more than one").
+//!
+//! # The candidate arena
+//!
+//! Trees live in a [`TreeArena`]: a [`Tree`] is an index, a node is its
+//! [`TypeId`] plus a child range into one flat child table, and nodes are
+//! *hash-consed* — structurally identical subtrees (same type, same labelled
+//! children) get the same index no matter where the enumeration encounters
+//! them. An [`Unfolder`] drives enumeration and sampling over one arena and
+//! memoises everything by construction key: candidate bags per type,
+//! enumerated tree lists per `(type, depth)`, and one shared [`Graph`] per
+//! distinct tree. The depth-cumulative searches of the containment engine
+//! re-encounter the same subtrees at every depth and in every Cartesian
+//! combination; the arena makes each of them exist — and each candidate graph
+//! get built — exactly once.
+//!
+//! The arena also certifies membership: every node records whether its own
+//! bag of `(label, child type)` atoms is accepted by its type's definition
+//! (memoised per distinct `(type, bag)`), and a tree whose nodes all pass is
+//! a member of `L(schema)` by construction — the typing that assigns every
+//! node its construction type is valid, so the maximal typing is total.
+//! Candidate filtering skips the full validation fixpoint for such trees and
+//! only falls back to [`validates`] for the (in practice empty) remainder,
+//! which keeps the produced candidate pools bit-identical to the historical
+//! materialise-everything pipeline.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use shapex_graph::{Graph, Label};
+use shapex_graph::{Graph, GraphBuilder, Label};
 use shapex_rbe::{Bag, Interval, Rbe};
-use shapex_shex::typing::validates;
+use shapex_shex::typing::{neighbourhood_satisfies, validates, EdgeSummary};
 use shapex_shex::{Atom, Schema, TypeId};
 
 /// Budget knobs for unfolding-based searches.
@@ -64,46 +93,489 @@ impl SearchOptions {
     }
 }
 
-/// An unfolded instance of a type: a node plus unfolded children.
-#[derive(Debug, Clone)]
-pub struct Tree {
-    /// The type this node instantiates.
-    pub type_id: TypeId,
-    /// Outgoing edges: interned predicate label and the unfolded child.
-    ///
-    /// The labels are clones of the schema's interned atom labels (one
-    /// `Arc<str>` per distinct predicate), so building trees and converting
-    /// them to graphs allocates no label text per edge.
-    pub children: Vec<(Label, Tree)>,
+/// A 64-bit structural hash via the std hasher (stable within a process,
+/// which is all the arena's verify-on-collision lookups need).
+fn hash_of(value: impl Hash) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    value.hash(&mut hasher);
+    hasher.finish()
 }
 
+/// An unfolded instance of a type, as an index into a [`TreeArena`].
+///
+/// Indices are only meaningful for the arena that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tree(u32);
+
 impl Tree {
-    /// Number of nodes in the tree.
-    pub fn size(&self) -> usize {
-        1 + self.children.iter().map(|(_, c)| c.size()).sum::<usize>()
+    /// The position of the tree's root node in its arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One arena node: the instantiated type plus a child range into the arena's
+/// flat child table.
+#[derive(Debug, Clone, Copy)]
+struct TreeNode {
+    type_id: TypeId,
+    child_start: u32,
+    child_end: u32,
+}
+
+/// A memoised `(type, bag of (label, child type))` acceptance verdict; the
+/// profile is kept for exact (collision-proof) key comparison.
+#[derive(Debug)]
+struct LocalVerdict {
+    type_id: TypeId,
+    profile: Vec<(Label, TypeId)>,
+    ok: bool,
+}
+
+/// The hash-consing tree store behind [`Unfolder`]; see the
+/// [module docs](self) for the design.
+#[derive(Debug, Default)]
+pub struct TreeArena {
+    nodes: Vec<TreeNode>,
+    children: Vec<(Label, Tree)>,
+    /// Structural hash per node (type + labelled child indices).
+    hashes: Vec<u64>,
+    /// Subtree node count per node, cached at construction.
+    sizes: Vec<u64>,
+    /// Whether the subtree is a certified member of the schema's language.
+    member: Vec<bool>,
+    /// Hash-consing buckets: structural hash → node indices (verified by
+    /// full comparison, so a collision can never conflate distinct trees).
+    dedup: HashMap<u64, Vec<u32>>,
+    /// `(type, bag)` acceptance memo, same verify-on-collision scheme.
+    local: HashMap<u64, Vec<LocalVerdict>>,
+}
+
+impl TreeArena {
+    /// An empty arena.
+    pub fn new() -> TreeArena {
+        TreeArena::default()
     }
 
-    /// Convert the tree into a simple graph rooted at a node of this type.
-    pub fn to_graph(&self, schema: &Schema) -> Graph {
-        let mut graph = Graph::new();
+    /// Number of distinct trees interned.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The type a tree's root instantiates.
+    pub fn type_of(&self, tree: Tree) -> TypeId {
+        self.nodes[tree.index()].type_id
+    }
+
+    /// The labelled children of a tree's root.
+    pub fn children(&self, tree: Tree) -> &[(Label, Tree)] {
+        let node = self.nodes[tree.index()];
+        &self.children[node.child_start as usize..node.child_end as usize]
+    }
+
+    /// Number of nodes in the tree (cached; O(1)).
+    pub fn size(&self, tree: Tree) -> usize {
+        self.sizes[tree.index()] as usize
+    }
+
+    /// Whether the tree is a member of `L(schema)` by construction: every
+    /// node's bag of `(label, child type)` atoms is accepted by its type's
+    /// definition, so the typing assigning each node its construction type
+    /// is valid and validation cannot fail.
+    pub fn certified_member(&self, tree: Tree) -> bool {
+        self.member[tree.index()]
+    }
+
+    /// Intern a tree with the given root type and labelled children
+    /// (children must already live in this arena). Structurally identical
+    /// trees share one index.
+    pub fn node(&mut self, schema: &Schema, t: TypeId, children: &[(Label, Tree)]) -> Tree {
+        let mut hasher = DefaultHasher::new();
+        t.hash(&mut hasher);
+        for (label, child) in children {
+            label.hash(&mut hasher);
+            self.hashes[child.index()].hash(&mut hasher);
+        }
+        let hash = hasher.finish();
+        if let Some(bucket) = self.dedup.get(&hash) {
+            for &index in bucket {
+                let node = self.nodes[index as usize];
+                if node.type_id == t
+                    && &self.children[node.child_start as usize..node.child_end as usize]
+                        == children
+                {
+                    return Tree(index);
+                }
+            }
+        }
+        let local_ok = self.local_accepted(schema, t, children);
+        let member = local_ok && children.iter().all(|&(_, c)| self.member[c.index()]);
+        let size = 1 + children
+            .iter()
+            .map(|&(_, c)| self.sizes[c.index()])
+            .sum::<u64>();
+        let child_start = self.children.len() as u32;
+        self.children.extend_from_slice(children);
+        let child_end = self.children.len() as u32;
+        let index = self.nodes.len() as u32;
+        self.nodes.push(TreeNode {
+            type_id: t,
+            child_start,
+            child_end,
+        });
+        self.hashes.push(hash);
+        self.sizes.push(size);
+        self.member.push(member);
+        self.dedup.entry(hash).or_default().push(index);
+        Tree(index)
+    }
+
+    /// Whether the bag `{(label, type_of(child))}` is accepted by `def(t)` —
+    /// computed once per distinct `(type, bag)` across the whole arena.
+    fn local_accepted(&mut self, schema: &Schema, t: TypeId, children: &[(Label, Tree)]) -> bool {
+        let mut hasher = DefaultHasher::new();
+        t.hash(&mut hasher);
+        for (label, child) in children {
+            label.hash(&mut hasher);
+            self.nodes[child.index()].type_id.hash(&mut hasher);
+        }
+        let key = hasher.finish();
+        if let Some(bucket) = self.local.get(&key) {
+            for verdict in bucket {
+                if verdict.type_id == t
+                    && verdict.profile.len() == children.len()
+                    && verdict
+                        .profile
+                        .iter()
+                        .zip(children)
+                        .all(|((l, ty), (label, child))| {
+                            l == label && *ty == self.nodes[child.index()].type_id
+                        })
+                {
+                    return verdict.ok;
+                }
+            }
+        }
+        let edges: Vec<EdgeSummary> = children
+            .iter()
+            .map(|(label, child)| EdgeSummary {
+                label: label.clone(),
+                target_types: std::iter::once(self.nodes[child.index()].type_id).collect(),
+                multiplicity: 1,
+            })
+            .collect();
+        let ok = neighbourhood_satisfies(&edges, schema.def(t));
+        let profile = children
+            .iter()
+            .map(|(label, child)| (label.clone(), self.nodes[child.index()].type_id))
+            .collect();
+        self.local.entry(key).or_default().push(LocalVerdict {
+            type_id: t,
+            profile,
+            ok,
+        });
+        ok
+    }
+
+    /// Materialise the tree as a simple graph rooted at a node of its type
+    /// (node names are `Type_counter` in preorder, the historical layout the
+    /// oracle suites compare witnesses by).
+    pub fn to_graph(&self, tree: Tree, schema: &Schema, builder: &mut GraphBuilder) -> Graph {
+        let size = self.size(tree);
+        let mut graph = builder.start(size, size.saturating_sub(1));
         let mut counter = 0usize;
-        self.add_to(&mut graph, schema, &mut counter);
+        self.add_to(tree, &mut graph, schema, &mut counter, builder);
         graph
     }
 
     fn add_to(
         &self,
+        tree: Tree,
         graph: &mut Graph,
         schema: &Schema,
         counter: &mut usize,
+        builder: &mut GraphBuilder,
     ) -> shapex_graph::NodeId {
-        let id = graph.add_named_node(format!("{}_{}", schema.type_name(self.type_id), *counter));
+        let id = builder.named_node(
+            graph,
+            format_args!("{}_{}", schema.type_name(self.type_of(tree)), *counter),
+        );
         *counter += 1;
-        for (label, child) in &self.children {
-            let child_id = child.add_to(graph, schema, counter);
-            graph.add_edge(id, label.clone(), child_id);
+        let node = self.nodes[tree.index()];
+        for child_slot in node.child_start..node.child_end {
+            let (label, child) = self.children[child_slot as usize].clone();
+            let child_id = self.add_to(child, graph, schema, counter, builder);
+            graph.add_edge(id, label, child_id);
         }
         id
+    }
+}
+
+/// A memoising unfolding session over one schema and one search budget.
+///
+/// All memo tables are keyed by construction inputs ([`TypeId`], depth), so
+/// an `Unfolder` must only ever be used with the schema and
+/// [`SearchOptions`] bag/tree caps it first saw — the containment engine
+/// keeps one per registered schema (whose budget is fixed for the engine's
+/// lifetime), the one-shot wrappers build a throwaway one per call.
+#[derive(Debug, Default)]
+pub struct Unfolder {
+    arena: TreeArena,
+    /// `(root type, depth) → enumerated trees` (shared, capped at
+    /// `max_trees`).
+    enumerated: HashMap<(TypeId, usize), Arc<Vec<Tree>>>,
+    /// Candidate bags per type (depth-independent).
+    bags: HashMap<TypeId, Arc<Vec<Bag<Atom>>>>,
+    /// One graph per distinct tree, built on first demand.
+    graphs: Vec<Option<Arc<Graph>>>,
+    builder: GraphBuilder,
+}
+
+impl Unfolder {
+    /// An empty session.
+    pub fn new() -> Unfolder {
+        Unfolder::default()
+    }
+
+    /// The underlying tree arena.
+    pub fn arena(&self) -> &TreeArena {
+        &self.arena
+    }
+
+    /// The memoised candidate bags of a type.
+    fn type_bags(
+        &mut self,
+        schema: &Schema,
+        t: TypeId,
+        options: &SearchOptions,
+    ) -> Arc<Vec<Bag<Atom>>> {
+        if let Some(bags) = self.bags.get(&t) {
+            return bags.clone();
+        }
+        let bags = Arc::new(candidate_bags(schema.def(t), options));
+        self.bags.insert(t, bags.clone());
+        bags
+    }
+
+    /// Enumerate unfoldings of `t` up to `depth`, memoised per
+    /// `(type, depth)`. Order and caps are exactly those of the historical
+    /// enumeration: bags in [`candidate_bags`] order, Cartesian child
+    /// combinations (at most 4 subtree choices per slot), `max_trees` total.
+    pub fn trees(
+        &mut self,
+        schema: &Schema,
+        t: TypeId,
+        depth: usize,
+        options: &SearchOptions,
+    ) -> Arc<Vec<Tree>> {
+        if let Some(trees) = self.enumerated.get(&(t, depth)) {
+            return trees.clone();
+        }
+        let bags = self.type_bags(schema, t, options);
+        let mut out: Vec<Tree> = Vec::new();
+        'bags: for bag in bags.iter() {
+            if depth == 0 && !bag.is_empty() {
+                continue;
+            }
+            // For every atom occurrence, enumerate child trees; combine by
+            // taking the Cartesian product capped at max_trees. Children are
+            // arena indices, so a combination clones a few words per slot
+            // instead of whole subtrees.
+            let mut combos: Vec<Vec<(Label, Tree)>> = vec![Vec::new()];
+            let mut dead = false;
+            for (atom, count) in bag.iter() {
+                let child_trees = self.trees(schema, atom.target, depth.saturating_sub(1), options);
+                if child_trees.is_empty() {
+                    dead = true;
+                    break;
+                }
+                for _ in 0..count {
+                    let mut next = Vec::new();
+                    for prefix in &combos {
+                        for &child in child_trees.iter().take(4) {
+                            let mut extended = prefix.clone();
+                            extended.push((atom.label.clone(), child));
+                            next.push(extended);
+                            if next.len() >= options.max_trees {
+                                break;
+                            }
+                        }
+                        if next.len() >= options.max_trees {
+                            break;
+                        }
+                    }
+                    combos = next;
+                }
+            }
+            if dead {
+                continue;
+            }
+            for children in combos {
+                out.push(self.arena.node(schema, t, &children));
+                if out.len() >= options.max_trees {
+                    break 'bags;
+                }
+            }
+        }
+        let out = Arc::new(out);
+        self.enumerated.insert((t, depth), out.clone());
+        out
+    }
+
+    /// The shared graph of a tree, built once per distinct tree.
+    pub fn graph(&mut self, tree: Tree, schema: &Schema) -> Arc<Graph> {
+        if self.graphs.len() < self.arena.len() {
+            self.graphs.resize(self.arena.len(), None);
+        }
+        if let Some(graph) = &self.graphs[tree.index()] {
+            return graph.clone();
+        }
+        let graph = Arc::new(self.arena.to_graph(tree, schema, &mut self.builder));
+        self.graphs[tree.index()] = Some(graph.clone());
+        graph
+    }
+
+    /// Enumerate member graphs of `root` up to `options.max_depth`; see
+    /// [`enumerate_members`] for the contract.
+    pub fn members(
+        &mut self,
+        schema: &Schema,
+        root: TypeId,
+        options: &SearchOptions,
+    ) -> Vec<Arc<Graph>> {
+        self.members_with(schema, root, options, &mut |g| validates(g, schema))
+    }
+
+    /// [`Unfolder::members`] with the fallback member-validation step
+    /// injected, so the engine can route the (rare) non-certified candidates
+    /// through its verdict memo while sharing this exact filter/cap logic —
+    /// the answer-equivalence with the baseline depends on there being only
+    /// one copy of it. Certified members skip the callback entirely.
+    pub(crate) fn members_with(
+        &mut self,
+        schema: &Schema,
+        root: TypeId,
+        options: &SearchOptions,
+        is_member: &mut dyn FnMut(&Graph) -> bool,
+    ) -> Vec<Arc<Graph>> {
+        let trees = self.trees(schema, root, options.max_depth, options);
+        let mut graphs = Vec::new();
+        for &tree in trees.iter() {
+            if self.arena.size(tree) > options.max_graph_nodes {
+                continue;
+            }
+            let graph = self.graph(tree, schema);
+            if self.arena.certified_member(tree) || is_member(&graph) {
+                graphs.push(graph);
+            }
+            if graphs.len() >= options.max_candidates {
+                break;
+            }
+        }
+        graphs
+    }
+
+    /// Draw one random unfolding of `root`; see [`sample_member`] for the
+    /// contract. The RNG consumption is identical to the historical sampler
+    /// (and independent of the memo state), so pooled and baseline searches
+    /// draw the same samples.
+    pub fn sample(
+        &mut self,
+        schema: &Schema,
+        root: TypeId,
+        rng: &mut StdRng,
+        options: &SearchOptions,
+    ) -> Option<Arc<Graph>> {
+        self.sample_with(schema, root, rng, options, &mut |g| validates(g, schema))
+    }
+
+    /// [`Unfolder::sample`] with the fallback member-validation step
+    /// injected (see [`Unfolder::members_with`]).
+    pub(crate) fn sample_with(
+        &mut self,
+        schema: &Schema,
+        root: TypeId,
+        rng: &mut StdRng,
+        options: &SearchOptions,
+        is_member: &mut dyn FnMut(&Graph) -> bool,
+    ) -> Option<Arc<Graph>> {
+        let tree = self.sample_tree(schema, root, options.max_depth + 2, rng, options, &mut 0)?;
+        let graph = self.graph(tree, schema);
+        if graph.node_count() <= options.max_graph_nodes
+            && (self.arena.certified_member(tree) || is_member(&graph))
+        {
+            Some(graph)
+        } else {
+            None
+        }
+    }
+
+    fn sample_tree(
+        &mut self,
+        schema: &Schema,
+        t: TypeId,
+        depth: usize,
+        rng: &mut StdRng,
+        options: &SearchOptions,
+        nodes: &mut usize,
+    ) -> Option<Tree> {
+        *nodes += 1;
+        if *nodes > options.max_graph_nodes {
+            return None;
+        }
+        let bags = self.type_bags(schema, t, options);
+        if bags.is_empty() {
+            return None;
+        }
+        // At shallow remaining depth, prefer small bags to terminate.
+        let bag = if depth == 0 {
+            bags.iter().min_by_key(|b| b.total())?
+        } else {
+            &bags[rng.gen_range(0..bags.len())]
+        };
+        let mut children = Vec::new();
+        for (atom, count) in bag.iter() {
+            for _ in 0..count {
+                let child = self.sample_tree(
+                    schema,
+                    atom.target,
+                    depth.saturating_sub(1),
+                    rng,
+                    options,
+                    nodes,
+                )?;
+                children.push((atom.label.clone(), child));
+            }
+        }
+        Some(self.arena.node(schema, t, &children))
+    }
+}
+
+/// First-occurrence-order deduplication of bags by hash, with full equality
+/// verified on every bucket hit (a collision can only cost a comparison,
+/// never conflate distinct bags). Replaces the historical `Vec::contains`
+/// scans, which re-compared every accumulated bag per insertion.
+#[derive(Default)]
+struct BagDedup {
+    buckets: HashMap<u64, Vec<usize>>,
+}
+
+impl BagDedup {
+    /// Append `bag` to `out` unless an equal bag is already there; returns
+    /// whether the bag was new.
+    fn insert(&mut self, out: &mut Vec<Bag<Atom>>, bag: Bag<Atom>) -> bool {
+        let bucket = self.buckets.entry(hash_of(&bag)).or_default();
+        if bucket.iter().any(|&i| out[i] == bag) {
+            return false;
+        }
+        bucket.push(out.len());
+        out.push(bag);
+        true
     }
 }
 
@@ -121,11 +593,10 @@ fn enumerate_bags(expr: &Rbe<Atom>, limit: usize) -> Vec<Bag<Atom>> {
         Rbe::Symbol(atom) => vec![Bag::from_symbols([atom.clone()])],
         Rbe::Disj(parts) => {
             let mut out: Vec<Bag<Atom>> = Vec::new();
+            let mut seen = BagDedup::default();
             for p in parts {
                 for bag in enumerate_bags(p, limit) {
-                    if !out.contains(&bag) {
-                        out.push(bag);
-                    }
+                    seen.insert(&mut out, bag);
                     if out.len() >= limit {
                         return out;
                     }
@@ -157,6 +628,7 @@ fn enumerate_bags(expr: &Rbe<Atom>, limit: usize) -> Vec<Bag<Atom>> {
             let counts = repetition_counts(*interval);
             let inner_bags = enumerate_bags(inner, limit);
             let mut out: Vec<Bag<Atom>> = Vec::new();
+            let mut seen = BagDedup::default();
             for n in counts {
                 // n-fold unions of inner bags (diagonal + a few mixes).
                 let mut partial: Vec<Bag<Atom>> = vec![Bag::new()];
@@ -176,9 +648,7 @@ fn enumerate_bags(expr: &Rbe<Atom>, limit: usize) -> Vec<Bag<Atom>> {
                     partial = next;
                 }
                 for bag in partial {
-                    if !out.contains(&bag) {
-                        out.push(bag);
-                    }
+                    seen.insert(&mut out, bag);
                     if out.len() >= limit {
                         return out;
                     }
@@ -202,11 +672,10 @@ pub fn all_bags(expr: &Rbe<Atom>, limit: usize) -> Option<Vec<Bag<Atom>>> {
         Rbe::Symbol(atom) => Some(vec![Bag::from_symbols([atom.clone()])]),
         Rbe::Disj(parts) => {
             let mut out: Vec<Bag<Atom>> = Vec::new();
+            let mut seen = BagDedup::default();
             for p in parts {
                 for bag in all_bags(p, limit)? {
-                    if !out.contains(&bag) {
-                        out.push(bag);
-                    }
+                    seen.insert(&mut out, bag);
                     if out.len() > limit {
                         return None;
                     }
@@ -219,12 +688,10 @@ pub fn all_bags(expr: &Rbe<Atom>, limit: usize) -> Option<Vec<Bag<Atom>>> {
             for p in parts {
                 let choices = all_bags(p, limit)?;
                 let mut next = Vec::new();
+                let mut seen = BagDedup::default();
                 for prefix in &out {
                     for bag in &choices {
-                        let combined = prefix.union(bag);
-                        if !next.contains(&combined) {
-                            next.push(combined);
-                        }
+                        seen.insert(&mut next, prefix.union(bag));
                         if next.len() > limit {
                             return None;
                         }
@@ -242,16 +709,15 @@ pub fn all_bags(expr: &Rbe<Atom>, limit: usize) -> Option<Vec<Bag<Atom>>> {
             }
             let inner_bags = all_bags(inner, limit)?;
             let mut out: Vec<Bag<Atom>> = Vec::new();
+            let mut seen = BagDedup::default();
             for n in lo..=hi {
                 let mut partial: Vec<Bag<Atom>> = vec![Bag::new()];
                 for _ in 0..n {
                     let mut next = Vec::new();
+                    let mut seen_partial = BagDedup::default();
                     for prefix in &partial {
                         for bag in &inner_bags {
-                            let combined = prefix.union(bag);
-                            if !next.contains(&combined) {
-                                next.push(combined);
-                            }
+                            seen_partial.insert(&mut next, prefix.union(bag));
                             if next.len() > limit {
                                 return None;
                             }
@@ -260,9 +726,7 @@ pub fn all_bags(expr: &Rbe<Atom>, limit: usize) -> Option<Vec<Bag<Atom>>> {
                     partial = next;
                 }
                 for bag in partial {
-                    if !out.contains(&bag) {
-                        out.push(bag);
-                    }
+                    seen.insert(&mut out, bag);
                     if out.len() > limit {
                         return None;
                     }
@@ -302,86 +766,11 @@ fn repetition_counts(interval: Interval) -> Vec<u64> {
 /// leaves are "closed" (every type at the frontier admits the empty bag) are
 /// produced, so every returned tree's graph belongs to `L(schema)`.
 pub fn enumerate_members(schema: &Schema, root: TypeId, options: &SearchOptions) -> Vec<Graph> {
-    enumerate_members_with(schema, root, options, &mut |g| validates(g, schema))
-}
-
-/// [`enumerate_members`] with the member-validation step injected, so the
-/// engine can route it through its verdict memo while sharing this exact
-/// filter/cap logic (the engine's answer-equivalence with the baseline
-/// depends on there being only one copy of it).
-pub(crate) fn enumerate_members_with(
-    schema: &Schema,
-    root: TypeId,
-    options: &SearchOptions,
-    is_member: &mut dyn FnMut(&Graph) -> bool,
-) -> Vec<Graph> {
-    let mut graphs = Vec::new();
-    let trees = enumerate_trees(schema, root, options.max_depth, options);
-    for tree in trees {
-        if tree.size() > options.max_graph_nodes {
-            continue;
-        }
-        let graph = tree.to_graph(schema);
-        if is_member(&graph) {
-            graphs.push(graph);
-        }
-        if graphs.len() >= options.max_candidates {
-            break;
-        }
-    }
-    graphs
-}
-
-fn enumerate_trees(schema: &Schema, t: TypeId, depth: usize, options: &SearchOptions) -> Vec<Tree> {
-    let def = schema.def(t);
-    let mut out = Vec::new();
-    for bag in candidate_bags(def, options) {
-        if depth == 0 && !bag.is_empty() {
-            continue;
-        }
-        // For every atom occurrence, enumerate child trees; combine by taking
-        // the cartesian product capped at max_trees.
-        let mut combos: Vec<Vec<(Label, Tree)>> = vec![Vec::new()];
-        let mut dead = false;
-        for (atom, count) in bag.iter() {
-            let child_trees =
-                enumerate_trees(schema, atom.target, depth.saturating_sub(1), options);
-            if child_trees.is_empty() {
-                dead = true;
-                break;
-            }
-            for _ in 0..count {
-                let mut next = Vec::new();
-                for prefix in &combos {
-                    for child in child_trees.iter().take(4) {
-                        let mut extended = prefix.clone();
-                        extended.push((atom.label.clone(), child.clone()));
-                        next.push(extended);
-                        if next.len() >= options.max_trees {
-                            break;
-                        }
-                    }
-                    if next.len() >= options.max_trees {
-                        break;
-                    }
-                }
-                combos = next;
-            }
-        }
-        if dead {
-            continue;
-        }
-        for children in combos {
-            out.push(Tree {
-                type_id: t,
-                children,
-            });
-            if out.len() >= options.max_trees {
-                return out;
-            }
-        }
-    }
-    out
+    Unfolder::new()
+        .members(schema, root, options)
+        .into_iter()
+        .map(|graph| Graph::clone(&graph))
+        .collect()
 }
 
 /// Draw a random unfolding of `root` (depth- and size-bounded); returns `None`
@@ -393,68 +782,9 @@ pub fn sample_member(
     rng: &mut StdRng,
     options: &SearchOptions,
 ) -> Option<Graph> {
-    sample_member_with(schema, root, rng, options, &mut |g| validates(g, schema))
-}
-
-/// [`sample_member`] with the member-validation step injected (see
-/// [`enumerate_members_with`]). The RNG consumption is identical regardless
-/// of the callback, so pooled and baseline searches draw the same samples.
-pub(crate) fn sample_member_with(
-    schema: &Schema,
-    root: TypeId,
-    rng: &mut StdRng,
-    options: &SearchOptions,
-    is_member: &mut dyn FnMut(&Graph) -> bool,
-) -> Option<Graph> {
-    let tree = sample_tree(schema, root, options.max_depth + 2, rng, options, &mut 0)?;
-    let graph = tree.to_graph(schema);
-    if graph.node_count() <= options.max_graph_nodes && is_member(&graph) {
-        Some(graph)
-    } else {
-        None
-    }
-}
-
-fn sample_tree(
-    schema: &Schema,
-    t: TypeId,
-    depth: usize,
-    rng: &mut StdRng,
-    options: &SearchOptions,
-    nodes: &mut usize,
-) -> Option<Tree> {
-    *nodes += 1;
-    if *nodes > options.max_graph_nodes {
-        return None;
-    }
-    let bags = candidate_bags(schema.def(t), options);
-    if bags.is_empty() {
-        return None;
-    }
-    // At shallow remaining depth, prefer small bags to terminate.
-    let bag = if depth == 0 {
-        bags.iter().min_by_key(|b| b.total())?.clone()
-    } else {
-        bags[rng.gen_range(0..bags.len())].clone()
-    };
-    let mut children = Vec::new();
-    for (atom, count) in bag.iter() {
-        for _ in 0..count {
-            let child = sample_tree(
-                schema,
-                atom.target,
-                depth.saturating_sub(1),
-                rng,
-                options,
-                nodes,
-            )?;
-            children.push((atom.label.clone(), child));
-        }
-    }
-    Some(Tree {
-        type_id: t,
-        children,
-    })
+    Unfolder::new()
+        .sample(schema, root, rng, options)
+        .map(|graph| Graph::clone(&graph))
 }
 
 /// Search for a counter-example to `L(h) ⊆ L(k)`: a graph that validates
@@ -521,6 +851,34 @@ mod tests {
     }
 
     #[test]
+    fn arena_shares_subtrees_and_certifies_members() {
+        let schema =
+            parse_schema("Root -> children::Item*\nItem -> tag::Leaf?\nLeaf -> EMPTY\n").unwrap();
+        let root = schema.find_type("Root").unwrap();
+        let item = schema.find_type("Item").unwrap();
+        let mut unfolder = Unfolder::new();
+        let deep = unfolder.trees(&schema, root, 3, &SearchOptions::quick());
+        let arena_after_deep = unfolder.arena().len();
+        // The shallow enumeration re-encounters only already-interned trees.
+        let shallow = unfolder.trees(&schema, item, 2, &SearchOptions::quick());
+        assert!(!shallow.is_empty());
+        assert_eq!(
+            unfolder.arena().len(),
+            arena_after_deep,
+            "depth-2 item trees were all interned during the depth-3 root pass"
+        );
+        // Every enumerated tree is a certified member, and its cached graph
+        // is shared: asking twice returns the same allocation.
+        for &tree in deep.iter().chain(shallow.iter()) {
+            assert!(unfolder.arena().certified_member(tree));
+            let g1 = unfolder.graph(tree, &schema);
+            let g2 = unfolder.graph(tree, &schema);
+            assert!(Arc::ptr_eq(&g1, &g2), "one graph per distinct tree");
+            assert_eq!(g1.node_count(), unfolder.arena().size(tree));
+        }
+    }
+
+    #[test]
     fn trees_carry_the_schema_interned_labels() {
         let schema =
             parse_schema("Root -> children::Item*\nItem -> tag::Leaf?\nLeaf -> EMPTY\n").unwrap();
@@ -530,19 +888,22 @@ mod tests {
             .0
             .label
             .clone();
-        let trees = enumerate_trees(&schema, root, 2, &SearchOptions::quick());
+        let mut unfolder = Unfolder::new();
+        let trees = unfolder.trees(&schema, root, 2, &SearchOptions::quick());
         let mut edges_seen = 0;
-        for tree in &trees {
-            for (label, _) in &tree.children {
+        for &tree in trees.iter() {
+            for (label, _) in unfolder.arena().children(tree) {
                 assert!(
                     label.ptr_eq(&schema_label),
                     "tree edges must share the schema's label allocation"
                 );
                 edges_seen += 1;
             }
-            // And the graphs built from the trees adopt the allocation: no
-            // label text is copied per edge in `to_graph`.
-            let g = tree.to_graph(&schema);
+        }
+        // And the graphs built from the trees adopt the allocation: no label
+        // text is copied per edge in `to_graph`.
+        for &tree in trees.iter() {
+            let g = unfolder.graph(tree, &schema);
             for e in g.edges() {
                 if g.label(e).as_str() == "children" {
                     assert!(g.label(e).ptr_eq(&schema_label));
@@ -554,9 +915,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
             if let Some(tree) =
-                sample_tree(&schema, item, 2, &mut rng, &SearchOptions::quick(), &mut 0)
+                unfolder.sample_tree(&schema, item, 2, &mut rng, &SearchOptions::quick(), &mut 0)
             {
-                for (label, _) in &tree.children {
+                for (label, _) in unfolder.arena().children(tree) {
                     assert_eq!(label.as_str(), "tag");
                 }
             }

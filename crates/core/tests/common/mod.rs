@@ -1,6 +1,11 @@
-//! Scaffolding shared by the `engine_session` and `engine_concurrency`
-//! suites: the tiny search budget, structural witness comparison, and the
-//! memo-free ShEx₀ oracle assembled from the retained baseline pieces.
+//! Scaffolding shared by the `engine_session`, `engine_concurrency`, and
+//! `arena_search` suites: the tiny search budget, structural witness
+//! comparison, and the memo-free ShEx₀ oracle assembled from the retained
+//! baseline pieces.
+
+// Each suite uses its own subset of these helpers; unused ones in a given
+// test binary are expected.
+#![allow(dead_code)]
 
 use shapex_core::baseline::search_counter_example_baseline;
 use shapex_core::det::characterizing_graph;

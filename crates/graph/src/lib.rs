@@ -23,7 +23,8 @@ pub mod model;
 pub mod text;
 
 pub use model::{
-    EdgeId, Graph, GraphKind, Label, LabelId, LabelTable, NodeId, SharedLabelTable, UnpackError,
+    EdgeId, Graph, GraphBuilder, GraphKind, Label, LabelId, LabelTable, NodeId, SharedLabelTable,
+    UnpackError,
 };
 pub use text::{parse_graph, write_graph};
 

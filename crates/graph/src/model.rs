@@ -434,6 +434,22 @@ impl Graph {
         Graph::default()
     }
 
+    /// An empty graph whose node and edge arenas are allocated up front.
+    ///
+    /// Bulk constructions that know their final size (the candidate unfolder
+    /// in `shapex-core` builds one graph per deduplicated tree, with the node
+    /// count known from the tree's cached size) pay one exact allocation per
+    /// arena instead of a geometric growth sequence.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Graph {
+        Graph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            out: Vec::with_capacity(nodes),
+            ins: Vec::with_capacity(nodes),
+            ..Graph::default()
+        }
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -796,6 +812,44 @@ impl Graph {
     }
 }
 
+/// A reusable scratch for constructing many graphs in a row.
+///
+/// The builder owns the buffers that are *not* part of the produced graph —
+/// currently the node-name rendering buffer — so a loop that materialises one
+/// graph per candidate (the unfolding search of `shapex-core`) renders every
+/// name into one reused allocation and starts each graph with exact-capacity
+/// arenas via [`GraphBuilder::start`]. The produced [`Graph`] is fully owned
+/// by the caller; the builder can immediately start the next one.
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    name: String,
+}
+
+impl GraphBuilder {
+    /// A builder with an empty scratch.
+    pub fn new() -> GraphBuilder {
+        GraphBuilder::default()
+    }
+
+    /// Begin a graph with exact-capacity node and edge arenas.
+    pub fn start(&self, nodes: usize, edges: usize) -> Graph {
+        Graph::with_capacity(nodes, edges)
+    }
+
+    /// Add a named node, rendering the name through the builder's reused
+    /// buffer (the graph still stores an owned, exactly sized copy).
+    ///
+    /// # Panics
+    /// Panics if a node with the same name already exists (see
+    /// [`Graph::add_named_node`]).
+    pub fn named_node(&mut self, graph: &mut Graph, name: fmt::Arguments<'_>) -> NodeId {
+        use fmt::Write as _;
+        self.name.clear();
+        let _ = self.name.write_fmt(name);
+        graph.add_named_node(self.name.as_str())
+    }
+}
+
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -1089,6 +1143,24 @@ mod tests {
         let e5 = g.add_edge(y, "p", x);
         assert_eq!(g.in_by_label(x, p), &[e1, e5]);
         assert_eq!(g.in_groups(x).count(), 1);
+    }
+
+    #[test]
+    fn builder_reuses_its_name_buffer_across_graphs() {
+        let mut builder = GraphBuilder::new();
+        for round in 0..3 {
+            let mut g = builder.start(2, 1);
+            let a = builder.named_node(&mut g, format_args!("a_{round}"));
+            let b = builder.named_node(&mut g, format_args!("b_{round}"));
+            g.add_edge(a, "p", b);
+            assert_eq!(g.node_name(a), format!("a_{round}"));
+            assert_eq!(g.find_node(&format!("b_{round}")), Some(b));
+            assert_eq!(g.edge_count(), 1);
+        }
+        // with_capacity graphs behave exactly like fresh ones.
+        let g = Graph::with_capacity(4, 4);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
     }
 
     #[test]

@@ -34,6 +34,20 @@ impl Bounds {
     }
 }
 
+/// Counters of one [`Solver::solve_with_stats`] call.
+///
+/// The branch-and-bound search no longer clones its constraint set and
+/// domains per disjunct branch — branching pushes onto an undo trail and
+/// truncates on backtrack — so these counters are the cheap observable of
+/// how much work (and how much pruning) a query actually did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Search nodes visited (same unit as the node budget).
+    pub search_nodes: u64,
+    /// Branches cut by interval propagation finding a contradiction.
+    pub pruned_branches: u64,
+}
+
 /// Result of a satisfiability query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SolveResult {
@@ -94,6 +108,29 @@ enum Nnf {
 /// Inclusive variable domains.
 type Domains = Vec<(u64, u64)>;
 
+/// One undo-trail record: a variable index plus the domain it had before a
+/// tightening or branch assignment.
+type TrailEntry = (usize, u64, u64);
+
+/// The mutable state of one solve: the accumulated atomic constraints, the
+/// current domains, and the undo trail. Branching pushes onto `atoms` and
+/// `trail` and truncates both on backtrack — no per-branch clones.
+struct SearchState {
+    atoms: Vec<Constraint>,
+    domains: Domains,
+    trail: Vec<TrailEntry>,
+    budget: u64,
+    stats: SolverStats,
+}
+
+/// Restore every domain recorded after `base`, in reverse push order.
+fn undo_to(domains: &mut Domains, trail: &mut Vec<TrailEntry>, base: usize) {
+    while trail.len() > base {
+        let (idx, lo, hi) = trail.pop().expect("trail underflow");
+        domains[idx] = (lo, hi);
+    }
+}
+
 impl Solver {
     /// A solver with the given default bounds.
     pub fn new(bounds: Bounds) -> Solver {
@@ -112,6 +149,15 @@ impl Solver {
     /// Decide satisfiability of `formula` with variables bounded by the pool's
     /// declared bounds (falling back to the solver default).
     pub fn solve(&self, formula: &Formula, pool: &VarPool) -> SolveResult {
+        self.solve_with_stats(formula, pool).0
+    }
+
+    /// [`Solver::solve`], also reporting the search counters.
+    pub fn solve_with_stats(
+        &self,
+        formula: &Formula,
+        pool: &VarPool,
+    ) -> (SolveResult, SolverStats) {
         let nvars = formula
             .variables()
             .iter()
@@ -130,15 +176,22 @@ impl Solver {
             domains.push((0, hi));
         }
         let nnf = to_nnf(formula, false);
-        let mut budget = self.node_budget;
-        match self.search(&[&nnf], Vec::new(), domains, &mut budget) {
+        let mut state = SearchState {
+            atoms: Vec::new(),
+            domains,
+            trail: Vec::new(),
+            budget: self.node_budget,
+            stats: SolverStats::default(),
+        };
+        let result = match self.search(&[&nnf], &mut state) {
             Some(Some(model)) => {
                 debug_assert!(formula.eval(&model), "solver produced an invalid model");
                 SolveResult::Sat(model)
             }
             Some(None) => SolveResult::Unsat,
             None => SolveResult::Unknown,
-        }
+        };
+        (result, state.stats)
     }
 
     /// Convenience wrapper returning `true` only on `Sat`.
@@ -147,19 +200,23 @@ impl Solver {
     }
 
     /// The search returns `None` when the budget is exhausted, otherwise
-    /// `Some(model_or_none)`.
-    fn search(
-        &self,
-        pending: &[&Nnf],
-        mut atoms: Vec<Constraint>,
-        domains: Domains,
-        budget: &mut u64,
-    ) -> Option<Option<Vec<u64>>> {
-        if *budget == 0 {
+    /// `Some(model_or_none)`. On return, `state`'s atoms and domains are
+    /// exactly as the caller left them (the frame truncates its own pushes).
+    fn search(&self, pending: &[&Nnf], state: &mut SearchState) -> Option<Option<Vec<u64>>> {
+        if state.budget == 0 {
             return None;
         }
-        *budget -= 1;
+        state.budget -= 1;
+        state.stats.search_nodes += 1;
+        let atoms_base = state.atoms.len();
+        let trail_base = state.trail.len();
+        let result = self.search_frame(pending, state);
+        state.atoms.truncate(atoms_base);
+        undo_to(&mut state.domains, &mut state.trail, trail_base);
+        result
+    }
 
+    fn search_frame(&self, pending: &[&Nnf], state: &mut SearchState) -> Option<Option<Vec<u64>>> {
         // Split pending conjuncts into atoms and disjunctions.
         let mut disjunctions: Vec<&Nnf> = Vec::new();
         let mut stack: Vec<&Nnf> = pending.to_vec();
@@ -167,17 +224,17 @@ impl Solver {
             match f {
                 Nnf::True => {}
                 Nnf::False => return Some(None),
-                Nnf::Atom(c) => atoms.push(c.clone()),
+                Nnf::Atom(c) => state.atoms.push(c.clone()),
                 Nnf::And(parts) => stack.extend(parts.iter()),
                 Nnf::Or(_) => disjunctions.push(f),
             }
         }
 
         // Propagate bounds from the atomic constraints gathered so far.
-        let domains = match propagate(&atoms, domains) {
-            Some(d) => d,
-            None => return Some(None),
-        };
+        if !propagate_in_place(&state.atoms, &mut state.domains, &mut state.trail) {
+            state.stats.pruned_branches += 1;
+            return Some(None);
+        }
 
         if let Some(or) = disjunctions.pop() {
             let Nnf::Or(choices) = or else {
@@ -187,7 +244,7 @@ impl Solver {
                 let mut next: Vec<&Nnf> = Vec::with_capacity(disjunctions.len() + 1);
                 next.push(choice);
                 next.extend(disjunctions.iter().copied());
-                match self.search(&next, atoms.clone(), domains.clone(), budget) {
+                match self.search(&next, state) {
                     Some(Some(model)) => return Some(Some(model)),
                     Some(None) => continue,
                     None => return None,
@@ -197,32 +254,34 @@ impl Solver {
         }
 
         // Only atomic constraints remain: branch and bound over the domains.
-        self.enumerate(&atoms, domains, budget)
+        self.enumerate(state)
     }
 
-    fn enumerate(
-        &self,
-        atoms: &[Constraint],
-        domains: Domains,
-        budget: &mut u64,
-    ) -> Option<Option<Vec<u64>>> {
-        if *budget == 0 {
+    fn enumerate(&self, state: &mut SearchState) -> Option<Option<Vec<u64>>> {
+        if state.budget == 0 {
             return None;
         }
-        *budget -= 1;
+        state.budget -= 1;
+        state.stats.search_nodes += 1;
+        let trail_base = state.trail.len();
+        let result = self.enumerate_frame(state);
+        undo_to(&mut state.domains, &mut state.trail, trail_base);
+        result
+    }
 
-        let domains = match propagate(atoms, domains) {
-            Some(d) => d,
-            None => return Some(None),
-        };
+    fn enumerate_frame(&self, state: &mut SearchState) -> Option<Option<Vec<u64>>> {
+        if !propagate_in_place(&state.atoms, &mut state.domains, &mut state.trail) {
+            state.stats.pruned_branches += 1;
+            return Some(None);
+        }
 
         // Pick an unfixed variable that actually occurs in some constraint.
         let mut pick: Option<(usize, u64)> = None;
-        for c in atoms {
+        for c in &state.atoms {
             let expr = constraint_expr(c);
             for (v, _) in expr.terms() {
                 let idx = v.0 as usize;
-                let (lo, hi) = domains[idx];
+                let (lo, hi) = state.domains[idx];
                 if lo < hi {
                     let width = hi - lo;
                     if pick.map_or(true, |(_, w)| width < w) {
@@ -235,20 +294,27 @@ impl Solver {
         match pick {
             None => {
                 // All constrained variables are fixed; read off a model.
-                let model: Vec<u64> = domains.iter().map(|(lo, _)| *lo).collect();
-                if atoms.iter().all(|c| c.holds(&model)) {
+                let model: Vec<u64> = state.domains.iter().map(|(lo, _)| *lo).collect();
+                if state.atoms.iter().all(|c| c.holds(&model)) {
                     Some(Some(model))
                 } else {
                     Some(None)
                 }
             }
             Some((idx, _)) => {
-                let (lo, hi) = domains[idx];
+                let (lo, hi) = state.domains[idx];
                 let mid = lo + (hi - lo) / 2;
                 for (new_lo, new_hi) in [(lo, mid), (mid + 1, hi)] {
-                    let mut d = domains.clone();
-                    d[idx] = (new_lo, new_hi);
-                    match self.enumerate(atoms, d, budget) {
+                    // Branch by trail-recorded assignment instead of cloning
+                    // the domain vector.
+                    state
+                        .trail
+                        .push((idx, state.domains[idx].0, state.domains[idx].1));
+                    state.domains[idx] = (new_lo, new_hi);
+                    let result = self.enumerate(state);
+                    let (i, lo0, hi0) = state.trail.pop().expect("own branch entry");
+                    state.domains[i] = (lo0, hi0);
+                    match result {
                         Some(Some(model)) => return Some(Some(model)),
                         Some(None) => continue,
                         None => return None,
@@ -295,79 +361,110 @@ fn to_nnf(f: &Formula, negated: bool) -> Nnf {
     }
 }
 
-/// Interval (bounds-consistency) propagation for a conjunction of constraints.
-/// Returns tightened domains, or `None` if some constraint cannot be met.
-fn propagate(atoms: &[Constraint], mut domains: Domains) -> Option<Domains> {
-    // An equality contributes both e ≥ 0 and -e ≥ 0.
-    let mut exprs: Vec<LinearExpr> = Vec::with_capacity(atoms.len() * 2);
-    for c in atoms {
-        match c {
-            Constraint::Ge0(e) => exprs.push(e.clone()),
-            Constraint::Eq0(e) => {
-                exprs.push(e.clone());
-                exprs.push(e.clone().neg());
-            }
-        }
-    }
-
+/// Interval (bounds-consistency) propagation for a conjunction of
+/// constraints, tightening `domains` in place. Every change is recorded on
+/// `trail` so the caller can backtrack by [`undo_to`]; no expression is ever
+/// cloned (an equality is processed as `e ≥ 0` and, sign-flipped on the fly,
+/// `-e ≥ 0`). Returns `false` if some constraint cannot be met — the caller
+/// must still undo the partial tightenings.
+fn propagate_in_place(
+    atoms: &[Constraint],
+    domains: &mut Domains,
+    trail: &mut Vec<TrailEntry>,
+) -> bool {
     let passes = 4 * (domains.len() + 1);
     for _ in 0..passes {
         let mut changed = false;
-        for e in &exprs {
-            // Maximum achievable value of the expression over the domains.
-            let mut max_total: i128 = e.constant_part() as i128;
-            for (v, c) in e.terms() {
-                let (lo, hi) = domains[v.0 as usize];
-                max_total += if c > 0 {
-                    c as i128 * hi as i128
-                } else {
-                    c as i128 * lo as i128
-                };
-            }
-            if max_total < 0 {
-                return None;
-            }
-            // Tighten each variable given the others at their extremes.
-            for (v, c) in e.terms() {
-                let idx = v.0 as usize;
-                let (lo, hi) = domains[idx];
-                let contribution = if c > 0 {
-                    c as i128 * hi as i128
-                } else {
-                    c as i128 * lo as i128
-                };
-                let rest = max_total - contribution;
-                // Need c·x ≥ -rest.
-                if c > 0 {
-                    let needed = -rest; // c·x ≥ needed
-                    if needed > 0 {
-                        let new_lo = (needed + c as i128 - 1) / c as i128;
-                        if new_lo > hi as i128 {
-                            return None;
-                        }
-                        if new_lo > lo as i128 {
-                            domains[idx].0 = new_lo as u64;
-                            changed = true;
-                        }
-                    }
-                } else {
-                    // c < 0: x ≤ rest / (-c).
-                    let cap = rest / (-c) as i128;
-                    if cap < lo as i128 {
-                        return None;
-                    }
-                    if cap < hi as i128 {
-                        domains[idx].1 = cap as u64;
-                        changed = true;
+        for c in atoms {
+            let (tightened, contradiction) = match c {
+                Constraint::Ge0(e) => tighten(e, false, domains, trail),
+                Constraint::Eq0(e) => {
+                    let (t1, dead) = tighten(e, false, domains, trail);
+                    if dead {
+                        (t1, true)
+                    } else {
+                        let (t2, dead) = tighten(e, true, domains, trail);
+                        (t1 || t2, dead)
                     }
                 }
+            };
+            if contradiction {
+                return false;
             }
+            changed |= tightened;
         }
         if !changed {
             break;
         }
     }
-    Some(domains)
+    true
+}
+
+/// One bounds-consistency pass of `e ≥ 0` (or `-e ≥ 0` when `negate`):
+/// the exact arithmetic of the historical `propagate`, with the sign applied
+/// on the fly instead of materialising a negated expression. Returns
+/// `(changed, contradiction)`.
+fn tighten(
+    expr: &LinearExpr,
+    negate: bool,
+    domains: &mut Domains,
+    trail: &mut Vec<TrailEntry>,
+) -> (bool, bool) {
+    let sign: i128 = if negate { -1 } else { 1 };
+    // Maximum achievable value of the expression over the domains.
+    let mut max_total: i128 = sign * expr.constant_part() as i128;
+    for (v, c) in expr.terms() {
+        let c = sign * c as i128;
+        let (lo, hi) = domains[v.0 as usize];
+        max_total += if c > 0 {
+            c * hi as i128
+        } else {
+            c * lo as i128
+        };
+    }
+    if max_total < 0 {
+        return (false, true);
+    }
+    // Tighten each variable given the others at their extremes.
+    let mut changed = false;
+    for (v, c) in expr.terms() {
+        let c = sign * c as i128;
+        let idx = v.0 as usize;
+        let (lo, hi) = domains[idx];
+        let contribution = if c > 0 {
+            c * hi as i128
+        } else {
+            c * lo as i128
+        };
+        let rest = max_total - contribution;
+        // Need c·x ≥ -rest.
+        if c > 0 {
+            let needed = -rest; // c·x ≥ needed
+            if needed > 0 {
+                let new_lo = (needed + c - 1) / c;
+                if new_lo > hi as i128 {
+                    return (changed, true);
+                }
+                if new_lo > lo as i128 {
+                    trail.push((idx, lo, hi));
+                    domains[idx].0 = new_lo as u64;
+                    changed = true;
+                }
+            }
+        } else {
+            // c < 0: x ≤ rest / (-c).
+            let cap = rest / (-c);
+            if cap < lo as i128 {
+                return (changed, true);
+            }
+            if cap < hi as i128 {
+                trail.push((idx, lo, hi));
+                domains[idx].1 = cap as u64;
+                changed = true;
+            }
+        }
+    }
+    (changed, false)
 }
 
 #[cfg(test)]
@@ -481,6 +578,55 @@ mod tests {
         assert!(Solver::new(Bounds::uniform(1_000))
             .solve(&f, &pool)
             .is_sat());
+    }
+
+    #[test]
+    fn stats_count_pruned_branches() {
+        // Every disjunct contradicts x ≥ 5 by propagation alone, so each
+        // branch is pruned and the query is Unsat.
+        let mut pool = VarPool::new();
+        let x = pool.fresh_named("x");
+        let f = Formula::and(vec![
+            Formula::or(vec![
+                Formula::eq(x, 0),
+                Formula::eq(x, 1),
+                Formula::eq(x, 2),
+            ]),
+            Formula::ge(x, 5),
+        ]);
+        let (result, stats) = solver().solve_with_stats(&f, &pool);
+        assert_eq!(result, SolveResult::Unsat);
+        assert!(
+            stats.pruned_branches >= 3,
+            "each contradictory disjunct must count as pruned, got {stats:?}"
+        );
+        assert!(stats.search_nodes >= stats.pruned_branches);
+        // A satisfiable query still reports its node count.
+        let (sat, sat_stats) = solver().solve_with_stats(&Formula::ge(x, 3), &pool);
+        assert!(sat.is_sat());
+        assert!(sat_stats.search_nodes >= 1);
+    }
+
+    #[test]
+    fn backtracking_restores_domains_across_disjuncts() {
+        // The first disjunct forces x high and then fails on y; the second
+        // must see x's original domain again (a stale tightening from the
+        // failed branch would make it unsatisfiable too).
+        let mut pool = VarPool::new();
+        let x = pool.fresh_named("x");
+        let y = pool.fresh_named("y");
+        let f = Formula::and(vec![
+            Formula::or(vec![
+                // x ≥ 20 ∧ y ≥ 40 (dead: y is capped below)
+                Formula::and(vec![Formula::ge(x, 20), Formula::ge(y, 40)]),
+                // x ≤ 3 (alive only if x's domain was restored)
+                Formula::le(x, 3),
+            ]),
+            Formula::le(y, 10),
+        ]);
+        let result = solver().solve(&f, &pool);
+        let model = result.model().expect("second disjunct is satisfiable");
+        assert!(model[x.0 as usize] <= 3);
     }
 
     #[test]

@@ -25,4 +25,6 @@ pub mod typing;
 
 pub use parser::{parse_schema, write_schema};
 pub use schema::{Atom, Schema, SchemaClass, TypeId};
-pub use typing::{maximal_typing, validates, Typing};
+pub use typing::{
+    maximal_typing, maximal_typing_with, validates, validates_with, Typing, ValidateScratch,
+};

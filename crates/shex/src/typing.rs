@@ -24,10 +24,43 @@ use shapex_graph::{Graph, Label, NodeId};
 use shapex_presburger::formula::{Formula, LinearExpr, VarPool};
 use shapex_presburger::solver::{Bounds, SolveResult, Solver};
 use shapex_presburger::translate::{max_interval_constant, ParikhVec, PsiBuilder};
-use shapex_rbe::flow::{basic_assignment, general_assignment};
-use shapex_rbe::{Interval, Rbe};
+use shapex_rbe::{FlowScratch, Interval, Rbe, Rbe0};
 
 use crate::schema::{Atom, Schema, TypeId};
+
+/// Reusable buffers for [`validates_with`] / [`maximal_typing_with`].
+///
+/// The fixpoint refinement re-checks node satisfaction for every `(node,
+/// type)` pair on every sweep; the stateless [`node_satisfies`] entry point
+/// allocates an [`EdgeSummary`] vector (with a cloned type set per edge) and
+/// fresh flow buffers for each of those checks. A `ValidateScratch` hoists
+/// all of it — the interval-flow buffers (a [`FlowScratch`], mirroring the
+/// simulation engine's usage in `shapex-rbe`), the expanded source→edge map,
+/// and a per-call cache of each type's RBE₀ view — so the per-`(node, type,
+/// sweep)` inner loop of the fixpoint allocates nothing. (A call still pays
+/// one `Typing` allocation and one RBE₀-view rebuild per type; only the
+/// inner loop, which runs orders of magnitude more often, is allocation
+/// free.) The containment engine of `shapex-core` threads one scratch
+/// through its memoised validate step.
+#[derive(Debug, Default)]
+pub struct ValidateScratch {
+    flow: FlowScratch,
+    /// `source index → out-edge position` for multiplicity-expanded sources.
+    source_edges: Vec<usize>,
+    /// Per-[`TypeId`] RBE₀ views of the schema under validation, rebuilt at
+    /// the start of every [`maximal_typing_with`] call (the scratch may be
+    /// reused across schemas).
+    rbe0s: Vec<Option<Rbe0<Atom>>>,
+    /// The types of the node under refinement (snapshot per node per sweep).
+    current: Vec<TypeId>,
+}
+
+impl ValidateScratch {
+    /// A scratch with empty buffers.
+    pub fn new() -> ValidateScratch {
+        ValidateScratch::default()
+    }
+}
 
 /// A typing: for every node of the graph, the set of types it satisfies.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +133,20 @@ pub struct EdgeSummary {
 /// Panics if the graph uses occurrence intervals other than singletons
 /// (validation is defined on simple and compressed graphs only).
 pub fn maximal_typing(graph: &Graph, schema: &Schema) -> Typing {
+    maximal_typing_with(graph, schema, &mut ValidateScratch::new())
+}
+
+/// [`maximal_typing`] over a caller-provided [`ValidateScratch`], the
+/// allocation-free path for hot validation loops.
+///
+/// # Panics
+/// Panics if the graph uses occurrence intervals other than singletons
+/// (validation is defined on simple and compressed graphs only).
+pub fn maximal_typing_with(
+    graph: &Graph,
+    schema: &Schema,
+    scratch: &mut ValidateScratch,
+) -> Typing {
     for e in graph.edges() {
         assert!(
             graph.occur(e).singleton().is_some(),
@@ -107,13 +154,29 @@ pub fn maximal_typing(graph: &Graph, schema: &Schema) -> Typing {
             graph.occur(e)
         );
     }
+    // The RBE₀ view of every definition, once per call instead of once per
+    // (node, type, sweep) satisfaction check.
+    scratch.rbe0s.clear();
+    scratch
+        .rbe0s
+        .extend(schema.types().map(|t| schema.def(t).to_rbe0()));
     let mut typing = Typing::full(graph.node_count(), schema);
     loop {
         let mut changed = false;
-        for node in graph.nodes() {
-            let current: Vec<TypeId> = typing.sets[node.index()].iter().copied().collect();
-            for t in current {
-                if !node_satisfies(graph, node, t, &typing, schema) {
+        // Nodes are refined in reverse id order: the refinement operator is
+        // monotone, so chaotic iteration reaches the same greatest fixpoint
+        // in any order — but candidate graphs number their nodes in preorder
+        // (parents before children), and visiting successors first lets a
+        // whole tree stabilise in one sweep instead of one sweep per level.
+        for index in (0..graph.node_count()).rev() {
+            let node = NodeId(index as u32);
+            scratch.current.clear();
+            scratch
+                .current
+                .extend(typing.sets[node.index()].iter().copied());
+            for i in 0..scratch.current.len() {
+                let t = scratch.current[i];
+                if !node_satisfies_scratch(graph, node, t, &typing, schema, scratch) {
                     typing.sets[node.index()].remove(&t);
                     changed = true;
                 }
@@ -129,6 +192,93 @@ pub fn maximal_typing(graph: &Graph, schema: &Schema) -> Typing {
 /// carries at least one type.
 pub fn validates(graph: &Graph, schema: &Schema) -> bool {
     maximal_typing(graph, schema).is_total()
+}
+
+/// [`validates`] over a caller-provided [`ValidateScratch`].
+pub fn validates_with(graph: &Graph, schema: &Schema, scratch: &mut ValidateScratch) -> bool {
+    maximal_typing_with(graph, schema, scratch).is_total()
+}
+
+/// Largest total edge multiplicity the interval-flow fast path expands into
+/// unit sources; anything bigger goes to the Presburger encoding.
+const FLOW_EXPANSION_LIMIT: u64 = 4096;
+
+/// The one copy of the RBE₀ fast path shared by [`neighbourhood_satisfies`]
+/// and the scratch-backed fixpoint: expand each edge's multiplicity into
+/// unit sources, route them into the atoms' intervals, and decide
+/// feasibility ([`FlowScratch::solve`] dispatches to the polynomial solver
+/// when every interval is basic, exactly like the historical
+/// `basic_assignment`/`general_assignment` split — the sources are all `1`).
+/// Returns `None` when the expansion exceeds [`FLOW_EXPANSION_LIMIT`]
+/// (callers fall back to Presburger). `compatible` is `(edge index, atom
+/// index)` — the only thing the two callers genuinely differ in.
+fn rbe0_flow_satisfies(
+    flow: &mut FlowScratch,
+    source_edges: &mut Vec<usize>,
+    multiplicities: &mut dyn Iterator<Item = u64>,
+    atoms: &[(Atom, Interval)],
+    compatible: &dyn Fn(usize, usize) -> bool,
+) -> Option<bool> {
+    flow.clear();
+    source_edges.clear();
+    let mut total = 0u64;
+    for (i, mult) in multiplicities.enumerate() {
+        total += mult;
+        if total > FLOW_EXPANSION_LIMIT {
+            return None;
+        }
+        for _ in 0..mult {
+            flow.sources.push(Interval::ONE);
+            source_edges.push(i);
+        }
+    }
+    flow.sinks
+        .extend(atoms.iter().map(|&(_, interval)| interval));
+    let source_edges = &*source_edges;
+    Some(flow.solve(|v, u| compatible(source_edges[v], u)))
+}
+
+/// The scratch-backed satisfaction check behind [`maximal_typing_with`]:
+/// semantically identical to [`node_satisfies`], but the edge summaries are
+/// never materialised — the flow instance borrows the typing directly — and
+/// the RBE₀ view comes from the scratch's per-call cache.
+fn node_satisfies_scratch(
+    graph: &Graph,
+    node: NodeId,
+    t: TypeId,
+    typing: &Typing,
+    schema: &Schema,
+    scratch: &mut ValidateScratch,
+) -> bool {
+    let out = graph.out(node);
+    // An edge whose target has no candidate type can never be matched (the
+    // signature's inner disjunction is empty, so the language is empty).
+    if out
+        .iter()
+        .any(|&e| typing.types_of(graph.target(e)).is_empty())
+    {
+        return false;
+    }
+    if let Some(rbe0) = scratch.rbe0s[t.index()].as_ref() {
+        let atoms = rbe0.atoms();
+        if let Some(ok) = rbe0_flow_satisfies(
+            &mut scratch.flow,
+            &mut scratch.source_edges,
+            &mut out.iter().map(|&e| graph.occur(e).singleton().unwrap_or(1)),
+            atoms,
+            &|edge, u| {
+                let e = out[edge];
+                let (atom, _) = &atoms[u];
+                atom.label == *graph.label(e)
+                    && typing.types_of(graph.target(e)).contains(&atom.target)
+            },
+        ) {
+            return ok;
+        }
+    }
+    // General path (rare): fall back to the materialised edge summaries and
+    // the Presburger encoding.
+    node_satisfies(graph, node, t, typing, schema)
 }
 
 /// Whether `node` satisfies the definition of `t` given the candidate types
@@ -167,29 +317,22 @@ pub fn neighbourhood_satisfies(edges: &[EdgeSummary], def: &Rbe<Atom>) -> bool {
     }
     if let Some(rbe0) = def.to_rbe0() {
         // Fast path: assignment of edge copies to RBE0 atoms via interval
-        // flow. Expand multiplicities into unit sources while they stay small.
-        let total: u64 = edges.iter().map(|e| e.multiplicity).sum();
-        if total <= 4096 {
-            let mut sources = Vec::with_capacity(total as usize);
-            let mut source_edges: Vec<usize> = Vec::with_capacity(total as usize);
-            for (i, e) in edges.iter().enumerate() {
-                for _ in 0..e.multiplicity {
-                    sources.push(Interval::ONE);
-                    source_edges.push(i);
-                }
-            }
-            let sinks: Vec<Interval> = rbe0.atoms().iter().map(|(_, i)| *i).collect();
-            let atoms = rbe0.atoms();
-            let compatible = |v: usize, u: usize| {
-                let edge = &edges[source_edges[v]];
+        // flow, shared with the scratch-backed fixpoint.
+        let atoms = rbe0.atoms();
+        let mut flow = FlowScratch::new();
+        let mut source_edges = Vec::new();
+        if let Some(ok) = rbe0_flow_satisfies(
+            &mut flow,
+            &mut source_edges,
+            &mut edges.iter().map(|e| e.multiplicity),
+            atoms,
+            &|i, u| {
+                let edge = &edges[i];
                 let (atom, _) = &atoms[u];
                 atom.label == edge.label && edge.target_types.contains(&atom.target)
-            };
-            return if sinks.iter().all(|i| i.is_basic()) {
-                basic_assignment(&sources, &sinks, compatible).is_some()
-            } else {
-                general_assignment(&sources, &sinks, compatible).is_some()
-            };
+            },
+        ) {
+            return ok;
         }
     }
     // General path: Presburger encoding of the partition of edge copies into
@@ -389,6 +532,40 @@ emp1 -email-> l9
         assert!(validates(&split, &schema));
         let merged = parse_graph("p -child[2]-> x\nx -mark_a-> l1\n").unwrap();
         assert!(!validates(&merged, &schema));
+    }
+
+    #[test]
+    fn scratch_validation_matches_the_stateless_path() {
+        // One scratch reused across graphs and schemas: every verdict and
+        // every maximal typing must match the allocating entry points —
+        // including the Presburger (disjunctive) and compressed paths.
+        let schemas = [
+            parse_schema(FIG1_SCHEMA).unwrap(),
+            parse_schema("A -> p::B | q::B\nB -> EMPTY\n").unwrap(),
+            parse_schema("Hub -> spoke::Rim[3;3]\nRim -> EMPTY\n").unwrap(),
+        ];
+        let graphs = [
+            parse_graph(FIG1_GRAPH).unwrap(),
+            parse_graph("x -p-> y\nx -q-> z\n").unwrap(),
+            parse_graph("x -p-> y\n").unwrap(),
+            parse_graph("hub -spoke[3]-> rim\n").unwrap(),
+            parse_graph("hub -spoke[2]-> rim\n").unwrap(),
+        ];
+        let mut scratch = ValidateScratch::new();
+        for schema in &schemas {
+            for graph in &graphs {
+                assert_eq!(
+                    maximal_typing_with(graph, schema, &mut scratch),
+                    maximal_typing(graph, schema),
+                    "typings diverge"
+                );
+                assert_eq!(
+                    validates_with(graph, schema, &mut scratch),
+                    validates(graph, schema),
+                    "verdicts diverge"
+                );
+            }
+        }
     }
 
     #[test]
