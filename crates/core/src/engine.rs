@@ -53,6 +53,28 @@
 //!   two pools do not multiply). Verdicts are bit-identical to the serial
 //!   engine in either mode.
 //!
+//! # Bounded memory
+//!
+//! Left alone, every cache above grows for the engine's lifetime — fine for
+//! a batch job, fatal for a long-lived multi-tenant service. With
+//! [`EngineOptions::cache_budget`] set, the engine keeps an accounted-byte
+//! ledger (the [`crate::budget::CacheBudget`]/[`crate::budget::Weigh`]
+//! seam): enumerated pools, validation memos, the pair memos, and the
+//! per-schema unfolding arenas are size-accounted and stamped with an LRU
+//! clock on every hit, and whenever the evictable total exceeds the budget
+//! an epoch-LRU sweep drops the least-recently-used entries until the total
+//! is back under half the budget. Eviction is **observationally invisible**
+//! — every cache is a pure memo of a deterministic function, so a dropped
+//! entry costs a recomputation, never a different verdict or witness (the
+//! `engine_eviction` suite pins this against the unbounded engine and the
+//! memo-free baseline). One-shot `OnceLock` caches (characterizing graphs,
+//! sampled pools, exhaustive bag enumerations) and the registered schemas
+//! are exempt but counted, so [`EngineStats`] reports the full footprint:
+//! per-cache resident bytes, evictions, and bytes freed, next to the hit
+//! ratios — the capacity-planning surface of a service deployment. The
+//! default budget is `None` (unbounded): existing workloads pay only a few
+//! atomic increments.
+//!
 //! The one-shot functions still exist and behave identically — they
 //! construct a throwaway engine — and the candidate order of the search is
 //! exactly that of [`crate::baseline::search_counter_example_baseline`], the
@@ -85,11 +107,14 @@ use shapex_rbe::{Bag, Rbe};
 use shapex_shex::typing::{validates_with, ValidateScratch};
 use shapex_shex::{Atom, Schema, SchemaClass, TypeId};
 
+use crate::budget::{CacheBudget, CacheKind, Weigh};
 use crate::det::{characterizing_graph, NotDetShex0Minus};
 use crate::embedding::embeds;
 use crate::general::{exhaustive_bags, type_simulation_with_bags};
 use crate::unfold::{SearchOptions, Unfolder};
 use crate::Containment;
+
+pub use crate::matrix::ContainmentMatrix;
 
 // The engine is shared across matrix-row workers, validation fan-outs, and
 // service clients by `&self` / `Arc`; this is the compile-time statement of
@@ -97,7 +122,13 @@ use crate::Containment;
 shapex_graph::assert_send_sync!(ContainmentEngine, EngineOptions, EngineStats, SchemaId);
 
 /// Tuning knobs for a [`ContainmentEngine`].
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`EngineOptions::builder`] (or start from [`EngineOptions::default`] and
+/// mutate fields) so adding a knob is never a breaking change for
+/// downstream crates.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineOptions {
     /// Budget of the counter-example search (depth, pool sizes, sample
     /// count, seed). Fixed for the lifetime of the engine so that cached
@@ -115,6 +146,14 @@ pub struct EngineOptions {
     /// fan-out is disabled so the two pools do not multiply). Answers do not
     /// depend on this.
     pub matrix_threads: usize,
+    /// Accounted-byte budget for the engine's evictable caches (enumerated
+    /// pools, validation memos, pair memos, unfolding arenas). `None`
+    /// (default) keeps every cache for the engine's lifetime; `Some(bytes)`
+    /// triggers an epoch-LRU sweep whenever the evictable total exceeds the
+    /// budget. Verdicts and witnesses do not depend on this — see the
+    /// [module docs](self). Weights are documented approximations of heap
+    /// footprint, not allocator ground truth.
+    pub cache_budget: Option<u64>,
 }
 
 impl Default for EngineOptions {
@@ -124,11 +163,79 @@ impl Default for EngineOptions {
             threads: 1,
             parallel_threshold: 16,
             matrix_threads: 1,
+            cache_budget: None,
         }
     }
 }
 
+/// Builder for [`EngineOptions`] — the forward-compatible way to construct
+/// options now that the struct is `#[non_exhaustive]`.
+///
+/// ```
+/// use shapex_core::engine::EngineOptions;
+///
+/// let options = EngineOptions::builder()
+///     .threads(4)
+///     .matrix_threads(4)
+///     .cache_budget(64 << 20) // 64 MiB across all evictable caches
+///     .build();
+/// assert_eq!(options.threads, 4);
+/// assert_eq!(options.cache_budget, Some(64 << 20));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptionsBuilder {
+    options: EngineOptions,
+}
+
+impl EngineOptionsBuilder {
+    /// Replace the counter-example search budget.
+    pub fn search(mut self, search: SearchOptions) -> Self {
+        self.options.search = search;
+        self
+    }
+
+    /// Worker threads for the candidate-validation fan-out (min 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads.max(1);
+        self
+    }
+
+    /// Minimum uncached candidates before validation workers spawn (min 1).
+    pub fn parallel_threshold(mut self, threshold: usize) -> Self {
+        self.options.parallel_threshold = threshold.max(1);
+        self
+    }
+
+    /// Worker threads for matrix rows (min 1).
+    pub fn matrix_threads(mut self, matrix_threads: usize) -> Self {
+        self.options.matrix_threads = matrix_threads.max(1);
+        self
+    }
+
+    /// Bound the evictable caches to an accounted-byte budget.
+    pub fn cache_budget(mut self, bytes: u64) -> Self {
+        self.options.cache_budget = Some(bytes);
+        self
+    }
+
+    /// Remove the cache budget (the default): caches grow unboundedly.
+    pub fn unbounded_cache(mut self) -> Self {
+        self.options.cache_budget = None;
+        self
+    }
+
+    /// Finish, yielding the configured [`EngineOptions`].
+    pub fn build(self) -> EngineOptions {
+        self.options
+    }
+}
+
 impl EngineOptions {
+    /// A builder over the default options.
+    pub fn builder() -> EngineOptionsBuilder {
+        EngineOptionsBuilder::default()
+    }
+
     /// Single-threaded engine with the default search budget.
     pub fn sequential() -> EngineOptions {
         EngineOptions::default()
@@ -177,6 +284,14 @@ impl EngineOptions {
             ..self
         }
     }
+
+    /// Replace the evictable-cache byte budget, keeping everything else.
+    pub fn with_cache_budget(self, bytes: u64) -> EngineOptions {
+        EngineOptions {
+            cache_budget: Some(bytes),
+            ..self
+        }
+    }
 }
 
 /// A handle to a schema registered with a [`ContainmentEngine`].
@@ -193,14 +308,27 @@ impl SchemaId {
     fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// A handle from a raw registry slot — test-internal; the public way
+    /// to obtain a handle is [`ContainmentEngine::register`].
+    #[cfg(test)]
+    pub(crate) fn from_index(index: u32) -> SchemaId {
+        SchemaId(index)
+    }
 }
 
-/// Cache-effectiveness counters of a [`ContainmentEngine`], for diagnostics
-/// and tests: an immutable snapshot taken by [`ContainmentEngine::stats`]
-/// from the engine's internal atomics. All counters are cumulative over the
-/// engine's lifetime. The [`fmt::Display`] impl renders per-memo hit/miss
-/// ratios, the metrics line a service surfaces.
+/// Cache-effectiveness and memory-footprint counters of a
+/// [`ContainmentEngine`], for diagnostics and tests: an immutable snapshot
+/// taken by [`ContainmentEngine::stats`] from the engine's internal
+/// atomics. Hit/miss/eviction counters are cumulative over the engine's
+/// lifetime; the `*_bytes` fields are the accounted resident footprint at
+/// snapshot time. The [`fmt::Display`] impl renders per-memo hit/miss
+/// ratios plus the memory line, the metrics a service surfaces.
+///
+/// `#[non_exhaustive]`: downstream crates read fields but cannot construct
+/// the struct, so adding a counter is never a breaking change.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct EngineStats {
     /// Distinct schemas registered.
     pub schemas: usize,
@@ -216,6 +344,39 @@ pub struct EngineStats {
     pub pool_hits: u64,
     /// Unfolding pools built.
     pub pools_built: u64,
+    /// The configured evictable-cache budget (`None` = unbounded).
+    pub cache_budget: Option<u64>,
+    /// Accounted bytes resident in the enumerated-pool caches.
+    pub pool_bytes: u64,
+    /// Accounted bytes resident in the candidate-validation memos.
+    pub validate_bytes: u64,
+    /// Accounted bytes resident in the embeds/sufficient pair memos.
+    pub pair_bytes: u64,
+    /// Accounted bytes resident in the per-schema unfolding arenas.
+    pub unfolder_bytes: u64,
+    /// Accounted bytes in the pinned (counted, never evicted) caches:
+    /// registered schemas, characterizing graphs, sampled pools, bag
+    /// enumerations.
+    pub pinned_bytes: u64,
+    /// Cache entries dropped by eviction sweeps.
+    pub evictions: u64,
+    /// Accounted bytes freed by eviction sweeps.
+    pub evicted_bytes: u64,
+    /// Eviction sweeps run (including sweeps that found nothing old).
+    pub sweeps: u64,
+}
+
+impl EngineStats {
+    /// Total accounted bytes in the evictable caches — the quantity the
+    /// budget bounds.
+    pub fn evictable_bytes(&self) -> u64 {
+        self.pool_bytes + self.validate_bytes + self.pair_bytes + self.unfolder_bytes
+    }
+
+    /// Total accounted bytes resident, evictable and pinned.
+    pub fn resident_bytes(&self) -> u64 {
+        self.evictable_bytes() + self.pinned_bytes
+    }
 }
 
 /// `hits / (hits + misses)` as a percentage, `0` when nothing was asked.
@@ -245,6 +406,24 @@ impl fmt::Display for EngineStats {
             self.pool_hits,
             self.pools_built,
             hit_rate(self.pool_hits, self.pools_built),
+        )?;
+        write!(
+            f,
+            "; resident {} B evictable (pools {}, validate {}, pairs {}, unfolder {}) \
+             + {} B pinned; budget {}; {} evictions freed {} B in {} sweeps",
+            self.evictable_bytes(),
+            self.pool_bytes,
+            self.validate_bytes,
+            self.pair_bytes,
+            self.unfolder_bytes,
+            self.pinned_bytes,
+            match self.cache_budget {
+                Some(limit) => format!("{limit} B"),
+                None => "unbounded".to_string(),
+            },
+            self.evictions,
+            self.evicted_bytes,
+            self.sweeps,
         )
     }
 }
@@ -272,7 +451,7 @@ impl EngineCounters {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, schemas: usize) -> EngineStats {
+    fn snapshot(&self, schemas: usize, budget: &CacheBudget) -> EngineStats {
         EngineStats {
             schemas,
             validate_hits: self.validate_hits.load(Ordering::Relaxed),
@@ -281,6 +460,15 @@ impl EngineCounters {
             embed_misses: self.embed_misses.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pools_built: self.pools_built.load(Ordering::Relaxed),
+            cache_budget: budget.limit(),
+            pool_bytes: budget.resident(CacheKind::Pools),
+            validate_bytes: budget.resident(CacheKind::Validate),
+            pair_bytes: budget.resident(CacheKind::Pairs),
+            unfolder_bytes: budget.resident(CacheKind::Unfolder),
+            pinned_bytes: budget.resident(CacheKind::Pinned),
+            evictions: budget.evictions(),
+            evicted_bytes: budget.evicted_bytes(),
+            sweeps: budget.sweeps(),
         }
     }
 }
@@ -291,14 +479,51 @@ impl EngineCounters {
 /// allocations instead of materialising its own copies.
 type Pool = Arc<Vec<Arc<Graph>>>;
 
+/// One cached enumerated pool: the pool itself plus its accounting — the
+/// bytes charged to the ledger at insertion (credited back verbatim on
+/// eviction) and the LRU stamp refreshed on every hit.
+#[derive(Debug)]
+struct PoolSlot {
+    pool: Pool,
+    bytes: u64,
+    stamp: AtomicU64,
+}
+
+/// The accounted weight of a pool: spine plus every member graph. Graphs
+/// are `Arc`-shared with the unfolder and overlapping pools, so summing
+/// full graph weights over-counts shared allocations — deliberately: the
+/// budget bounds a conservative upper estimate, never an under-estimate.
+fn pool_weight(pool: &[Arc<Graph>]) -> u64 {
+    let spine = std::mem::size_of::<Vec<Arc<Graph>>>() + std::mem::size_of_val(pool);
+    spine as u64 + pool.iter().map(|g| g.as_ref().weight_bytes()).sum::<u64>()
+}
+
 /// Per-schema memo of `validates(candidate, schema)` verdicts, keyed by a
 /// 64-bit structural hash of the candidate with full structural comparison
 /// on every bucket hit — lookups allocate nothing (the historical
 /// implementation rendered a `String` key per lookup), and a hash collision
-/// can only cost a comparison, never a wrong verdict.
+/// can only cost a comparison, never a wrong verdict. Each record carries
+/// its charged bytes and LRU stamp for the eviction sweep.
 #[derive(Debug, Default)]
 struct ValidateMemo {
-    buckets: HashMap<u64, Vec<(CandidateKey, bool)>>,
+    buckets: HashMap<u64, Vec<ValidateRecord>>,
+}
+
+/// One memoised validation verdict plus its accounting.
+#[derive(Debug)]
+struct ValidateRecord {
+    key: CandidateKey,
+    verdict: bool,
+    bytes: u64,
+    stamp: AtomicU64,
+}
+
+/// The accounted weight of one validation record: the record itself, the
+/// key's edge vector, and an allowance for the hash-bucket entry.
+fn validate_record_weight(key: &CandidateKey) -> u64 {
+    (std::mem::size_of::<ValidateRecord>()
+        + key.edges.capacity() * std::mem::size_of::<(u32, Label, u32)>()
+        + 16) as u64
 }
 
 /// The exact structural identity of a memoised candidate: node count plus
@@ -343,20 +568,33 @@ fn candidate_hash(graph: &Graph) -> u64 {
 }
 
 impl ValidateMemo {
-    fn get(&self, hash: u64, graph: &Graph) -> Option<bool> {
-        self.buckets
+    /// A memoised verdict, refreshing the record's LRU stamp on a hit.
+    fn get(&self, hash: u64, graph: &Graph, budget: &CacheBudget) -> Option<bool> {
+        let record = self
+            .buckets
             .get(&hash)?
             .iter()
-            .find(|(key, _)| key.matches(graph))
-            .map(|&(_, verdict)| verdict)
+            .find(|record| record.key.matches(graph))?;
+        record.stamp.store(budget.touch(), Ordering::Relaxed);
+        Some(record.verdict)
     }
 
-    fn insert(&mut self, hash: u64, graph: &Graph, verdict: bool) {
+    /// Insert a verdict, charging the ledger only when the insertion wins
+    /// (a racing thread may have stored the same verdict first).
+    fn insert(&mut self, hash: u64, graph: &Graph, verdict: bool, budget: &CacheBudget) {
         let bucket = self.buckets.entry(hash).or_default();
-        if bucket.iter().any(|(key, _)| key.matches(graph)) {
+        if bucket.iter().any(|record| record.key.matches(graph)) {
             return; // a racing thread computed the same verdict first
         }
-        bucket.push((CandidateKey::of(graph), verdict));
+        let key = CandidateKey::of(graph);
+        let bytes = validate_record_weight(&key);
+        bucket.push(ValidateRecord {
+            key,
+            verdict,
+            bytes,
+            stamp: AtomicU64::new(budget.touch()),
+        });
+        budget.charge(CacheKind::Validate, bytes);
     }
 }
 
@@ -364,6 +602,25 @@ impl ValidateMemo {
 /// definition's language is infinite or too large, so the sufficient check
 /// is never attempted for it).
 type CachedBags = Option<Arc<Vec<Vec<Bag<Atom>>>>>;
+
+/// The accounted weight of a cached bag enumeration: spines plus a
+/// per-distinct-atom allowance for each bag's count map.
+fn bags_weight(bags: &[Vec<Bag<Atom>>]) -> u64 {
+    let per_type: usize = bags
+        .iter()
+        .map(|per_type| {
+            std::mem::size_of::<Vec<Bag<Atom>>>()
+                + per_type
+                    .iter()
+                    .map(|bag| {
+                        std::mem::size_of::<Bag<Atom>>()
+                            + bag.distinct() * (std::mem::size_of::<(Atom, u64)>() + 32)
+                    })
+                    .sum::<usize>()
+        })
+        .sum();
+    (std::mem::size_of::<Vec<Vec<Bag<Atom>>>>() + per_type) as u64
+}
 
 /// A registered schema plus everything derived from it — the derivations
 /// computed at registration are plain fields (immutable thereafter), the
@@ -386,8 +643,13 @@ struct SchemaEntry {
     /// candidate. Pool builders hold this lock for the duration of one pool
     /// construction; every other engine path stays off it.
     unfolder: Mutex<Unfolder>,
-    /// `(root type, depth) → pool` of systematic unfoldings.
-    enumerated: RwLock<BTreeMap<(TypeId, usize), Pool>>,
+    /// The unfolder's accounted bytes as last charged to the ledger —
+    /// builders re-measure after every use and charge/credit the delta
+    /// (while holding the unfolder lock, so updates serialise).
+    unfolder_bytes: AtomicU64,
+    /// `(root type, depth) → pool` of systematic unfoldings, stamped and
+    /// weighed for the eviction sweep.
+    enumerated: RwLock<BTreeMap<(TypeId, usize), PoolSlot>>,
     /// The ordered randomized-phase sample pool.
     sampled: OnceLock<Pool>,
     /// The exhaustive per-type bag enumeration (`None` = infinite).
@@ -421,12 +683,24 @@ impl Registry {
 /// workers rarely contend on the same shard.
 const PAIR_SHARDS: usize = 16;
 
+/// One memoised pair verdict plus its LRU stamp. The accounted weight is
+/// the flat [`PAIR_ENTRY_BYTES`] — key, slot, and tree-node allowance.
+#[derive(Debug)]
+struct PairSlot {
+    verdict: bool,
+    stamp: AtomicU64,
+}
+
+/// Accounted bytes per pair-memo entry: key + slot + `BTreeMap` node
+/// allowance. A flat approximation — pair entries are tiny and uniform.
+const PAIR_ENTRY_BYTES: u64 = 64;
+
 /// A `(SchemaId, SchemaId) → bool` verdict memo sharded across
 /// independently locked maps, so concurrent queries for different pairs
 /// proceed without contending on one lock.
 #[derive(Debug)]
 struct ShardedPairMap {
-    shards: [RwLock<BTreeMap<(u32, u32), bool>>; PAIR_SHARDS],
+    shards: [RwLock<BTreeMap<(u32, u32), PairSlot>>; PAIR_SHARDS],
 }
 
 impl ShardedPairMap {
@@ -436,24 +710,28 @@ impl ShardedPairMap {
         }
     }
 
-    fn shard(&self, key: (u32, u32)) -> &RwLock<BTreeMap<(u32, u32), bool>> {
+    fn shard(&self, key: (u32, u32)) -> &RwLock<BTreeMap<(u32, u32), PairSlot>> {
         let spread = key.0.wrapping_mul(31).wrapping_add(key.1) as usize;
         &self.shards[spread % PAIR_SHARDS]
     }
 
-    fn get(&self, key: (u32, u32)) -> Option<bool> {
-        self.shard(key)
-            .read()
-            .expect("pair memo lock")
-            .get(&key)
-            .copied()
+    fn get(&self, key: (u32, u32), budget: &CacheBudget) -> Option<bool> {
+        let shard = self.shard(key).read().expect("pair memo lock");
+        let slot = shard.get(&key)?;
+        slot.stamp.store(budget.touch(), Ordering::Relaxed);
+        Some(slot.verdict)
     }
 
-    fn insert(&self, key: (u32, u32), value: bool) {
-        self.shard(key)
-            .write()
-            .expect("pair memo lock")
-            .insert(key, value);
+    fn insert(&self, key: (u32, u32), verdict: bool, budget: &CacheBudget) {
+        use std::collections::btree_map::Entry;
+        let mut shard = self.shard(key).write().expect("pair memo lock");
+        if let Entry::Vacant(slot) = shard.entry(key) {
+            slot.insert(PairSlot {
+                verdict,
+                stamp: AtomicU64::new(budget.touch()),
+            });
+            budget.charge(CacheKind::Pairs, PAIR_ENTRY_BYTES);
+        }
     }
 }
 
@@ -489,6 +767,9 @@ pub struct ContainmentEngine {
     /// `(h, k) → whether the general sufficient condition holds`.
     sufficient_memo: ShardedPairMap,
     counters: EngineCounters,
+    /// The accounted-byte ledger and eviction bookkeeping behind
+    /// [`EngineOptions::cache_budget`].
+    budget: CacheBudget,
 }
 
 impl Default for ContainmentEngine {
@@ -506,6 +787,7 @@ impl ContainmentEngine {
 
     /// An engine with the given options.
     pub fn with_options(options: EngineOptions) -> ContainmentEngine {
+        let budget = CacheBudget::new(options.cache_budget);
         ContainmentEngine {
             options,
             labels: SharedLabelTable::new(),
@@ -513,6 +795,7 @@ impl ContainmentEngine {
             embeds_memo: ShardedPairMap::new(),
             sufficient_memo: ShardedPairMap::new(),
             counters: EngineCounters::default(),
+            budget,
         }
     }
 
@@ -527,10 +810,11 @@ impl ContainmentEngine {
         &self.options
     }
 
-    /// A snapshot of the cache-effectiveness counters.
+    /// A snapshot of the cache-effectiveness counters and the accounted
+    /// memory footprint.
     pub fn stats(&self) -> EngineStats {
         let schemas = self.registry.read().expect("registry lock").schemas.len();
-        self.counters.snapshot(schemas)
+        self.counters.snapshot(schemas, &self.budget)
     }
 
     /// The shared predicate-label table (one allocation per distinct label
@@ -584,10 +868,15 @@ impl ContainmentEngine {
             characterizing: OnceLock::new(),
             validate_memo: RwLock::new(ValidateMemo::default()),
             unfolder: Mutex::new(Unfolder::new()),
+            unfolder_bytes: AtomicU64::new(0),
             enumerated: RwLock::new(BTreeMap::new()),
             sampled: OnceLock::new(),
             bags: OnceLock::new(),
         });
+        // The registered schema (its cached shape graph included — derived
+        // above, so `approx_heap_bytes` sees it) plus the entry shell is
+        // pinned footprint: counted, never evicted.
+        let pinned = std::mem::size_of::<SchemaEntry>() as u64 + entry.schema.weight_bytes();
         let mut registry = self.registry.write().expect("registry lock");
         if let Some(id) = registry.find(fingerprint, schema) {
             return id; // lost the race; adopt the winner's entry
@@ -599,6 +888,7 @@ impl ContainmentEngine {
             .entry(fingerprint)
             .or_default()
             .push(id);
+        self.budget.charge(CacheKind::Pinned, pinned);
         id
     }
 
@@ -648,14 +938,14 @@ impl ContainmentEngine {
     /// scoped worker pool over those shared caches. Either way the answers
     /// are identical to the `N²` individual [`ContainmentEngine::check`]
     /// calls (and to the one-shot functions).
-    pub fn check_matrix(&self, schemas: &[Schema]) -> Vec<Vec<Containment>> {
+    pub fn check_matrix(&self, schemas: &[Schema]) -> ContainmentMatrix {
         let ids: Vec<SchemaId> = schemas.iter().map(|s| self.register(s)).collect();
         self.check_matrix_ids(&ids)
     }
 
     /// [`ContainmentEngine::check_matrix`] for already-registered schemas
     /// (the service's batch entry point).
-    pub fn check_matrix_ids(&self, ids: &[SchemaId]) -> Vec<Vec<Containment>> {
+    pub fn check_matrix_ids(&self, ids: &[SchemaId]) -> ContainmentMatrix {
         // One registry lock acquisition for the whole matrix; the N² cells
         // work off these prefetched entries.
         let entries = self.entries(ids);
@@ -664,9 +954,11 @@ impl ContainmentEngine {
         };
         let workers = self.options.matrix_threads.max(1).min(ids.len().max(1));
         if workers <= 1 {
-            return (0..ids.len())
-                .map(|i| (0..ids.len()).map(|j| cell(i, j, true)).collect())
+            let cells = (0..ids.len())
+                .flat_map(|i| (0..ids.len()).map(move |j| (i, j)))
+                .map(|(i, j)| cell(i, j, true))
                 .collect();
+            return ContainmentMatrix::new(ids.to_vec(), cells);
         }
         // Row-parallel: contiguous row chunks per worker, cells validated
         // inline (fan_out = false) so the two thread pools do not multiply.
@@ -674,19 +966,19 @@ impl ContainmentEngine {
         // so the matrix is identical to the serial one.
         let row_indices: Vec<usize> = (0..ids.len()).collect();
         let rows_per_worker = ids.len().div_ceil(workers);
-        std::thread::scope(|scope| {
+        let cells = std::thread::scope(|scope| {
             let handles: Vec<_> = row_indices
                 .chunks(rows_per_worker)
                 .map(|rows| {
                     let cell = &cell;
                     scope.spawn(move || {
                         rows.iter()
-                            .map(|&i| {
+                            .flat_map(|&i| {
                                 (0..ids.len())
                                     .map(|j| cell(i, j, false))
                                     .collect::<Vec<Containment>>()
                             })
-                            .collect::<Vec<Vec<Containment>>>()
+                            .collect::<Vec<Containment>>()
                     })
                 })
                 .collect();
@@ -694,7 +986,8 @@ impl ContainmentEngine {
                 .into_iter()
                 .flat_map(|handle| handle.join().expect("matrix row worker panicked"))
                 .collect()
-        })
+        });
+        ContainmentMatrix::new(ids.to_vec(), cells)
     }
 
     /// The session equivalent of [`crate::shex0::shex0_containment`].
@@ -819,7 +1112,7 @@ impl ContainmentEngine {
         h_entry: &SchemaEntry,
         k_entry: &SchemaEntry,
     ) -> bool {
-        if let Some(v) = self.embeds_memo.get((h.0, k.0)) {
+        if let Some(v) = self.embeds_memo.get((h.0, k.0), &self.budget) {
             EngineCounters::tick(&self.counters.embed_hits);
             return v;
         }
@@ -833,7 +1126,8 @@ impl ContainmentEngine {
             .as_ref()
             .expect("RBE0 schema has a shape graph");
         let v = embeds(hg, kg).is_some();
-        self.embeds_memo.insert((h.0, k.0), v);
+        self.embeds_memo.insert((h.0, k.0), v, &self.budget);
+        self.maybe_evict();
         v
     }
 
@@ -841,12 +1135,15 @@ impl ContainmentEngine {
     /// once (`OnceLock`: concurrent demanders block on one construction).
     fn characterizing(&self, entry: &SchemaEntry) -> Result<Graph, NotDetShex0Minus> {
         require_det_minus(entry)?;
-        Ok(entry
-            .characterizing
-            .get_or_init(|| {
-                characterizing_graph(&entry.schema).expect("class-checked DetShEx0- schema")
-            })
-            .clone())
+        let mut built_here = false;
+        let graph = entry.characterizing.get_or_init(|| {
+            built_here = true;
+            characterizing_graph(&entry.schema).expect("class-checked DetShEx0- schema")
+        });
+        if built_here {
+            self.budget.charge(CacheKind::Pinned, graph.weight_bytes());
+        }
+        Ok(graph.clone())
     }
 
     /// Whether the general sufficient condition holds for `(h, k)`
@@ -859,22 +1156,33 @@ impl ContainmentEngine {
         h_entry: &SchemaEntry,
         k_entry: &SchemaEntry,
     ) -> bool {
-        if let Some(v) = self.sufficient_memo.get((h.0, k.0)) {
+        if let Some(v) = self.sufficient_memo.get((h.0, k.0), &self.budget) {
             return v;
         }
         let v = match self.exhaustive_bags_cached(h_entry) {
             None => false,
             Some(bags) => type_simulation_with_bags(&h_entry.schema, &bags, &k_entry.schema),
         };
-        self.sufficient_memo.insert((h.0, k.0), v);
+        self.sufficient_memo.insert((h.0, k.0), v, &self.budget);
+        self.maybe_evict();
         v
     }
 
     fn exhaustive_bags_cached(&self, entry: &SchemaEntry) -> CachedBags {
-        entry
+        let mut built_here = false;
+        let bags = entry
             .bags
-            .get_or_init(|| exhaustive_bags(&entry.schema).map(Arc::new))
-            .clone()
+            .get_or_init(|| {
+                built_here = true;
+                exhaustive_bags(&entry.schema).map(Arc::new)
+            })
+            .clone();
+        if built_here {
+            if let Some(bags) = &bags {
+                self.budget.charge(CacheKind::Pinned, bags_weight(bags));
+            }
+        }
+        bags
     }
 
     /// The bounded counter-example search over registered schemas.
@@ -884,6 +1192,20 @@ impl ContainmentEngine {
     /// systematic unfoldings per root and depth under the shared `examined`
     /// budget, then the ordered randomized samples.
     fn search_ids(
+        &self,
+        h: &Arc<SchemaEntry>,
+        k: &Arc<SchemaEntry>,
+        fan_out: bool,
+    ) -> SearchOutcome {
+        let outcome = self.search_ids_inner(h, k, fan_out);
+        // Whatever validation memos the (sequential or sampled) phases just
+        // grew, bring the evictable total back under budget before the
+        // query returns.
+        self.maybe_evict();
+        outcome
+    }
+
+    fn search_ids_inner(
         &self,
         h: &Arc<SchemaEntry>,
         k: &Arc<SchemaEntry>,
@@ -997,9 +1319,10 @@ impl ContainmentEngine {
         depth: usize,
         opts: &SearchOptions,
     ) -> Pool {
-        if let Some(pool) = h.enumerated.read().expect("pool lock").get(&(root, depth)) {
+        if let Some(slot) = h.enumerated.read().expect("pool lock").get(&(root, depth)) {
             EngineCounters::tick(&self.counters.pool_hits);
-            return pool.clone();
+            slot.stamp.store(self.budget.touch(), Ordering::Relaxed);
+            return slot.pool.clone();
         }
         EngineCounters::tick(&self.counters.pools_built);
         let scoped = SearchOptions {
@@ -1009,17 +1332,34 @@ impl ContainmentEngine {
         let graphs = {
             let mut scratch = ValidateScratch::new();
             let mut unfolder = h.unfolder.lock().expect("unfolder lock");
-            unfolder.members_with(&h.schema, root, &scoped, &mut |g| {
-                validate_memoised(h, &self.counters, g, &mut scratch)
-            })
+            let graphs = unfolder.members_with(&h.schema, root, &scoped, &mut |g| {
+                validate_memoised(h, &self.counters, &self.budget, g, &mut scratch)
+            });
+            self.sync_unfolder_bytes(h, &unfolder);
+            graphs
         };
         let pool: Pool = Arc::new(graphs);
-        h.enumerated
-            .write()
-            .expect("pool lock")
-            .entry((root, depth))
-            .or_insert(pool)
-            .clone()
+        let bytes = pool_weight(&pool);
+        let shared = {
+            use std::collections::btree_map::Entry;
+            let mut pools = h.enumerated.write().expect("pool lock");
+            match pools.entry((root, depth)) {
+                // A racing builder won the slot; adopt its pool, charge
+                // nothing (the winner charged).
+                Entry::Occupied(slot) => slot.get().pool.clone(),
+                Entry::Vacant(slot) => {
+                    slot.insert(PoolSlot {
+                        pool: pool.clone(),
+                        bytes,
+                        stamp: AtomicU64::new(self.budget.touch()),
+                    });
+                    self.budget.charge(CacheKind::Pools, bytes);
+                    pool
+                }
+            }
+        };
+        self.maybe_evict();
+        shared
     }
 
     /// The ordered randomized-sample pool of `h` — the entry's [`Unfolder`]
@@ -1041,8 +1381,9 @@ impl ContainmentEngine {
                 if !roots.is_empty() {
                     let mut scratch = ValidateScratch::new();
                     let mut unfolder = h.unfolder.lock().expect("unfolder lock");
-                    let mut is_member =
-                        |g: &Graph| validate_memoised(h, &self.counters, g, &mut scratch);
+                    let mut is_member = |g: &Graph| {
+                        validate_memoised(h, &self.counters, &self.budget, g, &mut scratch)
+                    };
                     for _ in 0..opts.random_samples {
                         let root = roots[rng.gen_range(0..roots.len())];
                         if let Some(graph) =
@@ -1051,11 +1392,15 @@ impl ContainmentEngine {
                             graphs.push(graph);
                         }
                     }
+                    self.sync_unfolder_bytes(h, &unfolder);
                 }
                 Arc::new(graphs)
             })
             .clone();
-        if !built_here {
+        if built_here {
+            // `OnceLock`-cached for the engine's lifetime: pinned footprint.
+            self.budget.charge(CacheKind::Pinned, pool_weight(&pool));
+        } else {
             EngineCounters::tick(&self.counters.pool_hits);
         }
         pool
@@ -1063,7 +1408,7 @@ impl ContainmentEngine {
 
     /// One memoised `validates(graph, k)` verdict.
     fn validate_one(&self, k: &SchemaEntry, graph: &Graph, scratch: &mut ValidateScratch) -> bool {
-        validate_memoised(k, &self.counters, graph, scratch)
+        validate_memoised(k, &self.counters, &self.budget, graph, scratch)
     }
 
     /// Memoised verdicts for one stripe of candidates, with the uncached
@@ -1077,7 +1422,7 @@ impl ContainmentEngine {
             let memo = k.validate_memo.read().expect("validate memo lock");
             pool.iter()
                 .zip(&hashes)
-                .map(|(graph, &hash)| memo.get(hash, graph))
+                .map(|(graph, &hash)| memo.get(hash, graph, &self.budget))
                 .collect()
         };
         let missing: Vec<usize> = verdicts
@@ -1121,13 +1466,236 @@ impl ContainmentEngine {
             }
             let mut memo = k.validate_memo.write().expect("validate memo lock");
             for &i in &missing {
-                memo.insert(hashes[i], &pool[i], verdicts[i].expect("filled above"));
+                memo.insert(
+                    hashes[i],
+                    &pool[i],
+                    verdicts[i].expect("filled above"),
+                    &self.budget,
+                );
             }
         }
+        self.maybe_evict();
         verdicts
             .into_iter()
             .map(|v| v.expect("resolved above"))
             .collect()
+    }
+
+    /// Re-measure an entry's unfolder and charge/credit the ledger delta.
+    /// Callers hold the entry's unfolder lock, so the swap serialises with
+    /// other re-measurements and with the sweeper's reset.
+    fn sync_unfolder_bytes(&self, entry: &SchemaEntry, unfolder: &Unfolder) {
+        let now = unfolder.approx_heap_bytes() as u64;
+        let before = entry.unfolder_bytes.swap(now, Ordering::Relaxed);
+        if now >= before {
+            self.budget.charge(CacheKind::Unfolder, now - before);
+        } else {
+            self.budget.credit(CacheKind::Unfolder, before - now);
+        }
+    }
+
+    /// Enforce the cache budget: when the evictable total exceeds the
+    /// limit, run epoch-LRU sweeps until it is back under (targeting half
+    /// the limit, so queries do not re-trigger a sweep immediately), with a
+    /// clear-everything fallback so the invariant `evictable ≤ budget`
+    /// holds at every query exit regardless of weight-approximation drift.
+    ///
+    /// Serialised on the budget's sweeper mutex: one thread sweeps while
+    /// the others queue behind it and re-check (their overshoot is
+    /// typically gone by the time they hold the lock).
+    ///
+    /// Never called while holding an unfolder lock — the sweep takes
+    /// unfolder locks to reset drained sessions, and the mutex is not
+    /// reentrant.
+    fn maybe_evict(&self) {
+        if !self.budget.over_budget() {
+            return;
+        }
+        let Some(limit) = self.budget.limit() else {
+            return;
+        };
+        let _sweeping = self.budget.sweeper().lock().expect("sweeper lock");
+        for _ in 0..2 {
+            if self.budget.evictable() <= limit {
+                return;
+            }
+            self.sweep_once(limit);
+        }
+        if self.budget.evictable() > limit {
+            self.clear_evictable();
+        }
+    }
+
+    /// One epoch-LRU sweep: collect `(stamp, bytes)` over every evictable
+    /// entry, pick the cutoff stamp that frees enough to reach the
+    /// low-water mark (half the limit), and drop everything at or below
+    /// it. Unfolder sessions whose enumerated pools all left are reset
+    /// wholesale — their arenas are memo state that rebuilds
+    /// deterministically (same node names, same RNG stream), so the reset
+    /// is invisible to verdicts and witnesses.
+    ///
+    /// Locks are taken one cache at a time, never an unfolder lock while
+    /// holding a cache lock, so concurrent queries at worst block briefly
+    /// on one cache.
+    fn sweep_once(&self, limit: u64) {
+        let entries: Vec<Arc<SchemaEntry>> = {
+            let registry = self.registry.read().expect("registry lock");
+            registry.schemas.clone()
+        };
+        let mut stamped: Vec<(u64, u64)> = Vec::new();
+        for entry in &entries {
+            for slot in entry.enumerated.read().expect("pool lock").values() {
+                stamped.push((slot.stamp.load(Ordering::Relaxed), slot.bytes));
+            }
+            let memo = entry.validate_memo.read().expect("validate memo lock");
+            for bucket in memo.buckets.values() {
+                for record in bucket {
+                    stamped.push((record.stamp.load(Ordering::Relaxed), record.bytes));
+                }
+            }
+        }
+        for memo in [&self.embeds_memo, &self.sufficient_memo] {
+            for shard in &memo.shards {
+                for slot in shard.read().expect("pair memo lock").values() {
+                    stamped.push((slot.stamp.load(Ordering::Relaxed), PAIR_ENTRY_BYTES));
+                }
+            }
+        }
+        stamped.sort_unstable();
+        let low_water = limit / 2;
+        let mut need = self.budget.evictable().saturating_sub(low_water);
+        let mut cutoff = 0u64;
+        for &(stamp, bytes) in &stamped {
+            if need == 0 {
+                break;
+            }
+            cutoff = stamp;
+            need = need.saturating_sub(bytes);
+        }
+        if cutoff == 0 {
+            // Everything stamped is younger than anything worth dropping
+            // (or there is nothing stamped — the overshoot is unfolder
+            // growth); fall through to the caller's next attempt.
+            self.budget.record_sweep(0, 0);
+            return;
+        }
+        let mut evicted = 0u64;
+        let mut freed = 0u64;
+        for entry in &entries {
+            let drained = {
+                let mut pools = entry.enumerated.write().expect("pool lock");
+                pools.retain(|_, slot| {
+                    if slot.stamp.load(Ordering::Relaxed) <= cutoff {
+                        evicted += 1;
+                        freed += slot.bytes;
+                        self.budget.credit(CacheKind::Pools, slot.bytes);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                pools.is_empty()
+            };
+            if drained {
+                // No pool references this unfolder's trees any more: drop
+                // the whole session so its arena actually frees. (A racing
+                // builder may have inserted a fresh pool since the check —
+                // resetting then still only costs that builder's memos.)
+                let mut unfolder = entry.unfolder.lock().expect("unfolder lock");
+                let before = entry.unfolder_bytes.swap(0, Ordering::Relaxed);
+                if before > 0 {
+                    *unfolder = Unfolder::new();
+                    self.budget.credit(CacheKind::Unfolder, before);
+                    evicted += 1;
+                    freed += before;
+                }
+            }
+            {
+                let mut memo = entry.validate_memo.write().expect("validate memo lock");
+                memo.buckets.retain(|_, bucket| {
+                    bucket.retain(|record| {
+                        if record.stamp.load(Ordering::Relaxed) <= cutoff {
+                            evicted += 1;
+                            freed += record.bytes;
+                            self.budget.credit(CacheKind::Validate, record.bytes);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    !bucket.is_empty()
+                });
+            }
+        }
+        for memo in [&self.embeds_memo, &self.sufficient_memo] {
+            for shard in &memo.shards {
+                shard.write().expect("pair memo lock").retain(|_, slot| {
+                    if slot.stamp.load(Ordering::Relaxed) <= cutoff {
+                        evicted += 1;
+                        freed += PAIR_ENTRY_BYTES;
+                        self.budget.credit(CacheKind::Pairs, PAIR_ENTRY_BYTES);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        self.budget.record_sweep(evicted, freed);
+    }
+
+    /// The sweep-of-last-resort: drop every evictable cache outright. Run
+    /// when two LRU sweeps could not get back under the limit (a budget
+    /// smaller than a single pool, say) — the invariant wins over cache
+    /// warmth.
+    fn clear_evictable(&self) {
+        let entries: Vec<Arc<SchemaEntry>> = {
+            let registry = self.registry.read().expect("registry lock");
+            registry.schemas.clone()
+        };
+        let mut evicted = 0u64;
+        let mut freed = 0u64;
+        for entry in &entries {
+            {
+                let mut pools = entry.enumerated.write().expect("pool lock");
+                for (_, slot) in std::mem::take(&mut *pools) {
+                    evicted += 1;
+                    freed += slot.bytes;
+                    self.budget.credit(CacheKind::Pools, slot.bytes);
+                }
+            }
+            {
+                let mut unfolder = entry.unfolder.lock().expect("unfolder lock");
+                let before = entry.unfolder_bytes.swap(0, Ordering::Relaxed);
+                if before > 0 {
+                    *unfolder = Unfolder::new();
+                    self.budget.credit(CacheKind::Unfolder, before);
+                    evicted += 1;
+                    freed += before;
+                }
+            }
+            {
+                let mut memo = entry.validate_memo.write().expect("validate memo lock");
+                for (_, bucket) in memo.buckets.drain() {
+                    for record in bucket {
+                        evicted += 1;
+                        freed += record.bytes;
+                        self.budget.credit(CacheKind::Validate, record.bytes);
+                    }
+                }
+            }
+        }
+        for memo in [&self.embeds_memo, &self.sufficient_memo] {
+            for shard in &memo.shards {
+                let mut shard = shard.write().expect("pair memo lock");
+                let drained = std::mem::take(&mut *shard);
+                evicted += drained.len() as u64;
+                freed += drained.len() as u64 * PAIR_ENTRY_BYTES;
+                self.budget
+                    .credit(CacheKind::Pairs, drained.len() as u64 * PAIR_ENTRY_BYTES);
+            }
+        }
+        self.budget.record_sweep(evicted, freed);
     }
 }
 
@@ -1209,6 +1777,7 @@ fn same_schema_structure(a: &Schema, b: &Schema) -> bool {
 fn validate_memoised(
     entry: &SchemaEntry,
     counters: &EngineCounters,
+    budget: &CacheBudget,
     graph: &Graph,
     scratch: &mut ValidateScratch,
 ) -> bool {
@@ -1217,7 +1786,7 @@ fn validate_memoised(
         .validate_memo
         .read()
         .expect("validate memo lock")
-        .get(hash, graph)
+        .get(hash, graph, budget)
     {
         EngineCounters::tick(&counters.validate_hits);
         return v;
@@ -1228,7 +1797,7 @@ fn validate_memoised(
         .validate_memo
         .write()
         .expect("validate memo lock")
-        .insert(hash, graph, v);
+        .insert(hash, graph, v, budget);
     v
 }
 
@@ -1347,13 +1916,88 @@ mod tests {
             validate_misses: 1,
             embed_hits: 0,
             embed_misses: 2,
-            pool_hits: 0,
-            pools_built: 0,
+            pool_bytes: 100,
+            validate_bytes: 20,
+            pair_bytes: 3,
+            unfolder_bytes: 7,
+            pinned_bytes: 500,
+            ..EngineStats::default()
         };
+        assert_eq!(stats.evictable_bytes(), 130);
+        assert_eq!(stats.resident_bytes(), 630);
         let text = format!("{stats}");
         assert!(text.contains("2 schemas"), "{text}");
         assert!(text.contains("3 hits / 1 misses (75.0% hit)"), "{text}");
         assert!(text.contains("0 hits / 2 misses (0.0% hit)"), "{text}");
+        assert!(text.contains("130 B evictable"), "{text}");
+        assert!(text.contains("budget unbounded"), "{text}");
+    }
+
+    #[test]
+    fn builder_configures_every_knob() {
+        let options = EngineOptions::builder()
+            .search(SearchOptions::quick())
+            .threads(3)
+            .parallel_threshold(4)
+            .matrix_threads(2)
+            .cache_budget(1 << 20)
+            .build();
+        assert_eq!(options.threads, 3);
+        assert_eq!(options.parallel_threshold, 4);
+        assert_eq!(options.matrix_threads, 2);
+        assert_eq!(options.cache_budget, Some(1 << 20));
+        assert_eq!(
+            options.search.max_depth,
+            SearchOptions::quick().max_depth,
+            "search budget must carry through the builder"
+        );
+        let unbounded = EngineOptions::builder()
+            .threads(0)
+            .unbounded_cache()
+            .build();
+        assert_eq!(unbounded.threads, 1, "thread counts clamp to at least 1");
+        assert_eq!(unbounded.cache_budget, None);
+    }
+
+    #[test]
+    fn tiny_budget_engine_matches_unbounded_verdicts() {
+        // A budget far smaller than one pool: every query sweeps, the
+        // clear-everything fallback runs, and the verdicts (including the
+        // witness) still match the unbounded engine bit for bit.
+        let texts = [
+            "T -> p::L?\nL -> EMPTY\n",
+            "T -> p::L*\nL -> EMPTY\n",
+            "Root -> p::A, p::B\nA -> a::L?\nB -> b::L\nL -> EMPTY\n",
+            "Root -> p::A, p::A\nA -> a::L?\nB -> b::L\nL -> EMPTY\n",
+        ];
+        let schemas: Vec<Schema> = texts.iter().map(|t| parse_schema(t).unwrap()).collect();
+        let unbounded = quick_engine();
+        let bounded = ContainmentEngine::with_options(
+            EngineOptions::builder()
+                .search(SearchOptions::quick())
+                .cache_budget(256)
+                .build(),
+        );
+        for _round in 0..2 {
+            for h in &schemas {
+                for k in &schemas {
+                    let a = unbounded.check(h, k);
+                    let b = bounded.check(h, k);
+                    assert_eq!(format!("{a}"), format!("{b}"));
+                    let stats = bounded.stats();
+                    assert!(
+                        stats.evictable_bytes() <= 256,
+                        "evictable {} exceeds the 256 B budget",
+                        stats.evictable_bytes()
+                    );
+                }
+            }
+        }
+        let stats = bounded.stats();
+        assert!(stats.evictions > 0, "a 256 B budget must evict: {stats}");
+        assert!(stats.sweeps > 0);
+        assert!(stats.pinned_bytes > 0, "registered schemas are counted");
+        assert_eq!(unbounded.stats().evictions, 0, "unbounded never evicts");
     }
 
     #[test]

@@ -48,10 +48,12 @@ use std::fmt;
 use shapex_graph::Graph;
 
 pub mod baseline;
+pub mod budget;
 pub mod det;
 pub mod embedding;
 pub mod engine;
 pub mod general;
+pub mod matrix;
 pub mod shex0;
 pub mod simulation;
 pub mod unfold;

@@ -1,0 +1,212 @@
+//! [`ContainmentMatrix`] — the typed result of a batch pairwise containment
+//! query.
+//!
+//! [`crate::engine::ContainmentEngine::check_matrix`] historically returned
+//! a bare `Vec<Vec<Containment>>`, which forced every consumer (the service
+//! facade, the examples, the benches) to re-invent the row/column ↔ schema
+//! mapping. `ContainmentMatrix` packages the verdict grid together with the
+//! [`SchemaId`]s it was computed over: cells are addressable by position
+//! *or* by handle pair, rows iterate as slices, and positional indexing
+//! (`matrix[i][j]`) keeps working so the grid still reads like the paper's
+//! N×N tables.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::engine::SchemaId;
+use crate::Containment;
+
+/// The answers of an N×N batch containment query: `matrix[i][j]` decides
+/// `L(ids[i]) ⊆ L(ids[j])`, with `ids` the registered handles the matrix
+/// was computed over (in query order, duplicates preserved).
+///
+/// Stored row-major in one flat allocation; rows are handed out as slices.
+#[derive(Debug, Clone)]
+pub struct ContainmentMatrix {
+    ids: Vec<SchemaId>,
+    cells: Vec<Containment>,
+}
+
+impl ContainmentMatrix {
+    /// Assemble a matrix from its handles and row-major cells.
+    ///
+    /// # Panics
+    /// Panics unless `cells.len() == ids.len()²`.
+    pub fn new(ids: Vec<SchemaId>, cells: Vec<Containment>) -> ContainmentMatrix {
+        assert_eq!(
+            cells.len(),
+            ids.len() * ids.len(),
+            "matrix cells must be a full N×N grid"
+        );
+        ContainmentMatrix { ids, cells }
+    }
+
+    /// Number of schemas (= rows = columns).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the matrix is empty (a query over zero schemas).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The registered handles the matrix was computed over, in query order.
+    pub fn ids(&self) -> &[SchemaId] {
+        &self.ids
+    }
+
+    /// The cell deciding `L(ids[i]) ⊆ L(ids[j])`.
+    ///
+    /// # Panics
+    /// Panics when `i` or `j` is out of range.
+    pub fn get(&self, i: usize, j: usize) -> &Containment {
+        &self[i][j]
+    }
+
+    /// The cell for an ordered pair of handles, or `None` when either
+    /// handle is not part of the matrix. With duplicate handles the first
+    /// occurrence wins (duplicates hold identical verdicts — the engine
+    /// interns registrations, so equal handles mean equal rows).
+    pub fn by_ids(&self, h: SchemaId, k: SchemaId) -> Option<&Containment> {
+        let i = self.ids.iter().position(|&id| id == h)?;
+        let j = self.ids.iter().position(|&id| id == k)?;
+        Some(self.get(i, j))
+    }
+
+    /// One row as a slice: every verdict with `ids[i]` on the left.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn row(&self, i: usize) -> &[Containment] {
+        let n = self.ids.len();
+        &self.cells[i * n..(i + 1) * n]
+    }
+
+    /// Iterate over the rows as slices, top to bottom.
+    pub fn rows(&self) -> std::slice::Chunks<'_, Containment> {
+        self.cells.chunks(self.ids.len().max(1))
+    }
+
+    /// Alias for [`ContainmentMatrix::rows`], so the matrix iterates like
+    /// the `Vec<Vec<_>>` it replaced.
+    pub fn iter(&self) -> std::slice::Chunks<'_, Containment> {
+        self.rows()
+    }
+
+    /// Iterate over every cell as `(row handle, column handle, verdict)`.
+    pub fn entries(&self) -> impl Iterator<Item = (SchemaId, SchemaId, &Containment)> + '_ {
+        let n = self.ids.len();
+        self.cells
+            .iter()
+            .enumerate()
+            .map(move |(flat, cell)| (self.ids[flat / n], self.ids[flat % n], cell))
+    }
+}
+
+impl Index<usize> for ContainmentMatrix {
+    type Output = [Containment];
+
+    fn index(&self, i: usize) -> &[Containment] {
+        self.row(i)
+    }
+}
+
+impl Index<(SchemaId, SchemaId)> for ContainmentMatrix {
+    type Output = Containment;
+
+    fn index(&self, (h, k): (SchemaId, SchemaId)) -> &Containment {
+        self.by_ids(h, k)
+            .expect("both handles must be part of the matrix")
+    }
+}
+
+impl<'a> IntoIterator for &'a ContainmentMatrix {
+    type Item = &'a [Containment];
+    type IntoIter = std::slice::Chunks<'a, Containment>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows()
+    }
+}
+
+impl fmt::Display for ContainmentMatrix {
+    /// A compact grid: `⊆` for contained, `⊄` for not contained, `?` for
+    /// unknown — the rendering the examples print.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in self.rows() {
+            for (j, cell) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                let mark = if cell.is_contained() {
+                    "⊆"
+                } else if cell.is_not_contained() {
+                    "⊄"
+                } else {
+                    "?"
+                };
+                write!(f, "{mark}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ContainmentEngine;
+    use shapex_shex::parse_schema;
+
+    fn sample() -> (ContainmentMatrix, Vec<SchemaId>) {
+        let texts = ["T -> p::L?\nL -> EMPTY\n", "T -> p::L*\nL -> EMPTY\n"];
+        let schemas: Vec<_> = texts.iter().map(|t| parse_schema(t).unwrap()).collect();
+        let engine = ContainmentEngine::new();
+        let ids: Vec<SchemaId> = schemas.iter().map(|s| engine.register(s)).collect();
+        (engine.check_matrix(&schemas), ids)
+    }
+
+    #[test]
+    fn positional_and_handle_indexing_agree() {
+        let (matrix, ids) = sample();
+        assert_eq!(matrix.len(), 2);
+        assert!(!matrix.is_empty());
+        assert_eq!(matrix.ids(), &ids[..]);
+        assert!(matrix[0][1].is_contained(), "? widens to *");
+        assert!(matrix[(ids[1], ids[0])].is_not_contained());
+        assert_eq!(
+            format!("{}", matrix.get(1, 0)),
+            format!("{}", matrix[(ids[1], ids[0])])
+        );
+        assert!(matrix.by_ids(ids[0], SchemaId::from_index(7)).is_none());
+    }
+
+    #[test]
+    fn rows_and_entries_cover_the_grid() {
+        let (matrix, ids) = sample();
+        assert_eq!(matrix.rows().count(), 2);
+        assert!(matrix.iter().all(|row| row.len() == 2));
+        let entries: Vec<_> = matrix.entries().collect();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[1].0, ids[0]);
+        assert_eq!(entries[1].1, ids[1]);
+        // Diagonal cells are reflexive containments.
+        assert!(matrix[(ids[0], ids[0])].is_contained());
+        let grid = format!("{matrix}");
+        assert!(grid.contains('⊆') && grid.contains('⊄'), "{grid}");
+    }
+
+    #[test]
+    #[should_panic(expected = "full N×N grid")]
+    fn ragged_cells_are_rejected() {
+        let (matrix, ids) = sample();
+        let mut cells: Vec<Containment> = Vec::new();
+        for row in &matrix {
+            cells.extend(row.iter().cloned());
+        }
+        cells.pop();
+        let _ = ContainmentMatrix::new(ids, cells);
+    }
+}

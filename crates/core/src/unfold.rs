@@ -167,6 +167,39 @@ impl TreeArena {
         self.nodes.is_empty()
     }
 
+    /// Approximate heap footprint of the arena in bytes: the flat node and
+    /// child tables, the per-node caches, and the hash-consing/acceptance
+    /// buckets. Labels count as their `Arc` handle only. An estimate for
+    /// the engine's cache accounting, not allocator truth.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // Amortised hash-map bucket overhead per entry.
+        const MAP_ENTRY: usize = 48;
+        let mut bytes = self.nodes.capacity() * size_of::<TreeNode>()
+            + self.children.capacity() * size_of::<(Label, Tree)>()
+            + self.hashes.capacity() * size_of::<u64>()
+            + self.sizes.capacity() * size_of::<u64>()
+            + self.member.capacity() * size_of::<bool>();
+        bytes += self
+            .dedup
+            .values()
+            .map(|bucket| MAP_ENTRY + bucket.capacity() * size_of::<u32>())
+            .sum::<usize>();
+        bytes += self
+            .local
+            .values()
+            .map(|bucket| {
+                MAP_ENTRY
+                    + bucket.capacity() * size_of::<LocalVerdict>()
+                    + bucket
+                        .iter()
+                        .map(|v| v.profile.capacity() * size_of::<(Label, TypeId)>())
+                        .sum::<usize>()
+            })
+            .sum::<usize>();
+        bytes
+    }
+
     /// The type a tree's root instantiates.
     pub fn type_of(&self, tree: Tree) -> TypeId {
         self.nodes[tree.index()].type_id
@@ -340,6 +373,42 @@ impl Unfolder {
     /// An empty session.
     pub fn new() -> Unfolder {
         Unfolder::default()
+    }
+
+    /// Approximate heap footprint of the whole unfolding session in bytes:
+    /// the tree arena, the enumerated-tree and candidate-bag memos, and
+    /// every candidate graph built so far (graphs are `Arc`-shared with the
+    /// pools holding them; each holder accounts its own view, so session
+    /// totals over-estimate the true resident set). An estimate for the
+    /// engine's cache accounting, not allocator truth.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        const MAP_ENTRY: usize = 48;
+        let mut bytes = self.arena.approx_heap_bytes();
+        bytes += self
+            .enumerated
+            .values()
+            .map(|trees| MAP_ENTRY + trees.capacity() * size_of::<Tree>())
+            .sum::<usize>();
+        bytes += self
+            .bags
+            .values()
+            .map(|bags| {
+                MAP_ENTRY
+                    + bags
+                        .iter()
+                        .map(|bag| bag.iter().count() * (size_of::<(Atom, u64)>() + 32))
+                        .sum::<usize>()
+            })
+            .sum::<usize>();
+        bytes += self.graphs.capacity() * size_of::<Option<Arc<Graph>>>();
+        bytes += self
+            .graphs
+            .iter()
+            .flatten()
+            .map(|g| size_of::<Graph>() + g.approx_heap_bytes())
+            .sum::<usize>();
+        bytes
     }
 
     /// The underlying tree arena.

@@ -24,6 +24,15 @@ use shapex_shex::{parse_schema, Schema};
 mod common;
 use common::{same_answer, shex0_oracle, tiny};
 
+/// CI sets `SHAPEX_CACHE_BUDGET` (bytes) to rerun the hammer with a
+/// deliberately tiny cache budget, so eviction sweeps race live queries.
+/// Unset or unparsable means the default unbounded engine.
+fn cache_budget_from_env() -> Option<u64> {
+    std::env::var("SHAPEX_CACHE_BUDGET")
+        .ok()
+        .and_then(|raw| raw.trim().parse().ok())
+}
+
 /// Random RBE₀ schemas via random shape graphs (Proposition 3.2): the
 /// round-trip gives the full basic-interval mix (`1 ? * +`), many outside
 /// `DetShEx₀⁻`, so every dispatch route of `check_matrix` gets exercised.
@@ -104,14 +113,17 @@ fn hammer_shared_engine_from_many_threads() {
     let reference = ContainmentEngine::with_search(opts.clone()).check_matrix(&schemas);
 
     // threads: 2 so the validation fan-out's scoped workers run *inside*
-    // concurrently querying threads too.
-    let engine_options = EngineOptions {
-        search: opts,
-        threads: 2,
-        parallel_threshold: 4,
-        ..EngineOptions::default()
-    };
-    let engine = Arc::new(ContainmentEngine::with_options(engine_options));
+    // concurrently querying threads too. CI additionally reruns this hammer
+    // with SHAPEX_CACHE_BUDGET set to a deliberately tiny byte budget, so
+    // concurrent queries race the eviction sweeps as well.
+    let mut builder = EngineOptions::builder()
+        .search(opts)
+        .threads(2)
+        .parallel_threshold(4);
+    if let Some(budget) = cache_budget_from_env() {
+        builder = builder.cache_budget(budget);
+    }
+    let engine = Arc::new(ContainmentEngine::with_options(builder.build()));
     let ids: Vec<SchemaId> = schemas.iter().map(|s| engine.register(s)).collect();
     let n = schemas.len();
 
@@ -159,11 +171,23 @@ fn hammer_shared_engine_from_many_threads() {
     }
     let misses_before = engine.stats().validate_misses;
     let parallel_rows = engine.check_matrix_ids(&ids);
-    assert_eq!(
-        engine.stats().validate_misses,
-        misses_before,
-        "a fully warmed engine must answer matrices from the memo"
-    );
+    if cache_budget_from_env().is_none() {
+        // With a tiny budget the sweeps evict memos by design, so the
+        // zero-recomputation claim only holds for the unbounded default.
+        assert_eq!(
+            engine.stats().validate_misses,
+            misses_before,
+            "a fully warmed engine must answer matrices from the memo"
+        );
+    } else {
+        // Budgeted rerun: the accounted evictable bytes must respect the
+        // budget at every query exit, including after the storm.
+        let stats = engine.stats();
+        assert!(
+            stats.evictable_bytes() <= cache_budget_from_env().unwrap(),
+            "evictable bytes exceed the configured budget: {stats}"
+        );
+    }
     for (row_p, row_r) in parallel_rows.iter().zip(&reference) {
         for (p, r) in row_p.iter().zip(row_r) {
             assert!(same_answer(p, r), "warm id-matrix diverged: {p} vs {r}");

@@ -1,0 +1,176 @@
+//! Bounded-memory equivalence suite: a `ContainmentEngine` running under a
+//! deliberately tiny cache budget must be *observationally identical* to the
+//! unbounded engine and to the memo-free oracle — same verdicts, same
+//! witnesses — while its accounted evictable bytes respect the budget at
+//! every query exit. Eviction may only ever cost recomputation, never
+//! change an answer.
+//!
+//! The suite also pins the accounting itself: a deterministic workload that
+//! provably overflows a small budget must report evictions, sweeps, freed
+//! bytes, and pinned (non-evictable) residency through `EngineStats`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shapex_core::engine::{ContainmentEngine, EngineOptions};
+use shapex_core::Containment;
+use shapex_graph::generate::GraphGen;
+use shapex_shex::{parse_schema, Schema};
+
+mod common;
+use common::{same_answer, shex0_oracle, tiny};
+
+/// A budget far below what even one warm pair needs, so sweeps fire on
+/// nearly every query.
+const TINY_BUDGET: u64 = 512;
+
+/// Random RBE₀ schemas via random shape graphs (Proposition 3.2): the full
+/// basic-interval mix (`1 ? * +`), many outside `DetShEx₀⁻`, so the budget
+/// squeezes pools, validate memos, and pair memos alike.
+fn random_family(seed: u64, count: usize) -> Vec<Schema> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let shape = GraphGen::new(4, 3).out_degree(2.0).shape(&mut rng);
+            Schema::from_shape_graph(&shape)
+        })
+        .collect()
+}
+
+fn budgeted(budget: u64) -> ContainmentEngine {
+    ContainmentEngine::with_options(
+        EngineOptions::builder()
+            .search(tiny())
+            .cache_budget(budget)
+            .build(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The core invariant: over a whole session of queries (every ordered
+    /// pair, twice, so warm hits and evicted-then-rebuilt paths both occur),
+    /// the tiny-budget engine answers exactly like the unbounded engine and
+    /// the memo-free oracle, and never finishes a query with more accounted
+    /// evictable bytes than its budget.
+    #[test]
+    fn tiny_budget_is_observationally_invisible(seed in 0u64..100_000) {
+        let family = random_family(seed, 3);
+        let opts = tiny();
+        let unbounded = ContainmentEngine::with_search(opts.clone());
+        let squeezed = budgeted(TINY_BUDGET);
+
+        for round in 0..2usize {
+            for (i, h) in family.iter().enumerate() {
+                for (j, k) in family.iter().enumerate() {
+                    let free = unbounded.shex0(h, k);
+                    let tight = squeezed.shex0(h, k);
+                    prop_assert!(
+                        same_answer(&free, &tight),
+                        "round {} pair [{}][{}]: unbounded {} vs budgeted {}",
+                        round, i, j, free, tight
+                    );
+                    // Oracle agreement (Unknown compared by variant: the
+                    // oracle does not model engine-side reasons).
+                    let oracle = shex0_oracle(h, k, &opts);
+                    match (&tight, &oracle) {
+                        (Containment::Unknown(_), Containment::Unknown(_)) => {}
+                        _ => prop_assert!(
+                            same_answer(&tight, &oracle),
+                            "pair [{}][{}]: budgeted {} vs oracle {}",
+                            i, j, tight, oracle
+                        ),
+                    }
+                    // The budget invariant holds at every query exit, not
+                    // just at the end of the session.
+                    let stats = squeezed.stats();
+                    prop_assert!(
+                        stats.evictable_bytes() <= TINY_BUDGET,
+                        "evictable bytes exceed the budget mid-session: {}",
+                        stats
+                    );
+                }
+            }
+        }
+
+        // The unbounded control never sweeps; the squeezed engine did real
+        // work under pressure and its ledger stayed coherent.
+        prop_assert_eq!(unbounded.stats().evictions, 0);
+        let stats = squeezed.stats();
+        prop_assert!(stats.pinned_bytes > 0, "registered schemas are pinned");
+        prop_assert_eq!(stats.cache_budget, Some(TINY_BUDGET));
+    }
+}
+
+/// A deterministic workload that provably overflows a 512-byte budget: the
+/// stats surface must show the sweeps happening and the freed bytes flowing
+/// back, and a warm re-query must still match a fresh unbounded engine.
+#[test]
+fn eviction_counters_report_real_sweeps() {
+    let texts = [
+        "T -> p::L?\nL -> EMPTY\n",
+        "T -> p::L*\nL -> EMPTY\n",
+        "T -> p::L+\nL -> EMPTY\n",
+        "T -> p::L, p::L?\nL -> EMPTY\n",
+        "Root -> p::A, p::B\nA -> a::L?\nB -> b::L\nL -> EMPTY\n",
+    ];
+    let schemas: Vec<Schema> = texts.iter().map(|t| parse_schema(t).unwrap()).collect();
+    let reference = ContainmentEngine::with_search(tiny()).check_matrix(&schemas);
+
+    let engine = budgeted(TINY_BUDGET);
+    for round in 0..3usize {
+        let matrix = engine.check_matrix(&schemas);
+        for (i, (row, row_r)) in matrix.iter().zip(&reference).enumerate() {
+            for (j, (cell, r)) in row.iter().zip(row_r).enumerate() {
+                assert!(
+                    same_answer(cell, r),
+                    "round {round} cell [{i}][{j}]: budgeted {cell} vs unbounded {r}"
+                );
+            }
+        }
+        let stats = engine.stats();
+        assert!(
+            stats.evictable_bytes() <= TINY_BUDGET,
+            "budget violated after round {round}: {stats}"
+        );
+    }
+
+    let stats = engine.stats();
+    assert!(stats.evictions > 0, "a 512 B budget must evict: {stats}");
+    assert!(stats.sweeps > 0, "evictions happen inside sweeps: {stats}");
+    assert!(
+        stats.evicted_bytes > 0,
+        "sweeps free accounted bytes: {stats}"
+    );
+    assert!(stats.pinned_bytes > 0, "schemas stay pinned: {stats}");
+    // The Display line surfaces the bounded-memory counters.
+    let line = format!("{stats}");
+    assert!(line.contains("evictable"), "{line}");
+    assert!(line.contains("budget 512 B"), "{line}");
+}
+
+/// Budget zero is legal: everything evictable is swept at every exit, the
+/// engine degrades to recomputation, and answers still match.
+#[test]
+fn zero_budget_still_answers_correctly() {
+    let family = random_family(0xD1CE, 3);
+    let unbounded = ContainmentEngine::with_search(tiny());
+    let stateless = budgeted(0);
+    for h in &family {
+        for k in &family {
+            let free = unbounded.shex0(h, k);
+            let bare = stateless.shex0(h, k);
+            assert!(
+                same_answer(&free, &bare),
+                "zero-budget divergence: {free} vs {bare}"
+            );
+            assert_eq!(
+                stateless.stats().evictable_bytes(),
+                0,
+                "a zero budget leaves nothing evictable resident"
+            );
+        }
+    }
+}

@@ -63,12 +63,11 @@ fn engines_agree(h: &Schema, k: &Schema) {
     );
 
     // The parallel fan-out must not change anything.
-    let parallel_opts = EngineOptions {
-        search: opts,
-        threads: 3,
-        parallel_threshold: 1,
-        ..EngineOptions::default()
-    };
+    let parallel_opts = EngineOptions::builder()
+        .search(opts)
+        .threads(3)
+        .parallel_threshold(1)
+        .build();
     let parallel = ContainmentEngine::with_options(parallel_opts).shex0(h, k);
     assert!(
         same_answer(&cold, &parallel),

@@ -128,6 +128,11 @@ impl LabelTable {
     pub fn is_empty(&self) -> bool {
         self.known.is_empty()
     }
+
+    /// Iterate over the interned `(name, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Label)> {
+        self.known.iter()
+    }
 }
 
 /// A concurrent label interner whose reads are lock-free.
@@ -678,6 +683,46 @@ impl Graph {
     /// The distinct labels used by the graph, in sorted order.
     pub fn labels(&self) -> Vec<Label> {
         self.label_ids.keys().cloned().collect()
+    }
+
+    /// Approximate heap footprint of the graph in bytes: arena capacities
+    /// times element sizes, node-name strings, the name/label indexes (at a
+    /// flat per-entry estimate for the tree overhead), and the grouped
+    /// adjacency if it has been built. Interned [`Label`]s are counted as
+    /// their `Arc` handle only — the string allocation belongs to whichever
+    /// table interned it. This feeds the cache accounting of the containment
+    /// engine; it is a conservative estimate, not allocator truth (lazily
+    /// built structures are counted once they exist).
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // Amortised B-tree node overhead per map entry (key/value inline).
+        const MAP_ENTRY: usize = 32;
+        let mut bytes = self.nodes.capacity() * size_of::<NodeData>()
+            + self.edges.capacity() * size_of::<EdgeData>()
+            + self.out.capacity() * size_of::<Vec<EdgeId>>()
+            + self.ins.capacity() * size_of::<Vec<EdgeId>>();
+        bytes += self
+            .out
+            .iter()
+            .chain(self.ins.iter())
+            .map(|v| v.capacity() * size_of::<EdgeId>())
+            .sum::<usize>();
+        bytes += self.nodes.iter().map(|n| n.name.capacity()).sum::<usize>();
+        bytes += self
+            .by_name
+            .keys()
+            .map(|name| name.capacity() + size_of::<NodeId>() + MAP_ENTRY)
+            .sum::<usize>();
+        bytes += self.label_ids.len() * (size_of::<Label>() + size_of::<LabelId>() + MAP_ENTRY);
+        bytes += self.label_names.capacity() * size_of::<Label>();
+        if let Some(grouped) = self.grouped.get() {
+            for side in [&grouped.out, &grouped.ins] {
+                bytes += side.edges.capacity() * size_of::<EdgeId>()
+                    + side.groups.capacity() * size_of::<(LabelId, u32, u32)>()
+                    + side.node_groups.capacity() * size_of::<(u32, u32)>();
+            }
+        }
+        bytes
     }
 
     /// Whether the graph is a *simple graph* (class `G₀`): every edge has

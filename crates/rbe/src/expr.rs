@@ -103,6 +103,23 @@ impl<S> Rbe<S> {
         }
     }
 
+    /// Approximate heap footprint of the expression tree in bytes: every
+    /// child vector's capacity plus every boxed repetition body, at
+    /// `size_of::<Rbe<S>>()` per slot. Symbols are counted inline — a symbol
+    /// type owning allocations (interned labels are `Arc` handles) is the
+    /// owner's business. Feeds the cache accounting of downstream session
+    /// layers; an estimate, not allocator truth.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let node = std::mem::size_of::<Rbe<S>>();
+        match self {
+            Rbe::Epsilon | Rbe::Symbol(_) => 0,
+            Rbe::Disj(parts) | Rbe::Concat(parts) => {
+                parts.capacity() * node + parts.iter().map(Rbe::approx_heap_bytes).sum::<usize>()
+            }
+            Rbe::Repeat(inner, _) => node + inner.approx_heap_bytes(),
+        }
+    }
+
     /// Whether the expression syntactically contains a disjunction.
     pub fn has_disjunction(&self) -> bool {
         match self {

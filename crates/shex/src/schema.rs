@@ -440,6 +440,36 @@ impl Schema {
         *self.caches.class.get_or_init(|| self.classify())
     }
 
+    /// Approximate heap footprint of the schema in bytes: type names,
+    /// expression trees, the name index, the label table (one `Arc` handle
+    /// plus the string per distinct predicate), and the cached shape graph
+    /// if it has been built. Feeds the cache accounting of
+    /// `shapex_core::engine::ContainmentEngine`; an estimate, not allocator
+    /// truth.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        // Amortised B-tree node overhead per map entry.
+        const MAP_ENTRY: usize = 32;
+        let mut bytes = self.types.capacity() * size_of::<TypeDef>();
+        for def in &self.types {
+            bytes += def.name.capacity() + def.expr.approx_heap_bytes();
+        }
+        bytes += self
+            .by_name
+            .keys()
+            .map(|name| name.capacity() + size_of::<TypeId>() + MAP_ENTRY)
+            .sum::<usize>();
+        bytes += self
+            .labels
+            .iter()
+            .map(|(name, label)| name.capacity() + label.as_str().len() + MAP_ENTRY)
+            .sum::<usize>();
+        if let Some(Some(graph)) = self.caches.shape_graph.get() {
+            bytes += graph.approx_heap_bytes();
+        }
+        bytes
+    }
+
     /// [`Schema::to_shape_graph`] computed once and cached until the next
     /// mutation. `None` is cached too: a schema that is not RBE₀ stays that
     /// way until redefined.

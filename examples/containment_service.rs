@@ -1,25 +1,29 @@
-//! A long-lived containment service: one shared engine behind a request
-//! loop, several concurrent clients.
+//! A long-lived, multi-tenant containment service: one shared
+//! bounded-memory engine behind a bounded request queue, several tenants,
+//! an overload burst, and the metrics line.
 //!
-//! The server thread runs [`ContainmentService::serve`] over an mpsc channel
-//! of `(request, reply-sender)` envelopes. Three client threads register the
+//! The server thread runs [`ContainmentService::serve`] over the bounded
+//! channel a [`ServiceClient`] feeds. Three tenant threads register the
 //! bug-tracker schema family (the upload endpoint — identical submissions
-//! intern onto one handle), then issue containment checks by handle; the
-//! main thread asks for the full matrix and prints the engine's stats line,
-//! the service's metrics surface. All of it shares one
-//! `Arc<ContainmentEngine>`, so every client benefits from every other
-//! client's warmed caches.
+//! intern onto one engine entry across tenants, but each tenant can only
+//! query handles it registered itself), then check their own upgrade paths;
+//! the main thread fetches the full matrix, fires a deliberate burst at a
+//! tiny queue to show the explicit [`ServiceError::Overloaded`] rejection,
+//! and prints the service stats: engine cache/memory counters (the engine
+//! runs under a cache budget, so evictions and resident bytes are live
+//! numbers), tenants, rejections, and the request-latency histogram.
 //!
 //! Run with `cargo run --example containment_service`.
 
-use std::sync::mpsc;
 use std::thread;
 
 use shapex::containment::engine::EngineOptions;
-use shapex::service::{ContainmentService, ServiceEnvelope, ServiceRequest, ServiceResponse};
+use shapex::service::{
+    ContainmentService, ServiceError, ServiceRequest, ServiceResponse, TenantId,
+};
 use shapex::shex::parse_schema;
 
-/// The schema versions every client knows about (a real deployment would
+/// The schema versions every tenant knows about (a real deployment would
 /// upload these from different sources; interning makes that free).
 const VERSIONS: [(&str, &str); 3] = [
     (
@@ -42,71 +46,81 @@ const VERSIONS: [(&str, &str); 3] = [
     ),
 ];
 
-/// Send one request and wait for its response.
-fn call(tx: &mpsc::Sender<ServiceEnvelope>, request: ServiceRequest) -> ServiceResponse {
-    let (reply_tx, reply_rx) = mpsc::channel();
-    tx.send((request, reply_tx)).expect("server alive");
-    reply_rx.recv().expect("server replies")
-}
-
 fn main() {
-    // Row-parallel matrices when cores are available; answers are identical
-    // either way.
-    let service = ContainmentService::with_options(EngineOptions::parallel());
-    let (tx, rx) = mpsc::channel::<ServiceEnvelope>();
+    // Production shape: parallel matrix rows AND a byte budget on the
+    // evictable caches — a long-lived service must not grow without bound.
+    let options = EngineOptions::builder()
+        .threads(
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .matrix_threads(
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .cache_budget(8 << 20) // 8 MiB across pools, memos, and arenas
+        .build();
+    let service = ContainmentService::with_options(options);
+
+    // One tenant per client organisation; the main thread stays on the
+    // default tenant.
+    let tenants: Vec<TenantId> = (0..3).map(|_| service.create_tenant()).collect();
+    let (client, requests) = service.connect(TenantId::DEFAULT, 64);
 
     thread::scope(|scope| {
         // The server: a synchronous request loop over the shared engine.
         let server = {
             let service = service.clone();
-            scope.spawn(move || service.serve(rx))
+            scope.spawn(move || service.serve(requests))
         };
 
-        // Three clients, each registering the whole family (the service
-        // interns duplicates) and checking its own upgrade path.
-        for client in 0..3usize {
-            let tx = tx.clone();
+        // Three tenants, each registering the whole family (the engine
+        // interns duplicates across tenants) and checking its own upgrade
+        // path. Each drives the service directly through `handle` — the
+        // typed-API path; the queue below is the transport path.
+        for (t, &tenant) in tenants.iter().enumerate() {
+            let service = service.clone();
             scope.spawn(move || {
                 let mut ids = Vec::new();
                 for (name, text) in VERSIONS {
                     let schema = parse_schema(text).unwrap_or_else(|e| panic!("{name}: {e}"));
-                    match call(&tx, ServiceRequest::Register(Box::new(schema))) {
-                        ServiceResponse::Registered(id) => ids.push(id),
+                    match service.handle(tenant, ServiceRequest::Register(Box::new(schema))) {
+                        Ok(ServiceResponse::Registered(id)) => ids.push(id),
                         other => panic!("register: unexpected {other:?}"),
                     }
                 }
-                // Client c asks: is upgrading v1 -> candidate c compatible?
-                let candidate = client % VERSIONS.len();
-                match call(
-                    &tx,
+                let candidate = t % VERSIONS.len();
+                match service.handle(
+                    tenant,
                     ServiceRequest::Check {
                         h: ids[0],
                         k: ids[candidate],
                     },
                 ) {
-                    ServiceResponse::Answer(answer) => println!(
-                        "client {client}: v1 ⊆ {:<10} — {answer}",
-                        VERSIONS[candidate].0
-                    ),
+                    Ok(ServiceResponse::Answer(answer)) => {
+                        println!("{tenant}: v1 ⊆ {:<10} — {answer}", VERSIONS[candidate].0)
+                    }
                     other => panic!("check: unexpected {other:?}"),
                 }
             });
         }
 
-        // The main thread is a client too: register (free — interned),
-        // fetch the full matrix, then the metrics line.
+        // The main thread talks through the bounded queue: register (free —
+        // interned), fetch the full matrix, then demonstrate backpressure.
         let ids: Vec<_> = VERSIONS
             .iter()
             .map(|(_, text)| {
                 let schema = Box::new(parse_schema(text).unwrap());
-                match call(&tx, ServiceRequest::Register(schema)) {
-                    ServiceResponse::Registered(id) => id,
+                match client.call_blocking(ServiceRequest::Register(schema)) {
+                    Ok(ServiceResponse::Registered(id)) => id,
                     other => panic!("register: unexpected {other:?}"),
                 }
             })
             .collect();
-        let matrix = match call(&tx, ServiceRequest::Matrix(ids)) {
-            ServiceResponse::Matrix(matrix) => matrix,
+        let matrix = match client.call_blocking(ServiceRequest::Matrix(ids)) {
+            Ok(ServiceResponse::Matrix(matrix)) => matrix,
             other => panic!("matrix: unexpected {other:?}"),
         };
         println!("\ncontainment matrix (row ⊆ column?):");
@@ -130,18 +144,48 @@ fn main() {
             println!();
         }
 
-        match call(&tx, ServiceRequest::Stats) {
-            ServiceResponse::Stats(stats) => println!("\nservice metrics: {stats}"),
+        // Backpressure: a capacity-2 queue that no server drains. Two
+        // envelopes park in it; every further call is rejected fast with
+        // `Overloaded` instead of queuing unboundedly.
+        let (burst_client, _undrained) = service.connect(TenantId::DEFAULT, 2);
+        for _ in 0..2 {
+            let (reply, _) = std::sync::mpsc::channel();
+            burst_client
+                .sender()
+                .try_send(shapex::service::ServiceEnvelope {
+                    tenant: TenantId::DEFAULT,
+                    request: ServiceRequest::Stats,
+                    reply,
+                })
+                .expect("queue has room for the first two");
+        }
+        let rejected = (0..16)
+            .filter(|_| {
+                matches!(
+                    burst_client.call(ServiceRequest::Stats),
+                    Err(ServiceError::Overloaded)
+                )
+            })
+            .count();
+        println!("\noverload burst: {rejected}/16 requests rejected with Overloaded");
+
+        match client.call_blocking(ServiceRequest::Stats) {
+            Ok(ServiceResponse::Stats(stats)) => println!("\nservice metrics: {stats}"),
             other => panic!("stats: unexpected {other:?}"),
         }
 
-        drop(tx); // hang up: the server loop drains and returns
+        drop(client); // hang up: the server loop drains and returns
         server.join().expect("server thread");
     });
 
     // The service handle still works without the loop (pure dispatch).
-    let direct = service.handle(ServiceRequest::Stats);
-    if let ServiceResponse::Stats(stats) = direct {
-        assert_eq!(stats.schemas, 3, "all clients interned onto one family");
+    let direct = service.handle(TenantId::DEFAULT, ServiceRequest::Stats);
+    if let Ok(ServiceResponse::Stats(stats)) = direct {
+        assert_eq!(
+            stats.engine.schemas, 3,
+            "all tenants interned onto one family"
+        );
+        assert_eq!(stats.tenants, 4, "default + three minted");
+        assert_eq!(stats.rejected, 16, "the whole burst was counted");
     }
 }

@@ -13,9 +13,14 @@
 //!   (the paper's primary contribution).
 //! * [`gadgets`] — the paper's figures, lower-bound reductions, and random
 //!   workload generators.
-//! * [`service`] — a long-lived containment service: schema registration,
-//!   a synchronous request/response loop, and engine stats as its metrics,
-//!   all over one shared `ContainmentEngine`.
+//! * [`service`] — a long-lived, multi-tenant containment service:
+//!   tenant-scoped schema registration, typed errors, a bounded request
+//!   queue with explicit backpressure, and a stats surface (engine cache +
+//!   memory counters, latency histogram), all over one shared
+//!   `ContainmentEngine` — bounded-memory when configured with a
+//!   `cache_budget`.
+//! * [`metrics`] — the dependency-free log-spaced latency histogram behind
+//!   the service stats.
 
 #![forbid(unsafe_code)]
 
@@ -26,16 +31,22 @@ pub use shapex_presburger as presburger;
 pub use shapex_rbe as rbe;
 pub use shapex_shex as shex;
 
+pub mod metrics;
 pub mod service;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::service::{ContainmentService, ServiceRequest, ServiceResponse};
+    pub use crate::metrics::{LatencyHistogram, LatencySnapshot};
+    pub use crate::service::{
+        ContainmentService, ServiceClient, ServiceError, ServiceRequest, ServiceResponse,
+        ServiceStats, TenantId,
+    };
     pub use shapex_core::{
         baseline::enumerate_counter_example,
+        budget::{CacheBudget, CacheKind, Weigh},
         det::{characterizing_graph, det_containment},
         embedding::{embeds, max_simulation, Embedding},
-        engine::{ContainmentEngine, EngineOptions, EngineStats, SchemaId},
+        engine::{ContainmentEngine, ContainmentMatrix, EngineOptions, EngineStats, SchemaId},
         general::{general_containment, GeneralOptions},
         shex0::{shex0_containment, Shex0Options},
         simulation::{max_simulation_with, Simulation, SimulationOptions},

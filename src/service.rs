@@ -1,66 +1,128 @@
-//! A long-lived containment service wrapping a shared
+//! A long-lived, multi-tenant containment service wrapping a shared
 //! [`ContainmentEngine`].
 //!
 //! The engine is the seam a service wraps: every query method takes `&self`
 //! over concurrent caches, so one engine behind an [`Arc`] serves any number
 //! of clients, amortizing shape graphs, unfolding pools, and validation
 //! verdicts across all of their queries. [`ContainmentService`] packages
-//! that seam as a request/response protocol:
+//! that seam as a production-shaped request/response protocol:
 //!
-//! * **Registration is the upload endpoint.** Clients submit a
-//!   [`Schema`] once ([`ServiceRequest::Register`]) and hold the returned
-//!   [`SchemaId`] — structurally identical schemas (even from different
-//!   clients) intern onto one handle and share every cache.
-//! * **Queries go by handle.** [`ServiceRequest::Check`] answers one
-//!   ordered pair; [`ServiceRequest::Matrix`] answers the full N×N batch
-//!   (row-parallel when the engine's [`EngineOptions::matrix_threads`]
-//!   allows), without re-shipping schema texts.
-//! * **[`EngineStats`] is the metrics surface.** [`ServiceRequest::Stats`]
-//!   snapshots the cache hit/miss counters; its `Display` rendering is the
-//!   metrics line to log or scrape.
+//! * **Tenant-scoped registries over one shared engine.** Every request
+//!   carries a [`TenantId`] ([`TenantId::DEFAULT`] for single-tenant use;
+//!   [`ContainmentService::create_tenant`] mints more). Registration is the
+//!   upload endpoint: a tenant submits a [`Schema`] once
+//!   ([`ServiceRequest::Register`]) and holds the returned [`SchemaId`] —
+//!   structurally identical schemas intern onto one engine entry and share
+//!   every cache *across* tenants, but a handle is only usable by tenants
+//!   that registered it themselves; anyone else gets
+//!   [`ServiceError::WrongTenant`], so one tenant cannot probe another's
+//!   schemas by guessing handles.
+//! * **Typed errors.** [`ContainmentService::handle`] returns
+//!   `Result<ServiceResponse, ServiceError>`: unknown handles, foreign
+//!   tenants, and overload are data, not strings. The serve loop folds
+//!   errors back into [`ServiceResponse::Error`] (via `From`) for clients
+//!   that want a plain response stream.
+//! * **Bounded queue with explicit backpressure.** A
+//!   [`ServiceClient`] from [`ContainmentService::connect`] talks to the
+//!   serve loop over a bounded channel; when the queue is full,
+//!   [`ServiceClient::call`] fails *fast* with [`ServiceError::Overloaded`]
+//!   (counted in the stats) instead of queuing unboundedly —
+//!   [`ServiceClient::call_blocking`] opts into waiting instead.
+//! * **A metrics surface.** [`ServiceRequest::Stats`] answers a
+//!   [`ServiceStats`]: the engine's cache/memory counters (evictions and
+//!   resident bytes included, when the engine runs under a
+//!   [`EngineOptions::cache_budget`]), the tenant count, the rejected
+//!   count, and a log-spaced latency histogram
+//!   ([`crate::metrics::LatencySnapshot`]) of every request this service
+//!   answered. Its `Display` rendering is the line to log or scrape.
 //!
-//! The protocol is deliberately synchronous and transport-agnostic:
-//! [`ContainmentService::handle`] maps one request to one response, and
-//! [`ContainmentService::serve`] runs that mapping as a blocking loop over
-//! an [`mpsc`] channel of envelopes — the shape `examples/containment_service.rs`
-//! demonstrates with one server thread and several concurrent clients.
-//! Because the service is [`Clone`] (it clones the inner [`Arc`]), the same
-//! engine can also sit behind several server threads at once.
+//! The protocol stays transport-agnostic: `handle` maps one request to one
+//! response and is safe from any number of threads;
+//! [`ContainmentService::serve`] runs it as a blocking loop over a channel
+//! of [`ServiceEnvelope`]s — the shape `examples/containment_service.rs`
+//! demonstrates with one server thread, several tenants, and a deliberate
+//! overload burst. Because the service is [`Clone`] (it clones the inner
+//! [`Arc`]s), the same engine can sit behind several server threads at once.
 
-use std::sync::{mpsc, Arc};
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::time::Instant;
 
-use shapex_core::engine::{ContainmentEngine, EngineOptions, EngineStats, SchemaId};
+use shapex_core::engine::{
+    ContainmentEngine, ContainmentMatrix, EngineOptions, EngineStats, SchemaId,
+};
 use shapex_core::Containment;
 use shapex_shex::Schema;
 
+use crate::metrics::{LatencyHistogram, LatencySnapshot};
+
 // One service handle is shared across server and client threads.
-shapex_graph::assert_send_sync!(ContainmentService, ServiceRequest, ServiceResponse);
+shapex_graph::assert_send_sync!(
+    ContainmentService,
+    ServiceClient,
+    ServiceRequest,
+    ServiceResponse,
+    ServiceError,
+    ServiceEnvelope,
+    TenantId
+);
+
+/// A tenant of a [`ContainmentService`]: an isolation scope for schema
+/// handles. Mint one per client organisation with
+/// [`ContainmentService::create_tenant`]; handles returned to one tenant
+/// are rejected ([`ServiceError::WrongTenant`]) when presented by another.
+/// Like [`SchemaId`], a `TenantId` is only meaningful for the service that
+/// issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(u32);
+
+impl TenantId {
+    /// The tenant every service starts with — single-tenant deployments
+    /// never need another.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
 
 /// A request to a [`ContainmentService`].
 ///
 /// The enum is the service's wire format: everything a client can ask for,
 /// self-contained (schemas travel by value on registration, by [`SchemaId`]
-/// handle afterwards).
+/// handle afterwards). The [`TenantId`] travels next to the request — in
+/// [`ContainmentService::handle`]'s signature and in the
+/// [`ServiceEnvelope`] — not inside it, so requests themselves stay
+/// tenant-agnostic.
 #[derive(Debug, Clone)]
 pub enum ServiceRequest {
-    /// Register a schema, interning structurally identical submissions onto
-    /// one handle. Answered with [`ServiceResponse::Registered`]. Boxed:
-    /// a `Schema` is hundreds of bytes, and requests travel through queues
-    /// sized for the smallest variants.
+    /// Register a schema under the requesting tenant, interning
+    /// structurally identical submissions onto one engine entry. Answered
+    /// with [`ServiceResponse::Registered`]. Boxed: a `Schema` is hundreds
+    /// of bytes, and requests travel through queues sized for the smallest
+    /// variants.
     Register(Box<Schema>),
-    /// Decide `L(h) ⊆ L(k)` for two registered handles. Answered with
-    /// [`ServiceResponse::Answer`] (or [`ServiceResponse::Error`] for a
-    /// handle this service never issued).
+    /// Decide `L(h) ⊆ L(k)` for two handles of the requesting tenant.
+    /// Answered with [`ServiceResponse::Answer`].
     Check {
         /// The candidate sub-schema.
         h: SchemaId,
         /// The candidate super-schema.
         k: SchemaId,
     },
-    /// The full pairwise containment matrix over registered handles.
-    /// Answered with [`ServiceResponse::Matrix`].
+    /// The full pairwise containment matrix over handles of the requesting
+    /// tenant. Answered with [`ServiceResponse::Matrix`].
     Matrix(Vec<SchemaId>),
-    /// Snapshot the engine's cache-effectiveness counters. Answered with
+    /// Snapshot the service's metrics. Answered with
     /// [`ServiceResponse::Stats`].
     Stats,
 }
@@ -72,26 +134,142 @@ pub enum ServiceResponse {
     Registered(SchemaId),
     /// The answer to a [`ServiceRequest::Check`].
     Answer(Containment),
-    /// The answer to a [`ServiceRequest::Matrix`]: `matrix[i][j]` decides
-    /// `L(ids[i]) ⊆ L(ids[j])`.
-    Matrix(Vec<Vec<Containment>>),
-    /// The counters snapshot for a [`ServiceRequest::Stats`].
-    Stats(EngineStats),
-    /// The request was malformed (e.g. an unregistered [`SchemaId`]); the
-    /// service stays up and the message says what was wrong.
-    Error(String),
+    /// The answer to a [`ServiceRequest::Matrix`].
+    Matrix(ContainmentMatrix),
+    /// The metrics snapshot for a [`ServiceRequest::Stats`]. Boxed: the
+    /// snapshot (histogram included) is far larger than the other variants.
+    Stats(Box<ServiceStats>),
+    /// A folded-in [`ServiceError`], produced by the `From` impl — the
+    /// serve loop sends this when `handle` fails, so response streams stay
+    /// uniform. Direct callers of [`ContainmentService::handle`] get the
+    /// error on the `Err` side instead and never see this variant.
+    Error(ServiceError),
 }
 
-/// One queued request plus the channel its response goes back on — the
-/// envelope [`ContainmentService::serve`] consumes.
-pub type ServiceEnvelope = (ServiceRequest, mpsc::Sender<ServiceResponse>);
+/// Why a [`ContainmentService`] refused a request. `#[non_exhaustive]`:
+/// future services may refuse for further reasons (quotas, timeouts), so
+/// downstream matches need a catch-all arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The handle was never issued by this service's engine.
+    UnknownHandle {
+        /// The offending handle.
+        id: SchemaId,
+        /// How many schemas the engine has registered (the valid range).
+        registered: usize,
+    },
+    /// The handle exists but belongs to other tenants — the requesting
+    /// tenant never registered that schema.
+    WrongTenant {
+        /// The offending handle.
+        id: SchemaId,
+        /// The requesting tenant.
+        tenant: TenantId,
+    },
+    /// The [`TenantId`] was never issued by this service.
+    UnknownTenant(TenantId),
+    /// The bounded request queue is full; retry later or shed load. The
+    /// rejection is counted in [`ServiceStats::rejected`].
+    Overloaded,
+    /// The serve loop (or the reply channel) hung up before answering.
+    Disconnected,
+}
 
-/// A long-lived containment session behind a request/response protocol; see
-/// the [module docs](self). Cloning is cheap (an [`Arc`] bump) and clones
-/// share the engine, so one service can be driven from many threads.
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownHandle { id, registered } => write!(
+                f,
+                "unknown schema handle {id:?} (this service has {registered} registered)"
+            ),
+            ServiceError::WrongTenant { id, tenant } => {
+                write!(f, "schema handle {id:?} is not registered to {tenant}")
+            }
+            ServiceError::UnknownTenant(tenant) => {
+                write!(f, "{tenant} was never issued by this service")
+            }
+            ServiceError::Overloaded => write!(f, "request queue is full; retry later"),
+            ServiceError::Disconnected => write!(f, "service hung up before answering"),
+        }
+    }
+}
+
+impl Error for ServiceError {}
+
+impl From<ServiceError> for ServiceResponse {
+    /// Fold an error into the response stream — what
+    /// [`ContainmentService::serve`] does, so channel clients see one
+    /// uniform `ServiceResponse` type.
+    fn from(error: ServiceError) -> ServiceResponse {
+        ServiceResponse::Error(error)
+    }
+}
+
+/// One queued request: who asks, what they ask, and the channel the answer
+/// goes back on — the envelope [`ContainmentService::serve`] consumes.
+/// Built by [`ServiceClient::call`]; construct it directly only when
+/// driving `serve` over a hand-rolled channel.
+#[derive(Debug)]
+pub struct ServiceEnvelope {
+    /// The requesting tenant.
+    pub tenant: TenantId,
+    /// The request itself.
+    pub request: ServiceRequest,
+    /// Where the response goes. Errors arrive folded in as
+    /// [`ServiceResponse::Error`].
+    pub reply: mpsc::Sender<ServiceResponse>,
+}
+
+/// The full metrics surface of a [`ContainmentService`]: the engine's
+/// cache/memory counters plus the service-level tenancy, backpressure, and
+/// latency numbers. Snapshot via [`ServiceRequest::Stats`] or
+/// [`ContainmentService::stats`]; the `Display` rendering is the log line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// The engine snapshot: hit ratios, resident bytes, evictions.
+    pub engine: EngineStats,
+    /// Tenants issued (the default tenant included).
+    pub tenants: usize,
+    /// Requests rejected with [`ServiceError::Overloaded`] by clients of
+    /// this service's bounded queues.
+    pub rejected: u64,
+    /// The latency distribution over every request this service answered.
+    pub latency: LatencySnapshot,
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}; {} tenants; {} rejected; latency: {}",
+            self.engine, self.tenants, self.rejected, self.latency
+        )
+    }
+}
+
+/// Shared service-level state behind the [`Arc`] every clone and client
+/// holds: the tenant scopes and the metrics the engine cannot know about.
+#[derive(Debug)]
+struct ServiceState {
+    /// `tenants[t]` = the handles tenant `t` registered. Read-mostly: every
+    /// query takes the read lock; only registration and tenant creation
+    /// write.
+    tenants: RwLock<Vec<HashSet<SchemaId>>>,
+    /// Requests rejected with [`ServiceError::Overloaded`].
+    rejected: AtomicU64,
+    /// Latency of every answered request.
+    latency: LatencyHistogram,
+}
+
+/// A long-lived, multi-tenant containment session behind a
+/// request/response protocol; see the [module docs](self). Cloning is cheap
+/// (two [`Arc`] bumps) and clones share the engine and all service state,
+/// so one service can be driven from many threads.
 #[derive(Debug, Clone)]
 pub struct ContainmentService {
     engine: Arc<ContainmentEngine>,
+    state: Arc<ServiceState>,
 }
 
 impl Default for ContainmentService {
@@ -106,8 +284,9 @@ impl ContainmentService {
         ContainmentService::with_options(EngineOptions::default())
     }
 
-    /// A service over a fresh engine with the given options (the search
-    /// budget is fixed for the service's lifetime, like any engine).
+    /// A service over a fresh engine with the given options. Production
+    /// deployments set [`EngineOptions::cache_budget`] here — a service
+    /// lives long enough for unbounded caches to matter.
     pub fn with_options(options: EngineOptions) -> ContainmentService {
         ContainmentService::from_engine(Arc::new(ContainmentEngine::with_options(options)))
     }
@@ -115,7 +294,14 @@ impl ContainmentService {
     /// Wrap an existing shared engine — e.g. one that local code also
     /// queries directly while the service exposes it to other threads.
     pub fn from_engine(engine: Arc<ContainmentEngine>) -> ContainmentService {
-        ContainmentService { engine }
+        ContainmentService {
+            engine,
+            state: Arc::new(ServiceState {
+                tenants: RwLock::new(vec![HashSet::new()]),
+                rejected: AtomicU64::new(0),
+                latency: LatencyHistogram::new(),
+            }),
+        }
     }
 
     /// The shared engine behind the service.
@@ -123,48 +309,206 @@ impl ContainmentService {
         &self.engine
     }
 
-    /// Answer one request. Pure dispatch onto the engine: safe to call from
-    /// any number of threads at once, with or without
-    /// [`serve`](ContainmentService::serve) running elsewhere.
-    pub fn handle(&self, request: ServiceRequest) -> ServiceResponse {
-        match request {
-            ServiceRequest::Register(schema) => {
-                ServiceResponse::Registered(self.engine.register(&schema))
-            }
-            ServiceRequest::Check { h, k } => match self.checked(h).and(self.checked(k)) {
-                Ok(()) => ServiceResponse::Answer(self.engine.check_ids(h, k)),
-                Err(e) => e,
-            },
-            ServiceRequest::Matrix(ids) => {
-                if let Some(Err(e)) = ids.iter().map(|&id| self.checked(id)).find(Result::is_err) {
-                    return e;
-                }
-                ServiceResponse::Matrix(self.engine.check_matrix_ids(&ids))
-            }
-            ServiceRequest::Stats => ServiceResponse::Stats(self.engine.stats()),
+    /// Mint a new, empty tenant scope.
+    pub fn create_tenant(&self) -> TenantId {
+        let mut tenants = self.state.tenants.write().expect("tenant lock");
+        let id = TenantId(tenants.len() as u32);
+        tenants.push(HashSet::new());
+        id
+    }
+
+    /// Tenants issued so far (the default tenant included).
+    pub fn tenant_count(&self) -> usize {
+        self.state.tenants.read().expect("tenant lock").len()
+    }
+
+    /// The service's metrics snapshot (what [`ServiceRequest::Stats`]
+    /// answers).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            engine: self.engine.stats(),
+            tenants: self.tenant_count(),
+            rejected: self.state.rejected.load(Ordering::Relaxed),
+            latency: self.state.latency.snapshot(),
         }
     }
 
-    /// The synchronous request loop: answer every envelope until all request
-    /// senders are dropped, then return. A client that hung up before its
+    /// Answer one request on behalf of a tenant. Pure dispatch onto the
+    /// engine plus the tenant bookkeeping: safe to call from any number of
+    /// threads at once, with or without
+    /// [`serve`](ContainmentService::serve) running elsewhere. Every call —
+    /// errors included — is recorded in the latency histogram.
+    pub fn handle(
+        &self,
+        tenant: TenantId,
+        request: ServiceRequest,
+    ) -> Result<ServiceResponse, ServiceError> {
+        let started = Instant::now();
+        let response = self.dispatch(tenant, request);
+        self.state.latency.record(started.elapsed());
+        response
+    }
+
+    fn dispatch(
+        &self,
+        tenant: TenantId,
+        request: ServiceRequest,
+    ) -> Result<ServiceResponse, ServiceError> {
+        match request {
+            ServiceRequest::Register(schema) => {
+                // Existence check before the engine mutates anything.
+                if tenant.index() >= self.tenant_count() {
+                    return Err(ServiceError::UnknownTenant(tenant));
+                }
+                let id = self.engine.register(&schema);
+                self.state.tenants.write().expect("tenant lock")[tenant.index()].insert(id);
+                Ok(ServiceResponse::Registered(id))
+            }
+            ServiceRequest::Check { h, k } => {
+                self.checked(tenant, h)?;
+                self.checked(tenant, k)?;
+                Ok(ServiceResponse::Answer(self.engine.check_ids(h, k)))
+            }
+            ServiceRequest::Matrix(ids) => {
+                for &id in &ids {
+                    self.checked(tenant, id)?;
+                }
+                Ok(ServiceResponse::Matrix(self.engine.check_matrix_ids(&ids)))
+            }
+            ServiceRequest::Stats => Ok(ServiceResponse::Stats(Box::new(self.stats()))),
+        }
+    }
+
+    /// A client onto this service's serve loop over a *bounded* queue of
+    /// `capacity` in-flight requests, plus the receiver to hand to
+    /// [`serve`](ContainmentService::serve) (on a dedicated thread).
+    /// Clients are cheap to clone; clones share the queue and the tenant.
+    pub fn connect(
+        &self,
+        tenant: TenantId,
+        capacity: usize,
+    ) -> (ServiceClient, mpsc::Receiver<ServiceEnvelope>) {
+        let (requests, receiver) = mpsc::sync_channel(capacity.max(1));
+        (
+            ServiceClient {
+                requests,
+                tenant,
+                state: self.state.clone(),
+            },
+            receiver,
+        )
+    }
+
+    /// The synchronous request loop: answer every envelope until all
+    /// request senders are dropped, then return. Errors are folded into
+    /// [`ServiceResponse::Error`]; a client that hung up before its
     /// response arrived is skipped silently. Run it on a dedicated thread
     /// (or several — clones share the engine) and hand clients the sender
     /// side of the channel.
     pub fn serve(&self, requests: mpsc::Receiver<ServiceEnvelope>) {
-        for (request, reply) in requests {
-            let _ = reply.send(self.handle(request));
+        for ServiceEnvelope {
+            tenant,
+            request,
+            reply,
+        } in requests
+        {
+            let response = match self.handle(tenant, request) {
+                Ok(response) => response,
+                Err(error) => ServiceResponse::from(error),
+            };
+            let _ = reply.send(response);
         }
     }
 
-    /// Range-check a client-supplied handle.
-    fn checked(&self, id: SchemaId) -> Result<(), ServiceResponse> {
-        if self.engine.is_registered(id) {
+    /// Range-check a client-supplied handle, then scope-check it against
+    /// the requesting tenant.
+    fn checked(&self, tenant: TenantId, id: SchemaId) -> Result<(), ServiceError> {
+        if !self.engine.is_registered(id) {
+            return Err(ServiceError::UnknownHandle {
+                id,
+                registered: self.engine.schema_count(),
+            });
+        }
+        let tenants = self.state.tenants.read().expect("tenant lock");
+        let scope = tenants
+            .get(tenant.index())
+            .ok_or(ServiceError::UnknownTenant(tenant))?;
+        if scope.contains(&id) {
             Ok(())
         } else {
-            Err(ServiceResponse::Error(format!(
-                "unknown schema handle {id:?} (this service has {} registered)",
-                self.engine.schema_count()
-            )))
+            Err(ServiceError::WrongTenant { id, tenant })
+        }
+    }
+}
+
+/// A tenant's handle onto a serving [`ContainmentService`], from
+/// [`ContainmentService::connect`]: requests go through the bounded queue,
+/// responses come back on a per-call reply channel. [`ServiceClient::call`]
+/// rejects immediately with [`ServiceError::Overloaded`] when the queue is
+/// full — backpressure as an explicit, typed signal;
+/// [`ServiceClient::call_blocking`] waits for a slot instead.
+#[derive(Debug, Clone)]
+pub struct ServiceClient {
+    requests: mpsc::SyncSender<ServiceEnvelope>,
+    tenant: TenantId,
+    state: Arc<ServiceState>,
+}
+
+impl ServiceClient {
+    /// The tenant this client requests as.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The raw envelope sender behind this client — for hand-rolled
+    /// transports that build [`ServiceEnvelope`]s themselves. Sends count
+    /// against the same bounded capacity as [`ServiceClient::call`].
+    pub fn sender(&self) -> &mpsc::SyncSender<ServiceEnvelope> {
+        &self.requests
+    }
+
+    /// Send one request and wait for its response, failing *fast* with
+    /// [`ServiceError::Overloaded`] (counted in the stats) when the queue
+    /// is full. Service-side errors come back on the `Err` side, unfolded
+    /// from the response stream.
+    pub fn call(&self, request: ServiceRequest) -> Result<ServiceResponse, ServiceError> {
+        let (reply, responses) = mpsc::channel();
+        let envelope = ServiceEnvelope {
+            tenant: self.tenant,
+            request,
+            reply,
+        };
+        match self.requests.try_send(envelope) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.state.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Overloaded);
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => return Err(ServiceError::Disconnected),
+        }
+        Self::unfold(responses.recv().map_err(|_| ServiceError::Disconnected)?)
+    }
+
+    /// Like [`ServiceClient::call`], but block for a queue slot instead of
+    /// rejecting — for batch producers that prefer waiting over shedding.
+    pub fn call_blocking(&self, request: ServiceRequest) -> Result<ServiceResponse, ServiceError> {
+        let (reply, responses) = mpsc::channel();
+        let envelope = ServiceEnvelope {
+            tenant: self.tenant,
+            request,
+            reply,
+        };
+        self.requests
+            .send(envelope)
+            .map_err(|_| ServiceError::Disconnected)?;
+        Self::unfold(responses.recv().map_err(|_| ServiceError::Disconnected)?)
+    }
+
+    /// Lift a folded [`ServiceResponse::Error`] back onto the `Err` side.
+    fn unfold(response: ServiceResponse) -> Result<ServiceResponse, ServiceError> {
+        match response {
+            ServiceResponse::Error(error) => Err(error),
+            other => Ok(other),
         }
     }
 }
@@ -174,12 +518,13 @@ mod tests {
     use super::*;
     use shapex_shex::parse_schema;
 
-    fn ids_of(service: &ContainmentService, texts: &[&str]) -> Vec<SchemaId> {
+    fn ids_of(service: &ContainmentService, tenant: TenantId, texts: &[&str]) -> Vec<SchemaId> {
         texts
             .iter()
             .map(|t| {
-                match service.handle(ServiceRequest::Register(Box::new(parse_schema(t).unwrap()))) {
-                    ServiceResponse::Registered(id) => id,
+                let request = ServiceRequest::Register(Box::new(parse_schema(t).unwrap()));
+                match service.handle(tenant, request) {
+                    Ok(ServiceResponse::Registered(id)) => id,
                     other => panic!("expected Registered, got {other:?}"),
                 }
             })
@@ -191,24 +536,37 @@ mod tests {
         let service = ContainmentService::new();
         let ids = ids_of(
             &service,
+            TenantId::DEFAULT,
             &["T -> p::L?\nL -> EMPTY\n", "T -> p::L*\nL -> EMPTY\n"],
         );
-        match service.handle(ServiceRequest::Check {
-            h: ids[0],
-            k: ids[1],
-        }) {
-            ServiceResponse::Answer(answer) => assert!(answer.is_contained(), "? widens to *"),
+        match service.handle(
+            TenantId::DEFAULT,
+            ServiceRequest::Check {
+                h: ids[0],
+                k: ids[1],
+            },
+        ) {
+            Ok(ServiceResponse::Answer(answer)) => {
+                assert!(answer.is_contained(), "? widens to *")
+            }
             other => panic!("expected Answer, got {other:?}"),
         }
-        match service.handle(ServiceRequest::Matrix(ids.clone())) {
-            ServiceResponse::Matrix(matrix) => {
+        match service.handle(TenantId::DEFAULT, ServiceRequest::Matrix(ids.clone())) {
+            Ok(ServiceResponse::Matrix(matrix)) => {
                 assert_eq!(matrix.len(), 2);
                 assert!(matrix[1][0].is_not_contained(), "* does not narrow to ?");
+                assert_eq!(matrix.ids(), &ids[..]);
             }
             other => panic!("expected Matrix, got {other:?}"),
         }
-        match service.handle(ServiceRequest::Stats) {
-            ServiceResponse::Stats(stats) => assert_eq!(stats.schemas, 2),
+        match service.handle(TenantId::DEFAULT, ServiceRequest::Stats) {
+            Ok(ServiceResponse::Stats(stats)) => {
+                assert_eq!(stats.engine.schemas, 2);
+                assert_eq!(stats.tenants, 1);
+                assert_eq!(stats.rejected, 0);
+                assert!(stats.latency.count() >= 4, "every request is recorded");
+                assert!(format!("{stats}").contains("latency"));
+            }
             other => panic!("expected Stats, got {other:?}"),
         }
     }
@@ -216,66 +574,146 @@ mod tests {
     #[test]
     fn foreign_handles_get_an_error_not_a_panic() {
         let service = ContainmentService::new();
-        let ids = ids_of(&service, &["T -> p::L?\nL -> EMPTY\n"]);
+        let ids = ids_of(&service, TenantId::DEFAULT, &["T -> p::L?\nL -> EMPTY\n"]);
         let other = ContainmentService::new();
-        let foreign = ids_of(&other, &["A -> q::B\nB -> EMPTY\n", "B -> EMPTY\n"])[1];
-        match service.handle(ServiceRequest::Check {
-            h: ids[0],
-            k: foreign,
-        }) {
-            ServiceResponse::Error(message) => {
-                assert!(message.contains("unknown schema handle"), "{message}")
-            }
-            other => panic!("expected Error, got {other:?}"),
+        let foreign = ids_of(
+            &other,
+            TenantId::DEFAULT,
+            &["A -> q::B\nB -> EMPTY\n", "B -> EMPTY\n"],
+        )[1];
+        match service.handle(
+            TenantId::DEFAULT,
+            ServiceRequest::Check {
+                h: ids[0],
+                k: foreign,
+            },
+        ) {
+            Err(ServiceError::UnknownHandle { registered, .. }) => assert_eq!(registered, 1),
+            other => panic!("expected UnknownHandle, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tenants_cannot_use_each_others_handles() {
+        let service = ContainmentService::new();
+        let blue = service.create_tenant();
+        let green = service.create_tenant();
+        assert_eq!(service.tenant_count(), 3, "default + two minted");
+        let blue_ids = ids_of(
+            &service,
+            blue,
+            &["T -> p::L?\nL -> EMPTY\n", "T -> p::L*\nL -> EMPTY\n"],
+        );
+        // Green presenting blue's handle: range-valid, scope-invalid.
+        match service.handle(
+            green,
+            ServiceRequest::Check {
+                h: blue_ids[0],
+                k: blue_ids[1],
+            },
+        ) {
+            Err(ServiceError::WrongTenant { id, tenant }) => {
+                assert_eq!(id, blue_ids[0]);
+                assert_eq!(tenant, green);
+            }
+            other => panic!("expected WrongTenant, got {other:?}"),
+        }
+        // Green registering the same schema interns onto blue's engine
+        // entry — same handle, now valid for both tenants.
+        let green_ids = ids_of(&service, green, &["T -> p::L?\nL -> EMPTY\n"]);
+        assert_eq!(green_ids[0], blue_ids[0], "interned across tenants");
+        assert_eq!(service.engine().schema_count(), 2);
+        // An unknown tenant is refused outright.
+        let ghost = TenantId(99);
+        match service.handle(
+            ghost,
+            ServiceRequest::Register(Box::new(parse_schema("T -> EMPTY\n").unwrap())),
+        ) {
+            Err(ServiceError::UnknownTenant(t)) => assert_eq!(t, ghost),
+            other => panic!("expected UnknownTenant, got {other:?}"),
+        }
+        // Errors render and fold into responses.
+        let folded = ServiceResponse::from(ServiceError::Overloaded);
+        assert!(matches!(
+            folded,
+            ServiceResponse::Error(ServiceError::Overloaded)
+        ));
+        assert!(format!("{}", ServiceError::Overloaded).contains("queue is full"));
     }
 
     #[test]
     fn serve_loop_answers_concurrent_clients() {
         let service = ContainmentService::new();
-        let (tx, rx) = mpsc::channel::<ServiceEnvelope>();
+        let (client, requests) = service.connect(TenantId::DEFAULT, 64);
         std::thread::scope(|scope| {
             let server = {
                 let service = service.clone();
-                scope.spawn(move || service.serve(rx))
+                scope.spawn(move || service.serve(requests))
             };
             let texts = ["T -> p::L?\nL -> EMPTY\n", "T -> p::L\nL -> EMPTY\n"];
+            let mut workers = Vec::new();
             for _ in 0..3 {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    let (reply_tx, reply_rx) = mpsc::channel();
+                let client = client.clone();
+                workers.push(scope.spawn(move || {
                     let mut ids = Vec::new();
                     for t in texts {
-                        tx.send((
-                            ServiceRequest::Register(Box::new(parse_schema(t).unwrap())),
-                            reply_tx.clone(),
-                        ))
-                        .unwrap();
-                        match reply_rx.recv().unwrap() {
+                        let request = ServiceRequest::Register(Box::new(parse_schema(t).unwrap()));
+                        match client.call_blocking(request).unwrap() {
                             ServiceResponse::Registered(id) => ids.push(id),
                             other => panic!("expected Registered, got {other:?}"),
                         }
                     }
-                    tx.send((
-                        ServiceRequest::Check {
+                    match client
+                        .call(ServiceRequest::Check {
                             h: ids[1],
                             k: ids[0],
-                        },
-                        reply_tx.clone(),
-                    ))
-                    .unwrap();
-                    match reply_rx.recv().unwrap() {
+                        })
+                        .unwrap()
+                    {
                         ServiceResponse::Answer(answer) => {
                             assert!(answer.is_contained(), "1 is within ?")
                         }
                         other => panic!("expected Answer, got {other:?}"),
                     }
-                });
+                }));
             }
-            drop(tx); // all clients eventually hang up; the server returns
+            for worker in workers {
+                worker.join().unwrap();
+            }
+            drop(client); // all clients hung up; the server returns
             server.join().unwrap();
         });
         // Identical registrations from all clients interned onto one pair.
         assert_eq!(service.engine().schema_count(), 2);
+        assert!(service.stats().latency.count() >= 9);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let service = ContainmentService::new();
+        // Capacity-1 queue with no server draining it: the first request
+        // parks in the queue, the second must be rejected, not queued.
+        let (client, _requests) = service.connect(TenantId::DEFAULT, 1);
+        let fire = || {
+            let (reply, _responses) = mpsc::channel();
+            ServiceEnvelope {
+                tenant: TenantId::DEFAULT,
+                request: ServiceRequest::Stats,
+                reply,
+            }
+        };
+        // Fill the queue directly (client.call would block on recv).
+        client.sender().try_send(fire()).unwrap();
+        match client.call(ServiceRequest::Stats) {
+            Err(ServiceError::Overloaded) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(service.stats().rejected, 1, "rejections are counted");
+        // Dropping the receiver turns sends into Disconnected, not hangs.
+        drop(_requests);
+        match client.call(ServiceRequest::Stats) {
+            Err(ServiceError::Disconnected) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
     }
 }
