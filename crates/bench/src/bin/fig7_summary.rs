@@ -28,8 +28,10 @@ use shapex_core::engine::{ContainmentEngine, EngineOptions};
 use shapex_core::general::{general_containment, GeneralOptions};
 use shapex_core::shex0::{shex0_containment, Shex0Options};
 use shapex_core::unfold::SearchOptions;
+use shapex_gadgets::disjuncts::{disjunct_choice_pair, disjunct_mismatch_pair};
 use shapex_gadgets::generate::random_dnf;
 use shapex_gadgets::reductions::{dnf_tautology_gadget, exponential_family};
+use shapex_presburger::{Bounds, Formula, LinearExpr, SolveResult, Solver, SolverOptions, VarPool};
 use shapex_shex::parse_schema;
 use shapex_shex::Schema;
 
@@ -99,6 +101,42 @@ impl Recorder {
 
 fn schema_sizes(h: &Schema, k: &Schema) -> usize {
     h.size() + k.size()
+}
+
+/// Per-variable bound of the `presburger_disjuncts` scaling family.
+const DISJUNCT_BOUND: u64 = 6;
+
+/// Number of branches in the top-level disjunction of the family — wide
+/// enough that the parallel search fans it across every worker.
+const DISJUNCT_BRANCHES: usize = 16;
+
+/// The `presburger_disjuncts/vars=N` instance: a top-level disjunction of
+/// [`DISJUNCT_BRANCHES`] arms, each pinning `2·Σxᵢ` to an odd constant.
+/// Every arm is unsatisfiable by parity, which interval propagation cannot
+/// see — the solver must enumerate the assignment window of each arm in
+/// full, so the whole branch tree is explored and the work splits cleanly
+/// across disjunct workers.
+fn disjunct_scaling_formula(vars: usize, pool: &mut VarPool) -> Formula {
+    let xs: Vec<_> = (0..vars)
+        .map(|i| pool.fresh_named(format!("x{i}")))
+        .collect();
+    let doubled = xs.iter().fold(LinearExpr::constant(0), |acc, v| {
+        acc.add(&LinearExpr::term(*v, 2))
+    });
+    // Odd targets clustered around the middle of the reachable range
+    // `0..=2·N·B`, where the number of bounded compositions (and hence the
+    // per-arm search effort) peaks.
+    let middle = vars as i64 * DISJUNCT_BOUND as i64;
+    let arms: Vec<Formula> = (0..DISJUNCT_BRANCHES)
+        .map(|k| {
+            let offset = k as i64 - DISJUNCT_BRANCHES as i64 / 2;
+            Formula::eq(
+                doubled.clone(),
+                LinearExpr::constant(middle + 2 * offset + 1),
+            )
+        })
+        .collect();
+    Formula::or(arms)
 }
 
 /// Mean regression factor above which the gate fails the run.
@@ -302,6 +340,82 @@ fn main() {
             "unknown"
         };
         println!("{:>16} {:>14} {:>12.2?}", name, answer, elapsed);
+    }
+
+    // --- ShEx: disjunct-heavy gadgets through the Presburger solver ---------
+    println!("\n[ShEx] choice-group gadgets (ψ translation + bounded solver per check)");
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>12}",
+        "groups", "side", "|H|+|K|", "answer", "time"
+    );
+    for &groups in &[2usize, 4, 6] {
+        let pairs = [
+            ("choice", disjunct_choice_pair(groups)),
+            ("mismatch", disjunct_mismatch_pair(groups)),
+        ];
+        for (side, (h, k)) in pairs {
+            let (result, elapsed) = recorder.measure(
+                &format!("general_disjunct_gadget/{side}/groups={groups}"),
+                3,
+                || general_containment(&h, &k, &GeneralOptions::quick()),
+            );
+            let answer = if result.is_contained() {
+                "contained"
+            } else if result.is_not_contained() {
+                "not contained"
+            } else {
+                "unknown"
+            };
+            println!(
+                "{:>8} {:>12} {:>14} {:>14} {:>12.2?}",
+                groups,
+                side,
+                schema_sizes(&h, &k),
+                answer,
+                elapsed
+            );
+        }
+    }
+
+    // --- Presburger: the parallel disjunct search ----------------------------
+    println!("\n[solver] wide unsatisfiable disjunctions, serial vs. 8 workers");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10}",
+        "vars", "branches", "serial", "parallel", "speedup"
+    );
+    for &vars in &[4usize, 5, 6] {
+        let mut pool = VarPool::new();
+        let formula = disjunct_scaling_formula(vars, &mut pool);
+        let serial_solver =
+            Solver::new(Bounds::uniform(DISJUNCT_BOUND)).with_options(SolverOptions::serial());
+        let parallel_solver =
+            Solver::new(Bounds::uniform(DISJUNCT_BOUND)).with_options(SolverOptions::parallel(8));
+        let (serial_result, serial_time) =
+            recorder.measure(&format!("presburger_disjuncts/vars={vars}"), 3, || {
+                serial_solver.solve(&formula, &pool)
+            });
+        let (parallel_result, parallel_time) = recorder.measure(
+            &format!("presburger_disjuncts/vars={vars}/parallel"),
+            3,
+            || parallel_solver.solve(&formula, &pool),
+        );
+        assert_eq!(
+            serial_result,
+            SolveResult::Unsat,
+            "the parity family is unsatisfiable by construction"
+        );
+        assert_eq!(
+            parallel_result, serial_result,
+            "parallel and serial searches must agree"
+        );
+        println!(
+            "{:>8} {:>12} {:>12.2?} {:>12.2?} {:>9.1}×",
+            vars,
+            DISJUNCT_BRANCHES,
+            serial_time,
+            parallel_time,
+            serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(f64::EPSILON)
+        );
     }
 
     // --- Batch schema evolution: the ContainmentEngine session --------------

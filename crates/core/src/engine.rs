@@ -103,15 +103,16 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use shapex_graph::{Graph, Label, SharedLabelTable};
+use shapex_presburger::SolverOptions;
 use shapex_rbe::{Bag, Rbe};
-use shapex_shex::typing::{validates_with, ValidateScratch};
+use shapex_shex::typing::{validates_with, SolverTelemetry, ValidateScratch};
 use shapex_shex::{Atom, Schema, SchemaClass, TypeId};
 
 use crate::budget::{CacheBudget, CacheKind, Weigh};
 use crate::det::{characterizing_graph, NotDetShex0Minus};
 use crate::embedding::embeds;
 use crate::general::{exhaustive_bags, type_simulation_with_bags};
-use crate::unfold::{SearchOptions, Unfolder};
+use crate::unfold::{SearchOptions, SessionContext, Unfolder};
 use crate::Containment;
 
 pub use crate::matrix::ContainmentMatrix;
@@ -154,6 +155,12 @@ pub struct EngineOptions {
     /// [module docs](self). Weights are documented approximations of heap
     /// footprint, not allocator ground truth.
     pub cache_budget: Option<u64>,
+    /// Presburger solver configuration for every acceptance check the
+    /// engine's queries reach (the general sufficient condition and the
+    /// arena's local-acceptance memo). The default honours the
+    /// `SOLVER_THREADS` environment variable and stays serial without it.
+    /// Verdicts do not depend on this.
+    pub solver: SolverOptions,
 }
 
 impl Default for EngineOptions {
@@ -164,6 +171,7 @@ impl Default for EngineOptions {
             parallel_threshold: 16,
             matrix_threads: 1,
             cache_budget: None,
+            solver: SolverOptions::from_env(),
         }
     }
 }
@@ -221,6 +229,12 @@ impl EngineOptionsBuilder {
     /// Remove the cache budget (the default): caches grow unboundedly.
     pub fn unbounded_cache(mut self) -> Self {
         self.options.cache_budget = None;
+        self
+    }
+
+    /// Replace the Presburger solver configuration.
+    pub fn solver(mut self, solver: SolverOptions) -> Self {
+        self.options.solver = solver;
         self
     }
 
@@ -291,6 +305,11 @@ impl EngineOptions {
             cache_budget: Some(bytes),
             ..self
         }
+    }
+
+    /// Replace the Presburger solver configuration, keeping everything else.
+    pub fn with_solver(self, solver: SolverOptions) -> EngineOptions {
+        EngineOptions { solver, ..self }
     }
 }
 
@@ -364,6 +383,13 @@ pub struct EngineStats {
     pub evicted_bytes: u64,
     /// Eviction sweeps run (including sweeps that found nothing old).
     pub sweeps: u64,
+    /// Presburger solver invocations (the RBE₀ fast paths never enter the
+    /// solver and are not counted).
+    pub solver_calls: u64,
+    /// Cumulative solver search nodes across all invocations.
+    pub solver_search_nodes: u64,
+    /// Cumulative solver branches pruned by constraint propagation.
+    pub solver_pruned_branches: u64,
 }
 
 impl EngineStats {
@@ -424,6 +450,11 @@ impl fmt::Display for EngineStats {
             self.evictions,
             self.evicted_bytes,
             self.sweeps,
+        )?;
+        write!(
+            f,
+            "; presburger {} calls ({} nodes searched, {} branches pruned)",
+            self.solver_calls, self.solver_search_nodes, self.solver_pruned_branches,
         )
     }
 }
@@ -469,6 +500,9 @@ impl EngineCounters {
             evictions: budget.evictions(),
             evicted_bytes: budget.evicted_bytes(),
             sweeps: budget.sweeps(),
+            solver_calls: 0,
+            solver_search_nodes: 0,
+            solver_pruned_branches: 0,
         }
     }
 }
@@ -770,6 +804,11 @@ pub struct ContainmentEngine {
     /// The accounted-byte ledger and eviction bookkeeping behind
     /// [`EngineOptions::cache_budget`].
     budget: CacheBudget,
+    /// Cross-schema session state: the shared atom table, the candidate-bag
+    /// cache, the solver configuration, and the solver telemetry. Cloned
+    /// into every schema entry's unfolder (and restored on eviction
+    /// rebuilds), so interning survives cache sweeps.
+    session: SessionContext,
 }
 
 impl Default for ContainmentEngine {
@@ -788,6 +827,11 @@ impl ContainmentEngine {
     /// An engine with the given options.
     pub fn with_options(options: EngineOptions) -> ContainmentEngine {
         let budget = CacheBudget::new(options.cache_budget);
+        let session = SessionContext {
+            solver: options.solver,
+            telemetry: Some(Arc::new(SolverTelemetry::new())),
+            ..SessionContext::default()
+        };
         ContainmentEngine {
             options,
             labels: SharedLabelTable::new(),
@@ -796,6 +840,7 @@ impl ContainmentEngine {
             sufficient_memo: ShardedPairMap::new(),
             counters: EngineCounters::default(),
             budget,
+            session,
         }
     }
 
@@ -814,7 +859,27 @@ impl ContainmentEngine {
     /// memory footprint.
     pub fn stats(&self) -> EngineStats {
         let schemas = self.registry.read().expect("registry lock").schemas.len();
-        self.counters.snapshot(schemas, &self.budget)
+        let mut stats = self.counters.snapshot(schemas, &self.budget);
+        if let Some(telemetry) = &self.session.telemetry {
+            let solver = telemetry.snapshot();
+            stats.solver_calls = telemetry.calls();
+            stats.solver_search_nodes = solver.search_nodes;
+            stats.solver_pruned_branches = solver.pruned_branches;
+        }
+        stats
+    }
+
+    /// Cumulative Presburger solver counters for this session.
+    pub fn solver_telemetry(&self) -> &SolverTelemetry {
+        self.session
+            .telemetry
+            .as_deref()
+            .expect("engine always owns solver telemetry")
+    }
+
+    /// The cross-schema atom table shared by every registered schema.
+    pub fn atom_table(&self) -> &Arc<shapex_shex::AtomTable> {
+        &self.session.atoms
     }
 
     /// The shared predicate-label table (one allocation per distinct label
@@ -861,13 +926,21 @@ impl ContainmentEngine {
         owned.adopt_labels_shared(&self.labels);
         let class = owned.classify_cached();
         let shape_graph = owned.shape_graph_cached().cloned();
+        // Intern the schema's alphabet in the session-wide atom table once,
+        // at registration, so every later memo lookup (in any schema entry)
+        // finds its ids already present.
+        for t in owned.types() {
+            for atom in owned.def(t).alphabet() {
+                self.session.atoms.intern(&atom);
+            }
+        }
         let entry = Arc::new(SchemaEntry {
             schema: Arc::new(owned),
             class,
             shape_graph,
             characterizing: OnceLock::new(),
             validate_memo: RwLock::new(ValidateMemo::default()),
-            unfolder: Mutex::new(Unfolder::new()),
+            unfolder: Mutex::new(Unfolder::with_context(self.session.clone())),
             unfolder_bytes: AtomicU64::new(0),
             enumerated: RwLock::new(BTreeMap::new()),
             sampled: OnceLock::new(),
@@ -1161,7 +1234,13 @@ impl ContainmentEngine {
         }
         let v = match self.exhaustive_bags_cached(h_entry) {
             None => false,
-            Some(bags) => type_simulation_with_bags(&h_entry.schema, &bags, &k_entry.schema),
+            Some(bags) => type_simulation_with_bags(
+                &h_entry.schema,
+                &bags,
+                &k_entry.schema,
+                self.session.solver,
+                self.session.telemetry.as_deref(),
+            ),
         };
         self.sufficient_memo.insert((h.0, k.0), v, &self.budget);
         self.maybe_evict();
@@ -1604,7 +1683,7 @@ impl ContainmentEngine {
                 let mut unfolder = entry.unfolder.lock().expect("unfolder lock");
                 let before = entry.unfolder_bytes.swap(0, Ordering::Relaxed);
                 if before > 0 {
-                    *unfolder = Unfolder::new();
+                    *unfolder = Unfolder::with_context(self.session.clone());
                     self.budget.credit(CacheKind::Unfolder, before);
                     evicted += 1;
                     freed += before;
@@ -1668,7 +1747,7 @@ impl ContainmentEngine {
                 let mut unfolder = entry.unfolder.lock().expect("unfolder lock");
                 let before = entry.unfolder_bytes.swap(0, Ordering::Relaxed);
                 if before > 0 {
-                    *unfolder = Unfolder::new();
+                    *unfolder = Unfolder::with_context(self.session.clone());
                     self.budget.credit(CacheKind::Unfolder, before);
                     evicted += 1;
                     freed += before;

@@ -18,8 +18,9 @@
 
 use std::collections::BTreeSet;
 
+use shapex_presburger::SolverOptions;
 use shapex_rbe::Bag;
-use shapex_shex::typing::{neighbourhood_satisfies, EdgeSummary};
+use shapex_shex::typing::{neighbourhood_satisfies_with, EdgeSummary, SolverTelemetry};
 use shapex_shex::{Atom, Schema, TypeId};
 
 use crate::unfold::{all_bags, SearchOptions};
@@ -71,6 +72,8 @@ pub(crate) fn type_simulation_with_bags(
     h: &Schema,
     bags_per_type: &[Vec<Bag<Atom>>],
     k: &Schema,
+    solver: SolverOptions,
+    telemetry: Option<&SolverTelemetry>,
 ) -> bool {
     let mut relation: Vec<BTreeSet<TypeId>> = h
         .types()
@@ -81,7 +84,14 @@ pub(crate) fn type_simulation_with_bags(
         for t in h.types() {
             let candidates: Vec<TypeId> = relation[t.index()].iter().copied().collect();
             for s in candidates {
-                if !pair_consistent(&bags_per_type[t.index()], k, s, &relation) {
+                if !pair_consistent(
+                    &bags_per_type[t.index()],
+                    k,
+                    s,
+                    &relation,
+                    solver,
+                    telemetry,
+                ) {
                     relation[t.index()].remove(&s);
                     changed = true;
                 }
@@ -99,6 +109,8 @@ fn pair_consistent(
     k: &Schema,
     s: TypeId,
     relation: &[BTreeSet<TypeId>],
+    solver: SolverOptions,
+    telemetry: Option<&SolverTelemetry>,
 ) -> bool {
     // Every neighbourhood of t must be acceptable for s once the target types
     // are translated through the relation.
@@ -111,7 +123,7 @@ fn pair_consistent(
                 multiplicity: count,
             })
             .collect();
-        if !neighbourhood_satisfies(&edges, k.def(s)) {
+        if !neighbourhood_satisfies_with(&edges, k.def(s), solver, telemetry) {
             return false;
         }
     }

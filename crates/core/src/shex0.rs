@@ -32,7 +32,10 @@ pub type Shex0Options = SearchOptions;
 /// [`crate::engine::ContainmentEngine`] (embedding between the cached shape
 /// graphs first, then the `DetShEx₀⁻` characterizing-graph shortcut, then
 /// the pooled counter-example search). Callers issuing many queries over the
-/// same schemas should hold an engine so those caches survive across calls.
+/// same schemas should hold an engine so those caches — including the
+/// session-level cross-schema atom table and shared candidate-bag cache the
+/// engine's [`crate::unfold::SessionContext`] carries — survive across
+/// calls; a throwaway engine pays the interning cost per query.
 pub fn shex0_containment(h: &Schema, k: &Schema, options: &Shex0Options) -> Containment {
     crate::engine::ContainmentEngine::with_search(options.clone()).shex0(h, k)
 }

@@ -132,9 +132,15 @@ impl SimulationOptions {
 }
 
 /// A dense row-major bitset over `rows × cols` pairs.
+///
+/// The hot loops of the engine run on whole 64-pair words of this structure:
+/// row scans skip all-set and all-clear words with a single compare, queue
+/// deduplication tests and marks a pair with one word access, and row
+/// cardinalities come from `count_ones` instead of bit-by-bit probes.
 #[derive(Debug, Clone)]
 struct BitRel {
     blocks: usize,
+    cols: usize,
     bits: Vec<u64>,
 }
 
@@ -143,8 +149,26 @@ impl BitRel {
         let blocks = cols.div_ceil(64);
         BitRel {
             blocks,
+            cols,
             bits: vec![0; rows * blocks],
         }
+    }
+
+    /// The valid-bit mask of a row's block: all ones except in the final
+    /// block of a row, where the columns beyond `cols` are masked off.
+    #[inline]
+    fn block_mask(&self, block: usize) -> u64 {
+        if block + 1 == self.blocks && self.cols % 64 != 0 {
+            (1u64 << (self.cols % 64)) - 1
+        } else {
+            !0
+        }
+    }
+
+    /// The words of row `n`.
+    #[inline]
+    fn row(&self, n: usize) -> &[u64] {
+        &self.bits[n * self.blocks..(n + 1) * self.blocks]
     }
 
     #[inline]
@@ -152,9 +176,20 @@ impl BitRel {
         self.bits[n * self.blocks + m / 64] & (1u64 << (m % 64)) != 0
     }
 
+    /// Set the bit `(n, m)` if it is clear, with a single word access;
+    /// returns whether the bit was newly set. The queue-deduplication
+    /// primitive (the historical `contains` + `set` pair touched the word
+    /// twice).
     #[inline]
-    fn set(&mut self, n: usize, m: usize) {
-        self.bits[n * self.blocks + m / 64] |= 1u64 << (m % 64);
+    fn try_mark(&mut self, n: usize, m: usize) -> bool {
+        let word = &mut self.bits[n * self.blocks + m / 64];
+        let bit = 1u64 << (m % 64);
+        if *word & bit != 0 {
+            false
+        } else {
+            *word |= bit;
+            true
+        }
     }
 
     #[inline]
@@ -162,10 +197,15 @@ impl BitRel {
         self.bits[n * self.blocks + m / 64] &= !(1u64 << (m % 64));
     }
 
-    /// Iterate the set columns of a row.
+    /// Number of set pairs in row `n` (`count_ones` per word, no bit scan).
+    #[inline]
+    fn row_count(&self, n: usize) -> usize {
+        self.row(n).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate the set columns of a row. All-clear words cost one compare.
     fn row_iter(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
-        let row = &self.bits[n * self.blocks..(n + 1) * self.blocks];
-        row.iter().enumerate().flat_map(|(block, &word)| {
+        self.row(n).iter().enumerate().flat_map(|(block, &word)| {
             let mut word = word;
             std::iter::from_fn(move || {
                 if word == 0 {
@@ -177,6 +217,28 @@ impl BitRel {
                 }
             })
         })
+    }
+
+    /// Iterate the *clear* columns of a row (within `cols`). All-set words —
+    /// the common case for the dense relations of the initial pass — cost
+    /// one compare, so a mostly-full row is swept in `blocks` operations
+    /// rather than `cols` bit probes.
+    fn row_zeros(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(n)
+            .iter()
+            .enumerate()
+            .flat_map(move |(block, &word)| {
+                let mut zeros = !word & self.block_mask(block);
+                std::iter::from_fn(move || {
+                    if zeros == 0 {
+                        None
+                    } else {
+                        let bit = zeros.trailing_zeros() as usize;
+                        zeros &= zeros - 1;
+                        Some(block * 64 + bit)
+                    }
+                })
+            })
     }
 }
 
@@ -453,10 +515,16 @@ pub fn max_simulation_with(g: &Graph, h: &Graph, options: &SimulationOptions) ->
                     continue;
                 }
                 for &n0 in &gi.in_source[gs as usize..ge as usize] {
+                    let n0 = n0 as usize;
+                    // Hoist the row: a drained G-row (no simulators left)
+                    // skips its whole m0 sweep on a handful of word compares.
+                    let rel_row = rel.row(n0);
+                    if rel_row.iter().all(|&w| w == 0) {
+                        continue;
+                    }
                     for &m0 in &hi.in_source[hs as usize..he as usize] {
-                        let (n0, m0) = (n0 as usize, m0 as usize);
-                        if rel.contains(n0, m0) && !dirty.contains(n0, m0) {
-                            dirty.set(n0, m0);
+                        let m0 = m0 as usize;
+                        if rel_row[m0 / 64] & (1u64 << (m0 % 64)) != 0 && dirty.try_mark(n0, m0) {
                             queue.push_back((n0 as u32, m0 as u32));
                         }
                     }
@@ -465,10 +533,8 @@ pub fn max_simulation_with(g: &Graph, h: &Graph, options: &SimulationOptions) ->
         };
 
     for n in 0..g_n {
-        for m in 0..h_n {
-            if !rel.contains(n, m) {
-                enqueue_predecessors(&rel, &mut dirty, &mut queue, n, m);
-            }
+        for m in rel.row_zeros(n) {
+            enqueue_predecessors(&rel, &mut dirty, &mut queue, n, m);
         }
     }
 
@@ -486,7 +552,13 @@ pub fn max_simulation_with(g: &Graph, h: &Graph, options: &SimulationOptions) ->
     }
 
     let simulators: Vec<BTreeSet<NodeId>> = (0..g_n)
-        .map(|n| rel.row_iter(n).map(|m| NodeId(m as u32)).collect())
+        .map(|n| {
+            if rel.row_count(n) == 0 {
+                BTreeSet::new()
+            } else {
+                rel.row_iter(n).map(|m| NodeId(m as u32)).collect()
+            }
+        })
         .collect();
     Simulation { simulators }
 }
@@ -511,6 +583,30 @@ mod tests {
         );
         assert_eq!(baseline, parallel, "parallel initial pass disagrees");
         sequential
+    }
+
+    #[test]
+    fn bitrel_word_kernels_respect_the_tail_mask() {
+        // 70 columns: two blocks, 6 valid bits in the tail block.
+        let mut rel = BitRel::empty(2, 70);
+        for m in (0..70).filter(|m| m % 3 != 0) {
+            assert!(rel.try_mark(0, m), "first mark of ({m}) must be new");
+        }
+        assert!(!rel.try_mark(0, 1), "re-marking a set bit reports not-new");
+        let zeros: Vec<usize> = rel.row_zeros(0).collect();
+        assert_eq!(zeros, (0..70).step_by(3).collect::<Vec<_>>());
+        assert_eq!(rel.row_count(0), 70 - zeros.len());
+        assert_eq!(
+            rel.row_iter(0).collect::<Vec<_>>().len(),
+            rel.row_count(0),
+            "row_iter and count_ones agree"
+        );
+        // An untouched row: every valid column is a zero, none beyond cols.
+        assert_eq!(rel.row_count(1), 0);
+        assert_eq!(rel.row_zeros(1).count(), 70);
+        rel.remove(0, 2);
+        assert!(!rel.contains(0, 2));
+        assert!(rel.contains(0, 4));
     }
 
     #[test]

@@ -35,15 +35,16 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use shapex_graph::{Graph, GraphBuilder, Label};
+use shapex_presburger::SolverOptions;
 use shapex_rbe::{Bag, Interval, Rbe};
-use shapex_shex::typing::{neighbourhood_satisfies, validates, EdgeSummary};
-use shapex_shex::{Atom, Schema, TypeId};
+use shapex_shex::typing::{neighbourhood_satisfies_with, validates, EdgeSummary, SolverTelemetry};
+use shapex_shex::{Atom, AtomId, AtomTable, Schema, TypeId};
 
 /// Budget knobs for unfolding-based searches.
 #[derive(Debug, Clone)]
@@ -93,6 +94,73 @@ impl SearchOptions {
     }
 }
 
+/// Cross-schema state shared by every [`Unfolder`] of one containment
+/// session, plus the Presburger solver configuration for local acceptance
+/// checks.
+///
+/// The default context gives each `Unfolder` private tables and a serial
+/// solver — the behaviour of the historical per-schema design. An engine
+/// clones one context into every schema entry so that atoms are interned and
+/// candidate bags enumerated once per *session* rather than once per schema,
+/// and so that solver work is configured and counted centrally.
+#[derive(Debug, Clone, Default)]
+pub struct SessionContext {
+    /// Session-level interner over `Σ × Γ`; arena memo keys are ids in it.
+    pub atoms: Arc<AtomTable>,
+    /// Session-level candidate-bag cache keyed by defining expression.
+    pub bags: Arc<SharedBagCache>,
+    /// Solver options for Presburger-backed acceptance checks.
+    pub solver: SolverOptions,
+    /// Cumulative solver counters (engine-owned; `None` drops the stats).
+    pub telemetry: Option<Arc<SolverTelemetry>>,
+}
+
+/// A concurrent cache of candidate-bag enumerations keyed by the defining
+/// expression and the bag cap. Schemas registered in one session frequently
+/// share structurally equal definitions (evolution chains, matrix workloads);
+/// this table makes each distinct definition pay for enumeration once.
+///
+/// Buckets are keyed by structural hash with full expression equality
+/// verified on every hit, the same verify-on-collision scheme as the arena.
+#[derive(Debug, Default)]
+pub struct SharedBagCache {
+    buckets: RwLock<HashMap<u64, Vec<BagEntry>>>,
+}
+
+/// One verified cache entry: the defining expression, the bag cap it was
+/// enumerated under, and the shared enumeration.
+type BagEntry = (Rbe<Atom>, usize, Arc<Vec<Bag<Atom>>>);
+
+impl SharedBagCache {
+    fn get(&self, expr: &Rbe<Atom>, cap: usize) -> Option<Arc<Vec<Bag<Atom>>>> {
+        let buckets = self.buckets.read().expect("bag cache poisoned");
+        let bucket = buckets.get(&hash_of((expr, cap)))?;
+        bucket
+            .iter()
+            .find(|(e, c, _)| *c == cap && e == expr)
+            .map(|(_, _, bags)| Arc::clone(bags))
+    }
+
+    fn insert(&self, expr: &Rbe<Atom>, cap: usize, bags: Arc<Vec<Bag<Atom>>>) {
+        let mut buckets = self.buckets.write().expect("bag cache poisoned");
+        let bucket = buckets.entry(hash_of((expr, cap))).or_default();
+        if !bucket.iter().any(|(e, c, _)| *c == cap && e == expr) {
+            bucket.push((expr.clone(), cap, bags));
+        }
+    }
+
+    /// Number of distinct `(expression, cap)` enumerations cached.
+    pub fn len(&self) -> usize {
+        let buckets = self.buckets.read().expect("bag cache poisoned");
+        buckets.values().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A 64-bit structural hash via the std hasher (stable within a process,
 /// which is all the arena's verify-on-collision lookups need).
 fn hash_of(value: impl Hash) -> u64 {
@@ -124,11 +192,14 @@ struct TreeNode {
 }
 
 /// A memoised `(type, bag of (label, child type))` acceptance verdict; the
-/// profile is kept for exact (collision-proof) key comparison.
+/// profile — the children's atoms as session-interned [`AtomId`]s — is kept
+/// for exact (collision-proof) key comparison. Interned ids shrink the key
+/// from a `(Label, TypeId)` pair per child to a `u32`, and because the table
+/// is session-wide the ids agree across every schema of the session.
 #[derive(Debug)]
 struct LocalVerdict {
     type_id: TypeId,
-    profile: Vec<(Label, TypeId)>,
+    profile: Vec<AtomId>,
     ok: bool,
 }
 
@@ -193,7 +264,7 @@ impl TreeArena {
                     + bucket.capacity() * size_of::<LocalVerdict>()
                     + bucket
                         .iter()
-                        .map(|v| v.profile.capacity() * size_of::<(Label, TypeId)>())
+                        .map(|v| v.profile.capacity() * size_of::<AtomId>())
                         .sum::<usize>()
             })
             .sum::<usize>();
@@ -226,8 +297,16 @@ impl TreeArena {
 
     /// Intern a tree with the given root type and labelled children
     /// (children must already live in this arena). Structurally identical
-    /// trees share one index.
-    pub fn node(&mut self, schema: &Schema, t: TypeId, children: &[(Label, Tree)]) -> Tree {
+    /// trees share one index. The session context supplies the atom table
+    /// for the acceptance memo and the solver configuration for the check
+    /// itself.
+    pub fn node(
+        &mut self,
+        schema: &Schema,
+        t: TypeId,
+        children: &[(Label, Tree)],
+        ctx: &SessionContext,
+    ) -> Tree {
         let mut hasher = DefaultHasher::new();
         t.hash(&mut hasher);
         for (label, child) in children {
@@ -246,7 +325,7 @@ impl TreeArena {
                 }
             }
         }
-        let local_ok = self.local_accepted(schema, t, children);
+        let local_ok = self.local_accepted(schema, t, children, ctx);
         let member = local_ok && children.iter().all(|&(_, c)| self.member[c.index()]);
         let size = 1 + children
             .iter()
@@ -269,27 +348,27 @@ impl TreeArena {
     }
 
     /// Whether the bag `{(label, type_of(child))}` is accepted by `def(t)` —
-    /// computed once per distinct `(type, bag)` across the whole arena.
-    fn local_accepted(&mut self, schema: &Schema, t: TypeId, children: &[(Label, Tree)]) -> bool {
-        let mut hasher = DefaultHasher::new();
-        t.hash(&mut hasher);
-        for (label, child) in children {
-            label.hash(&mut hasher);
-            self.nodes[child.index()].type_id.hash(&mut hasher);
-        }
-        let key = hasher.finish();
+    /// computed once per distinct `(type, bag)` across the whole arena. The
+    /// memo is keyed by the children's session-interned atom ids, so the
+    /// lookup compares `u32`s rather than labels.
+    fn local_accepted(
+        &mut self,
+        schema: &Schema,
+        t: TypeId,
+        children: &[(Label, Tree)],
+        ctx: &SessionContext,
+    ) -> bool {
+        let profile: Vec<AtomId> = children
+            .iter()
+            .map(|(label, child)| {
+                ctx.atoms
+                    .intern(&Atom::new(label.clone(), self.nodes[child.index()].type_id))
+            })
+            .collect();
+        let key = hash_of((t, &profile));
         if let Some(bucket) = self.local.get(&key) {
             for verdict in bucket {
-                if verdict.type_id == t
-                    && verdict.profile.len() == children.len()
-                    && verdict
-                        .profile
-                        .iter()
-                        .zip(children)
-                        .all(|((l, ty), (label, child))| {
-                            l == label && *ty == self.nodes[child.index()].type_id
-                        })
-                {
+                if verdict.type_id == t && verdict.profile == profile {
                     return verdict.ok;
                 }
             }
@@ -302,11 +381,12 @@ impl TreeArena {
                 multiplicity: 1,
             })
             .collect();
-        let ok = neighbourhood_satisfies(&edges, schema.def(t));
-        let profile = children
-            .iter()
-            .map(|(label, child)| (label.clone(), self.nodes[child.index()].type_id))
-            .collect();
+        let ok = neighbourhood_satisfies_with(
+            &edges,
+            schema.def(t),
+            ctx.solver,
+            ctx.telemetry.as_deref(),
+        );
         self.local.entry(key).or_default().push(LocalVerdict {
             type_id: t,
             profile,
@@ -362,17 +442,35 @@ pub struct Unfolder {
     /// `(root type, depth) → enumerated trees` (shared, capped at
     /// `max_trees`).
     enumerated: HashMap<(TypeId, usize), Arc<Vec<Tree>>>,
-    /// Candidate bags per type (depth-independent).
+    /// Candidate bags per type (depth-independent); a per-schema fast path
+    /// over the session-level [`SharedBagCache`].
     bags: HashMap<TypeId, Arc<Vec<Bag<Atom>>>>,
     /// One graph per distinct tree, built on first demand.
     graphs: Vec<Option<Arc<Graph>>>,
     builder: GraphBuilder,
+    /// Session-shared atom table, bag cache, and solver configuration.
+    ctx: SessionContext,
 }
 
 impl Unfolder {
-    /// An empty session.
+    /// An empty session with private tables and a serial solver.
     pub fn new() -> Unfolder {
         Unfolder::default()
+    }
+
+    /// An empty session sharing the given cross-schema context. Evicting an
+    /// unfolder and rebuilding it with the same context keeps the interned
+    /// atoms and cached bag enumerations — only the arena and pools drop.
+    pub fn with_context(ctx: SessionContext) -> Unfolder {
+        Unfolder {
+            ctx,
+            ..Unfolder::default()
+        }
+    }
+
+    /// The session context this unfolder shares.
+    pub fn context(&self) -> &SessionContext {
+        &self.ctx
     }
 
     /// Approximate heap footprint of the whole unfolding session in bytes:
@@ -426,7 +524,12 @@ impl Unfolder {
         if let Some(bags) = self.bags.get(&t) {
             return bags.clone();
         }
-        let bags = Arc::new(candidate_bags(schema.def(t), options));
+        let def = schema.def(t);
+        let bags = self.ctx.bags.get(def, options.max_bags).unwrap_or_else(|| {
+            let bags = Arc::new(candidate_bags(def, options));
+            self.ctx.bags.insert(def, options.max_bags, bags.clone());
+            bags
+        });
         self.bags.insert(t, bags.clone());
         bags
     }
@@ -485,7 +588,7 @@ impl Unfolder {
                 continue;
             }
             for children in combos {
-                out.push(self.arena.node(schema, t, &children));
+                out.push(self.arena.node(schema, t, &children, &self.ctx));
                 if out.len() >= options.max_trees {
                     break 'bags;
                 }
@@ -621,7 +724,7 @@ impl Unfolder {
                 children.push((atom.label.clone(), child));
             }
         }
-        Some(self.arena.node(schema, t, &children))
+        Some(self.arena.node(schema, t, &children, &self.ctx))
     }
 }
 

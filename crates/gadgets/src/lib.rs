@@ -11,10 +11,14 @@
 //! * [`generate`] — random CNF/DNF formulas, random `DetShEx₀⁻` and `ShEx₀`
 //!   schemas, and schema restrictions that produce contained pairs by
 //!   construction.
+//! * [`disjuncts`] — disjunct-heavy general-containment pairs whose
+//!   neighbourhood checks are forced through the Presburger solver, the
+//!   workload the parallel disjunct search is measured on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod disjuncts;
 pub mod figures;
 pub mod generate;
 pub mod reductions;

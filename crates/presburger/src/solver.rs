@@ -11,6 +11,8 @@
 //! (Proposition 6.3 / Weispfenning 1990), so bounded solving loses no
 //! generality provided the caller passes a large-enough bound.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
 use crate::formula::{Constraint, Formula, LinearExpr, VarPool};
 
 /// Variable bounds used by the solver when the [`VarPool`] does not declare a
@@ -34,6 +36,63 @@ impl Bounds {
     }
 }
 
+/// Knobs controlling how a [`Solver`] explores disjunctions.
+///
+/// With `threads > 1`, when the search pops a disjunction with at least
+/// `parallel_threshold` branches (outside an already-forked worker), the
+/// branches are explored by a scoped worker pool: each worker snapshots the
+/// accumulated atoms and domains (cheap — the undo-trail design keeps both
+/// flat vectors), claims branches from a shared atomic cursor
+/// (work-stealing), and a first-solution latch stops the others early.
+/// Workers never fork again, so the pool depth is exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverOptions {
+    /// Worker threads for disjunct exploration; `1` keeps the search serial.
+    pub threads: usize,
+    /// Minimum branch count of a disjunction before it is fanned out.
+    pub parallel_threshold: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            threads: 1,
+            parallel_threshold: 4,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Serial exploration (the default).
+    pub fn serial() -> SolverOptions {
+        SolverOptions::default()
+    }
+
+    /// Parallel exploration with the given worker count.
+    pub fn parallel(threads: usize) -> SolverOptions {
+        SolverOptions {
+            threads: threads.max(1),
+            ..SolverOptions::default()
+        }
+    }
+
+    /// Options from the environment: `SOLVER_THREADS` sets the worker count
+    /// (unset, empty, `0` or `1` keep the search serial).
+    pub fn from_env() -> SolverOptions {
+        let threads = std::env::var("SOLVER_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1);
+        SolverOptions::parallel(threads)
+    }
+
+    /// Override the fan-out threshold.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> SolverOptions {
+        self.parallel_threshold = threshold;
+        self
+    }
+}
+
 /// Counters of one [`Solver::solve_with_stats`] call.
 ///
 /// The branch-and-bound search no longer clones its constraint set and
@@ -46,6 +105,15 @@ pub struct SolverStats {
     pub search_nodes: u64,
     /// Branches cut by interval propagation finding a contradiction.
     pub pruned_branches: u64,
+}
+
+impl SolverStats {
+    /// Accumulate another counter set (used when merging worker results and
+    /// when surfacing per-query stats into session-level totals).
+    pub fn merge(&mut self, other: SolverStats) {
+        self.search_nodes += other.search_nodes;
+        self.pruned_branches += other.pruned_branches;
+    }
 }
 
 /// Result of a satisfiability query.
@@ -84,6 +152,7 @@ impl SolveResult {
 pub struct Solver {
     bounds: Bounds,
     node_budget: u64,
+    options: SolverOptions,
 }
 
 impl Default for Solver {
@@ -91,6 +160,7 @@ impl Default for Solver {
         Solver {
             bounds: Bounds::default(),
             node_budget: 2_000_000,
+            options: SolverOptions::default(),
         }
     }
 }
@@ -115,11 +185,30 @@ type TrailEntry = (usize, u64, u64);
 /// The mutable state of one solve: the accumulated atomic constraints, the
 /// current domains, and the undo trail. Branching pushes onto `atoms` and
 /// `trail` and truncates both on backtrack — no per-branch clones.
-struct SearchState {
+struct SearchState<'a> {
     atoms: Vec<Constraint>,
     domains: Domains,
     trail: Vec<TrailEntry>,
     budget: u64,
+    stats: SolverStats,
+    /// Set inside a parallel worker: the shared first-solution latch. A set
+    /// latch aborts the worker's search; its presence also marks "already
+    /// forked", so workers never fan out a nested disjunction themselves.
+    stop: Option<&'a AtomicBool>,
+}
+
+impl SearchState<'_> {
+    /// Whether another worker has already found a model.
+    fn latched(&self) -> bool {
+        self.stop.is_some_and(|stop| stop.load(Ordering::Relaxed))
+    }
+}
+
+/// What one disjunct worker brings back to the fork point.
+struct WorkerOutcome {
+    model: Option<Vec<u64>>,
+    exhausted: bool,
+    spent: u64,
     stats: SolverStats,
 }
 
@@ -137,6 +226,7 @@ impl Solver {
         Solver {
             bounds,
             node_budget: 2_000_000,
+            options: SolverOptions::default(),
         }
     }
 
@@ -144,6 +234,17 @@ impl Solver {
     pub fn with_node_budget(mut self, budget: u64) -> Solver {
         self.node_budget = budget;
         self
+    }
+
+    /// Override the disjunct-exploration options.
+    pub fn with_options(mut self, options: SolverOptions) -> Solver {
+        self.options = options;
+        self
+    }
+
+    /// The disjunct-exploration options in effect.
+    pub fn options(&self) -> SolverOptions {
+        self.options
     }
 
     /// Decide satisfiability of `formula` with variables bounded by the pool's
@@ -182,6 +283,7 @@ impl Solver {
             trail: Vec::new(),
             budget: self.node_budget,
             stats: SolverStats::default(),
+            stop: None,
         };
         let result = match self.search(&[&nnf], &mut state) {
             Some(Some(model)) => {
@@ -202,8 +304,8 @@ impl Solver {
     /// The search returns `None` when the budget is exhausted, otherwise
     /// `Some(model_or_none)`. On return, `state`'s atoms and domains are
     /// exactly as the caller left them (the frame truncates its own pushes).
-    fn search(&self, pending: &[&Nnf], state: &mut SearchState) -> Option<Option<Vec<u64>>> {
-        if state.budget == 0 {
+    fn search(&self, pending: &[&Nnf], state: &mut SearchState<'_>) -> Option<Option<Vec<u64>>> {
+        if state.budget == 0 || state.latched() {
             return None;
         }
         state.budget -= 1;
@@ -216,7 +318,11 @@ impl Solver {
         result
     }
 
-    fn search_frame(&self, pending: &[&Nnf], state: &mut SearchState) -> Option<Option<Vec<u64>>> {
+    fn search_frame(
+        &self,
+        pending: &[&Nnf],
+        state: &mut SearchState<'_>,
+    ) -> Option<Option<Vec<u64>>> {
         // Split pending conjuncts into atoms and disjunctions.
         let mut disjunctions: Vec<&Nnf> = Vec::new();
         let mut stack: Vec<&Nnf> = pending.to_vec();
@@ -240,6 +346,12 @@ impl Solver {
             let Nnf::Or(choices) = or else {
                 unreachable!("only Or is deferred")
             };
+            if self.options.threads > 1
+                && state.stop.is_none()
+                && choices.len() >= self.options.parallel_threshold.max(2)
+            {
+                return self.search_disjuncts_parallel(choices, &disjunctions, state);
+            }
             for choice in choices {
                 let mut next: Vec<&Nnf> = Vec::with_capacity(disjunctions.len() + 1);
                 next.push(choice);
@@ -257,8 +369,107 @@ impl Solver {
         self.enumerate(state)
     }
 
-    fn enumerate(&self, state: &mut SearchState) -> Option<Option<Vec<u64>>> {
-        if state.budget == 0 {
+    /// Explore the branches of one disjunction on a scoped worker pool.
+    ///
+    /// Each worker snapshots the parent's accumulated atoms and domains (the
+    /// trail starts empty — worker states are discarded, never unwound into
+    /// the parent), claims branch indices from a shared cursor, and runs the
+    /// ordinary serial search on each claimed branch with the first-solution
+    /// latch installed. Merging keeps the counters exact: every node a worker
+    /// visits lands in the parent's [`SolverStats`], and the parent budget is
+    /// charged for the total work. On `Unsat` every branch subtree is
+    /// explored in full exactly as the serial search would, so the merged
+    /// counters equal the serial run's; on early exit the counters reflect
+    /// the work actually performed. If the collective spend overruns the
+    /// budget the fork reports `Unknown`, like a serial run that ran dry.
+    fn search_disjuncts_parallel(
+        &self,
+        choices: &[Nnf],
+        deferred: &[&Nnf],
+        state: &mut SearchState<'_>,
+    ) -> Option<Option<Vec<u64>>> {
+        let latch = AtomicBool::new(false);
+        let cursor = AtomicUsize::new(0);
+        let workers = self.options.threads.min(choices.len());
+        let budget_at_fork = state.budget;
+        let base_atoms = &state.atoms;
+        let base_domains = &state.domains;
+        let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = SearchState {
+                            atoms: base_atoms.clone(),
+                            domains: base_domains.clone(),
+                            trail: Vec::new(),
+                            budget: budget_at_fork,
+                            stats: SolverStats::default(),
+                            stop: Some(&latch),
+                        };
+                        let mut model = None;
+                        let mut exhausted = false;
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= choices.len() || latch.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let mut pending: Vec<&Nnf> = Vec::with_capacity(deferred.len() + 1);
+                            pending.push(&choices[i]);
+                            pending.extend(deferred.iter().copied());
+                            match self.search(&pending, &mut local) {
+                                Some(Some(found)) => {
+                                    latch.store(true, Ordering::Relaxed);
+                                    model = Some(found);
+                                    break;
+                                }
+                                Some(None) => continue,
+                                None => {
+                                    // Budget ran dry — unless the abort came
+                                    // from the latch, in which case another
+                                    // worker's model supersedes this branch.
+                                    exhausted = !latch.load(Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        WorkerOutcome {
+                            model,
+                            exhausted,
+                            spent: budget_at_fork - local.budget,
+                            stats: local.stats,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("solver worker panicked"))
+                .collect()
+        });
+
+        let mut model = None;
+        let mut exhausted = false;
+        let mut total_spent: u64 = 0;
+        for outcome in outcomes {
+            state.stats.merge(outcome.stats);
+            total_spent += outcome.spent;
+            exhausted |= outcome.exhausted;
+            if model.is_none() {
+                model = outcome.model;
+            }
+        }
+        state.budget = budget_at_fork.saturating_sub(total_spent);
+        if let Some(found) = model {
+            return Some(Some(found));
+        }
+        if exhausted || total_spent > budget_at_fork {
+            return None;
+        }
+        Some(None)
+    }
+
+    fn enumerate(&self, state: &mut SearchState<'_>) -> Option<Option<Vec<u64>>> {
+        if state.budget == 0 || state.latched() {
             return None;
         }
         state.budget -= 1;
@@ -269,7 +480,7 @@ impl Solver {
         result
     }
 
-    fn enumerate_frame(&self, state: &mut SearchState) -> Option<Option<Vec<u64>>> {
+    fn enumerate_frame(&self, state: &mut SearchState<'_>) -> Option<Option<Vec<u64>>> {
         if !propagate_in_place(&state.atoms, &mut state.domains, &mut state.trail) {
             state.stats.pruned_branches += 1;
             return Some(None);
@@ -627,6 +838,59 @@ mod tests {
         let result = solver().solve(&f, &pool);
         let model = result.model().expect("second disjunct is satisfiable");
         assert!(model[x.0 as usize] <= 3);
+    }
+
+    fn wide_unsat_disjunction(pool: &mut VarPool) -> Formula {
+        // Every disjunct pins x + y to a value below 40, contradicting the
+        // conjoined floor, so all branches must be explored and refuted.
+        let x = pool.fresh_named("x");
+        let y = pool.fresh_named("y");
+        let sum = LinearExpr::var(x).add(&LinearExpr::var(y));
+        let branches: Vec<Formula> = (0..12)
+            .map(|k| Formula::eq(sum.clone(), LinearExpr::constant(k)))
+            .collect();
+        Formula::and(vec![
+            Formula::or(branches),
+            Formula::ge(sum, LinearExpr::constant(40)),
+        ])
+    }
+
+    #[test]
+    fn parallel_search_matches_serial_verdicts_and_exact_stats_on_unsat() {
+        let mut pool = VarPool::new();
+        let f = wide_unsat_disjunction(&mut pool);
+        let serial = solver();
+        let parallel = solver().with_options(SolverOptions::parallel(4).with_parallel_threshold(2));
+        let (sr, ss) = serial.solve_with_stats(&f, &pool);
+        let (pr, ps) = parallel.solve_with_stats(&f, &pool);
+        assert_eq!(sr, SolveResult::Unsat);
+        assert_eq!(pr, sr);
+        // On Unsat the whole branch tree is explored either way, so the
+        // merged worker counters must equal the serial counters exactly.
+        assert_eq!(ps, ss, "merged stats must be exact on Unsat");
+    }
+
+    #[test]
+    fn parallel_search_finds_models_behind_wide_disjunctions() {
+        let mut pool = VarPool::new();
+        let x = pool.fresh_named("x");
+        let branches: Vec<Formula> = (0..16).map(|k| Formula::eq(x, k)).collect();
+        let f = Formula::and(vec![Formula::or(branches), Formula::ge(x, 13)]);
+        for threads in [2usize, 8] {
+            let parallel =
+                solver().with_options(SolverOptions::parallel(threads).with_parallel_threshold(2));
+            let result = parallel.solve(&f, &pool);
+            let model = result.model().expect("satisfiable");
+            assert!(model[0] >= 13, "latched model must satisfy the formula");
+        }
+    }
+
+    #[test]
+    fn solver_options_from_env_shape() {
+        let opts = SolverOptions::parallel(0);
+        assert_eq!(opts.threads, 1, "zero threads degrades to serial");
+        let opts = SolverOptions::parallel(8).with_parallel_threshold(3);
+        assert_eq!((opts.threads, opts.parallel_threshold), (8, 3));
     }
 
     #[test]

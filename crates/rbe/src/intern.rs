@@ -1,0 +1,159 @@
+//! Concurrent, append-only symbol interning.
+//!
+//! [`SymbolTable`] maps symbols of an arbitrary `Eq + Hash` alphabet to dense
+//! `u32` [`SymbolId`]s. Interning is read-optimised: lookups take a shared
+//! lock, and only the first sighting of a symbol takes the write lock. Ids are
+//! stable for the lifetime of the table and never reused, so they can serve as
+//! compact memo keys shared across many consumers of the same alphabet — e.g.
+//! a containment session interning the RBE₀ atoms of every registered schema
+//! once instead of once per schema.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::{Arc, RwLock};
+
+/// Dense identifier of an interned symbol. Ids are assigned in first-seen
+/// order starting at `0` and are unique within their [`SymbolTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(u32);
+
+impl SymbolId {
+    /// The id as a dense index into `0..table.len()`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct TableInner<S> {
+    ids: HashMap<Arc<S>, u32>,
+    symbols: Vec<Arc<S>>,
+}
+
+/// A thread-safe interner from symbols to dense [`SymbolId`]s.
+///
+/// Symbols are stored once behind an `Arc`; both the id map and the reverse
+/// table share the same allocation. The table only grows — there is no
+/// removal — which is what makes handing out raw `u32` keys sound.
+#[derive(Debug)]
+pub struct SymbolTable<S> {
+    inner: RwLock<TableInner<S>>,
+}
+
+impl<S> Default for SymbolTable<S> {
+    fn default() -> Self {
+        SymbolTable {
+            inner: RwLock::new(TableInner {
+                ids: HashMap::new(),
+                symbols: Vec::new(),
+            }),
+        }
+    }
+}
+
+impl<S: Eq + Hash> SymbolTable<S> {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Look up the id of `symbol` without interning it.
+    pub fn get(&self, symbol: &S) -> Option<SymbolId> {
+        let inner = self.inner.read().expect("symbol table poisoned");
+        inner.ids.get(symbol).copied().map(SymbolId)
+    }
+
+    /// Intern `symbol`, returning its stable id. The symbol is cloned only on
+    /// first sighting.
+    pub fn intern(&self, symbol: &S) -> SymbolId
+    where
+        S: Clone,
+    {
+        if let Some(id) = self.get(symbol) {
+            return id;
+        }
+        let mut inner = self.inner.write().expect("symbol table poisoned");
+        if let Some(&id) = inner.ids.get(symbol) {
+            return SymbolId(id);
+        }
+        let id = u32::try_from(inner.symbols.len()).expect("symbol table overflow");
+        let stored = Arc::new(symbol.clone());
+        inner.symbols.push(Arc::clone(&stored));
+        inner.ids.insert(stored, id);
+        SymbolId(id)
+    }
+
+    /// Resolve an id back to its symbol. Panics if `id` did not come from this
+    /// table.
+    pub fn resolve(&self, id: SymbolId) -> Arc<S> {
+        let inner = self.inner.read().expect("symbol table poisoned");
+        Arc::clone(&inner.symbols[id.index()])
+    }
+
+    /// Number of distinct symbols interned so far.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .expect("symbol table poisoned")
+            .symbols
+            .len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let table: SymbolTable<String> = SymbolTable::new();
+        let a = table.intern(&"a".to_string());
+        let b = table.intern(&"b".to_string());
+        let a2 = table.intern(&"a".to_string());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(table.len(), 2);
+        assert_eq!(*table.resolve(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let table: SymbolTable<u64> = SymbolTable::new();
+        assert_eq!(table.get(&7), None);
+        let id = table.intern(&7);
+        assert_eq!(table.get(&7), Some(id));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let table: Arc<SymbolTable<u32>> = Arc::new(SymbolTable::new());
+        let ids: Vec<Vec<SymbolId>> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let table = Arc::clone(&table);
+                    scope.spawn(move || (0..64u32).map(|s| table.intern(&s)).collect())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for worker in &ids[1..] {
+            assert_eq!(worker, &ids[0]);
+        }
+        assert_eq!(table.len(), 64);
+    }
+}

@@ -59,6 +59,16 @@ impl fmt::Display for Atom {
 /// A shape expression: a regular bag expression over `Σ × Γ`.
 pub type ShapeExpr = Rbe<Atom>;
 
+/// A session-level interner over the composite alphabet `Σ × Γ`.
+///
+/// A containment session registers many schemas whose definitions draw on the
+/// same atoms; interning them once in a shared table gives every schema's
+/// memo structures compact `u32` [`AtomId`] keys that agree across schemas.
+pub type AtomTable = shapex_rbe::SymbolTable<Atom>;
+
+/// Dense id of an atom interned in an [`AtomTable`].
+pub type AtomId = shapex_rbe::SymbolId;
+
 #[derive(Debug, Clone)]
 struct TypeDef {
     name: String,

@@ -19,10 +19,11 @@
 //!   are binary-encoded (Proposition 6.2, NP).
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use shapex_graph::{Graph, Label, NodeId};
 use shapex_presburger::formula::{Formula, LinearExpr, VarPool};
-use shapex_presburger::solver::{Bounds, SolveResult, Solver};
+use shapex_presburger::solver::{Bounds, SolveResult, Solver, SolverOptions, SolverStats};
 use shapex_presburger::translate::{max_interval_constant, ParikhVec, PsiBuilder};
 use shapex_rbe::{FlowScratch, Interval, Rbe, Rbe0};
 
@@ -110,6 +111,51 @@ impl Typing {
     /// Whether the typing is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Shared, thread-safe accumulator of Presburger solver work.
+///
+/// Satisfaction checks that fall through to the Presburger encoding report
+/// their [`SolverStats`] here instead of dropping them on the floor; the
+/// containment engine of `shapex-core` threads one telemetry through every
+/// query and surfaces the cumulative counters in its `EngineStats`.
+#[derive(Debug, Default)]
+pub struct SolverTelemetry {
+    /// Cumulative search nodes across every solver call.
+    pub search_nodes: AtomicU64,
+    /// Cumulative propagation-pruned branches across every solver call.
+    pub pruned_branches: AtomicU64,
+    /// Number of solver invocations recorded.
+    pub solver_calls: AtomicU64,
+}
+
+impl SolverTelemetry {
+    /// A telemetry with zeroed counters.
+    pub fn new() -> SolverTelemetry {
+        SolverTelemetry::default()
+    }
+
+    /// Fold one query's counters into the running totals.
+    pub fn record(&self, stats: SolverStats) {
+        self.search_nodes
+            .fetch_add(stats.search_nodes, Ordering::Relaxed);
+        self.pruned_branches
+            .fetch_add(stats.pruned_branches, Ordering::Relaxed);
+        self.solver_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The running totals as a plain [`SolverStats`] value.
+    pub fn snapshot(&self) -> SolverStats {
+        SolverStats {
+            search_nodes: self.search_nodes.load(Ordering::Relaxed),
+            pruned_branches: self.pruned_branches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of solver invocations recorded so far.
+    pub fn calls(&self) -> u64 {
+        self.solver_calls.load(Ordering::Relaxed)
     }
 }
 
@@ -310,6 +356,19 @@ pub fn node_satisfies(
 /// procedures of `shapex-core` (where the "candidate types" come from node
 /// kinds rather than a typing).
 pub fn neighbourhood_satisfies(edges: &[EdgeSummary], def: &Rbe<Atom>) -> bool {
+    neighbourhood_satisfies_with(edges, def, SolverOptions::default(), None)
+}
+
+/// [`neighbourhood_satisfies`] with explicit [`SolverOptions`] for the
+/// Presburger fallback and an optional [`SolverTelemetry`] that accumulates
+/// the solver counters (the RBE₀ flow fast path records nothing — it never
+/// enters the solver).
+pub fn neighbourhood_satisfies_with(
+    edges: &[EdgeSummary],
+    def: &Rbe<Atom>,
+    options: SolverOptions,
+    telemetry: Option<&SolverTelemetry>,
+) -> bool {
     // An edge whose target has no candidate type can never be matched: the
     // signature's inner disjunction is empty, so the whole language is empty.
     if edges.iter().any(|e| e.target_types.is_empty()) {
@@ -337,10 +396,15 @@ pub fn neighbourhood_satisfies(edges: &[EdgeSummary], def: &Rbe<Atom>) -> bool {
     }
     // General path: Presburger encoding of the partition of edge copies into
     // types, fed to ψ_def (the formulas φ_t of Section 6 with x̄ fixed).
-    satisfies_via_presburger(edges, def)
+    satisfies_via_presburger(edges, def, options, telemetry)
 }
 
-fn satisfies_via_presburger(edges: &[EdgeSummary], def: &Rbe<Atom>) -> bool {
+fn satisfies_via_presburger(
+    edges: &[EdgeSummary],
+    def: &Rbe<Atom>,
+    options: SolverOptions,
+    telemetry: Option<&SolverTelemetry>,
+) -> bool {
     let mut pool = VarPool::new();
     let total: u64 = edges.iter().map(|e| e.multiplicity).sum();
     let bound = total + max_interval_constant(def) + 1;
@@ -378,7 +442,12 @@ fn satisfies_via_presburger(edges: &[EdgeSummary], def: &Rbe<Atom>) -> bool {
     let psi = PsiBuilder::new(&mut pool, bound).psi(def, &contributions, &LinearExpr::constant(1));
     conjuncts.push(psi);
     let formula = Formula::and(conjuncts);
-    match Solver::new(Bounds::uniform(bound)).solve(&formula, &pool) {
+    let solver = Solver::new(Bounds::uniform(bound)).with_options(options);
+    let (result, stats) = solver.solve_with_stats(&formula, &pool);
+    if let Some(telemetry) = telemetry {
+        telemetry.record(stats);
+    }
+    match result {
         SolveResult::Sat(_) => true,
         SolveResult::Unsat => false,
         SolveResult::Unknown => panic!("Presburger budget exhausted during validation"),
