@@ -31,9 +31,10 @@ use shapex_core::unfold::SearchOptions;
 use shapex_gadgets::disjuncts::{disjunct_choice_pair, disjunct_mismatch_pair};
 use shapex_gadgets::generate::random_dnf;
 use shapex_gadgets::reductions::{dnf_tautology_gadget, exponential_family};
+use shapex_graph::{Graph, GraphDelta, NTriplesParser, Triple};
 use shapex_presburger::{Bounds, Formula, LinearExpr, SolveResult, Solver, SolverOptions, VarPool};
 use shapex_shex::parse_schema;
-use shapex_shex::Schema;
+use shapex_shex::{maximal_typing, IncrementalTyping, Schema};
 
 /// One named measurement: per-run statistics in nanoseconds.
 struct BenchRecord {
@@ -486,12 +487,111 @@ fn main() {
         );
     }
 
+    // --- Streaming ingestion: O(graph) memory, one pass over the bytes -----
+    println!("\n[stream] push-based N-Triples ingestion (parse -> delta -> apply per chunk)");
+    const STREAM_TRIPLES: usize = 100_000;
+    let mut document = String::new();
+    for i in 0..STREAM_TRIPLES {
+        document.push_str(&format!("<s{}> <p{}> <o{i}> .\n", i % 1_000, i % 5));
+    }
+    let (streamed_nodes, stream_time) = recorder.measure("stream_ingest/triples=100k", 3, || {
+        let mut parser = NTriplesParser::new();
+        let mut graph = Graph::new();
+        for chunk in document.as_bytes().chunks(64 * 1024) {
+            let mut delta = GraphDelta::new();
+            parser
+                .feed(chunk, |t: Triple<'_>| {
+                    delta.add_triple(t.subject, t.predicate, t.object)
+                })
+                .expect("generated N-Triples parse");
+            graph.apply_delta(&delta);
+        }
+        parser
+            .finish(|_| {})
+            .expect("document ends on a line boundary");
+        graph.node_count()
+    });
+    assert_eq!(streamed_nodes, 1_000 + STREAM_TRIPLES, "subjects + objects");
+    println!(
+        "{:>10} triples  {:>10} nodes  {:>12.2?}  ({:.1} Mtriples/s)",
+        STREAM_TRIPLES,
+        streamed_nodes,
+        stream_time,
+        STREAM_TRIPLES as f64 / stream_time.as_secs_f64().max(f64::EPSILON) / 1e6
+    );
+
+    // --- Incremental revalidation: repair cost is O(edits), not O(graph) ----
+    println!("\n[stream] incremental revalidation of an evolving 30k-node graph");
+    const USERS: usize = 10_000;
+    let user_schema =
+        parse_schema("User -> name::Literal, email::Literal\nLiteral -> EMPTY\n").unwrap();
+    let mut evolving = Graph::new();
+    let mut seed = GraphDelta::new();
+    for i in 0..USERS {
+        seed.add_edge(format!("u{i}"), "name", format!("\"name{i}\""));
+        seed.add_edge(format!("u{i}"), "email", format!("\"email{i}\""));
+    }
+    evolving.apply_delta(&seed);
+    assert!(evolving.node_count() >= 10_000);
+    let (scratch_total, full_time) =
+        recorder.measure("incremental_revalidate/full_typing", 3, || {
+            maximal_typing(&evolving, &user_schema).is_total()
+        });
+    assert!(scratch_total, "the seeded user graph validates");
+    println!(
+        "{:>10} {:>12} {:>14} {:>12}  (vs. from-scratch typing)",
+        "edits", "affected", "time", "speedup"
+    );
+    println!(
+        "{:>10} {:>12} {:>14.2?} {:>11}×",
+        "scratch",
+        evolving.node_count(),
+        full_time,
+        "1.0"
+    );
+    let mut typing = IncrementalTyping::new(&evolving, &user_schema);
+    for &edits in &[1usize, 16, 256] {
+        // Toggle `edits` email edges off and back on, repairing the retained
+        // typing from the dirty sets after each half — state-restoring, so
+        // every run sees the identical workload.
+        let (affected, elapsed) =
+            recorder.measure(&format!("incremental_revalidate/edits={edits}"), 3, || {
+                let mut remove = GraphDelta::new();
+                for e in 0..edits {
+                    remove.remove_edge(format!("u{e}"), "email", format!("\"email{e}\""));
+                }
+                let report = evolving.apply_delta(&remove);
+                let mut affected = typing.apply(&evolving, &user_schema, &report.dirty);
+                let mut add = GraphDelta::new();
+                for e in 0..edits {
+                    add.add_edge(format!("u{e}"), "email", format!("\"email{e}\""));
+                }
+                let report = evolving.apply_delta(&add);
+                affected += typing.apply(&evolving, &user_schema, &report.dirty);
+                affected
+            });
+        println!(
+            "{:>10} {:>12} {:>14.2?} {:>11.1}×",
+            edits,
+            affected,
+            elapsed,
+            full_time.as_secs_f64() / elapsed.as_secs_f64().max(f64::EPSILON)
+        );
+    }
+    assert_eq!(
+        typing.typing(),
+        &maximal_typing(&evolving, &user_schema),
+        "incremental repair must equal the from-scratch typing"
+    );
+
     println!(
         "\nReading: the DetShEx0- column scales smoothly (polynomial), while the\n\
          gadget-driven ShEx0 and ShEx workloads blow up quickly or require the\n\
          budgeted procedures to give up — matching the paper's separation. The\n\
          batch rows show the ContainmentEngine session amortizing per-schema\n\
-         artefacts (pools, shape graphs, verdicts) across the whole matrix."
+         artefacts (pools, shape graphs, verdicts) across the whole matrix, and\n\
+         the stream rows show ingestion staying one-pass while the incremental\n\
+         revalidator repairs an edit in a sliver of the from-scratch fixpoint."
     );
 
     let json_path =

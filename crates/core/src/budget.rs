@@ -47,16 +47,21 @@ pub enum CacheKind {
     /// The per-schema unfolding sessions (tree arenas + built graphs);
     /// reclaimed wholesale when a schema's pools have all been evicted.
     Unfolder,
-    /// One-shot caches and registered schemas: counted, never evicted.
+    /// The session-wide candidate-bag enumerations shared across schemas
+    /// (the [`crate::unfold::SharedBagCache`]).
+    Bags,
+    /// One-shot caches, registered schemas, and the session atom table:
+    /// counted, never evicted.
     Pinned,
 }
 
 /// The evictable categories, in stats-reporting order.
-const EVICTABLE: [CacheKind; 4] = [
+const EVICTABLE: [CacheKind; 5] = [
     CacheKind::Pools,
     CacheKind::Validate,
     CacheKind::Pairs,
     CacheKind::Unfolder,
+    CacheKind::Bags,
 ];
 
 impl CacheKind {
@@ -66,7 +71,8 @@ impl CacheKind {
             CacheKind::Validate => 1,
             CacheKind::Pairs => 2,
             CacheKind::Unfolder => 3,
-            CacheKind::Pinned => 4,
+            CacheKind::Bags => 4,
+            CacheKind::Pinned => 5,
         }
     }
 }
@@ -109,7 +115,7 @@ pub struct CacheBudget {
     /// compared only for ordering, so relaxed increments are enough.
     clock: AtomicU64,
     /// Resident accounted bytes per [`CacheKind`] (last slot = pinned).
-    resident: [AtomicU64; 5],
+    resident: [AtomicU64; 6],
     /// Entries evicted over the engine's lifetime.
     evictions: AtomicU64,
     /// Accounted bytes freed by eviction over the engine's lifetime.
@@ -227,6 +233,8 @@ mod tests {
         assert_eq!(budget.evictable(), 60);
         assert!(!budget.over_budget());
         assert_eq!(budget.resident(CacheKind::Pinned), 1_000);
+        budget.charge(CacheKind::Bags, 30);
+        assert_eq!(budget.evictable(), 90, "bag-cache bytes are evictable");
     }
 
     #[test]

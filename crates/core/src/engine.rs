@@ -373,10 +373,18 @@ pub struct EngineStats {
     pub pair_bytes: u64,
     /// Accounted bytes resident in the per-schema unfolding arenas.
     pub unfolder_bytes: u64,
+    /// Accounted bytes resident in the session-wide shared candidate-bag
+    /// cache.
+    pub bag_bytes: u64,
     /// Accounted bytes in the pinned (counted, never evicted) caches:
     /// registered schemas, characterizing graphs, sampled pools, bag
-    /// enumerations.
+    /// enumerations, and the session atom table.
     pub pinned_bytes: u64,
+    /// Accounted bytes of the session-wide atom table — a subset of
+    /// `pinned_bytes`, broken out because it is the one pinned cache that
+    /// grows with the *union* of registered alphabets rather than with any
+    /// single schema.
+    pub atom_bytes: u64,
     /// Cache entries dropped by eviction sweeps.
     pub evictions: u64,
     /// Accounted bytes freed by eviction sweeps.
@@ -396,7 +404,11 @@ impl EngineStats {
     /// Total accounted bytes in the evictable caches — the quantity the
     /// budget bounds.
     pub fn evictable_bytes(&self) -> u64 {
-        self.pool_bytes + self.validate_bytes + self.pair_bytes + self.unfolder_bytes
+        self.pool_bytes
+            + self.validate_bytes
+            + self.pair_bytes
+            + self.unfolder_bytes
+            + self.bag_bytes
     }
 
     /// Total accounted bytes resident, evictable and pinned.
@@ -435,14 +447,16 @@ impl fmt::Display for EngineStats {
         )?;
         write!(
             f,
-            "; resident {} B evictable (pools {}, validate {}, pairs {}, unfolder {}) \
-             + {} B pinned; budget {}; {} evictions freed {} B in {} sweeps",
+            "; resident {} B evictable (pools {}, validate {}, pairs {}, unfolder {}, bags {}) \
+             + {} B pinned ({} B atoms); budget {}; {} evictions freed {} B in {} sweeps",
             self.evictable_bytes(),
             self.pool_bytes,
             self.validate_bytes,
             self.pair_bytes,
             self.unfolder_bytes,
+            self.bag_bytes,
             self.pinned_bytes,
+            self.atom_bytes,
             match self.cache_budget {
                 Some(limit) => format!("{limit} B"),
                 None => "unbounded".to_string(),
@@ -496,7 +510,9 @@ impl EngineCounters {
             validate_bytes: budget.resident(CacheKind::Validate),
             pair_bytes: budget.resident(CacheKind::Pairs),
             unfolder_bytes: budget.resident(CacheKind::Unfolder),
+            bag_bytes: budget.resident(CacheKind::Bags),
             pinned_bytes: budget.resident(CacheKind::Pinned),
+            atom_bytes: 0,
             evictions: budget.evictions(),
             evicted_bytes: budget.evicted_bytes(),
             sweeps: budget.sweeps(),
@@ -629,6 +645,29 @@ impl ValidateMemo {
             stamp: AtomicU64::new(budget.touch()),
         });
         budget.charge(CacheKind::Validate, bytes);
+    }
+
+    /// Drop every record whose key matches `graph`'s structure, crediting
+    /// the ledger; returns the bytes freed. The targeted-invalidation path
+    /// for evolving graphs — one candidate leaves, the rest stay warm.
+    fn remove(&mut self, hash: u64, graph: &Graph, budget: &CacheBudget) -> u64 {
+        let Some(bucket) = self.buckets.get_mut(&hash) else {
+            return 0;
+        };
+        let mut freed = 0u64;
+        bucket.retain(|record| {
+            if record.key.matches(graph) {
+                freed += record.bytes;
+                false
+            } else {
+                true
+            }
+        });
+        if bucket.is_empty() {
+            self.buckets.remove(&hash);
+        }
+        budget.credit(CacheKind::Validate, freed);
+        freed
     }
 }
 
@@ -802,8 +841,13 @@ pub struct ContainmentEngine {
     sufficient_memo: ShardedPairMap,
     counters: EngineCounters,
     /// The accounted-byte ledger and eviction bookkeeping behind
-    /// [`EngineOptions::cache_budget`].
-    budget: CacheBudget,
+    /// [`EngineOptions::cache_budget`] — `Arc`ed because the session context
+    /// (and through it every unfolder's shared bag cache) charges the same
+    /// ledger.
+    budget: Arc<CacheBudget>,
+    /// The atom-table bytes last charged to [`CacheKind::Pinned`]; the
+    /// delta-accounting swap point for [`ContainmentEngine::sync_atom_bytes`].
+    atom_bytes: AtomicU64,
     /// Cross-schema session state: the shared atom table, the candidate-bag
     /// cache, the solver configuration, and the solver telemetry. Cloned
     /// into every schema entry's unfolder (and restored on eviction
@@ -826,10 +870,11 @@ impl ContainmentEngine {
 
     /// An engine with the given options.
     pub fn with_options(options: EngineOptions) -> ContainmentEngine {
-        let budget = CacheBudget::new(options.cache_budget);
+        let budget = Arc::new(CacheBudget::new(options.cache_budget));
         let session = SessionContext {
             solver: options.solver,
             telemetry: Some(Arc::new(SolverTelemetry::new())),
+            budget: Some(Arc::clone(&budget)),
             ..SessionContext::default()
         };
         ContainmentEngine {
@@ -840,6 +885,7 @@ impl ContainmentEngine {
             sufficient_memo: ShardedPairMap::new(),
             counters: EngineCounters::default(),
             budget,
+            atom_bytes: AtomicU64::new(0),
             session,
         }
     }
@@ -860,6 +906,7 @@ impl ContainmentEngine {
     pub fn stats(&self) -> EngineStats {
         let schemas = self.registry.read().expect("registry lock").schemas.len();
         let mut stats = self.counters.snapshot(schemas, &self.budget);
+        stats.atom_bytes = self.session.atoms.approx_heap_bytes() as u64;
         if let Some(telemetry) = &self.session.telemetry {
             let solver = telemetry.snapshot();
             stats.solver_calls = telemetry.calls();
@@ -934,6 +981,7 @@ impl ContainmentEngine {
                 self.session.atoms.intern(&atom);
             }
         }
+        self.sync_atom_bytes();
         let entry = Arc::new(SchemaEntry {
             schema: Arc::new(owned),
             class,
@@ -1573,6 +1621,69 @@ impl ContainmentEngine {
         }
     }
 
+    /// Targeted invalidation for evolving graphs: drop the memoised
+    /// `validates(graph, ·)` verdicts for this exact candidate structure
+    /// from every registered schema's memo, crediting the ledger. Verdicts
+    /// for other candidates — and every other cache — are untouched, which
+    /// is the point: a delta that perturbs one graph should not cost the
+    /// session its warm state for every other graph. Returns the accounted
+    /// bytes freed.
+    pub fn invalidate_candidate(&self, graph: &Graph) -> u64 {
+        let entries: Vec<Arc<SchemaEntry>> = {
+            let registry = self.registry.read().expect("registry lock");
+            registry.schemas.clone()
+        };
+        let hash = candidate_hash(graph);
+        let mut freed = 0u64;
+        for entry in &entries {
+            let mut memo = entry.validate_memo.write().expect("validate memo lock");
+            freed += memo.remove(hash, graph, &self.budget);
+        }
+        freed
+    }
+
+    /// Targeted invalidation of one schema's unfolding state: drain its
+    /// enumerated pools and reset its unfolder session, crediting the
+    /// ledger, while every other schema's caches stay warm. The pools are
+    /// pure memos (they rebuild deterministically), so this is a cost knob,
+    /// not a correctness one. Returns the accounted bytes freed; unknown
+    /// handles free nothing.
+    pub fn invalidate_pools(&self, id: SchemaId) -> u64 {
+        if !self.is_registered(id) {
+            return 0;
+        }
+        let entry = self.entry(id);
+        let mut freed = 0u64;
+        {
+            let mut pools = entry.enumerated.write().expect("pool lock");
+            for (_, slot) in std::mem::take(&mut *pools) {
+                freed += slot.bytes;
+                self.budget.credit(CacheKind::Pools, slot.bytes);
+            }
+        }
+        {
+            let mut unfolder = entry.unfolder.lock().expect("unfolder lock");
+            let before = entry.unfolder_bytes.swap(0, Ordering::Relaxed);
+            if before > 0 {
+                *unfolder = Unfolder::with_context(self.session.clone());
+                self.budget.credit(CacheKind::Unfolder, before);
+                freed += before;
+            }
+        }
+        freed
+    }
+
+    /// Re-measure the session atom table and charge the pinned-ledger delta.
+    /// The table only grows, so the delta is always a charge; the swap makes
+    /// racing registrations each charge exactly their own growth.
+    fn sync_atom_bytes(&self) {
+        let now = self.session.atoms.approx_heap_bytes() as u64;
+        let before = self.atom_bytes.swap(now, Ordering::Relaxed);
+        if now > before {
+            self.budget.charge(CacheKind::Pinned, now - before);
+        }
+    }
+
     /// Enforce the cache budget: when the evictable total exceeds the
     /// limit, run epoch-LRU sweeps until it is back under (targeting half
     /// the limit, so queries do not re-trigger a sweep immediately), with a
@@ -1640,6 +1751,7 @@ impl ContainmentEngine {
                 }
             }
         }
+        self.session.bags.collect_stamps(&mut stamped);
         stamped.sort_unstable();
         let low_water = limit / 2;
         let mut need = self.budget.evictable().saturating_sub(low_water);
@@ -1720,6 +1832,17 @@ impl ContainmentEngine {
                 });
             }
         }
+        {
+            // Shared bag enumerations are pure memos too: per-unfolder
+            // adopters hold their own `Arc`s, so dropping the shared entry
+            // only costs the next cold unfolder a re-enumeration.
+            let (entries, bytes) = self.session.bags.evict_older_than(cutoff);
+            if entries > 0 {
+                self.budget.credit(CacheKind::Bags, bytes);
+                evicted += entries;
+                freed += bytes;
+            }
+        }
         self.budget.record_sweep(evicted, freed);
     }
 
@@ -1773,6 +1896,12 @@ impl ContainmentEngine {
                 self.budget
                     .credit(CacheKind::Pairs, drained.len() as u64 * PAIR_ENTRY_BYTES);
             }
+        }
+        {
+            let (entries, bytes) = self.session.bags.clear();
+            self.budget.credit(CacheKind::Bags, bytes);
+            evicted += entries;
+            freed += bytes;
         }
         self.budget.record_sweep(evicted, freed);
     }
@@ -2077,6 +2206,92 @@ mod tests {
         assert!(stats.sweeps > 0);
         assert!(stats.pinned_bytes > 0, "registered schemas are counted");
         assert_eq!(unbounded.stats().evictions, 0, "unbounded never evicts");
+    }
+
+    #[test]
+    fn invalidate_candidate_drops_one_structure_and_balances_the_ledger() {
+        let engine = quick_engine();
+        let schema = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
+        let id = engine.register(&schema);
+        let entry = engine.entry(id);
+        let member = shapex_graph::parse_graph("a -p-> b\n").unwrap();
+        let other = shapex_graph::parse_graph("a -p-> b\nb -p-> c\n").unwrap();
+        {
+            let mut memo = entry.validate_memo.write().unwrap();
+            memo.insert(candidate_hash(&member), &member, true, &engine.budget);
+            memo.insert(candidate_hash(&other), &other, false, &engine.budget);
+        }
+        let before = engine.stats().validate_bytes;
+        assert!(before > 0);
+        let absent = shapex_graph::parse_graph("x -q-> y\n").unwrap();
+        assert_eq!(
+            engine.invalidate_candidate(&absent),
+            0,
+            "absent structures free nothing"
+        );
+        assert_eq!(engine.stats().validate_bytes, before);
+        let freed = engine.invalidate_candidate(&member);
+        assert!(freed > 0);
+        assert_eq!(
+            engine.stats().validate_bytes,
+            before - freed,
+            "the ledger credits exactly the freed record"
+        );
+        let memo = entry.validate_memo.read().unwrap();
+        assert!(
+            memo.get(candidate_hash(&other), &other, &engine.budget)
+                .is_some(),
+            "the unrelated candidate's verdict stays warm"
+        );
+        assert!(memo
+            .get(candidate_hash(&member), &member, &engine.budget)
+            .is_none());
+    }
+
+    #[test]
+    fn invalidate_pools_drains_one_schema_and_leaves_neighbours_warm() {
+        let engine = quick_engine();
+        let h = parse_schema("T -> p::L*\nL -> EMPTY\n").unwrap();
+        let k = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
+        // Warm both directions so both entries hold enumerated pools.
+        engine.check(&h, &k);
+        engine.check(&k, &h);
+        let ih = engine.register(&h);
+        let ik = engine.register(&k);
+        let pool_bytes_of = |id: SchemaId| -> u64 {
+            engine
+                .entry(id)
+                .enumerated
+                .read()
+                .unwrap()
+                .values()
+                .map(|slot| slot.bytes)
+                .sum()
+        };
+        let before = engine.stats();
+        let h_pools = pool_bytes_of(ih);
+        let k_pools = pool_bytes_of(ik);
+        let h_unfolder = engine.entry(ih).unfolder_bytes.load(Ordering::Relaxed);
+        assert!(h_pools + h_unfolder > 0, "warm-up must build h's pools");
+        let freed = engine.invalidate_pools(ih);
+        assert_eq!(freed, h_pools + h_unfolder);
+        let after = engine.stats();
+        assert_eq!(after.pool_bytes, before.pool_bytes - h_pools);
+        assert_eq!(after.unfolder_bytes, before.unfolder_bytes - h_unfolder);
+        assert!(engine.entry(ih).enumerated.read().unwrap().is_empty());
+        assert_eq!(pool_bytes_of(ik), k_pools, "neighbour pools are untouched");
+        assert_eq!(
+            after.validate_bytes, before.validate_bytes,
+            "validation memos are not this knob's business"
+        );
+        assert_eq!(
+            engine.invalidate_pools(SchemaId::from_index(999)),
+            0,
+            "unknown handles free nothing"
+        );
+        // The drained caches rebuild transparently: verdicts are unchanged.
+        let again = engine.check(&h, &k);
+        assert_eq!(format!("{again}"), format!("{}", engine.check(&h, &k)));
     }
 
     #[test]

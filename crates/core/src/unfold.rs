@@ -35,6 +35,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use rand::prelude::*;
@@ -45,6 +46,8 @@ use shapex_presburger::SolverOptions;
 use shapex_rbe::{Bag, Interval, Rbe};
 use shapex_shex::typing::{neighbourhood_satisfies_with, validates, EdgeSummary, SolverTelemetry};
 use shapex_shex::{Atom, AtomId, AtomTable, Schema, TypeId};
+
+use crate::budget::{CacheBudget, CacheKind};
 
 /// Budget knobs for unfolding-based searches.
 #[derive(Debug, Clone)]
@@ -113,6 +116,11 @@ pub struct SessionContext {
     pub solver: SolverOptions,
     /// Cumulative solver counters (engine-owned; `None` drops the stats).
     pub telemetry: Option<Arc<SolverTelemetry>>,
+    /// The engine's cache ledger, when the session runs under one: bag-cache
+    /// inserts charge [`CacheKind::Bags`] and hits refresh LRU stamps, so
+    /// the shared enumerations participate in eviction sweeps. `None` (the
+    /// default, and every standalone `Unfolder`) accounts nothing.
+    pub budget: Option<Arc<CacheBudget>>,
 }
 
 /// A concurrent cache of candidate-bag enumerations keyed by the defining
@@ -125,27 +133,76 @@ pub struct SessionContext {
 #[derive(Debug, Default)]
 pub struct SharedBagCache {
     buckets: RwLock<HashMap<u64, Vec<BagEntry>>>,
+    /// Accounted resident bytes across all entries (estimate; see
+    /// [`bag_entry_weight`]), so readers never take the bucket lock.
+    resident: AtomicU64,
 }
 
 /// One verified cache entry: the defining expression, the bag cap it was
-/// enumerated under, and the shared enumeration.
-type BagEntry = (Rbe<Atom>, usize, Arc<Vec<Bag<Atom>>>);
+/// enumerated under, the shared enumeration, and the eviction accounting —
+/// the bytes charged at insertion and the LRU stamp refreshed on every hit.
+#[derive(Debug)]
+struct BagEntry {
+    expr: Rbe<Atom>,
+    cap: usize,
+    bags: Arc<Vec<Bag<Atom>>>,
+    bytes: u64,
+    stamp: AtomicU64,
+}
+
+/// The accounted weight of one cached enumeration: the entry shell, a
+/// hash-bucket allowance, a flat allowance for the key expression, and each
+/// bag's count map. `Arc`-shared with every per-unfolder memo that adopted
+/// the enumeration, so the total over-counts shared allocations — like every
+/// weight the ledger bounds, a conservative upper estimate.
+fn bag_entry_weight(bags: &[Bag<Atom>]) -> u64 {
+    use std::mem::size_of;
+    let per_bag: usize = bags
+        .iter()
+        .map(|bag| size_of::<Bag<Atom>>() + bag.distinct() * (size_of::<(Atom, u64)>() + 32))
+        .sum();
+    (size_of::<BagEntry>() + 48 + 64 + per_bag) as u64
+}
 
 impl SharedBagCache {
-    fn get(&self, expr: &Rbe<Atom>, cap: usize) -> Option<Arc<Vec<Bag<Atom>>>> {
+    fn get(
+        &self,
+        expr: &Rbe<Atom>,
+        cap: usize,
+        budget: Option<&CacheBudget>,
+    ) -> Option<Arc<Vec<Bag<Atom>>>> {
         let buckets = self.buckets.read().expect("bag cache poisoned");
         let bucket = buckets.get(&hash_of((expr, cap)))?;
-        bucket
-            .iter()
-            .find(|(e, c, _)| *c == cap && e == expr)
-            .map(|(_, _, bags)| Arc::clone(bags))
+        let entry = bucket.iter().find(|e| e.cap == cap && e.expr == *expr)?;
+        if let Some(budget) = budget {
+            entry.stamp.store(budget.touch(), Ordering::Relaxed);
+        }
+        Some(Arc::clone(&entry.bags))
     }
 
-    fn insert(&self, expr: &Rbe<Atom>, cap: usize, bags: Arc<Vec<Bag<Atom>>>) {
+    fn insert(
+        &self,
+        expr: &Rbe<Atom>,
+        cap: usize,
+        bags: Arc<Vec<Bag<Atom>>>,
+        budget: Option<&CacheBudget>,
+    ) {
         let mut buckets = self.buckets.write().expect("bag cache poisoned");
         let bucket = buckets.entry(hash_of((expr, cap))).or_default();
-        if !bucket.iter().any(|(e, c, _)| *c == cap && e == expr) {
-            bucket.push((expr.clone(), cap, bags));
+        if bucket.iter().any(|e| e.cap == cap && e.expr == *expr) {
+            return; // a racing enumerator won; keep its accounting
+        }
+        let bytes = bag_entry_weight(&bags);
+        bucket.push(BagEntry {
+            expr: expr.clone(),
+            cap,
+            bags,
+            bytes,
+            stamp: AtomicU64::new(budget.map(CacheBudget::touch).unwrap_or(0)),
+        });
+        self.resident.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(budget) = budget {
+            budget.charge(CacheKind::Bags, bytes);
         }
     }
 
@@ -158,6 +215,53 @@ impl SharedBagCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Accounted resident bytes across all cached enumerations.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Append every entry's `(LRU stamp, accounted bytes)` pair to `out` —
+    /// the engine's epoch sweep collects these next to the pool and memo
+    /// stamps to pick one global cutoff.
+    pub(crate) fn collect_stamps(&self, out: &mut Vec<(u64, u64)>) {
+        let buckets = self.buckets.read().expect("bag cache poisoned");
+        for bucket in buckets.values() {
+            for entry in bucket {
+                out.push((entry.stamp.load(Ordering::Relaxed), entry.bytes));
+            }
+        }
+    }
+
+    /// Drop every entry whose stamp is at or below `cutoff` (0 drops
+    /// entries never stamped under a budget), returning `(entries, bytes)`
+    /// removed. The caller credits the ledger.
+    pub(crate) fn evict_older_than(&self, cutoff: u64) -> (u64, u64) {
+        let mut buckets = self.buckets.write().expect("bag cache poisoned");
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        buckets.retain(|_, bucket| {
+            bucket.retain(|entry| {
+                if entry.stamp.load(Ordering::Relaxed) <= cutoff {
+                    entries += 1;
+                    bytes += entry.bytes;
+                    false
+                } else {
+                    true
+                }
+            });
+            !bucket.is_empty()
+        });
+        self.resident.fetch_sub(bytes, Ordering::Relaxed);
+        (entries, bytes)
+    }
+
+    /// Drop every entry, returning `(entries, bytes)` removed — the
+    /// clear-everything fallback of the engine's eviction. The caller
+    /// credits the ledger.
+    pub(crate) fn clear(&self) -> (u64, u64) {
+        self.evict_older_than(u64::MAX)
     }
 }
 
@@ -525,11 +629,18 @@ impl Unfolder {
             return bags.clone();
         }
         let def = schema.def(t);
-        let bags = self.ctx.bags.get(def, options.max_bags).unwrap_or_else(|| {
-            let bags = Arc::new(candidate_bags(def, options));
-            self.ctx.bags.insert(def, options.max_bags, bags.clone());
-            bags
-        });
+        let budget = self.ctx.budget.as_deref();
+        let bags = self
+            .ctx
+            .bags
+            .get(def, options.max_bags, budget)
+            .unwrap_or_else(|| {
+                let bags = Arc::new(candidate_bags(def, options));
+                self.ctx
+                    .bags
+                    .insert(def, options.max_bags, bags.clone(), budget);
+                bags
+            });
         self.bags.insert(t, bags.clone());
         bags
     }

@@ -20,13 +20,31 @@
 
 pub mod generate;
 pub mod model;
+pub mod ntriples;
 pub mod text;
 
 pub use model::{
-    EdgeId, Graph, GraphBuilder, GraphKind, Label, LabelId, LabelTable, NodeId, SharedLabelTable,
-    UnpackError,
+    DeltaReport, EdgeId, Graph, GraphBuilder, GraphDelta, GraphKind, Label, LabelId, LabelTable,
+    NodeId, SharedLabelTable, UnpackError,
 };
+pub use ntriples::{NTriplesError, NTriplesParser, Triple};
 pub use text::{parse_graph, write_graph};
+
+/// Parse a complete N-Triples document into a fresh simple [`Graph`]: every
+/// triple becomes a `subject -predicate-> object` edge with interval `1`
+/// (duplicate triples are kept, like repeated statements in a dump). The
+/// streaming path — [`NTriplesParser`] feeding a [`GraphDelta`] — goes
+/// through exactly the same pipeline; this is the one-shot convenience.
+pub fn graph_from_ntriples(bytes: &[u8]) -> Result<Graph, NTriplesError> {
+    let mut parser = NTriplesParser::new();
+    let mut delta = GraphDelta::new();
+    let mut sink = |t: Triple<'_>| delta.add_triple(t.subject, t.predicate, t.object);
+    parser.feed(bytes, &mut sink)?;
+    parser.finish(&mut sink)?;
+    let mut graph = Graph::new();
+    graph.apply_delta(&delta);
+    Ok(graph)
+}
 
 /// Compile-time assertion that every listed type is [`Send`]` + `[`Sync`].
 ///
@@ -58,6 +76,9 @@ macro_rules! assert_send_sync {
 // exactly this sharing.
 assert_send_sync!(
     Graph,
+    GraphDelta,
+    DeltaReport,
+    NTriplesParser,
     Label,
     LabelId,
     LabelTable,

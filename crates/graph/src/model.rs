@@ -1,7 +1,7 @@
 //! The graph data structure and its subclasses.
 
 use std::borrow::Borrow;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -298,16 +298,31 @@ struct EdgeData {
     occur: Interval,
 }
 
-/// Out- and in-edges of every node grouped by interned label id, rebuilt
-/// lazily after mutations. The layout is a flat CSR: `edges` holds edge ids
-/// sorted by `(node, label id)`, `groups` holds one `(label, start, end)`
-/// range per non-empty `(node, label)` pair, and `node_groups` holds one
-/// `(start, end)` range into `groups` per node.
+/// The per-label grouping of one node's adjacency, used as an overlay patch
+/// on top of the flat CSR after incremental mutations. `groups` ranges index
+/// into the patch's own `edges`.
+#[derive(Debug, Clone, Default)]
+struct NodeGroups {
+    edges: Vec<EdgeId>,
+    groups: Vec<(LabelId, u32, u32)>,
+}
+
+/// Out- and in-edges of every node grouped by interned label id. The base
+/// layout is a flat CSR built in one pass: `edges` holds edge ids sorted by
+/// `(node, label id)`, `groups` holds one `(label, start, end)` range per
+/// non-empty `(node, label)` pair, and `node_groups` holds one
+/// `(start, end)` range into `groups` per node. Mutations after the build do
+/// not discard the CSR: the affected nodes get per-node [`NodeGroups`]
+/// patches in `overlay`, which shadow the base for those nodes (and cover
+/// nodes added after the build, which have no base row at all). When the
+/// overlay would grow past a fraction of the graph the whole cache is
+/// dropped and rebuilt flat on next access.
 #[derive(Debug, Clone, Default)]
 struct GroupedEdges {
     edges: Vec<EdgeId>,
     groups: Vec<(LabelId, u32, u32)>,
     node_groups: Vec<(u32, u32)>,
+    overlay: HashMap<u32, NodeGroups>,
 }
 
 impl GroupedEdges {
@@ -341,26 +356,59 @@ impl GroupedEdges {
             edges,
             groups,
             node_groups,
+            overlay: HashMap::new(),
+        }
+    }
+
+    /// The `(groups, edges)` backing pair for one node: its overlay patch if
+    /// present, its base CSR row if it existed at build time, or empty.
+    fn parts(&self, node: NodeId) -> (&[(LabelId, u32, u32)], &[EdgeId]) {
+        if let Some(patch) = self.overlay.get(&node.0) {
+            (&patch.groups, &patch.edges)
+        } else if node.index() < self.node_groups.len() {
+            let (gs, ge) = self.node_groups[node.index()];
+            (&self.groups[gs as usize..ge as usize], &self.edges)
+        } else {
+            (&[], &[])
         }
     }
 
     fn by_label(&self, node: NodeId, label: LabelId) -> &[EdgeId] {
-        let (gs, ge) = self.node_groups[node.index()];
-        let groups = &self.groups[gs as usize..ge as usize];
+        let (groups, edges) = self.parts(node);
         match groups.binary_search_by_key(&label, |&(l, _, _)| l) {
             Ok(i) => {
                 let (_, s, e) = groups[i];
-                &self.edges[s as usize..e as usize]
+                &edges[s as usize..e as usize]
             }
             Err(_) => &[],
         }
     }
 
     fn node_groups(&self, node: NodeId) -> impl Iterator<Item = (LabelId, &[EdgeId])> + '_ {
-        let (gs, ge) = self.node_groups[node.index()];
-        self.groups[gs as usize..ge as usize]
+        let (groups, edges) = self.parts(node);
+        groups
             .iter()
-            .map(move |&(label, s, e)| (label, &self.edges[s as usize..e as usize]))
+            .map(move |&(label, s, e)| (label, &edges[s as usize..e as usize]))
+    }
+
+    /// Rebuild one node's grouping from its current adjacency list into the
+    /// overlay, shadowing the (now stale) base row.
+    fn patch(&mut self, node: NodeId, adjacency: &[EdgeId], edge_data: &[EdgeData]) {
+        let label_of = |e: EdgeId| edge_data[e.index()].label_id;
+        let patch = self.overlay.entry(node.0).or_default();
+        patch.edges.clear();
+        patch.groups.clear();
+        patch.edges.extend_from_slice(adjacency);
+        patch.edges.sort_by_key(|&e| (label_of(e), e));
+        let mut i = 0;
+        while i < patch.edges.len() {
+            let label = label_of(patch.edges[i]);
+            let start = i as u32;
+            while i < patch.edges.len() && label_of(patch.edges[i]) == label {
+                i += 1;
+            }
+            patch.groups.push((label, start, i as u32));
+        }
     }
 }
 
@@ -496,7 +544,8 @@ impl Graph {
         self.nodes.push(NodeData { name });
         self.out.push(Vec::new());
         self.ins.push(Vec::new());
-        self.grouped.take();
+        // The grouped adjacency cache survives: nodes beyond its build-time
+        // row count read as empty until an edge touches them.
         id
     }
 
@@ -540,7 +589,161 @@ impl Graph {
         });
         self.out[source.index()].push(id);
         self.ins[target.index()].push(id);
-        self.grouped.take();
+        if self.grouped.get().is_some() {
+            let touched_out = BTreeSet::from([source]);
+            let touched_in = BTreeSet::from([target]);
+            self.refresh_grouped(&touched_out, &touched_in);
+        }
+        id
+    }
+
+    /// Remove an edge. The edge arena stays dense: the *last* edge is swapped
+    /// into the freed slot, so that edge's id is remapped to `edge` while all
+    /// other edge ids stay valid. Adjacency (forward, reverse, and grouped)
+    /// is maintained incrementally. Returns the removed edge's
+    /// `(source, target)`.
+    pub fn remove_edge(&mut self, edge: EdgeId) -> (NodeId, NodeId) {
+        let mut touched_out = BTreeSet::new();
+        let mut touched_in = BTreeSet::new();
+        let ends = self.detach_edge(edge, &mut touched_out, &mut touched_in);
+        self.refresh_grouped(&touched_out, &touched_in);
+        ends
+    }
+
+    /// Unlink `edge` from both adjacency sides and swap-remove it from the
+    /// arena, recording every node whose out/in list changed (including the
+    /// endpoints of the edge that got remapped to fill the hole).
+    fn detach_edge(
+        &mut self,
+        edge: EdgeId,
+        touched_out: &mut BTreeSet<NodeId>,
+        touched_in: &mut BTreeSet<NodeId>,
+    ) -> (NodeId, NodeId) {
+        let (source, target) = {
+            let data = &self.edges[edge.index()];
+            (data.source, data.target)
+        };
+        self.out[source.index()].retain(|&e| e != edge);
+        self.ins[target.index()].retain(|&e| e != edge);
+        let last = EdgeId(self.edges.len() as u32 - 1);
+        self.edges.swap_remove(edge.index());
+        touched_out.insert(source);
+        touched_in.insert(target);
+        if edge != last {
+            let (moved_source, moved_target) = {
+                let data = &self.edges[edge.index()];
+                (data.source, data.target)
+            };
+            for slot in self.out[moved_source.index()].iter_mut() {
+                if *slot == last {
+                    *slot = edge;
+                }
+            }
+            for slot in self.ins[moved_target.index()].iter_mut() {
+                if *slot == last {
+                    *slot = edge;
+                }
+            }
+            touched_out.insert(moved_source);
+            touched_in.insert(moved_target);
+        }
+        (source, target)
+    }
+
+    /// Incrementally repair the grouped adjacency cache (if built) after the
+    /// out-lists of `touched_out` / in-lists of `touched_in` changed. When
+    /// the accumulated overlay would dominate the base CSR the cache is
+    /// dropped instead, and the next reader rebuilds it flat.
+    fn refresh_grouped(&mut self, touched_out: &BTreeSet<NodeId>, touched_in: &BTreeSet<NodeId>) {
+        let Some(grouped) = self.grouped.get() else {
+            return;
+        };
+        let budget = self.nodes.len() / 4 + 64;
+        let projected = grouped.out.overlay.len()
+            + grouped.ins.overlay.len()
+            + touched_out.len()
+            + touched_in.len();
+        if projected > budget {
+            self.grouped.take();
+            return;
+        }
+        let grouped = self.grouped.get_mut().expect("grouped cache present");
+        for &n in touched_out {
+            grouped.out.patch(n, &self.out[n.index()], &self.edges);
+        }
+        for &n in touched_in {
+            grouped.ins.patch(n, &self.ins[n.index()], &self.edges);
+        }
+    }
+
+    /// Apply a batch of triple-level changes, maintaining forward, reverse,
+    /// and grouped adjacency incrementally, and report the *dirty* node set:
+    /// every node whose outbound neighbourhood changed (sources of added and
+    /// removed edges) plus every newly created node. The dirty set is what
+    /// an incremental validator must re-examine; it is sorted and
+    /// duplicate-free.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> DeltaReport {
+        let mut report = DeltaReport::default();
+        let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
+        let mut touched_out: BTreeSet<NodeId> = BTreeSet::new();
+        let mut touched_in: BTreeSet<NodeId> = BTreeSet::new();
+        for op in &delta.ops {
+            if op.add {
+                let source = self.delta_node(&op.source, &mut report, &mut dirty);
+                let target = self.delta_node(&op.target, &mut report, &mut dirty);
+                let (label, label_id) = self.intern_label(op.label.clone());
+                let id = EdgeId(self.edges.len() as u32);
+                self.edges.push(EdgeData {
+                    source,
+                    target,
+                    label,
+                    label_id,
+                    occur: Interval::ONE,
+                });
+                self.out[source.index()].push(id);
+                self.ins[target.index()].push(id);
+                report.added_edges += 1;
+                dirty.insert(source);
+                touched_out.insert(source);
+                touched_in.insert(target);
+            } else {
+                let found = self.find_node(&op.source).and_then(|s| {
+                    let t = self.find_node(&op.target)?;
+                    let label_id = self.find_label(op.label.as_str())?;
+                    self.out[s.index()].iter().copied().find(|&e| {
+                        let data = &self.edges[e.index()];
+                        data.label_id == label_id && data.target == t
+                    })
+                });
+                match found {
+                    Some(edge) => {
+                        let (source, _) = self.detach_edge(edge, &mut touched_out, &mut touched_in);
+                        report.removed_edges += 1;
+                        dirty.insert(source);
+                    }
+                    None => report.missing_removals += 1,
+                }
+            }
+        }
+        if !touched_out.is_empty() || !touched_in.is_empty() {
+            self.refresh_grouped(&touched_out, &touched_in);
+        }
+        report.dirty = dirty.into_iter().collect();
+        report
+    }
+
+    fn delta_node(
+        &mut self,
+        name: &str,
+        report: &mut DeltaReport,
+        dirty: &mut BTreeSet<NodeId>,
+    ) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.add_named_node(name);
+        report.added_nodes += 1;
+        dirty.insert(id);
         id
     }
 
@@ -720,6 +923,15 @@ impl Graph {
                 bytes += side.edges.capacity() * size_of::<EdgeId>()
                     + side.groups.capacity() * size_of::<(LabelId, u32, u32)>()
                     + side.node_groups.capacity() * size_of::<(u32, u32)>();
+                bytes += side
+                    .overlay
+                    .values()
+                    .map(|patch| {
+                        MAP_ENTRY
+                            + patch.edges.capacity() * size_of::<EdgeId>()
+                            + patch.groups.capacity() * size_of::<(LabelId, u32, u32)>()
+                    })
+                    .sum::<usize>();
             }
         }
         bytes
@@ -855,6 +1067,105 @@ impl Graph {
         debug_assert!(out.is_simple());
         Ok(out)
     }
+}
+
+/// One queued change in a [`GraphDelta`].
+#[derive(Debug, Clone)]
+struct DeltaOp {
+    add: bool,
+    source: String,
+    label: Label,
+    target: String,
+}
+
+/// A batch of triple-level changes to apply atomically to a [`Graph`] via
+/// [`Graph::apply_delta`].
+///
+/// Changes are addressed by node *name* and label text, so a delta can be
+/// built straight from a stream of parsed triples without knowing the
+/// graph's ids — missing nodes are created on application. Added edges carry
+/// interval `1` (deltas target simple graphs, the class validation is
+/// defined on); removals match one `(source, label, target)` edge and are
+/// counted as misses when no such edge exists. Labels are interned inside
+/// the delta, so a 100k-triple batch over a small predicate alphabet
+/// allocates each label once.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDelta {
+    ops: Vec<DeltaOp>,
+    labels: LabelTable,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> GraphDelta {
+        GraphDelta::default()
+    }
+
+    /// Queue the addition of a `source -label-> target` edge with interval
+    /// `1`, creating the endpoint nodes if they do not exist yet.
+    pub fn add_edge(&mut self, source: impl Into<String>, label: &str, target: impl Into<String>) {
+        let label = self.labels.intern(label);
+        self.ops.push(DeltaOp {
+            add: true,
+            source: source.into(),
+            label,
+            target: target.into(),
+        });
+    }
+
+    /// Queue the removal of one `(source, label, target)` edge.
+    pub fn remove_edge(
+        &mut self,
+        source: impl Into<String>,
+        label: &str,
+        target: impl Into<String>,
+    ) {
+        let label = self.labels.intern(label);
+        self.ops.push(DeltaOp {
+            add: false,
+            source: source.into(),
+            label,
+            target: target.into(),
+        });
+    }
+
+    /// Queue an RDF triple as an edge addition — the glue between the
+    /// N-Triples stream and the graph.
+    pub fn add_triple(&mut self, subject: &str, predicate: &str, object: &str) {
+        self.add_edge(subject, predicate, object);
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no operation is queued.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drop all queued operations, keeping the label interner warm.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+/// What [`Graph::apply_delta`] did, including the dirty node set an
+/// incremental validator needs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaReport {
+    /// Nodes whose outbound neighbourhood changed, plus newly created nodes;
+    /// sorted and duplicate-free.
+    pub dirty: Vec<NodeId>,
+    /// Nodes created by the delta.
+    pub added_nodes: usize,
+    /// Edges added.
+    pub added_edges: usize,
+    /// Edges removed.
+    pub removed_edges: usize,
+    /// Removal requests that matched no edge (applied as no-ops).
+    pub missing_removals: usize,
 }
 
 /// A reusable scratch for constructing many graphs in a row.
@@ -1214,5 +1525,143 @@ mod tests {
         let text = g.to_string();
         assert!(text.contains("a -p-> b"));
         assert!(text.contains("3 nodes"));
+    }
+
+    /// The grouped adjacency of `g` must match a from-scratch rebuild of the
+    /// same edge set, for every node and label, in both directions.
+    fn assert_grouped_consistent(g: &Graph) {
+        let mut fresh = Graph::new();
+        for v in g.nodes() {
+            fresh.add_named_node(g.node_name(v));
+        }
+        for e in g.edges() {
+            fresh.add_edge_with(g.source(e), g.label(e).clone(), g.occur(e), g.target(e));
+        }
+        for v in g.nodes() {
+            let ours: Vec<(String, BTreeSet<u32>)> = g
+                .out_groups(v)
+                .map(|(l, es)| {
+                    (
+                        g.label_of(l).as_str().to_string(),
+                        es.iter().map(|e| e.0).collect(),
+                    )
+                })
+                .collect();
+            let theirs: Vec<(String, BTreeSet<u32>)> = fresh
+                .out_groups(v)
+                .map(|(l, es)| {
+                    (
+                        fresh.label_of(l).as_str().to_string(),
+                        es.iter().map(|e| e.0).collect(),
+                    )
+                })
+                .collect();
+            assert_eq!(ours, theirs, "out groups of {} diverged", g.node_name(v));
+            let in_ours: BTreeSet<u32> = g.ins(v).iter().map(|e| e.0).collect();
+            let in_theirs: BTreeSet<u32> = fresh.ins(v).iter().map(|e| e.0).collect();
+            assert_eq!(in_ours, in_theirs, "ins of {} diverged", g.node_name(v));
+            for l in g.label_ids() {
+                let by: BTreeSet<u32> = g.in_by_label(v, l).iter().map(|e| e.0).collect();
+                let by_fresh: BTreeSet<u32> = fresh
+                    .find_label(g.label_of(l).as_str())
+                    .map(|fl| fresh.in_by_label(v, fl).iter().map(|e| e.0).collect())
+                    .unwrap_or_default();
+                assert_eq!(by, by_fresh, "in_by_label of {} diverged", g.node_name(v));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_delta_adds_and_removes_with_dirty_report() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        g.add_edge(a, "p", b);
+        // Force the grouped cache so the delta exercises incremental repair.
+        let p = g.find_label("p").unwrap();
+        assert_eq!(g.out_by_label(a, p).len(), 1);
+
+        let mut delta = GraphDelta::new();
+        delta.add_edge("a", "p", "c");
+        delta.add_edge("c", "q", "b");
+        delta.remove_edge("a", "p", "b");
+        delta.remove_edge("a", "zzz", "b"); // no such edge
+        assert_eq!(delta.len(), 4);
+        let report = g.apply_delta(&delta);
+
+        assert_eq!(report.added_nodes, 1);
+        assert_eq!(report.added_edges, 2);
+        assert_eq!(report.removed_edges, 1);
+        assert_eq!(report.missing_removals, 1);
+        let c = g.find_node("c").unwrap();
+        assert_eq!(report.dirty, vec![a, c], "sources of changes + new nodes");
+
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.target(g.out(a)[0]), c);
+        assert_eq!(g.in_degree(b), 1);
+        assert_grouped_consistent(&g);
+    }
+
+    #[test]
+    fn remove_edge_remaps_the_last_edge_id() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        let b = g.node("b");
+        let c = g.node("c");
+        let e0 = g.add_edge(a, "p", b);
+        let _e1 = g.add_edge(b, "q", c);
+        let e2 = g.add_edge(c, "r", a);
+        // Build grouped before removal to exercise the moved-edge repair.
+        let r = g.find_label("r").unwrap();
+        assert_eq!(g.out_by_label(c, r), &[e2]);
+
+        assert_eq!(g.remove_edge(e0), (a, b));
+        assert_eq!(g.edge_count(), 2);
+        // e2 (the last edge) now lives at id e0.
+        assert_eq!(g.source(e0), c);
+        assert_eq!(g.label(e0).as_str(), "r");
+        assert_eq!(g.out(c), &[e0]);
+        assert_eq!(g.ins(a), &[e0]);
+        assert_eq!(g.out_by_label(c, r), &[e0]);
+        assert!(g.out_by_label(a, g.find_label("p").unwrap()).is_empty());
+        assert_grouped_consistent(&g);
+    }
+
+    #[test]
+    fn grouped_overlay_collapses_to_a_full_rebuild_when_large() {
+        let mut g = Graph::new();
+        for i in 0..16 {
+            g.node(&format!("n{i}"));
+        }
+        let n0 = g.find_node("n0").unwrap();
+        let _ = g.out_groups(n0).count(); // build the cache
+                                          // Touch far more nodes than the overlay budget (16/4 + 64 = 68
+                                          // requires > 68 touched entries): 40 sources + 40 targets per side.
+        let mut delta = GraphDelta::new();
+        for i in 0..80 {
+            delta.add_edge(format!("s{i}"), "p", format!("t{i}"));
+        }
+        let report = g.apply_delta(&delta);
+        assert_eq!(report.added_edges, 80);
+        assert_eq!(report.added_nodes, 160);
+        assert_grouped_consistent(&g);
+    }
+
+    #[test]
+    fn deltas_keep_new_nodes_visible_in_grouped_queries() {
+        let mut g = Graph::new();
+        let a = g.node("a");
+        g.add_edge(a, "p", a);
+        let p = g.find_label("p").unwrap();
+        assert_eq!(g.out_by_label(a, p).len(), 1);
+        // A node added after the grouped build has no base row.
+        let mut delta = GraphDelta::new();
+        delta.add_edge("b", "p", "a");
+        g.apply_delta(&delta);
+        let b = g.find_node("b").unwrap();
+        assert_eq!(g.out_by_label(b, p).len(), 1);
+        assert_eq!(g.in_by_label(a, p).len(), 2);
+        assert_eq!(g.out_groups(b).count(), 1);
     }
 }

@@ -12,7 +12,11 @@
 //!
 //! The occurrence interval defaults to `1` and otherwise uses the same syntax
 //! as [`Interval::parse`]: `?`, `+`, `*`, `k`, `[n;m]`, `[n;*]`. Node names
-//! may contain any characters except whitespace and `-`.
+//! may contain any characters except whitespace and `-`; the `-` restriction
+//! is enforced with an error, because a name containing `-` is ambiguous
+//! against the `-label->` arrow syntax (graphs ingested from RDF, whose IRIs
+//! routinely contain `-`, should use the N-Triples reader instead of this
+//! format).
 
 use shapex_rbe::Interval;
 
@@ -33,6 +37,7 @@ pub fn parse_graph(text: &str) -> Result<Graph, String> {
             if line.split_whitespace().count() != 1 {
                 return Err(format!("line {}: expected `src -label-> dst`", lineno + 1));
             }
+            check_node_name(line, lineno)?;
             graph.node(line);
             continue;
         }
@@ -56,6 +61,8 @@ pub fn parse_graph(text: &str) -> Result<Graph, String> {
         if source.is_empty() || label_part.is_empty() {
             return Err(format!("line {}: empty source or label", lineno + 1));
         }
+        check_node_name(source, lineno)?;
+        check_node_name(rhs, lineno)?;
         let (label, interval) = match label_part.split_once('[') {
             Some((name, rest)) => {
                 let interval_text = rest
@@ -85,6 +92,21 @@ pub fn parse_graph(text: &str) -> Result<Graph, String> {
         graph.edge_by_name(source, label, interval, rhs);
     }
     Ok(graph)
+}
+
+/// Reject node names containing `-`: such a name cannot be told apart from a
+/// `-label->` arrow, so accepting it would silently mis-split some lines at
+/// the first arrow instead of where the author intended.
+fn check_node_name(name: &str, lineno: usize) -> Result<(), String> {
+    if name.contains('-') {
+        return Err(format!(
+            "line {}: node name `{name}` contains `-`, which is reserved for the \
+             `-label->` arrow syntax; rename the node (or ingest RDF data via the \
+             N-Triples reader, which has no such restriction)",
+            lineno + 1
+        ));
+    }
+    Ok(())
 }
 
 /// Serialize a graph in the text format accepted by [`parse_graph`].
@@ -180,6 +202,21 @@ mod tests {
         assert!(parse_graph("a -p->").is_err());
         assert!(parse_graph("a -p[3-> b").is_err());
         assert!(parse_graph("a -p[nope]-> b").is_err());
+    }
+
+    #[test]
+    fn node_names_with_dashes_are_rejected_clearly() {
+        // A bare declaration whose name embeds an arrow would silently parse
+        // as an edge; it must error instead.
+        for doc in ["my-node\n", "a -p-> x-y\n", "pre-fix -p-> b\n"] {
+            let err = parse_graph(doc).unwrap_err();
+            assert!(err.contains("contains `-`"), "{doc:?} gave: {err}");
+            assert!(err.contains("line 1"), "{doc:?} gave: {err}");
+        }
+        // Labels may still contain `-`; only node names are restricted.
+        let g = parse_graph("a -dashed-label-> b\n").unwrap();
+        let a = g.find_node("a").unwrap();
+        assert_eq!(g.label(g.out(a)[0]).as_str(), "dashed-label");
     }
 
     #[test]

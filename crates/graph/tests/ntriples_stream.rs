@@ -1,0 +1,170 @@
+//! Property-based and budget tests for the streaming N-Triples path: a
+//! document fed in arbitrary chunks must build exactly the graph the
+//! whole-buffer parse builds, and the parser's retained memory must stay
+//! bounded by one line regardless of stream length.
+
+use proptest::prelude::*;
+
+use shapex_graph::{graph_from_ntriples, Graph, GraphDelta, NTriplesParser, Triple};
+
+/// Render one random statement. Every branch is valid N-Triples: IRI or
+/// blank-node subjects, IRI predicates, and objects that may be IRIs,
+/// blank nodes, or literals with escapes and optional suffixes.
+fn arb_statement() -> impl Strategy<Value = String> {
+    let iri = |range: std::ops::Range<u32>, prefix: &'static str| {
+        range.prop_map(move |i| format!("<{prefix}{i}>"))
+    };
+    let subject = prop_oneof![iri(0..6, "s"), (0u32..4).prop_map(|i| format!("_:b{i}"))];
+    let literal = (
+        prop_oneof![
+            Just("plain".to_string()),
+            Just("esc\\\"quote\\\"".to_string()),
+            Just("tab\\there".to_string()),
+            Just("back\\\\slash".to_string()),
+            Just("uni\\u0041".to_string()),
+        ],
+        prop_oneof![Just(""), Just("@en"), Just("^^<t>")],
+    )
+        .prop_map(|(value, suffix)| format!("\"{value}\"{suffix}"));
+    let object = prop_oneof![
+        iri(0..6, "o"),
+        (0u32..4).prop_map(|i| format!("_:b{i}")),
+        literal
+    ];
+    (subject, iri(0..3, "p"), object).prop_map(|(s, p, o)| format!("{s} {p} {o} ."))
+}
+
+/// A random document: statements interleaved with comments and blank lines.
+fn arb_document() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            arb_statement(),
+            arb_statement(),
+            arb_statement(),
+            arb_statement(),
+            Just("# a comment".to_string()),
+            Just("".to_string()),
+        ],
+        0..12,
+    )
+    .prop_map(|lines| {
+        let mut doc = lines.join("\n");
+        doc.push('\n');
+        doc
+    })
+}
+
+/// The comparable content of a graph: every edge as rendered names.
+fn edge_set(g: &Graph) -> Vec<(String, String, String)> {
+    let mut edges: Vec<_> = g
+        .edges()
+        .map(|e| {
+            (
+                g.node_name(g.source(e)).to_string(),
+                g.label(e).to_string(),
+                g.node_name(g.target(e)).to_string(),
+            )
+        })
+        .collect();
+    edges.sort();
+    edges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chunked_parse_equals_whole_buffer_parse(doc in arb_document(), chunk_len in 1usize..9) {
+        let whole = graph_from_ntriples(doc.as_bytes()).unwrap();
+        let longest_line = doc.lines().map(str::len).max().unwrap_or(0);
+        let mut parser = NTriplesParser::new();
+        let mut graph = Graph::new();
+        for chunk in doc.as_bytes().chunks(chunk_len) {
+            let mut delta = GraphDelta::new();
+            parser
+                .feed(chunk, |t: Triple<'_>| {
+                    delta.add_triple(t.subject, t.predicate, t.object)
+                })
+                .unwrap();
+            graph.apply_delta(&delta);
+            prop_assert!(
+                parser.buffered_bytes() <= longest_line,
+                "retained {} B for a document whose longest line is {} B",
+                parser.buffered_bytes(),
+                longest_line
+            );
+        }
+        let mut delta = GraphDelta::new();
+        parser
+            .finish(|t: Triple<'_>| delta.add_triple(t.subject, t.predicate, t.object))
+            .unwrap();
+        graph.apply_delta(&delta);
+        prop_assert_eq!(graph.node_count(), whole.node_count());
+        prop_assert_eq!(edge_set(&graph), edge_set(&whole));
+    }
+
+    #[test]
+    fn dirty_nodes_cover_every_added_subject(doc in arb_document()) {
+        // The contract an incremental validator relies on: after applying a
+        // chunk's delta, every subject of an added triple is in the dirty
+        // set (its outbound neighbourhood changed).
+        let mut parser = NTriplesParser::new();
+        let mut graph = Graph::new();
+        let mut delta = GraphDelta::new();
+        let mut subjects: Vec<String> = Vec::new();
+        let mut sink = |t: Triple<'_>| {
+            subjects.push(t.subject.to_string());
+            delta.add_triple(t.subject, t.predicate, t.object);
+        };
+        parser.feed(doc.as_bytes(), &mut sink).unwrap();
+        parser.finish(&mut sink).unwrap();
+        let report = graph.apply_delta(&delta);
+        for subject in subjects {
+            let id = graph.find_node(&subject).expect("subject was added");
+            prop_assert!(
+                report.dirty.binary_search(&id).is_ok(),
+                "subject {subject} missing from the dirty set"
+            );
+        }
+    }
+}
+
+/// The acceptance budget: a 100k-triple stream ingests with the parser
+/// retaining at most one line — memory stays O(graph), never O(stream).
+#[test]
+fn hundred_thousand_triples_stream_within_the_line_budget() {
+    const TRIPLES: usize = 100_000;
+    const BATCH: usize = 1_000;
+    let max_line = 256;
+    let mut parser = NTriplesParser::new().with_max_line_bytes(max_line);
+    let mut graph = Graph::new();
+    let mut batch = String::new();
+    let mut fed = 0usize;
+    while fed < TRIPLES {
+        batch.clear();
+        for i in fed..(fed + BATCH).min(TRIPLES) {
+            batch.push_str(&format!("<s{}> <p{}> <o{i}> .\n", i % 1_000, i % 5));
+        }
+        fed += BATCH;
+        // Feed in slices that split statements arbitrarily, asserting the
+        // byte budget after every single feed.
+        let mut delta = GraphDelta::new();
+        for chunk in batch.as_bytes().chunks(4_096) {
+            parser
+                .feed(chunk, |t: Triple<'_>| {
+                    delta.add_triple(t.subject, t.predicate, t.object)
+                })
+                .unwrap();
+            assert!(
+                parser.buffered_bytes() <= max_line,
+                "parser retained {} B (budget {max_line} B)",
+                parser.buffered_bytes()
+            );
+        }
+        graph.apply_delta(&delta);
+    }
+    parser.finish(|_| {}).unwrap();
+    assert_eq!(parser.triples(), TRIPLES as u64);
+    assert_eq!(graph.edge_count(), TRIPLES);
+    assert_eq!(graph.node_count(), 1_000 + TRIPLES, "subjects + objects");
+}

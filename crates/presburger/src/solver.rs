@@ -38,26 +38,35 @@ impl Bounds {
 
 /// Knobs controlling how a [`Solver`] explores disjunctions.
 ///
-/// With `threads > 1`, when the search pops a disjunction with at least
-/// `parallel_threshold` branches (outside an already-forked worker), the
-/// branches are explored by a scoped worker pool: each worker snapshots the
-/// accumulated atoms and domains (cheap — the undo-trail design keeps both
-/// flat vectors), claims branches from a shared atomic cursor
-/// (work-stealing), and a first-solution latch stops the others early.
-/// Workers never fork again, so the pool depth is exactly one.
+/// With `threads > 1`, when the search pops a disjunction of two or more
+/// branches (outside an already-forked worker) *and* the estimated cost of
+/// exploring a branch from the current state — accumulated atom count times
+/// the widest unresolved domain, see [`estimated_branch_cost`] — reaches
+/// `min_fork_cost`, the branches are explored by a scoped worker pool: each
+/// worker snapshots the accumulated atoms and domains (cheap — the
+/// undo-trail design keeps both flat vectors), claims branches from a shared
+/// atomic cursor (work-stealing), and a first-solution latch stops the
+/// others early. Workers never fork again, so the pool depth is exactly one.
+///
+/// The cost gate replaces an earlier fixed branch-count threshold: branch
+/// count says nothing about how much work hides behind each branch, so wide
+/// but trivially-propagated disjunctions (tight domains, few atoms) used to
+/// pay thread-spawn and snapshot overhead for microseconds of search, while
+/// narrow-but-deep forks were never taken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverOptions {
     /// Worker threads for disjunct exploration; `1` keeps the search serial.
     pub threads: usize,
-    /// Minimum branch count of a disjunction before it is fanned out.
-    pub parallel_threshold: usize,
+    /// Minimum [`estimated_branch_cost`] before a disjunction is fanned out;
+    /// `0` forks every disjunction (useful in tests).
+    pub min_fork_cost: u64,
 }
 
 impl Default for SolverOptions {
     fn default() -> Self {
         SolverOptions {
             threads: 1,
-            parallel_threshold: 4,
+            min_fork_cost: 256,
         }
     }
 }
@@ -86,11 +95,28 @@ impl SolverOptions {
         SolverOptions::parallel(threads)
     }
 
-    /// Override the fan-out threshold.
-    pub fn with_parallel_threshold(mut self, threshold: usize) -> SolverOptions {
-        self.parallel_threshold = threshold;
+    /// Override the minimum per-branch cost estimate required to fork.
+    pub fn with_min_fork_cost(mut self, cost: u64) -> SolverOptions {
+        self.min_fork_cost = cost;
         self
     }
+}
+
+/// The cheap per-branch cost estimate gating parallel fan-out: the number of
+/// accumulated atomic constraints times the widest unresolved variable
+/// domain. Propagation re-scans every atom per tightening pass and search
+/// depth scales with domain width, so the product tracks (very roughly) how
+/// much work a worker would claim per branch — enough to tell "microseconds"
+/// from "worth a thread" without inspecting the branches themselves.
+pub fn estimated_branch_cost(atoms_len: usize, domains: &[(u64, u64)]) -> u64 {
+    let width = domains
+        .iter()
+        .map(|&(lo, hi)| hi.saturating_sub(lo))
+        .max()
+        .unwrap_or(0);
+    (atoms_len as u64)
+        .max(1)
+        .saturating_mul(width.saturating_add(1))
 }
 
 /// Counters of one [`Solver::solve_with_stats`] call.
@@ -348,7 +374,9 @@ impl Solver {
             };
             if self.options.threads > 1
                 && state.stop.is_none()
-                && choices.len() >= self.options.parallel_threshold.max(2)
+                && choices.len() >= 2
+                && estimated_branch_cost(state.atoms.len(), &state.domains)
+                    >= self.options.min_fork_cost
             {
                 return self.search_disjuncts_parallel(choices, &disjunctions, state);
             }
@@ -860,7 +888,7 @@ mod tests {
         let mut pool = VarPool::new();
         let f = wide_unsat_disjunction(&mut pool);
         let serial = solver();
-        let parallel = solver().with_options(SolverOptions::parallel(4).with_parallel_threshold(2));
+        let parallel = solver().with_options(SolverOptions::parallel(4).with_min_fork_cost(0));
         let (sr, ss) = serial.solve_with_stats(&f, &pool);
         let (pr, ps) = parallel.solve_with_stats(&f, &pool);
         assert_eq!(sr, SolveResult::Unsat);
@@ -878,7 +906,7 @@ mod tests {
         let f = Formula::and(vec![Formula::or(branches), Formula::ge(x, 13)]);
         for threads in [2usize, 8] {
             let parallel =
-                solver().with_options(SolverOptions::parallel(threads).with_parallel_threshold(2));
+                solver().with_options(SolverOptions::parallel(threads).with_min_fork_cost(0));
             let result = parallel.solve(&f, &pool);
             let model = result.model().expect("satisfiable");
             assert!(model[0] >= 13, "latched model must satisfy the formula");
@@ -889,8 +917,38 @@ mod tests {
     fn solver_options_from_env_shape() {
         let opts = SolverOptions::parallel(0);
         assert_eq!(opts.threads, 1, "zero threads degrades to serial");
-        let opts = SolverOptions::parallel(8).with_parallel_threshold(3);
-        assert_eq!((opts.threads, opts.parallel_threshold), (8, 3));
+        let opts = SolverOptions::parallel(8).with_min_fork_cost(3);
+        assert_eq!((opts.threads, opts.min_fork_cost), (8, 3));
+    }
+
+    #[test]
+    fn fork_cost_estimate_scales_with_atoms_and_width() {
+        assert_eq!(estimated_branch_cost(0, &[]), 1, "empty state costs ~1");
+        assert_eq!(estimated_branch_cost(4, &[(0, 0), (0, 9)]), 4 * 10);
+        // Fixed variables contribute nothing; the widest domain dominates.
+        assert_eq!(estimated_branch_cost(1, &[(5, 5), (0, 99)]), 100);
+    }
+
+    #[test]
+    fn cheap_disjunctions_stay_serial_but_verdicts_agree() {
+        // Tiny domains: the branch cost sits below the default gate, so a
+        // parallel-configured solver takes the serial path — and must agree
+        // with a fork-everything configuration on both verdicts and stats.
+        let mut pool = VarPool::new();
+        let x = pool.fresh_bounded("x", 3);
+        let branches: Vec<Formula> = (0..8).map(|k| Formula::eq(x, k)).collect();
+        let f = Formula::and(vec![Formula::or(branches), Formula::ge(x, 2)]);
+        let gated = solver().with_options(SolverOptions::parallel(4));
+        let forked = solver().with_options(SolverOptions::parallel(4).with_min_fork_cost(0));
+        let serial = solver();
+        let (gr, gs) = gated.solve_with_stats(&f, &pool);
+        let (fr, _) = forked.solve_with_stats(&f, &pool);
+        let (sr, ss) = serial.solve_with_stats(&f, &pool);
+        assert!(matches!(gr, SolveResult::Sat(_)));
+        assert_eq!(gr.model().is_some(), fr.model().is_some());
+        assert_eq!(gr.model().is_some(), sr.model().is_some());
+        // Below the gate the search is bit-for-bit the serial one.
+        assert_eq!(gs, ss);
     }
 
     #[test]

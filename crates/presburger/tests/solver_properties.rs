@@ -95,13 +95,13 @@ proptest! {
         // thread count the verdict matches the serial search, `Sat` models
         // satisfy the formula, and on `Unsat` (where the whole branch tree is
         // explored either way) the merged counters equal the serial counters
-        // exactly. The threshold is lowered to 2 so the small random
+        // exactly. The fork-cost gate is zeroed so the small random
         // disjunctions of `arb_formula` actually fork.
         let serial = Solver::new(Bounds::uniform(BOUND));
         let (serial_result, serial_stats) = serial.solve_with_stats(&formula, &pool());
         for threads in [1usize, 2, 8] {
             let parallel = Solver::new(Bounds::uniform(BOUND))
-                .with_options(SolverOptions::parallel(threads).with_parallel_threshold(2));
+                .with_options(SolverOptions::parallel(threads).with_min_fork_cost(0));
             let (result, stats) = parallel.solve_with_stats(&formula, &pool());
             match (&serial_result, &result) {
                 (SolveResult::Sat(_), SolveResult::Sat(model)) => {
@@ -125,7 +125,7 @@ proptest! {
         // The environment-driven configuration: CI reruns this suite with
         // SOLVER_THREADS=8, which must change nothing observable either.
         let from_env = Solver::new(Bounds::uniform(BOUND))
-            .with_options(SolverOptions::from_env().with_parallel_threshold(2));
+            .with_options(SolverOptions::from_env().with_min_fork_cost(0));
         match (&serial_result, from_env.solve(&formula, &pool())) {
             (SolveResult::Sat(_), SolveResult::Sat(model)) => {
                 prop_assert!(formula.eval(&model), "env-configured model must satisfy the formula");

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Dense identifier of an interned symbol. Ids are assigned in first-seen
@@ -43,6 +44,9 @@ struct TableInner<S> {
 #[derive(Debug)]
 pub struct SymbolTable<S> {
     inner: RwLock<TableInner<S>>,
+    /// Accounted heap bytes, maintained on every first-sighting insert so
+    /// readers ([`SymbolTable::approx_heap_bytes`]) never take the lock.
+    heap_bytes: AtomicU64,
 }
 
 impl<S> Default for SymbolTable<S> {
@@ -52,8 +56,18 @@ impl<S> Default for SymbolTable<S> {
                 ids: HashMap::new(),
                 symbols: Vec::new(),
             }),
+            heap_bytes: AtomicU64::new(0),
         }
     }
+}
+
+/// Accounted bytes per interned symbol: the `Arc` allocation (payload plus
+/// the two reference counts), the map key and vector slot handles, and an
+/// amortised hash-bucket allowance. An estimate in the sense of the engine's
+/// cache ledger — consistent and conservative, not allocator ground truth.
+fn symbol_entry_bytes<S>() -> u64 {
+    use std::mem::size_of;
+    (size_of::<S>() + 16 + 2 * size_of::<Arc<S>>() + 48) as u64
 }
 
 impl<S: Eq + Hash> SymbolTable<S> {
@@ -85,7 +99,18 @@ impl<S: Eq + Hash> SymbolTable<S> {
         let stored = Arc::new(symbol.clone());
         inner.symbols.push(Arc::clone(&stored));
         inner.ids.insert(stored, id);
+        self.heap_bytes
+            .fetch_add(symbol_entry_bytes::<S>(), Ordering::Relaxed);
         SymbolId(id)
+    }
+
+    /// Approximate heap footprint of the table in bytes — a per-entry
+    /// estimate (symbol allocation, handles, bucket allowance) accumulated
+    /// at interning time, so reading it is one atomic load. Feeds the
+    /// session-cache accounting of consumers like the containment engine;
+    /// the table itself never evicts (ids are handed out and never reused).
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.heap_bytes.load(Ordering::Relaxed) as usize
     }
 
     /// Resolve an id back to its symbol. Panics if `id` did not come from this
@@ -126,6 +151,19 @@ mod tests {
         assert_eq!(b.index(), 1);
         assert_eq!(table.len(), 2);
         assert_eq!(*table.resolve(b), "b");
+    }
+
+    #[test]
+    fn heap_accounting_grows_per_distinct_symbol_only() {
+        let table: SymbolTable<String> = SymbolTable::new();
+        assert_eq!(table.approx_heap_bytes(), 0);
+        table.intern(&"a".to_string());
+        let one = table.approx_heap_bytes();
+        assert!(one > 0);
+        table.intern(&"a".to_string());
+        assert_eq!(table.approx_heap_bytes(), one, "re-interning is free");
+        table.intern(&"b".to_string());
+        assert_eq!(table.approx_heap_bytes(), 2 * one, "per-entry estimate");
     }
 
     #[test]

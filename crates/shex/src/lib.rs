@@ -26,5 +26,6 @@ pub mod typing;
 pub use parser::{parse_schema, write_schema};
 pub use schema::{Atom, AtomId, AtomTable, Schema, SchemaClass, TypeId};
 pub use typing::{
-    maximal_typing, maximal_typing_with, validates, validates_with, Typing, ValidateScratch,
+    maximal_typing, maximal_typing_with, validates, validates_with, IncrementalTyping, Typing,
+    ValidateScratch,
 };

@@ -114,6 +114,188 @@ impl Typing {
     }
 }
 
+/// A retained maximal typing that is revalidated incrementally after graph
+/// deltas instead of recomputed from scratch.
+///
+/// [`maximal_typing`] is a greatest fixpoint: it starts every node at the
+/// full candidate set and removes types until stable. After a delta, only
+/// part of the graph can change type. A node's types in the fixpoint depend
+/// solely on its *out-reachable* subgraph, so the nodes whose types may
+/// differ from the retained typing are exactly the **affected region** `R`:
+/// the dirty nodes (out-neighbourhood changed, reported by
+/// [`Graph::apply_delta`]) plus everything that reaches them — the reverse
+/// closure over [`Graph::ins`]. `R` is closed under predecessors, so the
+/// refinement worklist never needs to leave it: nodes outside `R` keep their
+/// retained sets, which over- *and* under-approximate nothing (their
+/// out-reachable subgraph is unchanged).
+///
+/// [`IncrementalTyping::apply`] therefore (1) re-expands every node of `R`
+/// to the full candidate set — an *add* can legitimately give a node types
+/// it lost before, so shrinking alone would be unsound — and (2) runs a
+/// predecessor-directed worklist seeded with `R`: whenever a node's set
+/// shrinks, its in-neighbours are re-enqueued. The result is provably equal
+/// to [`maximal_typing`] from scratch (pinned by a proptest over random
+/// delta sequences), at `O(|R| neighbourhoods)` instead of `O(graph)` per
+/// delta.
+#[derive(Debug)]
+pub struct IncrementalTyping {
+    typing: Typing,
+    scratch: ValidateScratch,
+    /// Number of schema types the retained typing was computed against; a
+    /// mismatch on `apply` forces a full rebuild.
+    type_count: usize,
+    /// Scratch: membership in the affected region `R`.
+    affected: Vec<bool>,
+    /// Scratch: worklist membership flags.
+    queued: Vec<bool>,
+    /// Scratch: the worklist itself.
+    stack: Vec<NodeId>,
+}
+
+impl IncrementalTyping {
+    /// Compute the full maximal typing once; subsequent deltas go through
+    /// [`IncrementalTyping::apply`].
+    ///
+    /// # Panics
+    /// Panics if the graph uses occurrence intervals other than singletons
+    /// (validation is defined on simple and compressed graphs only).
+    pub fn new(graph: &Graph, schema: &Schema) -> IncrementalTyping {
+        let mut scratch = ValidateScratch::new();
+        let typing = maximal_typing_with(graph, schema, &mut scratch);
+        IncrementalTyping {
+            typing,
+            scratch,
+            type_count: schema.types().count(),
+            affected: Vec::new(),
+            queued: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// The retained typing, always equal to `maximal_typing(graph, schema)`
+    /// for the graph state of the last `new`/`apply`/`rebuild` call.
+    pub fn typing(&self) -> &Typing {
+        &self.typing
+    }
+
+    /// Whether the retained typing is total (the graph validates).
+    pub fn is_total(&self) -> bool {
+        self.typing.is_total()
+    }
+
+    /// Throw the retained typing away and recompute from scratch (the
+    /// fallback when the caller lost track of which nodes are dirty).
+    pub fn rebuild(&mut self, graph: &Graph, schema: &Schema) {
+        self.typing = maximal_typing_with(graph, schema, &mut self.scratch);
+        self.type_count = schema.types().count();
+    }
+
+    /// Revalidate after a delta. `graph` is the post-delta graph and `dirty`
+    /// must contain every node whose outbound neighbourhood changed plus
+    /// every newly added node — exactly the `dirty` field of
+    /// [`shapex_graph::DeltaReport`]. Returns the size of the affected
+    /// region that was re-examined (the locality measure: 0 when `dirty` is
+    /// empty, `O(dirty + its ancestors)` in general).
+    ///
+    /// Must be called with the same schema the typing was built against; a
+    /// schema of a different shape triggers a full rebuild instead.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the graph uses occurrence intervals other
+    /// than singletons.
+    pub fn apply(&mut self, graph: &Graph, schema: &Schema, dirty: &[NodeId]) -> usize {
+        if self.type_count != schema.types().count() {
+            self.rebuild(graph, schema);
+            return graph.node_count();
+        }
+        if dirty.is_empty() && graph.node_count() == self.typing.sets.len() {
+            return 0;
+        }
+        debug_assert!(
+            graph.edges().all(|e| graph.occur(e).singleton().is_some()),
+            "validation requires a simple or compressed graph"
+        );
+        let nodes = graph.node_count();
+        let full: BTreeSet<TypeId> = schema.types().collect();
+        // Nodes created since the last call start at the full candidate set;
+        // they are expected to be in `dirty`, which re-expands them anyway.
+        self.typing.sets.resize(nodes, full.clone());
+
+        // The affected region R: reverse closure of the dirty set. R is
+        // closed under predecessors, so the worklist below stays inside it.
+        self.affected.clear();
+        self.affected.resize(nodes, false);
+        self.queued.clear();
+        self.queued.resize(nodes, false);
+        self.stack.clear();
+        for &n in dirty {
+            if !self.affected[n.index()] {
+                self.affected[n.index()] = true;
+                self.stack.push(n);
+            }
+        }
+        let mut region: Vec<NodeId> = Vec::new();
+        while let Some(n) = self.stack.pop() {
+            region.push(n);
+            for &e in graph.ins(n) {
+                let pred = graph.source(e);
+                if !self.affected[pred.index()] {
+                    self.affected[pred.index()] = true;
+                    self.stack.push(pred);
+                }
+            }
+        }
+
+        // Re-expand R to the full candidate set (adds can restore types) and
+        // seed the worklist with all of it, high ids first — candidate
+        // graphs number nodes in preorder, so refining successors before
+        // predecessors stabilises trees in one pass.
+        region.sort_unstable();
+        for &n in &region {
+            self.typing.sets[n.index()].clone_from(&full);
+            self.queued[n.index()] = true;
+        }
+        self.stack.extend(region.iter().copied());
+
+        // Rebuild the per-schema RBE₀ views (the scratch may have been used
+        // against another schema between calls).
+        self.scratch.rbe0s.clear();
+        self.scratch
+            .rbe0s
+            .extend(schema.types().map(|t| schema.def(t).to_rbe0()));
+
+        // Predecessor-directed refinement: when a node's set shrinks, every
+        // in-neighbour may lose a type that matched an atom pointing at it.
+        while let Some(node) = self.stack.pop() {
+            self.queued[node.index()] = false;
+            self.scratch.current.clear();
+            self.scratch
+                .current
+                .extend(self.typing.sets[node.index()].iter().copied());
+            let mut shrunk = false;
+            for i in 0..self.scratch.current.len() {
+                let t = self.scratch.current[i];
+                if !node_satisfies_scratch(graph, node, t, &self.typing, schema, &mut self.scratch)
+                {
+                    self.typing.sets[node.index()].remove(&t);
+                    shrunk = true;
+                }
+            }
+            if shrunk {
+                for &e in graph.ins(node) {
+                    let pred = graph.source(e);
+                    debug_assert!(self.affected[pred.index()], "R is predecessor-closed");
+                    if !self.queued[pred.index()] {
+                        self.queued[pred.index()] = true;
+                        self.stack.push(pred);
+                    }
+                }
+            }
+        }
+        region.len()
+    }
+}
+
 /// Shared, thread-safe accumulator of Presburger solver work.
 ///
 /// Satisfaction checks that fall through to the Presburger encoding report
@@ -635,6 +817,85 @@ emp1 -email-> l9
                 );
             }
         }
+    }
+
+    #[test]
+    fn incremental_typing_tracks_deltas_exactly() {
+        use shapex_graph::GraphDelta;
+        let schema = parse_schema(FIG1_SCHEMA).unwrap();
+        let mut graph = parse_graph(FIG1_GRAPH).unwrap();
+        let mut inc = IncrementalTyping::new(&graph, &schema);
+        assert!(inc.is_total());
+
+        // Removing user1's name un-types user1 and cascades to bug1/bug4.
+        let mut delta = GraphDelta::new();
+        delta.remove_edge("user1", "name", "l5");
+        let report = graph.apply_delta(&delta);
+        let touched = inc.apply(&graph, &schema, &report.dirty);
+        assert!(touched >= 1);
+        assert_eq!(inc.typing(), &maximal_typing(&graph, &schema));
+        assert!(!inc.is_total(), "bug1 lost its User reporter");
+        let user1 = graph.find_node("user1").unwrap();
+        let user = schema.find_type("User").unwrap();
+        assert!(!inc.typing().has_type(user1, user), "no name edge any more");
+
+        // Adding the name back restores the original typing — a pure add can
+        // restore types, which is why the affected region re-expands.
+        let mut delta = GraphDelta::new();
+        delta.add_edge("user1", "name", "l5");
+        let report = graph.apply_delta(&delta);
+        inc.apply(&graph, &schema, &report.dirty);
+        assert_eq!(inc.typing(), &maximal_typing(&graph, &schema));
+        assert!(inc.is_total());
+
+        // A brand-new subgraph: new nodes enter through the dirty set.
+        let mut delta = GraphDelta::new();
+        delta.add_edge("bug9", "descr", "l9b");
+        delta.add_edge("bug9", "reportedBy", "user9");
+        delta.add_edge("user9", "name", "l9c");
+        let report = graph.apply_delta(&delta);
+        assert_eq!(report.added_nodes, 4);
+        inc.apply(&graph, &schema, &report.dirty);
+        assert_eq!(inc.typing(), &maximal_typing(&graph, &schema));
+        let bug9 = graph.find_node("bug9").unwrap();
+        assert!(inc
+            .typing()
+            .has_type(bug9, schema.find_type("Bug").unwrap()));
+
+        // An empty delta re-examines nothing.
+        assert_eq!(inc.apply(&graph, &schema, &[]), 0);
+    }
+
+    #[test]
+    fn incremental_typing_stays_local_on_a_forest() {
+        // A forest of independent Bug/User stars: editing one tree must not
+        // re-examine the others (the affected region is one tree).
+        let schema = parse_schema(FIG1_SCHEMA).unwrap();
+        let mut graph = shapex_graph::Graph::new();
+        let mut delta = GraphDelta::new();
+        for i in 0..100 {
+            delta.add_edge(format!("bug{i}"), "descr", format!("lit{i}"));
+            delta.add_edge(format!("bug{i}"), "reportedBy", format!("user{i}"));
+            delta.add_edge(format!("user{i}"), "name", format!("name{i}"));
+        }
+        use shapex_graph::GraphDelta;
+        graph.apply_delta(&delta);
+        let mut inc = IncrementalTyping::new(&graph, &schema);
+        assert!(inc.is_total());
+
+        let mut edit = GraphDelta::new();
+        edit.remove_edge("user7", "name", "name7");
+        let report = graph.apply_delta(&edit);
+        let touched = inc.apply(&graph, &schema, &report.dirty);
+        // user7 plus its one predecessor bug7: far below the 300-node graph.
+        assert_eq!(touched, 2);
+        assert_eq!(inc.typing(), &maximal_typing(&graph, &schema));
+
+        // A rebuild against a different schema shape falls back to full.
+        let other = parse_schema("T -> EMPTY\n").unwrap();
+        let touched = inc.apply(&graph, &other, &[]);
+        assert_eq!(touched, graph.node_count());
+        assert_eq!(inc.typing(), &maximal_typing(&graph, &other));
     }
 
     #[test]

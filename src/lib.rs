@@ -14,9 +14,10 @@
 //! * [`gadgets`] — the paper's figures, lower-bound reductions, and random
 //!   workload generators.
 //! * [`service`] — a long-lived, multi-tenant containment service:
-//!   tenant-scoped schema registration, typed errors, a bounded request
-//!   queue with explicit backpressure, and a stats surface (engine cache +
-//!   memory counters, latency histogram), all over one shared
+//!   tenant-scoped schema registration, streaming N-Triples ingestion with
+//!   incremental revalidation of evolving graphs, typed errors, a bounded
+//!   request queue with explicit backpressure, and a stats surface (engine
+//!   cache + memory counters, latency histogram), all over one shared
 //!   `ContainmentEngine` — bounded-memory when configured with a
 //!   `cache_budget`.
 //! * [`metrics`] — the dependency-free log-spaced latency histogram behind
@@ -38,7 +39,7 @@ pub mod service;
 pub mod prelude {
     pub use crate::metrics::{LatencyHistogram, LatencySnapshot};
     pub use crate::service::{
-        ContainmentService, ServiceClient, ServiceError, ServiceRequest, ServiceResponse,
+        ContainmentService, GraphId, ServiceClient, ServiceError, ServiceRequest, ServiceResponse,
         ServiceStats, TenantId,
     };
     pub use shapex_core::{
@@ -54,8 +55,9 @@ pub mod prelude {
     };
     pub use shapex_gadgets::figures;
     pub use shapex_graph::{
-        Graph, GraphKind, Label, LabelId, LabelTable, NodeId, SharedLabelTable,
+        DeltaReport, Graph, GraphDelta, GraphKind, Label, LabelId, LabelTable, NTriplesParser,
+        NodeId, SharedLabelTable,
     };
     pub use shapex_rbe::{Bag, Interval, Rbe, Rbe0};
-    pub use shapex_shex::{parse_schema, Schema, SchemaClass, TypeId};
+    pub use shapex_shex::{parse_schema, IncrementalTyping, Schema, SchemaClass, TypeId};
 }

@@ -28,6 +28,20 @@
 //!   [`ServiceClient::call`] fails *fast* with [`ServiceError::Overloaded`]
 //!   (counted in the stats) instead of queuing unboundedly —
 //!   [`ServiceClient::call_blocking`] opts into waiting instead.
+//! * **Streaming graphs with incremental revalidation.** A tenant streams
+//!   N-Triples chunks into a service-held graph
+//!   ([`ServiceRequest::LoadTriples`]; `graph: None` mints a fresh
+//!   [`GraphId`], an empty chunk flushes the parser's final line) or applies
+//!   edge-level batches ([`ServiceRequest::ApplyDelta`]), and asks for the
+//!   validation verdict against any of its registered schemas with
+//!   [`ServiceRequest::Revalidate`]. The service retains one
+//!   [`IncrementalTyping`] per `(graph, schema)` pair and replays only the
+//!   dirty-node log accumulated since that pair's last revalidation — an
+//!   edit touching one node revalidates its affected region, never the
+//!   whole graph. Graph handles are tenant-scoped like schema handles;
+//!   presenting another tenant's (or a never-issued) handle gets
+//!   [`ServiceError::UnknownGraph`], with no distinction that would leak
+//!   which handles exist.
 //! * **A metrics surface.** [`ServiceRequest::Stats`] answers a
 //!   [`ServiceStats`]: the engine's cache/memory counters (evictions and
 //!   resident bytes included, when the engine runs under a
@@ -44,18 +58,19 @@
 //! overload burst. Because the service is [`Clone`] (it clones the inner
 //! [`Arc`]s), the same engine can sit behind several server threads at once.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use shapex_core::engine::{
     ContainmentEngine, ContainmentMatrix, EngineOptions, EngineStats, SchemaId,
 };
 use shapex_core::Containment;
-use shapex_shex::Schema;
+use shapex_graph::{DeltaReport, Graph, GraphDelta, NTriplesParser, NodeId, Triple};
+use shapex_shex::{IncrementalTyping, Schema};
 
 use crate::metrics::{LatencyHistogram, LatencySnapshot};
 
@@ -67,7 +82,8 @@ shapex_graph::assert_send_sync!(
     ServiceResponse,
     ServiceError,
     ServiceEnvelope,
-    TenantId
+    TenantId,
+    GraphId
 );
 
 /// A tenant of a [`ContainmentService`]: an isolation scope for schema
@@ -92,6 +108,26 @@ impl TenantId {
 impl fmt::Display for TenantId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// A handle to a streaming graph held by a [`ContainmentService`], minted
+/// by the first [`ServiceRequest::LoadTriples`] with `graph: None`. Like
+/// [`SchemaId`], it is only meaningful for the service that issued it —
+/// and unlike schemas (which intern structurally and may be shared across
+/// tenants), every graph belongs to exactly the tenant that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphId(u32);
+
+impl GraphId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GraphId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph#{}", self.0)
     }
 }
 
@@ -122,6 +158,39 @@ pub enum ServiceRequest {
     /// The full pairwise containment matrix over handles of the requesting
     /// tenant. Answered with [`ServiceResponse::Matrix`].
     Matrix(Vec<SchemaId>),
+    /// Stream one chunk of N-Triples into a tenant graph. `graph: None`
+    /// mints a fresh empty graph (and the response carries its new
+    /// [`GraphId`]); an **empty chunk** flushes the parser's final
+    /// unterminated line — the end-of-stream convention. Chunks may split
+    /// statements anywhere: the service's push parser buffers at most one
+    /// line between requests. Answered with [`ServiceResponse::Loaded`].
+    LoadTriples {
+        /// The graph to extend, or `None` to create one.
+        graph: Option<GraphId>,
+        /// The next slice of the N-Triples document (empty = flush).
+        chunk: Vec<u8>,
+    },
+    /// Apply a batch of edge-level additions and removals to a tenant
+    /// graph, recording the dirty nodes for later [`ServiceRequest::Revalidate`]
+    /// calls. Boxed for the same queue-sizing reason as `Register`.
+    /// Answered with [`ServiceResponse::Applied`].
+    ApplyDelta {
+        /// The graph to mutate.
+        graph: GraphId,
+        /// The changes to apply.
+        delta: Box<GraphDelta>,
+    },
+    /// The validation verdict of a tenant graph against one of the tenant's
+    /// registered schemas, computed incrementally: only the dirty nodes
+    /// accumulated since this `(graph, schema)` pair's previous revalidation
+    /// (and the region they influence) are re-examined. Answered with
+    /// [`ServiceResponse::Validation`].
+    Revalidate {
+        /// The graph to validate.
+        graph: GraphId,
+        /// The schema to validate against.
+        schema: SchemaId,
+    },
     /// Snapshot the service's metrics. Answered with
     /// [`ServiceResponse::Stats`].
     Stats,
@@ -136,6 +205,38 @@ pub enum ServiceResponse {
     Answer(Containment),
     /// The answer to a [`ServiceRequest::Matrix`].
     Matrix(ContainmentMatrix),
+    /// The outcome of a [`ServiceRequest::LoadTriples`] chunk.
+    Loaded {
+        /// The graph the chunk went into (fresh when the request carried
+        /// `graph: None`).
+        graph: GraphId,
+        /// Total triples parsed into this graph across all chunks so far.
+        triples: u64,
+        /// What this chunk changed, dirty nodes included. Boxed: the dirty
+        /// list can be long, and responses travel through queues sized for
+        /// the smallest variants.
+        report: Box<DeltaReport>,
+    },
+    /// The outcome of a [`ServiceRequest::ApplyDelta`] batch.
+    Applied {
+        /// The graph the delta was applied to.
+        graph: GraphId,
+        /// What the batch changed, dirty nodes included.
+        report: Box<DeltaReport>,
+    },
+    /// The verdict for a [`ServiceRequest::Revalidate`].
+    Validation {
+        /// The graph that was validated.
+        graph: GraphId,
+        /// The schema it was validated against.
+        schema: SchemaId,
+        /// Whether the graph currently satisfies the schema (its maximal
+        /// typing is total).
+        valid: bool,
+        /// Nodes whose types were actually recomputed by this request — the
+        /// affected region of the dirty log, not the whole graph.
+        affected: usize,
+    },
     /// The metrics snapshot for a [`ServiceRequest::Stats`]. Boxed: the
     /// snapshot (histogram included) is far larger than the other variants.
     Stats(Box<ServiceStats>),
@@ -169,6 +270,23 @@ pub enum ServiceError {
     },
     /// The [`TenantId`] was never issued by this service.
     UnknownTenant(TenantId),
+    /// The graph handle is not usable by the requesting tenant — never
+    /// issued, or issued to a different tenant. The two cases are
+    /// deliberately indistinguishable so tenants cannot probe which graph
+    /// handles exist.
+    UnknownGraph(GraphId),
+    /// A [`ServiceRequest::LoadTriples`] chunk failed to parse. The graph
+    /// keeps its state from before the bad statement and the parser is
+    /// reset, so the tenant can resume streaming from a clean line
+    /// boundary.
+    Parse {
+        /// The graph the chunk was destined for.
+        graph: GraphId,
+        /// 1-based line number of the offending statement.
+        line: u64,
+        /// Human-readable description of the failure.
+        message: String,
+    },
     /// The bounded request queue is full; retry later or shed load. The
     /// rejection is counted in [`ServiceStats::rejected`].
     Overloaded,
@@ -188,6 +306,19 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::UnknownTenant(tenant) => {
                 write!(f, "{tenant} was never issued by this service")
+            }
+            ServiceError::UnknownGraph(graph) => {
+                write!(f, "{graph} is not a graph handle of the requesting tenant")
+            }
+            ServiceError::Parse {
+                graph,
+                line,
+                message,
+            } => {
+                write!(
+                    f,
+                    "cannot parse N-Triples for {graph}: line {line}: {message}"
+                )
             }
             ServiceError::Overloaded => write!(f, "request queue is full; retry later"),
             ServiceError::Disconnected => write!(f, "service hung up before answering"),
@@ -231,6 +362,8 @@ pub struct ServiceStats {
     pub engine: EngineStats,
     /// Tenants issued (the default tenant included).
     pub tenants: usize,
+    /// Streaming graphs held by the service across all tenants.
+    pub graphs: usize,
     /// Requests rejected with [`ServiceError::Overloaded`] by clients of
     /// this service's bounded queues.
     pub rejected: u64,
@@ -242,8 +375,8 @@ impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}; {} tenants; {} rejected; latency: {}",
-            self.engine, self.tenants, self.rejected, self.latency
+            "{}; {} tenants; {} graphs; {} rejected; latency: {}",
+            self.engine, self.tenants, self.graphs, self.rejected, self.latency
         )
     }
 }
@@ -256,10 +389,53 @@ struct ServiceState {
     /// query takes the read lock; only registration and tenant creation
     /// write.
     tenants: RwLock<Vec<HashSet<SchemaId>>>,
+    /// `graphs[g]` = the streaming graph behind [`GraphId`] `g`. The outer
+    /// lock is read-mostly (only graph creation writes); each slot carries
+    /// its own mutex, so tenants streaming into different graphs never
+    /// contend.
+    graphs: RwLock<Vec<GraphSlot>>,
     /// Requests rejected with [`ServiceError::Overloaded`].
     rejected: AtomicU64,
     /// Latency of every answered request.
     latency: LatencyHistogram,
+}
+
+/// One streaming graph and its owner.
+#[derive(Debug)]
+struct GraphSlot {
+    /// The tenant the handle was issued to — the only tenant that may
+    /// touch this slot.
+    tenant: TenantId,
+    /// The evolving state, serialised per graph.
+    entry: Mutex<GraphEntry>,
+}
+
+/// The evolving state behind one [`GraphId`]: the graph, the push parser
+/// carrying at most one incomplete line between chunks, the dirty-node log,
+/// and the retained typings that consume it.
+#[derive(Debug)]
+struct GraphEntry {
+    /// The graph as of all chunks and deltas applied so far.
+    graph: Graph,
+    /// The streaming N-Triples parser (bounded buffer: at most one line).
+    parser: NTriplesParser,
+    /// Dirty nodes accumulated since the oldest unsynced typing, in
+    /// application order (duplicates allowed — revalidation dedupes via its
+    /// worklist). Trimmed whenever every retained typing has caught up.
+    dirty: Vec<NodeId>,
+    /// One retained incremental typing per schema this graph has been
+    /// validated against, each with its sync point into `dirty`.
+    typings: HashMap<SchemaId, TypingSlot>,
+}
+
+/// A retained [`IncrementalTyping`] plus how much of the dirty log it has
+/// already consumed.
+#[derive(Debug)]
+struct TypingSlot {
+    typing: IncrementalTyping,
+    /// Offset into [`GraphEntry::dirty`]: everything before it is already
+    /// reflected in `typing`.
+    synced: usize,
 }
 
 /// A long-lived, multi-tenant containment session behind a
@@ -298,6 +474,7 @@ impl ContainmentService {
             engine,
             state: Arc::new(ServiceState {
                 tenants: RwLock::new(vec![HashSet::new()]),
+                graphs: RwLock::new(Vec::new()),
                 rejected: AtomicU64::new(0),
                 latency: LatencyHistogram::new(),
             }),
@@ -322,12 +499,18 @@ impl ContainmentService {
         self.state.tenants.read().expect("tenant lock").len()
     }
 
+    /// Streaming graphs held so far, across all tenants.
+    pub fn graph_count(&self) -> usize {
+        self.state.graphs.read().expect("graph lock").len()
+    }
+
     /// The service's metrics snapshot (what [`ServiceRequest::Stats`]
     /// answers).
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             engine: self.engine.stats(),
             tenants: self.tenant_count(),
+            graphs: self.graph_count(),
             rejected: self.state.rejected.load(Ordering::Relaxed),
             latency: self.state.latency.snapshot(),
         }
@@ -375,8 +558,136 @@ impl ContainmentService {
                 }
                 Ok(ServiceResponse::Matrix(self.engine.check_matrix_ids(&ids)))
             }
+            ServiceRequest::LoadTriples { graph, chunk } => {
+                let id = match graph {
+                    Some(id) => id,
+                    None => self.create_graph(tenant)?,
+                };
+                self.with_graph(tenant, id, |entry| {
+                    let mut delta = GraphDelta::new();
+                    let mut sink =
+                        |t: Triple<'_>| delta.add_triple(t.subject, t.predicate, t.object);
+                    let parsed = if chunk.is_empty() {
+                        entry.parser.finish(&mut sink)
+                    } else {
+                        entry.parser.feed(&chunk, &mut sink)
+                    };
+                    if let Err(error) = parsed {
+                        // After an error the parser state is unspecified:
+                        // reset it so the tenant resumes from a clean line
+                        // boundary. Triples before the bad statement in
+                        // this chunk are dropped with it — the graph only
+                        // ever reflects fully accepted chunks.
+                        entry.parser = NTriplesParser::new();
+                        return Err(ServiceError::Parse {
+                            graph: id,
+                            line: error.line,
+                            message: error.message,
+                        });
+                    }
+                    let report = entry.graph.apply_delta(&delta);
+                    entry.dirty.extend_from_slice(&report.dirty);
+                    Ok(ServiceResponse::Loaded {
+                        graph: id,
+                        triples: entry.parser.triples(),
+                        report: Box::new(report),
+                    })
+                })
+            }
+            ServiceRequest::ApplyDelta { graph, delta } => {
+                self.with_graph(tenant, graph, |entry| {
+                    let report = entry.graph.apply_delta(&delta);
+                    entry.dirty.extend_from_slice(&report.dirty);
+                    Ok(ServiceResponse::Applied {
+                        graph,
+                        report: Box::new(report),
+                    })
+                })
+            }
+            ServiceRequest::Revalidate { graph, schema } => {
+                self.checked(tenant, schema)?;
+                let definition = self.engine.schema(schema);
+                self.with_graph(tenant, graph, |entry| {
+                    // Split borrows: the typing consumes the dirty log while
+                    // reading the graph.
+                    let GraphEntry {
+                        graph: g,
+                        dirty,
+                        typings,
+                        ..
+                    } = entry;
+                    let (valid, affected) = {
+                        let slot = typings.entry(schema).or_insert_with(|| TypingSlot {
+                            // A fresh typing reflects the graph as-is, dirty
+                            // log included.
+                            typing: IncrementalTyping::new(g, &definition),
+                            synced: dirty.len(),
+                        });
+                        let affected = if slot.synced < dirty.len() {
+                            let n = slot.typing.apply(g, &definition, &dirty[slot.synced..]);
+                            slot.synced = dirty.len();
+                            n
+                        } else {
+                            0
+                        };
+                        (slot.typing.is_total(), affected)
+                    };
+                    // Trim the log once every retained typing has caught up,
+                    // so it grows with the edit rate between revalidations,
+                    // not with the graph's lifetime.
+                    if !dirty.is_empty() && typings.values().all(|s| s.synced == dirty.len()) {
+                        dirty.clear();
+                        for slot in typings.values_mut() {
+                            slot.synced = 0;
+                        }
+                    }
+                    Ok(ServiceResponse::Validation {
+                        graph,
+                        schema,
+                        valid,
+                        affected,
+                    })
+                })
+            }
             ServiceRequest::Stats => Ok(ServiceResponse::Stats(Box::new(self.stats()))),
         }
+    }
+
+    /// Mint a fresh, empty streaming graph owned by `tenant`.
+    fn create_graph(&self, tenant: TenantId) -> Result<GraphId, ServiceError> {
+        if tenant.index() >= self.tenant_count() {
+            return Err(ServiceError::UnknownTenant(tenant));
+        }
+        let mut graphs = self.state.graphs.write().expect("graph lock");
+        let id = GraphId(graphs.len() as u32);
+        graphs.push(GraphSlot {
+            tenant,
+            entry: Mutex::new(GraphEntry {
+                graph: Graph::new(),
+                parser: NTriplesParser::new(),
+                dirty: Vec::new(),
+                typings: HashMap::new(),
+            }),
+        });
+        Ok(id)
+    }
+
+    /// Run `f` over the entry behind `id`, after checking the handle was
+    /// issued to `tenant` — foreign and never-issued handles get the same
+    /// [`ServiceError::UnknownGraph`].
+    fn with_graph<R>(
+        &self,
+        tenant: TenantId,
+        id: GraphId,
+        f: impl FnOnce(&mut GraphEntry) -> Result<R, ServiceError>,
+    ) -> Result<R, ServiceError> {
+        let graphs = self.state.graphs.read().expect("graph lock");
+        let slot = graphs
+            .get(id.index())
+            .filter(|slot| slot.tenant == tenant)
+            .ok_or(ServiceError::UnknownGraph(id))?;
+        let mut entry = slot.entry.lock().expect("graph entry lock");
+        f(&mut entry)
     }
 
     /// A client onto this service's serve loop over a *bounded* queue of
@@ -686,6 +997,170 @@ mod tests {
         // Identical registrations from all clients interned onto one pair.
         assert_eq!(service.engine().schema_count(), 2);
         assert!(service.stats().latency.count() >= 9);
+    }
+
+    /// The evolving-graph fixture: `u1` with a `name` and an `email` edge
+    /// satisfies `User`; drop the email edge and `u1` satisfies nothing
+    /// (it still has an edge, so `Literal -> EMPTY` is out of reach too).
+    const USER_SCHEMA: &str = "User -> name::Literal, email::Literal\nLiteral -> EMPTY\n";
+
+    fn user_schema_id(service: &ContainmentService, tenant: TenantId) -> SchemaId {
+        ids_of(service, tenant, &[USER_SCHEMA])[0]
+    }
+
+    fn load(
+        service: &ContainmentService,
+        tenant: TenantId,
+        graph: Option<GraphId>,
+        chunk: &[u8],
+    ) -> Result<(GraphId, u64, DeltaReport), ServiceError> {
+        match service.handle(
+            tenant,
+            ServiceRequest::LoadTriples {
+                graph,
+                chunk: chunk.to_vec(),
+            },
+        )? {
+            ServiceResponse::Loaded {
+                graph,
+                triples,
+                report,
+            } => Ok((graph, triples, *report)),
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+    }
+
+    fn revalidate(
+        service: &ContainmentService,
+        tenant: TenantId,
+        graph: GraphId,
+        schema: SchemaId,
+    ) -> (bool, usize) {
+        match service.handle(tenant, ServiceRequest::Revalidate { graph, schema }) {
+            Ok(ServiceResponse::Validation {
+                valid, affected, ..
+            }) => (valid, affected),
+            other => panic!("expected Validation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streamed_chunks_assemble_lines_split_anywhere() {
+        let service = ContainmentService::new();
+        let schema = user_schema_id(&service, TenantId::DEFAULT);
+        let doc = b"<u1> <name> \"n\" .\n<u1> <email> \"e\" .";
+        // First chunk ends mid-way through the second statement; the last
+        // statement has no trailing newline, so only the empty-chunk flush
+        // completes it.
+        let (graph, triples, report) = load(&service, TenantId::DEFAULT, None, &doc[..25]).unwrap();
+        assert_eq!(triples, 1);
+        assert_eq!(report.added_edges, 1);
+        assert_eq!(report.added_nodes, 2, "u1 and the literal");
+        let (_, triples, report) =
+            load(&service, TenantId::DEFAULT, Some(graph), &doc[25..]).unwrap();
+        assert_eq!(triples, 1, "the unterminated line stays buffered");
+        assert_eq!(report.added_edges, 0);
+        let (_, triples, report) = load(&service, TenantId::DEFAULT, Some(graph), b"").unwrap();
+        assert_eq!(triples, 2, "the flush completes the final statement");
+        assert_eq!(report.added_edges, 1);
+        let (valid, affected) = revalidate(&service, TenantId::DEFAULT, graph, schema);
+        assert!(valid, "name + email satisfy User");
+        assert_eq!(affected, 0, "a fresh typing consumes no dirty log");
+        assert_eq!(service.stats().graphs, 1);
+        assert!(format!("{}", service.stats()).contains("1 graphs"));
+    }
+
+    #[test]
+    fn deltas_revalidate_incrementally_and_converge() {
+        let service = ContainmentService::new();
+        let schema = user_schema_id(&service, TenantId::DEFAULT);
+        let doc = b"<u1> <name> \"n\" .\n<u1> <email> \"e\" .\n";
+        let (graph, ..) = load(&service, TenantId::DEFAULT, None, doc).unwrap();
+        assert!(revalidate(&service, TenantId::DEFAULT, graph, schema).0);
+        // Dropping the email edge leaves u1 satisfying nothing.
+        let mut delta = GraphDelta::new();
+        delta.remove_edge("u1", "email", "\"e\"");
+        match service.handle(
+            TenantId::DEFAULT,
+            ServiceRequest::ApplyDelta {
+                graph,
+                delta: Box::new(delta),
+            },
+        ) {
+            Ok(ServiceResponse::Applied { report, .. }) => {
+                assert_eq!(report.removed_edges, 1);
+                assert_eq!(report.dirty.len(), 1, "only the source is dirty");
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+        let (valid, affected) = revalidate(&service, TenantId::DEFAULT, graph, schema);
+        assert!(!valid, "without the email edge u1 has no type");
+        assert!(affected >= 1, "the dirty region was re-examined");
+        // Restoring the edge restores validity, still incrementally.
+        let mut delta = GraphDelta::new();
+        delta.add_edge("u1", "email", "\"e\"");
+        service
+            .handle(
+                TenantId::DEFAULT,
+                ServiceRequest::ApplyDelta {
+                    graph,
+                    delta: Box::new(delta),
+                },
+            )
+            .unwrap();
+        let (valid, affected) = revalidate(&service, TenantId::DEFAULT, graph, schema);
+        assert!(valid);
+        assert!(affected >= 1);
+        // No edits since: the retained typing answers without recomputing.
+        assert_eq!(
+            revalidate(&service, TenantId::DEFAULT, graph, schema),
+            (true, 0)
+        );
+    }
+
+    #[test]
+    fn graph_handles_are_tenant_scoped_without_existence_leaks() {
+        let service = ContainmentService::new();
+        let blue = service.create_tenant();
+        let green = service.create_tenant();
+        let (graph, ..) = load(&service, blue, None, b"<a> <p> <b> .\n").unwrap();
+        // Green presenting blue's handle and anyone presenting a
+        // never-issued handle get the same error.
+        match load(&service, green, Some(graph), b"<c> <p> <d> .\n") {
+            Err(ServiceError::UnknownGraph(id)) => assert_eq!(id, graph),
+            other => panic!("expected UnknownGraph, got {other:?}"),
+        }
+        let ghost = GraphId(99);
+        match service.handle(
+            blue,
+            ServiceRequest::ApplyDelta {
+                graph: ghost,
+                delta: Box::new(GraphDelta::new()),
+            },
+        ) {
+            Err(ServiceError::UnknownGraph(id)) => assert_eq!(id, ghost),
+            other => panic!("expected UnknownGraph, got {other:?}"),
+        }
+        assert!(format!("{}", ServiceError::UnknownGraph(ghost)).contains("graph#99"));
+    }
+
+    #[test]
+    fn parse_errors_report_the_line_and_allow_resuming() {
+        let service = ContainmentService::new();
+        let (graph, ..) = load(&service, TenantId::DEFAULT, None, b"<a> <p> <b> .\n").unwrap();
+        match load(&service, TenantId::DEFAULT, Some(graph), b"not ntriples\n") {
+            Err(ServiceError::Parse { line, message, .. }) => {
+                assert_eq!(line, 2, "lines count across chunks");
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        // The parser was reset: streaming resumes on a clean line boundary
+        // and the graph still holds everything accepted before the error.
+        let (_, _, report) =
+            load(&service, TenantId::DEFAULT, Some(graph), b"<a> <q> <c> .\n").unwrap();
+        assert_eq!(report.added_edges, 1);
+        assert_eq!(report.added_nodes, 1, "a and b survived the bad chunk");
     }
 
     #[test]
