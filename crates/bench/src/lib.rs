@@ -16,6 +16,8 @@ use shapex_graph::Graph;
 use shapex_rbe::Interval;
 use shapex_shex::{parse_schema, Schema};
 
+pub mod throughput;
+
 /// A deterministic RNG for workload construction (benchmarks must be
 /// reproducible run to run).
 pub fn rng(seed: u64) -> StdRng {

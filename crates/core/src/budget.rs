@@ -15,10 +15,12 @@
 //!   unfolder that built them) are counted by every holder, so the accounted
 //!   total over-estimates the true resident set; the budget therefore bounds
 //!   a conservative upper bound, never an undercount.
-//! * [`CacheBudget`] holds the knob ([`CacheBudget::limit`], `None` =
-//!   unbounded — the default, and the zero-overhead path), the per-kind
-//!   resident-byte atomics, the LRU clock, and the eviction counters that
-//!   [`crate::engine::EngineStats`] surfaces.
+//! * [`CacheBudget`] holds the knobs ([`CacheBudget::limit`], `None` =
+//!   unbounded — the default, and the zero-overhead path; plus the
+//!   per-entry admission ceiling [`CacheBudget::max_entry_bytes`] that
+//!   refuses to cache any single oversized value before it can displace the
+//!   working set), the per-kind resident-byte atomics, the LRU clock, and
+//!   the eviction counters that [`crate::engine::EngineStats`] surfaces.
 //!
 //! The engine charges the ledger on every insert, stamps every entry with
 //! the clock on every hit, and — when the evictable total exceeds the limit
@@ -111,6 +113,12 @@ pub struct CacheBudget {
     /// Accounted-byte ceiling for the evictable caches; `None` disables
     /// eviction entirely (charges still accumulate, so stats stay honest).
     limit: Option<u64>,
+    /// Per-entry admission ceiling: a single cache entry heavier than this
+    /// is never cached at all (`None` admits everything). Eviction alone
+    /// cannot protect the working set from one oversized pool or memo — it
+    /// only reacts *after* the giant entry has already displaced everything
+    /// else, so admission refuses it up front.
+    max_entry_bytes: Option<u64>,
     /// The LRU clock: ticks on every cache hit and insert. Stamps are
     /// compared only for ordering, so relaxed increments are enough.
     clock: AtomicU64,
@@ -122,21 +130,32 @@ pub struct CacheBudget {
     evicted_bytes: AtomicU64,
     /// Eviction sweeps run.
     sweeps: AtomicU64,
+    /// Entries refused by the admission policy over the engine's lifetime.
+    admission_rejections: AtomicU64,
     /// Serialises sweeps: one thread walks the caches while the others keep
     /// querying (they block here only if they themselves went over budget).
     sweeper: Mutex<()>,
 }
 
 impl CacheBudget {
-    /// A ledger with the given evictable-byte ceiling (`None` = unbounded).
+    /// A ledger with the given evictable-byte ceiling (`None` = unbounded)
+    /// and no per-entry admission ceiling.
     pub fn new(limit: Option<u64>) -> CacheBudget {
+        CacheBudget::with_admission(limit, None)
+    }
+
+    /// A ledger with both knobs: the evictable-byte ceiling and the
+    /// per-entry admission ceiling (each `None` = unbounded).
+    pub fn with_admission(limit: Option<u64>, max_entry_bytes: Option<u64>) -> CacheBudget {
         CacheBudget {
             limit,
+            max_entry_bytes,
             clock: AtomicU64::new(0),
             resident: std::array::from_fn(|_| AtomicU64::new(0)),
             evictions: AtomicU64::new(0),
             evicted_bytes: AtomicU64::new(0),
             sweeps: AtomicU64::new(0),
+            admission_rejections: AtomicU64::new(0),
             sweeper: Mutex::new(()),
         }
     }
@@ -144,6 +163,24 @@ impl CacheBudget {
     /// The configured ceiling, if any.
     pub fn limit(&self) -> Option<u64> {
         self.limit
+    }
+
+    /// The configured per-entry admission ceiling, if any.
+    pub fn max_entry_bytes(&self) -> Option<u64> {
+        self.max_entry_bytes
+    }
+
+    /// Whether an entry weighing `bytes` may be cached at all. `false`
+    /// (counted in [`CacheBudget::admission_rejections`]) means the caller
+    /// must still *use* the computed value — only the caching is refused.
+    pub fn admits(&self, bytes: u64) -> bool {
+        match self.max_entry_bytes {
+            Some(ceiling) if bytes > ceiling => {
+                self.admission_rejections.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            _ => true,
+        }
     }
 
     /// Advance the LRU clock and return the new stamp (always ≥ 1, so a
@@ -215,6 +252,11 @@ impl CacheBudget {
     pub fn sweeps(&self) -> u64 {
         self.sweeps.load(Ordering::Relaxed)
     }
+
+    /// Entries refused by the admission policy so far.
+    pub fn admission_rejections(&self) -> u64 {
+        self.admission_rejections.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +294,24 @@ mod tests {
         let b = budget.touch();
         assert!(a >= 1);
         assert!(b > a);
+    }
+
+    #[test]
+    fn admission_refuses_only_oversized_entries() {
+        let budget = CacheBudget::with_admission(Some(1_000), Some(64));
+        assert!(budget.admits(64), "at the ceiling is still admitted");
+        assert!(!budget.admits(65));
+        assert!(budget.admits(1));
+        assert_eq!(budget.admission_rejections(), 1);
+        assert_eq!(budget.max_entry_bytes(), Some(64));
+    }
+
+    #[test]
+    fn default_admission_is_unbounded() {
+        let budget = CacheBudget::new(Some(8));
+        assert!(budget.admits(u64::MAX));
+        assert_eq!(budget.admission_rejections(), 0);
+        assert_eq!(budget.max_entry_bytes(), None);
     }
 
     #[test]

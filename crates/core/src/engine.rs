@@ -97,7 +97,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -155,6 +155,20 @@ pub struct EngineOptions {
     /// [module docs](self). Weights are documented approximations of heap
     /// footprint, not allocator ground truth.
     pub cache_budget: Option<u64>,
+    /// Per-entry admission ceiling for the evictable caches: a single cache
+    /// entry (one enumerated pool, one validation record, …) weighing more
+    /// accounted bytes than this is used but never cached, so one oversized
+    /// entry cannot evict the whole working set. `None` (default) admits
+    /// everything. Verdicts do not depend on this.
+    pub max_entry_bytes: Option<u64>,
+    /// Coalesce duplicate concurrent queries: while one thread computes the
+    /// verdict for a pair `(h, k)`, other threads asking the same ordered
+    /// pair block on that computation and share its verdict instead of
+    /// re-running the search (and cold enumerated pools are built once, not
+    /// once per racer). Verdicts are deterministic, so coalescing is
+    /// observationally invisible; `true` by default. [`EngineStats`] counts
+    /// the wins in `coalesced_queries` / `coalesced_pools`.
+    pub coalesce: bool,
     /// Presburger solver configuration for every acceptance check the
     /// engine's queries reach (the general sufficient condition and the
     /// arena's local-acceptance memo). The default honours the
@@ -171,6 +185,8 @@ impl Default for EngineOptions {
             parallel_threshold: 16,
             matrix_threads: 1,
             cache_budget: None,
+            max_entry_bytes: None,
+            coalesce: true,
             solver: SolverOptions::from_env(),
         }
     }
@@ -229,6 +245,20 @@ impl EngineOptionsBuilder {
     /// Remove the cache budget (the default): caches grow unboundedly.
     pub fn unbounded_cache(mut self) -> Self {
         self.options.cache_budget = None;
+        self
+    }
+
+    /// Refuse to cache any single entry heavier than `bytes` accounted
+    /// bytes (the admission policy of the cache budget).
+    pub fn max_entry_bytes(mut self, bytes: u64) -> Self {
+        self.options.max_entry_bytes = Some(bytes);
+        self
+    }
+
+    /// Enable or disable single-flight coalescing of duplicate concurrent
+    /// queries (enabled by default).
+    pub fn coalesce(mut self, coalesce: bool) -> Self {
+        self.options.coalesce = coalesce;
         self
     }
 
@@ -311,6 +341,19 @@ impl EngineOptions {
     pub fn with_solver(self, solver: SolverOptions) -> EngineOptions {
         EngineOptions { solver, ..self }
     }
+
+    /// Replace the coalescing knob, keeping everything else.
+    pub fn with_coalesce(self, coalesce: bool) -> EngineOptions {
+        EngineOptions { coalesce, ..self }
+    }
+
+    /// Replace the per-entry admission ceiling, keeping everything else.
+    pub fn with_max_entry_bytes(self, bytes: u64) -> EngineOptions {
+        EngineOptions {
+            max_entry_bytes: Some(bytes),
+            ..self
+        }
+    }
 }
 
 /// A handle to a schema registered with a [`ContainmentEngine`].
@@ -363,8 +406,20 @@ pub struct EngineStats {
     pub pool_hits: u64,
     /// Unfolding pools built.
     pub pools_built: u64,
+    /// Duplicate concurrent queries answered by waiting on another thread's
+    /// in-flight computation of the same ordered pair instead of re-running
+    /// the search (single-flight coalescing wins).
+    pub coalesced_queries: u64,
+    /// Duplicate concurrent pool enumerations that adopted another thread's
+    /// in-flight build instead of building (or re-looking-up) the pool.
+    pub coalesced_pools: u64,
     /// The configured evictable-cache budget (`None` = unbounded).
     pub cache_budget: Option<u64>,
+    /// The configured per-entry admission ceiling (`None` = admit all).
+    pub max_entry_bytes: Option<u64>,
+    /// Cache entries refused by the admission policy (computed and used,
+    /// but never cached, because they weighed more than `max_entry_bytes`).
+    pub admission_rejections: u64,
     /// Accounted bytes resident in the enumerated-pool caches.
     pub pool_bytes: u64,
     /// Accounted bytes resident in the candidate-validation memos.
@@ -447,6 +502,11 @@ impl fmt::Display for EngineStats {
         )?;
         write!(
             f,
+            "; coalesced {} queries + {} pools",
+            self.coalesced_queries, self.coalesced_pools,
+        )?;
+        write!(
+            f,
             "; resident {} B evictable (pools {}, validate {}, pairs {}, unfolder {}, bags {}) \
              + {} B pinned ({} B atoms); budget {}; {} evictions freed {} B in {} sweeps",
             self.evictable_bytes(),
@@ -465,6 +525,17 @@ impl fmt::Display for EngineStats {
             self.evicted_bytes,
             self.sweeps,
         )?;
+        if self.max_entry_bytes.is_some() || self.admission_rejections > 0 {
+            write!(
+                f,
+                "; admission ceiling {}; {} entries refused",
+                match self.max_entry_bytes {
+                    Some(ceiling) => format!("{ceiling} B"),
+                    None => "none".to_string(),
+                },
+                self.admission_rejections,
+            )?;
+        }
         write!(
             f,
             "; presburger {} calls ({} nodes searched, {} branches pruned)",
@@ -485,6 +556,8 @@ struct EngineCounters {
     embed_misses: AtomicU64,
     pool_hits: AtomicU64,
     pools_built: AtomicU64,
+    coalesced_queries: AtomicU64,
+    coalesced_pools: AtomicU64,
 }
 
 impl EngineCounters {
@@ -505,7 +578,11 @@ impl EngineCounters {
             embed_misses: self.embed_misses.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pools_built: self.pools_built.load(Ordering::Relaxed),
+            coalesced_queries: self.coalesced_queries.load(Ordering::Relaxed),
+            coalesced_pools: self.coalesced_pools.load(Ordering::Relaxed),
             cache_budget: budget.limit(),
+            max_entry_bytes: budget.max_entry_bytes(),
+            admission_rejections: budget.admission_rejections(),
             pool_bytes: budget.resident(CacheKind::Pools),
             validate_bytes: budget.resident(CacheKind::Validate),
             pair_bytes: budget.resident(CacheKind::Pairs),
@@ -638,6 +715,9 @@ impl ValidateMemo {
         }
         let key = CandidateKey::of(graph);
         let bytes = validate_record_weight(&key);
+        if !budget.admits(bytes) {
+            return; // oversized record: use the verdict, skip the memo
+        }
         bucket.push(ValidateRecord {
             key,
             verdict,
@@ -723,6 +803,10 @@ struct SchemaEntry {
     /// `(root type, depth) → pool` of systematic unfoldings, stamped and
     /// weighed for the eviction sweep.
     enumerated: RwLock<BTreeMap<(TypeId, usize), PoolSlot>>,
+    /// In-flight `(root, depth)` pool builds: concurrent demanders of one
+    /// cold pool coalesce onto a single construction instead of queueing on
+    /// the unfolder lock to each rebuild (and race-adopt) the same pool.
+    pool_flights: SingleFlight<(TypeId, usize), Pool>,
     /// The ordered randomized-phase sample pool.
     sampled: OnceLock<Pool>,
     /// The exhaustive per-type bag enumeration (`None` = infinite).
@@ -797,6 +881,9 @@ impl ShardedPairMap {
 
     fn insert(&self, key: (u32, u32), verdict: bool, budget: &CacheBudget) {
         use std::collections::btree_map::Entry;
+        if !budget.admits(PAIR_ENTRY_BYTES) {
+            return; // a sub-64-byte admission ceiling refuses even these
+        }
         let mut shard = self.shard(key).write().expect("pair memo lock");
         if let Entry::Vacant(slot) = shard.entry(key) {
             slot.insert(PairSlot {
@@ -804,6 +891,156 @@ impl ShardedPairMap {
                 stamp: AtomicU64::new(budget.touch()),
             });
             budget.charge(CacheKind::Pairs, PAIR_ENTRY_BYTES);
+        }
+    }
+}
+
+/// The lifecycle of one in-flight computation: the leader flips
+/// `Running → Done` on success; the panic guard flips `Running → Abandoned`
+/// if the leader unwinds, so followers retry instead of waiting forever.
+#[derive(Debug)]
+enum FlightState<V> {
+    Running,
+    Done(V),
+    Abandoned,
+}
+
+/// One in-flight computation that followers can block on.
+#[derive(Debug)]
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    ready: Condvar,
+}
+
+impl<V> Flight<V> {
+    fn new() -> Flight<V> {
+        Flight {
+            state: Mutex::new(FlightState::Running),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Publish the terminal state and wake every follower.
+    fn publish(&self, state: FlightState<V>) {
+        *self.state.lock().expect("flight state lock") = state;
+        self.ready.notify_all();
+    }
+}
+
+/// A sharded single-flight table: [`SingleFlight::run`] executes `compute`
+/// at most once per key among *concurrent* callers — the first caller (the
+/// leader) computes; everyone else arriving while the flight is up blocks
+/// and shares the leader's value. The entry is removed at publish time, so
+/// the table never grows into a verdict memo: a caller arriving after the
+/// leader landed starts a fresh flight (and typically recomputes warm, off
+/// the underlying memos).
+///
+/// Correctness leans on determinism: every computation routed through one
+/// key must produce the same value, so handing a follower the leader's copy
+/// is observationally invisible.
+#[derive(Debug)]
+struct SingleFlight<K, V> {
+    shards: Vec<Mutex<HashMap<K, Arc<Flight<V>>>>>,
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> SingleFlight<K, V> {
+    fn new(shards: usize) -> SingleFlight<K, V> {
+        SingleFlight {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<Flight<V>>>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % self.shards.len()]
+    }
+
+    /// Run `compute` for `key`, coalescing with any concurrent caller of the
+    /// same key: the leader computes, followers wait and receive a clone of
+    /// the leader's value (ticking `coalesced` once per follower). `compute`
+    /// runs outside every flight lock and must not re-enter this table (a
+    /// nested `run` on the same table could deadlock on its own flight).
+    fn run(&self, key: K, compute: impl FnOnce() -> V, coalesced: &AtomicU64) -> V {
+        use std::collections::hash_map::Entry;
+        let flight = {
+            let mut shard = self.shard(&key).lock().expect("single-flight lock");
+            match shard.entry(key) {
+                Entry::Occupied(slot) => Some(Arc::clone(slot.get())),
+                Entry::Vacant(slot) => {
+                    slot.insert(Arc::new(Flight::new()));
+                    None
+                }
+            }
+        };
+        match flight {
+            Some(flight) => {
+                // Follower: block until the leader publishes.
+                let mut state = flight.state.lock().expect("flight state lock");
+                loop {
+                    match &*state {
+                        FlightState::Running => {
+                            state = flight.ready.wait(state).expect("flight state lock");
+                        }
+                        FlightState::Done(value) => {
+                            EngineCounters::tick(coalesced);
+                            return value.clone();
+                        }
+                        // The leader unwound without a value; compute
+                        // directly rather than racing to lead a new flight.
+                        FlightState::Abandoned => break,
+                    }
+                }
+                drop(state);
+                compute()
+            }
+            None => {
+                // Leader: compute outside the locks, then publish. The
+                // guard abandons the flight if `compute` unwinds.
+                let mut guard = FlightGuard {
+                    table: self,
+                    key,
+                    armed: true,
+                };
+                let value = compute();
+                // Retire the entry first so late arrivals start a fresh
+                // flight instead of adopting a finished one, then wake the
+                // followers already holding the Arc.
+                if let Some(flight) = self
+                    .shard(&key)
+                    .lock()
+                    .expect("single-flight lock")
+                    .remove(&key)
+                {
+                    flight.publish(FlightState::Done(value.clone()));
+                }
+                guard.armed = false;
+                value
+            }
+        }
+    }
+}
+
+/// Panic guard of a single-flight leader: if `compute` unwinds, retire the
+/// table entry and mark the flight `Abandoned` so followers stop waiting.
+struct FlightGuard<'a, K: Eq + Hash + Copy, V: Clone> {
+    table: &'a SingleFlight<K, V>,
+    key: K,
+    /// Disarmed by the success path once the flight has been published.
+    armed: bool,
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> Drop for FlightGuard<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        if let Ok(mut shard) = self.table.shard(&self.key).lock() {
+            if let Some(flight) = shard.remove(&self.key) {
+                flight.publish(FlightState::Abandoned);
+            }
         }
     }
 }
@@ -839,6 +1076,14 @@ pub struct ContainmentEngine {
     embeds_memo: ShardedPairMap,
     /// `(h, k) → whether the general sufficient condition holds`.
     sufficient_memo: ShardedPairMap,
+    /// In-flight `(h, k)` verdict computations (single-flight coalescing,
+    /// [`EngineOptions::coalesce`]): sharded like the pair memos so
+    /// concurrent queries for different pairs never contend. Full verdicts
+    /// are deliberately *not* memoised — the bounded search re-runs per call
+    /// over warm memos — so coalescing duplicate concurrent checks is what
+    /// keeps a thundering herd of identical queries from multiplying that
+    /// warm re-walk.
+    query_flights: SingleFlight<(u32, u32), Containment>,
     counters: EngineCounters,
     /// The accounted-byte ledger and eviction bookkeeping behind
     /// [`EngineOptions::cache_budget`] — `Arc`ed because the session context
@@ -870,7 +1115,10 @@ impl ContainmentEngine {
 
     /// An engine with the given options.
     pub fn with_options(options: EngineOptions) -> ContainmentEngine {
-        let budget = Arc::new(CacheBudget::new(options.cache_budget));
+        let budget = Arc::new(CacheBudget::with_admission(
+            options.cache_budget,
+            options.max_entry_bytes,
+        ));
         let session = SessionContext {
             solver: options.solver,
             telemetry: Some(Arc::new(SolverTelemetry::new())),
@@ -883,6 +1131,7 @@ impl ContainmentEngine {
             registry: RwLock::new(Registry::default()),
             embeds_memo: ShardedPairMap::new(),
             sufficient_memo: ShardedPairMap::new(),
+            query_flights: SingleFlight::new(PAIR_SHARDS),
             counters: EngineCounters::default(),
             budget,
             atom_bytes: AtomicU64::new(0),
@@ -991,6 +1240,7 @@ impl ContainmentEngine {
             unfolder: Mutex::new(Unfolder::with_context(self.session.clone())),
             unfolder_bytes: AtomicU64::new(0),
             enumerated: RwLock::new(BTreeMap::new()),
+            pool_flights: SingleFlight::new(1),
             sampled: OnceLock::new(),
             bags: OnceLock::new(),
         });
@@ -1044,7 +1294,7 @@ impl ContainmentEngine {
     /// [`ContainmentEngine::check`] for already-registered schemas.
     pub fn check_ids(&self, h: SchemaId, k: SchemaId) -> Containment {
         let entries = self.entries(&[h, k]);
-        self.general_entries(h, k, &entries[0], &entries[1], true)
+        self.coalesced_entries(h, k, &entries[0], &entries[1], true)
     }
 
     /// Batch pairwise containment: `matrix[i][j]` answers
@@ -1071,7 +1321,7 @@ impl ContainmentEngine {
         // work off these prefetched entries.
         let entries = self.entries(ids);
         let cell = |i: usize, j: usize, fan_out: bool| {
-            self.general_entries(ids[i], ids[j], &entries[i], &entries[j], fan_out)
+            self.coalesced_entries(ids[i], ids[j], &entries[i], &entries[j], fan_out)
         };
         let workers = self.options.matrix_threads.max(1).min(ids.len().max(1));
         if workers <= 1 {
@@ -1113,10 +1363,13 @@ impl ContainmentEngine {
 
     /// The session equivalent of [`crate::shex0::shex0_containment`].
     pub fn shex0(&self, h: &Schema, k: &Schema) -> Containment {
+        // Routed through the same coalesced dispatcher as `check`: the two
+        // pipelines delegate to each other on class mismatch, so for every
+        // pair they compute the identical verdict and may share one flight.
         let h = self.register(h);
         let k = self.register(k);
         let entries = self.entries(&[h, k]);
-        self.shex0_entries(h, k, &entries[0], &entries[1], true)
+        self.coalesced_entries(h, k, &entries[0], &entries[1], true)
     }
 
     /// The session equivalent of [`crate::general::general_containment`].
@@ -1124,7 +1377,7 @@ impl ContainmentEngine {
         let h = self.register(h);
         let k = self.register(k);
         let entries = self.entries(&[h, k]);
-        self.general_entries(h, k, &entries[0], &entries[1], true)
+        self.coalesced_entries(h, k, &entries[0], &entries[1], true)
     }
 
     /// The session equivalent of [`crate::det::det_containment`]: polynomial
@@ -1169,6 +1422,35 @@ impl ContainmentEngine {
         let k = self.register(k);
         let entries = self.entries(&[h, k]);
         self.search_ids(&entries[0], &entries[1], true).witness
+    }
+
+    /// The single-flight seam of every `(h, k)` verdict query: while one
+    /// thread runs the dispatch chain for an ordered pair, duplicate
+    /// concurrent queries for the same pair block on that computation and
+    /// share its verdict ([`EngineStats::coalesced_queries`] counts them).
+    /// Sound because verdicts are deterministic functions of the registered
+    /// pair — and because [`ContainmentEngine::shex0_entries`] and
+    /// [`ContainmentEngine::general_entries`] delegate to each other on
+    /// class mismatch, every public query route computes the same verdict
+    /// for a given pair, so one flight key serves them all. `fan_out` only
+    /// shapes parallelism, never the answer. Disabled (straight
+    /// pass-through) when [`EngineOptions::coalesce`] is off.
+    fn coalesced_entries(
+        &self,
+        h: SchemaId,
+        k: SchemaId,
+        h_entry: &Arc<SchemaEntry>,
+        k_entry: &Arc<SchemaEntry>,
+        fan_out: bool,
+    ) -> Containment {
+        if !self.options.coalesce {
+            return self.general_entries(h, k, h_entry, k_entry, fan_out);
+        }
+        self.query_flights.run(
+            (h.0, k.0),
+            || self.general_entries(h, k, h_entry, k_entry, fan_out),
+            &self.counters.coalesced_queries,
+        )
     }
 
     /// The `ShEx₀` procedure over registered schemas (Section 5 pipeline:
@@ -1451,6 +1733,37 @@ impl ContainmentEngine {
             slot.stamp.store(self.budget.touch(), Ordering::Relaxed);
             return slot.pool.clone();
         }
+        if !self.options.coalesce {
+            return self.build_enumerated_pool(h, root, depth, opts);
+        }
+        // Cold pool: coalesce concurrent demanders onto one construction.
+        // Without the flight they would all queue on the unfolder lock and
+        // each rebuild the pool only to race-adopt the first insertion.
+        h.pool_flights.run(
+            (root, depth),
+            || {
+                // A flight that landed between our cache miss and our
+                // leadership may have filled the slot already.
+                if let Some(slot) = h.enumerated.read().expect("pool lock").get(&(root, depth)) {
+                    EngineCounters::tick(&self.counters.pool_hits);
+                    slot.stamp.store(self.budget.touch(), Ordering::Relaxed);
+                    return slot.pool.clone();
+                }
+                self.build_enumerated_pool(h, root, depth, opts)
+            },
+            &self.counters.coalesced_pools,
+        )
+    }
+
+    /// Actually build (and cache, admission permitting) one enumerated
+    /// pool — the cold path behind [`ContainmentEngine::enumerated_pool`].
+    fn build_enumerated_pool(
+        &self,
+        h: &Arc<SchemaEntry>,
+        root: TypeId,
+        depth: usize,
+        opts: &SearchOptions,
+    ) -> Pool {
         EngineCounters::tick(&self.counters.pools_built);
         let scoped = SearchOptions {
             max_depth: depth,
@@ -1474,6 +1787,10 @@ impl ContainmentEngine {
                 // A racing builder won the slot; adopt its pool, charge
                 // nothing (the winner charged).
                 Entry::Occupied(slot) => slot.get().pool.clone(),
+                // Oversized pools are used but not cached (admission
+                // policy): refusing up front beats letting one giant pool
+                // evict the whole working set.
+                Entry::Vacant(_) if !self.budget.admits(bytes) => pool,
                 Entry::Vacant(slot) => {
                     slot.insert(PoolSlot {
                         pool: pool.clone(),
@@ -2149,11 +2466,19 @@ mod tests {
             .parallel_threshold(4)
             .matrix_threads(2)
             .cache_budget(1 << 20)
+            .max_entry_bytes(1 << 16)
+            .coalesce(false)
             .build();
         assert_eq!(options.threads, 3);
         assert_eq!(options.parallel_threshold, 4);
         assert_eq!(options.matrix_threads, 2);
         assert_eq!(options.cache_budget, Some(1 << 20));
+        assert_eq!(options.max_entry_bytes, Some(1 << 16));
+        assert!(!options.coalesce);
+        assert!(
+            EngineOptions::default().coalesce,
+            "coalescing is on by default"
+        );
         assert_eq!(
             options.search.max_depth,
             SearchOptions::quick().max_depth,
@@ -2386,5 +2711,124 @@ mod tests {
             }
             other => panic!("expected BudgetExhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_callers() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+        let table: SingleFlight<(u32, u32), u64> = SingleFlight::new(4);
+        let computed = AtomicUsize::new(0);
+        let coalesced = AtomicU64::new(0);
+        let barrier = Barrier::new(4);
+        let values: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        table.run(
+                            (7, 9),
+                            || {
+                                computed.fetch_add(1, Ordering::Relaxed);
+                                // Outlast the followers' walk to the wait.
+                                std::thread::sleep(std::time::Duration::from_millis(100));
+                                42
+                            },
+                            &coalesced,
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(values.iter().all(|&v| v == 42));
+        let runs = computed.load(Ordering::Relaxed) as u64;
+        assert_eq!(
+            runs + coalesced.load(Ordering::Relaxed),
+            4,
+            "every caller either computed or coalesced"
+        );
+        assert_eq!(runs, 1, "one 100ms flight absorbs all barrier racers");
+        assert!(
+            table.shards.iter().all(|s| s.lock().unwrap().is_empty()),
+            "flights retire their table entries"
+        );
+    }
+
+    #[test]
+    fn single_flight_abandons_on_leader_panic() {
+        let table: Arc<SingleFlight<(u32, u32), u64>> = Arc::new(SingleFlight::new(1));
+        let coalesced = Arc::new(AtomicU64::new(0));
+        let leader = {
+            let table = Arc::clone(&table);
+            let coalesced = Arc::clone(&coalesced);
+            std::thread::spawn(move || {
+                table.run(
+                    (1, 2),
+                    || {
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        panic!("leader dies mid-flight")
+                    },
+                    &coalesced,
+                )
+            })
+        };
+        // Give the leader time to take the flight, then follow it.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let follower = table.run((1, 2), || 7, &coalesced);
+        assert_eq!(follower, 7, "follower recomputes after an abandoned flight");
+        assert!(leader.join().is_err(), "leader panicked");
+        assert!(table.shards[0].lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn uncoalesced_engine_answers_identically() {
+        let h = parse_schema("Root -> p::A, p::B\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
+        let k = parse_schema("Root -> p::A, p::A\nA -> a::L?\nB -> b::L\nL -> EMPTY\n").unwrap();
+        let coalesced = quick_engine();
+        let plain = ContainmentEngine::with_options(EngineOptions::quick().with_coalesce(false));
+        for (a, b) in [(&h, &k), (&k, &h), (&h, &h)] {
+            assert_eq!(
+                format!("{}", coalesced.check(a, b)),
+                format!("{}", plain.check(a, b))
+            );
+        }
+        assert_eq!(plain.stats().coalesced_queries, 0);
+        assert_eq!(plain.stats().coalesced_pools, 0);
+    }
+
+    #[test]
+    fn admission_ceiling_keeps_oversized_pools_out_of_the_cache() {
+        let h = parse_schema("Root -> p::A, p::B\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
+        let k = parse_schema("Root -> p::A, p::A\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
+        let unbounded = quick_engine();
+        // A 32-byte ceiling refuses every pool, validation record, and even
+        // the 64-byte pair entries: nothing is cached, verdicts unchanged.
+        let strict =
+            ContainmentEngine::with_options(EngineOptions::quick().with_max_entry_bytes(32));
+        for _round in 0..2 {
+            for (a, b) in [(&h, &k), (&k, &h)] {
+                assert_eq!(
+                    format!("{}", unbounded.check(a, b)),
+                    format!("{}", strict.check(a, b))
+                );
+            }
+        }
+        let stats = strict.stats();
+        assert!(stats.admission_rejections > 0, "{stats}");
+        assert_eq!(stats.max_entry_bytes, Some(32));
+        // Every *entry* cache stays empty; only the unfolder arenas (delta
+        // accounted, not per-entry) may carry bytes.
+        assert_eq!(stats.pool_bytes, 0, "no pool admitted: {stats}");
+        assert_eq!(stats.validate_bytes, 0, "no record admitted: {stats}");
+        assert_eq!(stats.pair_bytes, 0, "no pair entry admitted: {stats}");
+        assert_eq!(stats.bag_bytes, 0, "no enumeration admitted: {stats}");
+        assert_eq!(
+            stats.validate_hits, 0,
+            "an empty memo can never answer a lookup"
+        );
+        let text = format!("{stats}");
+        assert!(text.contains("admission ceiling 32 B"), "{text}");
+        assert_eq!(unbounded.stats().admission_rejections, 0);
     }
 }

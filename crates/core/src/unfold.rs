@@ -193,6 +193,11 @@ impl SharedBagCache {
             return; // a racing enumerator won; keep its accounting
         }
         let bytes = bag_entry_weight(&bags);
+        if let Some(budget) = budget {
+            if !budget.admits(bytes) {
+                return; // oversized enumeration: used by the caller, not cached
+            }
+        }
         bucket.push(BagEntry {
             expr: expr.clone(),
             cap,

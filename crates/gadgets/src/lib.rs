@@ -14,10 +14,13 @@
 //! * [`disjuncts`] — disjunct-heavy general-containment pairs whose
 //!   neighbourhood checks are forced through the Presburger solver, the
 //!   workload the parallel disjunct search is measured on.
+//! * [`corpus`] — corpus-scale workloads: fleets of schema families evolving
+//!   under seeded deltas, the input of the `service_throughput` bench.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod disjuncts;
 pub mod figures;
 pub mod generate;

@@ -41,8 +41,9 @@ impl Bounds {
 /// With `threads > 1`, when the search pops a disjunction of two or more
 /// branches (outside an already-forked worker) *and* the estimated cost of
 /// exploring a branch from the current state — accumulated atom count times
-/// the widest unresolved domain, see [`estimated_branch_cost`] — reaches
-/// `min_fork_cost`, the branches are explored by a scoped worker pool: each
+/// the size of the unresolved assignment space, see
+/// [`estimated_branch_cost`] — reaches `min_fork_cost`, the branches are
+/// explored by a scoped worker pool: each
 /// worker snapshots the accumulated atoms and domains (cheap — the
 /// undo-trail design keeps both flat vectors), claims branches from a shared
 /// atomic cursor (work-stealing), and a first-solution latch stops the
@@ -53,6 +54,17 @@ impl Bounds {
 /// but trivially-propagated disjunctions (tight domains, few atoms) used to
 /// pay thread-spawn and snapshot overhead for microseconds of search, while
 /// narrow-but-deep forks were never taken.
+///
+/// The estimate itself has been recalibrated once: it originally multiplied
+/// the atom count by only the *widest* single domain, which priced a
+/// top-level disjunction (no atoms accumulated yet, every variable
+/// unresolved) at `1 × (width + 1)` — single digits for the disjunct
+/// gadgets, far below any sensible `min_fork_cost`, so the exact workload
+/// parallel fan-out exists for never forked at its outermost (and only
+/// eligible) disjunction. The estimate now multiplies the widths of *all*
+/// unresolved domains — the size of the remaining assignment space a branch
+/// might explore — so top-level disjunctions over many free variables price
+/// as the exponential searches they are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolverOptions {
     /// Worker threads for disjunct exploration; `1` keeps the search serial.
@@ -103,20 +115,25 @@ impl SolverOptions {
 }
 
 /// The cheap per-branch cost estimate gating parallel fan-out: the number of
-/// accumulated atomic constraints times the widest unresolved variable
-/// domain. Propagation re-scans every atom per tightening pass and search
-/// depth scales with domain width, so the product tracks (very roughly) how
-/// much work a worker would claim per branch — enough to tell "microseconds"
+/// accumulated atomic constraints times the size of the unresolved
+/// assignment space — the product over every domain of `(width + 1)`, so a
+/// resolved variable (width 0) contributes a factor of one and `n` free
+/// variables of width `w` contribute `(w + 1)ⁿ`. Propagation re-scans every
+/// atom per tightening pass and the search in the worst case enumerates the
+/// remaining assignment space, so the (saturating) product tracks how much
+/// work a worker could claim per branch — enough to tell "microseconds"
 /// from "worth a thread" without inspecting the branches themselves.
+///
+/// In particular a *top-level* disjunction (no atoms yet, all variables
+/// free) prices at the full assignment space: the disjunct-scaling gadgets
+/// at `vars = 6` estimate `7⁶ ≈ 10⁵`, comfortably past the default
+/// [`SolverOptions::min_fork_cost`] of 256, where the previous
+/// widest-single-domain estimate priced them at 7 and never forked.
 pub fn estimated_branch_cost(atoms_len: usize, domains: &[(u64, u64)]) -> u64 {
-    let width = domains
-        .iter()
-        .map(|&(lo, hi)| hi.saturating_sub(lo))
-        .max()
-        .unwrap_or(0);
-    (atoms_len as u64)
-        .max(1)
-        .saturating_mul(width.saturating_add(1))
+    let space = domains.iter().fold(1u64, |acc, &(lo, hi)| {
+        acc.saturating_mul(hi.saturating_sub(lo).saturating_add(1))
+    });
+    (atoms_len as u64).max(1).saturating_mul(space)
 }
 
 /// Counters of one [`Solver::solve_with_stats`] call.
@@ -922,11 +939,20 @@ mod tests {
     }
 
     #[test]
-    fn fork_cost_estimate_scales_with_atoms_and_width() {
+    fn fork_cost_estimate_scales_with_atoms_and_assignment_space() {
         assert_eq!(estimated_branch_cost(0, &[]), 1, "empty state costs ~1");
         assert_eq!(estimated_branch_cost(4, &[(0, 0), (0, 9)]), 4 * 10);
-        // Fixed variables contribute nothing; the widest domain dominates.
+        // Resolved variables contribute a factor of one.
         assert_eq!(estimated_branch_cost(1, &[(5, 5), (0, 99)]), 100);
+        // Free variables multiply: the unresolved assignment space, not just
+        // the single widest domain, prices a top-level disjunction.
+        assert_eq!(estimated_branch_cost(0, &[(0, 6); 6]), 7u64.pow(6));
+        assert_eq!(estimated_branch_cost(2, &[(0, 9), (0, 9)]), 2 * 100);
+        // The product saturates instead of wrapping.
+        assert_eq!(
+            estimated_branch_cost(1, &[(0, u64::MAX - 1), (0, u64::MAX - 1)]),
+            u64::MAX
+        );
     }
 
     #[test]

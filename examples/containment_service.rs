@@ -1,17 +1,19 @@
 //! A long-lived, multi-tenant containment service: one shared
-//! bounded-memory engine behind a bounded request queue, several tenants,
+//! bounded-memory engine behind a pool of sharded workers, several tenants,
 //! an overload burst, and the metrics line.
 //!
-//! The server thread runs [`ContainmentService::serve`] over the bounded
-//! channel a [`ServiceClient`] feeds. Three tenant threads register the
-//! bug-tracker schema family (the upload endpoint — identical submissions
-//! intern onto one engine entry across tenants, but each tenant can only
-//! query handles it registered itself), then check their own upgrade paths;
-//! the main thread fetches the full matrix, fires a deliberate burst at a
-//! tiny queue to show the explicit [`ServiceError::Overloaded`] rejection,
-//! and prints the service stats: engine cache/memory counters (the engine
-//! runs under a cache budget, so evictions and resident bytes are live
-//! numbers), tenants, rejections, and the request-latency histogram.
+//! [`ContainmentService::pool`] spawns the serve loops — one bounded queue
+//! per worker, so a slow request delays only its own queue while a
+//! [`PoolClient`] rotates fresh requests past it. Three tenant threads
+//! register the bug-tracker schema family (the upload endpoint — identical
+//! submissions intern onto one engine entry across tenants, but each tenant
+//! can only query handles it registered itself), then check their own
+//! upgrade paths; the main thread fetches the full matrix through the pool,
+//! fires a deliberate burst at a tiny undrained queue to show the explicit
+//! [`ServiceError::Overloaded`] rejection, and prints the service stats:
+//! engine cache/memory counters (the engine runs under a cache budget, so
+//! evictions and resident bytes are live numbers), tenants, rejections, and
+//! the request-latency histogram.
 //!
 //! Run with `cargo run --example containment_service`.
 
@@ -67,15 +69,14 @@ fn main() {
     // One tenant per client organisation; the main thread stays on the
     // default tenant.
     let tenants: Vec<TenantId> = (0..3).map(|_| service.create_tenant()).collect();
-    let (client, requests) = service.connect(TenantId::DEFAULT, 64);
+
+    // The servers: a pool of sharded serve loops over the shared engine —
+    // one bounded queue per worker, so one slow request cannot
+    // head-of-line-block every tenant.
+    let pool = service.pool(2, 64);
+    let client = pool.client(TenantId::DEFAULT);
 
     thread::scope(|scope| {
-        // The server: a synchronous request loop over the shared engine.
-        let server = {
-            let service = service.clone();
-            scope.spawn(move || service.serve(requests))
-        };
-
         // Three tenants, each registering the whole family (the engine
         // interns duplicates across tenants) and checking its own upgrade
         // path. Each drives the service directly through `handle` — the
@@ -107,7 +108,7 @@ fn main() {
             });
         }
 
-        // The main thread talks through the bounded queue: register (free —
+        // The main thread talks through the pool's queues: register (free —
         // interned), fetch the full matrix, then demonstrate backpressure.
         let ids: Vec<_> = VERSIONS
             .iter()
@@ -173,10 +174,10 @@ fn main() {
             Ok(ServiceResponse::Stats(stats)) => println!("\nservice metrics: {stats}"),
             other => panic!("stats: unexpected {other:?}"),
         }
-
-        drop(client); // hang up: the server loop drains and returns
-        server.join().expect("server thread");
     });
+
+    drop(client); // hang up: the worker loops drain and return
+    pool.join();
 
     // The service handle still works without the loop (pure dispatch).
     let direct = service.handle(TenantId::DEFAULT, ServiceRequest::Stats);

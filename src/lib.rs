@@ -15,11 +15,13 @@
 //!   workload generators.
 //! * [`service`] — a long-lived, multi-tenant containment service:
 //!   tenant-scoped schema registration, streaming N-Triples ingestion with
-//!   incremental revalidation of evolving graphs, typed errors, a bounded
-//!   request queue with explicit backpressure, and a stats surface (engine
-//!   cache + memory counters, latency histogram), all over one shared
+//!   incremental revalidation of evolving graphs, typed errors, bounded
+//!   request queues with explicit backpressure — single serve loop or a
+//!   sharded `ServicePool` of workers — and a stats surface (engine cache +
+//!   memory counters, latency histogram), all over one shared
 //!   `ContainmentEngine` — bounded-memory when configured with a
-//!   `cache_budget`.
+//!   `cache_budget`, duplicate-proof under concurrency via single-flight
+//!   query coalescing.
 //! * [`metrics`] — the dependency-free log-spaced latency histogram behind
 //!   the service stats.
 
@@ -39,8 +41,8 @@ pub mod service;
 pub mod prelude {
     pub use crate::metrics::{LatencyHistogram, LatencySnapshot};
     pub use crate::service::{
-        ContainmentService, GraphId, ServiceClient, ServiceError, ServiceRequest, ServiceResponse,
-        ServiceStats, TenantId,
+        ContainmentService, GraphId, PoolClient, ServiceClient, ServiceError, ServicePool,
+        ServiceRequest, ServiceResponse, ServiceStats, TenantId,
     };
     pub use shapex_core::{
         baseline::enumerate_counter_example,

@@ -128,6 +128,21 @@ impl LatencySnapshot {
         unreachable!("bucket counts sum to at least count")
     }
 
+    /// The median latency bound: `quantile(0.50)`.
+    pub fn p50(&self) -> Option<Duration> {
+        self.quantile(0.50)
+    }
+
+    /// The 90th-percentile latency bound: `quantile(0.90)`.
+    pub fn p90(&self) -> Option<Duration> {
+        self.quantile(0.90)
+    }
+
+    /// The 99th-percentile (tail) latency bound: `quantile(0.99)`.
+    pub fn p99(&self) -> Option<Duration> {
+        self.quantile(0.99)
+    }
+
     /// The non-empty buckets as `(upper_bound, count)` pairs (`None` upper
     /// bound = the overflow bucket).
     pub fn buckets(&self) -> impl Iterator<Item = (Option<Duration>, u64)> + '_ {
@@ -155,9 +170,9 @@ impl fmt::Display for LatencySnapshot {
             "{} requests; mean {:?}; p50 ≤ {:?}; p90 ≤ {:?}; p99 ≤ {:?}",
             self.count,
             self.mean().expect("count > 0"),
-            self.quantile(0.50).expect("count > 0"),
-            self.quantile(0.90).expect("count > 0"),
-            self.quantile(0.99).expect("count > 0"),
+            self.p50().expect("count > 0"),
+            self.p90().expect("count > 0"),
+            self.p99().expect("count > 0"),
         )
     }
 }
@@ -195,6 +210,9 @@ mod tests {
         assert_eq!(snapshot.quantile(0.5), Some(Duration::from_micros(16)));
         assert_eq!(snapshot.quantile(0.90), Some(Duration::from_micros(16)));
         assert_eq!(snapshot.quantile(0.99), Some(Duration::from_micros(1024)));
+        assert_eq!(snapshot.p50(), snapshot.quantile(0.50));
+        assert_eq!(snapshot.p90(), snapshot.quantile(0.90));
+        assert_eq!(snapshot.p99(), snapshot.quantile(0.99));
         assert_eq!(snapshot.quantile(1.0), Some(Duration::from_micros(1024)));
         assert!(snapshot.mean().unwrap() >= Duration::from_micros(10));
         let line = format!("{snapshot}");

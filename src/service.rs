@@ -50,18 +50,27 @@
 //!   ([`crate::metrics::LatencySnapshot`]) of every request this service
 //!   answered. Its `Display` rendering is the line to log or scrape.
 //!
+//! * **Sharded workers.** [`ContainmentService::pool`] spawns a
+//!   [`ServicePool`] of N serve-loop threads, each behind its own bounded
+//!   queue; a [`PoolClient`] round-robins requests across the workers and
+//!   rotates past full queues, so one slow [`ServiceRequest::Matrix`] no
+//!   longer head-of-line-blocks every tenant. Backpressure keeps `connect`'s
+//!   semantics per worker: [`PoolClient::call`] fails with
+//!   [`ServiceError::Overloaded`] only when every queue is full.
+//!
 //! The protocol stays transport-agnostic: `handle` maps one request to one
 //! response and is safe from any number of threads;
 //! [`ContainmentService::serve`] runs it as a blocking loop over a channel
 //! of [`ServiceEnvelope`]s — the shape `examples/containment_service.rs`
 //! demonstrates with one server thread, several tenants, and a deliberate
 //! overload burst. Because the service is [`Clone`] (it clones the inner
-//! [`Arc`]s), the same engine can sit behind several server threads at once.
+//! [`Arc`]s), the same engine can sit behind several server threads at once —
+//! [`ContainmentService::pool`] packages exactly that.
 
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -78,6 +87,8 @@ use crate::metrics::{LatencyHistogram, LatencySnapshot};
 shapex_graph::assert_send_sync!(
     ContainmentService,
     ServiceClient,
+    ServicePool,
+    PoolClient,
     ServiceRequest,
     ServiceResponse,
     ServiceError,
@@ -824,6 +835,184 @@ impl ServiceClient {
     }
 }
 
+/// A sharded pool of serve-loop workers over one shared service, from
+/// [`ContainmentService::pool`]: `N` dedicated threads, each draining its
+/// own bounded queue, all dispatching onto the same engine and caches.
+///
+/// One blocking [`ContainmentService::serve`] loop head-of-line-blocks every
+/// tenant behind whichever request is currently executing — one slow
+/// [`ServiceRequest::Matrix`] stalls the cheapest `Stats` probe. The pool
+/// shards the queues instead: a [`PoolClient`] round-robins fresh requests
+/// across the workers and rotates past full queues, so a slow request delays
+/// only the (bounded) queue behind its own worker. Backpressure stays
+/// per-worker and explicit: [`PoolClient::call`] returns
+/// [`ServiceError::Overloaded`] only when *every* worker queue is full.
+///
+/// Duplicate concurrent queries landing on different workers coalesce inside
+/// the engine (single-flight, [`EngineOptions::coalesce`]), so sharding the
+/// loop never multiplies the work of a thundering herd.
+#[derive(Debug)]
+pub struct ServicePool {
+    service: ContainmentService,
+    /// One bounded queue per worker; the `Arc` is shared with every client.
+    senders: Arc<Vec<mpsc::SyncSender<ServiceEnvelope>>>,
+    /// Round-robin placement cursor, shared with every client.
+    cursor: Arc<AtomicUsize>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ContainmentService {
+    /// Spawn a [`ServicePool`] of `workers` serve-loop threads (min 1), each
+    /// behind its own bounded queue of `capacity` in-flight requests (min
+    /// 1). The workers share this service (and through it the engine and all
+    /// caches); they exit when every queue sender — the pool's plus every
+    /// [`PoolClient`]'s — is dropped.
+    pub fn pool(&self, workers: usize, capacity: usize) -> ServicePool {
+        let mut senders = Vec::new();
+        let mut handles = Vec::new();
+        for worker in 0..workers.max(1) {
+            let (sender, receiver) = mpsc::sync_channel(capacity.max(1));
+            let service = self.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("shapex-service-{worker}"))
+                    .spawn(move || service.serve(receiver))
+                    .expect("spawn service worker"),
+            );
+            senders.push(sender);
+        }
+        ServicePool {
+            service: self.clone(),
+            senders: Arc::new(senders),
+            cursor: Arc::new(AtomicUsize::new(0)),
+            workers: handles,
+        }
+    }
+}
+
+impl ServicePool {
+    /// A client requesting as `tenant`. Clients are cheap to clone and
+    /// outlive the pool value itself (they hold the queues alive); drop
+    /// them all to let the workers exit.
+    pub fn client(&self, tenant: TenantId) -> PoolClient {
+        PoolClient {
+            senders: Arc::clone(&self.senders),
+            cursor: Arc::clone(&self.cursor),
+            tenant,
+            state: Arc::clone(&self.service.state),
+        }
+    }
+
+    /// The shared service behind the pool.
+    pub fn service(&self) -> &ContainmentService {
+        &self.service
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Drop the pool's queue senders and block until every worker exits —
+    /// which happens once all [`PoolClient`]s are dropped too, since clients
+    /// keep the queues alive.
+    pub fn join(self) {
+        drop(self.senders);
+        for worker in self.workers {
+            worker.join().expect("service worker panicked");
+        }
+    }
+}
+
+/// A tenant's handle onto a [`ServicePool`]: like [`ServiceClient`], but
+/// requests are placed round-robin across the pool's worker queues, rotating
+/// past full ones. [`PoolClient::call`] rejects with
+/// [`ServiceError::Overloaded`] only when every queue is full;
+/// [`PoolClient::call_blocking`] parks on a queue instead.
+#[derive(Debug, Clone)]
+pub struct PoolClient {
+    senders: Arc<Vec<mpsc::SyncSender<ServiceEnvelope>>>,
+    cursor: Arc<AtomicUsize>,
+    tenant: TenantId,
+    state: Arc<ServiceState>,
+}
+
+impl PoolClient {
+    /// The tenant this client requests as.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Send one request to the least-loaded-by-rotation worker and wait for
+    /// its response. Fails fast with [`ServiceError::Overloaded`] (counted
+    /// in the stats) when every worker queue is full, and with
+    /// [`ServiceError::Disconnected`] when every worker has exited.
+    pub fn call(&self, request: ServiceRequest) -> Result<ServiceResponse, ServiceError> {
+        let (reply, responses) = mpsc::channel();
+        let mut envelope = ServiceEnvelope {
+            tenant: self.tenant,
+            request,
+            reply,
+        };
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let mut disconnected = 0;
+        for offset in 0..self.senders.len() {
+            let worker = &self.senders[(start + offset) % self.senders.len()];
+            match worker.try_send(envelope) {
+                Ok(()) => {
+                    return ServiceClient::unfold(
+                        responses.recv().map_err(|_| ServiceError::Disconnected)?,
+                    )
+                }
+                // Rotate to the next queue, reclaiming the envelope the
+                // failed send handed back.
+                Err(mpsc::TrySendError::Full(e)) => envelope = e,
+                Err(mpsc::TrySendError::Disconnected(e)) => {
+                    envelope = e;
+                    disconnected += 1;
+                }
+            }
+        }
+        if disconnected == self.senders.len() {
+            return Err(ServiceError::Disconnected);
+        }
+        self.state.rejected.fetch_add(1, Ordering::Relaxed);
+        Err(ServiceError::Overloaded)
+    }
+
+    /// Like [`PoolClient::call`], but when every queue is full, park on the
+    /// round-robin pick instead of rejecting — for closed-loop producers
+    /// that prefer waiting over shedding.
+    pub fn call_blocking(&self, request: ServiceRequest) -> Result<ServiceResponse, ServiceError> {
+        let (reply, responses) = mpsc::channel();
+        let mut envelope = ServiceEnvelope {
+            tenant: self.tenant,
+            request,
+            reply,
+        };
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+        // First pass: take any free slot without blocking.
+        for offset in 0..self.senders.len() {
+            let worker = &self.senders[(start + offset) % self.senders.len()];
+            match worker.try_send(envelope) {
+                Ok(()) => {
+                    return ServiceClient::unfold(
+                        responses.recv().map_err(|_| ServiceError::Disconnected)?,
+                    )
+                }
+                Err(mpsc::TrySendError::Full(e)) | Err(mpsc::TrySendError::Disconnected(e)) => {
+                    envelope = e
+                }
+            }
+        }
+        // All full (or gone): park on the round-robin pick.
+        self.senders[start % self.senders.len()]
+            .send(envelope)
+            .map_err(|_| ServiceError::Disconnected)?;
+        ServiceClient::unfold(responses.recv().map_err(|_| ServiceError::Disconnected)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1190,5 +1379,112 @@ mod tests {
             Err(ServiceError::Disconnected) => {}
             other => panic!("expected Disconnected, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn pool_answers_concurrent_clients_across_workers() {
+        let service = ContainmentService::new();
+        let pool = service.pool(3, 4);
+        assert_eq!(pool.workers(), 3);
+        assert_eq!(pool.service().tenant_count(), 1);
+        let texts = ["T -> p::L?\nL -> EMPTY\n", "T -> p::L\nL -> EMPTY\n"];
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let client = pool.client(TenantId::DEFAULT);
+                scope.spawn(move || {
+                    let mut ids = Vec::new();
+                    for t in texts {
+                        let request = ServiceRequest::Register(Box::new(parse_schema(t).unwrap()));
+                        match client.call_blocking(request).unwrap() {
+                            ServiceResponse::Registered(id) => ids.push(id),
+                            other => panic!("expected Registered, got {other:?}"),
+                        }
+                    }
+                    match client
+                        .call_blocking(ServiceRequest::Check {
+                            h: ids[1],
+                            k: ids[0],
+                        })
+                        .unwrap()
+                    {
+                        ServiceResponse::Answer(answer) => {
+                            assert!(answer.is_contained(), "1 is within ?")
+                        }
+                        other => panic!("expected Answer, got {other:?}"),
+                    }
+                });
+            }
+        });
+        // Identical registrations from every client (landing on different
+        // workers) interned onto one engine pair.
+        assert_eq!(service.engine().schema_count(), 2);
+        assert!(service.stats().latency.count() >= 12);
+        // All clients hung up at scope end; join drains the workers.
+        pool.join();
+    }
+
+    #[test]
+    fn pool_client_rotates_past_full_queues_and_rejects_only_when_all_full() {
+        let service = ContainmentService::new();
+        // A hand-wired two-worker pool client whose queues (capacity 1) we
+        // hold the receiving ends of, so fullness is deterministic.
+        let (sender_a, receiver_a) = mpsc::sync_channel(1);
+        let (sender_b, receiver_b) = mpsc::sync_channel(1);
+        let client = PoolClient {
+            senders: Arc::new(vec![sender_a, sender_b]),
+            cursor: Arc::new(AtomicUsize::new(0)),
+            tenant: TenantId::DEFAULT,
+            state: Arc::clone(&service.state),
+        };
+        let fire = || {
+            let (reply, _responses) = mpsc::channel();
+            ServiceEnvelope {
+                tenant: TenantId::DEFAULT,
+                request: ServiceRequest::Stats,
+                reply,
+            }
+        };
+        // Fill queue A. The client's round-robin pick (cursor 0) is full,
+        // so the request must rotate onto B — serve that one envelope.
+        client.senders[0].try_send(fire()).unwrap();
+        std::thread::scope(|scope| {
+            let server = {
+                let service = service.clone();
+                scope.spawn(move || {
+                    let envelope = receiver_b.recv().unwrap();
+                    let response = service
+                        .handle(envelope.tenant, envelope.request)
+                        .unwrap_or_else(ServiceResponse::from);
+                    envelope.reply.send(response).unwrap();
+                    receiver_b // keep B's queue alive past this one answer
+                })
+            };
+            match client.call(ServiceRequest::Stats) {
+                Ok(ServiceResponse::Stats(_)) => {}
+                other => panic!("expected Stats via worker B, got {other:?}"),
+            }
+            let receiver_b = server.join().unwrap();
+            // Now fill B as well: with every queue full the client rejects
+            // fast, and the rejection is counted once.
+            client.senders[1].try_send(fire()).unwrap();
+            match client.call(ServiceRequest::Stats) {
+                Err(ServiceError::Overloaded) => {}
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+            assert_eq!(service.stats().rejected, 1, "one rejection counted");
+            // Workers gone (receivers dropped): Disconnected, not Overloaded,
+            // and no extra rejection tick.
+            drop(receiver_a);
+            drop(receiver_b);
+            match client.call(ServiceRequest::Stats) {
+                Err(ServiceError::Disconnected) => {}
+                other => panic!("expected Disconnected, got {other:?}"),
+            }
+            assert_eq!(
+                service.stats().rejected,
+                1,
+                "disconnects are not rejections"
+            );
+        });
     }
 }
