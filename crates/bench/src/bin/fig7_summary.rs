@@ -144,6 +144,10 @@ fn disjunct_scaling_formula(vars: usize, pool: &mut VarPool) -> Formula {
 /// Mean regression factor above which the gate fails the run.
 const REGRESSION_GATE: f64 = 2.5;
 
+/// Ceiling on `deadline_overhead/deadline=1h` relative to the undeadlined
+/// path: checkpoint polling may cost at most 3% on the disjunct gadget.
+const DEADLINE_OVERHEAD_GATE: f64 = 1.03;
+
 /// Parse a previously written summary back into `(id, mean_ns)` pairs. The
 /// format is this binary's own line-per-record JSON, so a line-based scan is
 /// exact (no external JSON dependency in the workspace).
@@ -378,6 +382,70 @@ fn main() {
             );
         }
     }
+
+    // --- Deadline checkpoint overhead ---------------------------------------
+    // The engine's cancellable path polls a deadline token at bounded
+    // checkpoint intervals (candidate loops, solver branches, sweep edges).
+    // This row prices that polling on the heaviest gadget above: the same
+    // `general_disjunct_gadget` pair, once through the plain path and once
+    // under a deadline that never fires, fresh engine per check so neither
+    // arm can hit a memo. The gate at the bottom fails the run only when
+    // both the mean and the best-of-run exceed the budget — a real
+    // regression slows every run, a scheduler hiccup only the mean.
+    println!("\n[engine] deadline checkpoint overhead (general_disjunct_gadget choice/groups=6)");
+    let (dl_h, dl_k) = disjunct_choice_pair(6);
+    let deadline_search = SearchOptions::quick();
+    const DEADLINE_CHECKS_PER_RUN: usize = 4;
+    let (plain_answer, plain_time) = recorder.measure("deadline_overhead/no_deadline", 5, || {
+        let mut last = None;
+        for _ in 0..DEADLINE_CHECKS_PER_RUN {
+            let engine = ContainmentEngine::with_search(deadline_search.clone());
+            last = Some(engine.check(&dl_h, &dl_k));
+        }
+        last.expect("at least one check ran")
+    });
+    let plain_min_ns = recorder.records.last().expect("just recorded").min_ns;
+    let plain_mean_ns = recorder.records.last().expect("just recorded").mean_ns;
+    let (armed_answer, armed_time) = recorder.measure("deadline_overhead/deadline=1h", 5, || {
+        let mut last = None;
+        for _ in 0..DEADLINE_CHECKS_PER_RUN {
+            let engine = ContainmentEngine::with_search(deadline_search.clone());
+            last = Some(engine.check_deadline(&dl_h, &dl_k, Duration::from_secs(3600)));
+        }
+        last.expect("at least one check ran")
+    });
+    let armed_min_ns = recorder.records.last().expect("just recorded").min_ns;
+    let armed_mean_ns = recorder.records.last().expect("just recorded").mean_ns;
+    assert_eq!(
+        plain_answer.is_contained(),
+        armed_answer.is_contained(),
+        "an unfired deadline must not change the verdict"
+    );
+    assert_eq!(
+        plain_answer.is_not_contained(),
+        armed_answer.is_not_contained(),
+        "an unfired deadline must not change the verdict"
+    );
+    let deadline_mean_ratio = armed_mean_ns / plain_mean_ns.max(f64::EPSILON);
+    let deadline_min_ratio = armed_min_ns / plain_min_ns.max(f64::EPSILON);
+    println!(
+        "{:>14} {:>12} {:>12} {:>10}",
+        "path", "mean", "min", "ratio"
+    );
+    println!(
+        "{:>14} {:>12.2?} {:>12.2?} {:>10}",
+        "no deadline",
+        plain_time,
+        Duration::from_nanos(plain_min_ns as u64),
+        "1.00×"
+    );
+    println!(
+        "{:>14} {:>12.2?} {:>12.2?} {:>9.2}×",
+        "deadline 1h",
+        armed_time,
+        Duration::from_nanos(armed_min_ns as u64),
+        deadline_mean_ratio
+    );
 
     // --- Presburger: the parallel disjunct search ----------------------------
     println!("\n[solver] wide unsatisfiable disjunctions, serial vs. 8 workers");
@@ -680,6 +748,21 @@ fn main() {
         println!("regression gate skipped (BENCH_FIG7_NO_GATE is set)");
         return;
     }
+    // Deadline polling must stay within its budget on the disjunct gadget;
+    // like the baseline gate, a failure needs both the mean and the
+    // best-of-run over the line.
+    if deadline_mean_ratio > DEADLINE_OVERHEAD_GATE && deadline_min_ratio > DEADLINE_OVERHEAD_GATE {
+        eprintln!(
+            "\ndeadline checkpoint overhead beyond {DEADLINE_OVERHEAD_GATE}x: \
+             {deadline_mean_ratio:.3}x mean / {deadline_min_ratio:.3}x min \
+             on general_disjunct_gadget choice/groups=6"
+        );
+        eprintln!("(set BENCH_FIG7_NO_GATE=1 to bypass on a noisy host)");
+        std::process::exit(1);
+    }
+    println!(
+        "deadline overhead gate passed: {deadline_mean_ratio:.3}x mean (budget {DEADLINE_OVERHEAD_GATE}x)"
+    );
     match baseline {
         None => println!("no committed baseline found; regression gate skipped"),
         Some(records) if records.is_empty() => {

@@ -97,7 +97,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError, RwLock};
+use std::time::Duration;
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -109,9 +110,12 @@ use shapex_shex::typing::{validates_with, SolverTelemetry, ValidateScratch};
 use shapex_shex::{Atom, Schema, SchemaClass, TypeId};
 
 use crate::budget::{CacheBudget, CacheKind, Weigh};
+use crate::cancel::CancelToken;
 use crate::det::{characterizing_graph, NotDetShex0Minus};
 use crate::embedding::embeds;
+use crate::faults;
 use crate::general::{exhaustive_bags, type_simulation_with_bags};
+use crate::sync::{lock_or_recover, read_or_recover, write_or_recover};
 use crate::unfold::{SearchOptions, SessionContext, Unfolder};
 use crate::Containment;
 
@@ -446,6 +450,13 @@ pub struct EngineStats {
     pub evicted_bytes: u64,
     /// Eviction sweeps run (including sweeps that found nothing old).
     pub sweeps: u64,
+    /// Queries that returned [`crate::UnknownReason::DeadlineExceeded`]
+    /// because their cancellation token fired before the search reached a
+    /// sound answer.
+    pub deadline_exceeded: u64,
+    /// Search branches (candidate loops, pool builds, sampled phases)
+    /// abandoned at a cancellation checkpoint.
+    pub cancelled_branches: u64,
     /// Presburger solver invocations (the RBE₀ fast paths never enter the
     /// solver and are not counted).
     pub solver_calls: u64,
@@ -536,6 +547,13 @@ impl fmt::Display for EngineStats {
                 self.admission_rejections,
             )?;
         }
+        if self.deadline_exceeded > 0 || self.cancelled_branches > 0 {
+            write!(
+                f,
+                "; {} deadlines exceeded ({} branches cancelled)",
+                self.deadline_exceeded, self.cancelled_branches,
+            )?;
+        }
         write!(
             f,
             "; presburger {} calls ({} nodes searched, {} branches pruned)",
@@ -558,6 +576,8 @@ struct EngineCounters {
     pools_built: AtomicU64,
     coalesced_queries: AtomicU64,
     coalesced_pools: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    cancelled_branches: AtomicU64,
 }
 
 impl EngineCounters {
@@ -580,6 +600,8 @@ impl EngineCounters {
             pools_built: self.pools_built.load(Ordering::Relaxed),
             coalesced_queries: self.coalesced_queries.load(Ordering::Relaxed),
             coalesced_pools: self.coalesced_pools.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            cancelled_branches: self.cancelled_branches.load(Ordering::Relaxed),
             cache_budget: budget.limit(),
             max_entry_bytes: budget.max_entry_bytes(),
             admission_rejections: budget.admission_rejections(),
@@ -873,7 +895,7 @@ impl ShardedPairMap {
     }
 
     fn get(&self, key: (u32, u32), budget: &CacheBudget) -> Option<bool> {
-        let shard = self.shard(key).read().expect("pair memo lock");
+        let shard = read_or_recover(self.shard(key));
         let slot = shard.get(&key)?;
         slot.stamp.store(budget.touch(), Ordering::Relaxed);
         Some(slot.verdict)
@@ -884,7 +906,7 @@ impl ShardedPairMap {
         if !budget.admits(PAIR_ENTRY_BYTES) {
             return; // a sub-64-byte admission ceiling refuses even these
         }
-        let mut shard = self.shard(key).write().expect("pair memo lock");
+        let mut shard = write_or_recover(self.shard(key));
         if let Entry::Vacant(slot) = shard.entry(key) {
             slot.insert(PairSlot {
                 verdict,
@@ -922,7 +944,7 @@ impl<V> Flight<V> {
 
     /// Publish the terminal state and wake every follower.
     fn publish(&self, state: FlightState<V>) {
-        *self.state.lock().expect("flight state lock") = state;
+        *lock_or_recover(&self.state) = state;
         self.ready.notify_all();
     }
 }
@@ -966,7 +988,7 @@ impl<K: Eq + Hash + Copy, V: Clone> SingleFlight<K, V> {
     fn run(&self, key: K, compute: impl FnOnce() -> V, coalesced: &AtomicU64) -> V {
         use std::collections::hash_map::Entry;
         let flight = {
-            let mut shard = self.shard(&key).lock().expect("single-flight lock");
+            let mut shard = lock_or_recover(self.shard(&key));
             match shard.entry(key) {
                 Entry::Occupied(slot) => Some(Arc::clone(slot.get())),
                 Entry::Vacant(slot) => {
@@ -978,11 +1000,14 @@ impl<K: Eq + Hash + Copy, V: Clone> SingleFlight<K, V> {
         match flight {
             Some(flight) => {
                 // Follower: block until the leader publishes.
-                let mut state = flight.state.lock().expect("flight state lock");
+                let mut state = lock_or_recover(&flight.state);
                 loop {
                     match &*state {
                         FlightState::Running => {
-                            state = flight.ready.wait(state).expect("flight state lock");
+                            state = flight
+                                .ready
+                                .wait(state)
+                                .unwrap_or_else(PoisonError::into_inner);
                         }
                         FlightState::Done(value) => {
                             EngineCounters::tick(coalesced);
@@ -1008,12 +1033,7 @@ impl<K: Eq + Hash + Copy, V: Clone> SingleFlight<K, V> {
                 // Retire the entry first so late arrivals start a fresh
                 // flight instead of adopting a finished one, then wake the
                 // followers already holding the Arc.
-                if let Some(flight) = self
-                    .shard(&key)
-                    .lock()
-                    .expect("single-flight lock")
-                    .remove(&key)
-                {
+                if let Some(flight) = lock_or_recover(self.shard(&key)).remove(&key) {
                     flight.publish(FlightState::Done(value.clone()));
                 }
                 guard.armed = false;
@@ -1037,10 +1057,11 @@ impl<K: Eq + Hash + Copy, V: Clone> Drop for FlightGuard<'_, K, V> {
         if !self.armed {
             return;
         }
-        if let Ok(mut shard) = self.table.shard(&self.key).lock() {
-            if let Some(flight) = shard.remove(&self.key) {
-                flight.publish(FlightState::Abandoned);
-            }
+        // Recover even a poisoned shard: an abandoned flight must always be
+        // retired, or followers would wait on it forever.
+        let mut shard = lock_or_recover(self.table.shard(&self.key));
+        if let Some(flight) = shard.remove(&self.key) {
+            flight.publish(FlightState::Abandoned);
         }
     }
 }
@@ -1051,14 +1072,21 @@ struct SearchOutcome {
     /// Candidate graphs actually validated against the right-hand schema.
     candidates: usize,
     depth: usize,
+    /// How long the query had run when its cancellation token fired, if it
+    /// did. A found witness still stands (it was certified before the
+    /// expiry was observed); otherwise the answer is
+    /// [`crate::UnknownReason::DeadlineExceeded`] rather than a claim about
+    /// the exhausted budget.
+    cancelled: Option<Duration>,
 }
 
 impl SearchOutcome {
     fn into_containment(self) -> Containment {
-        match self.witness {
-            Some(witness) => Containment::not_contained(witness),
-            None if self.candidates == 0 => Containment::not_supported(),
-            None => Containment::budget_exhausted(self.candidates, self.depth),
+        match (self.witness, self.cancelled) {
+            (Some(witness), _) => Containment::not_contained(witness),
+            (None, Some(elapsed)) => Containment::deadline_exceeded(elapsed),
+            (None, None) if self.candidates == 0 => Containment::not_supported(),
+            (None, None) => Containment::budget_exhausted(self.candidates, self.depth),
         }
     }
 }
@@ -1153,7 +1181,7 @@ impl ContainmentEngine {
     /// A snapshot of the cache-effectiveness counters and the accounted
     /// memory footprint.
     pub fn stats(&self) -> EngineStats {
-        let schemas = self.registry.read().expect("registry lock").schemas.len();
+        let schemas = read_or_recover(&self.registry).schemas.len();
         let mut stats = self.counters.snapshot(schemas, &self.budget);
         stats.atom_bytes = self.session.atoms.approx_heap_bytes() as u64;
         if let Some(telemetry) = &self.session.telemetry {
@@ -1186,7 +1214,7 @@ impl ContainmentEngine {
 
     /// Number of schemas registered so far.
     pub fn schema_count(&self) -> usize {
-        self.registry.read().expect("registry lock").schemas.len()
+        read_or_recover(&self.registry).schemas.len()
     }
 
     /// Whether `id` is a handle this engine has issued — the range check a
@@ -1208,12 +1236,7 @@ impl ContainmentEngine {
     /// registrations of the same schema agree on the winner's entry.
     pub fn register(&self, schema: &Schema) -> SchemaId {
         let fingerprint = schema_hash(schema);
-        if let Some(id) = self
-            .registry
-            .read()
-            .expect("registry lock")
-            .find(fingerprint, schema)
-        {
+        if let Some(id) = read_or_recover(&self.registry).find(fingerprint, schema) {
             return id;
         }
         // Derive everything outside the write lock; a racing thread may do
@@ -1248,7 +1271,7 @@ impl ContainmentEngine {
         // above, so `approx_heap_bytes` sees it) plus the entry shell is
         // pinned footprint: counted, never evicted.
         let pinned = std::mem::size_of::<SchemaEntry>() as u64 + entry.schema.weight_bytes();
-        let mut registry = self.registry.write().expect("registry lock");
+        let mut registry = write_or_recover(&self.registry);
         if let Some(id) = registry.find(fingerprint, schema) {
             return id; // lost the race; adopt the winner's entry
         }
@@ -1270,14 +1293,14 @@ impl ContainmentEngine {
 
     /// The entry behind a handle; panics on a foreign (out-of-range) id.
     fn entry(&self, id: SchemaId) -> Arc<SchemaEntry> {
-        self.registry.read().expect("registry lock").schemas[id.index()].clone()
+        read_or_recover(&self.registry).schemas[id.index()].clone()
     }
 
     /// The entries behind several handles under one registry lock
     /// acquisition — the matrix path prefetches all rows/columns this way so
     /// its cells touch the registry lock not at all.
     fn entries(&self, ids: &[SchemaId]) -> Vec<Arc<SchemaEntry>> {
-        let registry = self.registry.read().expect("registry lock");
+        let registry = read_or_recover(&self.registry);
         ids.iter()
             .map(|id| registry.schemas[id.index()].clone())
             .collect()
@@ -1295,6 +1318,60 @@ impl ContainmentEngine {
     pub fn check_ids(&self, h: SchemaId, k: SchemaId) -> Containment {
         let entries = self.entries(&[h, k]);
         self.coalesced_entries(h, k, &entries[0], &entries[1], true)
+    }
+
+    /// [`ContainmentEngine::check`] under a wall-clock deadline.
+    ///
+    /// The query threads a cancellation token through every long-running
+    /// loop it reaches — pool enumeration, per-candidate validation, the
+    /// typing fixpoints, the Presburger disjunct workers — and polls it at
+    /// bounded checkpoint intervals. Once `timeout` elapses the search
+    /// abandons its current branch and returns
+    /// [`crate::UnknownReason::DeadlineExceeded`] instead of wedging a
+    /// worker for the rest of its budget. A counter-example certified
+    /// before the expiry was observed still stands. Caches only ever record
+    /// completed verdicts, so concurrent undeadlined queries are
+    /// bit-identical to an engine that never saw a deadline.
+    pub fn check_deadline(&self, h: &Schema, k: &Schema, timeout: Duration) -> Containment {
+        let h = self.register(h);
+        let k = self.register(k);
+        self.check_ids_deadline(h, k, timeout)
+    }
+
+    /// [`ContainmentEngine::check_deadline`] for already-registered schemas.
+    pub fn check_ids_deadline(&self, h: SchemaId, k: SchemaId, timeout: Duration) -> Containment {
+        self.check_ids_cancellable(h, k, &CancelToken::with_timeout(timeout))
+    }
+
+    /// [`ContainmentEngine::check_ids`] under an externally owned
+    /// [`CancelToken`] — fire the token from another thread (or give it a
+    /// deadline) and the query returns
+    /// [`crate::UnknownReason::DeadlineExceeded`] within one checkpoint
+    /// interval.
+    ///
+    /// Cancellable queries bypass the single-flight query coalescing: a
+    /// follower must never inherit another caller's deadline verdict, and a
+    /// leader's expiry must never become a follower's answer.
+    pub fn check_ids_cancellable(
+        &self,
+        h: SchemaId,
+        k: SchemaId,
+        cancel: &CancelToken,
+    ) -> Containment {
+        let entries = self.entries(&[h, k]);
+        let verdict = self.general_entries(h, k, &entries[0], &entries[1], true, Some(cancel));
+        self.count_deadline(verdict)
+    }
+
+    /// Tick the deadline counter when a verdict reports an expired deadline.
+    fn count_deadline(&self, verdict: Containment) -> Containment {
+        if matches!(
+            verdict.unknown_reason(),
+            Some(crate::UnknownReason::DeadlineExceeded { .. })
+        ) {
+            EngineCounters::tick(&self.counters.deadline_exceeded);
+        }
+        verdict
     }
 
     /// Batch pairwise containment: `matrix[i][j]` answers
@@ -1317,11 +1394,51 @@ impl ContainmentEngine {
     /// [`ContainmentEngine::check_matrix`] for already-registered schemas
     /// (the service's batch entry point).
     pub fn check_matrix_ids(&self, ids: &[SchemaId]) -> ContainmentMatrix {
+        self.matrix_ids_with(ids, None)
+    }
+
+    /// [`ContainmentEngine::check_matrix`] under one wall-clock deadline for
+    /// the whole matrix. Every row worker shares the token: once it fires,
+    /// in-flight cells abandon their searches at the next checkpoint and
+    /// every remaining cell answers
+    /// [`crate::UnknownReason::DeadlineExceeded`] immediately — the matrix
+    /// always comes back fully populated, never hangs on a straggler row.
+    pub fn check_matrix_deadline(
+        &self,
+        schemas: &[Schema],
+        timeout: Duration,
+    ) -> ContainmentMatrix {
+        let ids: Vec<SchemaId> = schemas.iter().map(|s| self.register(s)).collect();
+        self.check_matrix_ids_deadline(&ids, timeout)
+    }
+
+    /// [`ContainmentEngine::check_matrix_deadline`] for already-registered
+    /// schemas.
+    pub fn check_matrix_ids_deadline(
+        &self,
+        ids: &[SchemaId],
+        timeout: Duration,
+    ) -> ContainmentMatrix {
+        self.matrix_ids_with(ids, Some(&CancelToken::with_timeout(timeout)))
+    }
+
+    /// The matrix engine behind both entry points: `cancel` is threaded into
+    /// every cell (row workers included); cancellable cells skip query
+    /// coalescing like [`ContainmentEngine::check_ids_cancellable`].
+    fn matrix_ids_with(&self, ids: &[SchemaId], cancel: Option<&CancelToken>) -> ContainmentMatrix {
         // One registry lock acquisition for the whole matrix; the N² cells
         // work off these prefetched entries.
         let entries = self.entries(ids);
-        let cell = |i: usize, j: usize, fan_out: bool| {
-            self.coalesced_entries(ids[i], ids[j], &entries[i], &entries[j], fan_out)
+        let cell = |i: usize, j: usize, fan_out: bool| match cancel {
+            None => self.coalesced_entries(ids[i], ids[j], &entries[i], &entries[j], fan_out),
+            Some(token) if token.fired() => {
+                self.count_deadline(Containment::deadline_exceeded(token.elapsed()))
+            }
+            Some(_) => {
+                let verdict =
+                    self.general_entries(ids[i], ids[j], &entries[i], &entries[j], fan_out, cancel);
+                self.count_deadline(verdict)
+            }
         };
         let workers = self.options.matrix_threads.max(1).min(ids.len().max(1));
         if workers <= 1 {
@@ -1421,7 +1538,8 @@ impl ContainmentEngine {
         let h = self.register(h);
         let k = self.register(k);
         let entries = self.entries(&[h, k]);
-        self.search_ids(&entries[0], &entries[1], true).witness
+        self.search_ids(&entries[0], &entries[1], true, None)
+            .witness
     }
 
     /// The single-flight seam of every `(h, k)` verdict query: while one
@@ -1444,11 +1562,11 @@ impl ContainmentEngine {
         fan_out: bool,
     ) -> Containment {
         if !self.options.coalesce {
-            return self.general_entries(h, k, h_entry, k_entry, fan_out);
+            return self.general_entries(h, k, h_entry, k_entry, fan_out, None);
         }
         self.query_flights.run(
             (h.0, k.0),
-            || self.general_entries(h, k, h_entry, k_entry, fan_out),
+            || self.general_entries(h, k, h_entry, k_entry, fan_out, None),
             &self.counters.coalesced_queries,
         )
     }
@@ -1466,9 +1584,10 @@ impl ContainmentEngine {
         h_entry: &Arc<SchemaEntry>,
         k_entry: &Arc<SchemaEntry>,
         fan_out: bool,
+        cancel: Option<&CancelToken>,
     ) -> Containment {
         if h_entry.class == SchemaClass::ShEx || k_entry.class == SchemaClass::ShEx {
-            return self.general_entries(h, k, h_entry, k_entry, fan_out);
+            return self.general_entries(h, k, h_entry, k_entry, fan_out, cancel);
         }
         if self.embeds_cached(h, k, h_entry, k_entry) {
             return Containment::Contained;
@@ -1479,7 +1598,7 @@ impl ContainmentEngine {
             let witness = self.characterizing(h_entry).expect("checked DetShEx0-");
             return Containment::not_contained(witness);
         }
-        self.search_ids(h_entry, k_entry, fan_out)
+        self.search_ids(h_entry, k_entry, fan_out, cancel)
             .into_containment()
     }
 
@@ -1494,15 +1613,22 @@ impl ContainmentEngine {
         h_entry: &Arc<SchemaEntry>,
         k_entry: &Arc<SchemaEntry>,
         fan_out: bool,
+        cancel: Option<&CancelToken>,
     ) -> Containment {
+        if cancel.is_some_and(|t| t.fired()) {
+            // An already-expired deadline skips even the cheap pipeline
+            // stages: the caller asked for an answer by a time that has
+            // passed.
+            return Containment::deadline_exceeded(cancel.expect("checked above").elapsed());
+        }
         let both_rbe0 = h_entry.class != SchemaClass::ShEx && k_entry.class != SchemaClass::ShEx;
         if both_rbe0 {
-            return self.shex0_entries(h, k, h_entry, k_entry, fan_out);
+            return self.shex0_entries(h, k, h_entry, k_entry, fan_out, cancel);
         }
         if self.sufficient_cached(h, k, h_entry, k_entry) {
             return Containment::Contained;
         }
-        self.search_ids(h_entry, k_entry, fan_out)
+        self.search_ids(h_entry, k_entry, fan_out, cancel)
             .into_containment()
     }
 
@@ -1605,8 +1731,9 @@ impl ContainmentEngine {
         h: &Arc<SchemaEntry>,
         k: &Arc<SchemaEntry>,
         fan_out: bool,
+        cancel: Option<&CancelToken>,
     ) -> SearchOutcome {
-        let outcome = self.search_ids_inner(h, k, fan_out);
+        let outcome = self.search_ids_inner(h, k, fan_out, cancel);
         // Whatever validation memos the (sequential or sampled) phases just
         // grew, bring the evictable total back under budget before the
         // query returns.
@@ -1619,6 +1746,7 @@ impl ContainmentEngine {
         h: &Arc<SchemaEntry>,
         k: &Arc<SchemaEntry>,
         fan_out: bool,
+        cancel: Option<&CancelToken>,
     ) -> SearchOutcome {
         let opts = self.options.search.clone();
         let parallel = fan_out && self.options.threads > 1;
@@ -1626,17 +1754,37 @@ impl ContainmentEngine {
         let mut checked = 0usize;
         let mut scratch = ValidateScratch::new();
         let roots: Vec<TypeId> = h.schema.types().collect();
+        let expired = |checked: usize, token: &CancelToken| SearchOutcome {
+            witness: None,
+            candidates: checked,
+            depth: opts.max_depth,
+            cancelled: Some(token.elapsed()),
+        };
 
         // Systematic phase.
         for &root in &roots {
             for depth in 1..=opts.max_depth {
-                let pool = self.enumerated_pool(h, root, depth, &opts);
+                let Some(pool) = self.enumerated_pool(h, root, depth, &opts, cancel) else {
+                    // The pool build itself observed the expired token.
+                    return expired(checked, cancel.expect("only a token cancels a build"));
+                };
                 // The baseline increments `examined` per candidate and
                 // abandons the pool once the count exceeds the budget, so at
                 // most this many candidates of the pool get validated:
                 let limit = pool.len().min(opts.max_candidates.saturating_sub(examined));
                 let mut verdicts = parallel.then(|| vec![None; limit]);
                 for (i, graph) in pool.iter().enumerate() {
+                    // The per-candidate cancellation checkpoint: one poll
+                    // (and one armed fault site) per candidate bounds the
+                    // interval between an expiry and its observation by one
+                    // stripe of validations.
+                    faults::trigger(faults::site::SOLVER_BRANCH);
+                    if let Some(token) = cancel {
+                        if token.fired() {
+                            EngineCounters::tick(&self.counters.cancelled_branches);
+                            return expired(checked, token);
+                        }
+                    }
                     examined += 1;
                     if examined > opts.max_candidates {
                         break;
@@ -1651,6 +1799,7 @@ impl ContainmentEngine {
                             witness: Some(Graph::clone(graph)),
                             candidates: checked,
                             depth: opts.max_depth,
+                            cancelled: None,
                         };
                     }
                 }
@@ -1660,9 +1809,18 @@ impl ContainmentEngine {
         // Randomized phase (skipped entirely when the schema has no types,
         // like the baseline).
         if !roots.is_empty() {
-            let pool = self.sampled_pool(h, &opts);
+            let Some(pool) = self.sampled_pool(h, &opts, cancel) else {
+                return expired(checked, cancel.expect("only a token cancels a build"));
+            };
             let mut verdicts = parallel.then(|| vec![None; pool.len()]);
             for (i, graph) in pool.iter().enumerate() {
+                faults::trigger(faults::site::SOLVER_BRANCH);
+                if let Some(token) = cancel {
+                    if token.fired() {
+                        EngineCounters::tick(&self.counters.cancelled_branches);
+                        return expired(checked, token);
+                    }
+                }
                 let ok = match &mut verdicts {
                     Some(v) => self.verdict_at(k, &pool, v, i),
                     None => self.validate_one(k, graph, &mut scratch),
@@ -1673,6 +1831,7 @@ impl ContainmentEngine {
                         witness: Some(Graph::clone(graph)),
                         candidates: checked,
                         depth: opts.max_depth,
+                        cancelled: None,
                     };
                 }
             }
@@ -1681,6 +1840,7 @@ impl ContainmentEngine {
             witness: None,
             candidates: checked,
             depth: opts.max_depth,
+            cancelled: None,
         }
     }
 
@@ -1727,43 +1887,52 @@ impl ContainmentEngine {
         root: TypeId,
         depth: usize,
         opts: &SearchOptions,
-    ) -> Pool {
-        if let Some(slot) = h.enumerated.read().expect("pool lock").get(&(root, depth)) {
+        cancel: Option<&CancelToken>,
+    ) -> Option<Pool> {
+        if let Some(slot) = read_or_recover(&h.enumerated).get(&(root, depth)) {
             EngineCounters::tick(&self.counters.pool_hits);
             slot.stamp.store(self.budget.touch(), Ordering::Relaxed);
-            return slot.pool.clone();
+            return Some(slot.pool.clone());
         }
-        if !self.options.coalesce {
-            return self.build_enumerated_pool(h, root, depth, opts);
+        if cancel.is_some() || !self.options.coalesce {
+            // Cancellable builders skip the pool flight: a cancelled leader
+            // has no pool to hand its followers, and a follower must not
+            // block on a leader whose deadline differs from its own.
+            return self.build_enumerated_pool(h, root, depth, opts, cancel);
         }
         // Cold pool: coalesce concurrent demanders onto one construction.
         // Without the flight they would all queue on the unfolder lock and
         // each rebuild the pool only to race-adopt the first insertion.
-        h.pool_flights.run(
+        Some(h.pool_flights.run(
             (root, depth),
             || {
                 // A flight that landed between our cache miss and our
                 // leadership may have filled the slot already.
-                if let Some(slot) = h.enumerated.read().expect("pool lock").get(&(root, depth)) {
+                if let Some(slot) = read_or_recover(&h.enumerated).get(&(root, depth)) {
                     EngineCounters::tick(&self.counters.pool_hits);
                     slot.stamp.store(self.budget.touch(), Ordering::Relaxed);
                     return slot.pool.clone();
                 }
-                self.build_enumerated_pool(h, root, depth, opts)
+                self.build_enumerated_pool(h, root, depth, opts, None)
+                    .expect("an uncancelled pool build cannot be cancelled")
             },
             &self.counters.coalesced_pools,
-        )
+        ))
     }
 
     /// Actually build (and cache, admission permitting) one enumerated
     /// pool — the cold path behind [`ContainmentEngine::enumerated_pool`].
+    /// `None` = the cancellation token fired mid-enumeration; the partial
+    /// pool is discarded uncached (completed subtree memos inside the arena
+    /// stay — they are identical to an uncancelled prefix's).
     fn build_enumerated_pool(
         &self,
         h: &Arc<SchemaEntry>,
         root: TypeId,
         depth: usize,
         opts: &SearchOptions,
-    ) -> Pool {
+        cancel: Option<&CancelToken>,
+    ) -> Option<Pool> {
         EngineCounters::tick(&self.counters.pools_built);
         let scoped = SearchOptions {
             max_depth: depth,
@@ -1771,18 +1940,26 @@ impl ContainmentEngine {
         };
         let graphs = {
             let mut scratch = ValidateScratch::new();
-            let mut unfolder = h.unfolder.lock().expect("unfolder lock");
-            let graphs = unfolder.members_with(&h.schema, root, &scoped, &mut |g| {
-                validate_memoised(h, &self.counters, &self.budget, g, &mut scratch)
-            });
+            let mut unfolder = lock_or_recover(&h.unfolder);
+            let graphs = unfolder.try_members_with(
+                &h.schema,
+                root,
+                &scoped,
+                &mut |g| validate_memoised(h, &self.counters, &self.budget, g, &mut scratch),
+                cancel.map(|t| t.check()),
+            );
             self.sync_unfolder_bytes(h, &unfolder);
             graphs
+        };
+        let Some(graphs) = graphs else {
+            EngineCounters::tick(&self.counters.cancelled_branches);
+            return None;
         };
         let pool: Pool = Arc::new(graphs);
         let bytes = pool_weight(&pool);
         let shared = {
             use std::collections::btree_map::Entry;
-            let mut pools = h.enumerated.write().expect("pool lock");
+            let mut pools = write_or_recover(&h.enumerated);
             match pools.entry((root, depth)) {
                 // A racing builder won the slot; adopt its pool, charge
                 // nothing (the winner charged).
@@ -1803,14 +1980,43 @@ impl ContainmentEngine {
             }
         };
         self.maybe_evict();
-        shared
+        Some(shared)
     }
 
     /// The ordered randomized-sample pool of `h` — the entry's [`Unfolder`]
     /// over the baseline's exact RNG sequence, with the fallback
     /// member-validation step routed through the memo, built once per schema
-    /// (`OnceLock`).
-    fn sampled_pool(&self, h: &Arc<SchemaEntry>, opts: &SearchOptions) -> Pool {
+    /// (`OnceLock`). `None` = the cancellation token fired mid-build; a
+    /// partial pool is never published to the `OnceLock`.
+    fn sampled_pool(
+        &self,
+        h: &Arc<SchemaEntry>,
+        opts: &SearchOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Option<Pool> {
+        if let Some(token) = cancel {
+            // Cancellable cold build: bypass the `OnceLock` so a cancelled
+            // (partial) pool can never be published, and so this builder
+            // never blocks behind — or wedges — an uncancellable one. A
+            // build that *completes* is offered to the slot; losing that
+            // race adopts the winner (bit-identical: same seed, same draw).
+            if let Some(pool) = h.sampled.get() {
+                EngineCounters::tick(&self.counters.pool_hits);
+                return Some(pool.clone());
+            }
+            EngineCounters::tick(&self.counters.pools_built);
+            let Some(graphs) = self.draw_sampled_graphs(h, opts, Some(token)) else {
+                EngineCounters::tick(&self.counters.cancelled_branches);
+                return None;
+            };
+            let pool: Pool = Arc::new(graphs);
+            if h.sampled.set(pool.clone()).is_ok() {
+                // `OnceLock`-cached for the engine's lifetime: pinned.
+                self.budget.charge(CacheKind::Pinned, pool_weight(&pool));
+                return Some(pool);
+            }
+            return Some(h.sampled.get().expect("set raced a winner").clone());
+        }
         // Exactly one of pool_hits / pools_built ticks per call: a thread
         // losing the init race still counts its request as a hit.
         let mut built_here = false;
@@ -1819,26 +2025,10 @@ impl ContainmentEngine {
             .get_or_init(|| {
                 built_here = true;
                 EngineCounters::tick(&self.counters.pools_built);
-                let mut rng = StdRng::seed_from_u64(opts.seed);
-                let roots: Vec<TypeId> = h.schema.types().collect();
-                let mut graphs = Vec::new();
-                if !roots.is_empty() {
-                    let mut scratch = ValidateScratch::new();
-                    let mut unfolder = h.unfolder.lock().expect("unfolder lock");
-                    let mut is_member = |g: &Graph| {
-                        validate_memoised(h, &self.counters, &self.budget, g, &mut scratch)
-                    };
-                    for _ in 0..opts.random_samples {
-                        let root = roots[rng.gen_range(0..roots.len())];
-                        if let Some(graph) =
-                            unfolder.sample_with(&h.schema, root, &mut rng, opts, &mut is_member)
-                        {
-                            graphs.push(graph);
-                        }
-                    }
-                    self.sync_unfolder_bytes(h, &unfolder);
-                }
-                Arc::new(graphs)
+                Arc::new(
+                    self.draw_sampled_graphs(h, opts, None)
+                        .expect("an uncancelled sample draw cannot be cancelled"),
+                )
             })
             .clone();
         if built_here {
@@ -1847,7 +2037,54 @@ impl ContainmentEngine {
         } else {
             EngineCounters::tick(&self.counters.pool_hits);
         }
-        pool
+        Some(pool)
+    }
+
+    /// The randomized-phase sample draw shared by the cached and the
+    /// deadline-bypassed builds of [`ContainmentEngine::sampled_pool`].
+    /// `None` = the token fired mid-draw.
+    fn draw_sampled_graphs(
+        &self,
+        h: &Arc<SchemaEntry>,
+        opts: &SearchOptions,
+        cancel: Option<&CancelToken>,
+    ) -> Option<Vec<Arc<Graph>>> {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let roots: Vec<TypeId> = h.schema.types().collect();
+        let mut graphs = Vec::new();
+        if !roots.is_empty() {
+            let mut scratch = ValidateScratch::new();
+            let mut unfolder = lock_or_recover(&h.unfolder);
+            let mut is_member =
+                |g: &Graph| validate_memoised(h, &self.counters, &self.budget, g, &mut scratch);
+            for _ in 0..opts.random_samples {
+                if cancel.is_some_and(|t| t.fired()) {
+                    self.sync_unfolder_bytes(h, &unfolder);
+                    return None;
+                }
+                let root = roots[rng.gen_range(0..roots.len())];
+                match unfolder.sample_with(
+                    &h.schema,
+                    root,
+                    &mut rng,
+                    opts,
+                    &mut is_member,
+                    cancel.map(|t| t.check()),
+                ) {
+                    Some(graph) => graphs.push(graph),
+                    // A `None` draw is ambiguous — no valid sample (the
+                    // historical meaning) or cancelled mid-draw; the token
+                    // tells the cases apart.
+                    None if cancel.is_some_and(|t| t.is_cancelled()) => {
+                        self.sync_unfolder_bytes(h, &unfolder);
+                        return None;
+                    }
+                    None => {}
+                }
+            }
+            self.sync_unfolder_bytes(h, &unfolder);
+        }
+        Some(graphs)
     }
 
     /// One memoised `validates(graph, k)` verdict.
@@ -1863,7 +2100,7 @@ impl ContainmentEngine {
     fn validate_slice(&self, k: &SchemaEntry, pool: &[Arc<Graph>]) -> Vec<bool> {
         let hashes: Vec<u64> = pool.iter().map(|g| candidate_hash(g)).collect();
         let mut verdicts: Vec<Option<bool>> = {
-            let memo = k.validate_memo.read().expect("validate memo lock");
+            let memo = read_or_recover(&k.validate_memo);
             pool.iter()
                 .zip(&hashes)
                 .map(|(graph, &hash)| memo.get(hash, graph, &self.budget))
@@ -1908,7 +2145,7 @@ impl ContainmentEngine {
                     verdicts[i] = Some(validates_with(&pool[i], schema, &mut scratch));
                 }
             }
-            let mut memo = k.validate_memo.write().expect("validate memo lock");
+            let mut memo = write_or_recover(&k.validate_memo);
             for &i in &missing {
                 memo.insert(
                     hashes[i],
@@ -1947,13 +2184,13 @@ impl ContainmentEngine {
     /// bytes freed.
     pub fn invalidate_candidate(&self, graph: &Graph) -> u64 {
         let entries: Vec<Arc<SchemaEntry>> = {
-            let registry = self.registry.read().expect("registry lock");
+            let registry = read_or_recover(&self.registry);
             registry.schemas.clone()
         };
         let hash = candidate_hash(graph);
         let mut freed = 0u64;
         for entry in &entries {
-            let mut memo = entry.validate_memo.write().expect("validate memo lock");
+            let mut memo = write_or_recover(&entry.validate_memo);
             freed += memo.remove(hash, graph, &self.budget);
         }
         freed
@@ -1972,14 +2209,14 @@ impl ContainmentEngine {
         let entry = self.entry(id);
         let mut freed = 0u64;
         {
-            let mut pools = entry.enumerated.write().expect("pool lock");
+            let mut pools = write_or_recover(&entry.enumerated);
             for (_, slot) in std::mem::take(&mut *pools) {
                 freed += slot.bytes;
                 self.budget.credit(CacheKind::Pools, slot.bytes);
             }
         }
         {
-            let mut unfolder = entry.unfolder.lock().expect("unfolder lock");
+            let mut unfolder = lock_or_recover(&entry.unfolder);
             let before = entry.unfolder_bytes.swap(0, Ordering::Relaxed);
             if before > 0 {
                 *unfolder = Unfolder::with_context(self.session.clone());
@@ -2021,7 +2258,10 @@ impl ContainmentEngine {
         let Some(limit) = self.budget.limit() else {
             return;
         };
-        let _sweeping = self.budget.sweeper().lock().expect("sweeper lock");
+        // Armed fault site for chaos tests: fires before the sweeper lock is
+        // taken, so an injected panic never wedges later sweeps.
+        faults::trigger(faults::site::PRE_SWEEP);
+        let _sweeping = lock_or_recover(self.budget.sweeper());
         for _ in 0..2 {
             if self.budget.evictable() <= limit {
                 return;
@@ -2046,15 +2286,15 @@ impl ContainmentEngine {
     /// on one cache.
     fn sweep_once(&self, limit: u64) {
         let entries: Vec<Arc<SchemaEntry>> = {
-            let registry = self.registry.read().expect("registry lock");
+            let registry = read_or_recover(&self.registry);
             registry.schemas.clone()
         };
         let mut stamped: Vec<(u64, u64)> = Vec::new();
         for entry in &entries {
-            for slot in entry.enumerated.read().expect("pool lock").values() {
+            for slot in read_or_recover(&entry.enumerated).values() {
                 stamped.push((slot.stamp.load(Ordering::Relaxed), slot.bytes));
             }
-            let memo = entry.validate_memo.read().expect("validate memo lock");
+            let memo = read_or_recover(&entry.validate_memo);
             for bucket in memo.buckets.values() {
                 for record in bucket {
                     stamped.push((record.stamp.load(Ordering::Relaxed), record.bytes));
@@ -2063,7 +2303,7 @@ impl ContainmentEngine {
         }
         for memo in [&self.embeds_memo, &self.sufficient_memo] {
             for shard in &memo.shards {
-                for slot in shard.read().expect("pair memo lock").values() {
+                for slot in read_or_recover(shard).values() {
                     stamped.push((slot.stamp.load(Ordering::Relaxed), PAIR_ENTRY_BYTES));
                 }
             }
@@ -2091,7 +2331,7 @@ impl ContainmentEngine {
         let mut freed = 0u64;
         for entry in &entries {
             let drained = {
-                let mut pools = entry.enumerated.write().expect("pool lock");
+                let mut pools = write_or_recover(&entry.enumerated);
                 pools.retain(|_, slot| {
                     if slot.stamp.load(Ordering::Relaxed) <= cutoff {
                         evicted += 1;
@@ -2109,7 +2349,7 @@ impl ContainmentEngine {
                 // the whole session so its arena actually frees. (A racing
                 // builder may have inserted a fresh pool since the check —
                 // resetting then still only costs that builder's memos.)
-                let mut unfolder = entry.unfolder.lock().expect("unfolder lock");
+                let mut unfolder = lock_or_recover(&entry.unfolder);
                 let before = entry.unfolder_bytes.swap(0, Ordering::Relaxed);
                 if before > 0 {
                     *unfolder = Unfolder::with_context(self.session.clone());
@@ -2119,7 +2359,7 @@ impl ContainmentEngine {
                 }
             }
             {
-                let mut memo = entry.validate_memo.write().expect("validate memo lock");
+                let mut memo = write_or_recover(&entry.validate_memo);
                 memo.buckets.retain(|_, bucket| {
                     bucket.retain(|record| {
                         if record.stamp.load(Ordering::Relaxed) <= cutoff {
@@ -2137,7 +2377,7 @@ impl ContainmentEngine {
         }
         for memo in [&self.embeds_memo, &self.sufficient_memo] {
             for shard in &memo.shards {
-                shard.write().expect("pair memo lock").retain(|_, slot| {
+                write_or_recover(shard).retain(|_, slot| {
                     if slot.stamp.load(Ordering::Relaxed) <= cutoff {
                         evicted += 1;
                         freed += PAIR_ENTRY_BYTES;
@@ -2169,14 +2409,14 @@ impl ContainmentEngine {
     /// warmth.
     fn clear_evictable(&self) {
         let entries: Vec<Arc<SchemaEntry>> = {
-            let registry = self.registry.read().expect("registry lock");
+            let registry = read_or_recover(&self.registry);
             registry.schemas.clone()
         };
         let mut evicted = 0u64;
         let mut freed = 0u64;
         for entry in &entries {
             {
-                let mut pools = entry.enumerated.write().expect("pool lock");
+                let mut pools = write_or_recover(&entry.enumerated);
                 for (_, slot) in std::mem::take(&mut *pools) {
                     evicted += 1;
                     freed += slot.bytes;
@@ -2184,7 +2424,7 @@ impl ContainmentEngine {
                 }
             }
             {
-                let mut unfolder = entry.unfolder.lock().expect("unfolder lock");
+                let mut unfolder = lock_or_recover(&entry.unfolder);
                 let before = entry.unfolder_bytes.swap(0, Ordering::Relaxed);
                 if before > 0 {
                     *unfolder = Unfolder::with_context(self.session.clone());
@@ -2194,7 +2434,7 @@ impl ContainmentEngine {
                 }
             }
             {
-                let mut memo = entry.validate_memo.write().expect("validate memo lock");
+                let mut memo = write_or_recover(&entry.validate_memo);
                 for (_, bucket) in memo.buckets.drain() {
                     for record in bucket {
                         evicted += 1;
@@ -2206,7 +2446,7 @@ impl ContainmentEngine {
         }
         for memo in [&self.embeds_memo, &self.sufficient_memo] {
             for shard in &memo.shards {
-                let mut shard = shard.write().expect("pair memo lock");
+                let mut shard = write_or_recover(shard);
                 let drained = std::mem::take(&mut *shard);
                 evicted += drained.len() as u64;
                 freed += drained.len() as u64 * PAIR_ENTRY_BYTES;
@@ -2307,22 +2547,13 @@ fn validate_memoised(
     scratch: &mut ValidateScratch,
 ) -> bool {
     let hash = candidate_hash(graph);
-    if let Some(v) = entry
-        .validate_memo
-        .read()
-        .expect("validate memo lock")
-        .get(hash, graph, budget)
-    {
+    if let Some(v) = read_or_recover(&entry.validate_memo).get(hash, graph, budget) {
         EngineCounters::tick(&counters.validate_hits);
         return v;
     }
     EngineCounters::tick(&counters.validate_misses);
     let v = validates_with(graph, &entry.schema, scratch);
-    entry
-        .validate_memo
-        .write()
-        .expect("validate memo lock")
-        .insert(hash, graph, v, budget);
+    write_or_recover(&entry.validate_memo).insert(hash, graph, v, budget);
     v
 }
 
@@ -2711,6 +2942,133 @@ mod tests {
             }
             other => panic!("expected BudgetExhausted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_within_the_latency_bound() {
+        use crate::UnknownReason;
+        use std::time::Instant;
+        // The budget-exhausting Figure-1 anchor pair under a 10 ms deadline:
+        // the engine must answer DeadlineExceeded well inside 100 ms instead
+        // of running the full search budget — while the same engine
+        // concurrently completes an undeadlined query bit-identical to a
+        // fresh oracle.
+        let original = parse_schema(
+            "Bug  -> descr::Literal, reportedBy::User, related::Bug*\n\
+             User -> name::Literal, email::Literal?\n",
+        )
+        .unwrap();
+        let split = parse_schema(
+            "Bug1 -> descr::Literal, reportedBy::User1, related::Bug1*, related::Bug2*\n\
+             Bug2 -> descr::Literal, reportedBy::User2, related::Bug1*, related::Bug2*\n\
+             User1 -> name::Literal\n\
+             User2 -> name::Literal, email::Literal\n",
+        )
+        .unwrap();
+        // A cheap pair for the concurrent undeadlined query, so the test
+        // does not pay the anchor pair's full default search budget twice.
+        let wide = parse_schema("T -> p::L*\nL -> EMPTY\n").unwrap();
+        let narrow = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
+        let engine = Arc::new(ContainmentEngine::new());
+        let ih = engine.register(&original);
+        let ik = engine.register(&split);
+        let (deadlined, undeadlined) = std::thread::scope(|scope| {
+            let fast = {
+                let engine = Arc::clone(&engine);
+                scope.spawn(move || {
+                    let started = Instant::now();
+                    let verdict =
+                        engine.check_ids_deadline(ih, ik, std::time::Duration::from_millis(10));
+                    (verdict, started.elapsed())
+                })
+            };
+            let slow = {
+                let engine = Arc::clone(&engine);
+                let (h, k) = (narrow.clone(), wide.clone());
+                scope.spawn(move || engine.check(&h, &k))
+            };
+            (fast.join().unwrap(), slow.join().unwrap())
+        });
+        let (verdict, wall) = deadlined;
+        match verdict.unknown_reason() {
+            Some(UnknownReason::DeadlineExceeded { elapsed }) => {
+                assert!(*elapsed >= std::time::Duration::from_millis(10));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            wall < std::time::Duration::from_millis(100),
+            "a 10 ms deadline must surface within 100 ms, took {wall:?}"
+        );
+        // The concurrent undeadlined query on the same engine matches a
+        // fresh (never-deadlined) engine bit for bit.
+        let oracle = ContainmentEngine::new().check(&narrow, &wide);
+        assert_eq!(format!("{undeadlined}"), format!("{oracle}"));
+        let stats = engine.stats();
+        assert!(stats.deadline_exceeded >= 1, "{stats}");
+        assert!(stats.cancelled_branches >= 1, "{stats}");
+        let text = format!("{stats}");
+        assert!(text.contains("deadlines exceeded"), "{text}");
+    }
+
+    #[test]
+    fn cancelled_query_leaves_caches_answering_identically() {
+        // Fire a token mid-search from another thread, then re-ask the same
+        // pair undeadlined on the same engine: the answer must match a fresh
+        // engine's, i.e. the cancelled run memoised nothing partial.
+        let h = parse_schema("Root -> p::A, p::B\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
+        let k = parse_schema("Root -> p::A, p::A\nA -> a::L?\nB -> b::L?\nL -> EMPTY\n").unwrap();
+        let engine = quick_engine();
+        let ih = engine.register(&h);
+        let ik = engine.register(&k);
+        let token = CancelToken::new();
+        token.cancel(); // fire before the search even starts
+        let verdict = engine.check_ids_cancellable(ih, ik, &token);
+        assert!(
+            matches!(
+                verdict.unknown_reason(),
+                Some(crate::UnknownReason::DeadlineExceeded { .. })
+            ),
+            "{verdict}"
+        );
+        let again = engine.check_ids(ih, ik);
+        let oracle = quick_engine().check(&h, &k);
+        assert_eq!(format!("{again}"), format!("{oracle}"));
+    }
+
+    #[test]
+    fn deadlined_matrix_fills_every_cell_with_typed_answers() {
+        let texts = [
+            "T -> p::L?\nL -> EMPTY\n",
+            "T -> p::L*\nL -> EMPTY\n",
+            "T -> p::L\nL -> EMPTY\n",
+        ];
+        let schemas: Vec<Schema> = texts.iter().map(|t| parse_schema(t).unwrap()).collect();
+        let engine = quick_engine();
+        // A generous deadline: every cell completes and matches the
+        // undeadlined matrix.
+        let relaxed = engine.check_matrix_deadline(&schemas, std::time::Duration::from_secs(3600));
+        let plain = quick_engine().check_matrix(&schemas);
+        for (row_a, row_b) in relaxed.iter().zip(plain.iter()) {
+            for (a, b) in row_a.iter().zip(row_b.iter()) {
+                assert_eq!(format!("{a}"), format!("{b}"));
+            }
+        }
+        // An already-expired deadline: the matrix still comes back fully
+        // populated, every cell a typed DeadlineExceeded.
+        let expired = engine.check_matrix_deadline(&schemas, std::time::Duration::ZERO);
+        for row in expired.iter() {
+            for cell in row.iter() {
+                assert!(
+                    matches!(
+                        cell.unknown_reason(),
+                        Some(crate::UnknownReason::DeadlineExceeded { .. })
+                    ),
+                    "{cell}"
+                );
+            }
+        }
+        assert!(engine.stats().deadline_exceeded >= 9);
     }
 
     #[test]

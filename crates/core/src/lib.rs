@@ -49,13 +49,16 @@ use shapex_graph::Graph;
 
 pub mod baseline;
 pub mod budget;
+pub mod cancel;
 pub mod det;
 pub mod embedding;
 pub mod engine;
+pub mod faults;
 pub mod general;
 pub mod matrix;
 pub mod shex0;
 pub mod simulation;
+pub mod sync;
 pub mod unfold;
 
 /// Why a procedure answered [`Containment::Unknown`].
@@ -82,6 +85,14 @@ pub enum UnknownReason {
     /// unfolding dies on a mandatory cycle), so no evidence in either
     /// direction was gathered.
     NotSupported,
+    /// The caller-supplied deadline expired before the search reached a sound
+    /// answer. `elapsed` is the wall-clock time the query had actually run
+    /// when the expiry was observed at a cancellation checkpoint.
+    DeadlineExceeded {
+        /// Wall-clock time from query start to the checkpoint that observed
+        /// the expired deadline.
+        elapsed: std::time::Duration,
+    },
 }
 
 impl fmt::Display for UnknownReason {
@@ -92,6 +103,9 @@ impl fmt::Display for UnknownReason {
                 "budget exhausted after {candidates} candidates at depth {depth}"
             ),
             UnknownReason::NotSupported => write!(f, "no applicable procedure for this input"),
+            UnknownReason::DeadlineExceeded { elapsed } => {
+                write!(f, "deadline exceeded after {elapsed:?}")
+            }
         }
     }
 }
@@ -129,6 +143,12 @@ impl Containment {
     /// An `Unknown` answer for inputs the procedure could not explore at all.
     pub fn not_supported() -> Containment {
         Containment::Unknown(UnknownReason::NotSupported)
+    }
+
+    /// An `Unknown` answer for a query whose deadline expired after running
+    /// for `elapsed`.
+    pub fn deadline_exceeded(elapsed: std::time::Duration) -> Containment {
+        Containment::Unknown(UnknownReason::DeadlineExceeded { elapsed })
     }
 
     /// Whether the answer is `Contained`.

@@ -42,12 +42,15 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use shapex_graph::{Graph, GraphBuilder, Label};
-use shapex_presburger::SolverOptions;
+use shapex_presburger::{CancelCheck, SolverOptions};
 use shapex_rbe::{Bag, Interval, Rbe};
-use shapex_shex::typing::{neighbourhood_satisfies_with, validates, EdgeSummary, SolverTelemetry};
+use shapex_shex::typing::{
+    try_neighbourhood_satisfies_with, validates, EdgeSummary, SolverTelemetry,
+};
 use shapex_shex::{Atom, AtomId, AtomTable, Schema, TypeId};
 
 use crate::budget::{CacheBudget, CacheKind};
+use crate::sync::{read_or_recover, write_or_recover};
 
 /// Budget knobs for unfolding-based searches.
 #[derive(Debug, Clone)]
@@ -171,7 +174,7 @@ impl SharedBagCache {
         cap: usize,
         budget: Option<&CacheBudget>,
     ) -> Option<Arc<Vec<Bag<Atom>>>> {
-        let buckets = self.buckets.read().expect("bag cache poisoned");
+        let buckets = read_or_recover(&self.buckets);
         let bucket = buckets.get(&hash_of((expr, cap)))?;
         let entry = bucket.iter().find(|e| e.cap == cap && e.expr == *expr)?;
         if let Some(budget) = budget {
@@ -187,7 +190,7 @@ impl SharedBagCache {
         bags: Arc<Vec<Bag<Atom>>>,
         budget: Option<&CacheBudget>,
     ) {
-        let mut buckets = self.buckets.write().expect("bag cache poisoned");
+        let mut buckets = write_or_recover(&self.buckets);
         let bucket = buckets.entry(hash_of((expr, cap))).or_default();
         if bucket.iter().any(|e| e.cap == cap && e.expr == *expr) {
             return; // a racing enumerator won; keep its accounting
@@ -213,7 +216,7 @@ impl SharedBagCache {
 
     /// Number of distinct `(expression, cap)` enumerations cached.
     pub fn len(&self) -> usize {
-        let buckets = self.buckets.read().expect("bag cache poisoned");
+        let buckets = read_or_recover(&self.buckets);
         buckets.values().map(Vec::len).sum()
     }
 
@@ -231,7 +234,7 @@ impl SharedBagCache {
     /// the engine's epoch sweep collects these next to the pool and memo
     /// stamps to pick one global cutoff.
     pub(crate) fn collect_stamps(&self, out: &mut Vec<(u64, u64)>) {
-        let buckets = self.buckets.read().expect("bag cache poisoned");
+        let buckets = read_or_recover(&self.buckets);
         for bucket in buckets.values() {
             for entry in bucket {
                 out.push((entry.stamp.load(Ordering::Relaxed), entry.bytes));
@@ -243,7 +246,7 @@ impl SharedBagCache {
     /// entries never stamped under a budget), returning `(entries, bytes)`
     /// removed. The caller credits the ledger.
     pub(crate) fn evict_older_than(&self, cutoff: u64) -> (u64, u64) {
-        let mut buckets = self.buckets.write().expect("bag cache poisoned");
+        let mut buckets = write_or_recover(&self.buckets);
         let mut entries = 0u64;
         let mut bytes = 0u64;
         buckets.retain(|_, bucket| {
@@ -416,6 +419,22 @@ impl TreeArena {
         children: &[(Label, Tree)],
         ctx: &SessionContext,
     ) -> Tree {
+        self.try_node(schema, t, children, ctx, None)
+            .expect("an uncancelled interning cannot be cancelled")
+    }
+
+    /// [`TreeArena::node`] under external cancellation: the acceptance
+    /// check's Presburger fallback polls `cancel`, and a fired token returns
+    /// `None` *before* anything is interned — the arena, its memos, and the
+    /// dedup tables are exactly as if the call never happened.
+    pub fn try_node(
+        &mut self,
+        schema: &Schema,
+        t: TypeId,
+        children: &[(Label, Tree)],
+        ctx: &SessionContext,
+        cancel: Option<CancelCheck<'_>>,
+    ) -> Option<Tree> {
         let mut hasher = DefaultHasher::new();
         t.hash(&mut hasher);
         for (label, child) in children {
@@ -430,11 +449,11 @@ impl TreeArena {
                     && &self.children[node.child_start as usize..node.child_end as usize]
                         == children
                 {
-                    return Tree(index);
+                    return Some(Tree(index));
                 }
             }
         }
-        let local_ok = self.local_accepted(schema, t, children, ctx);
+        let local_ok = self.try_local_accepted(schema, t, children, ctx, cancel)?;
         let member = local_ok && children.iter().all(|&(_, c)| self.member[c.index()]);
         let size = 1 + children
             .iter()
@@ -453,20 +472,22 @@ impl TreeArena {
         self.sizes.push(size);
         self.member.push(member);
         self.dedup.entry(hash).or_default().push(index);
-        Tree(index)
+        Some(Tree(index))
     }
 
     /// Whether the bag `{(label, type_of(child))}` is accepted by `def(t)` —
     /// computed once per distinct `(type, bag)` across the whole arena. The
     /// memo is keyed by the children's session-interned atom ids, so the
-    /// lookup compares `u32`s rather than labels.
-    fn local_accepted(
+    /// lookup compares `u32`s rather than labels. A cancelled check returns
+    /// `None` without memoising anything.
+    fn try_local_accepted(
         &mut self,
         schema: &Schema,
         t: TypeId,
         children: &[(Label, Tree)],
         ctx: &SessionContext,
-    ) -> bool {
+        cancel: Option<CancelCheck<'_>>,
+    ) -> Option<bool> {
         let profile: Vec<AtomId> = children
             .iter()
             .map(|(label, child)| {
@@ -478,7 +499,7 @@ impl TreeArena {
         if let Some(bucket) = self.local.get(&key) {
             for verdict in bucket {
                 if verdict.type_id == t && verdict.profile == profile {
-                    return verdict.ok;
+                    return Some(verdict.ok);
                 }
             }
         }
@@ -490,18 +511,19 @@ impl TreeArena {
                 multiplicity: 1,
             })
             .collect();
-        let ok = neighbourhood_satisfies_with(
+        let ok = try_neighbourhood_satisfies_with(
             &edges,
             schema.def(t),
             ctx.solver,
             ctx.telemetry.as_deref(),
-        );
+            cancel,
+        )?;
         self.local.entry(key).or_default().push(LocalVerdict {
             type_id: t,
             profile,
             ok,
         });
-        ok
+        Some(ok)
     }
 
     /// Materialise the tree as a simple graph rooted at a node of its type
@@ -661,12 +683,33 @@ impl Unfolder {
         depth: usize,
         options: &SearchOptions,
     ) -> Arc<Vec<Tree>> {
+        self.try_trees(schema, t, depth, options, None)
+            .expect("an uncancelled enumeration cannot be cancelled")
+    }
+
+    /// [`Unfolder::trees`] under external cancellation, polled once per
+    /// candidate bag and inside every acceptance check. A cancelled call
+    /// returns `None` and memoises nothing for the interrupted `(type,
+    /// depth)` pairs — already-completed child enumerations stay cached, so
+    /// a later uncancelled call resumes without redundant work and produces
+    /// the identical tree list.
+    pub fn try_trees(
+        &mut self,
+        schema: &Schema,
+        t: TypeId,
+        depth: usize,
+        options: &SearchOptions,
+        cancel: Option<CancelCheck<'_>>,
+    ) -> Option<Arc<Vec<Tree>>> {
         if let Some(trees) = self.enumerated.get(&(t, depth)) {
-            return trees.clone();
+            return Some(trees.clone());
         }
         let bags = self.type_bags(schema, t, options);
         let mut out: Vec<Tree> = Vec::new();
         'bags: for bag in bags.iter() {
+            if cancel.is_some_and(|c| c.fired()) {
+                return None;
+            }
             if depth == 0 && !bag.is_empty() {
                 continue;
             }
@@ -677,7 +720,13 @@ impl Unfolder {
             let mut combos: Vec<Vec<(Label, Tree)>> = vec![Vec::new()];
             let mut dead = false;
             for (atom, count) in bag.iter() {
-                let child_trees = self.trees(schema, atom.target, depth.saturating_sub(1), options);
+                let child_trees = self.try_trees(
+                    schema,
+                    atom.target,
+                    depth.saturating_sub(1),
+                    options,
+                    cancel,
+                )?;
                 if child_trees.is_empty() {
                     dead = true;
                     break;
@@ -704,7 +753,10 @@ impl Unfolder {
                 continue;
             }
             for children in combos {
-                out.push(self.arena.node(schema, t, &children, &self.ctx));
+                out.push(
+                    self.arena
+                        .try_node(schema, t, &children, &self.ctx, cancel)?,
+                );
                 if out.len() >= options.max_trees {
                     break 'bags;
                 }
@@ -712,7 +764,7 @@ impl Unfolder {
         }
         let out = Arc::new(out);
         self.enumerated.insert((t, depth), out.clone());
-        out
+        Some(out)
     }
 
     /// The shared graph of a tree, built once per distinct tree.
@@ -751,9 +803,29 @@ impl Unfolder {
         options: &SearchOptions,
         is_member: &mut dyn FnMut(&Graph) -> bool,
     ) -> Vec<Arc<Graph>> {
-        let trees = self.trees(schema, root, options.max_depth, options);
+        self.try_members_with(schema, root, options, is_member, None)
+            .expect("an uncancelled enumeration cannot be cancelled")
+    }
+
+    /// [`Unfolder::members_with`] under external cancellation, polled once
+    /// per enumerated tree. A cancelled call returns `None`; the engine must
+    /// not cache its (partial) pool. Every memo the call did complete —
+    /// child enumerations, interned trees, built graphs — is identical to
+    /// what an uncancelled prefix would have left behind.
+    pub(crate) fn try_members_with(
+        &mut self,
+        schema: &Schema,
+        root: TypeId,
+        options: &SearchOptions,
+        is_member: &mut dyn FnMut(&Graph) -> bool,
+        cancel: Option<CancelCheck<'_>>,
+    ) -> Option<Vec<Arc<Graph>>> {
+        let trees = self.try_trees(schema, root, options.max_depth, options, cancel)?;
         let mut graphs = Vec::new();
         for &tree in trees.iter() {
+            if cancel.is_some_and(|c| c.fired()) {
+                return None;
+            }
             if self.arena.size(tree) > options.max_graph_nodes {
                 continue;
             }
@@ -765,7 +837,7 @@ impl Unfolder {
                 break;
             }
         }
-        graphs
+        Some(graphs)
     }
 
     /// Draw one random unfolding of `root`; see [`sample_member`] for the
@@ -779,11 +851,22 @@ impl Unfolder {
         rng: &mut StdRng,
         options: &SearchOptions,
     ) -> Option<Arc<Graph>> {
-        self.sample_with(schema, root, rng, options, &mut |g| validates(g, schema))
+        self.sample_with(
+            schema,
+            root,
+            rng,
+            options,
+            &mut |g| validates(g, schema),
+            None,
+        )
     }
 
     /// [`Unfolder::sample`] with the fallback member-validation step
-    /// injected (see [`Unfolder::members_with`]).
+    /// injected (see [`Unfolder::members_with`]) and external cancellation.
+    /// `None` means either "no valid sample this draw" (the historical
+    /// meaning) or "cancelled" — callers that passed a token must inspect it
+    /// to tell the cases apart. The RNG consumption up to a cancellation
+    /// point is identical to the uncancelled sampler's.
     pub(crate) fn sample_with(
         &mut self,
         schema: &Schema,
@@ -791,8 +874,17 @@ impl Unfolder {
         rng: &mut StdRng,
         options: &SearchOptions,
         is_member: &mut dyn FnMut(&Graph) -> bool,
+        cancel: Option<CancelCheck<'_>>,
     ) -> Option<Arc<Graph>> {
-        let tree = self.sample_tree(schema, root, options.max_depth + 2, rng, options, &mut 0)?;
+        let tree = self.sample_tree(
+            schema,
+            root,
+            options.max_depth + 2,
+            rng,
+            options,
+            &mut 0,
+            cancel,
+        )?;
         let graph = self.graph(tree, schema);
         if graph.node_count() <= options.max_graph_nodes
             && (self.arena.certified_member(tree) || is_member(&graph))
@@ -803,6 +895,7 @@ impl Unfolder {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn sample_tree(
         &mut self,
         schema: &Schema,
@@ -811,6 +904,7 @@ impl Unfolder {
         rng: &mut StdRng,
         options: &SearchOptions,
         nodes: &mut usize,
+        cancel: Option<CancelCheck<'_>>,
     ) -> Option<Tree> {
         *nodes += 1;
         if *nodes > options.max_graph_nodes {
@@ -836,11 +930,12 @@ impl Unfolder {
                     rng,
                     options,
                     nodes,
+                    cancel,
                 )?;
                 children.push((atom.label.clone(), child));
             }
         }
-        Some(self.arena.node(schema, t, &children, &self.ctx))
+        self.arena.try_node(schema, t, &children, &self.ctx, cancel)
     }
 }
 
@@ -1202,9 +1297,15 @@ mod tests {
         // Sampled trees go through the same path.
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..10 {
-            if let Some(tree) =
-                unfolder.sample_tree(&schema, item, 2, &mut rng, &SearchOptions::quick(), &mut 0)
-            {
+            if let Some(tree) = unfolder.sample_tree(
+                &schema,
+                item,
+                2,
+                &mut rng,
+                &SearchOptions::quick(),
+                &mut 0,
+                None,
+            ) {
                 for (label, _) in unfolder.arena().children(tree) {
                     assert_eq!(label.as_str(), "tag");
                 }

@@ -1,0 +1,206 @@
+//! Deterministic chaos suite for the engine, compiled only under
+//! `--features failpoints`.
+//!
+//! A seeded [`FaultPlan`] arms panics and delays at the engine's
+//! instrumented sites (pre-sweep, solver-branch, …); the suite then drives
+//! containment queries through the armed engine and pins the two robustness
+//! invariants the fault registry exists to prove:
+//!
+//! 1. **Completed verdicts are never wrong.** Any query that runs to
+//!    completion — before, between, or after injected failures — answers
+//!    exactly like a fresh, fault-free engine (witnesses compared
+//!    structurally). Interrupted queries may leave completed sub-results in
+//!    the caches, but never partial ones, so survivors are unaffected.
+//! 2. **The engine keeps serving.** After every injected panic (which
+//!    poisons whatever locks the dying query held), the same engine answers
+//!    the full workload identically: poisoned-lock recovery plus the
+//!    no-partial-memoisation rule make a crashed query observationally
+//!    invisible.
+//!
+//! Plans are pure functions of their seed, so a failing case replays
+//! exactly from the printed inputs.
+
+#![cfg(feature = "failpoints")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use shapex_core::engine::{ContainmentEngine, EngineOptions};
+use shapex_core::faults::{self, FaultPlan};
+use shapex_core::{Containment, UnknownReason};
+use shapex_graph::generate::GraphGen;
+use shapex_shex::Schema;
+
+mod common;
+use common::{same_answer, tiny};
+
+/// The fault registry is process-global; every test here serialises on it.
+static GATE: Mutex<()> = Mutex::new(());
+
+/// RAII disarm: clears the registry even when an assertion unwinds, so a
+/// failing case never leaves faults armed for the next one.
+struct Armed;
+
+impl Armed {
+    fn install(plan: FaultPlan) -> Armed {
+        faults::install(plan);
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        faults::clear();
+    }
+}
+
+/// Tiny search budget plus a deliberately small cache budget, so eviction
+/// sweeps run constantly and the `pre-sweep` site actually fires.
+fn chaos_options() -> EngineOptions {
+    EngineOptions::builder()
+        .search(tiny())
+        .threads(1)
+        .matrix_threads(1)
+        .cache_budget(4096)
+        .build()
+}
+
+/// Random RBE₀ schemas via random shape graphs — the same generator the
+/// eviction suite uses, giving a mix of contained / not-contained /
+/// budget-exhausted pairs per seed.
+fn random_family(seed: u64, count: usize) -> Vec<Schema> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let shape = GraphGen::new(4, 3).out_degree(2.0).shape(&mut rng);
+            Schema::from_shape_graph(&shape)
+        })
+        .collect()
+}
+
+/// Fault-free per-pair verdicts from fresh engines: no cache carries over
+/// from any earlier query, so this is the memo-free reference answer.
+fn oracle(family: &[Schema]) -> Vec<Containment> {
+    let mut verdicts = Vec::new();
+    for h in family {
+        for k in family {
+            let engine = ContainmentEngine::with_options(chaos_options());
+            verdicts.push(engine.check(h, k));
+        }
+    }
+    verdicts
+}
+
+fn chaos_case(seed: u64, panics: usize, delays: usize) {
+    let family = random_family(seed, 3);
+    let reference = oracle(&family);
+
+    let engine = ContainmentEngine::with_options(chaos_options());
+    let armed = Armed::install(FaultPlan::seeded(seed, panics, delays));
+    let mut injected = 0;
+    for (i, (h, k)) in pairs(&family).enumerate() {
+        // A panic here is an injected fault escaping to the caller — that
+        // query is lost, but nothing else may be.
+        match catch_unwind(AssertUnwindSafe(|| engine.check(h, k))) {
+            Ok(verdict) => assert!(
+                same_answer(&verdict, &reference[i]),
+                "completed verdict diverged under faults (seed {seed}, pair {i}):\n\
+                 got      {verdict:?}\nexpected {:?}",
+                reference[i]
+            ),
+            Err(_) => injected += 1,
+        }
+    }
+    drop(armed);
+
+    // The same engine — poisoned locks, interrupted searches and all — must
+    // now answer the entire workload exactly like the fault-free reference.
+    for (i, (h, k)) in pairs(&family).enumerate() {
+        let verdict = engine.check(h, k);
+        assert!(
+            same_answer(&verdict, &reference[i]),
+            "post-fault verdict diverged (seed {seed}, pair {i}, {injected} faults injected):\n\
+             got      {verdict:?}\nexpected {:?}",
+            reference[i]
+        );
+    }
+}
+
+/// Ordered pairs of the family, in oracle order.
+fn pairs(family: &[Schema]) -> impl Iterator<Item = (&Schema, &Schema)> {
+    family
+        .iter()
+        .flat_map(move |h| family.iter().map(move |k| (h, k)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn seeded_fault_schedules_never_change_completed_verdicts(
+        seed in 0u64..100_000,
+        panics in 0usize..4,
+        delays in 0usize..3,
+    ) {
+        let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        chaos_case(seed, panics, delays);
+    }
+}
+
+#[test]
+fn delay_faults_widen_race_windows_without_changing_verdicts() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let family = random_family(0xD31A7, 3);
+    let reference = oracle(&family);
+    let engine = Arc::new(ContainmentEngine::with_options(chaos_options()));
+    // Delay-only schedule: stalls queries at sweep and branch checkpoints
+    // while other threads hammer the same caches and evict underneath them.
+    let _armed = Armed::install(FaultPlan::seeded(0xD31A7, 0, 6));
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let engine = Arc::clone(&engine);
+            let family = &family;
+            let reference = &reference;
+            scope.spawn(move || {
+                for (i, (h, k)) in pairs(family).enumerate() {
+                    let verdict = engine.check(h, k);
+                    assert!(
+                        same_answer(&verdict, &reference[i]),
+                        "delayed verdict diverged (pair {i}): got {verdict:?}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn deadlines_under_armed_faults_stay_typed() {
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let family = random_family(7, 2);
+    let engine = ContainmentEngine::with_options(chaos_options());
+    let h = engine.register(&family[0]);
+    let k = engine.register(&family[1]);
+    let reference = engine.check_ids(h, k);
+    // Delays at the solver-branch checkpoint sit exactly where deadline
+    // polling happens; the verdicts must stay typed either way.
+    let _armed = Armed::install(FaultPlan::seeded(7, 0, 4));
+    let expired = engine.check_ids_deadline(h, k, Duration::ZERO);
+    assert!(
+        matches!(
+            expired.unknown_reason(),
+            Some(UnknownReason::DeadlineExceeded { .. })
+        ),
+        "zero deadline must expire, got {expired:?}"
+    );
+    let generous = engine.check_ids_deadline(h, k, Duration::from_secs(3600));
+    assert!(
+        same_answer(&generous, &reference),
+        "a generous deadline answers identically, got {generous:?}"
+    );
+}

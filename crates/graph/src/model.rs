@@ -224,7 +224,13 @@ impl SharedLabelTable {
             index = (index + 1) & mask;
         }
         // Every slot holds some other label: spill into the locked overflow.
-        let mut overflow = self.overflow.lock().expect("label overflow lock");
+        // The overflow map is append-only interning state: if a panicking
+        // thread poisoned the lock, taking over the guard observes either a
+        // completed insert or none at all — recover rather than wedge.
+        let mut overflow = self
+            .overflow
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let before = overflow.len();
         let label = overflow.adopt(&make());
         if overflow.len() > before {

@@ -26,5 +26,5 @@ pub mod solver;
 pub mod translate;
 
 pub use formula::{Constraint, Formula, LinearExpr, Var, VarPool};
-pub use solver::{Bounds, SolveResult, Solver, SolverOptions, SolverStats};
+pub use solver::{Bounds, CancelCheck, SolveResult, Solver, SolverOptions, SolverStats};
 pub use translate::{psi, rbe_member};

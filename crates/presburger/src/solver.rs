@@ -12,8 +12,71 @@
 //! generality provided the caller passes a large-enough bound.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use crate::formula::{Constraint, Formula, LinearExpr, VarPool};
+
+/// How many search nodes pass between wall-clock reads when a
+/// [`CancelCheck`] carries a deadline: the flag is checked every node (one
+/// relaxed load), the clock only every this-many nodes, so the polling cost
+/// stays far below the per-node search work while the checkpoint interval
+/// stays bounded (a few hundred nodes — microseconds).
+const CANCEL_POLL_INTERVAL: u32 = 256;
+
+/// External cancellation for long solves: a shared flag plus an optional
+/// wall-clock deadline.
+///
+/// The solver checks the flag on every search node and, when a deadline is
+/// present, reads the clock every [`CANCEL_POLL_INTERVAL`] nodes; an expired
+/// deadline is latched into the flag so every parallel worker sharing the
+/// check aborts promptly. A cancelled solve surfaces as
+/// [`SolveResult::Unknown`] — indistinguishable here from budget
+/// exhaustion; callers that need to tell the two apart inspect the flag
+/// after the call returns.
+#[derive(Debug, Clone, Copy)]
+pub struct CancelCheck<'a> {
+    flag: &'a AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl<'a> CancelCheck<'a> {
+    /// A check over a shared flag only (manual cancellation).
+    pub fn new(flag: &'a AtomicBool) -> CancelCheck<'a> {
+        CancelCheck {
+            flag,
+            deadline: None,
+        }
+    }
+
+    /// A check over a shared flag plus a wall-clock deadline; on expiry the
+    /// flag is latched so other observers abort too.
+    pub fn with_deadline(flag: &'a AtomicBool, deadline: Instant) -> CancelCheck<'a> {
+        CancelCheck {
+            flag,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Whether the flag is already set (no clock read).
+    pub fn flagged(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Whether cancellation has fired: the flag, or an expired deadline
+    /// (which is latched into the flag as a side effect).
+    pub fn fired(&self) -> bool {
+        if self.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.flag.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
 
 /// Variable bounds used by the solver when the [`VarPool`] does not declare a
 /// per-variable bound.
@@ -238,12 +301,32 @@ struct SearchState<'a> {
     /// latch aborts the worker's search; its presence also marks "already
     /// forked", so workers never fan out a nested disjunction themselves.
     stop: Option<&'a AtomicBool>,
+    /// External cancellation (caller-supplied flag and optional deadline) —
+    /// deliberately a separate field from `stop`: the fork gate keys on
+    /// `stop.is_none()` to mean "not yet inside a worker", so reusing the
+    /// latch for external cancellation would disable parallel fan-out for
+    /// every cancellable solve.
+    cancel: Option<CancelCheck<'a>>,
+    /// Node counter amortising the deadline clock reads of `cancel`.
+    polls: u32,
 }
 
 impl SearchState<'_> {
-    /// Whether another worker has already found a model.
-    fn latched(&self) -> bool {
-        self.stop.is_some_and(|stop| stop.load(Ordering::Relaxed))
+    /// Whether this search must abort: another worker latched a model, the
+    /// caller cancelled, or (checked every [`CANCEL_POLL_INTERVAL`] nodes)
+    /// the caller's deadline expired.
+    fn aborted(&mut self) -> bool {
+        if self.stop.is_some_and(|stop| stop.load(Ordering::Relaxed)) {
+            return true;
+        }
+        let Some(cancel) = self.cancel else {
+            return false;
+        };
+        if cancel.flagged() {
+            return true;
+        }
+        self.polls = self.polls.wrapping_add(1);
+        self.polls % CANCEL_POLL_INTERVAL == 0 && cancel.fired()
     }
 }
 
@@ -302,6 +385,19 @@ impl Solver {
         formula: &Formula,
         pool: &VarPool,
     ) -> (SolveResult, SolverStats) {
+        self.solve_with_stats_cancellable(formula, pool, None)
+    }
+
+    /// [`Solver::solve_with_stats`] under external cancellation: the search
+    /// aborts (returning [`SolveResult::Unknown`]) within a bounded number
+    /// of nodes once `cancel` fires. Verdicts reached before cancellation
+    /// are identical to the uncancelled solve.
+    pub fn solve_with_stats_cancellable(
+        &self,
+        formula: &Formula,
+        pool: &VarPool,
+        cancel: Option<CancelCheck<'_>>,
+    ) -> (SolveResult, SolverStats) {
         let nvars = formula
             .variables()
             .iter()
@@ -327,6 +423,8 @@ impl Solver {
             budget: self.node_budget,
             stats: SolverStats::default(),
             stop: None,
+            cancel,
+            polls: 0,
         };
         let result = match self.search(&[&nnf], &mut state) {
             Some(Some(model)) => {
@@ -348,7 +446,7 @@ impl Solver {
     /// `Some(model_or_none)`. On return, `state`'s atoms and domains are
     /// exactly as the caller left them (the frame truncates its own pushes).
     fn search(&self, pending: &[&Nnf], state: &mut SearchState<'_>) -> Option<Option<Vec<u64>>> {
-        if state.budget == 0 || state.latched() {
+        if state.budget == 0 || state.aborted() {
             return None;
         }
         state.budget -= 1;
@@ -437,6 +535,7 @@ impl Solver {
         let cursor = AtomicUsize::new(0);
         let workers = self.options.threads.min(choices.len());
         let budget_at_fork = state.budget;
+        let cancel = state.cancel;
         let base_atoms = &state.atoms;
         let base_domains = &state.domains;
         let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
@@ -450,6 +549,8 @@ impl Solver {
                             budget: budget_at_fork,
                             stats: SolverStats::default(),
                             stop: Some(&latch),
+                            cancel,
+                            polls: 0,
                         };
                         let mut model = None;
                         let mut exhausted = false;
@@ -514,7 +615,7 @@ impl Solver {
     }
 
     fn enumerate(&self, state: &mut SearchState<'_>) -> Option<Option<Vec<u64>>> {
-        if state.budget == 0 || state.latched() {
+        if state.budget == 0 || state.aborted() {
             return None;
         }
         state.budget -= 1;
@@ -975,6 +1076,76 @@ mod tests {
         assert_eq!(gr.model().is_some(), sr.model().is_some());
         // Below the gate the search is bit-for-bit the serial one.
         assert_eq!(gs, ss);
+    }
+
+    #[test]
+    fn pre_fired_cancel_flag_aborts_immediately_as_unknown() {
+        let mut pool = VarPool::new();
+        let vars: Vec<_> = (0..12).map(|i| pool.fresh_named(format!("x{i}"))).collect();
+        let sum = vars.iter().fold(LinearExpr::constant(0), |acc, v| {
+            acc.add(&LinearExpr::var(*v))
+        });
+        let f = Formula::eq(sum, LinearExpr::constant(200));
+        let flag = AtomicBool::new(true);
+        let wide = Solver::new(Bounds::uniform(1_000));
+        let (result, stats) =
+            wide.solve_with_stats_cancellable(&f, &pool, Some(CancelCheck::new(&flag)));
+        assert_eq!(result, SolveResult::Unknown);
+        assert_eq!(stats.search_nodes, 0, "no node may be expanded: {stats:?}");
+    }
+
+    #[test]
+    fn unfired_cancel_flag_changes_nothing() {
+        let mut pool = VarPool::new();
+        let f = wide_unsat_disjunction(&mut pool);
+        let flag = AtomicBool::new(false);
+        let plain = solver().solve_with_stats(&f, &pool);
+        let cancellable =
+            solver().solve_with_stats_cancellable(&f, &pool, Some(CancelCheck::new(&flag)));
+        assert_eq!(plain, cancellable, "a dormant flag must be invisible");
+        assert!(!flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn expired_deadline_latches_the_flag_and_aborts() {
+        let mut pool = VarPool::new();
+        let vars: Vec<_> = (0..12).map(|i| pool.fresh_named(format!("x{i}"))).collect();
+        let sum = vars.iter().fold(LinearExpr::constant(0), |acc, v| {
+            acc.add(&LinearExpr::var(*v))
+        });
+        // Unsatisfiable and huge: without cancellation this burns the whole
+        // node budget before answering.
+        let f = Formula::and(vec![
+            Formula::eq(sum.clone(), LinearExpr::constant(200)),
+            Formula::eq(sum, LinearExpr::constant(201)),
+        ]);
+        let flag = AtomicBool::new(false);
+        let check = CancelCheck::with_deadline(&flag, Instant::now());
+        let wide = Solver::new(Bounds::uniform(100_000));
+        let started = Instant::now();
+        let (result, _) = wide.solve_with_stats_cancellable(&f, &pool, Some(check));
+        // Propagation may refute the conjunction outright; either way the
+        // call returns promptly and an expired deadline is latched.
+        assert!(matches!(result, SolveResult::Unknown | SolveResult::Unsat));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "cancellation must bound the solve"
+        );
+    }
+
+    #[test]
+    fn parallel_workers_observe_the_cancel_flag() {
+        let mut pool = VarPool::new();
+        let f = wide_unsat_disjunction(&mut pool);
+        let flag = AtomicBool::new(true);
+        let parallel = solver().with_options(SolverOptions::parallel(4).with_min_fork_cost(0));
+        let (result, _) =
+            parallel.solve_with_stats_cancellable(&f, &pool, Some(CancelCheck::new(&flag)));
+        assert_eq!(
+            result,
+            SolveResult::Unknown,
+            "a fired flag must abort even the forked search"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Dense identifier of an interned symbol. Ids are assigned in first-seen
 /// order starting at `0` and are unique within their [`SymbolTable`].
@@ -78,7 +78,7 @@ impl<S: Eq + Hash> SymbolTable<S> {
 
     /// Look up the id of `symbol` without interning it.
     pub fn get(&self, symbol: &S) -> Option<SymbolId> {
-        let inner = self.inner.read().expect("symbol table poisoned");
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         inner.ids.get(symbol).copied().map(SymbolId)
     }
 
@@ -91,7 +91,7 @@ impl<S: Eq + Hash> SymbolTable<S> {
         if let Some(id) = self.get(symbol) {
             return id;
         }
-        let mut inner = self.inner.write().expect("symbol table poisoned");
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(&id) = inner.ids.get(symbol) {
             return SymbolId(id);
         }
@@ -116,7 +116,7 @@ impl<S: Eq + Hash> SymbolTable<S> {
     /// Resolve an id back to its symbol. Panics if `id` did not come from this
     /// table.
     pub fn resolve(&self, id: SymbolId) -> Arc<S> {
-        let inner = self.inner.read().expect("symbol table poisoned");
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(&inner.symbols[id.index()])
     }
 
@@ -124,7 +124,7 @@ impl<S: Eq + Hash> SymbolTable<S> {
     pub fn len(&self) -> usize {
         self.inner
             .read()
-            .expect("symbol table poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .symbols
             .len()
     }

@@ -23,7 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use shapex_graph::{Graph, Label, NodeId};
 use shapex_presburger::formula::{Formula, LinearExpr, VarPool};
-use shapex_presburger::solver::{Bounds, SolveResult, Solver, SolverOptions, SolverStats};
+use shapex_presburger::solver::{
+    Bounds, CancelCheck, SolveResult, Solver, SolverOptions, SolverStats,
+};
 use shapex_presburger::translate::{max_interval_constant, ParikhVec, PsiBuilder};
 use shapex_rbe::{FlowScratch, Interval, Rbe, Rbe0};
 
@@ -144,6 +146,10 @@ pub struct IncrementalTyping {
     /// Number of schema types the retained typing was computed against; a
     /// mismatch on `apply` forces a full rebuild.
     type_count: usize,
+    /// Set when a cancelled [`IncrementalTyping::try_apply`] abandoned the
+    /// worklist mid-refinement, leaving the retained typing in an
+    /// intermediate (unsound) state; the next call forces a full rebuild.
+    poisoned: bool,
     /// Scratch: membership in the affected region `R`.
     affected: Vec<bool>,
     /// Scratch: worklist membership flags.
@@ -166,6 +172,7 @@ impl IncrementalTyping {
             typing,
             scratch,
             type_count: schema.types().count(),
+            poisoned: false,
             affected: Vec::new(),
             queued: Vec::new(),
             stack: Vec::new(),
@@ -188,6 +195,7 @@ impl IncrementalTyping {
     pub fn rebuild(&mut self, graph: &Graph, schema: &Schema) {
         self.typing = maximal_typing_with(graph, schema, &mut self.scratch);
         self.type_count = schema.types().count();
+        self.poisoned = false;
     }
 
     /// Revalidate after a delta. `graph` is the post-delta graph and `dirty`
@@ -204,12 +212,48 @@ impl IncrementalTyping {
     /// Panics (in debug builds) if the graph uses occurrence intervals other
     /// than singletons.
     pub fn apply(&mut self, graph: &Graph, schema: &Schema, dirty: &[NodeId]) -> usize {
-        if self.type_count != schema.types().count() {
-            self.rebuild(graph, schema);
-            return graph.node_count();
+        self.try_apply(graph, schema, dirty, None)
+            .expect("an uncancelled revalidation cannot be cancelled")
+    }
+
+    /// [`IncrementalTyping::apply`] under external cancellation: the worklist
+    /// checks `cancel` once per popped node, returning `None` once it fires.
+    ///
+    /// A cancelled call leaves the retained typing *poisoned* — the worklist
+    /// was abandoned mid-refinement, so the retained sets are neither an
+    /// over- nor an under-approximation of the fixpoint. The next
+    /// `apply`/`try_apply` call detects this and recomputes from scratch
+    /// (itself cancellable); until one succeeds, [`IncrementalTyping::typing`]
+    /// must not be trusted.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the graph uses occurrence intervals other
+    /// than singletons.
+    pub fn try_apply(
+        &mut self,
+        graph: &Graph,
+        schema: &Schema,
+        dirty: &[NodeId],
+        cancel: Option<CancelCheck<'_>>,
+    ) -> Option<usize> {
+        if self.poisoned || self.type_count != schema.types().count() {
+            // Full rebuild, itself cancellable: a second cancellation keeps
+            // the typing poisoned for the next attempt.
+            match try_maximal_typing_with(graph, schema, &mut self.scratch, cancel) {
+                Some(typing) => {
+                    self.typing = typing;
+                    self.type_count = schema.types().count();
+                    self.poisoned = false;
+                    return Some(graph.node_count());
+                }
+                None => {
+                    self.poisoned = true;
+                    return None;
+                }
+            }
         }
         if dirty.is_empty() && graph.node_count() == self.typing.sets.len() {
-            return 0;
+            return Some(0);
         }
         debug_assert!(
             graph.edges().all(|e| graph.occur(e).singleton().is_some()),
@@ -267,6 +311,10 @@ impl IncrementalTyping {
         // Predecessor-directed refinement: when a node's set shrinks, every
         // in-neighbour may lose a type that matched an atom pointing at it.
         while let Some(node) = self.stack.pop() {
+            if cancel.is_some_and(|c| c.fired()) {
+                self.poisoned = true;
+                return None;
+            }
             self.queued[node.index()] = false;
             self.scratch.current.clear();
             self.scratch
@@ -275,10 +323,24 @@ impl IncrementalTyping {
             let mut shrunk = false;
             for i in 0..self.scratch.current.len() {
                 let t = self.scratch.current[i];
-                if !node_satisfies_scratch(graph, node, t, &self.typing, schema, &mut self.scratch)
-                {
-                    self.typing.sets[node.index()].remove(&t);
-                    shrunk = true;
+                match try_node_satisfies_scratch(
+                    graph,
+                    node,
+                    t,
+                    &self.typing,
+                    schema,
+                    &mut self.scratch,
+                    cancel,
+                ) {
+                    None => {
+                        self.poisoned = true;
+                        return None;
+                    }
+                    Some(true) => {}
+                    Some(false) => {
+                        self.typing.sets[node.index()].remove(&t);
+                        shrunk = true;
+                    }
                 }
             }
             if shrunk {
@@ -292,7 +354,7 @@ impl IncrementalTyping {
                 }
             }
         }
-        region.len()
+        Some(region.len())
     }
 }
 
@@ -375,6 +437,24 @@ pub fn maximal_typing_with(
     schema: &Schema,
     scratch: &mut ValidateScratch,
 ) -> Typing {
+    try_maximal_typing_with(graph, schema, scratch, None)
+        .expect("an uncancelled typing cannot be cancelled")
+}
+
+/// [`maximal_typing_with`] under external cancellation: the fixpoint checks
+/// `cancel` once per node per sweep (and threads it into every Presburger
+/// fallback), returning `None` within a bounded checkpoint interval once it
+/// fires. A `Some` result is bit-identical to the uncancelled typing.
+///
+/// # Panics
+/// Panics if the graph uses occurrence intervals other than singletons
+/// (validation is defined on simple and compressed graphs only).
+pub fn try_maximal_typing_with(
+    graph: &Graph,
+    schema: &Schema,
+    scratch: &mut ValidateScratch,
+    cancel: Option<CancelCheck<'_>>,
+) -> Option<Typing> {
     for e in graph.edges() {
         assert!(
             graph.occur(e).singleton().is_some(),
@@ -397,6 +477,9 @@ pub fn maximal_typing_with(
         // (parents before children), and visiting successors first lets a
         // whole tree stabilise in one sweep instead of one sweep per level.
         for index in (0..graph.node_count()).rev() {
+            if cancel.is_some_and(|c| c.fired()) {
+                return None;
+            }
             let node = NodeId(index as u32);
             scratch.current.clear();
             scratch
@@ -404,14 +487,18 @@ pub fn maximal_typing_with(
                 .extend(typing.sets[node.index()].iter().copied());
             for i in 0..scratch.current.len() {
                 let t = scratch.current[i];
-                if !node_satisfies_scratch(graph, node, t, &typing, schema, scratch) {
-                    typing.sets[node.index()].remove(&t);
-                    changed = true;
+                match try_node_satisfies_scratch(graph, node, t, &typing, schema, scratch, cancel) {
+                    None => return None,
+                    Some(true) => {}
+                    Some(false) => {
+                        typing.sets[node.index()].remove(&t);
+                        changed = true;
+                    }
                 }
             }
         }
         if !changed {
-            return typing;
+            return Some(typing);
         }
     }
 }
@@ -467,17 +554,22 @@ fn rbe0_flow_satisfies(
 }
 
 /// The scratch-backed satisfaction check behind [`maximal_typing_with`]:
-/// semantically identical to [`node_satisfies`], but the edge summaries are
-/// never materialised — the flow instance borrows the typing directly — and
-/// the RBE₀ view comes from the scratch's per-call cache.
-fn node_satisfies_scratch(
+/// semantically identical to [`node_satisfies`], but the edge summaries on
+/// the fast path are never materialised — the flow instance borrows the
+/// typing directly — and the RBE₀ view comes from the scratch's per-call
+/// cache. The Presburger fallback runs under external cancellation: `None`
+/// means `cancel` fired mid-solve; `Some` verdicts are identical to the
+/// uncancelled path.
+#[allow(clippy::too_many_arguments)]
+fn try_node_satisfies_scratch(
     graph: &Graph,
     node: NodeId,
     t: TypeId,
     typing: &Typing,
     schema: &Schema,
     scratch: &mut ValidateScratch,
-) -> bool {
+    cancel: Option<CancelCheck<'_>>,
+) -> Option<bool> {
     let out = graph.out(node);
     // An edge whose target has no candidate type can never be matched (the
     // signature's inner disjunction is empty, so the language is empty).
@@ -485,7 +577,7 @@ fn node_satisfies_scratch(
         .iter()
         .any(|&e| typing.types_of(graph.target(e)).is_empty())
     {
-        return false;
+        return Some(false);
     }
     if let Some(rbe0) = scratch.rbe0s[t.index()].as_ref() {
         let atoms = rbe0.atoms();
@@ -501,12 +593,26 @@ fn node_satisfies_scratch(
                     && typing.types_of(graph.target(e)).contains(&atom.target)
             },
         ) {
-            return ok;
+            return Some(ok);
         }
     }
     // General path (rare): fall back to the materialised edge summaries and
     // the Presburger encoding.
-    node_satisfies(graph, node, t, typing, schema)
+    let edges: Vec<EdgeSummary> = out
+        .iter()
+        .map(|&e| EdgeSummary {
+            label: graph.label(e).clone(),
+            target_types: typing.types_of(graph.target(e)).clone(),
+            multiplicity: graph.occur(e).singleton().unwrap_or(1),
+        })
+        .collect();
+    try_neighbourhood_satisfies_with(
+        &edges,
+        schema.def(t),
+        SolverOptions::default(),
+        None,
+        cancel,
+    )
 }
 
 /// Whether `node` satisfies the definition of `t` given the candidate types
@@ -551,10 +657,26 @@ pub fn neighbourhood_satisfies_with(
     options: SolverOptions,
     telemetry: Option<&SolverTelemetry>,
 ) -> bool {
+    try_neighbourhood_satisfies_with(edges, def, options, telemetry, None)
+        .expect("an uncancelled satisfaction check cannot be cancelled")
+}
+
+/// [`neighbourhood_satisfies_with`] under external cancellation: the
+/// Presburger fallback polls `cancel` at its search checkpoints and the call
+/// returns `None` once it fires (the RBE₀ flow fast path is polynomial and
+/// runs to completion regardless). `Some` verdicts are identical to the
+/// uncancelled path.
+pub fn try_neighbourhood_satisfies_with(
+    edges: &[EdgeSummary],
+    def: &Rbe<Atom>,
+    options: SolverOptions,
+    telemetry: Option<&SolverTelemetry>,
+    cancel: Option<CancelCheck<'_>>,
+) -> Option<bool> {
     // An edge whose target has no candidate type can never be matched: the
     // signature's inner disjunction is empty, so the whole language is empty.
     if edges.iter().any(|e| e.target_types.is_empty()) {
-        return false;
+        return Some(false);
     }
     if let Some(rbe0) = def.to_rbe0() {
         // Fast path: assignment of edge copies to RBE0 atoms via interval
@@ -573,12 +695,12 @@ pub fn neighbourhood_satisfies_with(
                 atom.label == edge.label && edge.target_types.contains(&atom.target)
             },
         ) {
-            return ok;
+            return Some(ok);
         }
     }
     // General path: Presburger encoding of the partition of edge copies into
     // types, fed to ψ_def (the formulas φ_t of Section 6 with x̄ fixed).
-    satisfies_via_presburger(edges, def, options, telemetry)
+    satisfies_via_presburger(edges, def, options, telemetry, cancel)
 }
 
 fn satisfies_via_presburger(
@@ -586,7 +708,8 @@ fn satisfies_via_presburger(
     def: &Rbe<Atom>,
     options: SolverOptions,
     telemetry: Option<&SolverTelemetry>,
-) -> bool {
+    cancel: Option<CancelCheck<'_>>,
+) -> Option<bool> {
     let mut pool = VarPool::new();
     let total: u64 = edges.iter().map(|e| e.multiplicity).sum();
     let bound = total + max_interval_constant(def) + 1;
@@ -625,13 +748,17 @@ fn satisfies_via_presburger(
     conjuncts.push(psi);
     let formula = Formula::and(conjuncts);
     let solver = Solver::new(Bounds::uniform(bound)).with_options(options);
-    let (result, stats) = solver.solve_with_stats(&formula, &pool);
+    let (result, stats) = solver.solve_with_stats_cancellable(&formula, &pool, cancel);
     if let Some(telemetry) = telemetry {
         telemetry.record(stats);
     }
     match result {
-        SolveResult::Sat(_) => true,
-        SolveResult::Unsat => false,
+        SolveResult::Sat(_) => Some(true),
+        SolveResult::Unsat => Some(false),
+        // `Unknown` is either a fired cancellation (surface as `None`) or a
+        // genuinely exhausted node budget — the latter keeps its historical
+        // panic so callers never confuse the two.
+        SolveResult::Unknown if cancel.is_some_and(|c| c.flagged()) => None,
         SolveResult::Unknown => panic!("Presburger budget exhausted during validation"),
     }
 }
@@ -896,6 +1023,88 @@ emp1 -email-> l9
         let touched = inc.apply(&graph, &other, &[]);
         assert_eq!(touched, graph.node_count());
         assert_eq!(inc.typing(), &maximal_typing(&graph, &other));
+    }
+
+    #[test]
+    fn fired_cancel_aborts_typing_and_poisons_incremental_state() {
+        use std::sync::atomic::AtomicBool;
+        let schema = parse_schema(FIG1_SCHEMA).unwrap();
+        let mut graph = parse_graph(FIG1_GRAPH).unwrap();
+
+        // A pre-fired flag aborts the fixpoint before any sweep completes.
+        let fired = AtomicBool::new(true);
+        let cancel = CancelCheck::new(&fired);
+        assert!(try_maximal_typing_with(
+            &graph,
+            &schema,
+            &mut ValidateScratch::new(),
+            Some(cancel)
+        )
+        .is_none());
+
+        // A dormant flag changes nothing.
+        let dormant = AtomicBool::new(false);
+        assert_eq!(
+            try_maximal_typing_with(
+                &graph,
+                &schema,
+                &mut ValidateScratch::new(),
+                Some(CancelCheck::new(&dormant))
+            ),
+            Some(maximal_typing(&graph, &schema))
+        );
+
+        // Cancelling an incremental revalidation poisons the retained typing;
+        // the next (uncancelled) apply recovers via a full rebuild and lands
+        // exactly on the from-scratch fixpoint.
+        use shapex_graph::GraphDelta;
+        let mut inc = IncrementalTyping::new(&graph, &schema);
+        let mut delta = GraphDelta::new();
+        delta.remove_edge("user1", "name", "l5");
+        let report = graph.apply_delta(&delta);
+        assert!(inc
+            .try_apply(&graph, &schema, &report.dirty, Some(cancel))
+            .is_none());
+        let touched = inc.apply(&graph, &schema, &[]);
+        assert_eq!(touched, graph.node_count(), "poisoned state forces rebuild");
+        assert_eq!(inc.typing(), &maximal_typing(&graph, &schema));
+    }
+
+    #[test]
+    fn cancelled_presburger_fallback_surfaces_as_none() {
+        use std::sync::atomic::AtomicBool;
+        // The disjunctive definition forces the Presburger path.
+        let schema = parse_schema("A -> p::B | q::B\nB -> EMPTY\n").unwrap();
+        let a_type = schema.find_type("A").unwrap();
+        let b_type = schema.find_type("B").unwrap();
+        let edges = [EdgeSummary {
+            label: Label::new("p"),
+            target_types: [b_type].into_iter().collect(),
+            multiplicity: 1,
+        }];
+        let fired = AtomicBool::new(true);
+        assert_eq!(
+            try_neighbourhood_satisfies_with(
+                &edges,
+                schema.def(a_type),
+                SolverOptions::default(),
+                None,
+                Some(CancelCheck::new(&fired)),
+            ),
+            None,
+            "a fired flag must abort the solver, not return a verdict"
+        );
+        let dormant = AtomicBool::new(false);
+        assert_eq!(
+            try_neighbourhood_satisfies_with(
+                &edges,
+                schema.def(a_type),
+                SolverOptions::default(),
+                None,
+                Some(CancelCheck::new(&dormant)),
+            ),
+            Some(true)
+        );
     }
 
     #[test]

@@ -157,6 +157,7 @@ fn main() {
                     tenant: TenantId::DEFAULT,
                     request: ServiceRequest::Stats,
                     reply,
+                    deadline: None,
                 })
                 .expect("queue has room for the first two");
         }

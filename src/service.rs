@@ -57,6 +57,25 @@
 //!   longer head-of-line-blocks every tenant. Backpressure keeps `connect`'s
 //!   semantics per worker: [`PoolClient::call`] fails with
 //!   [`ServiceError::Overloaded`] only when every queue is full.
+//! * **Deadlines, bounded retries, and worker supervision.** Every
+//!   [`ServiceEnvelope`] carries an optional absolute deadline. The serve
+//!   loop refuses already-expired envelopes with
+//!   [`ServiceError::DeadlineExceeded`] and runs the rest —
+//!   [`ServiceRequest::Check`] and [`ServiceRequest::Matrix`] in
+//!   particular — under an engine [`CancelToken`] bound to the deadline,
+//!   so a 10 ms budget comes back within a bounded checkpoint interval as
+//!   a typed answer, never as a hung worker.
+//!   [`ServiceClient::call_timeout`] / [`PoolClient::call_timeout`] set
+//!   the deadline, retry [`ServiceError::Overloaded`] with bounded
+//!   deterministic-jitter backoff ([`ServiceStats::retries`] /
+//!   [`ServiceStats::retry_gave_up`]), and surface a reply that misses
+//!   the budget as [`ServiceError::DeadlineExceeded`] instead of parking
+//!   forever. Pool workers run under a supervisor: a panic while handling
+//!   a request still answers that caller (with [`ServiceError::Internal`]),
+//!   the worker is respawned onto the same queue, and the restart is
+//!   counted in [`ServiceStats::worker_restarts`]. Expired requests land
+//!   in a separate timeout histogram ([`ServiceStats::timeouts`]) so the
+//!   latency tail of successful traffic stays honest.
 //!
 //! The protocol stays transport-agnostic: `handle` maps one request to one
 //! response and is safe from any number of threads;
@@ -70,14 +89,17 @@
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use shapex_core::cancel::CancelToken;
 use shapex_core::engine::{
     ContainmentEngine, ContainmentMatrix, EngineOptions, EngineStats, SchemaId,
 };
-use shapex_core::Containment;
+use shapex_core::sync::{lock_or_recover, read_or_recover, write_or_recover};
+use shapex_core::{faults, Containment, UnknownReason};
 use shapex_graph::{DeltaReport, Graph, GraphDelta, NTriplesParser, NodeId, Triple};
 use shapex_shex::{IncrementalTyping, Schema};
 
@@ -303,6 +325,20 @@ pub enum ServiceError {
     Overloaded,
     /// The serve loop (or the reply channel) hung up before answering.
     Disconnected,
+    /// The request's deadline expired before a complete answer was
+    /// produced — either while it sat in the queue (the serve loop refuses
+    /// to start expired work) or client-side when the reply missed a
+    /// [`ServiceClient::call_timeout`] budget. An engine-level expiry that
+    /// still yields a typed verdict comes back as
+    /// [`ServiceResponse::Answer`] carrying
+    /// [`UnknownReason::DeadlineExceeded`] instead. Counted in the
+    /// [`ServiceStats::timeouts`] histogram.
+    DeadlineExceeded,
+    /// The worker handling the request panicked. The caller was still
+    /// answered (with this error), the worker was respawned by its
+    /// supervisor — counted in [`ServiceStats::worker_restarts`] — and the
+    /// service keeps serving, so the request is safe to retry.
+    Internal,
 }
 
 impl fmt::Display for ServiceError {
@@ -333,6 +369,13 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Overloaded => write!(f, "request queue is full; retry later"),
             ServiceError::Disconnected => write!(f, "service hung up before answering"),
+            ServiceError::DeadlineExceeded => {
+                write!(f, "deadline expired before the request completed")
+            }
+            ServiceError::Internal => write!(
+                f,
+                "the worker panicked handling the request (it was respawned; safe to retry)"
+            ),
         }
     }
 }
@@ -348,6 +391,50 @@ impl From<ServiceError> for ServiceResponse {
     }
 }
 
+/// Whether a dispatch outcome is a deadline expiry — the typed
+/// [`ServiceError::DeadlineExceeded`], or an engine verdict that gave up
+/// with [`UnknownReason::DeadlineExceeded`]. Routes the latency sample
+/// into [`ServiceStats::timeouts`] instead of [`ServiceStats::latency`].
+fn expired(response: &Result<ServiceResponse, ServiceError>) -> bool {
+    match response {
+        Err(ServiceError::DeadlineExceeded) => true,
+        Ok(ServiceResponse::Answer(answer)) => matches!(
+            answer.unknown_reason(),
+            Some(UnknownReason::DeadlineExceeded { .. })
+        ),
+        _ => false,
+    }
+}
+
+/// Total send attempts a `call_timeout` retry loop makes (the first try
+/// plus up to `RETRY_ATTEMPTS - 1` backed-off re-sends).
+const RETRY_ATTEMPTS: u64 = 4;
+
+/// splitmix64, the standard 64-bit mixer: retry jitter derives from it
+/// deterministically — equal `(seed, attempt)` pairs always pause equally,
+/// so overload behaviour replays exactly, yet distinct callers decorrelate.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The pause before retry `attempt` (0-based): an exponential base
+/// (100 µs · 2^attempt) plus a deterministic jitter in `[0, 100 µs)` drawn
+/// from `(seed, attempt)`. `None` once attempts are exhausted or the pause
+/// would sleep past `deadline` — the caller should give up instead.
+fn retry_backoff(seed: u64, attempt: u64, deadline: Instant) -> Option<Duration> {
+    if attempt + 1 >= RETRY_ATTEMPTS {
+        return None;
+    }
+    let base_micros = 100u64 << attempt.min(8);
+    let jitter_micros = splitmix64(seed ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 100;
+    let pause = Duration::from_micros(base_micros + jitter_micros);
+    let remaining = deadline.checked_duration_since(Instant::now())?;
+    (pause < remaining).then_some(pause)
+}
+
 /// One queued request: who asks, what they ask, and the channel the answer
 /// goes back on — the envelope [`ContainmentService::serve`] consumes.
 /// Built by [`ServiceClient::call`]; construct it directly only when
@@ -361,6 +448,11 @@ pub struct ServiceEnvelope {
     /// Where the response goes. Errors arrive folded in as
     /// [`ServiceResponse::Error`].
     pub reply: mpsc::Sender<ServiceResponse>,
+    /// The absolute deadline for answering, if any: the serve loop refuses
+    /// expired envelopes with [`ServiceError::DeadlineExceeded`] and runs
+    /// `Check`/`Matrix` requests under an engine [`CancelToken`] bound to
+    /// it. Set by [`ServiceClient::call_timeout`]; `None` means no limit.
+    pub deadline: Option<Instant>,
 }
 
 /// The full metrics surface of a [`ContainmentService`]: the engine's
@@ -378,16 +470,38 @@ pub struct ServiceStats {
     /// Requests rejected with [`ServiceError::Overloaded`] by clients of
     /// this service's bounded queues.
     pub rejected: u64,
-    /// The latency distribution over every request this service answered.
+    /// Re-sends performed by [`ServiceClient::call_timeout`]-style retry
+    /// loops after an [`ServiceError::Overloaded`] rejection.
+    pub retries: u64,
+    /// Retry loops that exhausted their backoff budget and surfaced
+    /// [`ServiceError::Overloaded`] to the caller anyway.
+    pub retry_gave_up: u64,
+    /// Pool workers respawned by their supervisor after a panic.
+    pub worker_restarts: u64,
+    /// The latency distribution over every request this service answered
+    /// within its deadline (or that had none).
     pub latency: LatencySnapshot,
+    /// The latency distribution of requests whose deadline expired — kept
+    /// out of [`ServiceStats::latency`] so the tail of successful traffic
+    /// is not polluted by requests that were *meant* to stop early.
+    pub timeouts: LatencySnapshot,
 }
 
 impl fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}; {} tenants; {} graphs; {} rejected; latency: {}",
-            self.engine, self.tenants, self.graphs, self.rejected, self.latency
+            "{}; {} tenants; {} graphs; {} rejected; {} retries ({} gave up); \
+             {} worker restarts; latency: {}; timeouts: {}",
+            self.engine,
+            self.tenants,
+            self.graphs,
+            self.rejected,
+            self.retries,
+            self.retry_gave_up,
+            self.worker_restarts,
+            self.latency,
+            self.timeouts
         )
     }
 }
@@ -407,8 +521,17 @@ struct ServiceState {
     graphs: RwLock<Vec<GraphSlot>>,
     /// Requests rejected with [`ServiceError::Overloaded`].
     rejected: AtomicU64,
-    /// Latency of every answered request.
+    /// Overloaded re-sends performed by `call_timeout` retry loops.
+    retries: AtomicU64,
+    /// Retry loops that gave up and surfaced `Overloaded` anyway.
+    retry_gave_up: AtomicU64,
+    /// Pool worker incarnations respawned after a panic.
+    worker_restarts: AtomicU64,
+    /// Latency of every request answered within its deadline.
     latency: LatencyHistogram,
+    /// Latency of requests whose deadline expired, kept separate so the
+    /// successful tail stays honest.
+    timeouts: LatencyHistogram,
 }
 
 /// One streaming graph and its owner.
@@ -487,7 +610,11 @@ impl ContainmentService {
                 tenants: RwLock::new(vec![HashSet::new()]),
                 graphs: RwLock::new(Vec::new()),
                 rejected: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                retry_gave_up: AtomicU64::new(0),
+                worker_restarts: AtomicU64::new(0),
                 latency: LatencyHistogram::new(),
+                timeouts: LatencyHistogram::new(),
             }),
         }
     }
@@ -499,7 +626,7 @@ impl ContainmentService {
 
     /// Mint a new, empty tenant scope.
     pub fn create_tenant(&self) -> TenantId {
-        let mut tenants = self.state.tenants.write().expect("tenant lock");
+        let mut tenants = write_or_recover(&self.state.tenants);
         let id = TenantId(tenants.len() as u32);
         tenants.push(HashSet::new());
         id
@@ -507,12 +634,12 @@ impl ContainmentService {
 
     /// Tenants issued so far (the default tenant included).
     pub fn tenant_count(&self) -> usize {
-        self.state.tenants.read().expect("tenant lock").len()
+        read_or_recover(&self.state.tenants).len()
     }
 
     /// Streaming graphs held so far, across all tenants.
     pub fn graph_count(&self) -> usize {
-        self.state.graphs.read().expect("graph lock").len()
+        read_or_recover(&self.state.graphs).len()
     }
 
     /// The service's metrics snapshot (what [`ServiceRequest::Stats`]
@@ -523,7 +650,11 @@ impl ContainmentService {
             tenants: self.tenant_count(),
             graphs: self.graph_count(),
             rejected: self.state.rejected.load(Ordering::Relaxed),
+            retries: self.state.retries.load(Ordering::Relaxed),
+            retry_gave_up: self.state.retry_gave_up.load(Ordering::Relaxed),
+            worker_restarts: self.state.worker_restarts.load(Ordering::Relaxed),
             latency: self.state.latency.snapshot(),
+            timeouts: self.state.timeouts.snapshot(),
         }
     }
 
@@ -537,9 +668,36 @@ impl ContainmentService {
         tenant: TenantId,
         request: ServiceRequest,
     ) -> Result<ServiceResponse, ServiceError> {
+        self.handle_with_deadline(tenant, request, None)
+    }
+
+    /// [`handle`](ContainmentService::handle) under an optional absolute
+    /// deadline. An already-expired deadline is refused with
+    /// [`ServiceError::DeadlineExceeded`] before the engine runs (the queue
+    /// wait consumed the budget); otherwise [`ServiceRequest::Check`] and
+    /// [`ServiceRequest::Matrix`] run under an engine [`CancelToken`] bound
+    /// to the deadline, so an expiry mid-search surfaces within a bounded
+    /// checkpoint interval as a typed [`UnknownReason::DeadlineExceeded`]
+    /// verdict. Expired requests are recorded in the
+    /// [`ServiceStats::timeouts`] histogram instead of the main one.
+    pub fn handle_with_deadline(
+        &self,
+        tenant: TenantId,
+        request: ServiceRequest,
+        deadline: Option<Instant>,
+    ) -> Result<ServiceResponse, ServiceError> {
         let started = Instant::now();
-        let response = self.dispatch(tenant, request);
-        self.state.latency.record(started.elapsed());
+        let response = if deadline.is_some_and(|deadline| deadline <= started) {
+            Err(ServiceError::DeadlineExceeded)
+        } else {
+            self.dispatch(tenant, request, deadline)
+        };
+        let histogram = if expired(&response) {
+            &self.state.timeouts
+        } else {
+            &self.state.latency
+        };
+        histogram.record(started.elapsed());
         response
     }
 
@@ -547,6 +705,7 @@ impl ContainmentService {
         &self,
         tenant: TenantId,
         request: ServiceRequest,
+        deadline: Option<Instant>,
     ) -> Result<ServiceResponse, ServiceError> {
         match request {
             ServiceRequest::Register(schema) => {
@@ -554,20 +713,38 @@ impl ContainmentService {
                 if tenant.index() >= self.tenant_count() {
                     return Err(ServiceError::UnknownTenant(tenant));
                 }
+                // The schema arrived parsed; this is the service's
+                // post-parse seam, just before any state mutates.
+                faults::trigger(faults::site::POST_PARSE);
                 let id = self.engine.register(&schema);
-                self.state.tenants.write().expect("tenant lock")[tenant.index()].insert(id);
+                write_or_recover(&self.state.tenants)[tenant.index()].insert(id);
                 Ok(ServiceResponse::Registered(id))
             }
             ServiceRequest::Check { h, k } => {
                 self.checked(tenant, h)?;
                 self.checked(tenant, k)?;
-                Ok(ServiceResponse::Answer(self.engine.check_ids(h, k)))
+                let answer = match deadline {
+                    Some(deadline) => self.engine.check_ids_cancellable(
+                        h,
+                        k,
+                        &CancelToken::with_deadline(deadline),
+                    ),
+                    None => self.engine.check_ids(h, k),
+                };
+                Ok(ServiceResponse::Answer(answer))
             }
             ServiceRequest::Matrix(ids) => {
                 for &id in &ids {
                     self.checked(tenant, id)?;
                 }
-                Ok(ServiceResponse::Matrix(self.engine.check_matrix_ids(&ids)))
+                let matrix = match deadline {
+                    Some(deadline) => {
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        self.engine.check_matrix_ids_deadline(&ids, remaining)
+                    }
+                    None => self.engine.check_matrix_ids(&ids),
+                };
+                Ok(ServiceResponse::Matrix(matrix))
             }
             ServiceRequest::LoadTriples { graph, chunk } => {
                 let id = match graph {
@@ -596,6 +773,11 @@ impl ContainmentService {
                             message: error.message,
                         });
                     }
+                    // Chunk fully parsed, graph not yet mutated: an
+                    // injected panic here leaves the entry consistent (the
+                    // chunk is simply dropped) and the poisoned entry lock
+                    // recovers on the next request.
+                    faults::trigger(faults::site::POST_PARSE);
                     let report = entry.graph.apply_delta(&delta);
                     entry.dirty.extend_from_slice(&report.dirty);
                     Ok(ServiceResponse::Loaded {
@@ -669,7 +851,7 @@ impl ContainmentService {
         if tenant.index() >= self.tenant_count() {
             return Err(ServiceError::UnknownTenant(tenant));
         }
-        let mut graphs = self.state.graphs.write().expect("graph lock");
+        let mut graphs = write_or_recover(&self.state.graphs);
         let id = GraphId(graphs.len() as u32);
         graphs.push(GraphSlot {
             tenant,
@@ -692,12 +874,12 @@ impl ContainmentService {
         id: GraphId,
         f: impl FnOnce(&mut GraphEntry) -> Result<R, ServiceError>,
     ) -> Result<R, ServiceError> {
-        let graphs = self.state.graphs.read().expect("graph lock");
+        let graphs = read_or_recover(&self.state.graphs);
         let slot = graphs
             .get(id.index())
             .filter(|slot| slot.tenant == tenant)
             .ok_or(ServiceError::UnknownGraph(id))?;
-        let mut entry = slot.entry.lock().expect("graph entry lock");
+        let mut entry = lock_or_recover(&slot.entry);
         f(&mut entry)
     }
 
@@ -732,9 +914,10 @@ impl ContainmentService {
             tenant,
             request,
             reply,
+            deadline,
         } in requests
         {
-            let response = match self.handle(tenant, request) {
+            let response = match self.handle_with_deadline(tenant, request, deadline) {
                 Ok(response) => response,
                 Err(error) => ServiceResponse::from(error),
             };
@@ -751,7 +934,7 @@ impl ContainmentService {
                 registered: self.engine.schema_count(),
             });
         }
-        let tenants = self.state.tenants.read().expect("tenant lock");
+        let tenants = read_or_recover(&self.state.tenants);
         let scope = tenants
             .get(tenant.index())
             .ok_or(ServiceError::UnknownTenant(tenant))?;
@@ -799,6 +982,7 @@ impl ServiceClient {
             tenant: self.tenant,
             request,
             reply,
+            deadline: None,
         };
         match self.requests.try_send(envelope) {
             Ok(()) => {}
@@ -813,17 +997,88 @@ impl ServiceClient {
 
     /// Like [`ServiceClient::call`], but block for a queue slot instead of
     /// rejecting — for batch producers that prefer waiting over shedding.
+    ///
+    /// **Hazard:** this parks *unboundedly*, twice over — first for a queue
+    /// slot, then for the reply. If the serve loop is wedged or slow, the
+    /// caller waits forever; nothing bounds either wait. Interactive
+    /// callers should use [`ServiceClient::call_timeout`], which bounds
+    /// both and turns a missed budget into a typed error.
     pub fn call_blocking(&self, request: ServiceRequest) -> Result<ServiceResponse, ServiceError> {
         let (reply, responses) = mpsc::channel();
         let envelope = ServiceEnvelope {
             tenant: self.tenant,
             request,
             reply,
+            deadline: None,
         };
         self.requests
             .send(envelope)
             .map_err(|_| ServiceError::Disconnected)?;
         Self::unfold(responses.recv().map_err(|_| ServiceError::Disconnected)?)
+    }
+
+    /// Send one request under a wall-clock budget. The envelope carries an
+    /// absolute deadline `timeout` from now; [`ServiceError::Overloaded`]
+    /// is retried with bounded, deterministically-jittered exponential
+    /// backoff (each re-send counted in [`ServiceStats::retries`],
+    /// exhaustion in [`ServiceStats::retry_gave_up`]); and a reply that
+    /// misses the budget comes back as [`ServiceError::DeadlineExceeded`]
+    /// — this call never parks unboundedly. An engine-level expiry that
+    /// still answers in time arrives as [`ServiceResponse::Answer`] with
+    /// an [`UnknownReason::DeadlineExceeded`] verdict. Note that a
+    /// client-side timeout does not revoke the queued request: the server
+    /// still dispatches it (and its deadline) eventually, answering into a
+    /// dropped channel.
+    pub fn call_timeout(
+        &self,
+        request: ServiceRequest,
+        timeout: Duration,
+    ) -> Result<ServiceResponse, ServiceError> {
+        let deadline = Instant::now()
+            .checked_add(timeout)
+            .expect("deadline overflows the monotonic clock");
+        let (reply, responses) = mpsc::channel();
+        let mut envelope = ServiceEnvelope {
+            tenant: self.tenant,
+            request,
+            reply,
+            deadline: Some(deadline),
+        };
+        let mut attempt = 0;
+        loop {
+            match self.requests.try_send(envelope) {
+                Ok(()) => break,
+                Err(mpsc::TrySendError::Full(back)) => {
+                    envelope = back;
+                    let seed = (u64::from(self.tenant.0) << 32)
+                        ^ self.state.retries.load(Ordering::Relaxed);
+                    let Some(pause) = retry_backoff(seed, attempt, deadline) else {
+                        self.state.retry_gave_up.fetch_add(1, Ordering::Relaxed);
+                        self.state.rejected.fetch_add(1, Ordering::Relaxed);
+                        return Err(ServiceError::Overloaded);
+                    };
+                    self.state.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(pause);
+                    attempt += 1;
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => return Err(ServiceError::Disconnected),
+            }
+        }
+        Self::recv_deadline(&responses, deadline)
+    }
+
+    /// Wait for a reply until `deadline`, mapping a missed budget onto
+    /// [`ServiceError::DeadlineExceeded`].
+    fn recv_deadline(
+        responses: &mpsc::Receiver<ServiceResponse>,
+        deadline: Instant,
+    ) -> Result<ServiceResponse, ServiceError> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        match responses.recv_timeout(remaining) {
+            Ok(response) => Self::unfold(response),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServiceError::DeadlineExceeded),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServiceError::Disconnected),
+        }
     }
 
     /// Lift a folded [`ServiceResponse::Error`] back onto the `Err` side.
@@ -862,22 +1117,31 @@ pub struct ServicePool {
 }
 
 impl ContainmentService {
-    /// Spawn a [`ServicePool`] of `workers` serve-loop threads (min 1), each
-    /// behind its own bounded queue of `capacity` in-flight requests (min
-    /// 1). The workers share this service (and through it the engine and all
-    /// caches); they exit when every queue sender — the pool's plus every
-    /// [`PoolClient`]'s — is dropped.
+    /// Spawn a [`ServicePool`] of `workers` supervised serve-loop threads
+    /// (min 1), each behind its own bounded queue of `capacity` in-flight
+    /// requests (min 1). The workers share this service (and through it the
+    /// engine and all caches); they exit when every queue sender — the
+    /// pool's plus every [`PoolClient`]'s — is dropped.
+    ///
+    /// Each worker runs under a supervisor: a panic while handling a
+    /// request — injected or real — still answers that caller with
+    /// [`ServiceError::Internal`], then the worker incarnation is respawned
+    /// onto the same queue and the restart counted in
+    /// [`ServiceStats::worker_restarts`]. A panicking request can poison
+    /// locks it held; every service and engine lock recovers (see
+    /// [`shapex_core::sync`]), so the respawned worker keeps serving.
     pub fn pool(&self, workers: usize, capacity: usize) -> ServicePool {
         let mut senders = Vec::new();
         let mut handles = Vec::new();
         for worker in 0..workers.max(1) {
             let (sender, receiver) = mpsc::sync_channel(capacity.max(1));
+            let receiver = Arc::new(Mutex::new(receiver));
             let service = self.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("shapex-service-{worker}"))
-                    .spawn(move || service.serve(receiver))
-                    .expect("spawn service worker"),
+                    .spawn(move || service.supervise(worker, receiver))
+                    .expect("spawn service supervisor"),
             );
             senders.push(sender);
         }
@@ -886,6 +1150,72 @@ impl ContainmentService {
             senders: Arc::new(senders),
             cursor: Arc::new(AtomicUsize::new(0)),
             workers: handles,
+        }
+    }
+
+    /// Supervisor body for one pool worker slot: spawn serve-loop
+    /// incarnations over the slot's shared queue until one exits cleanly
+    /// (every sender dropped), respawning — and counting — each one that
+    /// panics. No request is lost across a restart:
+    /// [`serve_shared`](ContainmentService::serve_shared) answers the
+    /// in-flight caller with [`ServiceError::Internal`] before its panic
+    /// propagates here, and queued envelopes survive in the shared
+    /// receiver.
+    fn supervise(&self, slot: usize, receiver: Arc<Mutex<mpsc::Receiver<ServiceEnvelope>>>) {
+        for incarnation in 0u64.. {
+            let service = self.clone();
+            let queue = Arc::clone(&receiver);
+            let worker = std::thread::Builder::new()
+                .name(format!("shapex-service-{slot}-r{incarnation}"))
+                .spawn(move || service.serve_shared(&queue))
+                .expect("spawn service worker");
+            if worker.join().is_ok() {
+                return;
+            }
+            self.state.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// One worker incarnation: drain the shared queue until it closes.
+    /// Each request runs inside `catch_unwind`, so a panic still answers
+    /// the caller (with [`ServiceError::Internal`]) before the unwind
+    /// resumes and the supervisor respawns the incarnation.
+    /// `AssertUnwindSafe` is justified the same way poison recovery is:
+    /// everything the closure can leave mid-update is memoised or
+    /// append-only state behind recovering locks (see
+    /// [`shapex_core::sync`]).
+    fn serve_shared(&self, receiver: &Mutex<mpsc::Receiver<ServiceEnvelope>>) {
+        loop {
+            // Hold the queue lock only to receive, so a panicking request
+            // can never poison it mid-dispatch.
+            let envelope = {
+                let queue = lock_or_recover(receiver);
+                match queue.recv() {
+                    Ok(envelope) => envelope,
+                    Err(_) => return,
+                }
+            };
+            let ServiceEnvelope {
+                tenant,
+                request,
+                reply,
+                deadline,
+            } = envelope;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                faults::trigger(faults::site::WORKER_DISPATCH);
+                self.handle_with_deadline(tenant, request, deadline)
+            }));
+            match outcome {
+                Ok(response) => {
+                    let _ = reply.send(response.unwrap_or_else(ServiceResponse::from));
+                }
+                Err(payload) => {
+                    // Answer the caller first, then let the supervisor see
+                    // the panic and respawn this incarnation.
+                    let _ = reply.send(ServiceResponse::Error(ServiceError::Internal));
+                    resume_unwind(payload);
+                }
+            }
         }
     }
 }
@@ -953,6 +1283,7 @@ impl PoolClient {
             tenant: self.tenant,
             request,
             reply,
+            deadline: None,
         };
         let start = self.cursor.fetch_add(1, Ordering::Relaxed);
         let mut disconnected = 0;
@@ -983,12 +1314,17 @@ impl PoolClient {
     /// Like [`PoolClient::call`], but when every queue is full, park on the
     /// round-robin pick instead of rejecting — for closed-loop producers
     /// that prefer waiting over shedding.
+    ///
+    /// **Hazard:** the park is *unbounded*, as is the wait for the reply —
+    /// a wedged worker holds the caller forever. Interactive callers
+    /// should use [`PoolClient::call_timeout`], which bounds both.
     pub fn call_blocking(&self, request: ServiceRequest) -> Result<ServiceResponse, ServiceError> {
         let (reply, responses) = mpsc::channel();
         let mut envelope = ServiceEnvelope {
             tenant: self.tenant,
             request,
             reply,
+            deadline: None,
         };
         let start = self.cursor.fetch_add(1, Ordering::Relaxed);
         // First pass: take any free slot without blocking.
@@ -1010,6 +1346,61 @@ impl PoolClient {
             .send(envelope)
             .map_err(|_| ServiceError::Disconnected)?;
         ServiceClient::unfold(responses.recv().map_err(|_| ServiceError::Disconnected)?)
+    }
+
+    /// Like [`ServiceClient::call_timeout`], across the pool: rotate over
+    /// every worker queue, and only when *all* are full back off (bounded
+    /// attempts, deterministic jitter, counted in [`ServiceStats::retries`]
+    /// / [`ServiceStats::retry_gave_up`]) before rotating again. A reply
+    /// that misses the budget is [`ServiceError::DeadlineExceeded`];
+    /// engine-level expiries that answer in time arrive as
+    /// [`ServiceResponse::Answer`] with an
+    /// [`UnknownReason::DeadlineExceeded`] verdict.
+    pub fn call_timeout(
+        &self,
+        request: ServiceRequest,
+        timeout: Duration,
+    ) -> Result<ServiceResponse, ServiceError> {
+        let deadline = Instant::now()
+            .checked_add(timeout)
+            .expect("deadline overflows the monotonic clock");
+        let (reply, responses) = mpsc::channel();
+        let mut envelope = ServiceEnvelope {
+            tenant: self.tenant,
+            request,
+            reply,
+            deadline: Some(deadline),
+        };
+        let mut attempt = 0;
+        'rounds: loop {
+            let start = self.cursor.fetch_add(1, Ordering::Relaxed);
+            let mut disconnected = 0;
+            for offset in 0..self.senders.len() {
+                let worker = &self.senders[(start + offset) % self.senders.len()];
+                match worker.try_send(envelope) {
+                    Ok(()) => break 'rounds,
+                    Err(mpsc::TrySendError::Full(back)) => envelope = back,
+                    Err(mpsc::TrySendError::Disconnected(back)) => {
+                        envelope = back;
+                        disconnected += 1;
+                    }
+                }
+            }
+            if disconnected == self.senders.len() {
+                return Err(ServiceError::Disconnected);
+            }
+            let seed =
+                (u64::from(self.tenant.0) << 32) ^ self.state.retries.load(Ordering::Relaxed);
+            let Some(pause) = retry_backoff(seed, attempt, deadline) else {
+                self.state.retry_gave_up.fetch_add(1, Ordering::Relaxed);
+                self.state.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Overloaded);
+            };
+            self.state.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(pause);
+            attempt += 1;
+        }
+        ServiceClient::recv_deadline(&responses, deadline)
     }
 }
 
@@ -1364,6 +1755,7 @@ mod tests {
                 tenant: TenantId::DEFAULT,
                 request: ServiceRequest::Stats,
                 reply,
+                deadline: None,
             }
         };
         // Fill the queue directly (client.call would block on recv).
@@ -1442,6 +1834,7 @@ mod tests {
                 tenant: TenantId::DEFAULT,
                 request: ServiceRequest::Stats,
                 reply,
+                deadline: None,
             }
         };
         // Fill queue A. The client's round-robin pick (cursor 0) is full,
@@ -1486,5 +1879,182 @@ mod tests {
                 "disconnects are not rejections"
             );
         });
+    }
+
+    /// The Figure-1 anchor pair: no embedding, no counter-example — the
+    /// search exhausts the default budget, so a short deadline reliably
+    /// expires mid-search.
+    const FIG1_ORIGINAL: &str = "Bug  -> descr::Literal, reportedBy::User, related::Bug*\n\
+         User -> name::Literal, email::Literal?\n";
+    const FIG1_SPLIT: &str =
+        "Bug1 -> descr::Literal, reportedBy::User1, related::Bug1*, related::Bug2*\n\
+         Bug2 -> descr::Literal, reportedBy::User2, related::Bug1*, related::Bug2*\n\
+         User1 -> name::Literal\n\
+         User2 -> name::Literal, email::Literal\n";
+
+    #[test]
+    fn deadlines_surface_as_typed_answers_in_the_timeout_histogram() {
+        let service = ContainmentService::new();
+        let ids = ids_of(&service, TenantId::DEFAULT, &[FIG1_ORIGINAL, FIG1_SPLIT]);
+        let check = ServiceRequest::Check {
+            h: ids[0],
+            k: ids[1],
+        };
+        // Already expired: refused before the engine runs.
+        match service.handle_with_deadline(TenantId::DEFAULT, check.clone(), Some(Instant::now())) {
+            Err(ServiceError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // Expiring mid-search: a typed Unknown verdict, never a hang.
+        let soon = Instant::now() + Duration::from_millis(2);
+        match service.handle_with_deadline(TenantId::DEFAULT, check, Some(soon)) {
+            Ok(ServiceResponse::Answer(answer)) => assert!(
+                matches!(
+                    answer.unknown_reason(),
+                    Some(UnknownReason::DeadlineExceeded { .. })
+                ),
+                "expected a deadline verdict, got {answer:?}"
+            ),
+            other => panic!("expected Answer, got {other:?}"),
+        }
+        let stats = service.stats();
+        assert_eq!(stats.timeouts.count(), 2, "both expiries are timeouts");
+        assert_eq!(
+            stats.latency.count(),
+            2,
+            "registrations stay in the main histogram"
+        );
+        assert!(
+            stats.engine.deadline_exceeded >= 1,
+            "the engine counted the expiry"
+        );
+        assert!(format!("{stats}").contains("timeouts:"));
+    }
+
+    #[test]
+    fn call_timeout_retries_overload_and_bounds_the_wait() {
+        let service = ContainmentService::new();
+        // Capacity-1 queue, nothing draining it: every retry finds it still
+        // full and the loop gives up with a typed rejection.
+        let (client, _requests) = service.connect(TenantId::DEFAULT, 1);
+        let fire = || {
+            let (reply, _responses) = mpsc::channel();
+            ServiceEnvelope {
+                tenant: TenantId::DEFAULT,
+                request: ServiceRequest::Stats,
+                reply,
+                deadline: None,
+            }
+        };
+        client.sender().try_send(fire()).unwrap();
+        match client.call_timeout(ServiceRequest::Stats, Duration::from_millis(250)) {
+            Err(ServiceError::Overloaded) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let stats = service.stats();
+        assert_eq!(
+            stats.retries,
+            RETRY_ATTEMPTS - 1,
+            "every backoff slot was used"
+        );
+        assert_eq!(stats.retry_gave_up, 1);
+        assert_eq!(stats.rejected, 1);
+        // A free slot but still no server: the bounded reply wait expires
+        // typed instead of parking forever.
+        let (client, _requests) = service.connect(TenantId::DEFAULT, 4);
+        match client.call_timeout(ServiceRequest::Stats, Duration::from_millis(5)) {
+            Err(ServiceError::DeadlineExceeded) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(
+            service.stats().timeouts.count(),
+            0,
+            "client-side expiry; server never ran"
+        );
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let a: Vec<_> = (0..RETRY_ATTEMPTS)
+            .map(|i| retry_backoff(7, i, deadline))
+            .collect();
+        let b: Vec<_> = (0..RETRY_ATTEMPTS)
+            .map(|i| retry_backoff(7, i, deadline))
+            .collect();
+        assert_eq!(a, b, "equal (seed, attempt) pairs pause equally");
+        assert!(a[..(RETRY_ATTEMPTS - 1) as usize]
+            .iter()
+            .all(Option::is_some));
+        assert_eq!(
+            a[(RETRY_ATTEMPTS - 1) as usize],
+            None,
+            "attempts are bounded"
+        );
+        // An imminent deadline suppresses the pause entirely.
+        assert_eq!(retry_backoff(7, 0, Instant::now()), None);
+    }
+
+    /// Chaos tests arm the process-global fault registry; they exist only
+    /// under `--features failpoints` and serialise on a local gate.
+    #[cfg(feature = "failpoints")]
+    mod chaos {
+        use super::*;
+        use shapex_core::faults::{self, site, FaultAction, FaultPlan};
+        use std::sync::PoisonError;
+
+        static GATE: Mutex<()> = Mutex::new(());
+
+        #[test]
+        fn panicking_worker_answers_internal_and_is_respawned() {
+            let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+            let service = ContainmentService::new();
+            let pool = service.pool(1, 4);
+            let client = pool.client(TenantId::DEFAULT);
+            faults::install(FaultPlan::new().inject(site::WORKER_DISPATCH, 0, FaultAction::Panic));
+            match client.call_blocking(ServiceRequest::Stats) {
+                Err(ServiceError::Internal) => {}
+                other => panic!("expected Internal, got {other:?}"),
+            }
+            faults::clear();
+            // The respawned incarnation keeps draining the same queue.
+            match client.call_blocking(ServiceRequest::Stats) {
+                Ok(ServiceResponse::Stats(stats)) => {
+                    assert_eq!(stats.worker_restarts, 1);
+                    assert!(format!("{stats}").contains("1 worker restarts"));
+                }
+                other => panic!("expected Stats, got {other:?}"),
+            }
+            drop(client);
+            pool.join();
+        }
+
+        #[test]
+        fn injected_post_parse_panic_never_wedges_the_service() {
+            let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+            let service = ContainmentService::new();
+            let pool = service.pool(2, 4);
+            let client = pool.client(TenantId::DEFAULT);
+            faults::install(FaultPlan::new().inject(site::POST_PARSE, 0, FaultAction::Panic));
+            let schema = parse_schema("T -> p::L?\nL -> EMPTY\n").unwrap();
+            match client.call_blocking(ServiceRequest::Register(Box::new(schema.clone()))) {
+                Err(ServiceError::Internal) => {}
+                other => panic!("expected Internal, got {other:?}"),
+            }
+            faults::clear();
+            // Nothing was half-registered: the retry lands cleanly on the
+            // recovered service and the engine holds exactly one schema.
+            match client.call_blocking(ServiceRequest::Register(Box::new(schema))) {
+                Ok(ServiceResponse::Registered(_)) => {}
+                other => panic!("expected Registered, got {other:?}"),
+            }
+            assert_eq!(service.engine().schema_count(), 1);
+            match client.call_blocking(ServiceRequest::Stats) {
+                Ok(ServiceResponse::Stats(stats)) => assert_eq!(stats.worker_restarts, 1),
+                other => panic!("expected Stats, got {other:?}"),
+            }
+            drop(client);
+            pool.join();
+        }
     }
 }
